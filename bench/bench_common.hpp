@@ -1,0 +1,59 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints the same rows/series the paper's figure plots, plus an
+// ASCII rendering where it aids eyeballing. Absolute values live in
+// EXPERIMENTS.md next to the paper's numbers.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/table.hpp"
+#include "knots/experiment.hpp"
+#include "stats/correlation.hpp"
+
+namespace knots::bench {
+
+/// Default arrival window for the cluster experiments: a compressed slice
+/// of the paper's 12 h trace replay that keeps each bench run ~1 s.
+inline constexpr SimTime kBenchWindow = 300 * kSec;
+
+inline ExperimentConfig bench_config(int mix, sched::SchedulerKind kind) {
+  ExperimentConfig cfg = default_experiment(mix, kind);
+  cfg.workload.duration = kBenchWindow;
+  return cfg;
+}
+
+/// Prints a correlation matrix as the Fig 2 heat maps (values in [-1, 1]).
+inline void print_heatmap(std::ostream& os, const std::string& title,
+                          const stats::CorrelationMatrix& m) {
+  TablePrinter table(title);
+  std::vector<std::string> header = {""};
+  for (const auto& label : m.labels) header.push_back(label);
+  table.columns(header);
+  for (std::size_t i = 0; i < m.labels.size(); ++i) {
+    std::vector<std::string> row = {m.labels[i]};
+    for (std::size_t j = 0; j < m.labels.size(); ++j) {
+      row.push_back(fmt(m.at(i, j), 2));
+    }
+    table.row(row);
+  }
+  table.print(os);
+}
+
+/// Prints per-GPU utilization percentile bars (Fig 6 / Fig 8 panels).
+inline void print_per_gpu_percentiles(std::ostream& os,
+                                      const std::string& title,
+                                      const ExperimentReport& report) {
+  TablePrinter table(title);
+  table.columns({"GPU node", "50%le", "90%le", "99%le", "Max", "p50 bar"});
+  for (std::size_t g = 0; g < report.per_gpu.size(); ++g) {
+    const auto& u = report.per_gpu[g];
+    table.row({std::to_string(g + 1), fmt(u.p50, 1), fmt(u.p90, 1),
+               fmt(u.p99, 1), fmt(u.max, 1), ascii_bar(u.p50, 100.0, 25)});
+  }
+  table.print(os);
+}
+
+}  // namespace knots::bench

@@ -1,0 +1,54 @@
+// Figure 3: GPU resource consumption (PCIe bandwidth, SM utilization,
+// memory) of the Rodinia suite run sequentially on a single P100.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/percentile.hpp"
+#include "workload/rodinia.hpp"
+
+int main() {
+  using namespace knots;
+  std::cout << "Fig 3: sequential Rodinia characterization on one P100.\n"
+            << "Columns: time since suite start | app | tx+rx MB/s | SM % | "
+               "memory MB\n";
+
+  TablePrinter table("Fig 3: per-phase resource consumption");
+  table.columns({"t_start ms", "app", "bandwidth MB/s", "SM %", "memory MB",
+                 "SM bar"});
+  SimTime t = 0;
+  std::vector<double> sm_samples, bw_samples;
+  for (auto app : workload::kFig3Suite) {
+    const auto profile = workload::rodinia_profile(app);
+    for (const auto& phase : profile.phases()) {
+      const double bw = phase.usage.tx_mbps + phase.usage.rx_mbps;
+      table.row({fmt(static_cast<double>(t) / kMsec, 0),
+                 std::string(workload::rodinia_name(app)), fmt(bw, 0),
+                 fmt(100 * phase.usage.sm, 0), fmt(phase.usage.memory_mb, 0),
+                 ascii_bar(phase.usage.sm, 1.0, 20)});
+      t += phase.duration;
+    }
+    for (double v : profile.sm_signature(256)) sm_samples.push_back(v);
+    const auto sig = profile.memory_signature(256);
+    for (const auto& ph : profile.phases()) {
+      bw_samples.push_back(ph.usage.tx_mbps + ph.usage.rx_mbps);
+    }
+  }
+  table.print(std::cout);
+
+  const double sm_median = percentile(sm_samples, 50);
+  const double sm_peak = percentile(sm_samples, 100);
+  const double bw_median = percentile(bw_samples, 50);
+  const double bw_peak = percentile(bw_samples, 100);
+  std::cout << "\nSuite runtime: " << fmt(static_cast<double>(t) / kMsec, 0)
+            << " ms\nSM median-to-peak gap: " << fmt(sm_peak / sm_median, 1)
+            << "x (paper: ~90x for the burstiest apps)\n"
+            << "Bandwidth median-to-peak gap: "
+            << fmt(bw_peak / std::max(bw_median, 1.0), 1)
+            << "x (paper: ~400x)\n"
+            << "Largest footprint: heartwall "
+            << fmt(workload::rodinia_profile(workload::RodiniaApp::kHeartwall)
+                       .peak_memory_mb(),
+                   0)
+            << " MB of 16384 MB\n";
+  return 0;
+}

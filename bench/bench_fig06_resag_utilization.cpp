@@ -1,0 +1,54 @@
+// Figure 6: per-node 50/90/99th-percentile and maximum GPU utilization for
+// the three Table I app mixes under the GPU-agnostic (Res-Ag) scheduler.
+// Also prints Tables I–III (workload and testbed configuration).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "workload/app_mix.hpp"
+
+int main() {
+  using namespace knots;
+
+  TablePrinter t1("Table I: cluster workload suite (load / COV bins)");
+  t1.columns({"mix", "batch apps", "latency-critical", "Load", "COV"});
+  for (const auto& mix : workload::all_app_mixes()) {
+    std::string batch, lc;
+    for (auto a : mix.batch_apps) {
+      batch += std::string(workload::rodinia_name(a)) + " ";
+    }
+    for (auto s : mix.lc_services) {
+      lc += std::string(workload::service_name(s)) + " ";
+    }
+    t1.row({mix.name, batch, lc, to_string(mix.load), to_string(mix.cov)});
+  }
+  t1.print(std::cout);
+
+  const auto hw = hardware_config();
+  const auto sw = software_config();
+  TablePrinter t2("Tables II & III: testbed configuration (simulated)");
+  t2.columns({"key", "value"});
+  t2.row({"CPU", hw.cpu});
+  t2.row({"Cores", std::to_string(hw.cores) + "x" +
+                       std::to_string(hw.threads_per_core) + "(threads)"});
+  t2.row({"DRAM", std::to_string(hw.dram_gb) + " GB"});
+  t2.row({"GPU", hw.gpu});
+  t2.row({"Kubernetes", sw.kubernetes});
+  t2.row({"NvidiaDocker", sw.nvidia_docker});
+  t2.row({"pyNVML", sw.pynvml});
+  t2.row({"InFluxDB", sw.influxdb});
+  t2.row({"CUDA", sw.cuda});
+  t2.row({"Tensorflow", sw.tensorflow});
+  t2.print(std::cout);
+
+  for (int mix = 1; mix <= 3; ++mix) {
+    const auto report = run_experiment(
+        bench::bench_config(mix, sched::SchedulerKind::kResourceAgnostic));
+    bench::print_per_gpu_percentiles(
+        std::cout,
+        "Fig 6" + std::string(1, static_cast<char>('a' + mix - 1)) +
+            ": per-node GPU utilization %, Res-Ag, app-mix-" +
+            std::to_string(mix),
+        report);
+  }
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Figure 10b: peak-prediction accuracy vs telemetry heartbeat interval for
+// ARIMA (CBP+PP) against Theil-Sen, SGD and MLP regressors.
+//
+// Setup mirrors §VI-D: a GPU runs a rotating Rodinia mix; the node sampler
+// reads the (1 ms-quantized, noisy) utilization counter every heartbeat and
+// keeps a bounded retention buffer (the node-local time-series DB); every
+// model fits the retained <=5 s window and forecasts utilization one second
+// ahead. Accuracy = fraction of forecasts within an absolute utilization
+// tolerance of the truth.
+//
+// The shape's two cliffs are structural: coarse heartbeats leave too few
+// samples in the 5 s window to fit, while sub-millisecond heartbeats burn
+// the bounded retention on redundant (quantized + noisy) re-reads of the
+// same counter value, shrinking the temporal horizon below the forecast
+// distance — the "over-fitting" regime the paper describes.
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/rng.hpp"
+#include "stats/ewma_forecaster.hpp"
+#include "stats/forecaster.hpp"
+#include "workload/rodinia.hpp"
+
+namespace {
+
+using namespace knots;
+
+/// Ground-truth GPU utilization: two phase-shifted batch apps sharing the
+/// device (clipped sum), exactly what the head node tries to forecast.
+double true_util(SimTime t) {
+  static const auto a =
+      workload::rodinia_profile(workload::RodiniaApp::kLeukocyte)
+          .time_scaled(12.0);
+  static const auto b =
+      workload::rodinia_profile(workload::RodiniaApp::kKmeans)
+          .time_scaled(15.0);
+  const double sum = a.usage_at(t).sm + b.usage_at(t + 3 * kSec).sm;
+  return std::min(1.0, sum);
+}
+
+/// NVML-style read: counter updates every 1 ms; each read adds noise.
+double read_counter(SimTime t, Rng& rng) {
+  const SimTime quantized = (t / kMsec) * kMsec;
+  return std::clamp(true_util(quantized) + rng.normal(0.0, 0.02), 0.0, 1.0);
+}
+
+struct AccuracyResult {
+  double accuracy_pct;
+};
+
+std::unique_ptr<stats::Forecaster> make_model(int model_id) {
+  switch (model_id) {
+    case 0: return stats::make_forecaster(stats::ForecastModel::kArima);
+    case 1: return stats::make_forecaster(stats::ForecastModel::kTheilSen);
+    case 2: return stats::make_forecaster(stats::ForecastModel::kSgd);
+    case 3: return stats::make_forecaster(stats::ForecastModel::kMlp);
+    case 4: return std::make_unique<stats::EwmaForecaster>(0.05);
+    default: return std::make_unique<stats::SeasonalNaive>();
+  }
+}
+
+/// Quadratic/expensive fits get capped sample sets (model ids 1 and 3).
+bool is_expensive(int model_id) { return model_id == 1 || model_id == 3; }
+
+AccuracyResult evaluate(int model_id, SimTime heartbeat,
+                        std::uint64_t seed) {
+  constexpr SimTime kWindow = 5 * kSec;      // §IV-D sliding window
+  constexpr SimTime kHorizon = 1 * kSec;     // forecast distance
+  constexpr std::size_t kRetention = 8192;   // node DB ring buffer
+  constexpr double kTolerance = 0.15;        // absolute utilization error
+  const int evals = 60;
+
+  Rng rng(seed);
+  auto forecaster = make_model(model_id);
+  int hits = 0;
+  for (int e = 0; e < evals; ++e) {
+    const SimTime now = 20 * kSec + e * 700 * kMsec;
+    // Samples retained at `now`: newest kRetention reads within the window.
+    std::size_t n = static_cast<std::size_t>(kWindow / heartbeat);
+    n = std::min(n, kRetention);
+    std::vector<double> window;
+    window.reserve(n);
+    for (std::size_t i = n; i-- > 0;) {
+      const SimTime t = now - static_cast<SimTime>(i) * heartbeat;
+      window.push_back(read_counter(t, rng));
+    }
+    // Quadratic models cannot afford 5k-point fits every heartbeat; like
+    // the deployed system we cap their fit set (newest points).
+    if (is_expensive(model_id) && window.size() > 512) {
+      window.erase(window.begin(),
+                   window.end() - 512);
+    }
+    forecaster->fit(window);
+    const auto steps = static_cast<std::size_t>(
+        std::max<SimTime>(1, kHorizon / heartbeat));
+    const double predicted =
+        std::clamp(forecaster->predict_ahead(steps), 0.0, 1.0);
+    const double actual = true_util(now + kHorizon);
+    if (std::abs(predicted - actual) <= kTolerance) ++hits;
+  }
+  return {100.0 * hits / evals};
+}
+
+}  // namespace
+
+int main() {
+  using namespace knots;
+  const SimTime heartbeats[] = {1000 * kMsec, 500 * kMsec, 100 * kMsec,
+                                10 * kMsec,  1 * kMsec,   kMsec / 10};
+  TablePrinter table(
+      "Fig 10b: prediction accuracy % vs heartbeat interval (+ extension "
+      "models EWMA / Seasonal-naive)");
+  table.columns({"heartbeat ms", "CBP+PP (ARIMA)", "Theil-Sen", "SGD", "MLP",
+                 "EWMA*", "Seasonal*"});
+  double arima_best = 0;
+  SimTime arima_best_hb = 0;
+  for (SimTime hb : heartbeats) {
+    std::vector<double> row;
+    for (int model = 0; model < 6; ++model) {
+      const double acc = evaluate(model, hb, 99).accuracy_pct;
+      row.push_back(acc);
+      if (model == 0 && acc > arima_best) {
+        arima_best = acc;
+        arima_best_hb = hb;
+      }
+    }
+    table.row(fmt(static_cast<double>(hb) / kMsec, 1), row, 1);
+  }
+  table.print(std::cout);
+  std::cout << "\nARIMA peaks at heartbeat "
+            << fmt(static_cast<double>(arima_best_hb) / kMsec, 1) << " ms with "
+            << fmt(arima_best, 0)
+            << "% accuracy (paper: 84% at 1 ms, dropping beyond), so the "
+               "utilization aggregator queries every 1 ms.\n";
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Compare DL-cluster schedulers (Res-Ag, Gandiva, Tiresias, CBP+PP) on the
+// 32-node × 8-GPU trace-driven simulation of §V-C.
+//
+//   ./dl_scheduler_comparison [mix_id=1] [dlt=520] [dli=1400]
+#include <cstdlib>
+#include <iostream>
+
+#include "dlsim/dl_report.hpp"
+
+int main(int argc, char** argv) {
+  knots::dlsim::DlWorkloadConfig wl;
+  wl.mix_id = argc > 1 ? std::atoi(argv[1]) : 1;
+  wl.dlt_jobs = argc > 2 ? std::atoi(argv[2]) : 520;
+  wl.dli_queries = argc > 3 ? std::atoi(argv[3]) : 1400;
+
+  knots::dlsim::DlClusterConfig cluster;
+  std::cout << "DL workload: " << wl.dlt_jobs << " training jobs, "
+            << wl.dli_queries << " inference queries, 12h window, mix "
+            << wl.mix_id << "\n";
+  const auto results = knots::dlsim::run_all_policies(cluster, wl);
+  knots::dlsim::print_dl_report(std::cout, results);
+  return 0;
+}

@@ -1,0 +1,157 @@
+// knots_ctl — command-line front end to the library: run any experiment
+// configuration and print (or CSV-export) the report.
+//
+//   knots_ctl run --mix 1 --scheduler PP --duration 300 [--nodes 10]
+//                 [--gpus 1] [--seed 42] [--csv out.csv]
+//   knots_ctl sweep --mix 1 --duration 300        # all four schedulers
+//   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]
+//   knots_ctl list                                 # schedulers & mixes
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "core/csv.hpp"
+#include "core/table.hpp"
+#include "dlsim/dl_report.hpp"
+#include "knots/experiment.hpp"
+#include "workload/app_mix.hpp"
+
+namespace {
+
+using namespace knots;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) == 0) key = key.substr(2);
+    flags[key] = argv[i + 1];
+  }
+  return flags;
+}
+
+ExperimentConfig config_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  const int mix = flags.count("mix") ? std::atoi(flags.at("mix").c_str()) : 1;
+  const auto kind = sched::scheduler_from_name(
+      flags.count("scheduler") ? flags.at("scheduler") : "PP");
+  ExperimentConfig cfg = default_experiment(mix, kind);
+  if (flags.count("duration")) {
+    cfg.workload.duration = std::atoi(flags.at("duration").c_str()) * kSec;
+  }
+  if (flags.count("nodes")) {
+    cfg.cluster.nodes = std::atoi(flags.at("nodes").c_str());
+  }
+  if (flags.count("gpus")) {
+    cfg.cluster.gpus_per_node = std::atoi(flags.at("gpus").c_str());
+  }
+  if (flags.count("seed")) {
+    cfg.seed = static_cast<std::uint64_t>(
+        std::atoll(flags.at("seed").c_str()));
+  }
+  return cfg;
+}
+
+void print_report(const ExperimentReport& r) {
+  TablePrinter table("Experiment report: " + r.scheduler + ", app-mix-" +
+                     std::to_string(r.mix_id));
+  table.columns({"metric", "value"});
+  table.row({"pods", std::to_string(r.pods_completed) + "/" +
+                         std::to_string(r.pods_total)});
+  table.row({"queries", std::to_string(r.queries)});
+  table.row({"QoS violations/kilo", fmt(r.violations_per_kilo, 1)});
+  table.row({"crashes", std::to_string(r.crashes)});
+  table.row({"util p50 %", fmt(r.cluster_wide.p50, 1)});
+  table.row({"util p99 %", fmt(r.cluster_wide.p99, 1)});
+  table.row({"LC p50 / p99 ms",
+             fmt(r.lc_p50_ms, 1) + " / " + fmt(r.lc_p99_ms, 1)});
+  table.row({"mean / p99 JCT s",
+             fmt(r.mean_jct_s, 1) + " / " + fmt(r.p99_jct_s, 1)});
+  table.row({"mean power W", fmt(r.mean_power_watts, 0)});
+  table.row({"energy kJ", fmt(r.energy_joules / 1000, 1)});
+  table.print(std::cout);
+}
+
+void export_csv(const ExperimentReport& r, const std::string& path) {
+  CsvWriter csv(path, {"gpu", "p50", "p90", "p99", "max", "cov"});
+  if (!csv.ok()) {
+    std::cerr << "cannot write " << path << "\n";
+    return;
+  }
+  for (std::size_t g = 0; g < r.per_gpu.size(); ++g) {
+    csv.row(std::to_string(g),
+            {r.per_gpu[g].p50, r.per_gpu[g].p90, r.per_gpu[g].p99,
+             r.per_gpu[g].max, r.per_gpu_cov[g]},
+            3);
+  }
+  std::cout << "wrote " << csv.rows_written() << " rows to " << path << "\n";
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  const auto report = run_experiment(config_from_flags(flags));
+  print_report(report);
+  if (flags.count("csv")) export_csv(report, flags.at("csv"));
+  return 0;
+}
+
+int cmd_sweep(const std::map<std::string, std::string>& flags) {
+  const auto base = config_from_flags(flags);
+  const std::vector<sched::SchedulerKind> kinds(sched::kAllSchedulers.begin(),
+                                                sched::kAllSchedulers.end());
+  const auto reports = run_scheduler_sweep(base, kinds);
+  TablePrinter table("Scheduler sweep, app-mix-" +
+                     std::to_string(base.mix_id));
+  table.columns({"scheduler", "viol/kilo", "crashes", "util p50%",
+                 "energy kJ", "mean JCT s"});
+  for (const auto& r : reports) {
+    table.row({r.scheduler, fmt(r.violations_per_kilo, 1),
+               std::to_string(r.crashes), fmt(r.cluster_wide.p50, 1),
+               fmt(r.energy_joules / 1000, 0), fmt(r.mean_jct_s, 1)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_dlsim(const std::map<std::string, std::string>& flags) {
+  dlsim::DlClusterConfig cluster;
+  dlsim::DlWorkloadConfig wl;
+  if (flags.count("mix")) wl.mix_id = std::atoi(flags.at("mix").c_str());
+  if (flags.count("dlt")) wl.dlt_jobs = std::atoi(flags.at("dlt").c_str());
+  if (flags.count("dli")) wl.dli_queries = std::atoi(flags.at("dli").c_str());
+  const auto results = dlsim::run_all_policies(cluster, wl);
+  dlsim::print_dl_report(std::cout, results);
+  return 0;
+}
+
+int cmd_list() {
+  std::cout << "schedulers:";
+  for (auto kind : sched::kAllSchedulers) {
+    std::cout << " " << sched::to_string(kind);
+  }
+  std::cout << "\napp mixes:\n";
+  for (const auto& mix : workload::all_app_mixes()) {
+    std::cout << "  " << mix.id << ": " << mix.name << " (load "
+              << to_string(mix.load) << ", COV " << to_string(mix.cov)
+              << ")\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: knots_ctl <run|sweep|dlsim|list> [--flag value]...\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = parse_flags(argc, argv, 2);
+  if (cmd == "run") return cmd_run(flags);
+  if (cmd == "sweep") return cmd_sweep(flags);
+  if (cmd == "dlsim") return cmd_dlsim(flags);
+  if (cmd == "list") return cmd_list();
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 2;
+}

@@ -1,0 +1,49 @@
+// Quickstart: run one app mix through Kube-Knots under each scheduling
+// policy on the paper's ten-node P100 cluster and compare the headline
+// numbers (utilization, QoS, power, crashes).
+//
+//   ./quickstart [mix_id=1] [duration_s=300]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/table.hpp"
+#include "knots/experiment.hpp"
+#include "knots/kube_knots.hpp"
+
+int main(int argc, char** argv) {
+  const int mix_id = argc > 1 ? std::atoi(argv[1]) : 1;
+  const int duration_s = argc > 2 ? std::atoi(argv[2]) : 300;
+
+  knots::ExperimentConfig base = knots::default_experiment(
+      mix_id, knots::sched::SchedulerKind::kPeakPrediction);
+  base.workload.duration = duration_s * knots::kSec;
+
+  std::cout << "Kube-Knots quickstart: app-mix-" << mix_id << ", "
+            << duration_s << "s arrival window, 10x P100 cluster\n";
+
+  const std::vector<knots::sched::SchedulerKind> kinds = {
+      knots::sched::SchedulerKind::kUniform,
+      knots::sched::SchedulerKind::kResourceAgnostic,
+      knots::sched::SchedulerKind::kCbp,
+      knots::sched::SchedulerKind::kPeakPrediction,
+  };
+  const auto reports = knots::run_scheduler_sweep(base, kinds);
+
+  knots::TablePrinter table("Scheduler comparison (app-mix-" +
+                            std::to_string(mix_id) + ")");
+  table.columns({"scheduler", "util p50%", "util p99%", "QoS viol/kilo",
+                 "queries", "crashes", "energy kJ", "mean JCT s",
+                 "completed"});
+  for (const auto& r : reports) {
+    table.row({r.scheduler, knots::fmt(r.cluster_wide.p50, 1),
+               knots::fmt(r.cluster_wide.p99, 1),
+               knots::fmt(r.violations_per_kilo, 1),
+               std::to_string(r.queries), std::to_string(r.crashes),
+               knots::fmt(r.energy_joules / 1000.0, 0),
+               knots::fmt(r.mean_jct_s, 1),
+               std::to_string(r.pods_completed) + "/" +
+                   std::to_string(r.pods_total)});
+  }
+  table.print(std::cout);
+  return 0;
+}

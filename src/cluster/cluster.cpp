@@ -1,0 +1,309 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace knots::cluster {
+
+Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
+    : config_(config), scheduler_(&scheduler), rng_(config.seed) {
+  KNOTS_CHECK(config_.nodes > 0 && config_.gpus_per_node > 0);
+  gpu::NodeSpec node_spec = config_.node_spec;
+  node_spec.gpus_per_node = config_.gpus_per_node;
+
+  std::int32_t next_gpu = 0;
+  for (int n = 0; n < config_.nodes; ++n) {
+    nodes_.push_back(std::make_unique<gpu::GpuNode>(NodeId{n}, node_spec,
+                                                    next_gpu));
+    dbs_.push_back(std::make_unique<telemetry::TimeSeriesDb>());
+    for (int g = 0; g < config_.gpus_per_node; ++g) {
+      gpu_index_.emplace_back(static_cast<std::size_t>(n),
+                              static_cast<std::size_t>(g));
+      ++next_gpu;
+    }
+  }
+  samplers_.reserve(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    samplers_.emplace_back(*nodes_[n], *dbs_[n],
+                           rng_.fork(1000 + n), config_.telemetry_noise);
+    aggregator_.register_node(*nodes_[n], *dbs_[n]);
+  }
+  metrics_ = std::make_unique<MetricsCollector>(gpu_index_.size());
+  gpu_last_busy_.assign(gpu_index_.size(), 0);
+}
+
+void Cluster::load(std::vector<workload::PodSpec> specs) {
+  KNOTS_CHECK_MSG(pods_.empty(), "load() must be called once");
+  std::sort(specs.begin(), specs.end(),
+            [](const auto& a, const auto& b) { return a.id < b.id; });
+  pods_.reserve(specs.size());
+  for (auto& spec : specs) {
+    KNOTS_CHECK_MSG(spec.id.value == static_cast<std::int32_t>(pods_.size()),
+                    "pod ids must be dense and zero-based");
+    last_arrival_ = std::max(last_arrival_, spec.arrival);
+    const SimTime arrival = spec.arrival;
+    const PodId id = spec.id;
+    pods_.push_back(std::make_unique<Pod>(std::move(spec)));
+    sim_.schedule_at(arrival, [this, id] { on_arrival(id); });
+  }
+}
+
+void Cluster::run() {
+  const SimTime deadline = last_arrival_ + config_.drain_grace;
+  sim::schedule_periodic(sim_, config_.tick, config_.tick,
+                         [this, deadline](SimTime now) {
+                           tick();
+                           return !(all_terminal() || now >= deadline);
+                         });
+  sim_.run_all();
+}
+
+const Pod& Cluster::pod(PodId id) const {
+  KNOTS_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value) < pods_.size());
+  return *pods_[static_cast<std::size_t>(id.value)];
+}
+
+gpu::GpuDevice& Cluster::device(GpuId id) {
+  const auto [n, g] = gpu_index_.at(static_cast<std::size_t>(id.value));
+  return nodes_[n]->gpu(g);
+}
+
+const gpu::GpuDevice& Cluster::device(GpuId id) const {
+  const auto [n, g] = gpu_index_.at(static_cast<std::size_t>(id.value));
+  return nodes_[n]->gpu(g);
+}
+
+std::vector<GpuId> Cluster::all_gpus() const {
+  std::vector<GpuId> out;
+  out.reserve(gpu_index_.size());
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    out.push_back(GpuId{static_cast<std::int32_t>(i)});
+  }
+  return out;
+}
+
+std::size_t Cluster::gpu_dense_index(GpuId id) const {
+  KNOTS_CHECK(id.valid() &&
+              static_cast<std::size_t>(id.value) < gpu_index_.size());
+  return static_cast<std::size_t>(id.value);
+}
+
+bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
+  auto& p = *pods_.at(static_cast<std::size_t>(id.value));
+  if (p.state() != PodState::kPending) return false;
+  auto it = std::find(pending_.begin(), pending_.end(), id);
+  if (it == pending_.end()) return false;
+
+  auto& dev = device(gpu_id);
+  if (!dev.attach(id, provisioned_mb)) return false;
+  pending_.erase(it);
+
+  const auto [node_idx, gpu_in_node] =
+      gpu_index_[static_cast<std::size_t>(gpu_id.value)];
+  const auto cache_key = std::make_pair(node_idx, p.spec().app);
+  // Inference services are long-lived deployments whose images are
+  // pre-pulled (§V-B: only the first-ever query pays the docker pull);
+  // batch images cold-start once per node.
+  const bool cached =
+      p.latency_critical() || image_cache_.contains(cache_key);
+  image_cache_.insert(cache_key);
+  const SimTime start_latency = cached ? config_.warm_start : config_.cold_start;
+  p.begin_start(gpu_id, provisioned_mb, now(), now() + start_latency);
+  active_.push_back(id);
+  gpu_last_busy_[static_cast<std::size_t>(gpu_id.value)] = now();
+  return true;
+}
+
+bool Cluster::resize_pod(PodId id, double provisioned_mb) {
+  auto& p = *pods_.at(static_cast<std::size_t>(id.value));
+  if (p.state() != PodState::kRunning && p.state() != PodState::kStarting) {
+    return false;
+  }
+  if (!device(p.gpu()).resize(id, provisioned_mb)) return false;
+  p.set_provisioned_mb(provisioned_mb);
+  return true;
+}
+
+bool Cluster::park(GpuId id) {
+  auto& dev = device(id);
+  if (dev.totals().residents > 0) return false;
+  dev.set_parked(true);
+  return true;
+}
+
+void Cluster::on_arrival(PodId id) { pending_.push_back(id); }
+
+gpu::Usage Cluster::jittered(const gpu::Usage& usage, Rng& rng) const {
+  if (config_.usage_jitter <= 0) return usage;
+  gpu::Usage out = usage;
+  const double j = 1.0 + rng.normal(0.0, config_.usage_jitter);
+  const double f = std::clamp(j, 0.5, 1.5);
+  out.sm = std::clamp(out.sm * f, 0.0, 1.2);
+  out.memory_mb *= f;
+  out.tx_mbps *= f;
+  out.rx_mbps *= f;
+  return out;
+}
+
+void Cluster::advance_running_pods() {
+  // Slowdowns are computed from the device state at tick entry, then pod
+  // progress and usage are applied; violations crash the grown pod.
+  std::vector<double> slowdown(gpu_index_.size(), 1.0);
+  std::vector<double> batch_sm(gpu_index_.size(), 0.0);
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    slowdown[i] = device(GpuId{static_cast<std::int32_t>(i)}).slowdown();
+  }
+  for (PodId id : active_) {
+    const auto& p = *pods_[static_cast<std::size_t>(id.value)];
+    if (p.state() == PodState::kRunning && !p.latency_critical()) {
+      batch_sm[static_cast<std::size_t>(p.gpu().value)] +=
+          p.current_usage().sm;
+    }
+  }
+  std::vector<PodId> still_active;
+  still_active.reserve(active_.size());
+  for (PodId id : active_) {
+    auto& p = *pods_[static_cast<std::size_t>(id.value)];
+    if (p.state() != PodState::kRunning) {
+      if (p.state() == PodState::kStarting) still_active.push_back(id);
+      continue;
+    }
+    const auto gi = static_cast<std::size_t>(p.gpu().value);
+    double factor = slowdown[gi];
+    if (p.latency_critical()) {
+      // Non-preemptive blocking behind co-resident batch kernels.
+      factor *= 1.0 + config_.lc_blocking_tax * batch_sm[gi];
+    }
+    const auto dt = static_cast<SimTime>(
+        static_cast<double>(config_.tick) / factor);
+    p.advance(std::max<SimTime>(1, dt));
+    if (p.finished_profile()) {
+      complete_pod(p);
+      continue;
+    }
+    Rng jrng = rng_.fork(0x9000 + pod_rng_counter_++);
+    gpu::Usage usage = jittered(p.current_usage(), jrng);
+    if (p.spec().tf_greedy) {
+      // TF never allocates past its own earmark, jitter or not.
+      usage.memory_mb = std::min(usage.memory_mb, 0.995 * p.provisioned_mb());
+    }
+    if (!device(p.gpu()).set_usage(id, usage)) {
+      crash_pod(p);
+      continue;
+    }
+    gpu_last_busy_[gi] = now();
+    still_active.push_back(id);
+  }
+  active_ = std::move(still_active);
+}
+
+void Cluster::start_ready_pods() {
+  for (PodId id : active_) {
+    auto& p = *pods_[static_cast<std::size_t>(id.value)];
+    if (p.state() == PodState::kStarting && p.ready_at() <= now()) {
+      p.begin_running(now());
+      if (!device(p.gpu()).set_usage(id, p.current_usage())) {
+        crash_pod(p);
+      }
+    }
+  }
+  std::erase_if(active_, [this](PodId id) {
+    return pods_[static_cast<std::size_t>(id.value)]->state() ==
+           PodState::kCrashed;
+  });
+}
+
+void Cluster::complete_pod(Pod& p) {
+  device(p.gpu()).detach(p.id());
+  p.complete(now());
+  ++completed_;
+
+  const auto& spec = p.spec();
+  profile_store_.record_run(
+      image_key(spec), spec.profile.memory_percentile_mb(80.0),
+      spec.profile.peak_memory_mb(), spec.profile.mean_sm(),
+      spec.profile.peak_sm(), spec.profile.memory_signature(),
+      spec.profile.sm_signature());
+
+  if (p.latency_critical()) {
+    QueryRecord q;
+    q.arrival = spec.arrival;
+    q.latency = p.completion() - spec.arrival;
+    q.violated = spec.qos_latency > 0 && q.latency > spec.qos_latency;
+    metrics_->record_query(q);
+  } else {
+    BatchRecord b;
+    b.arrival = spec.arrival;
+    b.jct = p.completion() - spec.arrival;
+    b.crashes = p.crash_count();
+    metrics_->record_batch(b);
+  }
+}
+
+void Cluster::crash_pod(Pod& p) {
+  device(p.gpu()).detach(p.id());
+  p.crash(now());
+  metrics_->record_crash();
+  const PodId id = p.id();
+  sim_.schedule_after(config_.relaunch_delay, [this, id] {
+    auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
+    pod_ref.requeue();
+    pending_.push_back(id);
+  });
+}
+
+void Cluster::sample_figure_metrics() {
+  // Utilization/power figures sample the trace-replay window only; the
+  // drain tail (no arrivals left) would otherwise dilute every scheduler's
+  // percentiles with idle samples. Energy keeps integrating over the full
+  // run (makespan differences are the point of Fig 11a).
+  if (now() > last_arrival_) return;
+  double cluster_watts = 0;
+  for (const auto& node : nodes_) cluster_watts += node->power_watts();
+  metrics_->add_power_sample(cluster_watts);
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    const auto& dev = device(GpuId{static_cast<std::int32_t>(i)});
+    // Percentiles are over utilization *while serving work*: parked and
+    // empty GPUs contribute no sample. This profiles how well a scheduler
+    // uses the GPUs it occupies — fragmentation shows up as low in-service
+    // utilization, consolidation as high.
+    const bool inactive = dev.parked() || dev.totals().residents == 0;
+    metrics_->sample_gpu_util(i, dev.totals().sm_util, inactive);
+  }
+}
+
+void Cluster::maybe_park_idle_gpus() {
+  if (!scheduler_->parks_idle_gpus()) return;
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    auto& dev = device(GpuId{static_cast<std::int32_t>(i)});
+    if (!dev.parked() && dev.totals().residents == 0 &&
+        now() - gpu_last_busy_[i] >= config_.idle_park_after) {
+      dev.set_parked(true);
+    }
+  }
+}
+
+bool Cluster::all_terminal() const {
+  return completed_ == pods_.size() && now() >= last_arrival_;
+}
+
+void Cluster::tick() {
+  advance_running_pods();
+  start_ready_pods();
+  for (auto& sampler : samplers_) sampler.sample(now());
+  scheduler_->on_tick(*this);
+  maybe_park_idle_gpus();
+
+  // Energy integrates every tick; figure metrics sample at 1 s cadence.
+  double cluster_watts = 0;
+  for (const auto& node : nodes_) cluster_watts += node->power_watts();
+  metrics_->add_energy(cluster_watts * to_seconds(config_.tick));
+  if (config_.metrics_period > 0 &&
+      (now() / config_.tick) % (config_.metrics_period / config_.tick) == 0) {
+    sample_figure_metrics();
+  }
+}
+
+}  // namespace knots::cluster

@@ -1,0 +1,136 @@
+// The simulated GPU cluster: worker nodes with telemetry, a head node with
+// the utilization aggregator and profile store, pod lifecycle management,
+// and the experiment metrics the figures read.
+//
+// Sharing semantics (§IV-B): GPU compute is time-shared — aggregate SM
+// demand above 100 % slows every resident proportionally (plus a context-
+// switch tax); memory is space-shared — aggregate *usage* above physical
+// capacity crashes the pod whose growth tripped the violation, which
+// relaunches from scratch at the back of the queue after a delay.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/metrics.hpp"
+#include "cluster/pod.hpp"
+#include "cluster/profile_store.hpp"
+#include "cluster/scheduler.hpp"
+#include "core/rng.hpp"
+#include "gpu/gpu_node.hpp"
+#include "sim/simulation.hpp"
+#include "telemetry/aggregator.hpp"
+#include "telemetry/sampler.hpp"
+#include "telemetry/timeseries_db.hpp"
+
+namespace knots::cluster {
+
+struct ClusterConfig {
+  int nodes = 10;               ///< Paper testbed: ten P100 worker nodes.
+  int gpus_per_node = 1;
+  gpu::NodeSpec node_spec{};    ///< gpus_per_node above overrides the spec's.
+  SimTime tick = 10 * kMsec;    ///< Progress/scheduling quantum.
+  SimTime metrics_period = 1 * kSec;  ///< Figure-metrics sampling cadence.
+  SimTime cold_start = 2 * kSec;      ///< First image pull on a node (§V-B).
+  SimTime warm_start = 25 * kMsec;    ///< Cached-image container launch.
+  SimTime relaunch_delay = 3 * kSec;  ///< Crash → rejoin pending queue.
+  SimTime idle_park_after = 15 * kSec;///< Idle time before deep sleep.
+  SimTime drain_grace = 30 * kMinute; ///< Max drain time past last arrival.
+  double usage_jitter = 0.02;         ///< Run-to-run usage noise (fraction).
+  /// Non-preemptive kernel blocking: a latency-critical pod's progress is
+  /// further slowed by 1 + tax × (aggregate SM demand of co-resident batch
+  /// pods). Short inference kernels queue behind long batch kernels; batch
+  /// pods barely notice the reverse (§I: GPUs cannot preempt).
+  double lc_blocking_tax = 2.5;
+  double telemetry_noise = 0.005;     ///< NVML measurement noise (sigma).
+  std::uint64_t seed = 42;
+};
+
+class Cluster {
+ public:
+  Cluster(const ClusterConfig& config, Scheduler& scheduler);
+
+  /// Registers the workload; call once before run().
+  void load(std::vector<workload::PodSpec> specs);
+
+  /// Runs to completion (all pods terminal) or the drain-grace deadline.
+  void run();
+
+  // ---- Read API (schedulers, tests, benches) ----
+  [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const std::deque<PodId>& pending() const noexcept {
+    return pending_;
+  }
+  [[nodiscard]] const Pod& pod(PodId id) const;
+  [[nodiscard]] std::size_t pod_count() const noexcept { return pods_.size(); }
+  [[nodiscard]] std::size_t completed_count() const noexcept {
+    return completed_;
+  }
+  [[nodiscard]] const telemetry::UtilizationAggregator& aggregator() const {
+    return aggregator_;
+  }
+  [[nodiscard]] const ProfileStore& profiles() const { return profile_store_; }
+  [[nodiscard]] const MetricsCollector& metrics() const { return *metrics_; }
+
+  [[nodiscard]] std::size_t gpu_count() const noexcept { return gpu_index_.size(); }
+  [[nodiscard]] gpu::GpuDevice& device(GpuId id);
+  [[nodiscard]] const gpu::GpuDevice& device(GpuId id) const;
+  [[nodiscard]] std::vector<GpuId> all_gpus() const;
+  /// Dense index of a GPU (0..gpu_count), for metrics addressing.
+  [[nodiscard]] std::size_t gpu_dense_index(GpuId id) const;
+
+  // ---- Mutation API (schedulers) ----
+  /// Places a pending pod on a GPU with the given container allocation.
+  /// Removes it from the pending queue; start latency depends on whether the
+  /// image is cached on the target node. Returns false if the pod is not
+  /// pending.
+  bool place(PodId id, GpuId gpu, double provisioned_mb);
+
+  /// Docker resize of a running pod's container allocation. Fails when the
+  /// new size is below current usage.
+  bool resize_pod(PodId id, double provisioned_mb);
+
+  /// Parks an empty GPU into deep sleep; fails when occupied.
+  bool park(GpuId id);
+
+ private:
+  void on_arrival(PodId id);
+  void tick();
+  void advance_running_pods();
+  void start_ready_pods();
+  void complete_pod(Pod& pod);
+  void crash_pod(Pod& pod);
+  void sample_figure_metrics();
+  void maybe_park_idle_gpus();
+  [[nodiscard]] bool all_terminal() const;
+  [[nodiscard]] gpu::Usage jittered(const gpu::Usage& usage, Rng& rng) const;
+
+  ClusterConfig config_;
+  Scheduler* scheduler_;
+  sim::Simulation sim_;
+  Rng rng_;
+
+  std::vector<std::unique_ptr<gpu::GpuNode>> nodes_;
+  std::vector<std::unique_ptr<telemetry::TimeSeriesDb>> dbs_;
+  std::vector<telemetry::HeartbeatSampler> samplers_;
+  telemetry::UtilizationAggregator aggregator_;
+  // GpuId -> (node index, gpu index within node); ids are dense from 0.
+  std::vector<std::pair<std::size_t, std::size_t>> gpu_index_;
+
+  std::vector<std::unique_ptr<Pod>> pods_;
+  std::deque<PodId> pending_;
+  std::vector<PodId> active_;  ///< Starting or running, in placement order.
+  ProfileStore profile_store_;
+  std::unique_ptr<MetricsCollector> metrics_;
+  std::set<std::pair<std::size_t, std::string>> image_cache_;
+  std::vector<SimTime> gpu_last_busy_;
+  SimTime last_arrival_ = 0;
+  std::size_t completed_ = 0;
+  std::uint64_t pod_rng_counter_ = 0;
+};
+
+}  // namespace knots::cluster

@@ -1,0 +1,85 @@
+#include "cluster/pod.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace knots::cluster {
+
+std::string_view to_string(PodState s) noexcept {
+  switch (s) {
+    case PodState::kPending: return "pending";
+    case PodState::kStarting: return "starting";
+    case PodState::kRunning: return "running";
+    case PodState::kCompleted: return "completed";
+    case PodState::kCrashed: return "crashed";
+  }
+  return "unknown";
+}
+
+std::string image_key(const workload::PodSpec& spec) {
+  if (spec.klass == workload::PodClass::kLatencyCritical) {
+    return spec.app + "#" + std::to_string(spec.batch_size);
+  }
+  return spec.app;
+}
+
+double Pod::progress() const noexcept {
+  const auto total = static_cast<double>(spec_.profile.total_duration());
+  if (total <= 0) return 1.0;
+  return std::min(1.0, static_cast<double>(app_time_) / total);
+}
+
+gpu::Usage Pod::current_usage() const {
+  gpu::Usage usage = spec_.profile.usage_at(app_time_);
+  if (spec_.tf_greedy) {
+    // TF's default allocator earmarks ~99 % of the container's allocation
+    // up front; only a Knots-resized (small) allocation constrains it.
+    usage.memory_mb = std::max(usage.memory_mb, 0.99 * provisioned_mb_);
+  }
+  return usage;
+}
+
+void Pod::begin_start(GpuId gpu_id, double provisioned_mb, SimTime now,
+                      SimTime ready) {
+  KNOTS_CHECK_MSG(state_ == PodState::kPending, "place requires pending pod");
+  state_ = PodState::kStarting;
+  gpu_ = gpu_id;
+  provisioned_mb_ = provisioned_mb;
+  ready_at_ = ready;
+  if (first_start_ < 0) first_start_ = now;
+}
+
+void Pod::begin_running(SimTime now) {
+  KNOTS_CHECK(state_ == PodState::kStarting);
+  state_ = PodState::kRunning;
+  running_since_ = now;
+}
+
+void Pod::advance(SimTime dt) {
+  KNOTS_CHECK(state_ == PodState::kRunning);
+  app_time_ += dt;
+}
+
+void Pod::complete(SimTime now) {
+  KNOTS_CHECK(state_ == PodState::kRunning);
+  state_ = PodState::kCompleted;
+  completion_ = now;
+}
+
+void Pod::crash(SimTime now) {
+  KNOTS_CHECK(state_ == PodState::kRunning || state_ == PodState::kStarting);
+  state_ = PodState::kCrashed;
+  ++crash_count_;
+  gpu_ = GpuId{};
+  provisioned_mb_ = 0;
+  app_time_ = 0;  // Containers restart from scratch.
+  completion_ = now;  // Transient; overwritten on eventual completion.
+}
+
+void Pod::requeue() {
+  KNOTS_CHECK(state_ == PodState::kCrashed);
+  state_ = PodState::kPending;
+}
+
+}  // namespace knots::cluster

@@ -1,0 +1,82 @@
+// Pod runtime state machine.
+//
+//   Pending → Starting (image pull / container launch) → Running
+//     → Completed                  (profile fully executed)
+//     → Crashed → Pending          (capacity violation; relaunch after delay,
+//                                   back of the queue, progress lost)
+#pragma once
+
+#include <string_view>
+
+#include "core/types.hpp"
+#include "workload/load_generator.hpp"
+
+namespace knots::cluster {
+
+enum class PodState { kPending, kStarting, kRunning, kCompleted, kCrashed };
+
+std::string_view to_string(PodState s) noexcept;
+
+/// Profile-store key for a pod: batch pods profile per image; inference
+/// pods profile per (service, batch size) since the footprint scales with
+/// the batch.
+std::string image_key(const workload::PodSpec& spec);
+
+class Pod {
+ public:
+  explicit Pod(workload::PodSpec spec) : spec_(std::move(spec)) {}
+
+  [[nodiscard]] const workload::PodSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] PodId id() const noexcept { return spec_.id; }
+  [[nodiscard]] PodState state() const noexcept { return state_; }
+  [[nodiscard]] bool terminal() const noexcept {
+    return state_ == PodState::kCompleted;
+  }
+  [[nodiscard]] bool latency_critical() const noexcept {
+    return spec_.klass == workload::PodClass::kLatencyCritical;
+  }
+
+  [[nodiscard]] GpuId gpu() const noexcept { return gpu_; }
+  [[nodiscard]] SimTime app_time() const noexcept { return app_time_; }
+  [[nodiscard]] double provisioned_mb() const noexcept { return provisioned_mb_; }
+  [[nodiscard]] int crash_count() const noexcept { return crash_count_; }
+  [[nodiscard]] SimTime first_start() const noexcept { return first_start_; }
+  [[nodiscard]] SimTime completion() const noexcept { return completion_; }
+  [[nodiscard]] SimTime running_since() const noexcept { return running_since_; }
+
+  /// Fraction of the profile executed, in [0,1].
+  [[nodiscard]] double progress() const noexcept;
+  [[nodiscard]] bool finished_profile() const noexcept {
+    return app_time_ >= spec_.profile.total_duration();
+  }
+
+  /// Current ground-truth demand (profile evaluated at app-time).
+  [[nodiscard]] gpu::Usage current_usage() const;
+
+  // -- State transitions (driven by the Cluster) --
+  void begin_start(GpuId gpu, double provisioned_mb, SimTime now,
+                   SimTime ready_at);
+  [[nodiscard]] SimTime ready_at() const noexcept { return ready_at_; }
+  void begin_running(SimTime now);
+  /// Advances virtual application time by `dt` of delivered GPU time.
+  void advance(SimTime dt);
+  void complete(SimTime now);
+  void crash(SimTime now);
+  /// Re-enters the pending queue after a crash.
+  void requeue() ;
+  void set_provisioned_mb(double mb) noexcept { provisioned_mb_ = mb; }
+
+ private:
+  workload::PodSpec spec_;
+  PodState state_ = PodState::kPending;
+  GpuId gpu_{};
+  double provisioned_mb_ = 0;
+  SimTime app_time_ = 0;
+  SimTime ready_at_ = 0;
+  SimTime first_start_ = -1;
+  SimTime running_since_ = -1;
+  SimTime completion_ = -1;
+  int crash_count_ = 0;
+};
+
+}  // namespace knots::cluster

@@ -1,0 +1,53 @@
+// Head-node container resource-usage profile store (Fig 5).
+//
+// Kube-Knots needs no *a priori* profiling: the first pod of an image runs
+// conservatively provisioned, and its observed usage builds a per-image
+// profile that later placements consult for 80th-percentile sizing and for
+// CBP's inter-application correlation checks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace knots::cluster {
+
+struct ImageProfile {
+  std::string image;
+  int observed_runs = 0;
+  double p80_memory_mb = 0;   ///< 80th-percentile footprint (CBP's resize target).
+  double peak_memory_mb = 0;  ///< Largest footprint ever observed.
+  double mean_sm = 0;         ///< Average SM demand.
+  double peak_sm = 0;
+  /// Phase-aligned memory signature over one application cycle (fixed
+  /// length); used for pairwise Spearman correlation between images.
+  std::vector<double> memory_signature;
+  std::vector<double> sm_signature;
+};
+
+class ProfileStore {
+ public:
+  /// Folds one completed (or crashed-late) run's observations into the
+  /// image's profile with an exponential moving average.
+  void record_run(const std::string& image, double p80_memory_mb,
+                  double peak_memory_mb, double mean_sm, double peak_sm,
+                  const std::vector<double>& memory_signature,
+                  const std::vector<double>& sm_signature);
+
+  [[nodiscard]] const ImageProfile* find(const std::string& image) const;
+  [[nodiscard]] bool known(const std::string& image) const {
+    return profiles_.contains(image);
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
+
+  /// Spearman correlation between two images' memory signatures; nullopt
+  /// when either image is unknown (CBP then provisions conservatively).
+  [[nodiscard]] std::optional<double> memory_correlation(
+      const std::string& a, const std::string& b) const;
+
+ private:
+  std::unordered_map<std::string, ImageProfile> profiles_;
+};
+
+}  // namespace knots::cluster

@@ -1,0 +1,28 @@
+// Scheduler plug-in interface.
+//
+// The Cluster invokes the policy once per scheduling tick; the policy reads
+// cluster state (pending queue, telemetry aggregator, profile store) and
+// acts through Cluster::place / resize_pod / park.
+#pragma once
+
+#include <string>
+
+namespace knots::cluster {
+
+class Cluster;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// One scheduling round. Called after pod progress/telemetry updates.
+  virtual void on_tick(Cluster& cluster) = 0;
+
+  /// Policies that consolidate may let the cluster park long-idle GPUs into
+  /// deep sleep (p-state 12).
+  [[nodiscard]] virtual bool parks_idle_gpus() const { return false; }
+};
+
+}  // namespace knots::cluster

@@ -1,0 +1,29 @@
+// Lightweight runtime contract checks.
+//
+// KNOTS_CHECK is always on (simulation correctness beats raw speed here; the
+// hot loops are measured with it enabled and remain orders of magnitude
+// faster than the real systems being modelled).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace knots::detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "KNOTS_CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+}  // namespace knots::detail
+
+#define KNOTS_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) ::knots::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define KNOTS_CHECK_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::knots::detail::check_failed(#expr, __FILE__, __LINE__, (msg));      \
+  } while (0)

@@ -1,0 +1,44 @@
+#include "core/csv.hpp"
+
+#include "core/check.hpp"
+#include "core/table.hpp"
+
+namespace knots {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  KNOTS_CHECK(!header.empty());
+  if (ok()) row(header);
+  rows_ = 0;  // header does not count
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  KNOTS_CHECK_MSG(cells.size() == columns_, "csv row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::string& label,
+                    const std::vector<double>& values, int precision) {
+  std::vector<std::string> cells = {label};
+  for (double v : values) cells.push_back(fmt(v, precision));
+  row(cells);
+}
+
+}  // namespace knots

@@ -1,0 +1,34 @@
+// Minimal CSV writer for exporting figure data to plotting tools.
+//
+// Benches print ASCII tables for humans; `--csv <dir>`-style exports (used
+// by knots_ctl) write the same series machine-readably.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace knots {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`; writes the header row immediately.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void row(const std::vector<std::string>& cells);
+  void row(const std::string& label, const std::vector<double>& values,
+           int precision = 6);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace knots

@@ -1,0 +1,83 @@
+#include "core/percentile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace knots {
+
+double percentile_sorted(std::span<const double> sorted, double p) {
+  KNOTS_CHECK(!sorted.empty());
+  KNOTS_CHECK(p >= 0.0 && p <= 100.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double percentile(std::span<const double> values, double p) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  return percentile_sorted(copy, p);
+}
+
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps) {
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(copy, p));
+  return out;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points) {
+  KNOTS_CHECK(!values.empty());
+  std::vector<double> copy(values.begin(), values.end());
+  std::sort(copy.begin(), copy.end());
+  const std::size_t n = copy.size();
+  const std::size_t points = std::min(max_points, n);
+  std::vector<CdfPoint> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Index of the sample representing this CDF point (last one is the max).
+    const std::size_t idx =
+        points == 1 ? n - 1 : (i * (n - 1)) / (points - 1);
+    out.push_back({copy[idx],
+                   static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+void OnlineStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double OnlineStats::cov() const noexcept {
+  const double m = mean();
+  if (m == 0.0) return 0.0;
+  return stddev() / m;
+}
+
+}  // namespace knots

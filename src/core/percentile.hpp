@@ -1,0 +1,56 @@
+// Percentile, CDF and online-moment helpers used across the experiments.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace knots {
+
+/// Linear-interpolation percentile (type-7, like numpy.percentile default).
+/// `p` in [0, 100]. Copies and sorts; O(n log n).
+double percentile(std::span<const double> values, double p);
+
+/// Percentile over data the caller has already sorted ascending. O(1).
+double percentile_sorted(std::span<const double> sorted, double p);
+
+/// Set of percentiles computed with a single sort.
+std::vector<double> percentiles(std::span<const double> values,
+                                std::span<const double> ps);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double value;
+  double fraction;  ///< P(X <= value), in (0, 1].
+};
+
+/// Empirical CDF downsampled to at most `max_points` evenly spaced points.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values,
+                                    std::size_t max_points = 100);
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than 2 samples.
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  /// Coefficient of variation sigma/mu; 0 when the mean is 0.
+  [[nodiscard]] double cov() const noexcept;
+  [[nodiscard]] double min() const noexcept { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const noexcept { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+}  // namespace knots

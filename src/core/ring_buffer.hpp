@@ -1,0 +1,69 @@
+// Fixed-capacity overwriting ring buffer.
+//
+// Backs the telemetry time-series store: appends are O(1), the newest
+// `capacity` samples are retained, and windows are addressed oldest-first.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace knots {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+    KNOTS_CHECK(capacity > 0);
+  }
+
+  /// Appends a value, overwriting the oldest when full.
+  void push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % data_.size();
+    if (size_ < data_.size()) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == data_.size(); }
+
+  /// Element `i` counted from the oldest retained sample (0 = oldest).
+  [[nodiscard]] const T& at(std::size_t i) const {
+    KNOTS_CHECK(i < size_);
+    const std::size_t start = (head_ + data_.size() - size_) % data_.size();
+    return data_[(start + i) % data_.size()];
+  }
+
+  /// Most recently pushed element.
+  [[nodiscard]] const T& back() const {
+    KNOTS_CHECK(size_ > 0);
+    return data_[(head_ + data_.size() - 1) % data_.size()];
+  }
+
+  /// Oldest retained element.
+  [[nodiscard]] const T& front() const { return at(0); }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+  }
+
+  /// Copies the newest `n` elements (or all if fewer), oldest-first.
+  [[nodiscard]] std::vector<T> last(std::size_t n) const {
+    const std::size_t count = n < size_ ? n : size_;
+    std::vector<T> out;
+    out.reserve(count);
+    for (std::size_t i = size_ - count; i < size_; ++i) out.push_back(at(i));
+    return out;
+  }
+
+ private:
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace knots

@@ -1,0 +1,94 @@
+#include "core/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "core/check.hpp"
+
+namespace knots {
+
+TablePrinter& TablePrinter::columns(std::vector<std::string> names) {
+  header_ = std::move(names);
+  return *this;
+}
+
+TablePrinter& TablePrinter::row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+TablePrinter& TablePrinter::row(const std::string& label,
+                                const std::vector<double>& vals,
+                                int precision) {
+  std::vector<std::string> cells;
+  cells.reserve(vals.size() + 1);
+  cells.push_back(label);
+  for (double v : vals) cells.push_back(fmt(v, precision));
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+void TablePrinter::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  os << "\n== " << title_ << " ==\n";
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+         << cells[i];
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) {
+    print_row(header_);
+    std::size_t total = 0;
+    for (auto w : widths) total += w + 2;
+    os << std::string(total, '-') << '\n';
+  }
+  for (const auto& r : rows_) print_row(r);
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(precision) << v;
+  return ss.str();
+}
+
+std::string ascii_bar(double value, double max_value, std::size_t width) {
+  if (max_value <= 0) return std::string{};
+  double frac = value / max_value;
+  frac = std::clamp(frac, 0.0, 1.0);
+  const auto filled = static_cast<std::size_t>(frac * static_cast<double>(width));
+  std::string bar(filled, '#');
+  bar.append(width - filled, ' ');
+  return bar;
+}
+
+void print_series(
+    std::ostream& os, const std::string& title, const std::vector<double>& xs,
+    const std::vector<std::pair<std::string, std::vector<double>>>& named_ys,
+    int precision) {
+  os << "\n== " << title << " ==\n";
+  os << "x";
+  for (const auto& [name, ys] : named_ys) {
+    KNOTS_CHECK_MSG(ys.size() == xs.size(), "series length mismatch");
+    os << '\t' << name;
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    os << fmt(xs[i], precision);
+    for (const auto& [name, ys] : named_ys) os << '\t' << fmt(ys[i], precision);
+    os << '\n';
+  }
+}
+
+}  // namespace knots

@@ -1,0 +1,48 @@
+// ASCII table and series printers for the bench harness.
+//
+// Every figure/table bench prints its data as (a) a titled ASCII table with
+// the same rows/series the paper's figure plots, and (b) optionally a sparse
+// inline bar chart so shapes are eyeballable in a terminal.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace knots {
+
+/// Column-aligned ASCII table. Values are formatted by the caller.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+  TablePrinter& columns(std::vector<std::string> names);
+  TablePrinter& row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with the given precision.
+  TablePrinter& row(const std::string& label, const std::vector<double>& vals,
+                    int precision = 2);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision.
+std::string fmt(double v, int precision = 2);
+
+/// Renders value as a proportional unicode-free ASCII bar of width `width`
+/// relative to `max_value` (used for terminal "figures").
+std::string ascii_bar(double value, double max_value, std::size_t width = 40);
+
+/// Prints a named series as "x<TAB>y" rows under a title (figure data dump).
+void print_series(std::ostream& os, const std::string& title,
+                  const std::vector<double>& xs,
+                  const std::vector<std::pair<std::string, std::vector<double>>>&
+                      named_ys,
+                  int precision = 3);
+
+}  // namespace knots

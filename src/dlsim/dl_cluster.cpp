@@ -1,0 +1,160 @@
+#include "dlsim/dl_cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.hpp"
+#include "core/percentile.hpp"
+#include "dlsim/dl_policies.hpp"
+
+namespace knots::dlsim {
+
+std::string to_string(DlPolicy policy) {
+  switch (policy) {
+    case DlPolicy::kResAg: return "Res-Ag";
+    case DlPolicy::kGandiva: return "Gandiva";
+    case DlPolicy::kTiresias: return "Tiresias";
+    case DlPolicy::kCbpPp: return "CBP+PP";
+  }
+  return "unknown";
+}
+
+int DlState::free_gpus() const {
+  int n = 0;
+  for (const auto& slot : gpus) n += slot.free() ? 1 : 0;
+  return n;
+}
+
+bool DlState::place(int job_id, int count, int max_share) {
+  auto& job = jobs[static_cast<std::size_t>(job_id)];
+  KNOTS_CHECK(!job.running);
+  // Lowest-load GPUs first (consolidates exclusive placements, spreads
+  // shared ones evenly).
+  std::vector<std::size_t> order(gpus.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return gpus[a].load() < gpus[b].load();
+                   });
+  std::vector<std::size_t> chosen;
+  for (std::size_t g : order) {
+    if (gpus[g].load() < max_share) {
+      chosen.push_back(g);
+      if (static_cast<int>(chosen.size()) == count) break;
+    }
+  }
+  if (static_cast<int>(chosen.size()) < count) return false;
+  job.placed_gpus.clear();
+  for (std::size_t g : chosen) {
+    gpus[g].jobs.push_back(job_id);
+    job.placed_gpus.push_back(static_cast<int>(g));
+  }
+  return true;
+}
+
+void DlState::evict(int job_id) {
+  auto& job = jobs[static_cast<std::size_t>(job_id)];
+  for (int g : job.placed_gpus) {
+    auto& slot = gpus[static_cast<std::size_t>(g)];
+    std::erase(slot.jobs, job_id);
+  }
+  job.placed_gpus.clear();
+}
+
+DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
+                           const DlWorkloadConfig& workload,
+                           std::uint64_t seed) {
+  Rng rng(seed);
+  const DlWorkload wl = generate_dl_workload(workload, rng.fork(1));
+  auto impl = make_dl_policy(policy, cluster, rng.fork(2));
+
+  DlState state;
+  state.gpus.assign(
+      static_cast<std::size_t>(cluster.nodes * cluster.gpus_per_node),
+      GpuSlot{});
+  state.jobs = wl.jobs;
+
+  DlResult result;
+  result.policy = impl->name();
+  result.dlt_total = state.jobs.size();
+
+  std::size_t next_job = 0;
+  std::size_t next_query = 0;
+  std::size_t completed = 0;
+  // Run until every job finishes, with a generous horizon backstop.
+  const SimTime deadline = 3 * wl.horizon;
+  for (SimTime t = 0; completed < state.jobs.size() && t < deadline;
+       t += cluster.step) {
+    state.now = t;
+    // Arrivals.
+    while (next_job < state.jobs.size() &&
+           state.jobs[next_job].arrival <= t) {
+      state.pending.push_back(static_cast<int>(next_job));
+      ++next_job;
+    }
+    impl->schedule(state);
+
+    // Progress: time-sliced GPUs deliver 1/k to each resident; a gang runs
+    // at the slowest of its GPUs; paused GPUs deliver nothing.
+    for (auto& job : state.jobs) {
+      if (!job.running || job.done()) continue;
+      double speed = 1.0;
+      for (int g : job.placed_gpus) {
+        const auto& slot = state.gpus[static_cast<std::size_t>(g)];
+        double s = slot.paused_until > t
+                       ? 0.0
+                       : 1.0 / static_cast<double>(std::max(1, slot.load()));
+        if (slot.load() > 1) s *= cluster.slicing_overhead;
+        speed = std::min(speed, s);
+      }
+      const auto delta =
+          static_cast<SimTime>(static_cast<double>(cluster.step) * speed);
+      job.progress += delta;
+      job.attained += delta;
+      if (job.progress >= job.service) {
+        job.completion = t + cluster.step;
+        state.evict(job.id);
+        job.running = false;
+        ++completed;
+      }
+    }
+
+    // Inference queries that arrived during this step.
+    while (next_query < wl.queries.size() &&
+           wl.queries[next_query].arrival <= t) {
+      const auto& q = wl.queries[next_query];
+      const SimTime latency = impl->serve_query(state, q);
+      result.queries.push_back(
+          DliRecord{q.arrival, latency, latency > q.qos});
+      ++next_query;
+    }
+  }
+
+  for (const auto& job : state.jobs) {
+    if (!job.done()) continue;
+    result.jct_hours.push_back(
+        static_cast<double>(job.completion - job.arrival) /
+        static_cast<double>(kHour));
+  }
+  result.dlt_completed = result.jct_hours.size();
+  if (!result.jct_hours.empty()) {
+    double sum = 0;
+    for (double j : result.jct_hours) sum += j;
+    result.avg_jct_h = sum / static_cast<double>(result.jct_hours.size());
+    result.median_jct_h = percentile(result.jct_hours, 50);
+    result.p99_jct_h = percentile(result.jct_hours, 99);
+  }
+  for (const auto& q : result.queries) {
+    result.dli_violations += q.violated ? 1 : 0;
+  }
+  const double hours = static_cast<double>(wl.horizon) /
+                       static_cast<double>(kHour);
+  result.violations_per_hour =
+      static_cast<double>(result.dli_violations) / hours;
+  result.crash_restarts = impl->crash_restarts();
+  result.migrations = impl->migrations();
+  result.preemptions = impl->preemptions();
+  return result;
+}
+
+}  // namespace knots::dlsim

@@ -1,0 +1,92 @@
+// Discrete-time DL cluster simulator (§V-C): 32 nodes × 8 GPUs, driven in
+// one-second steps, comparing Kube-Knots (CBP+PP) against Res-Ag and the
+// application-aware DLT schedulers Gandiva and Tiresias.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "dlsim/dl_workload.hpp"
+
+namespace knots::dlsim {
+
+/// One GPU's slot state: resident DLT jobs (time-sliced if >1) and an
+/// optional pause deadline (migration / preemption / restart in flight).
+struct GpuSlot {
+  std::vector<int> jobs;
+  SimTime paused_until = 0;
+
+  [[nodiscard]] bool free() const noexcept { return jobs.empty(); }
+  [[nodiscard]] int load() const noexcept {
+    return static_cast<int>(jobs.size());
+  }
+};
+
+struct DlClusterConfig {
+  int nodes = 32;
+  int gpus_per_node = 8;
+  SimTime step = 1 * kSec;
+  SimTime checkpoint_interval = 60 * kMinute;  ///< DLT checkpoint cadence.
+  SimTime restart_pause = 180 * kSec;  ///< Container relaunch after a crash.
+  SimTime migration_pause = 15 * kSec; ///< Gandiva job migration cost.
+  SimTime preemption_pause = 30 * kSec;///< Tiresias suspend/resume cost.
+  SimTime quantum = 10 * kMinute;      ///< Tiresias LAS rescheduling period.
+  double slicing_overhead = 0.92;      ///< Gandiva time-slice efficiency.
+  /// Gandiva only oversubscribes GPUs whose incumbent is still young —
+  /// long-running trainers keep exclusive access.
+  SimTime slice_young_threshold = 2 * kHour;
+  /// Tiresias' discretized two-queue LAS: attained service saturates at
+  /// this cap, so long jobs compete FIFO instead of starving.
+  SimTime las_attained_cap = 20 * kMinute;
+  double dli_blocking = 2.2;   ///< Latency factor per busy training context.
+  double crash_prob = 0.60;    ///< P(TF-greedy DLI crashes the co-located DLT).
+  double pp_accuracy = 0.84;   ///< PP peak-prediction accuracy (Fig 10b).
+  /// Tiresias preempts trainers to serve inference most of the time; the
+  /// rest queue behind the running quantum.
+  double tiresias_dli_priority = 0.80;
+};
+
+/// Mutable simulation state shared with the policy.
+struct DlState {
+  std::vector<GpuSlot> gpus;
+  std::vector<DltJob> jobs;
+  std::vector<int> pending;  ///< Job indices waiting for GPUs, FIFO order.
+  SimTime now = 0;
+
+  [[nodiscard]] int free_gpus() const;
+  /// Places a job on `count` GPUs (lowest-load first). Returns false when
+  /// not enough GPUs satisfy `max_share` (residents per GPU after placing).
+  bool place(int job, int count, int max_share = 1);
+  /// Removes the job from its GPUs.
+  void evict(int job);
+};
+
+struct DliRecord {
+  SimTime arrival;
+  SimTime latency;
+  bool violated;
+};
+
+struct DlResult {
+  std::string policy;
+  std::vector<double> jct_hours;  ///< Completed DLT JCTs.
+  double avg_jct_h = 0, median_jct_h = 0, p99_jct_h = 0;
+  std::size_t dlt_total = 0, dlt_completed = 0;
+  std::vector<DliRecord> queries;
+  std::size_t dli_violations = 0;
+  double violations_per_hour = 0;
+  std::size_t crash_restarts = 0, migrations = 0, preemptions = 0;
+};
+
+enum class DlPolicy { kResAg, kGandiva, kTiresias, kCbpPp };
+
+std::string to_string(DlPolicy policy);
+
+DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
+                           const DlWorkloadConfig& workload,
+                           std::uint64_t seed = 42);
+
+}  // namespace knots::dlsim

@@ -1,0 +1,328 @@
+#include "dlsim/dl_policies.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace knots::dlsim {
+
+std::size_t DlPolicyImpl::random_gpu(const DlState& state) {
+  return static_cast<std::size_t>(rng_.uniform_int(
+      0, static_cast<std::int64_t>(state.gpus.size()) - 1));
+}
+
+void DlPolicyImpl::crash_trainer(DlState& state, std::size_t gpu) {
+  auto& slot = state.gpus[gpu];
+  if (slot.jobs.empty()) return;
+  const int victim = slot.jobs.front();
+  auto& job = state.jobs[static_cast<std::size_t>(victim)];
+  // Progress rolls back to the last checkpoint; the container relaunches
+  // and the job rejoins the FCFS queue at the back (§IV-C: relaunched tasks
+  // cannot be prioritized over tasks already ahead in the queue).
+  job.progress =
+      (job.progress / cfg_.checkpoint_interval) * cfg_.checkpoint_interval;
+  state.evict(victim);
+  job.running = false;
+  ++job.restarts;
+  ++crashes_;
+  state.pending.push_back(victim);
+  slot.paused_until = std::max(slot.paused_until,
+                               state.now + cfg_.restart_pause);
+}
+
+// ---------------------------------------------------------------- Res-Ag --
+
+void ResAgDlPolicy::schedule(DlState& state) {
+  // Strict FCFS gang placement on exclusive GPUs; the head blocks the rest.
+  while (!state.pending.empty()) {
+    const int head = state.pending.front();
+    auto& job = state.jobs[static_cast<std::size_t>(head)];
+    if (!state.place(head, job.gpus, /*max_share=*/1)) break;
+    job.running = true;
+    state.pending.erase(state.pending.begin());
+  }
+}
+
+SimTime ResAgDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+  // Blind placement: any GPU, busy or not.
+  const std::size_t gpu = random_gpu(state);
+  const auto& slot = state.gpus[gpu];
+  if (slot.free()) return query.base_latency;
+  // Blocked behind non-preemptive training kernels…
+  SimTime latency = static_cast<SimTime>(
+      static_cast<double>(query.base_latency) *
+      (1.0 + cfg_.dli_blocking * static_cast<double>(slot.load())));
+  // …and TF's greedy allocator may blow the device's memory, crashing the
+  // co-located trainer and forcing the query itself to relaunch elsewhere.
+  if (rng_.chance(cfg_.crash_prob)) {
+    crash_trainer(state, gpu);
+    latency += cfg_.restart_pause / 20 + query.base_latency;  // retry cost
+  }
+  return latency;
+}
+
+// --------------------------------------------------------------- Gandiva --
+
+void GandivaDlPolicy::schedule(DlState& state) {
+  // Pass 0: de-slice — once a shared trainer outgrows the young threshold,
+  // migrate its cohabitant to a free GPU when one exists.
+  for (std::size_t g = 0; g < state.gpus.size(); ++g) {
+    auto& slot = state.gpus[g];
+    if (slot.load() < 2) continue;
+    bool has_old = false;
+    for (int j : slot.jobs) {
+      if (state.jobs[static_cast<std::size_t>(j)].attained >
+          cfg_.slice_young_threshold) {
+        has_old = true;
+      }
+    }
+    if (!has_old) continue;
+    // Move the youngest single-GPU resident to a free GPU (gangs stay put).
+    int mover = -1;
+    for (int j : slot.jobs) {
+      const auto& res = state.jobs[static_cast<std::size_t>(j)];
+      if (res.placed_gpus.size() != 1) continue;
+      if (mover < 0 ||
+          res.attained < state.jobs[static_cast<std::size_t>(mover)].attained) {
+        mover = j;
+      }
+    }
+    if (mover < 0) continue;
+    auto& mjob = state.jobs[static_cast<std::size_t>(mover)];
+    bool moved = false;
+    for (std::size_t h = 0; h < state.gpus.size(); ++h) {
+      if (state.gpus[h].free() && state.gpus[h].paused_until <= state.now) {
+        std::erase(slot.jobs, mover);
+        state.gpus[h].jobs.push_back(mover);
+        mjob.placed_gpus = {static_cast<int>(h)};
+        state.gpus[h].paused_until = state.now + cfg_.migration_pause;
+        ++migrations_;
+        moved = true;
+        break;
+      }
+    }
+    if (!moved) {
+      // Trial-and-error fallback: suspend the young cohabitant back to the
+      // queue so the long trainer regains exclusive access.
+      state.evict(mover);
+      mjob.running = false;
+      state.pending.push_back(mover);
+      ++migrations_;
+    }
+  }
+
+  // Pass 1: exclusive placement while GPUs are free.
+  while (!state.pending.empty()) {
+    const int head = state.pending.front();
+    auto& job = state.jobs[static_cast<std::size_t>(head)];
+    if (!state.place(head, job.gpus, /*max_share=*/1)) break;
+    job.running = true;
+    state.pending.erase(state.pending.begin());
+  }
+  // Pass 2: introspective oversubscription — when jobs still queue, pack
+  // them two-way onto GPUs whose incumbent trainer is still young (long
+  // trainers keep exclusive GPUs). Each trial-and-error placement migrates
+  // the incumbent (pause).
+  auto incumbent_young = [&](const GpuSlot& slot) {
+    for (int j : slot.jobs) {
+      const auto& res = state.jobs[static_cast<std::size_t>(j)];
+      if (res.attained > cfg_.slice_young_threshold) return false;
+      // Never slice under a gang: one shared member halves the whole gang.
+      if (res.gpus > 1) return false;
+    }
+    return true;
+  };
+  while (!state.pending.empty()) {
+    const int head = state.pending.front();
+    auto& job = state.jobs[static_cast<std::size_t>(head)];
+    // Temporarily mask GPUs with old incumbents by treating them as full.
+    std::vector<std::size_t> masked;
+    for (std::size_t g = 0; g < state.gpus.size(); ++g) {
+      if (!state.gpus[g].free() && !incumbent_young(state.gpus[g])) {
+        masked.push_back(g);
+        state.gpus[g].jobs.push_back(-1);  // sentinel blocks sharing
+      }
+    }
+    const bool ok = state.place(head, job.gpus, /*max_share=*/2);
+    for (std::size_t g : masked) state.gpus[g].jobs.pop_back();
+    if (!ok) break;
+    job.running = true;
+    state.pending.erase(state.pending.begin());
+    ++migrations_;
+    for (int g : job.placed_gpus) {
+      auto& slot = state.gpus[static_cast<std::size_t>(g)];
+      if (slot.load() > 1) {
+        slot.paused_until =
+            std::max(slot.paused_until, state.now + cfg_.migration_pause);
+      }
+    }
+  }
+}
+
+SimTime GandivaDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+  const std::size_t gpu = random_gpu(state);
+  const auto& slot = state.gpus[gpu];
+  double factor = 1.0 + cfg_.dli_blocking * static_cast<double>(slot.load());
+  SimTime latency = static_cast<SimTime>(
+      static_cast<double>(query.base_latency) * factor);
+  if (!slot.free()) {
+    // Time-slice quantum wait: the query queues for the incumbent's slice.
+    latency += static_cast<SimTime>(
+        rng_.uniform(0.0, 80.0 * static_cast<double>(kMsec)));
+  }
+  // A migration in flight on the chosen GPU stalls the query outright.
+  if (slot.paused_until > state.now) {
+    latency += std::min<SimTime>(slot.paused_until - state.now,
+                                 cfg_.migration_pause);
+  }
+  return latency;
+}
+
+// -------------------------------------------------------------- Tiresias --
+
+void TiresiasDlPolicy::schedule(DlState& state) {
+  if (state.now - last_quantum_ < cfg_.quantum) {
+    // Between quanta, only fill genuinely free GPUs FCFS (no preemption).
+    for (auto it = state.pending.begin(); it != state.pending.end();) {
+      auto& job = state.jobs[static_cast<std::size_t>(*it)];
+      if (state.place(*it, job.gpus, 1)) {
+        job.running = true;
+        it = state.pending.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return;
+  }
+  last_quantum_ = state.now;
+
+  // Discretized LAS: rank every live job by attained service (least first)
+  // and rebuild the allocation greedily; descheduled jobs pay a suspend.
+  std::vector<int> live;
+  for (const auto& job : state.jobs) {
+    if (!job.done() && job.arrival <= state.now) {
+      live.push_back(job.id);
+    }
+  }
+  // Two-queue discretization: attained service saturates at the cap, so
+  // long-running jobs stop losing priority (no starvation) and compete
+  // FIFO among themselves.
+  std::stable_sort(live.begin(), live.end(), [&](int a, int b) {
+    const auto& ja = state.jobs[static_cast<std::size_t>(a)];
+    const auto& jb = state.jobs[static_cast<std::size_t>(b)];
+    const SimTime ka = std::min(ja.attained, cfg_.las_attained_cap);
+    const SimTime kb = std::min(jb.attained, cfg_.las_attained_cap);
+    if (ka != kb) return ka < kb;
+    return ja.arrival < jb.arrival;
+  });
+
+  std::vector<int> previously_running;
+  for (auto& job : state.jobs) {
+    if (job.running) previously_running.push_back(job.id);
+  }
+  for (int id : previously_running) {
+    state.evict(id);
+    state.jobs[static_cast<std::size_t>(id)].running = false;
+  }
+  state.pending.clear();
+
+  for (int id : live) {
+    auto& job = state.jobs[static_cast<std::size_t>(id)];
+    if (state.place(id, job.gpus, 1)) {
+      job.running = true;
+      const bool was_running =
+          std::find(previously_running.begin(), previously_running.end(),
+                    id) != previously_running.end();
+      if (!was_running && job.attained > 0) {
+        // Resuming a suspended job costs a pause on its GPUs.
+        ++preemptions_;
+        for (int g : job.placed_gpus) {
+          auto& slot = state.gpus[static_cast<std::size_t>(g)];
+          slot.paused_until =
+              std::max(slot.paused_until, state.now + cfg_.preemption_pause);
+        }
+      }
+    } else {
+      state.pending.push_back(id);
+    }
+  }
+}
+
+SimTime TiresiasDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+  // A free GPU serves the query natively.
+  for (const auto& slot : state.gpus) {
+    if (slot.free() && slot.paused_until <= state.now) {
+      return query.base_latency;
+    }
+  }
+  // Otherwise Tiresias usually preempts a trainer to prioritize the short
+  // query (suspend/resume overhead inflates it a little); the rest queue
+  // behind the running quantum.
+  if (rng_.chance(cfg_.tiresias_dli_priority)) {
+    ++preemptions_;
+    return static_cast<SimTime>(
+        static_cast<double>(query.base_latency) * 1.2);
+  }
+  const SimTime wait =
+      static_cast<SimTime>(rng_.uniform(0.0, 2.0 * static_cast<double>(kSec)));
+  return query.base_latency + wait;
+}
+
+// ---------------------------------------------------------------- CBP+PP --
+
+void CbpPpDlPolicy::schedule(DlState& state) {
+  // Crash-free FCFS with backfill: the head waits for its gang, but smaller
+  // jobs behind it may start on GPUs the head cannot use yet (utilization-
+  // aware harvesting keeps them safe), bounded to a small lookahead so the
+  // head cannot starve.
+  std::size_t scanned = 0;
+  for (auto it = state.pending.begin();
+       it != state.pending.end() && scanned < 64; ++scanned) {
+    auto& job = state.jobs[static_cast<std::size_t>(*it)];
+    if (state.place(*it, job.gpus, 1)) {
+      job.running = true;
+      it = state.pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+SimTime CbpPpDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+  // Prefer a free GPU.
+  for (const auto& slot : state.gpus) {
+    if (slot.free() && slot.paused_until <= state.now) {
+      return query.base_latency;
+    }
+  }
+  // Otherwise co-locate into a predicted mini-batch lull. With probability
+  // = forecast accuracy the query slips into the lull (near-native speed);
+  // a misprediction collides with the compute phase.
+  const std::size_t gpu = random_gpu(state);
+  const auto& slot = state.gpus[gpu];
+  if (rng_.chance(cfg_.pp_accuracy)) {
+    return static_cast<SimTime>(static_cast<double>(query.base_latency) * 1.15);
+  }
+  return static_cast<SimTime>(
+      static_cast<double>(query.base_latency) *
+      (1.0 + cfg_.dli_blocking * static_cast<double>(std::max(1, slot.load()))));
+}
+
+std::unique_ptr<DlPolicyImpl> make_dl_policy(DlPolicy policy,
+                                             const DlClusterConfig& config,
+                                             Rng rng) {
+  switch (policy) {
+    case DlPolicy::kResAg:
+      return std::make_unique<ResAgDlPolicy>(config, rng);
+    case DlPolicy::kGandiva:
+      return std::make_unique<GandivaDlPolicy>(config, rng);
+    case DlPolicy::kTiresias:
+      return std::make_unique<TiresiasDlPolicy>(config, rng);
+    case DlPolicy::kCbpPp:
+      return std::make_unique<CbpPpDlPolicy>(config, rng);
+  }
+  return nullptr;
+}
+
+}  // namespace knots::dlsim

@@ -1,0 +1,94 @@
+// The four DL scheduling policies of Fig 12 / Table IV.
+//
+// Res-Ag      — FCFS gang placement, utilization-blind DLI placement with
+//               TF-greedy crash risk for the co-located trainer; crashed
+//               jobs requeue at the back (relaunch + checkpoint loss).
+// Gandiva     — introspective packing: GPUs time-slice up to two trainers
+//               when the queue is non-empty and jobs migrate to defragment
+//               (trial-and-error placement costs pauses); DLI suffers from
+//               sliced contexts and migration stalls.
+// Tiresias    — preemptive two-queue LAS: every quantum the least-attained
+//               jobs get the GPUs; suspended jobs pay a resume pause. DLI
+//               waits for a free GPU (no co-location).
+// CBP+PP      — Kube-Knots: crash-free FCFS gang placement with best-fit
+//               consolidation; DLI is co-located into predicted mini-batch
+//               lulls (PP forecast, Fig 10b accuracy), FCFS without
+//               preemption or HOL blocking.
+#pragma once
+
+#include "dlsim/dl_cluster.hpp"
+
+namespace knots::dlsim {
+
+class DlPolicyImpl {
+ public:
+  DlPolicyImpl(const DlClusterConfig& config, Rng rng)
+      : cfg_(config), rng_(rng) {}
+  virtual ~DlPolicyImpl() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Admits pending DLT jobs for this step.
+  virtual void schedule(DlState& state) = 0;
+
+  /// Serves one inference query analytically; returns its end-to-end
+  /// latency. May mutate state (Res-Ag crash side effects).
+  virtual SimTime serve_query(DlState& state, const DliQuery& query) = 0;
+
+  [[nodiscard]] std::size_t crash_restarts() const { return crashes_; }
+  [[nodiscard]] std::size_t migrations() const { return migrations_; }
+  [[nodiscard]] std::size_t preemptions() const { return preemptions_; }
+
+ protected:
+  /// Picks a uniformly random GPU index.
+  [[nodiscard]] std::size_t random_gpu(const DlState& state);
+  /// Crashes one trainer on the GPU: checkpoint rollback + requeue at back.
+  void crash_trainer(DlState& state, std::size_t gpu);
+
+  DlClusterConfig cfg_;
+  Rng rng_;
+  std::size_t crashes_ = 0;
+  std::size_t migrations_ = 0;
+  std::size_t preemptions_ = 0;
+};
+
+class ResAgDlPolicy final : public DlPolicyImpl {
+ public:
+  using DlPolicyImpl::DlPolicyImpl;
+  [[nodiscard]] std::string name() const override { return "Res-Ag"; }
+  void schedule(DlState& state) override;
+  SimTime serve_query(DlState& state, const DliQuery& query) override;
+};
+
+class GandivaDlPolicy final : public DlPolicyImpl {
+ public:
+  using DlPolicyImpl::DlPolicyImpl;
+  [[nodiscard]] std::string name() const override { return "Gandiva"; }
+  void schedule(DlState& state) override;
+  SimTime serve_query(DlState& state, const DliQuery& query) override;
+};
+
+class TiresiasDlPolicy final : public DlPolicyImpl {
+ public:
+  using DlPolicyImpl::DlPolicyImpl;
+  [[nodiscard]] std::string name() const override { return "Tiresias"; }
+  void schedule(DlState& state) override;
+  SimTime serve_query(DlState& state, const DliQuery& query) override;
+
+ private:
+  SimTime last_quantum_ = -kHour;
+};
+
+class CbpPpDlPolicy final : public DlPolicyImpl {
+ public:
+  using DlPolicyImpl::DlPolicyImpl;
+  [[nodiscard]] std::string name() const override { return "CBP+PP"; }
+  void schedule(DlState& state) override;
+  SimTime serve_query(DlState& state, const DliQuery& query) override;
+};
+
+std::unique_ptr<DlPolicyImpl> make_dl_policy(DlPolicy policy,
+                                             const DlClusterConfig& config,
+                                             Rng rng);
+
+}  // namespace knots::dlsim

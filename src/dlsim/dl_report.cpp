@@ -1,0 +1,99 @@
+#include "dlsim/dl_report.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "core/check.hpp"
+#include "core/table.hpp"
+#include "core/thread_pool.hpp"
+
+namespace knots::dlsim {
+
+namespace {
+constexpr DlPolicy kOrder[] = {DlPolicy::kResAg, DlPolicy::kGandiva,
+                               DlPolicy::kTiresias, DlPolicy::kCbpPp};
+}
+
+std::vector<DlResult> run_all_policies(const DlClusterConfig& cluster,
+                                       const DlWorkloadConfig& workload,
+                                       std::uint64_t seed) {
+  std::vector<DlResult> results(4);
+  ThreadPool pool(4);
+  pool.parallel_for(4, [&](std::size_t i) {
+    results[i] = run_dl_simulation(kOrder[i], cluster, workload, seed);
+  });
+  return results;
+}
+
+std::vector<JctRatios> normalized_jct(const std::vector<DlResult>& results) {
+  const DlResult* base = nullptr;
+  for (const auto& r : results) {
+    if (r.policy == "CBP+PP") base = &r;
+  }
+  KNOTS_CHECK_MSG(base != nullptr, "CBP+PP result required for Table IV");
+  std::vector<JctRatios> out;
+  for (const auto& r : results) {
+    if (&r == base) continue;
+    JctRatios ratio;
+    ratio.policy = r.policy;
+    ratio.avg = base->avg_jct_h > 0 ? r.avg_jct_h / base->avg_jct_h : 0;
+    ratio.median =
+        base->median_jct_h > 0 ? r.median_jct_h / base->median_jct_h : 0;
+    ratio.p99 = base->p99_jct_h > 0 ? r.p99_jct_h / base->p99_jct_h : 0;
+    out.push_back(ratio);
+  }
+  return out;
+}
+
+std::vector<JctCdf> jct_cdfs(const std::vector<DlResult>& results,
+                             std::size_t points) {
+  double max_h = 0;
+  for (const auto& r : results) {
+    for (double j : r.jct_hours) max_h = std::max(max_h, j);
+  }
+  std::vector<JctCdf> out;
+  for (const auto& r : results) {
+    JctCdf cdf;
+    cdf.policy = r.policy;
+    std::vector<double> sorted = r.jct_hours;
+    std::sort(sorted.begin(), sorted.end());
+    for (std::size_t i = 0; i <= points; ++i) {
+      double h = max_h * static_cast<double>(i) / static_cast<double>(points);
+      if (i == points) h = max_h;  // avoid i/points rounding below max
+      const auto it = std::upper_bound(sorted.begin(), sorted.end(), h);
+      cdf.hours.push_back(h);
+      cdf.fraction.push_back(
+          sorted.empty()
+              ? 0.0
+              : 100.0 * static_cast<double>(it - sorted.begin()) /
+                    static_cast<double>(sorted.size()));
+    }
+    out.push_back(std::move(cdf));
+  }
+  return out;
+}
+
+void print_dl_report(std::ostream& os, const std::vector<DlResult>& results) {
+  TablePrinter table("DL scheduler comparison (32 nodes x 8 GPUs)");
+  table.columns({"policy", "avg JCT h", "median h", "p99 h", "DLT done",
+                 "DLI viol/hr", "crashes", "migr", "preempt"});
+  for (const auto& r : results) {
+    table.row({r.policy, fmt(r.avg_jct_h, 2), fmt(r.median_jct_h, 2),
+               fmt(r.p99_jct_h, 2),
+               std::to_string(r.dlt_completed) + "/" +
+                   std::to_string(r.dlt_total),
+               fmt(r.violations_per_hour, 1), std::to_string(r.crash_restarts),
+               std::to_string(r.migrations), std::to_string(r.preemptions)});
+  }
+  table.print(os);
+
+  TablePrinter ratios("Table IV: JCT normalized to CBP+PP");
+  ratios.columns({"policy", "average", "median", "99%"});
+  for (const auto& r : normalized_jct(results)) {
+    ratios.row({r.policy, fmt(r.avg, 2) + "x", fmt(r.median, 2) + "x",
+                fmt(r.p99, 2) + "x"});
+  }
+  ratios.print(os);
+}
+
+}  // namespace knots::dlsim

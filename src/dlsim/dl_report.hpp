@@ -1,0 +1,34 @@
+// Report helpers for Fig 12 / Table IV.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "dlsim/dl_cluster.hpp"
+
+namespace knots::dlsim {
+
+/// Runs all four policies on the same workload (one thread each).
+std::vector<DlResult> run_all_policies(const DlClusterConfig& cluster,
+                                       const DlWorkloadConfig& workload,
+                                       std::uint64_t seed = 42);
+
+/// Table IV: JCT ratios (avg/median/p99) normalized to CBP+PP.
+struct JctRatios {
+  std::string policy;
+  double avg = 0, median = 0, p99 = 0;
+};
+std::vector<JctRatios> normalized_jct(const std::vector<DlResult>& results);
+
+/// Fig 12a data: fraction of jobs completed within each JCT bound.
+struct JctCdf {
+  std::string policy;
+  std::vector<double> hours;     ///< x axis.
+  std::vector<double> fraction;  ///< y axis (0..100).
+};
+std::vector<JctCdf> jct_cdfs(const std::vector<DlResult>& results,
+                             std::size_t points = 40);
+
+void print_dl_report(std::ostream& os, const std::vector<DlResult>& results);
+
+}  // namespace knots::dlsim

@@ -1,0 +1,78 @@
+#include "dlsim/dl_workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace knots::dlsim {
+
+namespace {
+/// Gang sizes follow the Microsoft/Tiresias skew: most jobs are single-GPU.
+int sample_gang(Rng& rng) {
+  static const int kSizes[] = {1, 2, 4, 8};
+  const std::size_t idx = rng.weighted_index({0.62, 0.18, 0.12, 0.08});
+  return kSizes[idx];
+}
+
+/// Service times span minutes to hours, log-normally (Tiresias Fig 2-like).
+/// Sized so the 520-job trace keeps the 256-GPU cluster near capacity —
+/// the regime where scheduler differences matter.
+SimTime sample_service(Rng& rng, int mix_id) {
+  // Mix bins shift the size distribution: mix 1 (high load) trains longer.
+  const double mu = mix_id == 1 ? 4.8 : (mix_id == 2 ? 4.5 : 4.2);
+  const double minutes = rng.lognormal(mu, 1.0);  // mix 1 median ≈ 2 h
+  const double clamped = std::clamp(minutes, 5.0, 600.0);
+  return static_cast<SimTime>(clamped * static_cast<double>(kMinute));
+}
+}  // namespace
+
+DlWorkload generate_dl_workload(const DlWorkloadConfig& config, Rng rng) {
+  KNOTS_CHECK(config.dlt_jobs > 0 && config.dli_queries > 0);
+  DlWorkload wl;
+  wl.horizon = config.window;
+  Rng job_rng = rng.fork(11);
+  Rng query_rng = rng.fork(12);
+
+  // DLT arrivals: uniform-with-bursts over the first 80 % of the window so
+  // late jobs can still finish inside the simulation horizon.
+  wl.jobs.reserve(static_cast<std::size_t>(config.dlt_jobs));
+  for (int i = 0; i < config.dlt_jobs; ++i) {
+    DltJob job;
+    job.id = i;
+    job.arrival = static_cast<SimTime>(
+        job_rng.uniform(0.0, 0.8 * static_cast<double>(config.window)));
+    job.gpus = sample_gang(job_rng);
+    job.service = sample_service(job_rng, config.mix_id);
+    job.lull_fraction = job_rng.uniform(0.10, 0.25);
+    wl.jobs.push_back(job);
+  }
+  std::sort(wl.jobs.begin(), wl.jobs.end(),
+            [](const DltJob& a, const DltJob& b) {
+              return a.arrival < b.arrival;
+            });
+  for (int i = 0; i < config.dlt_jobs; ++i) wl.jobs[static_cast<std::size_t>(i)].id = i;
+
+  wl.queries.reserve(static_cast<std::size_t>(config.dli_queries));
+  for (int i = 0; i < config.dli_queries; ++i) {
+    DliQuery q;
+    q.id = i;
+    q.arrival = static_cast<SimTime>(
+        query_rng.uniform(0.0, static_cast<double>(config.window)));
+    const double ms = query_rng.uniform(10.0, 50.0);
+    q.base_latency = static_cast<SimTime>(ms * static_cast<double>(kMsec));
+    q.qos = 150 * kMsec;
+    q.mix = config.mix_id;
+    wl.queries.push_back(q);
+  }
+  std::sort(wl.queries.begin(), wl.queries.end(),
+            [](const DliQuery& a, const DliQuery& b) {
+              return a.arrival < b.arrival;
+            });
+  for (int i = 0; i < config.dli_queries; ++i) {
+    wl.queries[static_cast<std::size_t>(i)].id = i;
+  }
+  return wl;
+}
+
+}  // namespace knots::dlsim

@@ -1,0 +1,60 @@
+// Deep-learning workload model for the trace-driven simulator (§V-C).
+//
+// 520 DL-training (DLT) jobs modelled after Tiresias' job characteristics
+// (gang size skewed to one GPU, service times from minutes to hours) and
+// 1400 DL-inference (DLI) queries (10–50 ms), with inter-arrivals following
+// the Alibaba trace pattern over a 12 h window, split across the Table I
+// app-mix bins.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace knots::dlsim {
+
+struct DltJob {
+  int id = 0;
+  SimTime arrival = 0;
+  int gpus = 1;          ///< Gang size (all-or-nothing).
+  SimTime service = 0;   ///< GPU-resident time to completion at full speed.
+  /// Fraction of each iteration spent in all-reduce/input lulls; PP
+  /// harvests these windows for inference co-location.
+  double lull_fraction = 0.15;
+
+  // -- runtime state --
+  SimTime progress = 0;
+  SimTime completion = -1;
+  SimTime attained = 0;  ///< For LAS priority (Tiresias).
+  int restarts = 0;
+  bool running = false;
+  std::vector<int> placed_gpus;
+
+  [[nodiscard]] bool done() const noexcept { return completion >= 0; }
+};
+
+struct DliQuery {
+  int id = 0;
+  SimTime arrival = 0;
+  SimTime base_latency = 0;  ///< Uncontended GPU time (10–50 ms).
+  SimTime qos = 0;           ///< Deadline (150 ms budget class).
+  int mix = 1;
+};
+
+struct DlWorkload {
+  std::vector<DltJob> jobs;      ///< Sorted by arrival.
+  std::vector<DliQuery> queries; ///< Sorted by arrival.
+  SimTime horizon = 12 * kHour;
+};
+
+struct DlWorkloadConfig {
+  int dlt_jobs = 520;
+  int dli_queries = 1400;
+  SimTime window = 12 * kHour;
+  int mix_id = 1;  ///< Table I bin controlling size/burstiness skew.
+};
+
+DlWorkload generate_dl_workload(const DlWorkloadConfig& config, Rng rng);
+
+}  // namespace knots::dlsim

@@ -1,0 +1,103 @@
+#include "gpu/gpu_device.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace knots::gpu {
+
+GpuDevice::GpuDevice(GpuId id, GpuSpec spec) : id_(id), spec_(spec) {
+  KNOTS_CHECK(spec_.memory_mb > 0);
+}
+
+bool GpuDevice::attach(PodId pod, double provisioned_mb) {
+  KNOTS_CHECK(pod.valid());
+  KNOTS_CHECK(provisioned_mb >= 0);
+  if (usages_.contains(pod)) return false;
+  parked_ = false;
+  usages_.emplace(pod, Usage{});
+  provisioned_.emplace(pod, provisioned_mb);
+  recompute_totals();
+  return true;
+}
+
+void GpuDevice::detach(PodId pod) {
+  usages_.erase(pod);
+  provisioned_.erase(pod);
+  recompute_totals();
+}
+
+bool GpuDevice::resize(PodId pod, double provisioned_mb) {
+  auto it = provisioned_.find(pod);
+  if (it == provisioned_.end()) return false;
+  if (provisioned_mb < usages_.at(pod).memory_mb) return false;
+  it->second = provisioned_mb;
+  recompute_totals();
+  return true;
+}
+
+bool GpuDevice::set_usage(PodId pod, const Usage& usage) {
+  auto it = usages_.find(pod);
+  KNOTS_CHECK_MSG(it != usages_.end(), "set_usage on non-resident pod");
+  it->second = usage;
+  recompute_totals();
+  // Space-shared memory: violation when *usage* exceeds the physical device,
+  // regardless of what allocations promised (overcommitting schedulers).
+  return totals_.memory_used_mb <= spec_.memory_mb;
+}
+
+std::optional<double> GpuDevice::provisioned_mb(PodId pod) const {
+  auto it = provisioned_.find(pod);
+  if (it == provisioned_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<PodId> GpuDevice::resident_pods() const {
+  std::vector<PodId> out;
+  out.reserve(usages_.size());
+  for (const auto& [pod, usage] : usages_) out.push_back(pod);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double GpuDevice::slowdown() const noexcept {
+  double factor = std::max(1.0, totals_.sm_demand);
+  if (totals_.active_contexts > 1) {
+    // Context-switch tax: non-preemptive kernels + VIVT cache flushes make
+    // time-multiplexing k compute-active contexts superlinearly expensive.
+    factor *= 1.0 + spec_.context_switch_tax *
+                        static_cast<double>(totals_.active_contexts - 1);
+  }
+  return factor;
+}
+
+void GpuDevice::set_parked(bool parked) {
+  if (parked) {
+    KNOTS_CHECK_MSG(usages_.empty(), "cannot park an occupied GPU");
+  }
+  parked_ = parked;
+}
+
+double GpuDevice::power_watts() const {
+  return gpu_power_watts(spec_.power, totals_.sm_util,
+                         totals_.residents > 0, parked_);
+}
+
+void GpuDevice::recompute_totals() noexcept {
+  GpuTotals t;
+  for (const auto& [pod, u] : usages_) {
+    t.sm_demand += u.sm;
+    t.memory_used_mb += u.memory_mb;
+    t.tx_mbps += u.tx_mbps;
+    t.rx_mbps += u.rx_mbps;
+    ++t.residents;
+    if (u.sm > spec_.active_sm_threshold) ++t.active_contexts;
+  }
+  for (const auto& [pod, mb] : provisioned_) t.memory_provisioned_mb += mb;
+  t.sm_util = std::min(1.0, t.sm_demand);
+  t.tx_mbps = std::min(t.tx_mbps, spec_.pcie_mbps);
+  t.rx_mbps = std::min(t.rx_mbps, spec_.pcie_mbps);
+  totals_ = t;
+}
+
+}  // namespace knots::gpu

@@ -1,0 +1,117 @@
+// GPU device model: time-shared SMs, space-shared memory, PCIe channels.
+//
+// Mirrors the sharing semantics Kube-Knots enables through the modified
+// Nvidia k8s-device-plugin (§IV-B): multiple pods may reside on one GPU; SM
+// cycles are time-shared (aggregate demand above 100 % slows every resident
+// proportionally), memory is space-shared (aggregate *usage* above physical
+// capacity is a capacity violation that crashes the most-recently-grown pod).
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/types.hpp"
+#include "gpu/power_model.hpp"
+
+namespace knots::gpu {
+
+/// Instantaneous resource demand of one resident pod.
+struct Usage {
+  double sm = 0.0;         ///< SM demand in [0, 1] of the whole device.
+  double memory_mb = 0.0;  ///< Resident device memory.
+  double tx_mbps = 0.0;    ///< Host-to-device PCIe traffic.
+  double rx_mbps = 0.0;    ///< Device-to-host PCIe traffic.
+};
+
+struct GpuSpec {
+  double memory_mb = 16384.0;     ///< P100 16 GB.
+  double pcie_mbps = 12000.0;     ///< Effective PCIe gen3 x16 per direction.
+  /// Multiplicative progress tax per extra *compute-active* co-resident
+  /// context. GPUs are non-preemptive and VIVT (§I): time-multiplexing k
+  /// contexts flushes caches and serializes long kernels, so co-location is
+  /// far costlier than the raw SM-demand sum suggests.
+  double context_switch_tax = 0.08;
+  /// SM demand above which a resident counts as compute-active.
+  double active_sm_threshold = 0.05;
+  GpuPowerSpec power{};
+};
+
+/// Aggregated instantaneous state of the device.
+struct GpuTotals {
+  double sm_demand = 0.0;      ///< Sum of resident SM demands (can be > 1).
+  double sm_util = 0.0;        ///< Delivered utilization, clamped to [0,1].
+  int active_contexts = 0;     ///< Residents above the compute threshold.
+  double memory_used_mb = 0.0; ///< Sum of resident usage.
+  double memory_provisioned_mb = 0.0;  ///< Sum of container allocations.
+  double tx_mbps = 0.0;
+  double rx_mbps = 0.0;
+  int residents = 0;
+};
+
+class GpuDevice {
+ public:
+  explicit GpuDevice(GpuId id, GpuSpec spec = {});
+
+  [[nodiscard]] GpuId id() const noexcept { return id_; }
+  [[nodiscard]] const GpuSpec& spec() const noexcept { return spec_; }
+
+  /// Admits a pod with a container allocation of `provisioned_mb`.
+  /// Allocations are *claims*, not physical reservations: a GPU-agnostic
+  /// scheduler may overcommit them past capacity (that is the fragmentation
+  /// story of §II); only duplicate attaches fail. Utilization-aware
+  /// schedulers check `provision_fits` themselves before placing.
+  [[nodiscard]] bool attach(PodId pod, double provisioned_mb);
+
+  /// True when an extra allocation of `mb` keeps total claims within the
+  /// physical device (what CBP/PP check before placement).
+  [[nodiscard]] bool provision_fits(double mb) const noexcept {
+    return totals_.memory_provisioned_mb + mb <= spec_.memory_mb;
+  }
+
+  /// Removes a pod; its usage and allocation are released.
+  void detach(PodId pod);
+
+  /// Changes a pod's container allocation (docker resize); fails only when
+  /// shrinking below the pod's current usage (a crash, not a resize).
+  [[nodiscard]] bool resize(PodId pod, double provisioned_mb);
+
+  /// Updates the pod's instantaneous usage. Returns false when this update
+  /// pushes aggregate memory usage past physical capacity (capacity
+  /// violation — the caller crashes the offending pod).
+  [[nodiscard]] bool set_usage(PodId pod, const Usage& usage);
+
+  [[nodiscard]] bool resident(PodId pod) const {
+    return usages_.contains(pod);
+  }
+  [[nodiscard]] std::optional<double> provisioned_mb(PodId pod) const;
+  [[nodiscard]] std::vector<PodId> resident_pods() const;
+
+  [[nodiscard]] GpuTotals totals() const noexcept { return totals_; }
+  [[nodiscard]] double free_provision_mb() const noexcept {
+    return spec_.memory_mb - totals_.memory_provisioned_mb;
+  }
+
+  /// Progress slowdown from SM time-sharing: max(1, aggregate demand) plus a
+  /// context-switch tax that grows with the number of co-residents.
+  [[nodiscard]] double slowdown() const noexcept;
+
+  /// True when the orchestrator parked this device (deep sleep p-state).
+  [[nodiscard]] bool parked() const noexcept { return parked_; }
+  /// Parking requires an empty device.
+  void set_parked(bool parked);
+
+  [[nodiscard]] double power_watts() const;
+
+ private:
+  void recompute_totals() noexcept;
+
+  GpuId id_;
+  GpuSpec spec_;
+  std::unordered_map<PodId, Usage> usages_;
+  std::unordered_map<PodId, double> provisioned_;
+  GpuTotals totals_{};
+  bool parked_ = false;
+};
+
+}  // namespace knots::gpu

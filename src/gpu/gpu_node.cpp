@@ -1,0 +1,35 @@
+#include "gpu/gpu_node.hpp"
+
+#include "core/check.hpp"
+
+namespace knots::gpu {
+
+GpuNode::GpuNode(NodeId id, const NodeSpec& spec, std::int32_t first_gpu_id)
+    : id_(id), spec_(spec) {
+  KNOTS_CHECK(spec.gpus_per_node > 0);
+  gpus_.reserve(static_cast<std::size_t>(spec.gpus_per_node));
+  for (int i = 0; i < spec.gpus_per_node; ++i) {
+    gpus_.push_back(
+        std::make_unique<GpuDevice>(GpuId{first_gpu_id + i}, spec.gpu));
+  }
+}
+
+double GpuNode::power_watts() const {
+  double watts = spec_.host_idle_watts;
+  for (const auto& g : gpus_) watts += g->power_watts();
+  return watts;
+}
+
+double GpuNode::mean_sm_util() const {
+  double sum = 0;
+  for (const auto& g : gpus_) sum += g->totals().sm_util;
+  return sum / static_cast<double>(gpus_.size());
+}
+
+double GpuNode::free_provision_mb() const {
+  double sum = 0;
+  for (const auto& g : gpus_) sum += g->free_provision_mb();
+  return sum;
+}
+
+}  // namespace knots::gpu

@@ -1,0 +1,58 @@
+#include "gpu/power_model.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace knots::gpu {
+
+CpuPowerSpec sandy_bridge_spec() {
+  return CpuPowerSpec{"Intel-Sandybridge", /*idle_fraction=*/0.30,
+                      /*saturation_util=*/0.70, /*saturation_gain=*/0.45};
+}
+
+CpuPowerSpec westmere_spec() {
+  return CpuPowerSpec{"Intel-Westmere", /*idle_fraction=*/0.55,
+                      /*saturation_util=*/0.80, /*saturation_gain=*/0.60};
+}
+
+double gpu_power_watts(const GpuPowerSpec& spec, double util, bool active,
+                       bool deep_sleep) {
+  if (deep_sleep) return spec.deep_sleep_watts;
+  if (!active) return spec.idle_watts;
+  const double u = std::clamp(util, 0.0, 1.0);
+  return spec.active_floor_watts +
+         (spec.max_watts - spec.active_floor_watts) * u;
+}
+
+double gpu_energy_efficiency(const GpuPowerSpec& spec, double util) {
+  const double u = std::clamp(util, 0.0, 1.0);
+  // Throughput is linear in utilization for GPUs (SIMT occupancy), while an
+  // active board pays its clock/memory floor — so PPW keeps improving all
+  // the way to 100 % utilization (Fig 1's high energy-proportionality zone).
+  const double ppw_at_full = 1.0 / spec.max_watts;
+  if (u <= 0.0) return 0.0;
+  const double ppw = u / gpu_power_watts(spec, u, /*active=*/true);
+  return ppw / ppw_at_full;
+}
+
+namespace {
+/// CPU throughput: linear until the saturation knee, diminishing after.
+double cpu_throughput(const CpuPowerSpec& spec, double u) {
+  if (u <= spec.saturation_util) return u;
+  return spec.saturation_util + (u - spec.saturation_util) * spec.saturation_gain;
+}
+}  // namespace
+
+double cpu_energy_efficiency(const CpuPowerSpec& spec, double util) {
+  const double u = std::clamp(util, 0.0, 1.0);
+  if (u <= 0.0) return 0.0;
+  KNOTS_CHECK(spec.idle_fraction > 0.0 && spec.idle_fraction < 1.0);
+  const double power = spec.idle_fraction + (1.0 - spec.idle_fraction) * u;
+  const double power_full = 1.0;
+  const double ppw = cpu_throughput(spec, u) / power;
+  const double ppw_full = cpu_throughput(spec, 1.0) / power_full;
+  return ppw / ppw_full;
+}
+
+}  // namespace knots::gpu

@@ -1,0 +1,54 @@
+// Device power / energy-efficiency models (Fig 1 and the Fig 11a energy
+// accounting).
+//
+// GPUs: performance scales linearly with utilization and dynamic power is
+// linear in utilization, so performance-per-watt keeps rising all the way to
+// 100 % — the "high energy proportionality zone" of Fig 1. CPUs: higher idle
+// floors and post-70 % throughput saturation (hyper-threading) put their peak
+// efficiency at 60–80 % utilization.
+#pragma once
+
+#include <string>
+
+namespace knots::gpu {
+
+/// P100-calibrated defaults; wattages from NVIDIA's published board specs.
+/// An *active* GPU (resident contexts, clocks up) draws a substantial floor
+/// even at low SM occupancy — memory and clock domains do not gate per-SM —
+/// which is exactly why consolidating work onto fewer GPUs and deep-sleeping
+/// the rest saves cluster energy (§VI-C).
+struct GpuPowerSpec {
+  double max_watts = 250.0;         ///< TDP at 100 % utilization.
+  double active_floor_watts = 95.0; ///< Context resident, ~0 % SM load.
+  double idle_watts = 25.0;         ///< No contexts, powered (p-state P8).
+  double deep_sleep_watts = 9.0;    ///< Parked, p-state P12 (§VI-C).
+};
+
+/// Piecewise-linear CPU throughput saturation + idle floor.
+struct CpuPowerSpec {
+  std::string name;
+  double idle_fraction;    ///< Idle power as a fraction of peak power.
+  double saturation_util;  ///< Utilization where throughput starts saturating.
+  double saturation_gain;  ///< Marginal throughput per util beyond saturation.
+};
+
+/// Intel Sandy Bridge: newer, more proportional, peak EE ~70 % utilization.
+CpuPowerSpec sandy_bridge_spec();
+/// Intel Westmere: older, high idle floor, weak proportionality.
+CpuPowerSpec westmere_spec();
+
+/// Instantaneous GPU power draw at `util` in [0,1]. `active` = at least one
+/// resident context (clocks up: linear between the active floor and max);
+/// otherwise the idle wattage. `deep_sleep` overrides everything (GPU parked
+/// by the orchestrator).
+double gpu_power_watts(const GpuPowerSpec& spec, double util,
+                       bool active = true, bool deep_sleep = false);
+
+/// GPU performance-per-watt at `util`, normalized to PPW at util = 1.
+double gpu_energy_efficiency(const GpuPowerSpec& spec, double util);
+
+/// CPU performance-per-watt at `util`, normalized to PPW at util = 1.
+/// Exceeds 1.0 near the 60–80 % sweet spot for proportional parts.
+double cpu_energy_efficiency(const CpuPowerSpec& spec, double util);
+
+}  // namespace knots::gpu

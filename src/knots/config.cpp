@@ -1,0 +1,20 @@
+#include "knots/config.hpp"
+
+namespace knots {
+
+HardwareConfig hardware_config() { return HardwareConfig{}; }
+SoftwareConfig software_config() { return SoftwareConfig{}; }
+
+ExperimentConfig default_experiment(int mix_id, sched::SchedulerKind kind) {
+  ExperimentConfig cfg;
+  cfg.mix_id = mix_id;
+  cfg.scheduler = kind;
+  cfg.cluster.nodes = 10;
+  cfg.cluster.gpus_per_node = 1;
+  cfg.cluster.seed = cfg.seed;
+  cfg.workload.duration = 600 * kSec;
+  cfg.workload.device_memory_mb = cfg.cluster.node_spec.gpu.memory_mb;
+  return cfg;
+}
+
+}  // namespace knots

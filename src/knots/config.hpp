@@ -1,0 +1,55 @@
+// Experiment configuration and the paper's testbed constants
+// (Tables II & III).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "sched/params.hpp"
+#include "sched/registry.hpp"
+#include "workload/load_generator.hpp"
+
+namespace knots {
+
+/// Table II — per-node hardware of the testbed.
+struct HardwareConfig {
+  std::string cpu = "Xeon E5-2670";
+  int cores = 12;
+  int threads_per_core = 2;
+  double clock_ghz = 2.3;
+  int dram_gb = 192;
+  std::string gpu = "P100 (16GB)";
+  double gpu_memory_mb = 16384.0;
+};
+
+/// Table III — software stack of the testbed (documented for fidelity; the
+/// simulation reproduces the behaviours, not the binaries).
+struct SoftwareConfig {
+  std::string kubernetes = "1.9.3";
+  std::string nvidia_docker = "2.0";
+  std::string pynvml = "7.352.0";
+  std::string influxdb = "1.4.2";
+  std::string cuda = "8.0.61";
+  std::string tensorflow = "1.8";
+};
+
+HardwareConfig hardware_config();
+SoftwareConfig software_config();
+
+/// One full cluster experiment: mix × scheduler × cluster/workload knobs.
+struct ExperimentConfig {
+  int mix_id = 1;
+  sched::SchedulerKind scheduler = sched::SchedulerKind::kPeakPrediction;
+  cluster::ClusterConfig cluster{};
+  workload::LoadGenConfig workload{};
+  sched::SchedParams sched_params{};
+  std::uint64_t seed = 42;
+};
+
+/// Paper-default experiment: ten single-P100 worker nodes, 600 s arrival
+/// window (a compressed slice of the 12 h trace replay).
+ExperimentConfig default_experiment(int mix_id, sched::SchedulerKind kind);
+
+}  // namespace knots

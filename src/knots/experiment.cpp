@@ -1,0 +1,76 @@
+#include "knots/experiment.hpp"
+
+#include <memory>
+
+#include "core/thread_pool.hpp"
+#include "knots/kube_knots.hpp"
+#include "workload/app_mix.hpp"
+
+namespace knots {
+
+ExperimentReport build_report(const cluster::Cluster& cl,
+                              std::string scheduler_name, int mix_id) {
+  const auto& m = cl.metrics();
+  ExperimentReport r;
+  r.scheduler = std::move(scheduler_name);
+  r.mix_id = mix_id;
+  for (std::size_t g = 0; g < m.gpu_count(); ++g) {
+    UtilPercentiles u;
+    u.p50 = m.gpu_util_percentile(g, 50);
+    u.p90 = m.gpu_util_percentile(g, 90);
+    u.p99 = m.gpu_util_percentile(g, 99);
+    u.max = m.gpu_util_percentile(g, 100);
+    r.per_gpu.push_back(u);
+    r.per_gpu_cov.push_back(m.gpu_util_cov(g));
+  }
+  r.cluster_wide.p50 = m.cluster_util_percentile(50);
+  r.cluster_wide.p90 = m.cluster_util_percentile(90);
+  r.cluster_wide.p99 = m.cluster_util_percentile(99);
+  r.cluster_wide.max = m.cluster_util_percentile(100);
+
+  r.pairwise_load_cov.assign(m.gpu_count(),
+                             std::vector<double>(m.gpu_count(), 0.0));
+  for (std::size_t i = 0; i < m.gpu_count(); ++i) {
+    for (std::size_t j = i + 1; j < m.gpu_count(); ++j) {
+      const double c = m.pairwise_load_cov(i, j);
+      r.pairwise_load_cov[i][j] = c;
+      r.pairwise_load_cov[j][i] = c;
+    }
+  }
+
+  r.queries = m.query_count();
+  r.qos_violations = m.violation_count();
+  r.violations_per_kilo = m.qos_violations_per_kilo();
+  r.mean_power_watts = m.mean_power_watts();
+  r.energy_joules = m.energy_joules();
+  r.crashes = m.crash_count();
+  r.mean_jct_s = m.mean_batch_jct_seconds();
+  r.median_jct_s = m.batch_jct_percentile(50);
+  r.p99_jct_s = m.batch_jct_percentile(99);
+  r.lc_p50_ms = m.query_latency_percentile(50);
+  r.lc_p99_ms = m.query_latency_percentile(99);
+  r.pods_total = cl.pod_count();
+  r.pods_completed = cl.completed_count();
+  return r;
+}
+
+ExperimentReport run_experiment(const ExperimentConfig& config) {
+  KubeKnots knots(config);
+  knots.submit_mix_workload();
+  return knots.run();
+}
+
+std::vector<ExperimentReport> run_scheduler_sweep(
+    const ExperimentConfig& base,
+    const std::vector<sched::SchedulerKind>& kinds) {
+  std::vector<ExperimentReport> reports(kinds.size());
+  ThreadPool pool(kinds.size());
+  pool.parallel_for(kinds.size(), [&](std::size_t i) {
+    ExperimentConfig cfg = base;
+    cfg.scheduler = kinds[i];
+    reports[i] = run_experiment(cfg);
+  });
+  return reports;
+}
+
+}  // namespace knots

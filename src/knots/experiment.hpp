@@ -1,0 +1,52 @@
+// Experiment runner: executes one configuration and distils the metrics
+// every figure reads into a flat report.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "knots/config.hpp"
+
+namespace knots {
+
+/// Utilization percentiles in percent, in Fig 6/8/9 order.
+struct UtilPercentiles {
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+struct ExperimentReport {
+  std::string scheduler;
+  int mix_id = 0;
+
+  std::vector<UtilPercentiles> per_gpu;  ///< Fig 6 / Fig 8 bars.
+  UtilPercentiles cluster_wide;          ///< Fig 9 bars.
+  std::vector<double> per_gpu_cov;       ///< Fig 7 (sorted ascending).
+  std::vector<std::vector<double>> pairwise_load_cov;  ///< Fig 11b surface.
+
+  std::size_t queries = 0;
+  std::size_t qos_violations = 0;
+  double violations_per_kilo = 0;        ///< Fig 10a bars.
+
+  double mean_power_watts = 0;           ///< Fig 11a (normalize externally).
+  double energy_joules = 0;
+  std::size_t crashes = 0;
+
+  double mean_jct_s = 0, median_jct_s = 0, p99_jct_s = 0;
+  double lc_p50_ms = 0, lc_p99_ms = 0;
+  std::size_t pods_total = 0, pods_completed = 0;
+};
+
+/// Distils a finished cluster's metrics into a report.
+ExperimentReport build_report(const cluster::Cluster& cl,
+                              std::string scheduler_name, int mix_id);
+
+/// Runs the configuration to completion (single-threaded, deterministic).
+ExperimentReport run_experiment(const ExperimentConfig& config);
+
+/// Runs one configuration per scheduler kind concurrently (one thread
+/// each); reports are returned in `kinds` order.
+std::vector<ExperimentReport> run_scheduler_sweep(
+    const ExperimentConfig& base, const std::vector<sched::SchedulerKind>& kinds);
+
+}  // namespace knots

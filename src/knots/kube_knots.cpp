@@ -1,0 +1,51 @@
+#include "knots/kube_knots.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "workload/app_mix.hpp"
+
+namespace knots {
+
+KubeKnots::KubeKnots(ExperimentConfig config) : config_(std::move(config)) {
+  scheduler_ = sched::make_scheduler(config_.scheduler, config_.sched_params);
+  cluster::ClusterConfig cluster_cfg = config_.cluster;
+  cluster_cfg.seed = config_.seed;
+  cluster_ = std::make_unique<cluster::Cluster>(cluster_cfg, *scheduler_);
+}
+
+KubeKnots::~KubeKnots() = default;
+
+void KubeKnots::submit(workload::PodSpec spec) {
+  KNOTS_CHECK_MSG(!ran_, "submit after run()");
+  submitted_.push_back(std::move(spec));
+}
+
+void KubeKnots::submit_mix_workload() {
+  KNOTS_CHECK_MSG(!ran_, "submit after run()");
+  workload::LoadGenConfig wl = config_.workload;
+  wl.device_memory_mb = config_.cluster.node_spec.gpu.memory_mb;
+  auto pods = workload::generate_workload(workload::app_mix(config_.mix_id),
+                                          wl, Rng(config_.seed));
+  for (auto& p : pods) submitted_.push_back(std::move(p));
+}
+
+ExperimentReport KubeKnots::run() {
+  KNOTS_CHECK_MSG(!ran_, "run() must be called once");
+  ran_ = true;
+  std::stable_sort(submitted_.begin(), submitted_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < submitted_.size(); ++i) {
+    submitted_[i].id = PodId{static_cast<std::int32_t>(i)};
+  }
+  cluster_->load(std::move(submitted_));
+  submitted_.clear();
+  cluster_->run();
+  return build_report(*cluster_, scheduler_->name(), config_.mix_id);
+}
+
+const cluster::Cluster& KubeKnots::cluster() const { return *cluster_; }
+
+}  // namespace knots

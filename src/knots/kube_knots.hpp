@@ -1,0 +1,55 @@
+// KubeKnots — the top-level public facade.
+//
+// Wires a GPU cluster, the Knots telemetry layer and a scheduling policy
+// together, and exposes a small API for submitting work and running the
+// orchestrated simulation. Example applications and the quickstart use this
+// instead of assembling the layers by hand.
+//
+//   knots::KubeKnots k8s(knots::default_experiment(
+//       /*mix_id=*/1, knots::sched::SchedulerKind::kPeakPrediction));
+//   k8s.submit_mix_workload();              // Table I app mix …
+//   k8s.submit(my_pod_spec);                // … or hand-built pods
+//   knots::ExperimentReport report = k8s.run();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "knots/config.hpp"
+#include "knots/experiment.hpp"
+
+namespace knots {
+
+class KubeKnots {
+ public:
+  explicit KubeKnots(ExperimentConfig config);
+  ~KubeKnots();
+
+  KubeKnots(const KubeKnots&) = delete;
+  KubeKnots& operator=(const KubeKnots&) = delete;
+
+  /// Queues hand-built pod specs (ids are reassigned densely at run()).
+  void submit(workload::PodSpec spec);
+
+  /// Queues the configured Table I app-mix workload.
+  void submit_mix_workload();
+
+  /// Runs the cluster to completion and returns the distilled report.
+  /// Must be called exactly once.
+  ExperimentReport run();
+
+  /// The live cluster (valid after run() for post-mortem inspection).
+  [[nodiscard]] const cluster::Cluster& cluster() const;
+  [[nodiscard]] const ExperimentConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<cluster::Scheduler> scheduler_;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::vector<workload::PodSpec> submitted_;
+  bool ran_ = false;
+};
+
+}  // namespace knots

@@ -1,0 +1,186 @@
+#include "sched/cbp.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/percentile.hpp"
+
+namespace knots::sched {
+
+namespace {
+constexpr double kMinProvisionMb = 64.0;
+constexpr double kResizeHeadroom = 1.05;
+}  // namespace
+
+bool CbpScheduler::forecast_override(const cluster::Cluster&,
+                                     const telemetry::GpuView&,
+                                     double) const {
+  return false;
+}
+
+double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
+                               const cluster::Pod& pod) const {
+  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  if (prof == nullptr || prof->memory_signature.empty()) {
+    // First run of this image: trust the (overstated) user request — for
+    // inference pods that is TensorFlow's whole-device earmark, so the
+    // first query of a service effectively gets a private GPU.
+    return pod.spec().requested_mb;
+  }
+  // Knots resize: provision for the observed footprint percentile, not the
+  // declared claim. Latency-critical pods get their peak (their footprint
+  // is flat and small; under-provisioning them buys nothing).
+  const double p = pod.latency_critical() ? 100.0 : params_.provision_percentile;
+  const double target = percentile(prof->memory_signature, p);
+  return std::max(kMinProvisionMb, target * kResizeHeadroom);
+}
+
+double CbpScheduler::sm_estimate(const cluster::Cluster& cl,
+                                 const cluster::Pod& pod) const {
+  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  if (prof == nullptr) return params_.unknown_sm_estimate;
+  return prof->mean_sm;
+}
+
+double CbpScheduler::peak_sm_estimate(const cluster::Cluster& cl,
+                                      const cluster::Pod& pod) const {
+  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  if (prof == nullptr) return 1.0;
+  return prof->peak_sm;
+}
+
+bool CbpScheduler::lc_peak_safe(const cluster::Cluster& cl,
+                                const cluster::Pod& pod,
+                                const gpu::GpuDevice& dev) const {
+  double peak_sum = sm_estimate(cl, pod);
+  double batch_peak_sum = 0;
+  int contexts = 1;
+  for (PodId resident : dev.resident_pods()) {
+    const auto& res = cl.pod(resident);
+    const double peak = peak_sm_estimate(cl, res);
+    peak_sum += peak;
+    if (!res.latency_critical()) batch_peak_sum += peak;
+    ++contexts;
+  }
+  const double tax =
+      1.0 + dev.spec().context_switch_tax * static_cast<double>(contexts - 1);
+  // Worst case: every resident at its profiled peak, plus non-preemptive
+  // blocking behind the co-resident batch kernels.
+  const double worst_slowdown =
+      std::max(1.0, peak_sum) * tax *
+      (1.0 + cl.config().lc_blocking_tax * batch_peak_sum);
+  // Required: queue-free compute time under the worst slowdown fits the
+  // deadline with start latency and safety margin.
+  const auto& spec = pod.spec();
+  const double compute_s = to_seconds(spec.profile.total_duration());
+  const double budget_s =
+      to_seconds(spec.qos_latency) - to_seconds(cl.config().warm_start);
+  return compute_s * worst_slowdown * 1.15 <= budget_s;
+}
+
+bool CbpScheduler::correlation_ok(const cluster::Cluster& cl,
+                                  const cluster::Pod& pod,
+                                  const gpu::GpuDevice& dev) const {
+  const std::string key = cluster::image_key(pod.spec());
+  for (PodId resident : dev.resident_pods()) {
+    const auto corr = cl.profiles().memory_correlation(
+        key, cluster::image_key(cl.pod(resident).spec()));
+    if (corr.has_value() && *corr > params_.correlation_threshold) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void CbpScheduler::harvest(cluster::Cluster& cl) {
+  for (GpuId gpu : cl.all_gpus()) {
+    auto& dev = cl.device(gpu);
+    for (PodId id : dev.resident_pods()) {
+      const auto& pod = cl.pod(id);
+      if (pod.latency_critical()) continue;
+      if (pod.state() != cluster::PodState::kRunning) continue;
+      const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+      if (prof == nullptr || prof->memory_signature.empty()) continue;
+      const double target = std::max(
+          kMinProvisionMb,
+          percentile(prof->memory_signature, params_.provision_percentile) *
+              kResizeHeadroom);
+      if (pod.provisioned_mb() > target * kResizeHeadroom) {
+        // May fail when current usage sits above the target; retried on a
+        // later tick once the pod's demand recedes.
+        (void)cl.resize_pod(id, target);
+      }
+    }
+  }
+}
+
+void CbpScheduler::on_tick(cluster::Cluster& cl) {
+  harvest(cl);
+  if (cl.pending().empty()) return;
+
+  // Schedule order: latency-critical first (SLO-awareness), then batch pods
+  // first-fit-decreasing by their resized footprint (Algorithm 1).
+  std::vector<PodId> lc_pods;
+  std::vector<PodId> batch_pods;
+  for (PodId id : cl.pending()) {
+    (cl.pod(id).latency_critical() ? lc_pods : batch_pods).push_back(id);
+  }
+  std::stable_sort(batch_pods.begin(), batch_pods.end(),
+                   [&](PodId a, PodId b) {
+                     return sizing_mb(cl, cl.pod(a)) > sizing_mb(cl, cl.pod(b));
+                   });
+  std::vector<PodId> order = std::move(lc_pods);
+  order.insert(order.end(), batch_pods.begin(), batch_pods.end());
+
+  for (PodId id : order) {
+    const auto& pod = cl.pod(id);
+    const double size = sizing_mb(cl, pod);
+    const double sm = sm_estimate(cl, pod);
+    const double sm_cap =
+        pod.latency_critical() ? params_.sm_cap_lc : params_.sm_cap_batch;
+
+    // Algorithm 1's node list: active GPUs ordered by free memory. We walk
+    // it best-fit (least free first) so work consolidates onto already-busy
+    // GPUs and idle ones can deep-sleep.
+    auto views = cl.aggregator().active_sorted_by_free_memory();
+    std::reverse(views.begin(), views.end());
+    bool placed = false;
+    for (const auto& view : views) {
+      auto& dev = cl.device(view.gpu);
+      if (!dev.provision_fits(size)) continue;
+      if (dev.totals().sm_demand + sm > sm_cap) continue;
+      if (pod.latency_critical()) {
+        // QoS guard: deadline must survive even coincident resident peaks.
+        if (!lc_peak_safe(cl, pod, dev)) continue;
+      } else {
+        // Protect resident queries from a batch context moving in.
+        bool hosts_lc = false;
+        for (PodId resident : dev.resident_pods()) {
+          if (cl.pod(resident).latency_critical()) {
+            hosts_lc = true;
+            break;
+          }
+        }
+        if (hosts_lc) continue;
+      }
+      if (!correlation_ok(cl, pod, dev) &&
+          !forecast_override(cl, view, size)) {
+        continue;
+      }
+      placed = cl.place(id, view.gpu, size);
+      if (placed) break;
+    }
+    if (placed) continue;
+
+    // No active GPU admits the pod: wake a parked one (leaves deep sleep).
+    for (GpuId gpu : cl.all_gpus()) {
+      auto& dev = cl.device(gpu);
+      if (!dev.parked()) continue;
+      if (!dev.provision_fits(size)) continue;
+      if (cl.place(id, gpu, size)) break;
+    }
+  }
+}
+
+}  // namespace knots::sched

@@ -1,0 +1,63 @@
+// CBP — Correlation Based Provisioning (§IV-C).
+//
+// Utilization-aware sharing: batch containers are resized ("harvested") to
+// their 80th-percentile footprint using the head node's per-image profiles,
+// and pods are only co-located when their memory signatures do NOT
+// positively correlate above a threshold — uncorrelated peaks rarely
+// coincide, so harvested co-location stays crash-free. Latency-critical
+// queries are admitted first, with an SM-headroom guard for QoS.
+#pragma once
+
+#include "cluster/pod.hpp"
+#include "cluster/scheduler.hpp"
+#include "gpu/gpu_device.hpp"
+#include "sched/params.hpp"
+#include "telemetry/aggregator.hpp"
+
+namespace knots::sched {
+
+class CbpScheduler : public cluster::Scheduler {
+ public:
+  explicit CbpScheduler(SchedParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "CBP"; }
+  void on_tick(cluster::Cluster& cluster) override;
+  /// CBP/PP consolidate onto active GPUs and let idle ones deep-sleep.
+  [[nodiscard]] bool parks_idle_gpus() const override { return true; }
+
+  [[nodiscard]] const SchedParams& params() const noexcept { return params_; }
+
+ protected:
+  /// PP's hook: may admit a positively-correlated co-location when the
+  /// node's forecast says the peaks will not collide. CBP never does.
+  [[nodiscard]] virtual bool forecast_override(
+      const cluster::Cluster& cluster, const telemetry::GpuView& view,
+      double needed_mb) const;
+
+  /// Container size for a pod: percentile of the image's observed footprint
+  /// when the image is known, the (conservative) user request otherwise.
+  [[nodiscard]] double sizing_mb(const cluster::Cluster& cluster,
+                                 const cluster::Pod& pod) const;
+  /// Expected SM demand (profiled mean, or the conservative default).
+  [[nodiscard]] double sm_estimate(const cluster::Cluster& cluster,
+                                   const cluster::Pod& pod) const;
+  /// Worst-case SM demand of a resident (profiled peak; 1.0 if unknown).
+  [[nodiscard]] double peak_sm_estimate(const cluster::Cluster& cluster,
+                                        const cluster::Pod& pod) const;
+  /// QoS guard for latency-critical placement: even if every resident hits
+  /// its profiled SM peak simultaneously, the query's slowdown must keep it
+  /// inside its deadline. This is the utilization-awareness Res-Ag lacks.
+  [[nodiscard]] bool lc_peak_safe(const cluster::Cluster& cluster,
+                                  const cluster::Pod& pod,
+                                  const gpu::GpuDevice& dev) const;
+  /// Can_Co-locate: no resident image correlates above the threshold.
+  [[nodiscard]] bool correlation_ok(const cluster::Cluster& cluster,
+                                    const cluster::Pod& pod,
+                                    const gpu::GpuDevice& dev) const;
+  /// Harvests over-provisioned running batch containers down to percentile.
+  void harvest(cluster::Cluster& cluster);
+
+  SchedParams params_;
+};
+
+}  // namespace knots::sched

@@ -1,0 +1,36 @@
+// Shared tuning parameters of the four scheduling policies.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace knots::sched {
+
+struct SchedParams {
+  // Res-Ag: packs by declared requests with this overcommit budget and a
+  // per-GPU resident cap (the modified device plugin's sharing limit).
+  double overcommit = 1.2;
+  int max_residents = 3;
+
+  // CBP: pods whose image memory signatures correlate above this Spearman
+  // threshold are not co-located (§IV-C / Algorithm 1's Can_Co-locate).
+  double correlation_threshold = 0.5;
+  // Container resize target: provision for this duration-weighted
+  // percentile of the observed footprint (80th per Fig 2b; the ablation
+  // bench sweeps it).
+  double provision_percentile = 80.0;
+
+  // Utilization-aware admission: projected aggregate SM demand caps.
+  double sm_cap_batch = 1.00;
+  double sm_cap_lc = 0.90;
+  // First run of an unknown image: assume this SM demand.
+  double unknown_sm_estimate = 0.50;
+
+  // PP: telemetry window d and forecast horizon (§IV-D: five-second sliding
+  // window, one-second ARIMA forecast).
+  SimTime window = 5 * kSec;
+  SimTime forecast_horizon = 1 * kSec;
+  // Minimum positive lag-1 autocorrelation before trusting a forecast.
+  double min_autocorrelation = 0.0;
+};
+
+}  // namespace knots::sched

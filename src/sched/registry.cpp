@@ -1,0 +1,43 @@
+#include "sched/registry.hpp"
+
+#include "core/check.hpp"
+#include "sched/peak_prediction.hpp"
+#include "sched/resource_agnostic.hpp"
+#include "sched/uniform.hpp"
+
+namespace knots::sched {
+
+std::string to_string(SchedulerKind kind) {
+  switch (kind) {
+    case SchedulerKind::kUniform: return "Uniform";
+    case SchedulerKind::kResourceAgnostic: return "Res-Ag";
+    case SchedulerKind::kCbp: return "CBP";
+    case SchedulerKind::kPeakPrediction: return "PP";
+  }
+  return "unknown";
+}
+
+SchedulerKind scheduler_from_name(const std::string& name) {
+  for (SchedulerKind kind : kAllSchedulers) {
+    if (to_string(kind) == name) return kind;
+  }
+  KNOTS_CHECK_MSG(false, "unknown scheduler name");
+  return SchedulerKind::kUniform;
+}
+
+std::unique_ptr<cluster::Scheduler> make_scheduler(SchedulerKind kind,
+                                                   SchedParams params) {
+  switch (kind) {
+    case SchedulerKind::kUniform:
+      return std::make_unique<UniformScheduler>(params);
+    case SchedulerKind::kResourceAgnostic:
+      return std::make_unique<ResourceAgnosticScheduler>(params);
+    case SchedulerKind::kCbp:
+      return std::make_unique<CbpScheduler>(params);
+    case SchedulerKind::kPeakPrediction:
+      return std::make_unique<PeakPredictionScheduler>(params);
+  }
+  return nullptr;
+}
+
+}  // namespace knots::sched

@@ -1,0 +1,25 @@
+// Scheduler factory keyed by policy kind / name.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/scheduler.hpp"
+#include "sched/params.hpp"
+
+namespace knots::sched {
+
+enum class SchedulerKind { kUniform, kResourceAgnostic, kCbp, kPeakPrediction };
+
+inline constexpr std::array<SchedulerKind, 4> kAllSchedulers = {
+    SchedulerKind::kUniform, SchedulerKind::kResourceAgnostic,
+    SchedulerKind::kCbp, SchedulerKind::kPeakPrediction};
+
+std::string to_string(SchedulerKind kind);
+SchedulerKind scheduler_from_name(const std::string& name);
+
+std::unique_ptr<cluster::Scheduler> make_scheduler(SchedulerKind kind,
+                                                   SchedParams params = {});
+
+}  // namespace knots::sched

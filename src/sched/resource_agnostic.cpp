@@ -1,0 +1,36 @@
+#include "sched/resource_agnostic.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace knots::sched {
+
+void ResourceAgnosticScheduler::on_tick(cluster::Cluster& cl) {
+  // First-fit-decreasing by declared request size.
+  std::vector<PodId> order(cl.pending().begin(), cl.pending().end());
+  std::stable_sort(order.begin(), order.end(), [&](PodId a, PodId b) {
+    return cl.pod(a).spec().requested_mb > cl.pod(b).spec().requested_mb;
+  });
+  for (PodId id : order) {
+    const auto& pod = cl.pod(id);
+    const double request = pod.spec().requested_mb;
+    // The modified device plugin advertises `max_residents` opaque shares
+    // per GPU; kube-scheduler sees only share counts. GPU memory is not a
+    // Kubernetes resource, so admission is share-count feasibility plus a
+    // random pick — fully blind to live utilization and real footprints.
+    std::vector<GpuId> feasible;
+    for (GpuId gpu : cl.all_gpus()) {
+      if (cl.device(gpu).totals().residents >= params_.max_residents) continue;
+      feasible.push_back(gpu);
+    }
+    if (!feasible.empty()) {
+      const auto pick = static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(feasible.size()) - 1));
+      (void)cl.place(id, feasible[pick], request);
+    }
+  }
+}
+
+}  // namespace knots::sched

@@ -1,0 +1,28 @@
+// Res-Ag: GPU sharing enabled (modified Nvidia k8s-device-plugin) but fully
+// agnostic of real-time GPU utilization (§IV-B). Pods are packed first-fit-
+// decreasing by their *declared* requests against an overcommitted budget;
+// nobody watches actual usage, so coincident peaks cause capacity
+// violations, crashes and interference.
+#pragma once
+
+#include "cluster/scheduler.hpp"
+#include "core/rng.hpp"
+#include "sched/params.hpp"
+
+namespace knots::sched {
+
+class ResourceAgnosticScheduler final : public cluster::Scheduler {
+ public:
+  explicit ResourceAgnosticScheduler(SchedParams params = {},
+                                     std::uint64_t seed = 7)
+      : params_(params), rng_(seed) {}
+
+  [[nodiscard]] std::string name() const override { return "Res-Ag"; }
+  void on_tick(cluster::Cluster& cluster) override;
+
+ private:
+  SchedParams params_;
+  Rng rng_;
+};
+
+}  // namespace knots::sched

@@ -1,0 +1,36 @@
+#include "sched/uniform.hpp"
+
+#include <vector>
+
+#include "cluster/cluster.hpp"
+
+namespace knots::sched {
+
+void UniformScheduler::on_tick(cluster::Cluster& cl) {
+  // Strict FIFO over the pending queue; stop at the first pod that cannot
+  // be placed (head-of-line blocking, exactly the stock behaviour). Free
+  // GPUs are picked round-robin, matching the stock spreading score.
+  while (!cl.pending().empty()) {
+    const PodId head = cl.pending().front();
+    const auto& pod = cl.pod(head);
+    bool placed = false;
+    const auto gpus = cl.all_gpus();
+    for (std::size_t k = 0; k < gpus.size(); ++k) {
+      const GpuId gpu = gpus[(rr_cursor_ + k) % gpus.size()];
+      auto& dev = cl.device(gpu);
+      if (dev.totals().residents != 0) continue;
+      // Exclusive access: the pod gets the whole device; its declared
+      // request is honoured up to capacity.
+      const double provision =
+          std::min(pod.spec().requested_mb, dev.spec().memory_mb);
+      placed = cl.place(head, gpu, provision);
+      if (placed) {
+        rr_cursor_ = (rr_cursor_ + k + 1) % gpus.size();
+        break;
+      }
+    }
+    if (!placed) break;
+  }
+}
+
+}  // namespace knots::sched

@@ -1,0 +1,23 @@
+// Kubernetes' stock uniform scheduler (the paper's "Uniform" baseline):
+// GPUs are opaque countable devices, one pod per GPU, strict FIFO — so a
+// latency-critical query can be head-of-line blocked behind batch jobs.
+#pragma once
+
+#include "cluster/scheduler.hpp"
+#include "sched/params.hpp"
+
+namespace knots::sched {
+
+class UniformScheduler final : public cluster::Scheduler {
+ public:
+  explicit UniformScheduler(SchedParams params = {}) : params_(params) {}
+
+  [[nodiscard]] std::string name() const override { return "Uniform"; }
+  void on_tick(cluster::Cluster& cluster) override;
+
+ private:
+  SchedParams params_;
+  std::size_t rr_cursor_ = 0;
+};
+
+}  // namespace knots::sched

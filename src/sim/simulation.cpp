@@ -1,0 +1,54 @@
+#include "sim/simulation.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace knots::sim {
+
+void Simulation::schedule_at(SimTime t, Handler fn) {
+  KNOTS_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void Simulation::run_until(SimTime end) {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    const Event& top = queue_.top();
+    if (top.time > end) break;
+    // Copy out before pop: the handler may schedule new events.
+    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+  if (now_ < end) now_ = end;
+}
+
+void Simulation::run_all() {
+  stop_requested_ = false;
+  while (!queue_.empty() && !stop_requested_) {
+    Event ev{queue_.top().time, queue_.top().seq,
+             std::move(const_cast<Event&>(queue_.top()).fn)};
+    queue_.pop();
+    now_ = ev.time;
+    ++processed_;
+    ev.fn();
+  }
+}
+
+void schedule_periodic(Simulation& sim, SimTime first, SimTime period,
+                       std::function<bool(SimTime)> fn) {
+  KNOTS_CHECK(period > 0);
+  auto shared = std::make_shared<std::function<bool(SimTime)>>(std::move(fn));
+  // Self-rescheduling closure; stops when the callback returns false.
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [&sim, period, shared, step] {
+    if ((*shared)(sim.now())) {
+      sim.schedule_after(period, [step] { (*step)(); });
+    }
+  };
+  sim.schedule_at(first, [step] { (*step)(); });
+}
+
+}  // namespace knots::sim

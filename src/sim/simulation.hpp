@@ -1,0 +1,75 @@
+// Deterministic discrete-event simulation engine.
+//
+// Events fire in (time, insertion-sequence) order, so same-timestamp events
+// run FIFO and every run with the same inputs replays identically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+
+namespace knots::sim {
+
+class Simulation {
+ public:
+  using Handler = std::function<void()>;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending_events() const noexcept {
+    return queue_.size();
+  }
+
+  /// Schedules `fn` at absolute simulated time `t` (must not be in the past).
+  void schedule_at(SimTime t, Handler fn);
+
+  /// Schedules `fn` `dt` after the current time.
+  void schedule_after(SimTime dt, Handler fn) {
+    KNOTS_CHECK(dt >= 0);
+    schedule_at(now_ + dt, std::move(fn));
+  }
+
+  /// Runs until the queue drains or the next event is past `end`.
+  /// Advances `now()` to `end` when stopping on the time bound.
+  void run_until(SimTime end);
+
+  /// Runs until the queue drains completely.
+  void run_all();
+
+  /// Requests an orderly stop: the current run_* call returns after the
+  /// in-flight event completes.
+  void request_stop() noexcept { stop_requested_ = true; }
+
+ private:
+  struct Event {
+    SimTime time;
+    std::uint64_t seq;
+    Handler fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+};
+
+/// Repeating tick helper: invokes `fn(now)` every `period` until it returns
+/// false or the simulation stops scheduling.
+void schedule_periodic(Simulation& sim, SimTime first, SimTime period,
+                       std::function<bool(SimTime)> fn);
+
+}  // namespace knots::sim

@@ -1,0 +1,55 @@
+#include "stats/arima.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knots::stats {
+
+void Arima1::fit(std::span<const double> window) {
+  fitted_ = false;
+  mu_ = 0.0;
+  phi_ = 0.0;
+  last_ = window.empty() ? 0.0 : window.back();
+  const std::size_t n = window.size();
+  if (n < 3) return;
+
+  // Least squares of Y_t on Y_{t-1}.
+  double mx = 0, my = 0;
+  const std::size_t pairs = n - 1;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    mx += window[i];
+    my += window[i + 1];
+  }
+  mx /= static_cast<double>(pairs);
+  my /= static_cast<double>(pairs);
+  double sxy = 0, sxx = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const double dx = window[i] - mx;
+    sxy += dx * (window[i + 1] - my);
+    sxx += dx * dx;
+  }
+  if (sxx == 0.0) {
+    // Constant input: predict the constant.
+    mu_ = my;
+    phi_ = 0.0;
+    fitted_ = true;
+    return;
+  }
+  phi_ = std::clamp(sxy / sxx, -1.0, 1.0);
+  mu_ = my - phi_ * mx;
+  fitted_ = true;
+}
+
+double Arima1::predict_next() const {
+  if (!fitted_) return last_;
+  return mu_ + phi_ * last_;
+}
+
+double Arima1::predict_ahead(std::size_t steps) const {
+  double y = last_;
+  if (!fitted_) return y;
+  for (std::size_t i = 0; i < steps; ++i) y = mu_ + phi_ * y;
+  return y;
+}
+
+}  // namespace knots::stats

@@ -1,0 +1,34 @@
+// Non-seasonal first-order ARIMA — i.e. AR(1): Y_pred = mu + phi * Y_{t-1}
+// (paper Eq. 3). Fit by least squares on lag-1 pairs of the window.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "stats/forecaster.hpp"
+
+namespace knots::stats {
+
+class Arima1 final : public Forecaster {
+ public:
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override;
+  [[nodiscard]] std::string name() const override { return "ARIMA(1,0,0)"; }
+
+  /// Model intercept mu (Eq. 3); meaningful after fit().
+  [[nodiscard]] double intercept() const noexcept { return mu_; }
+  /// Lag-1 slope phi (Eq. 3); clamped to [-1, 1] for stability.
+  [[nodiscard]] double slope() const noexcept { return phi_; }
+  [[nodiscard]] bool fitted() const noexcept { return fitted_; }
+
+  /// Forecasts `steps` ahead by iterating the recurrence.
+  [[nodiscard]] double predict_ahead(std::size_t steps) const override;
+
+ private:
+  double mu_ = 0.0;
+  double phi_ = 0.0;
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace knots::stats

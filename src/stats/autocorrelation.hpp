@@ -1,0 +1,25 @@
+// Autocorrelation function (paper Eq. 2) used by the Peak Prediction
+// scheduler to decide whether a utilization series carries a forecastable
+// trend before spending an ARIMA fit on it.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace knots::stats {
+
+/// r_k = sum_{i=1}^{n-k} (Y_i - Ybar)(Y_{i+k} - Ybar) / sum (Y_i - Ybar)^2.
+/// Returns 0 for constant or too-short series.
+double autocorrelation(std::span<const double> ys, std::size_t lag);
+
+/// r_1..r_max_lag in one pass over the centered series.
+std::vector<double> autocorrelations(std::span<const double> ys,
+                                     std::size_t max_lag);
+
+/// Lag of the strongest positive autocorrelation in [1, max_lag], or 0 when
+/// none is positive — the "interval between two consecutive peaks" probe.
+std::size_t dominant_positive_lag(std::span<const double> ys,
+                                  std::size_t max_lag);
+
+}  // namespace knots::stats

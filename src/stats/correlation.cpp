@@ -1,0 +1,88 @@
+#include "stats/correlation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/check.hpp"
+
+namespace knots::stats {
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  KNOTS_CHECK(xs.size() == ys.size());
+  const std::size_t n = xs.size();
+  if (n < 2) return 0.0;
+  double mx = 0, my = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    mx += xs[i];
+    my += ys[i];
+  }
+  mx /= static_cast<double>(n);
+  my /= static_cast<double>(n);
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> fractional_ranks(std::span<const double> xs) {
+  const std::size_t n = xs.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  std::vector<double> ranks(n, 0.0);
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j + 1 < n && xs[order[j + 1]] == xs[order[i]]) ++j;
+    // Average rank across the tie group; ranks are 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (std::size_t k = i; k <= j; ++k) ranks[order[k]] = avg;
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double spearman(std::span<const double> xs, std::span<const double> ys) {
+  KNOTS_CHECK(xs.size() == ys.size());
+  if (xs.size() < 2) return 0.0;
+  const auto rx = fractional_ranks(xs);
+  const auto ry = fractional_ranks(ys);
+  return pearson(rx, ry);
+}
+
+CorrelationMatrix spearman_matrix(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& columns) {
+  KNOTS_CHECK(labels.size() == columns.size());
+  const std::size_t m = columns.size();
+  for (const auto& col : columns) {
+    KNOTS_CHECK_MSG(col.size() == columns.front().size(),
+                    "all metric columns must have equal length");
+  }
+  CorrelationMatrix out;
+  out.labels = labels;
+  out.rho.assign(m, std::vector<double>(m, 0.0));
+  // Rank once per column, correlate ranks pairwise.
+  std::vector<std::vector<double>> ranks;
+  ranks.reserve(m);
+  for (const auto& col : columns) ranks.push_back(fractional_ranks(col));
+  for (std::size_t i = 0; i < m; ++i) {
+    out.rho[i][i] = 1.0;
+    for (std::size_t j = i + 1; j < m; ++j) {
+      const double r = pearson(ranks[i], ranks[j]);
+      out.rho[i][j] = r;
+      out.rho[j][i] = r;
+    }
+  }
+  return out;
+}
+
+}  // namespace knots::stats

@@ -1,0 +1,39 @@
+// Pearson and Spearman correlation (tie-aware), plus pairwise matrices.
+//
+// Spearman's rho is the correlation score the paper uses both for the
+// Alibaba heatmaps (Fig 2a/2c, Eq. 1) and for CBP's co-location decisions.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace knots::stats {
+
+/// Pearson product-moment correlation; 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fractional (average) ranks, handling ties; ranks start at 1.
+std::vector<double> fractional_ranks(std::span<const double> xs);
+
+/// Spearman rank correlation (Pearson over fractional ranks — exactly the
+/// paper's Eq. 1 when there are no ties, and the standard tie correction
+/// otherwise). Returns 0 when either side is constant.
+double spearman(std::span<const double> xs, std::span<const double> ys);
+
+/// Labelled square correlation matrix (the Fig 2 heat maps).
+struct CorrelationMatrix {
+  std::vector<std::string> labels;
+  std::vector<std::vector<double>> rho;  ///< rho[i][j], symmetric, diag = 1.
+
+  [[nodiscard]] double at(std::size_t i, std::size_t j) const {
+    return rho[i][j];
+  }
+};
+
+/// Computes the pairwise Spearman matrix of equally-long metric columns.
+CorrelationMatrix spearman_matrix(
+    const std::vector<std::string>& labels,
+    const std::vector<std::vector<double>>& columns);
+
+}  // namespace knots::stats

@@ -1,0 +1,17 @@
+// Descriptive statistics over spans (mean, variance, COV).
+#pragma once
+
+#include <span>
+
+namespace knots::stats {
+
+double mean(std::span<const double> xs);
+/// Sample variance (n-1); 0 for fewer than two samples.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+/// Coefficient of variation sigma/mu (0 if mu == 0). Paper §III-C.
+double coefficient_of_variation(std::span<const double> xs);
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+}  // namespace knots::stats

@@ -1,0 +1,56 @@
+#include "stats/ewma_forecaster.hpp"
+
+#include "core/check.hpp"
+#include "stats/autocorrelation.hpp"
+
+namespace knots::stats {
+
+void EwmaForecaster::fit(std::span<const double> window) {
+  KNOTS_CHECK(alpha_ > 0.0 && alpha_ <= 1.0);
+  level_ = 0.0;
+  if (window.empty()) return;
+  level_ = window.front();
+  for (std::size_t i = 1; i < window.size(); ++i) {
+    level_ = (1.0 - alpha_) * level_ + alpha_ * window[i];
+  }
+}
+
+void SeasonalNaive::fit(std::span<const double> window) {
+  window_.assign(window.begin(), window.end());
+  period_ = 0;
+  if (window_.size() < 8) return;
+  const std::size_t max_lag = std::min(max_lag_, window_.size() / 2);
+  const auto acf = autocorrelations(window_, max_lag);  // acf[i] = lag i+1
+
+  // Standard ACF period detection: smooth signals autocorrelate strongly at
+  // lag 1, so wait for the ACF to dip below a low-water mark, then take the
+  // first strong local maximum after it — the fundamental period.
+  std::size_t i = 0;
+  while (i < acf.size() && acf[i] > 0.2) ++i;
+  for (; i + 1 < acf.size(); ++i) {
+    if (acf[i] > 0.5 && acf[i] >= acf[i + 1] &&
+        (i == 0 || acf[i] > acf[i - 1])) {
+      period_ = i + 1;
+      return;
+    }
+  }
+  // Spike trains: the ACF never exceeds the dip threshold at lag 1, so the
+  // loop above starts at 0; fall back to the dominant positive lag when it
+  // is strong and non-trivial.
+  const std::size_t lag = dominant_positive_lag(window_, max_lag);
+  if (lag > 1 && autocorrelation(window_, lag) > 0.5) period_ = lag;
+}
+
+double SeasonalNaive::predict_next() const { return predict_ahead(1); }
+
+double SeasonalNaive::predict_ahead(std::size_t steps) const {
+  if (window_.empty()) return 0.0;
+  if (period_ == 0) return window_.back();
+  // Value `steps` ahead mirrors the sample one period earlier.
+  const std::size_t n = window_.size();
+  const std::size_t offset = (steps - 1) % period_;
+  const std::size_t idx = n - period_ + offset;
+  return window_[idx < n ? idx : n - 1];
+}
+
+}  // namespace knots::stats

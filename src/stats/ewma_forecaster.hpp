@@ -1,0 +1,52 @@
+// Extension forecasters beyond the paper's Fig 10b set.
+//
+// EWMA: the classic production baseline (what most autoscalers actually
+// ship); Seasonal-naive: repeats the value one detected period back, which
+// exploits exactly the periodic phase structure the PP scheduler's
+// autocorrelation probe finds (§IV-D) — a natural "future work" model.
+#pragma once
+
+#include <vector>
+
+#include "stats/forecaster.hpp"
+
+namespace knots::stats {
+
+/// Exponentially-weighted moving average; forecast = current smoothed level.
+class EwmaForecaster final : public Forecaster {
+ public:
+  explicit EwmaForecaster(double alpha = 0.2) : alpha_(alpha) {}
+
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override { return level_; }
+  [[nodiscard]] std::string name() const override { return "EWMA"; }
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+ private:
+  double alpha_;
+  double level_ = 0.0;
+};
+
+/// Seasonal-naive: detects the dominant positive autocorrelation lag in the
+/// window and forecasts by repeating the cycle one period back; falls back
+/// to last-value when no period is found.
+class SeasonalNaive final : public Forecaster {
+ public:
+  explicit SeasonalNaive(std::size_t max_lag = 256) : max_lag_(max_lag) {}
+
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override;
+  [[nodiscard]] double predict_ahead(std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "Seasonal-naive"; }
+
+  /// Detected period in samples (0 = none, falls back to last value).
+  [[nodiscard]] std::size_t period() const noexcept { return period_; }
+
+ private:
+  std::size_t max_lag_;
+  std::size_t period_ = 0;
+  std::vector<double> window_;
+};
+
+}  // namespace knots::stats

@@ -1,0 +1,41 @@
+// Common one-step-ahead forecaster interface.
+//
+// The Peak Prediction scheduler and the Fig 10b accuracy experiment treat
+// every model (ARIMA/AR(1), Theil–Sen, SGD linear, MLP) uniformly: fit on a
+// sliding window, forecast the next sample.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+
+namespace knots::stats {
+
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// Fits on a window of equally spaced samples (oldest first).
+  /// Windows shorter than the model's minimum leave it in fallback mode
+  /// (predicting the last observed value).
+  virtual void fit(std::span<const double> window) = 0;
+
+  /// One-step-ahead forecast after fit().
+  [[nodiscard]] virtual double predict_next() const = 0;
+
+  /// Forecast `steps` samples ahead (>= 1). Defaults to the one-step value;
+  /// models with an explicit time axis extrapolate.
+  [[nodiscard]] virtual double predict_ahead(std::size_t steps) const {
+    (void)steps;
+    return predict_next();
+  }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+enum class ForecastModel { kArima, kTheilSen, kSgd, kMlp };
+
+/// Factory for the four models compared in Fig 10b.
+std::unique_ptr<Forecaster> make_forecaster(ForecastModel model);
+
+}  // namespace knots::stats

@@ -1,0 +1,180 @@
+#include "stats/regressors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.hpp"
+#include "stats/arima.hpp"
+
+namespace knots::stats {
+
+void TheilSen::fit(std::span<const double> window) {
+  fitted_ = false;
+  last_ = window.empty() ? 0.0 : window.back();
+  const std::size_t n = window.size();
+  next_x_ = static_cast<double>(n);
+  if (n < 3) return;
+
+  std::vector<double> slopes;
+  slopes.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      slopes.push_back((window[j] - window[i]) /
+                       static_cast<double>(j - i));
+    }
+  }
+  std::nth_element(slopes.begin(), slopes.begin() + slopes.size() / 2,
+                   slopes.end());
+  slope_ = slopes[slopes.size() / 2];
+
+  // Intercept = median of (y_i - slope * x_i).
+  std::vector<double> residues(n);
+  for (std::size_t i = 0; i < n; ++i)
+    residues[i] = window[i] - slope_ * static_cast<double>(i);
+  std::nth_element(residues.begin(), residues.begin() + n / 2, residues.end());
+  intercept_ = residues[n / 2];
+  fitted_ = true;
+}
+
+double TheilSen::predict_next() const {
+  if (!fitted_) return last_;
+  return intercept_ + slope_ * next_x_;
+}
+
+double TheilSen::predict_ahead(std::size_t steps) const {
+  if (!fitted_) return last_;
+  return intercept_ +
+         slope_ * (next_x_ + static_cast<double>(steps) - 1.0);
+}
+
+void SgdLinear::fit(std::span<const double> window) {
+  fitted_ = false;
+  last_ = window.empty() ? 0.0 : window.back();
+  const std::size_t n = window.size();
+  if (n < 3) return;
+
+  // Normalize x to [0,1] so the fixed learning rate behaves across window
+  // lengths; y is left in its natural units.
+  scale_ = static_cast<double>(n - 1);
+  next_x_ = static_cast<double>(n) / scale_;
+  w_ = 0.0;
+  b_ = window[0];
+  for (std::size_t e = 0; e < epochs_; ++e) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) / scale_;
+      const double err = (w_ * x + b_) - window[i];
+      w_ -= lr_ * err * x;
+      b_ -= lr_ * err;
+    }
+  }
+  fitted_ = true;
+}
+
+double SgdLinear::predict_next() const {
+  if (!fitted_) return last_;
+  return w_ * next_x_ + b_;
+}
+
+double SgdLinear::predict_ahead(std::size_t steps) const {
+  if (!fitted_) return last_;
+  return w_ * (next_x_ + (static_cast<double>(steps) - 1.0) / scale_) + b_;
+}
+
+Mlp::Mlp(std::size_t hidden, std::size_t epochs, double lr)
+    : hidden_(hidden), epochs_(epochs), lr_(lr) {}
+
+double Mlp::forward(double x) const {
+  double out = b2_;
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    out += w2_[h] * std::tanh(w1_[h] * x + b1_[h]);
+  }
+  return out;
+}
+
+void Mlp::fit(std::span<const double> window) {
+  fitted_ = false;
+  last_ = window.empty() ? 0.0 : window.back();
+  const std::size_t n = window.size();
+  if (n < 4) return;
+
+  // Normalize x to [0,1] and y to [0,1].
+  ymin_ = *std::min_element(window.begin(), window.end());
+  ymax_ = *std::max_element(window.begin(), window.end());
+  if (ymax_ - ymin_ < 1e-12) {
+    // Constant series: forward() returns the constant via bias.
+    w1_.assign(hidden_, 0.0);
+    b1_.assign(hidden_, 0.0);
+    w2_.assign(hidden_, 0.0);
+    b2_ = 0.0;
+    next_x_ = 1.0;
+    xstep_ = 0.0;
+    fitted_ = true;
+    return;
+  }
+
+  // Deterministic small-weight init.
+  Rng rng(0x4d4c50ull + n);  // "MLP"
+  w1_.resize(hidden_);
+  b1_.resize(hidden_);
+  w2_.resize(hidden_);
+  for (std::size_t h = 0; h < hidden_; ++h) {
+    w1_[h] = rng.uniform(-0.5, 0.5);
+    b1_[h] = rng.uniform(-0.5, 0.5);
+    w2_[h] = rng.uniform(-0.5, 0.5);
+  }
+  b2_ = 0.0;
+
+  const double xscale = static_cast<double>(n - 1);
+  next_x_ = static_cast<double>(n) / xscale;
+  xstep_ = 1.0 / xscale;
+  for (std::size_t e = 0; e < epochs_; ++e) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = static_cast<double>(i) / xscale;
+      const double target = (window[i] - ymin_) / (ymax_ - ymin_);
+      const double pred = forward(x);
+      const double err = pred - target;
+      // Backprop through the single hidden layer.
+      b2_ -= lr_ * err;
+      for (std::size_t h = 0; h < hidden_; ++h) {
+        const double a = std::tanh(w1_[h] * x + b1_[h]);
+        const double gw2 = err * a;
+        const double ga = err * w2_[h] * (1.0 - a * a);
+        w2_[h] -= lr_ * gw2;
+        w1_[h] -= lr_ * ga * x;
+        b1_[h] -= lr_ * ga;
+      }
+    }
+  }
+  fitted_ = true;
+}
+
+double Mlp::predict_at(double x) const {
+  const double norm = forward(x);
+  return ymin_ + norm * (ymax_ - ymin_);
+}
+
+double Mlp::predict_next() const {
+  if (!fitted_) return last_;
+  return predict_at(next_x_);
+}
+
+double Mlp::predict_ahead(std::size_t steps) const {
+  if (!fitted_) return last_;
+  return predict_at(next_x_ + xstep_ * (static_cast<double>(steps) - 1.0));
+}
+
+std::unique_ptr<Forecaster> make_forecaster(ForecastModel model) {
+  switch (model) {
+    case ForecastModel::kArima:
+      return std::make_unique<Arima1>();
+    case ForecastModel::kTheilSen:
+      return std::make_unique<TheilSen>();
+    case ForecastModel::kSgd:
+      return std::make_unique<SgdLinear>();
+    case ForecastModel::kMlp:
+      return std::make_unique<Mlp>();
+  }
+  return std::make_unique<Arima1>();
+}
+
+}  // namespace knots::stats

@@ -1,0 +1,86 @@
+// Comparison forecasters for Fig 10b: Theil–Sen, SGD linear regression and a
+// tiny multi-layer perceptron. All regress the sample value on its window
+// index and extrapolate one step. The paper's point — that on a 5-second
+// window these models match or trail ARIMA at far higher cost — emerges from
+// the models themselves.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/forecaster.hpp"
+
+namespace knots::stats {
+
+/// Median-of-pairwise-slopes robust linear fit over (index, value).
+class TheilSen final : public Forecaster {
+ public:
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override;
+  [[nodiscard]] double predict_ahead(std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "Theil-Sen"; }
+
+  [[nodiscard]] double slope() const noexcept { return slope_; }
+  [[nodiscard]] double intercept() const noexcept { return intercept_; }
+
+ private:
+  double slope_ = 0.0;
+  double intercept_ = 0.0;
+  double next_x_ = 0.0;
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// Plain stochastic-gradient-descent linear regression on (index, value),
+/// fixed epochs, deterministic in-order passes.
+class SgdLinear final : public Forecaster {
+ public:
+  explicit SgdLinear(std::size_t epochs = 50, double lr = 0.05)
+      : epochs_(epochs), lr_(lr) {}
+
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override;
+  [[nodiscard]] double predict_ahead(std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "SGD"; }
+
+ private:
+  std::size_t epochs_;
+  double lr_;
+  double w_ = 0.0;
+  double b_ = 0.0;
+  double next_x_ = 0.0;
+  double scale_ = 1.0;
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+/// 1-input, one-hidden-layer (tanh) perceptron trained by full-batch gradient
+/// descent; deliberately small, mirroring the paper's observation that the
+/// limited 5 s training window starves complex models.
+class Mlp final : public Forecaster {
+ public:
+  explicit Mlp(std::size_t hidden = 4, std::size_t epochs = 200,
+               double lr = 0.05);
+
+  void fit(std::span<const double> window) override;
+  [[nodiscard]] double predict_next() const override;
+  [[nodiscard]] double predict_ahead(std::size_t steps) const override;
+  [[nodiscard]] std::string name() const override { return "MLP"; }
+
+ private:
+  [[nodiscard]] double forward(double x) const;
+  [[nodiscard]] double predict_at(double x) const;
+
+  std::size_t hidden_;
+  std::size_t epochs_;
+  double lr_;
+  std::vector<double> w1_, b1_, w2_;
+  double b2_ = 0.0;
+  double next_x_ = 0.0;
+  double xstep_ = 0.0;  ///< Normalized-x distance between samples.
+  double ymin_ = 0.0, ymax_ = 1.0;
+  double last_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace knots::stats

@@ -1,0 +1,63 @@
+#include "telemetry/aggregator.hpp"
+
+#include <algorithm>
+
+namespace knots::telemetry {
+
+void UtilizationAggregator::register_node(const gpu::GpuNode& node,
+                                          const TimeSeriesDb& db) {
+  nodes_.push_back(Entry{&node, &db});
+}
+
+std::vector<GpuView> UtilizationAggregator::snapshot() const {
+  std::vector<GpuView> out;
+  for (const auto& entry : nodes_) {
+    for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
+      const auto& dev = entry.node->gpu(i);
+      const double cap = dev.spec().memory_mb;
+      GpuView v;
+      v.node = entry.node->id();
+      v.gpu = dev.id();
+      v.sm_util = entry.db->latest(dev.id(), Metric::kSmUtil);
+      v.mem_util = entry.db->latest(dev.id(), Metric::kMemUtil);
+      v.mem_used_mb = v.mem_util * cap;
+      v.free_mem_mb = cap - v.mem_used_mb;
+      v.power_watts = entry.db->latest(dev.id(), Metric::kPowerWatts);
+      v.parked = dev.parked();
+      v.residents = dev.totals().residents;
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+std::vector<GpuView> UtilizationAggregator::active_sorted_by_free_memory()
+    const {
+  auto views = snapshot();
+  std::erase_if(views, [](const GpuView& v) { return v.parked; });
+  std::stable_sort(views.begin(), views.end(),
+                   [](const GpuView& a, const GpuView& b) {
+                     return a.free_mem_mb > b.free_mem_mb;
+                   });
+  return views;
+}
+
+std::vector<double> UtilizationAggregator::window(GpuId gpu, Metric metric,
+                                                  SimTime now,
+                                                  SimTime window_len) const {
+  const Entry* entry = find_gpu(gpu);
+  if (entry == nullptr) return {};
+  return entry->db->query_window(gpu, metric, now - window_len);
+}
+
+const UtilizationAggregator::Entry* UtilizationAggregator::find_gpu(
+    GpuId gpu) const {
+  for (const auto& entry : nodes_) {
+    for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
+      if (entry.node->gpu(i).id() == gpu) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace knots::telemetry

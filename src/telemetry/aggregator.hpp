@@ -1,0 +1,61 @@
+// Head-node utilization aggregator (Fig 5).
+//
+// Queries each worker node's TimeSeriesDb and presents schedulers with a
+// cluster-wide view: latest per-GPU utilization, windowed series (the
+// time-series window `d` of §IV-C), and nodes sorted by free memory
+// (Algorithm 1's Sort_by_Free_Memory).
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "gpu/gpu_node.hpp"
+#include "telemetry/timeseries_db.hpp"
+
+namespace knots::telemetry {
+
+/// Latest known state of one GPU, as seen through telemetry.
+struct GpuView {
+  NodeId node;
+  GpuId gpu;
+  double sm_util = 0.0;        ///< Latest sampled SM utilization [0,1].
+  double mem_util = 0.0;       ///< Latest sampled memory utilization [0,1].
+  double mem_used_mb = 0.0;
+  double free_mem_mb = 0.0;    ///< capacity − used (telemetry view).
+  double power_watts = 0.0;
+  bool parked = false;
+  int residents = 0;
+};
+
+class UtilizationAggregator {
+ public:
+  /// Registers a worker node and its database. Order defines node index.
+  void register_node(const gpu::GpuNode& node, const TimeSeriesDb& db);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+
+  /// Latest per-GPU snapshot of the whole cluster.
+  [[nodiscard]] std::vector<GpuView> snapshot() const;
+
+  /// Snapshot of *active* (non-parked) GPUs sorted by free memory
+  /// (descending) — Algorithm 1's node list.
+  [[nodiscard]] std::vector<GpuView> active_sorted_by_free_memory() const;
+
+  /// Windowed series for a metric of one GPU: samples with
+  /// time >= now − window.
+  [[nodiscard]] std::vector<double> window(GpuId gpu, Metric metric,
+                                           SimTime now, SimTime window) const;
+
+ private:
+  struct Entry {
+    const gpu::GpuNode* node;
+    const TimeSeriesDb* db;
+  };
+  [[nodiscard]] const Entry* find_gpu(GpuId gpu) const;
+
+  std::vector<Entry> nodes_;
+};
+
+}  // namespace knots::telemetry

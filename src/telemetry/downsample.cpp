@@ -1,0 +1,80 @@
+#include "telemetry/downsample.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+
+namespace knots::telemetry {
+
+std::vector<Bucket> downsample(const std::vector<Sample>& samples,
+                               SimTime bucket_width, AggFn fn) {
+  KNOTS_CHECK(bucket_width > 0);
+  std::vector<Bucket> out;
+  std::size_t i = 0;
+  while (i < samples.size()) {
+    const SimTime start = (samples[i].time / bucket_width) * bucket_width;
+    const SimTime end = start + bucket_width;
+    double acc = 0;
+    double best = samples[i].value;
+    std::size_t count = 0;
+    double last = 0;
+    for (; i < samples.size() && samples[i].time < end; ++i) {
+      const double v = samples[i].value;
+      acc += v;
+      last = v;
+      switch (fn) {
+        case AggFn::kMax: best = std::max(best, v); break;
+        case AggFn::kMin: best = std::min(best, v); break;
+        default: break;
+      }
+      ++count;
+    }
+    double value = 0;
+    switch (fn) {
+      case AggFn::kMean: value = acc / static_cast<double>(count); break;
+      case AggFn::kMax:
+      case AggFn::kMin: value = best; break;
+      case AggFn::kLast: value = last; break;
+      case AggFn::kSum: value = acc; break;
+      case AggFn::kCount: value = static_cast<double>(count); break;
+    }
+    out.push_back(Bucket{start, value, count});
+  }
+  return out;
+}
+
+double window_mean(const std::vector<Sample>& samples, SimTime since) {
+  double acc = 0;
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    if (s.time >= since) {
+      acc += s.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : acc / static_cast<double>(n);
+}
+
+double window_max(const std::vector<Sample>& samples, SimTime since) {
+  double best = 0;
+  bool any = false;
+  for (const auto& s : samples) {
+    if (s.time >= since) {
+      best = any ? std::max(best, s.value) : s.value;
+      any = true;
+    }
+  }
+  return any ? best : 0.0;
+}
+
+double ewma(const std::vector<Sample>& samples, double alpha) {
+  KNOTS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  if (samples.empty()) return 0.0;
+  double acc = samples.front().value;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    acc = (1.0 - alpha) * acc + alpha * samples[i].value;
+  }
+  return acc;
+}
+
+}  // namespace knots::telemetry

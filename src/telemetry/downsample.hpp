@@ -1,0 +1,41 @@
+// Window aggregation over telemetry series — the query shapes an InfluxDB
+// deployment answers with GROUP BY time(...) buckets.
+//
+// The head-node aggregator uses these to build coarse views cheaply (mean
+// utilization per second for dashboards, per-bucket maxima for peak
+// analysis) without shipping every raw heartbeat sample.
+#pragma once
+
+#include <vector>
+
+#include "core/types.hpp"
+#include "telemetry/metric.hpp"
+
+namespace knots::telemetry {
+
+enum class AggFn { kMean, kMax, kMin, kLast, kSum, kCount };
+
+struct Bucket {
+  SimTime start;   ///< Inclusive bucket start time.
+  double value;    ///< Aggregated value (0 for empty buckets, which are
+                   ///< omitted from the output).
+  std::size_t samples;
+};
+
+/// Aggregates time-ordered samples into fixed-width buckets aligned to
+/// multiples of `bucket_width` (like Influx's GROUP BY time()). Empty
+/// buckets are omitted. Samples must be in non-decreasing time order.
+std::vector<Bucket> downsample(const std::vector<Sample>& samples,
+                               SimTime bucket_width, AggFn fn);
+
+/// Mean of sample values with time >= since (0 when empty).
+double window_mean(const std::vector<Sample>& samples, SimTime since);
+
+/// Maximum of sample values with time >= since (0 when empty).
+double window_max(const std::vector<Sample>& samples, SimTime since);
+
+/// Exponentially-weighted moving average over the full series, newest last;
+/// `alpha` is the weight of each newer sample. Returns 0 when empty.
+double ewma(const std::vector<Sample>& samples, double alpha);
+
+}  // namespace knots::telemetry

@@ -1,0 +1,41 @@
+// The five GPU metrics Knots logs in real time (§IV-A): SM utilization,
+// memory utilization, power, transfer (tx) and receive (rx) bandwidth.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "core/types.hpp"
+
+namespace knots::telemetry {
+
+enum class Metric : int {
+  kSmUtil = 0,     ///< [0,1] fraction of SM cycles.
+  kMemUtil,        ///< [0,1] fraction of device memory in use.
+  kPowerWatts,     ///< Instantaneous board power.
+  kTxBandwidth,    ///< Host-to-device MB/s.
+  kRxBandwidth,    ///< Device-to-host MB/s.
+};
+
+inline constexpr std::array<Metric, 5> kAllMetrics = {
+    Metric::kSmUtil, Metric::kMemUtil, Metric::kPowerWatts,
+    Metric::kTxBandwidth, Metric::kRxBandwidth};
+
+constexpr std::string_view metric_name(Metric m) noexcept {
+  switch (m) {
+    case Metric::kSmUtil: return "sm_util";
+    case Metric::kMemUtil: return "mem_util";
+    case Metric::kPowerWatts: return "power";
+    case Metric::kTxBandwidth: return "tx_bandwidth";
+    case Metric::kRxBandwidth: return "rx_bandwidth";
+  }
+  return "unknown";
+}
+
+/// One logged observation.
+struct Sample {
+  SimTime time;
+  double value;
+};
+
+}  // namespace knots::telemetry

@@ -1,0 +1,55 @@
+#include "telemetry/timeseries_db.hpp"
+
+namespace knots::telemetry {
+
+void TimeSeriesDb::write(GpuId gpu, Metric metric, Sample sample) {
+  const Key key{gpu.value, static_cast<int>(metric)};
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(key, RingBuffer<Sample>(retention_)).first;
+  }
+  it->second.push(sample);
+  ++total_samples_;
+}
+
+std::vector<double> TimeSeriesDb::query_window(GpuId gpu, Metric metric,
+                                               SimTime since) const {
+  std::vector<double> out;
+  const Key key{gpu.value, static_cast<int>(metric)};
+  auto it = series_.find(key);
+  if (it == series_.end()) return out;
+  const auto& buf = it->second;
+  // Samples are time-ordered; binary-search the window start.
+  std::size_t lo = 0, hi = buf.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (buf.at(mid).time < since) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  out.reserve(buf.size() - lo);
+  for (std::size_t i = lo; i < buf.size(); ++i) out.push_back(buf.at(i).value);
+  return out;
+}
+
+std::vector<Sample> TimeSeriesDb::query_all(GpuId gpu, Metric metric) const {
+  std::vector<Sample> out;
+  const Key key{gpu.value, static_cast<int>(metric)};
+  auto it = series_.find(key);
+  if (it == series_.end()) return out;
+  out.reserve(it->second.size());
+  for (std::size_t i = 0; i < it->second.size(); ++i)
+    out.push_back(it->second.at(i));
+  return out;
+}
+
+double TimeSeriesDb::latest(GpuId gpu, Metric metric, double fallback) const {
+  const Key key{gpu.value, static_cast<int>(metric)};
+  auto it = series_.find(key);
+  if (it == series_.end() || it->second.empty()) return fallback;
+  return it->second.back().value;
+}
+
+}  // namespace knots::telemetry

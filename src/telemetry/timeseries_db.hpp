@@ -1,0 +1,63 @@
+// Node-local time-series database — the InfluxDB surrogate.
+//
+// One instance lives on each worker node; the head-node aggregator queries it
+// per heartbeat (Fig 5). Series are bounded ring buffers: Influx retention
+// policies map to a fixed per-series sample capacity.
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ring_buffer.hpp"
+#include "core/types.hpp"
+#include "telemetry/metric.hpp"
+
+namespace knots::telemetry {
+
+class TimeSeriesDb {
+ public:
+  /// `retention` = max samples kept per (gpu, metric) series.
+  explicit TimeSeriesDb(std::size_t retention = 65536)
+      : retention_(retention) {}
+
+  /// Appends one observation.
+  void write(GpuId gpu, Metric metric, Sample sample);
+
+  /// Values (oldest-first) with time >= since. Empty when none.
+  [[nodiscard]] std::vector<double> query_window(GpuId gpu, Metric metric,
+                                                 SimTime since) const;
+
+  /// Full retained samples (oldest-first) for a series.
+  [[nodiscard]] std::vector<Sample> query_all(GpuId gpu, Metric metric) const;
+
+  /// Most recent value, or fallback when the series is empty.
+  [[nodiscard]] double latest(GpuId gpu, Metric metric,
+                              double fallback = 0.0) const;
+
+  [[nodiscard]] std::size_t series_count() const noexcept {
+    return series_.size();
+  }
+  [[nodiscard]] std::size_t total_samples() const noexcept {
+    return total_samples_;
+  }
+
+ private:
+  struct Key {
+    std::int32_t gpu;
+    int metric;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      return std::hash<std::int64_t>{}(
+          (static_cast<std::int64_t>(k.gpu) << 8) | k.metric);
+    }
+  };
+
+  std::size_t retention_;
+  std::unordered_map<Key, RingBuffer<Sample>, KeyHash> series_;
+  std::size_t total_samples_ = 0;
+};
+
+}  // namespace knots::telemetry

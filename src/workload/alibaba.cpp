@@ -1,0 +1,124 @@
+#include "workload/alibaba.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace knots::workload {
+
+namespace {
+double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
+}  // namespace
+
+std::vector<std::string> lc_metric_labels() {
+  return {"cpu_util", "mem_util", "net_in",  "net_out",
+          "disk_io",  "load_1",   "load_5",  "load_15"};
+}
+
+std::vector<std::string> batch_metric_labels() {
+  return {"core_util", "mem_util", "net_in", "load_1", "load_5", "load_15"};
+}
+
+ContainerStats AlibabaTrace::sample_container() {
+  ContainerStats c;
+  c.batch = next_is_batch();
+  // Average CPU utilization centres at ~47 % of request, memory at ~76 %
+  // (Fig 2b). Batch tasks are slightly busier and less variable.
+  const double cpu_mu = c.batch ? 0.52 : 0.45;
+  const double mem_mu = c.batch ? 0.78 : 0.75;
+  c.cpu_avg = clamp01(rng_.normal(cpu_mu, 0.18));
+  c.mem_avg = clamp01(rng_.normal(mem_mu, 0.14));
+  // Maxima sit above averages with a heavy-ish tail but below the request
+  // ceiling most of the time (max mem rarely exceeds 80 % of provisioned).
+  c.cpu_max = clamp01(c.cpu_avg + rng_.pareto(2.5, 0.05, 0.60));
+  c.mem_max = clamp01(c.mem_avg + rng_.pareto(3.0, 0.02, 0.25));
+  return c;
+}
+
+LcMetrics AlibabaTrace::sample_lc_metrics() {
+  // Latency-critical tasks are short-lived: their per-task averages are
+  // dominated by request noise, so metrics de-correlate (Fig 2a). A faint
+  // shared "request intensity" factor keeps tiny residual structure.
+  const double f = rng_.uniform(0.0, 0.3);
+  LcMetrics m;
+  m.cpu_util = clamp01(0.15 * f + rng_.uniform(0.05, 0.85));
+  m.mem_util = clamp01(0.10 * f + rng_.uniform(0.30, 0.95));
+  m.net_in = 0.2 * f + rng_.lognormal(0.0, 0.8);
+  m.net_out = 0.1 * f + rng_.lognormal(-0.2, 0.9);
+  m.disk_io = rng_.lognormal(-0.5, 1.0);
+  m.load_1 = clamp01(0.2 * m.cpu_util + rng_.uniform(0.0, 0.8));
+  m.load_5 = clamp01(0.1 * m.load_1 + rng_.uniform(0.0, 0.8));
+  m.load_15 = clamp01(rng_.uniform(0.0, 0.8));
+  return m;
+}
+
+BatchMetrics AlibabaTrace::sample_batch_metrics() {
+  // Long-running batch tasks: a strong latent work-intensity factor drives
+  // core, memory and the 1/5/15-second load averages together (Fig 2c).
+  const double work = rng_.uniform(0.15, 0.95);
+  BatchMetrics m;
+  m.core_util = clamp01(work + rng_.normal(0.0, 0.06));
+  m.mem_util = clamp01(0.15 + 0.75 * work + rng_.normal(0.0, 0.07));
+  // Network correlates negatively: I/O-bound phases starve compute.
+  m.net_in = std::max(0.0, 1.2 - work + rng_.normal(0.0, 0.15));
+  m.load_1 = clamp01(work + rng_.normal(0.0, 0.05));
+  m.load_5 = clamp01(work + rng_.normal(0.0, 0.08));
+  m.load_15 = clamp01(work + rng_.normal(0.0, 0.11));
+  return m;
+}
+
+std::vector<std::vector<double>> AlibabaTrace::lc_metric_columns(
+    std::size_t tasks) {
+  std::vector<std::vector<double>> cols(8, std::vector<double>());
+  for (auto& c : cols) c.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const LcMetrics m = sample_lc_metrics();
+    const double vals[8] = {m.cpu_util, m.mem_util, m.net_in,  m.net_out,
+                            m.disk_io,  m.load_1,   m.load_5,  m.load_15};
+    for (std::size_t j = 0; j < 8; ++j) cols[j].push_back(vals[j]);
+  }
+  return cols;
+}
+
+std::vector<std::vector<double>> AlibabaTrace::batch_metric_columns(
+    std::size_t tasks) {
+  std::vector<std::vector<double>> cols(6, std::vector<double>());
+  for (auto& c : cols) c.reserve(tasks);
+  for (std::size_t i = 0; i < tasks; ++i) {
+    const BatchMetrics m = sample_batch_metrics();
+    const double vals[6] = {m.core_util, m.mem_util, m.net_in,
+                            m.load_1,    m.load_5,   m.load_15};
+    for (std::size_t j = 0; j < 6; ++j) cols[j].push_back(vals[j]);
+  }
+  return cols;
+}
+
+std::vector<SimTime> AlibabaTrace::arrivals(SimTime duration,
+                                            SimTime mean_interarrival,
+                                            double burstiness, bool diurnal) {
+  std::vector<SimTime> out;
+  SimTime t = 0;
+  const double mean_us = static_cast<double>(mean_interarrival);
+  // Log-normal inter-arrivals with the requested mean; sigma sets the COV.
+  const double sigma = std::sqrt(std::log1p(burstiness * burstiness));
+  const double mu = std::log(mean_us) - 0.5 * sigma * sigma;
+  while (true) {
+    double gap = burstiness > 0 ? rng_.lognormal(mu, sigma)
+                                : rng_.exponential(mean_us);
+    if (diurnal) {
+      // Two-peak diurnal envelope mapped onto the window: intensity in
+      // [0.6, 1.4] → divide gaps by it.
+      const double phase = static_cast<double>(t) /
+                           static_cast<double>(std::max<SimTime>(duration, 1));
+      const double intensity =
+          1.0 + 0.4 * std::sin(2.0 * std::numbers::pi * 2.0 * phase);
+      gap /= intensity;
+    }
+    t += std::max<SimTime>(1, static_cast<SimTime>(gap));
+    if (t >= duration) break;
+    out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace knots::workload

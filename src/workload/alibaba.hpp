@@ -1,0 +1,77 @@
+// Alibaba-2017-style cluster trace generator.
+//
+// The paper mines the open Alibaba CPU trace (1 313 machines, 12 951 batch
+// jobs, 11 089 containers over 12 h) for three facts it then builds on:
+//  (1) requests are overcommitted — average CPU utilization ~47 %, average
+//      memory utilization ~76 %, half of the pods use <45 % of provisioned
+//      memory (Fig 2b, Observation 2);
+//  (2) batch tasks' utilization metrics are strongly correlated (core↔memory
+//      positive, core↔load_1/5/15 positive), latency-critical tasks' are not
+//      (Fig 2a vs 2c, Observation 3);
+//  (3) arrivals follow a Pareto 80/20 split — 80 % short-lived tasks, 20 %
+//      long-running batch — with diurnal intensity (§III).
+// The real trace is not redistributable here, so this module generates a
+// synthetic trace with exactly those marginals; every consumer in the paper
+// (Fig 2 and the load generator's arrival process) reads only them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+
+namespace knots::workload {
+
+/// Per-container lifetime statistics (utilizations as fractions of request).
+struct ContainerStats {
+  bool batch = false;
+  double cpu_avg = 0, cpu_max = 0;
+  double mem_avg = 0, mem_max = 0;
+};
+
+/// One task's time-averaged utilization metrics (for the heatmaps).
+struct LcMetrics {
+  double cpu_util, mem_util, net_in, net_out, disk_io, load_1, load_5, load_15;
+};
+struct BatchMetrics {
+  double core_util, mem_util, net_in, load_1, load_5, load_15;
+};
+
+std::vector<std::string> lc_metric_labels();    // 8 labels (Fig 2a).
+std::vector<std::string> batch_metric_labels(); // 6 labels (Fig 2c).
+
+class AlibabaTrace {
+ public:
+  explicit AlibabaTrace(Rng rng) : rng_(rng) {}
+
+  /// Per-container lifetime utilization sample (Fig 2b population).
+  ContainerStats sample_container();
+
+  /// One latency-critical task's metric vector — weakly/inconsistently
+  /// correlated (short-lived tasks, Fig 2a).
+  LcMetrics sample_lc_metrics();
+
+  /// One batch task's metric vector — strong core↔memory and core↔load
+  /// correlation (Fig 2c).
+  BatchMetrics sample_batch_metrics();
+
+  /// Metric columns for a Spearman matrix: columns[i][k] = metric i of task k.
+  std::vector<std::vector<double>> lc_metric_columns(std::size_t tasks);
+  std::vector<std::vector<double>> batch_metric_columns(std::size_t tasks);
+
+  /// Task arrival times over `duration` with the given mean inter-arrival;
+  /// diurnal intensity modulation (two peaks per 24 h scaled into the
+  /// window) and `burstiness` >= 0 controlling inter-arrival COV
+  /// (0 = Poisson; larger = heavier log-normal bursts).
+  std::vector<SimTime> arrivals(SimTime duration, SimTime mean_interarrival,
+                                double burstiness = 0.5, bool diurnal = true);
+
+  /// Pareto-principle task-class split: true = long-running batch (20 %).
+  bool next_is_batch() { return rng_.chance(0.20); }
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace knots::workload

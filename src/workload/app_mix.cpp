@@ -1,0 +1,67 @@
+#include "workload/app_mix.hpp"
+
+#include "core/check.hpp"
+
+namespace knots::workload {
+
+AppMix app_mix(int id) {
+  switch (id) {
+    case 1:
+      return AppMix{
+          1,
+          "app-mix-1",
+          {RodiniaApp::kLeukocyte, RodiniaApp::kHeartwall,
+           RodiniaApp::kParticleFilter, RodiniaApp::kMummerGpu},
+          {Service::kFace, Service::kKey},
+          LoadLevel::kHigh,
+          CovLevel::kLow,
+      };
+    case 2:
+      return AppMix{
+          2,
+          "app-mix-2",
+          {RodiniaApp::kPathfinder, RodiniaApp::kLud, RodiniaApp::kKmeans,
+           RodiniaApp::kStreamCluster},
+          {Service::kChk, Service::kNer, Service::kPos},
+          LoadLevel::kMedium,
+          CovLevel::kMedium,
+      };
+    case 3:
+      return AppMix{
+          3,
+          "app-mix-3",
+          {RodiniaApp::kParticleFilter, RodiniaApp::kStreamCluster,
+           RodiniaApp::kLud, RodiniaApp::kMyocyte},
+          {Service::kImc, Service::kFace},
+          LoadLevel::kLow,
+          CovLevel::kHigh,
+      };
+    default:
+      KNOTS_CHECK_MSG(false, "app mix id must be 1, 2 or 3");
+      return AppMix{};
+  }
+}
+
+std::vector<AppMix> all_app_mixes() {
+  return {app_mix(1), app_mix(2), app_mix(3)};
+}
+
+std::string to_string(LoadLevel l) {
+  switch (l) {
+    case LoadLevel::kLow: return "LOW";
+    case LoadLevel::kMedium: return "MED";
+    case LoadLevel::kHigh: return "HIGH";
+  }
+  return "?";
+}
+
+std::string to_string(CovLevel c) {
+  switch (c) {
+    case CovLevel::kLow: return "LOW";
+    case CovLevel::kMedium: return "MED";
+    case CovLevel::kHigh: return "HIGH";
+  }
+  return "?";
+}
+
+}  // namespace knots::workload

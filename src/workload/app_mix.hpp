@@ -1,0 +1,34 @@
+// The three datacenter application mixes of Table I: batch Rodinia jobs
+// blended with latency-critical inference queries, binned by offered load
+// and load variability (COV).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/djinn_tonic.hpp"
+#include "workload/rodinia.hpp"
+
+namespace knots::workload {
+
+enum class LoadLevel { kLow, kMedium, kHigh };
+enum class CovLevel { kLow, kMedium, kHigh };
+
+struct AppMix {
+  int id = 0;
+  std::string name;
+  std::vector<RodiniaApp> batch_apps;
+  std::vector<Service> lc_services;
+  LoadLevel load = LoadLevel::kMedium;
+  CovLevel cov = CovLevel::kMedium;
+};
+
+/// Table I rows; `id` in {1, 2, 3}.
+AppMix app_mix(int id);
+
+std::vector<AppMix> all_app_mixes();
+
+std::string to_string(LoadLevel l);
+std::string to_string(CovLevel c);
+
+}  // namespace knots::workload

@@ -1,0 +1,114 @@
+#include "workload/app_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace knots::workload {
+
+AppProfile::AppProfile(std::string name, std::vector<Phase> phases, int cycles)
+    : name_(std::move(name)), phases_(std::move(phases)), cycles_(cycles) {
+  KNOTS_CHECK(!phases_.empty());
+  KNOTS_CHECK(cycles_ >= 1);
+  for (const auto& ph : phases_) {
+    KNOTS_CHECK(ph.duration > 0);
+    cycle_ += ph.duration;
+  }
+}
+
+const gpu::Usage& AppProfile::usage_at(SimTime t) const {
+  KNOTS_CHECK(!phases_.empty());
+  if (t < 0) t = 0;
+  SimTime in_cycle = cycle_ > 0 ? t % cycle_ : 0;
+  for (const auto& ph : phases_) {
+    if (in_cycle < ph.duration) return ph.usage;
+    in_cycle -= ph.duration;
+  }
+  return phases_.back().usage;
+}
+
+double AppProfile::memory_percentile_mb(double p) const {
+  // Duration-weighted quantile over phases.
+  struct Seg {
+    double mb;
+    SimTime dur;
+  };
+  std::vector<Seg> segs;
+  segs.reserve(phases_.size());
+  for (const auto& ph : phases_) segs.push_back({ph.usage.memory_mb, ph.duration});
+  std::sort(segs.begin(), segs.end(),
+            [](const Seg& a, const Seg& b) { return a.mb < b.mb; });
+  const double target = p / 100.0 * static_cast<double>(cycle_);
+  double acc = 0;
+  for (const auto& s : segs) {
+    acc += static_cast<double>(s.dur);
+    if (acc >= target) return s.mb;
+  }
+  return segs.back().mb;
+}
+
+double AppProfile::peak_memory_mb() const {
+  double peak = 0;
+  for (const auto& ph : phases_) peak = std::max(peak, ph.usage.memory_mb);
+  return peak;
+}
+
+double AppProfile::peak_sm() const {
+  double peak = 0;
+  for (const auto& ph : phases_) peak = std::max(peak, ph.usage.sm);
+  return peak;
+}
+
+double AppProfile::mean_sm() const {
+  double acc = 0;
+  for (const auto& ph : phases_)
+    acc += ph.usage.sm * static_cast<double>(ph.duration);
+  return acc / static_cast<double>(cycle_);
+}
+
+double AppProfile::mean_memory_mb() const {
+  double acc = 0;
+  for (const auto& ph : phases_)
+    acc += ph.usage.memory_mb * static_cast<double>(ph.duration);
+  return acc / static_cast<double>(cycle_);
+}
+
+AppProfile AppProfile::time_scaled(double factor) const {
+  KNOTS_CHECK(factor > 0);
+  std::vector<Phase> scaled = phases_;
+  for (auto& ph : scaled) {
+    ph.duration = std::max<SimTime>(
+        1, static_cast<SimTime>(std::llround(
+               static_cast<double>(ph.duration) * factor)));
+  }
+  return AppProfile(name_, std::move(scaled), cycles_);
+}
+
+AppProfile AppProfile::with_cycles(int cycles) const {
+  return AppProfile(name_, phases_, cycles);
+}
+
+std::vector<double> AppProfile::memory_signature(std::size_t points) const {
+  std::vector<double> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const SimTime t = static_cast<SimTime>(
+        static_cast<double>(cycle_) * static_cast<double>(i) /
+        static_cast<double>(points));
+    out.push_back(usage_at(t).memory_mb);
+  }
+  return out;
+}
+
+std::vector<double> AppProfile::sm_signature(std::size_t points) const {
+  std::vector<double> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const SimTime t = static_cast<SimTime>(
+        static_cast<double>(cycle_) * static_cast<double>(i) /
+        static_cast<double>(points));
+    out.push_back(usage_at(t).sm);
+  }
+  return out;
+}
+
+}  // namespace knots::workload

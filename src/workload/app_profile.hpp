@@ -1,0 +1,77 @@
+// Phased application resource profiles.
+//
+// Every workload (Rodinia batch app, Djinn&Tonic inference query) is a
+// sequence of phases, each with a nominal GPU demand tuple. A profile is a
+// pure function of *application time* (time actually executed on the GPU,
+// i.e. wall time divided by the co-location slowdown), which reproduces the
+// paper's key observable: PCIe bursts lead compute/memory peaks by a
+// deterministic phase pattern (Observation 4) that CBP/PP can forecast.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/types.hpp"
+#include "gpu/gpu_device.hpp"
+
+namespace knots::workload {
+
+struct Phase {
+  SimTime duration = 0;
+  gpu::Usage usage{};  ///< Nominal demand during the phase.
+};
+
+class AppProfile {
+ public:
+  AppProfile() = default;
+  /// `cycles` repeats the phase list; total duration = cycle × cycles.
+  AppProfile(std::string name, std::vector<Phase> phases, int cycles = 1);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::vector<Phase>& phases() const noexcept {
+    return phases_;
+  }
+  [[nodiscard]] int cycles() const noexcept { return cycles_; }
+  [[nodiscard]] SimTime cycle_duration() const noexcept { return cycle_; }
+  [[nodiscard]] SimTime total_duration() const noexcept {
+    return cycle_ * cycles_;
+  }
+
+  /// Demand at application time `t` (clamped to the last phase beyond the
+  /// end; callers normally stop at total_duration()).
+  [[nodiscard]] const gpu::Usage& usage_at(SimTime t) const;
+
+  /// Duration-weighted quantile of the memory demand, in MB. p in [0,100].
+  /// This is what CBP's 80th-percentile container resizing reads.
+  [[nodiscard]] double memory_percentile_mb(double p) const;
+
+  [[nodiscard]] double peak_memory_mb() const;
+  [[nodiscard]] double peak_sm() const;
+  /// Duration-weighted mean SM demand.
+  [[nodiscard]] double mean_sm() const;
+  /// Duration-weighted mean memory demand, MB.
+  [[nodiscard]] double mean_memory_mb() const;
+
+  /// Returns a copy with every phase duration multiplied by `factor`
+  /// (scaling a sub-second characterization run up to batch-job length).
+  [[nodiscard]] AppProfile time_scaled(double factor) const;
+
+  /// Returns a copy repeating for `cycles` cycles.
+  [[nodiscard]] AppProfile with_cycles(int cycles) const;
+
+  /// Samples the memory series at fixed steps over one cycle — the
+  /// "container resource usage profile" the head node keeps per image.
+  [[nodiscard]] std::vector<double> memory_signature(
+      std::size_t points = 64) const;
+  /// Same for SM demand.
+  [[nodiscard]] std::vector<double> sm_signature(std::size_t points = 64) const;
+
+ private:
+  std::string name_;
+  std::vector<Phase> phases_;
+  int cycles_ = 1;
+  SimTime cycle_ = 0;
+};
+
+}  // namespace knots::workload

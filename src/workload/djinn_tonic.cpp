@@ -1,0 +1,100 @@
+#include "workload/djinn_tonic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/check.hpp"
+
+namespace knots::workload {
+
+namespace {
+struct ServiceModel {
+  double weights_mb;       ///< Model weights resident once per container.
+  double per_query_mb;     ///< Activation memory per sample in the batch.
+  double batch_exponent;   ///< Sub-linear activation growth exponent.
+  double base_latency_ms;  ///< Single-query latency.
+  double per_query_ms;     ///< Marginal latency per extra batched sample.
+  double sm_base;          ///< SM demand at batch 1.
+  double sm_max;           ///< SM demand saturation at large batches.
+};
+
+const ServiceModel& model_for(Service s) {
+  // face/imc are vision (large weights, long latency); key is speech;
+  // ner/pos/chk are small text models.
+  static const ServiceModel kModels[] = {
+      /*face*/ {780.0, 26.0, 0.85, 45.0, 1.30, 0.30, 0.85},
+      /*imc*/ {1250.0, 40.0, 0.86, 90.0, 2.40, 0.35, 0.95},
+      /*key*/ {360.0, 12.0, 0.80, 12.0, 0.45, 0.18, 0.60},
+      /*ner*/ {310.0, 10.0, 0.80, 10.0, 0.35, 0.15, 0.55},
+      /*pos*/ {270.0, 9.0, 0.80, 9.0, 0.30, 0.14, 0.50},
+      /*chk*/ {330.0, 11.0, 0.80, 11.0, 0.38, 0.16, 0.55},
+  };
+  return kModels[static_cast<int>(s)];
+}
+}  // namespace
+
+std::string_view service_name(Service s) noexcept {
+  switch (s) {
+    case Service::kFace: return "face";
+    case Service::kImc: return "imc";
+    case Service::kKey: return "key";
+    case Service::kNer: return "ner";
+    case Service::kPos: return "pos";
+    case Service::kChk: return "chk";
+  }
+  return "unknown";
+}
+
+Service service_from_name(std::string_view name) {
+  for (Service s : kAllServices) {
+    if (service_name(s) == name) return s;
+  }
+  KNOTS_CHECK_MSG(false, "unknown service name");
+  return Service::kFace;
+}
+
+double inference_memory_mb(Service s, int batch_size) {
+  KNOTS_CHECK(batch_size >= 1);
+  const auto& m = model_for(s);
+  return m.weights_mb +
+         m.per_query_mb * std::pow(static_cast<double>(batch_size),
+                                   m.batch_exponent);
+}
+
+double tf_managed_memory_mb(double device_capacity_mb) {
+  return 0.99 * device_capacity_mb;
+}
+
+SimTime inference_latency(Service s, int batch_size) {
+  KNOTS_CHECK(batch_size >= 1);
+  const auto& m = model_for(s);
+  const double ms =
+      m.base_latency_ms + m.per_query_ms * static_cast<double>(batch_size - 1);
+  return static_cast<SimTime>(ms * static_cast<double>(kMsec));
+}
+
+double inference_sm_demand(Service s, int batch_size) {
+  const auto& m = model_for(s);
+  // Demand saturates exponentially with batch size (occupancy fills).
+  const double ramp =
+      1.0 - std::exp(-static_cast<double>(batch_size) / 32.0);
+  return m.sm_base + (m.sm_max - m.sm_base) * ramp;
+}
+
+AppProfile inference_profile(Service s, int batch_size) {
+  const SimTime total = inference_latency(s, batch_size);
+  const double mem = inference_memory_mb(s, batch_size);
+  const double sm = inference_sm_demand(s, batch_size);
+  // 20 % load / 70 % compute / 10 % respond split of the latency budget.
+  const SimTime load = std::max<SimTime>(1, total / 5);
+  const SimTime respond = std::max<SimTime>(1, total / 10);
+  const SimTime compute = std::max<SimTime>(1, total - load - respond);
+  std::vector<Phase> phases = {
+      {load, gpu::Usage{0.05, mem * 0.6, 3500.0, 0.0}},
+      {compute, gpu::Usage{sm, mem, 0.0, 0.0}},
+      {respond, gpu::Usage{0.03, mem * 0.8, 0.0, 1200.0}},
+  };
+  return AppProfile(std::string(service_name(s)), std::move(phases), 1);
+}
+
+}  // namespace knots::workload

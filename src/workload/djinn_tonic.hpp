@@ -1,0 +1,53 @@
+// Djinn & Tonic DNN-inference service models (the paper's latency-critical
+// workloads), executed through TensorFlow on the GPU.
+//
+// Calibrated to Fig 4: a single inference uses well under 10 % of a 16 GB
+// P100; even at batch 128 most services stay under 50 % — while stock
+// TensorFlow earmarks ~99 % of device memory regardless (internal
+// fragmentation). Latency scale matches §II-C (image-recognition inference
+// ~90 ms on P100; text services ~10 ms).
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "workload/app_profile.hpp"
+
+namespace knots::workload {
+
+enum class Service : int {
+  kFace = 0,  ///< Face recognition.
+  kImc,       ///< Image classification.
+  kKey,       ///< Keyword spotting (speech).
+  kNer,       ///< Named-entity recognition.
+  kPos,       ///< Part-of-speech tagging.
+  kChk,       ///< Text chunking.
+};
+
+inline constexpr std::array<Service, 6> kAllServices = {
+    Service::kFace, Service::kImc, Service::kKey,
+    Service::kNer,  Service::kPos, Service::kChk};
+
+std::string_view service_name(Service s) noexcept;
+Service service_from_name(std::string_view name);
+
+/// Actual device-memory footprint of a query at the given batch size, MB.
+/// Sub-linear in batch size (activations share weight memory).
+double inference_memory_mb(Service s, int batch_size);
+
+/// Footprint when TensorFlow manages memory with default (greedy) options:
+/// ~99 % of the device, independent of the workload (Fig 4's "TF" series).
+double tf_managed_memory_mb(double device_capacity_mb);
+
+/// End-to-end single-GPU compute latency of a batched query, uncontended.
+SimTime inference_latency(Service s, int batch_size);
+
+/// SM demand of the query's compute phase, in [0,1].
+double inference_sm_demand(Service s, int batch_size);
+
+/// Three-phase profile of one (batched) query: weight/input load (tx burst)
+/// → compute (SM + full footprint) → response (rx). Total duration equals
+/// inference_latency().
+AppProfile inference_profile(Service s, int batch_size);
+
+}  // namespace knots::workload

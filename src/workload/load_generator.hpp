@@ -1,0 +1,69 @@
+// Pod specifications and the cluster load generator.
+//
+// The generator mirrors §III: task arrivals follow the Alibaba inter-arrival
+// pattern (log-normal bursts + diurnal envelope), the batch/LC split follows
+// the Pareto principle, batch jobs are scaled-up Rodinia profiles, and
+// latency-critical pods are single batched inference queries with a 150 ms
+// end-to-end QoS target ("the tail at scale").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/types.hpp"
+#include "workload/alibaba.hpp"
+#include "workload/app_mix.hpp"
+#include "workload/app_profile.hpp"
+
+namespace knots::workload {
+
+enum class PodClass { kBatch, kLatencyCritical };
+
+/// Everything the orchestrator knows about a pod when it arrives.
+struct PodSpec {
+  PodId id{};
+  std::string app;            ///< Image name (rodinia app / inference service).
+  PodClass klass = PodClass::kBatch;
+  SimTime arrival = 0;
+  AppProfile profile;         ///< Ground-truth usage trace (the pod runs this).
+  double requested_mb = 0;    ///< User-declared memory request (overstated).
+  SimTime qos_latency = 0;    ///< LC only: end-to-end deadline (150 ms).
+  int batch_size = 1;         ///< LC only: inference batch size.
+  /// TensorFlow default allocator: the pod greedily earmarks ~99 % of
+  /// whatever its container allocation permits, regardless of footprint
+  /// (Fig 4's TF series). Knots-style resizing shrinks the allocation and
+  /// thereby the earmark; GPU-agnostic schedulers leave it whole-device.
+  bool tf_greedy = false;
+};
+
+struct LoadGenConfig {
+  SimTime duration = 600 * kSec;  ///< Arrival window.
+  double device_memory_mb = 16384.0;
+  /// Global intensity knobs (1.0 = paper-calibrated defaults for a
+  /// ten-node single-GPU cluster).
+  double batch_rate_scale = 1.0;
+  double lc_rate_scale = 1.0;
+  /// Batch-job length scaling range (characterization cycle → job).
+  double min_time_scale = 20.0;
+  double max_time_scale = 45.0;
+  int min_cycles = 3;
+  int max_cycles = 8;
+  /// Users overstate requests by this factor range (Observation 2).
+  double min_overstatement = 1.3;
+  double max_overstatement = 2.1;
+  SimTime qos_latency = 150 * kMsec;
+};
+
+/// Mean batch-pod inter-arrival for a load level (before rate_scale).
+SimTime batch_interarrival(LoadLevel level);
+/// Mean LC-query inter-arrival for a load level (before rate_scale).
+SimTime lc_interarrival(LoadLevel level);
+/// Arrival burstiness for a COV level.
+double arrival_burstiness(CovLevel level);
+
+/// Generates the pod arrival stream for one app mix, sorted by arrival time.
+std::vector<PodSpec> generate_workload(const AppMix& mix,
+                                       const LoadGenConfig& config, Rng rng);
+
+}  // namespace knots::workload

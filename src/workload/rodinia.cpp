@@ -1,0 +1,115 @@
+#include "workload/rodinia.hpp"
+
+#include "core/check.hpp"
+
+namespace knots::workload {
+
+std::string_view rodinia_name(RodiniaApp app) noexcept {
+  switch (app) {
+    case RodiniaApp::kLeukocyte: return "leukocyte";
+    case RodiniaApp::kHeartwall: return "heartwall";
+    case RodiniaApp::kParticleFilter: return "particlefilter";
+    case RodiniaApp::kMummerGpu: return "mummergpu";
+    case RodiniaApp::kPathfinder: return "pathfinder";
+    case RodiniaApp::kLud: return "lud";
+    case RodiniaApp::kKmeans: return "kmeans";
+    case RodiniaApp::kStreamCluster: return "streamcluster";
+    case RodiniaApp::kMyocyte: return "myocyte";
+  }
+  return "unknown";
+}
+
+RodiniaApp rodinia_from_name(std::string_view name) {
+  for (RodiniaApp app : kAllRodinia) {
+    if (rodinia_name(app) == name) return app;
+  }
+  KNOTS_CHECK_MSG(false, "unknown rodinia app name");
+  return RodiniaApp::kLeukocyte;
+}
+
+namespace {
+/// Shorthand phase constructor (duration ms; sm fraction; mem MB; tx/rx MBps).
+Phase ph(double ms, double sm, double mem_mb, double tx = 0, double rx = 0) {
+  Phase p;
+  p.duration = static_cast<SimTime>(ms * static_cast<double>(kMsec));
+  p.usage = gpu::Usage{sm, mem_mb, tx, rx};
+  return p;
+}
+}  // namespace
+
+AppProfile rodinia_profile(RodiniaApp app) {
+  switch (app) {
+    case RodiniaApp::kLeukocyte:
+      // Compute-heavy cell tracker: strong input burst, long mid-compute,
+      // short near-peak detection kernel.
+      return AppProfile("leukocyte",
+                        {ph(12, 0.04, 380, 4200, 0), ph(60, 0.80, 820),
+                         ph(90, 0.90, 1050), ph(14, 1.00, 1580),
+                         ph(80, 0.35, 760), ph(14, 0.03, 420, 0, 2600)},
+                        1);
+    case RodiniaApp::kHeartwall:
+      // Memory-bound tracker: the suite's largest footprint (~2.3 GB peak).
+      return AppProfile("heartwall",
+                        {ph(16, 0.05, 700, 5000, 0), ph(70, 0.75, 1600),
+                         ph(18, 0.95, 2350), ph(90, 0.55, 1400),
+                         ph(12, 0.04, 640, 0, 3200)},
+                        1);
+    case RodiniaApp::kParticleFilter:
+      // Bursty and mostly idle: rare tall spikes dominate the shape.
+      return AppProfile("particlefilter",
+                        {ph(90, 0.012, 180), ph(6, 0.92, 900, 1500, 0),
+                         ph(110, 0.02, 210), ph(8, 0.85, 860),
+                         ph(70, 0.015, 190, 0, 500)},
+                        1);
+    case RodiniaApp::kMummerGpu:
+      // Bandwidth-heavy sequence matcher: PCIe dominates, modest compute.
+      return AppProfile("mummergpu",
+                        {ph(30, 0.06, 500, 5200, 0), ph(40, 0.55, 950),
+                         ph(25, 0.10, 700, 4700, 0), ph(45, 0.60, 1150),
+                         ph(20, 0.05, 520, 0, 4100)},
+                        1);
+    case RodiniaApp::kPathfinder:
+      // Short grid walker: light everything.
+      return AppProfile("pathfinder",
+                        {ph(8, 0.03, 150, 1800, 0), ph(28, 0.55, 320),
+                         ph(6, 0.80, 430), ph(20, 0.10, 240, 0, 900)},
+                        1);
+    case RodiniaApp::kLud:
+      // LU decomposition: compute spikes that sharpen as the matrix shrinks.
+      return AppProfile("lud",
+                        {ph(10, 0.05, 260, 2600, 0), ph(30, 0.85, 520),
+                         ph(8, 1.00, 640), ph(24, 0.60, 480),
+                         ph(6, 1.00, 660), ph(16, 0.06, 300, 0, 1200)},
+                        1);
+    case RodiniaApp::kKmeans:
+      // Iterative: many small assign/update cycles, moderate footprint.
+      return AppProfile("kmeans",
+                        {ph(6, 0.04, 420, 2200, 0), ph(16, 0.85, 760),
+                         ph(6, 0.20, 700), ph(16, 0.90, 780),
+                         ph(6, 0.05, 500, 0, 900)},
+                        1);
+    case RodiniaApp::kStreamCluster:
+      // Streaming: steady medium compute, steady inbound traffic.
+      return AppProfile("streamcluster",
+                        {ph(20, 0.25, 600, 1400, 0), ph(60, 0.65, 900, 800, 0),
+                         ph(50, 0.60, 880, 700, 0), ph(16, 0.08, 560, 0, 1100)},
+                        1);
+    case RodiniaApp::kMyocyte:
+      // Mostly serial ODE solver: tiny footprint, very low utilization.
+      return AppProfile("myocyte",
+                        {ph(50, 0.008, 90, 250, 0), ph(120, 0.03, 140),
+                         ph(8, 0.35, 260), ph(90, 0.015, 110, 0, 150)},
+                        1);
+  }
+  KNOTS_CHECK_MSG(false, "unhandled rodinia app");
+  return AppProfile("invalid", {ph(1, 0, 0)}, 1);
+}
+
+std::vector<AppProfile> all_rodinia_profiles() {
+  std::vector<AppProfile> out;
+  out.reserve(kAllRodinia.size());
+  for (RodiniaApp app : kAllRodinia) out.push_back(rodinia_profile(app));
+  return out;
+}
+
+}  // namespace knots::workload

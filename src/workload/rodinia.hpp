@@ -1,0 +1,56 @@
+// Synthetic profiles of the Rodinia HPC suite (the paper's batch workloads).
+//
+// Shapes are calibrated to the paper's single-P100 characterization (Fig 3 /
+// §IV-C): a PCIe input burst leads each compute/memory peak; resource
+// consumption is low and highly varying; applications touch their peak
+// footprint for only a few percent of the runtime (SM median-to-peak ~90×,
+// bandwidth ~400× across the suite). Base cycles are sub-second, as in the
+// paper's characterization; cluster runs scale them up to batch-job lengths.
+#pragma once
+
+#include <array>
+#include <string_view>
+#include <vector>
+
+#include "workload/app_profile.hpp"
+
+namespace knots::workload {
+
+enum class RodiniaApp : int {
+  kLeukocyte = 0,
+  kHeartwall,
+  kParticleFilter,
+  kMummerGpu,
+  kPathfinder,
+  kLud,
+  kKmeans,
+  kStreamCluster,
+  kMyocyte,
+};
+
+inline constexpr std::array<RodiniaApp, 9> kAllRodinia = {
+    RodiniaApp::kLeukocyte,     RodiniaApp::kHeartwall,
+    RodiniaApp::kParticleFilter, RodiniaApp::kMummerGpu,
+    RodiniaApp::kPathfinder,    RodiniaApp::kLud,
+    RodiniaApp::kKmeans,        RodiniaApp::kStreamCluster,
+    RodiniaApp::kMyocyte,
+};
+
+/// The eight apps run sequentially in the Fig 3 characterization.
+inline constexpr std::array<RodiniaApp, 8> kFig3Suite = {
+    RodiniaApp::kLeukocyte,     RodiniaApp::kHeartwall,
+    RodiniaApp::kParticleFilter, RodiniaApp::kMummerGpu,
+    RodiniaApp::kPathfinder,    RodiniaApp::kLud,
+    RodiniaApp::kKmeans,        RodiniaApp::kStreamCluster,
+};
+
+std::string_view rodinia_name(RodiniaApp app) noexcept;
+RodiniaApp rodinia_from_name(std::string_view name);
+
+/// One characterization cycle of the app (sub-second, Fig 3 scale).
+AppProfile rodinia_profile(RodiniaApp app);
+
+/// All nine profiles.
+std::vector<AppProfile> all_rodinia_profiles();
+
+}  // namespace knots::workload

@@ -1,0 +1,124 @@
+// Failure injection: the cluster must degrade gracefully, never hang or
+// corrupt accounting, when pods are unschedulable, crash-loop, or telemetry
+// is badly noisy.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "sched/registry.hpp"
+#include "workload/load_generator.hpp"
+
+namespace knots::cluster {
+namespace {
+
+workload::PodSpec impossible_pod(PodId id, double capacity_mb) {
+  // Footprint exceeds the whole device: every run ends in a capacity
+  // violation, relaunch, and another crash.
+  workload::PodSpec spec;
+  spec.id = id;
+  spec.app = "monster";
+  spec.klass = workload::PodClass::kBatch;
+  spec.arrival = 0;
+  spec.profile = workload::AppProfile(
+      "monster", {{200 * kMsec, gpu::Usage{0.5, capacity_mb * 1.2, 0, 0}}});
+  spec.requested_mb = capacity_mb * 0.9;  // user understated, as they do
+  return spec;
+}
+
+workload::PodSpec normal_pod(PodId id, SimTime arrival) {
+  workload::PodSpec spec;
+  spec.id = id;
+  spec.app = "kmeans";
+  spec.klass = workload::PodClass::kBatch;
+  spec.arrival = arrival;
+  spec.profile = workload::AppProfile(
+      "kmeans", {{300 * kMsec, gpu::Usage{0.4, 500, 0, 0}}});
+  spec.requested_mb = 900;
+  return spec;
+}
+
+TEST(FailureInjection, CrashLoopingPodDoesNotHangTheCluster) {
+  auto scheduler =
+      sched::make_scheduler(sched::SchedulerKind::kResourceAgnostic);
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.drain_grace = 30 * kSec;  // bound the run
+  Cluster cl(cfg, *scheduler);
+
+  const double cap = cfg.node_spec.gpu.memory_mb;
+  cl.load({impossible_pod(PodId{0}, cap), normal_pod(PodId{1}, 1 * kSec),
+           normal_pod(PodId{2}, 2 * kSec)});
+  cl.run();
+
+  // The healthy pods complete; the impossible one keeps crashing but the
+  // simulation terminates at the drain deadline.
+  EXPECT_EQ(cl.completed_count(), 2u);
+  EXPECT_FALSE(cl.pod(PodId{0}).terminal());
+  EXPECT_GT(cl.pod(PodId{0}).crash_count(), 2);
+  EXPECT_GT(cl.metrics().crash_count(), 2u);
+  EXPECT_TRUE(cl.pod(PodId{1}).terminal());
+  EXPECT_TRUE(cl.pod(PodId{2}).terminal());
+}
+
+TEST(FailureInjection, CrashVictimReleasesItsDevice) {
+  auto scheduler =
+      sched::make_scheduler(sched::SchedulerKind::kResourceAgnostic);
+  ClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.drain_grace = 10 * kSec;
+  Cluster cl(cfg, *scheduler);
+  cl.load({impossible_pod(PodId{0}, cfg.node_spec.gpu.memory_mb)});
+  cl.run();
+  // After the run the device carries no residue of the crashed pod.
+  EXPECT_EQ(cl.device(GpuId{0}).totals().residents, 0);
+  EXPECT_NEAR(cl.device(GpuId{0}).totals().memory_used_mb, 0.0, 1e-9);
+  EXPECT_NEAR(cl.device(GpuId{0}).totals().memory_provisioned_mb, 0.0, 1e-9);
+}
+
+TEST(FailureInjection, ExtremeTelemetryNoiseDoesNotBreakSchedulers) {
+  for (auto kind : {sched::SchedulerKind::kCbp,
+                    sched::SchedulerKind::kPeakPrediction}) {
+    auto scheduler = sched::make_scheduler(kind);
+    ClusterConfig cfg;
+    cfg.nodes = 3;
+    cfg.telemetry_noise = 0.5;  // garbage sensors
+    Cluster cl(cfg, *scheduler);
+    workload::LoadGenConfig wl;
+    wl.duration = 15 * kSec;
+    auto pods = workload::generate_workload(workload::app_mix(2), wl, Rng(8));
+    const std::size_t total = pods.size();
+    cl.load(std::move(pods));
+    cl.run();
+    // Placement decisions degrade but everything still completes, and the
+    // physical allocation invariant holds regardless of telemetry noise.
+    EXPECT_EQ(cl.completed_count(), total) << sched::to_string(kind);
+  }
+}
+
+TEST(FailureInjection, ZeroLengthWorkloadTerminatesImmediately) {
+  auto scheduler = sched::make_scheduler(sched::SchedulerKind::kUniform);
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cl(cfg, *scheduler);
+  cl.load({});
+  cl.run();
+  EXPECT_EQ(cl.completed_count(), 0u);
+  EXPECT_GE(cl.now(), 0);
+}
+
+TEST(FailureInjection, BurstOfIdenticalArrivalsAllServed) {
+  // A thundering herd at t=0 (all same timestamp) must serialize cleanly.
+  auto scheduler = sched::make_scheduler(sched::SchedulerKind::kPeakPrediction);
+  ClusterConfig cfg;
+  cfg.nodes = 2;
+  Cluster cl(cfg, *scheduler);
+  std::vector<workload::PodSpec> pods;
+  for (int i = 0; i < 24; ++i) {
+    pods.push_back(normal_pod(PodId{i}, 0));
+  }
+  cl.load(std::move(pods));
+  cl.run();
+  EXPECT_EQ(cl.completed_count(), 24u);
+}
+
+}  // namespace
+}  // namespace knots::cluster

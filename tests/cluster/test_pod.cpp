@@ -1,0 +1,107 @@
+#include "cluster/pod.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::cluster {
+namespace {
+
+workload::PodSpec make_spec(bool lc = false) {
+  workload::PodSpec spec;
+  spec.id = PodId{0};
+  spec.app = lc ? "face" : "lud";
+  spec.klass = lc ? workload::PodClass::kLatencyCritical
+                  : workload::PodClass::kBatch;
+  spec.arrival = 100;
+  spec.profile = workload::AppProfile(
+      "p", {{50 * kMsec, gpu::Usage{0.5, 200, 0, 0}},
+            {50 * kMsec, gpu::Usage{0.9, 800, 0, 0}}});
+  spec.requested_mb = 1000;
+  spec.batch_size = lc ? 4 : 1;
+  if (lc) spec.qos_latency = 150 * kMsec;
+  return spec;
+}
+
+TEST(Pod, InitialState) {
+  Pod pod(make_spec());
+  EXPECT_EQ(pod.state(), PodState::kPending);
+  EXPECT_FALSE(pod.terminal());
+  EXPECT_FALSE(pod.latency_critical());
+  EXPECT_EQ(pod.crash_count(), 0);
+  EXPECT_DOUBLE_EQ(pod.progress(), 0.0);
+}
+
+TEST(Pod, HappyPathLifecycle) {
+  Pod pod(make_spec());
+  pod.begin_start(GpuId{3}, 900, /*now=*/200, /*ready_at=*/250);
+  EXPECT_EQ(pod.state(), PodState::kStarting);
+  EXPECT_EQ(pod.gpu(), GpuId{3});
+  EXPECT_DOUBLE_EQ(pod.provisioned_mb(), 900);
+  EXPECT_EQ(pod.first_start(), 200);
+  EXPECT_EQ(pod.ready_at(), 250);
+  pod.begin_running(250);
+  EXPECT_EQ(pod.state(), PodState::kRunning);
+  pod.advance(60 * kMsec);
+  EXPECT_NEAR(pod.progress(), 0.6, 1e-9);
+  EXPECT_FALSE(pod.finished_profile());
+  pod.advance(40 * kMsec);
+  EXPECT_TRUE(pod.finished_profile());
+  pod.complete(400 * kMsec);
+  EXPECT_TRUE(pod.terminal());
+  EXPECT_EQ(pod.completion(), 400 * kMsec);
+}
+
+TEST(Pod, UsageFollowsProfilePhases) {
+  Pod pod(make_spec());
+  pod.begin_start(GpuId{0}, 1000, 0, 0);
+  pod.begin_running(0);
+  EXPECT_DOUBLE_EQ(pod.current_usage().memory_mb, 200);
+  pod.advance(60 * kMsec);
+  EXPECT_DOUBLE_EQ(pod.current_usage().memory_mb, 800);
+}
+
+TEST(Pod, CrashResetsProgressAndRequeues) {
+  Pod pod(make_spec());
+  pod.begin_start(GpuId{0}, 1000, 0, 0);
+  pod.begin_running(0);
+  pod.advance(70 * kMsec);
+  pod.crash(80 * kMsec);
+  EXPECT_EQ(pod.state(), PodState::kCrashed);
+  EXPECT_EQ(pod.crash_count(), 1);
+  EXPECT_DOUBLE_EQ(pod.progress(), 0.0);  // containers restart from scratch
+  EXPECT_FALSE(pod.gpu().valid());
+  pod.requeue();
+  EXPECT_EQ(pod.state(), PodState::kPending);
+  // Re-placement works after requeue; first_start is preserved.
+  pod.begin_start(GpuId{1}, 1000, 90 * kMsec, 95 * kMsec);
+  EXPECT_EQ(pod.first_start(), 0);
+}
+
+TEST(Pod, TfGreedyEarmarksAllocation) {
+  auto spec = make_spec(/*lc=*/true);
+  spec.tf_greedy = true;
+  Pod pod(std::move(spec));
+  pod.begin_start(GpuId{0}, 16000, 0, 0);
+  pod.begin_running(0);
+  // Footprint is 200 MB but TF earmarks ~99 % of the 16 GB allocation.
+  EXPECT_NEAR(pod.current_usage().memory_mb, 0.99 * 16000, 1e-6);
+  pod.set_provisioned_mb(500);  // Knots resize constrains the earmark
+  EXPECT_NEAR(pod.current_usage().memory_mb, 495, 1e-6);
+}
+
+TEST(Pod, ImageKeyDistinguishesInferenceBatchSizes) {
+  auto batch = make_spec(false);
+  EXPECT_EQ(image_key(batch), "lud");
+  auto lc = make_spec(true);
+  EXPECT_EQ(image_key(lc), "face#4");
+  lc.batch_size = 64;
+  EXPECT_EQ(image_key(lc), "face#64");
+}
+
+TEST(PodState, Names) {
+  EXPECT_EQ(to_string(PodState::kPending), "pending");
+  EXPECT_EQ(to_string(PodState::kRunning), "running");
+  EXPECT_EQ(to_string(PodState::kCompleted), "completed");
+}
+
+}  // namespace
+}  // namespace knots::cluster

@@ -1,0 +1,50 @@
+#include "core/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace knots {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = "/tmp/knots_csv_test.csv";
+};
+
+TEST_F(CsvTest, HeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    ASSERT_TRUE(csv.ok());
+    csv.row({"1", "2"});
+    csv.row("x", {3.5}, 1);
+    EXPECT_EQ(csv.rows_written(), 2u);
+  }
+  EXPECT_EQ(slurp(path_), "a,b\n1,2\nx,3.5\n");
+}
+
+TEST_F(CsvTest, EscapesCommasAndQuotes) {
+  {
+    CsvWriter csv(path_, {"k", "v"});
+    csv.row({"hello, world", "say \"hi\""});
+  }
+  EXPECT_EQ(slurp(path_), "k,v\n\"hello, world\",\"say \"\"hi\"\"\"\n");
+}
+
+TEST_F(CsvTest, BadPathReportsNotOk) {
+  CsvWriter csv("/nonexistent-dir/x.csv", {"a"});
+  EXPECT_FALSE(csv.ok());
+}
+
+}  // namespace
+}  // namespace knots

@@ -1,0 +1,133 @@
+#include "core/percentile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots {
+namespace {
+
+TEST(Percentile, SingleValue) {
+  const std::vector<double> v = {3.5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 3.5);
+}
+
+TEST(Percentile, EndpointsAreMinMax) {
+  const std::vector<double> v = {5, 1, 9, 3, 7};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 9);
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3);
+}
+
+TEST(Percentile, LinearInterpolationBetweenRanks) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 5);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+}
+
+TEST(Percentile, MatchesNumpyType7Example) {
+  // numpy.percentile([1,2,3,4], 40) == 2.2
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_NEAR(percentile(v, 40), 2.2, 1e-12);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  const std::vector<double> v = {9, 1, 5, 3, 7};
+  const std::vector<double> sorted = {1, 3, 5, 7, 9};
+  for (double p : {0.0, 10.0, 33.0, 50.0, 90.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), percentile_sorted(sorted, p));
+  }
+}
+
+TEST(Percentile, BatchMatchesIndividual) {
+  const std::vector<double> v = {4, 8, 15, 16, 23, 42};
+  const std::vector<double> ps = {10, 50, 99};
+  const auto batch = percentiles(v, ps);
+  ASSERT_EQ(batch.size(), 3u);
+  for (std::size_t i = 0; i < ps.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
+  }
+}
+
+class PercentileMonotonic : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PercentileMonotonic, NonDecreasingInP) {
+  Rng rng(GetParam());
+  std::vector<double> v;
+  for (std::size_t i = 0; i < 200; ++i) v.push_back(rng.uniform(0, 100));
+  double prev = percentile(v, 0);
+  for (double p = 5; p <= 100; p += 5) {
+    const double cur = percentile(v, p);
+    EXPECT_GE(cur, prev);
+    prev = cur;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotonic,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(EmpiricalCdf, MonotonicAndEndsAtOne) {
+  Rng rng(9);
+  std::vector<double> v;
+  for (int i = 0; i < 500; ++i) v.push_back(rng.normal(0, 1));
+  const auto cdf = empirical_cdf(v, 50);
+  ASSERT_FALSE(cdf.empty());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(EmpiricalCdf, DownsamplesToRequestedPoints) {
+  std::vector<double> v(1000, 0.0);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<double>(i);
+  EXPECT_EQ(empirical_cdf(v, 10).size(), 10u);
+  EXPECT_EQ(empirical_cdf(v, 5000).size(), 1000u);
+}
+
+TEST(OnlineStats, MatchesDirectComputation) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  OnlineStats st;
+  for (double x : v) st.add(x);
+  EXPECT_EQ(st.count(), v.size());
+  EXPECT_DOUBLE_EQ(st.mean(), 5.0);
+  EXPECT_NEAR(st.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(st.min(), 2.0);
+  EXPECT_DOUBLE_EQ(st.max(), 9.0);
+  EXPECT_DOUBLE_EQ(st.sum(), 40.0);
+}
+
+TEST(OnlineStats, EmptyAndSingleSafe) {
+  OnlineStats st;
+  EXPECT_DOUBLE_EQ(st.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(st.cov(), 0.0);
+  st.add(3.0);
+  EXPECT_DOUBLE_EQ(st.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(st.variance(), 0.0);
+}
+
+TEST(OnlineStats, CovMatchesDefinition) {
+  OnlineStats st;
+  for (double x : {1.0, 2.0, 3.0}) st.add(x);
+  EXPECT_NEAR(st.cov(), st.stddev() / st.mean(), 1e-12);
+}
+
+TEST(OnlineStats, ZeroMeanCovIsZero) {
+  OnlineStats st;
+  st.add(-1.0);
+  st.add(1.0);
+  EXPECT_DOUBLE_EQ(st.cov(), 0.0);
+}
+
+}  // namespace
+}  // namespace knots

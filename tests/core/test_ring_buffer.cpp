@@ -1,0 +1,98 @@
+#include "core/ring_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots {
+namespace {
+
+TEST(RingBuffer, StartsEmpty) {
+  RingBuffer<int> buf(4);
+  EXPECT_TRUE(buf.empty());
+  EXPECT_EQ(buf.size(), 0u);
+  EXPECT_EQ(buf.capacity(), 4u);
+  EXPECT_FALSE(buf.full());
+}
+
+TEST(RingBuffer, PushGrowsUntilCapacity) {
+  RingBuffer<int> buf(3);
+  buf.push(1);
+  buf.push(2);
+  EXPECT_EQ(buf.size(), 2u);
+  buf.push(3);
+  EXPECT_TRUE(buf.full());
+  buf.push(4);
+  EXPECT_EQ(buf.size(), 3u);
+}
+
+TEST(RingBuffer, OverwritesOldest) {
+  RingBuffer<int> buf(3);
+  for (int i = 1; i <= 5; ++i) buf.push(i);
+  EXPECT_EQ(buf.front(), 3);
+  EXPECT_EQ(buf.at(1), 4);
+  EXPECT_EQ(buf.back(), 5);
+}
+
+TEST(RingBuffer, AtIsOldestFirst) {
+  RingBuffer<int> buf(5);
+  for (int i = 0; i < 4; ++i) buf.push(i * 10);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(buf.at(i), static_cast<int>(i) * 10);
+  }
+}
+
+TEST(RingBuffer, LastReturnsNewestOldestFirst) {
+  RingBuffer<int> buf(4);
+  for (int i = 1; i <= 6; ++i) buf.push(i);
+  const auto last2 = buf.last(2);
+  ASSERT_EQ(last2.size(), 2u);
+  EXPECT_EQ(last2[0], 5);
+  EXPECT_EQ(last2[1], 6);
+}
+
+TEST(RingBuffer, LastClampsToSize) {
+  RingBuffer<int> buf(8);
+  buf.push(7);
+  const auto all = buf.last(100);
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], 7);
+}
+
+TEST(RingBuffer, ClearResets) {
+  RingBuffer<int> buf(2);
+  buf.push(1);
+  buf.push(2);
+  buf.clear();
+  EXPECT_TRUE(buf.empty());
+  buf.push(9);
+  EXPECT_EQ(buf.front(), 9);
+  EXPECT_EQ(buf.back(), 9);
+}
+
+class RingBufferCapacity : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingBufferCapacity, RetainsNewestCapacityElements) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> buf(cap);
+  const std::size_t total = cap * 3 + 1;
+  for (std::size_t i = 0; i < total; ++i) buf.push(i);
+  ASSERT_EQ(buf.size(), cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    EXPECT_EQ(buf.at(i), total - cap + i);
+  }
+}
+
+TEST_P(RingBufferCapacity, FrontBackConsistent) {
+  const std::size_t cap = GetParam();
+  RingBuffer<std::size_t> buf(cap);
+  for (std::size_t i = 0; i < cap * 2; ++i) {
+    buf.push(i);
+    EXPECT_EQ(buf.back(), i);
+    EXPECT_EQ(buf.front(), buf.at(0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, RingBufferCapacity,
+                         ::testing::Values(1u, 2u, 3u, 7u, 64u, 1000u));
+
+}  // namespace
+}  // namespace knots

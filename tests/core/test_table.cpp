@@ -1,0 +1,52 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace knots {
+namespace {
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(AsciiBar, ProportionalWidth) {
+  EXPECT_EQ(ascii_bar(5, 10, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(10, 10, 10), "##########");
+  EXPECT_EQ(ascii_bar(0, 10, 10), "          ");
+}
+
+TEST(AsciiBar, ClampsOverflowAndHandlesZeroMax) {
+  EXPECT_EQ(ascii_bar(20, 10, 4), "####");
+  EXPECT_TRUE(ascii_bar(1, 0, 4).empty());
+}
+
+TEST(TablePrinter, ContainsTitleHeaderAndCells) {
+  TablePrinter t("My Table");
+  t.columns({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row("beta", {2.5}, 1);
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("My Table"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+}
+
+TEST(PrintSeries, EmitsAllRowsAndNames) {
+  std::ostringstream os;
+  print_series(os, "S", {1, 2}, {{"a", {10, 20}}, {"b", {30, 40}}}, 0);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("S"), std::string::npos);
+  EXPECT_NE(out.find("a\tb"), std::string::npos);
+  EXPECT_NE(out.find("10"), std::string::npos);
+  EXPECT_NE(out.find("40"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace knots

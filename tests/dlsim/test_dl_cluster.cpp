@@ -1,0 +1,168 @@
+#include "dlsim/dl_cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dlsim/dl_report.hpp"
+
+namespace knots::dlsim {
+namespace {
+
+DlClusterConfig small_cluster() {
+  DlClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.gpus_per_node = 4;
+  return cfg;
+}
+
+DlWorkloadConfig small_workload() {
+  // Sized so the 16-GPU test cluster can drain every job (incl. the longest
+  // ~10 h trainer) inside the simulator's 3x-window horizon.
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 150;
+  wl.window = 12 * kHour;
+  return wl;
+}
+
+TEST(DlState, PlaceAndEvict) {
+  DlState state;
+  state.gpus.assign(4, GpuSlot{});
+  DltJob job;
+  job.id = 0;
+  job.gpus = 2;
+  state.jobs.push_back(job);
+  EXPECT_EQ(state.free_gpus(), 4);
+  EXPECT_TRUE(state.place(0, 2, 1));
+  EXPECT_EQ(state.free_gpus(), 2);
+  EXPECT_EQ(state.jobs[0].placed_gpus.size(), 2u);
+  state.evict(0);
+  EXPECT_EQ(state.free_gpus(), 4);
+  EXPECT_TRUE(state.jobs[0].placed_gpus.empty());
+}
+
+TEST(DlState, PlaceFailsWhenInsufficientGpus) {
+  DlState state;
+  state.gpus.assign(2, GpuSlot{});
+  DltJob big;
+  big.id = 0;
+  big.gpus = 4;
+  state.jobs.push_back(big);
+  EXPECT_FALSE(state.place(0, 4, 1));
+  EXPECT_TRUE(state.jobs[0].placed_gpus.empty());
+  EXPECT_EQ(state.free_gpus(), 2);
+}
+
+TEST(DlState, MaxShareAllowsTimeSlicing) {
+  DlState state;
+  state.gpus.assign(1, GpuSlot{});
+  DltJob a, b;
+  a.id = 0;
+  b.id = 1;
+  state.jobs = {a, b};
+  EXPECT_TRUE(state.place(0, 1, 1));
+  EXPECT_FALSE(state.place(1, 1, 1));
+  EXPECT_TRUE(state.place(1, 1, 2));
+  EXPECT_EQ(state.gpus[0].load(), 2);
+}
+
+TEST(PolicyNames, RoundTrip) {
+  EXPECT_EQ(to_string(DlPolicy::kResAg), "Res-Ag");
+  EXPECT_EQ(to_string(DlPolicy::kGandiva), "Gandiva");
+  EXPECT_EQ(to_string(DlPolicy::kTiresias), "Tiresias");
+  EXPECT_EQ(to_string(DlPolicy::kCbpPp), "CBP+PP");
+}
+
+class EveryDlPolicy : public ::testing::TestWithParam<DlPolicy> {};
+
+TEST_P(EveryDlPolicy, AllJobsCompleteAndStatsConsistent) {
+  const auto result =
+      run_dl_simulation(GetParam(), small_cluster(), small_workload(), 5);
+  EXPECT_EQ(result.dlt_completed, result.dlt_total);
+  EXPECT_EQ(result.jct_hours.size(), result.dlt_completed);
+  EXPECT_GT(result.avg_jct_h, 0);
+  EXPECT_LE(result.median_jct_h, result.p99_jct_h);
+  EXPECT_EQ(result.queries.size(), 150u);
+  std::size_t violated = 0;
+  for (const auto& q : result.queries) violated += q.violated ? 1 : 0;
+  EXPECT_EQ(violated, result.dli_violations);
+}
+
+TEST_P(EveryDlPolicy, Deterministic) {
+  const auto a =
+      run_dl_simulation(GetParam(), small_cluster(), small_workload(), 9);
+  const auto b =
+      run_dl_simulation(GetParam(), small_cluster(), small_workload(), 9);
+  EXPECT_EQ(a.avg_jct_h, b.avg_jct_h);
+  EXPECT_EQ(a.dli_violations, b.dli_violations);
+  EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, EveryDlPolicy,
+                         ::testing::Values(DlPolicy::kResAg,
+                                           DlPolicy::kGandiva,
+                                           DlPolicy::kTiresias,
+                                           DlPolicy::kCbpPp),
+                         [](const auto& info) {
+                           std::string n = to_string(info.param);
+                           std::erase(n, '-');
+                           std::erase(n, '+');
+                           return n;
+                         });
+
+TEST(DlComparison, PaperOrderingHolds) {
+  // Fig 12 / Table IV qualitative shape at reduced scale.
+  DlClusterConfig cfg;
+  cfg.nodes = 8;
+  cfg.gpus_per_node = 8;
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 150;
+  wl.dli_queries = 400;
+  wl.window = 6 * kHour;
+  const auto results = run_all_policies(cfg, wl, 42);
+  ASSERT_EQ(results.size(), 4u);
+  const auto& resag = results[0];
+  const auto& gandiva = results[1];
+  const auto& tiresias = results[2];
+  const auto& cbp_pp = results[3];
+  EXPECT_EQ(cbp_pp.policy, "CBP+PP");
+  // CBP+PP has the fewest DLI violations, Res-Ag the most.
+  EXPECT_LT(cbp_pp.violations_per_hour, tiresias.violations_per_hour);
+  EXPECT_LT(tiresias.violations_per_hour, resag.violations_per_hour);
+  EXPECT_LT(gandiva.violations_per_hour, resag.violations_per_hour);
+  // Only Res-Ag crashes trainers; only Gandiva migrates; only Tiresias
+  // preempts.
+  EXPECT_GT(resag.crash_restarts, 0u);
+  EXPECT_EQ(cbp_pp.crash_restarts, 0u);
+  EXPECT_GT(gandiva.migrations, 0u);
+  EXPECT_GT(tiresias.preemptions, 0u);
+  // JCT: CBP+PP at least matches every baseline on average.
+  EXPECT_LE(cbp_pp.avg_jct_h, resag.avg_jct_h);
+  EXPECT_LE(cbp_pp.avg_jct_h, gandiva.avg_jct_h);
+  EXPECT_LE(cbp_pp.avg_jct_h, tiresias.avg_jct_h * 1.05);
+}
+
+TEST(DlReport, NormalizedRatiosAndCdfs) {
+  DlClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.gpus_per_node = 4;
+  const auto results = run_all_policies(cfg, small_workload(), 3);
+  const auto ratios = normalized_jct(results);
+  ASSERT_EQ(ratios.size(), 3u);  // everyone except CBP+PP
+  for (const auto& r : ratios) {
+    EXPECT_GT(r.avg, 0.3);
+    EXPECT_LT(r.avg, 5.0);
+  }
+  const auto cdfs = jct_cdfs(results, 20);
+  ASSERT_EQ(cdfs.size(), 4u);
+  for (const auto& cdf : cdfs) {
+    ASSERT_EQ(cdf.hours.size(), 21u);
+    // CDF is monotone and ends at 100 %.
+    for (std::size_t i = 1; i < cdf.fraction.size(); ++i) {
+      EXPECT_GE(cdf.fraction[i], cdf.fraction[i - 1]);
+    }
+    EXPECT_DOUBLE_EQ(cdf.fraction.back(), 100.0);
+  }
+}
+
+}  // namespace
+}  // namespace knots::dlsim

@@ -1,0 +1,156 @@
+// Unit-level behaviour of the individual DL policies.
+#include <gtest/gtest.h>
+
+#include "dlsim/dl_policies.hpp"
+
+namespace knots::dlsim {
+namespace {
+
+DlClusterConfig tiny_cfg() {
+  DlClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.gpus_per_node = 4;
+  return cfg;
+}
+
+DlState make_state(int gpus, std::vector<DltJob> jobs) {
+  DlState state;
+  state.gpus.assign(static_cast<std::size_t>(gpus), GpuSlot{});
+  state.jobs = std::move(jobs);
+  return state;
+}
+
+DltJob job(int id, int gpus, SimTime service, SimTime arrival = 0) {
+  DltJob j;
+  j.id = id;
+  j.gpus = gpus;
+  j.service = service;
+  j.arrival = arrival;
+  return j;
+}
+
+TEST(ResAgPolicy, FcfsHeadOfLineBlocks) {
+  auto state = make_state(4, {job(0, 8, kHour), job(1, 1, kHour)});
+  state.pending = {0, 1};
+  ResAgDlPolicy policy(tiny_cfg(), Rng(1));
+  policy.schedule(state);
+  // The 8-GPU head cannot fit on 4 GPUs and must block the 1-GPU job.
+  EXPECT_FALSE(state.jobs[0].running);
+  EXPECT_FALSE(state.jobs[1].running);
+  EXPECT_EQ(state.pending.size(), 2u);
+}
+
+TEST(ResAgPolicy, BusyGpuQueryMayCrashTrainer) {
+  auto state = make_state(1, {job(0, 1, kHour)});
+  state.pending = {0};
+  DlClusterConfig cfg = tiny_cfg();
+  cfg.crash_prob = 1.0;  // force the TF-greedy crash path
+  ResAgDlPolicy policy(cfg, Rng(2));
+  policy.schedule(state);
+  ASSERT_TRUE(state.jobs[0].running);
+  DliQuery q;
+  q.base_latency = 20 * kMsec;
+  q.qos = 150 * kMsec;
+  const SimTime latency = policy.serve_query(state, q);
+  EXPECT_GT(latency, q.base_latency);
+  EXPECT_EQ(policy.crash_restarts(), 1u);
+  EXPECT_FALSE(state.jobs[0].running);
+  EXPECT_EQ(state.pending.size(), 1u);  // victim requeued at the back
+  EXPECT_EQ(state.jobs[0].restarts, 1);
+}
+
+TEST(ResAgPolicy, FreeGpuQueryRunsNatively) {
+  auto state = make_state(2, {});
+  ResAgDlPolicy policy(tiny_cfg(), Rng(3));
+  DliQuery q;
+  q.base_latency = 30 * kMsec;
+  EXPECT_EQ(policy.serve_query(state, q), 30 * kMsec);
+}
+
+TEST(GandivaPolicy, OversubscribesOnlyUnderYoungIncumbents) {
+  DlClusterConfig cfg = tiny_cfg();
+  auto state = make_state(1, {job(0, 1, 10 * kHour), job(1, 1, kHour)});
+  state.jobs[0].attained = 3 * kHour;  // old trainer
+  state.pending = {0, 1};
+  GandivaDlPolicy policy(cfg, Rng(4));
+  policy.schedule(state);  // places job 0 exclusively
+  ASSERT_TRUE(state.jobs[0].running);
+  policy.schedule(state);  // job 1 must NOT slice under the old trainer
+  EXPECT_FALSE(state.jobs[1].running);
+
+  // Make the incumbent young: slicing becomes legal.
+  state.jobs[0].attained = 10 * kMinute;
+  policy.schedule(state);
+  EXPECT_TRUE(state.jobs[1].running);
+  EXPECT_EQ(state.gpus[0].load(), 2);
+  EXPECT_GT(policy.migrations(), 0u);
+}
+
+TEST(GandivaPolicy, NeverSlicesUnderAGang) {
+  DlClusterConfig cfg = tiny_cfg();
+  auto state = make_state(2, {job(0, 2, kHour, 0), job(1, 1, kHour, 0)});
+  state.pending = {0, 1};
+  GandivaDlPolicy policy(cfg, Rng(5));
+  policy.schedule(state);
+  EXPECT_TRUE(state.jobs[0].running);
+  EXPECT_FALSE(state.jobs[1].running);  // no slicing under gang members
+}
+
+TEST(TiresiasPolicy, LasPrefersLeastAttained) {
+  DlClusterConfig cfg = tiny_cfg();
+  cfg.quantum = 0;  // reschedule every call
+  auto state = make_state(1, {job(0, 1, 10 * kHour), job(1, 1, 10 * kHour)});
+  state.jobs[0].attained = 2 * kMinute;
+  state.jobs[1].attained = 0;
+  state.pending = {0, 1};
+  TiresiasDlPolicy policy(cfg, Rng(6));
+  state.now = kHour;  // past the first quantum boundary
+  policy.schedule(state);
+  EXPECT_FALSE(state.jobs[0].running);
+  EXPECT_TRUE(state.jobs[1].running);  // least attained wins the single GPU
+}
+
+TEST(TiresiasPolicy, AttainedCapPreventsStarvationOrdering) {
+  DlClusterConfig cfg = tiny_cfg();
+  cfg.quantum = 0;
+  cfg.las_attained_cap = 20 * kMinute;
+  // Both far past the cap: FIFO by arrival decides, not attained service.
+  auto state = make_state(1, {job(0, 1, 10 * kHour, /*arrival=*/5),
+                              job(1, 1, 10 * kHour, /*arrival=*/0)});
+  state.jobs[0].attained = 2 * kHour;
+  state.jobs[1].attained = 9 * kHour;  // more attained but earlier arrival
+  state.pending = {0, 1};
+  TiresiasDlPolicy policy(cfg, Rng(7));
+  state.now = kHour;
+  policy.schedule(state);
+  EXPECT_TRUE(state.jobs[1].running);
+  EXPECT_FALSE(state.jobs[0].running);
+}
+
+TEST(CbpPpPolicy, BackfillsAroundBlockedGang) {
+  auto state = make_state(2, {job(0, 1, kHour), job(1, 1, kHour)});
+  state.jobs[0].gpus = 8;  // can never fit on 2 GPUs right now
+  state.pending = {0, 1};
+  CbpPpDlPolicy policy(tiny_cfg(), Rng(8));
+  policy.schedule(state);
+  EXPECT_FALSE(state.jobs[0].running);
+  EXPECT_TRUE(state.jobs[1].running);  // small job backfills past the head
+}
+
+TEST(CbpPpPolicy, LullForecastServesQueryNearNative) {
+  DlClusterConfig cfg = tiny_cfg();
+  cfg.pp_accuracy = 1.0;  // always predicts the lull correctly
+  auto state = make_state(1, {job(0, 1, kHour)});
+  state.pending = {0};
+  CbpPpDlPolicy policy(cfg, Rng(9));
+  policy.schedule(state);
+  DliQuery q;
+  q.base_latency = 40 * kMsec;
+  q.qos = 150 * kMsec;
+  const SimTime latency = policy.serve_query(state, q);
+  EXPECT_LE(latency, 50 * kMsec);  // 1.15x of base, no blocking
+  EXPECT_EQ(policy.crash_restarts(), 0u);
+}
+
+}  // namespace
+}  // namespace knots::dlsim

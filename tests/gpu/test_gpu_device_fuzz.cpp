@@ -1,0 +1,93 @@
+// Randomized operation-sequence test: the GPU device model must keep its
+// aggregate invariants under any interleaving of attach/detach/resize/
+// set_usage/park operations.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "core/rng.hpp"
+#include "gpu/gpu_device.hpp"
+
+namespace knots::gpu {
+namespace {
+
+class DeviceFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DeviceFuzz, InvariantsHoldUnderRandomOps) {
+  Rng rng(GetParam());
+  GpuDevice dev(GpuId{0});
+  std::unordered_map<std::int32_t, Usage> model_usage;
+  std::unordered_map<std::int32_t, double> model_prov;
+  std::int32_t next_pod = 0;
+
+  for (int step = 0; step < 4000; ++step) {
+    const double dice = rng.uniform();
+    if (dice < 0.30) {  // attach new pod
+      const PodId pod{next_pod++};
+      const double prov = rng.uniform(0, 8000);
+      ASSERT_TRUE(dev.attach(pod, prov));
+      model_usage[pod.value] = Usage{};
+      model_prov[pod.value] = prov;
+    } else if (dice < 0.45 && !model_usage.empty()) {  // detach random pod
+      const auto it = model_usage.begin();
+      dev.detach(PodId{it->first});
+      model_prov.erase(it->first);
+      model_usage.erase(it);
+    } else if (dice < 0.70 && !model_usage.empty()) {  // update usage
+      auto it = model_usage.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(model_usage.size()) - 1));
+      Usage u;
+      u.sm = rng.uniform(0, 0.6);
+      u.memory_mb = rng.uniform(0, 2000);
+      u.tx_mbps = rng.uniform(0, 3000);
+      const bool ok = dev.set_usage(PodId{it->first}, u);
+      it->second = u;
+      // Compute expected violation from the model.
+      double total = 0;
+      for (const auto& [id, usage] : model_usage) total += usage.memory_mb;
+      EXPECT_EQ(ok, total <= dev.spec().memory_mb);
+    } else if (dice < 0.85 && !model_usage.empty()) {  // resize
+      auto it = model_usage.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(model_usage.size()) - 1));
+      const double target = rng.uniform(0, 6000);
+      const bool ok = dev.resize(PodId{it->first}, target);
+      EXPECT_EQ(ok, target >= it->second.memory_mb);
+      if (ok) model_prov[it->first] = target;
+    } else {  // park attempt
+      const bool ok = dev.parked();
+      (void)ok;
+      if (model_usage.empty()) {
+        dev.set_parked(true);
+        EXPECT_TRUE(dev.parked());
+      }
+    }
+
+    // Aggregate invariants against the shadow model.
+    const auto t = dev.totals();
+    double sm = 0, mem = 0, prov = 0;
+    int active = 0;
+    for (const auto& [id, usage] : model_usage) {
+      sm += usage.sm;
+      mem += usage.memory_mb;
+      if (usage.sm > dev.spec().active_sm_threshold) ++active;
+    }
+    for (const auto& [id, p] : model_prov) prov += p;
+    ASSERT_NEAR(t.sm_demand, sm, 1e-9);
+    ASSERT_NEAR(t.memory_used_mb, mem, 1e-6);
+    ASSERT_NEAR(t.memory_provisioned_mb, prov, 1e-6);
+    ASSERT_EQ(t.residents, static_cast<int>(model_usage.size()));
+    ASSERT_EQ(t.active_contexts, active);
+    ASSERT_LE(t.sm_util, 1.0 + 1e-12);
+    ASSERT_GE(dev.slowdown(), 1.0);
+    ASSERT_GT(dev.power_watts(), 0.0);
+    if (t.residents > 0) ASSERT_FALSE(dev.parked());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeviceFuzz,
+                         ::testing::Values(1u, 7u, 42u, 1337u, 90210u));
+
+}  // namespace
+}  // namespace knots::gpu

@@ -1,0 +1,52 @@
+#include "gpu/gpu_node.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::gpu {
+namespace {
+
+TEST(GpuNode, CreatesRequestedGpusWithSequentialIds) {
+  NodeSpec spec;
+  spec.gpus_per_node = 4;
+  GpuNode node(NodeId{2}, spec, 8);
+  EXPECT_EQ(node.gpu_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(node.gpu(i).id().value, 8 + static_cast<int>(i));
+  }
+}
+
+TEST(GpuNode, PowerIsHostFloorPlusGpuSum) {
+  NodeSpec spec;
+  spec.gpus_per_node = 2;
+  spec.host_idle_watts = 100;
+  GpuNode node(NodeId{0}, spec, 0);
+  const double idle = node.power_watts();
+  EXPECT_DOUBLE_EQ(idle, 100 + 2 * spec.gpu.power.idle_watts);
+  ASSERT_TRUE(node.gpu(0).attach(PodId{1}, 10));
+  EXPECT_TRUE(node.gpu(0).set_usage(PodId{1}, {1.0, 10, 0, 0}));
+  EXPECT_DOUBLE_EQ(node.power_watts(),
+                   100 + spec.gpu.power.max_watts +
+                       spec.gpu.power.idle_watts);
+}
+
+TEST(GpuNode, MeanSmUtilAveragesGpus) {
+  NodeSpec spec;
+  spec.gpus_per_node = 2;
+  GpuNode node(NodeId{0}, spec, 0);
+  ASSERT_TRUE(node.gpu(0).attach(PodId{1}, 10));
+  EXPECT_TRUE(node.gpu(0).set_usage(PodId{1}, {0.8, 10, 0, 0}));
+  EXPECT_DOUBLE_EQ(node.mean_sm_util(), 0.4);
+}
+
+TEST(GpuNode, FreeProvisionSumsAcrossGpus) {
+  NodeSpec spec;
+  spec.gpus_per_node = 2;
+  GpuNode node(NodeId{0}, spec, 0);
+  const double cap = spec.gpu.memory_mb;
+  EXPECT_DOUBLE_EQ(node.free_provision_mb(), 2 * cap);
+  ASSERT_TRUE(node.gpu(1).attach(PodId{1}, 1000));
+  EXPECT_DOUBLE_EQ(node.free_provision_mb(), 2 * cap - 1000);
+}
+
+}  // namespace
+}  // namespace knots::gpu

@@ -1,0 +1,112 @@
+#include "gpu/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::gpu {
+namespace {
+
+TEST(GpuPower, StateOrdering) {
+  const GpuPowerSpec spec;
+  EXPECT_LT(gpu_power_watts(spec, 0, false, true),
+            gpu_power_watts(spec, 0, false, false));
+  EXPECT_LT(gpu_power_watts(spec, 0, false, false),
+            gpu_power_watts(spec, 0, true, false));
+  EXPECT_LT(gpu_power_watts(spec, 0, true, false),
+            gpu_power_watts(spec, 1, true, false));
+}
+
+TEST(GpuPower, DeepSleepIsPState12) {
+  const GpuPowerSpec spec;
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, 0.9, true, true),
+                   spec.deep_sleep_watts);
+}
+
+TEST(GpuPower, ActiveLinearBetweenFloorAndMax) {
+  const GpuPowerSpec spec;
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, 0.0, true), spec.active_floor_watts);
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, 1.0, true), spec.max_watts);
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, 0.5, true),
+                   (spec.active_floor_watts + spec.max_watts) / 2);
+}
+
+TEST(GpuPower, UtilClamped) {
+  const GpuPowerSpec spec;
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, 2.0, true), spec.max_watts);
+  EXPECT_DOUBLE_EQ(gpu_power_watts(spec, -1.0, true),
+                   spec.active_floor_watts);
+}
+
+TEST(GpuEfficiency, NormalizedToOneAtFull) {
+  const GpuPowerSpec spec;
+  EXPECT_NEAR(gpu_energy_efficiency(spec, 1.0), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(gpu_energy_efficiency(spec, 0.0), 0.0);
+}
+
+TEST(GpuEfficiency, StrictlyIncreasingEverywhere) {
+  // Fig 1: GPUs live entirely in the high energy-proportionality zone —
+  // efficiency keeps improving all the way to 100 % utilization.
+  const GpuPowerSpec spec;
+  double prev = 0;
+  for (int u = 1; u <= 10; ++u) {
+    const double ee = gpu_energy_efficiency(spec, u / 10.0);
+    EXPECT_GT(ee, prev);
+    prev = ee;
+  }
+}
+
+TEST(CpuEfficiency, SandyBridgePeaksBelowFull) {
+  // Fig 1: peak CPU efficiency sits at 60–80 % utilization, above 1.0
+  // relative to the 100 % point.
+  const auto spec = sandy_bridge_spec();
+  double best_u = 0, best = 0;
+  for (int u = 1; u <= 100; ++u) {
+    const double ee = cpu_energy_efficiency(spec, u / 100.0);
+    if (ee > best) {
+      best = ee;
+      best_u = u / 100.0;
+    }
+  }
+  EXPECT_GE(best_u, 0.55);
+  EXPECT_LE(best_u, 0.85);
+  EXPECT_GT(best, 1.0);
+  EXPECT_NEAR(cpu_energy_efficiency(spec, 1.0), 1.0, 1e-12);
+}
+
+TEST(CpuEfficiency, WestmereLessProportionalThanSandyBridge) {
+  const auto sandy = sandy_bridge_spec();
+  const auto westmere = westmere_spec();
+  // At low utilization, the older part wastes more (higher idle floor).
+  EXPECT_LT(cpu_energy_efficiency(westmere, 0.2),
+            cpu_energy_efficiency(sandy, 0.2));
+}
+
+TEST(CpuEfficiency, GpuBeatsCpuProportionalityShape) {
+  // The GPU curve has no interior maximum; CPU curves do.
+  const GpuPowerSpec gpu;
+  const auto cpu = sandy_bridge_spec();
+  EXPECT_GT(gpu_energy_efficiency(gpu, 1.0),
+            gpu_energy_efficiency(gpu, 0.7));
+  EXPECT_LT(cpu_energy_efficiency(cpu, 1.0),
+            cpu_energy_efficiency(cpu, 0.7));
+}
+
+class UtilSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(UtilSweep, EfficienciesBounded) {
+  const double u = GetParam();
+  const GpuPowerSpec gpu;
+  EXPECT_GE(gpu_energy_efficiency(gpu, u), 0.0);
+  EXPECT_LE(gpu_energy_efficiency(gpu, u), 1.0 + 1e-12);
+  for (const auto& cpu : {sandy_bridge_spec(), westmere_spec()}) {
+    const double ee = cpu_energy_efficiency(cpu, u);
+    EXPECT_GE(ee, 0.0);
+    EXPECT_LE(ee, 1.6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, UtilSweep,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.5, 0.75, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace knots::gpu

@@ -1,0 +1,113 @@
+#include "knots/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "knots/kube_knots.hpp"
+#include "workload/djinn_tonic.hpp"
+
+namespace knots {
+namespace {
+
+ExperimentConfig tiny(int mix, sched::SchedulerKind kind) {
+  ExperimentConfig cfg = default_experiment(mix, kind);
+  cfg.cluster.nodes = 4;
+  cfg.workload.duration = 30 * kSec;
+  return cfg;
+}
+
+TEST(Config, DefaultsMatchPaperTestbed) {
+  const auto cfg =
+      default_experiment(1, sched::SchedulerKind::kPeakPrediction);
+  EXPECT_EQ(cfg.cluster.nodes, 10);
+  EXPECT_EQ(cfg.cluster.gpus_per_node, 1);
+  EXPECT_DOUBLE_EQ(cfg.cluster.node_spec.gpu.memory_mb, 16384.0);
+  const auto hw = hardware_config();
+  EXPECT_EQ(hw.gpu, "P100 (16GB)");
+  EXPECT_EQ(hw.cpu, "Xeon E5-2670");
+  const auto sw = software_config();
+  EXPECT_EQ(sw.kubernetes, "1.9.3");
+  EXPECT_EQ(sw.tensorflow, "1.8");
+}
+
+TEST(Experiment, ReportFieldsConsistent) {
+  const auto report =
+      run_experiment(tiny(1, sched::SchedulerKind::kPeakPrediction));
+  EXPECT_EQ(report.scheduler, "PP");
+  EXPECT_EQ(report.mix_id, 1);
+  EXPECT_EQ(report.per_gpu.size(), 4u);
+  EXPECT_EQ(report.per_gpu_cov.size(), 4u);
+  EXPECT_EQ(report.pairwise_load_cov.size(), 4u);
+  EXPECT_EQ(report.pods_completed, report.pods_total);
+  EXPECT_GE(report.cluster_wide.p99, report.cluster_wide.p50);
+  EXPECT_GE(report.cluster_wide.max, report.cluster_wide.p99);
+  EXPECT_GT(report.energy_joules, 0);
+  EXPECT_NEAR(report.violations_per_kilo,
+              1000.0 * static_cast<double>(report.qos_violations) /
+                  static_cast<double>(report.queries),
+              1e-9);
+}
+
+TEST(Experiment, DeterministicAcrossCalls) {
+  const auto a = run_experiment(tiny(2, sched::SchedulerKind::kCbp));
+  const auto b = run_experiment(tiny(2, sched::SchedulerKind::kCbp));
+  EXPECT_DOUBLE_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.qos_violations, b.qos_violations);
+  EXPECT_DOUBLE_EQ(a.cluster_wide.p50, b.cluster_wide.p50);
+}
+
+TEST(Experiment, SweepRunsEveryScheduler) {
+  const auto reports = run_scheduler_sweep(
+      tiny(1, sched::SchedulerKind::kUniform),
+      {sched::SchedulerKind::kUniform, sched::SchedulerKind::kResourceAgnostic,
+       sched::SchedulerKind::kCbp, sched::SchedulerKind::kPeakPrediction});
+  ASSERT_EQ(reports.size(), 4u);
+  EXPECT_EQ(reports[0].scheduler, "Uniform");
+  EXPECT_EQ(reports[1].scheduler, "Res-Ag");
+  EXPECT_EQ(reports[2].scheduler, "CBP");
+  EXPECT_EQ(reports[3].scheduler, "PP");
+}
+
+TEST(Experiment, SweepMatchesSerialRuns) {
+  const auto base = tiny(1, sched::SchedulerKind::kUniform);
+  const auto sweep =
+      run_scheduler_sweep(base, {sched::SchedulerKind::kCbp});
+  ExperimentConfig serial = base;
+  serial.scheduler = sched::SchedulerKind::kCbp;
+  const auto direct = run_experiment(serial);
+  EXPECT_DOUBLE_EQ(sweep[0].energy_joules, direct.energy_joules);
+  EXPECT_EQ(sweep[0].qos_violations, direct.qos_violations);
+}
+
+TEST(KubeKnots, FacadeSubmitAndRun) {
+  KubeKnots knots(tiny(1, sched::SchedulerKind::kPeakPrediction));
+
+  workload::PodSpec pod;
+  pod.app = "face";
+  pod.klass = workload::PodClass::kLatencyCritical;
+  pod.arrival = 1 * kSec;
+  pod.batch_size = 4;
+  pod.profile = workload::inference_profile(workload::Service::kFace, 4);
+  pod.requested_mb = 2000;
+  pod.qos_latency = 150 * kMsec;
+  knots.submit(pod);
+
+  const auto report = knots.run();
+  EXPECT_EQ(report.pods_total, 1u);
+  EXPECT_EQ(report.pods_completed, 1u);
+  EXPECT_EQ(report.queries, 1u);
+  // Uncontended warm-started query meets its deadline.
+  EXPECT_EQ(report.qos_violations, 0u);
+  EXPECT_EQ(knots.cluster().completed_count(), 1u);
+}
+
+TEST(KubeKnots, MixWorkloadRunsThroughFacade) {
+  KubeKnots knots(tiny(3, sched::SchedulerKind::kCbp));
+  knots.submit_mix_workload();
+  const auto report = knots.run();
+  EXPECT_GT(report.pods_total, 0u);
+  EXPECT_EQ(report.pods_completed, report.pods_total);
+  EXPECT_EQ(report.mix_id, 3);
+}
+
+}  // namespace
+}  // namespace knots

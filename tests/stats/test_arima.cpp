@@ -1,0 +1,90 @@
+#include "stats/arima.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::stats {
+namespace {
+
+TEST(Arima, UnfittedPredictsLastValue) {
+  Arima1 model;
+  model.fit(std::vector<double>{5.0});
+  EXPECT_FALSE(model.fitted());
+  EXPECT_DOUBLE_EQ(model.predict_next(), 5.0);
+}
+
+TEST(Arima, EmptyWindowPredictsZero) {
+  Arima1 model;
+  model.fit(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(model.predict_next(), 0.0);
+}
+
+TEST(Arima, ConstantSeriesPredictsConstant) {
+  Arima1 model;
+  model.fit(std::vector<double>(30, 4.2));
+  EXPECT_TRUE(model.fitted());
+  EXPECT_NEAR(model.predict_next(), 4.2, 1e-9);
+}
+
+TEST(Arima, ExactAr1IsRecovered) {
+  // Y_t = 2 + 0.7 Y_{t-1}, noiseless: fit must recover mu and phi exactly.
+  std::vector<double> v = {10.0};
+  for (int i = 0; i < 60; ++i) v.push_back(2.0 + 0.7 * v.back());
+  Arima1 model;
+  model.fit(v);
+  EXPECT_NEAR(model.slope(), 0.7, 1e-6);
+  EXPECT_NEAR(model.intercept(), 2.0, 1e-5);
+  EXPECT_NEAR(model.predict_next(), 2.0 + 0.7 * v.back(), 1e-6);
+}
+
+TEST(Arima, LinearTrendExtrapolates) {
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(3.0 * i);
+  Arima1 model;
+  model.fit(v);
+  // AR(1) on a pure ramp learns phi=1, mu=slope → next = last + slope.
+  EXPECT_NEAR(model.predict_next(), v.back() + 3.0, 1e-6);
+}
+
+TEST(Arima, PredictAheadConvergesToProcessMean) {
+  std::vector<double> v = {0.0};
+  for (int i = 0; i < 80; ++i) v.push_back(5.0 + 0.5 * v.back());
+  Arima1 model;
+  model.fit(v);
+  // Stationary mean = mu / (1 - phi) = 10.
+  EXPECT_NEAR(model.predict_ahead(200), 10.0, 1e-3);
+}
+
+TEST(Arima, PhiClampedToStability) {
+  // An explosive series must not produce |phi| > 1.
+  std::vector<double> v = {1.0};
+  for (int i = 0; i < 30; ++i) v.push_back(v.back() * 1.8);
+  Arima1 model;
+  model.fit(v);
+  EXPECT_LE(model.slope(), 1.0);
+  EXPECT_GE(model.slope(), -1.0);
+}
+
+class Ar1Recovery : public ::testing::TestWithParam<double> {};
+
+TEST_P(Ar1Recovery, NoisyPhiRecoveredWithinTolerance) {
+  const double phi = GetParam();
+  Rng rng(77);
+  std::vector<double> v = {0.0};
+  for (int i = 0; i < 5000; ++i) {
+    v.push_back(1.0 + phi * v.back() + rng.normal(0, 0.2));
+  }
+  Arima1 model;
+  model.fit(v);
+  EXPECT_NEAR(model.slope(), phi, 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Phis, Ar1Recovery,
+                         ::testing::Values(-0.6, -0.2, 0.0, 0.3, 0.6, 0.9));
+
+}  // namespace
+}  // namespace knots::stats

@@ -1,0 +1,93 @@
+#include "stats/autocorrelation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::stats {
+namespace {
+
+TEST(Autocorrelation, LagZeroIsOne) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 0), 1.0);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero) {
+  const std::vector<double> v(20, 7.0);
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 1), 0.0);
+}
+
+TEST(Autocorrelation, TooShortOrOutOfRangeIsZero) {
+  const std::vector<double> v = {1.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(v, 1), 0.0);
+  const std::vector<double> w = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(autocorrelation(w, 5), 0.0);
+}
+
+TEST(Autocorrelation, SmoothTrendHasHighLag1) {
+  std::vector<double> v;
+  for (int i = 0; i < 100; ++i) v.push_back(i * 0.5);
+  EXPECT_GT(autocorrelation(v, 1), 0.9);
+}
+
+TEST(Autocorrelation, WhiteNoiseNearZero) {
+  Rng rng(3);
+  std::vector<double> v;
+  for (int i = 0; i < 20000; ++i) v.push_back(rng.normal(0, 1));
+  EXPECT_NEAR(autocorrelation(v, 1), 0.0, 0.03);
+  EXPECT_NEAR(autocorrelation(v, 5), 0.0, 0.03);
+}
+
+TEST(Autocorrelation, AlternatingSeriesNegativeLag1) {
+  std::vector<double> v;
+  for (int i = 0; i < 50; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_LT(autocorrelation(v, 1), -0.8);
+}
+
+TEST(Autocorrelation, PeriodicSignalPeaksAtPeriod) {
+  std::vector<double> v;
+  const std::size_t period = 8;
+  for (int i = 0; i < 400; ++i) {
+    v.push_back(std::sin(2.0 * std::numbers::pi * i /
+                         static_cast<double>(period)));
+  }
+  const auto acf = autocorrelations(v, 12);
+  // r at the full period dominates all shorter non-trivial lags.
+  const double at_period = acf[period - 1];
+  EXPECT_GT(at_period, 0.9);
+  EXPECT_EQ(dominant_positive_lag(v, 12), period);
+}
+
+TEST(Autocorrelation, DominantLagZeroWhenNonePositive) {
+  std::vector<double> v;
+  for (int i = 0; i < 40; ++i) v.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_EQ(dominant_positive_lag(v, 1), 0u);
+}
+
+TEST(Autocorrelations, LengthMatchesMaxLag) {
+  std::vector<double> v = {1, 2, 1, 2, 1, 2, 1, 2};
+  EXPECT_EQ(autocorrelations(v, 4).size(), 4u);
+}
+
+class PeakIntervalSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PeakIntervalSweep, RecoversPeakInterval) {
+  // The PP scheduler's probe: consecutive resource-peak spacing shows up as
+  // the dominant positive autocorrelation lag (§IV-D, Eq. 2).
+  const std::size_t interval = GetParam();
+  std::vector<double> v;
+  for (std::size_t i = 0; i < interval * 40; ++i) {
+    v.push_back(i % interval == 0 ? 10.0 : 1.0);
+  }
+  EXPECT_EQ(dominant_positive_lag(v, interval + 4), interval);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, PeakIntervalSweep,
+                         ::testing::Values(3u, 5u, 7u, 11u, 16u));
+
+}  // namespace
+}  // namespace knots::stats

@@ -1,0 +1,159 @@
+#include "stats/correlation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::stats {
+namespace {
+
+TEST(Pearson, PerfectPositive) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {2, 4, 6, 8};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  const std::vector<double> x = {1, 2, 3, 4};
+  const std::vector<double> y = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(x, y), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSideIsZero) {
+  const std::vector<double> x = {1, 2, 3};
+  const std::vector<double> c = {5, 5, 5};
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 1, 4, 3, 5};
+  // Hand-computed: cov = 2.0 (n-1 basis is irrelevant, ratio cancels).
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, TooShortIsZero) {
+  const std::vector<double> x = {1};
+  EXPECT_DOUBLE_EQ(pearson(x, x), 0.0);
+}
+
+TEST(Ranks, SimpleOrdering) {
+  const std::vector<double> v = {30, 10, 20};
+  const auto r = fractional_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 3);
+  EXPECT_DOUBLE_EQ(r[1], 1);
+  EXPECT_DOUBLE_EQ(r[2], 2);
+}
+
+TEST(Ranks, TiesGetAverageRank) {
+  const std::vector<double> v = {1, 2, 2, 3};
+  const auto r = fractional_ranks(v);
+  EXPECT_DOUBLE_EQ(r[0], 1);
+  EXPECT_DOUBLE_EQ(r[1], 2.5);
+  EXPECT_DOUBLE_EQ(r[2], 2.5);
+  EXPECT_DOUBLE_EQ(r[3], 4);
+}
+
+TEST(Spearman, MonotonicNonlinearIsOne) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(0.3 * i));  // monotone but very nonlinear
+  }
+  EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, ReversedIsMinusOne) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 10; ++i) {
+    x.push_back(i);
+    y.push_back(-i * i);
+  }
+  EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, IndependentIsNearZero) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 5000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(rng.uniform());
+  }
+  EXPECT_NEAR(spearman(x, y), 0.0, 0.05);
+}
+
+TEST(Spearman, BoundedInMinusOneOne) {
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> x, y;
+    for (int i = 0; i < 50; ++i) {
+      x.push_back(rng.normal(0, 1));
+      y.push_back(0.5 * x.back() + rng.normal(0, 1));
+    }
+    const double r = spearman(x, y);
+    EXPECT_GE(r, -1.0);
+    EXPECT_LE(r, 1.0);
+  }
+}
+
+TEST(SpearmanMatrix, DiagonalOnesAndSymmetry) {
+  Rng rng(9);
+  std::vector<std::vector<double>> cols(3);
+  for (int i = 0; i < 100; ++i) {
+    const double base = rng.uniform();
+    cols[0].push_back(base);
+    cols[1].push_back(base + rng.normal(0, 0.1));
+    cols[2].push_back(rng.uniform());
+  }
+  const auto m = spearman_matrix({"a", "b", "c"}, cols);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m.at(i, i), 1.0);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(m.at(i, j), m.at(j, i));
+    }
+  }
+  EXPECT_GT(m.at(0, 1), 0.8);   // a and b co-move
+  EXPECT_LT(std::abs(m.at(0, 2)), 0.3);  // c is independent
+}
+
+TEST(SpearmanMatrix, MatchesPairwiseSpearman) {
+  Rng rng(11);
+  std::vector<std::vector<double>> cols(2);
+  for (int i = 0; i < 64; ++i) {
+    cols[0].push_back(rng.uniform());
+    cols[1].push_back(rng.uniform() + 0.3 * cols[0].back());
+  }
+  const auto m = spearman_matrix({"x", "y"}, cols);
+  EXPECT_NEAR(m.at(0, 1), spearman(cols[0], cols[1]), 1e-12);
+}
+
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, CorrelationDecreasesWithNoise) {
+  // Property: rho(signal, signal+noise) decreases as noise grows.
+  Rng rng(13);
+  const double sigma = GetParam();
+  std::vector<double> x, y;
+  for (int i = 0; i < 2000; ++i) {
+    x.push_back(rng.uniform());
+    y.push_back(x.back() + rng.normal(0, sigma));
+  }
+  const double r = spearman(x, y);
+  if (sigma <= 0.01) {
+    EXPECT_GT(r, 0.98);
+  } else if (sigma >= 3.0) {
+    EXPECT_LT(r, 0.35);
+  } else {
+    EXPECT_GT(r, 0.2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, NoiseSweep,
+                         ::testing::Values(0.0, 0.01, 0.5, 1.0, 3.0, 10.0));
+
+}  // namespace
+}  // namespace knots::stats

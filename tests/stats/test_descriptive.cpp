@@ -1,0 +1,56 @@
+#include "stats/descriptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace knots::stats {
+namespace {
+
+TEST(Descriptive, MeanKnownValues) {
+  const std::vector<double> v = {1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+}
+
+TEST(Descriptive, VarianceSampleDenominator) {
+  const std::vector<double> v = {2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_NEAR(variance(v), 32.0 / 7.0, 1e-12);
+}
+
+TEST(Descriptive, VarianceOfSingleIsZero) {
+  const std::vector<double> v = {42};
+  EXPECT_DOUBLE_EQ(variance(v), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Descriptive, CovDefinition) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_NEAR(coefficient_of_variation(v), stddev(v) / 2.0, 1e-12);
+}
+
+TEST(Descriptive, CovZeroMeanIsZero) {
+  const std::vector<double> v = {-1, 1};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);
+}
+
+TEST(Descriptive, CovConstantSeriesIsZero) {
+  const std::vector<double> v = {5, 5, 5, 5};
+  EXPECT_DOUBLE_EQ(coefficient_of_variation(v), 0.0);
+}
+
+TEST(Descriptive, MinMax) {
+  const std::vector<double> v = {3, -7, 11, 0};
+  EXPECT_DOUBLE_EQ(min_value(v), -7);
+  EXPECT_DOUBLE_EQ(max_value(v), 11);
+}
+
+TEST(Descriptive, HighVarianceSeriesHasCovAboveOne) {
+  // The paper's COV>1 "heavy tail" criterion (§III-C).
+  const std::vector<double> spiky = {0.1, 0.1, 0.1, 0.1, 10.0};
+  EXPECT_GT(coefficient_of_variation(spiky), 1.0);
+  const std::vector<double> steady = {4.8, 5.1, 5.0, 4.9, 5.2};
+  EXPECT_LT(coefficient_of_variation(steady), 1.0);
+}
+
+}  // namespace
+}  // namespace knots::stats

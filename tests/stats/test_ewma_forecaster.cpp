@@ -1,0 +1,98 @@
+#include "stats/ewma_forecaster.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+namespace knots::stats {
+namespace {
+
+TEST(EwmaForecaster, ConstantSeries) {
+  EwmaForecaster f(0.2);
+  f.fit(std::vector<double>(50, 3.0));
+  EXPECT_NEAR(f.predict_next(), 3.0, 1e-9);
+}
+
+TEST(EwmaForecaster, EmptyWindowPredictsZero) {
+  EwmaForecaster f;
+  f.fit(std::vector<double>{});
+  EXPECT_DOUBLE_EQ(f.predict_next(), 0.0);
+}
+
+TEST(EwmaForecaster, LagsARamp) {
+  std::vector<double> ramp;
+  for (int i = 0; i < 50; ++i) ramp.push_back(i);
+  EwmaForecaster f(0.3);
+  f.fit(ramp);
+  // EWMA underestimates a rising trend but stays near the recent level.
+  EXPECT_GT(f.predict_next(), 40.0);
+  EXPECT_LT(f.predict_next(), 49.0);
+}
+
+TEST(SeasonalNaive, DetectsPeriodAndRepeatsCycle) {
+  std::vector<double> v;
+  const std::size_t period = 10;
+  for (std::size_t i = 0; i < 200; ++i) {
+    v.push_back(i % period == 0 ? 8.0 : 1.0);
+  }
+  SeasonalNaive f;
+  f.fit(v);
+  EXPECT_EQ(f.period(), period);
+  // Series ends at i=199 (value 1); the next spike is exactly one sample
+  // ahead (i=200 divisible by 10).
+  EXPECT_DOUBLE_EQ(f.predict_ahead(1), 8.0);
+  EXPECT_DOUBLE_EQ(f.predict_ahead(2), 1.0);
+  EXPECT_DOUBLE_EQ(f.predict_ahead(period + 1), 8.0);
+}
+
+TEST(SeasonalNaive, SineWaveForecast) {
+  std::vector<double> v;
+  const std::size_t period = 16;
+  for (std::size_t i = 0; i < 160; ++i) {
+    v.push_back(std::sin(2 * std::numbers::pi * i / period));
+  }
+  SeasonalNaive f;
+  f.fit(v);
+  EXPECT_EQ(f.period(), period);
+  for (std::size_t steps = 1; steps <= period; ++steps) {
+    const double expected =
+        std::sin(2 * std::numbers::pi * (159 + steps) / period);
+    EXPECT_NEAR(f.predict_ahead(steps), expected, 1e-9) << steps;
+  }
+}
+
+TEST(SeasonalNaive, TrendRegistersAsAtMostLagOne) {
+  // A pure trend autocorrelates at every lag; the detector reports lag 1,
+  // which degenerates to a last-value forecast.
+  std::vector<double> v;
+  for (int i = 0; i < 60; ++i) v.push_back(i);
+  SeasonalNaive f;
+  f.fit(v);
+  EXPECT_LE(f.period(), 1u);
+  EXPECT_DOUBLE_EQ(f.predict_next(), 59.0);
+}
+
+TEST(SeasonalNaive, WhiteNoiseHasNoPeriod) {
+  std::vector<double> v;
+  std::uint64_t s = 9;
+  for (int i = 0; i < 200; ++i) {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    v.push_back(static_cast<double>(s >> 40));
+  }
+  SeasonalNaive f;
+  f.fit(v);
+  EXPECT_EQ(f.period(), 0u);
+  EXPECT_DOUBLE_EQ(f.predict_next(), v.back());
+}
+
+TEST(SeasonalNaive, ShortWindowFallsBack) {
+  SeasonalNaive f;
+  f.fit(std::vector<double>{1, 2, 3});
+  EXPECT_EQ(f.period(), 0u);
+  EXPECT_DOUBLE_EQ(f.predict_next(), 3.0);
+}
+
+}  // namespace
+}  // namespace knots::stats

@@ -1,0 +1,93 @@
+#include "telemetry/aggregator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "telemetry/sampler.hpp"
+
+namespace knots::telemetry {
+namespace {
+
+class AggregatorTest : public ::testing::Test {
+ protected:
+  AggregatorTest() {
+    gpu::NodeSpec spec;
+    spec.gpus_per_node = 1;
+    for (int n = 0; n < 3; ++n) {
+      nodes_.push_back(std::make_unique<gpu::GpuNode>(NodeId{n}, spec, n));
+      dbs_.push_back(std::make_unique<TimeSeriesDb>());
+      agg_.register_node(*nodes_[static_cast<std::size_t>(n)],
+                         *dbs_[static_cast<std::size_t>(n)]);
+    }
+  }
+
+  void sample_all(SimTime now) {
+    for (std::size_t n = 0; n < nodes_.size(); ++n) {
+      HeartbeatSampler s(*nodes_[n], *dbs_[n], Rng(n + 1), 0.0);
+      s.sample(now);
+    }
+  }
+
+  std::vector<std::unique_ptr<gpu::GpuNode>> nodes_;
+  std::vector<std::unique_ptr<TimeSeriesDb>> dbs_;
+  UtilizationAggregator agg_;
+};
+
+TEST_F(AggregatorTest, SnapshotCoversAllGpus) {
+  sample_all(0);
+  const auto snap = agg_.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(agg_.node_count(), 3u);
+  for (const auto& v : snap) {
+    EXPECT_DOUBLE_EQ(v.sm_util, 0.0);
+    EXPECT_FALSE(v.parked);
+  }
+}
+
+TEST_F(AggregatorTest, SnapshotReflectsTelemetry) {
+  ASSERT_TRUE(nodes_[1]->gpu(0).attach(PodId{1}, 1000));
+  EXPECT_TRUE(nodes_[1]->gpu(0).set_usage(PodId{1}, {0.7, 8192, 0, 0}));
+  sample_all(5);
+  const auto snap = agg_.snapshot();
+  EXPECT_DOUBLE_EQ(snap[1].sm_util, 0.7);
+  EXPECT_NEAR(snap[1].mem_used_mb, 8192, 1e-6);
+  EXPECT_NEAR(snap[1].free_mem_mb,
+              nodes_[1]->gpu(0).spec().memory_mb - 8192, 1e-6);
+  EXPECT_EQ(snap[1].residents, 1);
+}
+
+TEST_F(AggregatorTest, ActiveSortedByFreeMemoryDescending) {
+  ASSERT_TRUE(nodes_[0]->gpu(0).attach(PodId{1}, 100));
+  EXPECT_TRUE(nodes_[0]->gpu(0).set_usage(PodId{1}, {0.1, 12000, 0, 0}));
+  ASSERT_TRUE(nodes_[2]->gpu(0).attach(PodId{2}, 100));
+  EXPECT_TRUE(nodes_[2]->gpu(0).set_usage(PodId{2}, {0.1, 4000, 0, 0}));
+  sample_all(9);
+  const auto sorted = agg_.active_sorted_by_free_memory();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].node.value, 1);  // empty node has most free memory
+  EXPECT_EQ(sorted[1].node.value, 2);
+  EXPECT_EQ(sorted[2].node.value, 0);
+}
+
+TEST_F(AggregatorTest, ParkedGpusExcludedFromActiveList) {
+  nodes_[0]->gpu(0).set_parked(true);
+  sample_all(1);
+  const auto sorted = agg_.active_sorted_by_free_memory();
+  EXPECT_EQ(sorted.size(), 2u);
+  for (const auto& v : sorted) EXPECT_NE(v.node.value, 0);
+  // But the raw snapshot still shows it, flagged.
+  EXPECT_TRUE(agg_.snapshot()[0].parked);
+}
+
+TEST_F(AggregatorTest, WindowedSeriesQuery) {
+  for (SimTime t = 0; t <= 100; t += 10) sample_all(t);
+  const auto window =
+      agg_.window(GpuId{1}, Metric::kSmUtil, /*now=*/100, /*window=*/35);
+  EXPECT_EQ(window.size(), 4u);  // t = 70, 80, 90, 100
+  EXPECT_TRUE(agg_.window(GpuId{99}, Metric::kSmUtil, 100, 35).empty());
+}
+
+}  // namespace
+}  // namespace knots::telemetry

@@ -1,0 +1,87 @@
+#include "telemetry/downsample.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::telemetry {
+namespace {
+
+std::vector<Sample> ramp(SimTime step, int n) {
+  std::vector<Sample> out;
+  for (int i = 0; i < n; ++i) {
+    out.push_back({i * step, static_cast<double>(i)});
+  }
+  return out;
+}
+
+TEST(Downsample, EmptyInputYieldsNoBuckets) {
+  EXPECT_TRUE(downsample({}, 10, AggFn::kMean).empty());
+}
+
+TEST(Downsample, MeanBuckets) {
+  const auto buckets = downsample(ramp(5, 4), 10, AggFn::kMean);
+  // samples at t=0,5 (values 0,1) and t=10,15 (values 2,3).
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].start, 0);
+  EXPECT_DOUBLE_EQ(buckets[0].value, 0.5);
+  EXPECT_EQ(buckets[0].samples, 2u);
+  EXPECT_EQ(buckets[1].start, 10);
+  EXPECT_DOUBLE_EQ(buckets[1].value, 2.5);
+}
+
+TEST(Downsample, MaxMinLastSumCount) {
+  const std::vector<Sample> s = {{0, 3}, {1, 7}, {2, 5}};
+  EXPECT_DOUBLE_EQ(downsample(s, 10, AggFn::kMax)[0].value, 7);
+  EXPECT_DOUBLE_EQ(downsample(s, 10, AggFn::kMin)[0].value, 3);
+  EXPECT_DOUBLE_EQ(downsample(s, 10, AggFn::kLast)[0].value, 5);
+  EXPECT_DOUBLE_EQ(downsample(s, 10, AggFn::kSum)[0].value, 15);
+  EXPECT_DOUBLE_EQ(downsample(s, 10, AggFn::kCount)[0].value, 3);
+}
+
+TEST(Downsample, BucketsAlignedToWidthMultiples) {
+  const std::vector<Sample> s = {{17, 1.0}, {23, 2.0}, {31, 3.0}};
+  const auto buckets = downsample(s, 10, AggFn::kMean);
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0].start, 10);
+  EXPECT_EQ(buckets[1].start, 20);
+  EXPECT_EQ(buckets[2].start, 30);
+}
+
+TEST(Downsample, GapsAreOmitted) {
+  const std::vector<Sample> s = {{0, 1.0}, {100, 2.0}};
+  const auto buckets = downsample(s, 10, AggFn::kMean);
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].start, 0);
+  EXPECT_EQ(buckets[1].start, 100);
+}
+
+TEST(WindowStats, MeanAndMaxRespectSince) {
+  const auto s = ramp(1, 10);  // values 0..9 at t=0..9
+  EXPECT_DOUBLE_EQ(window_mean(s, 0), 4.5);
+  EXPECT_DOUBLE_EQ(window_mean(s, 8), 8.5);
+  EXPECT_DOUBLE_EQ(window_max(s, 0), 9);
+  EXPECT_DOUBLE_EQ(window_max(s, 100), 0.0);
+  EXPECT_DOUBLE_EQ(window_mean(s, 100), 0.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  std::vector<Sample> s;
+  for (int i = 0; i < 100; ++i) s.push_back({i, 5.0});
+  EXPECT_NEAR(ewma(s, 0.3), 5.0, 1e-9);
+}
+
+TEST(Ewma, AlphaOneTracksLastValue) {
+  const std::vector<Sample> s = {{0, 1}, {1, 9}, {2, 4}};
+  EXPECT_DOUBLE_EQ(ewma(s, 1.0), 4.0);
+}
+
+TEST(Ewma, WeighsRecentSamplesMore) {
+  std::vector<Sample> low_then_high, high_then_low;
+  for (int i = 0; i < 20; ++i) {
+    low_then_high.push_back({i, i < 10 ? 0.0 : 1.0});
+    high_then_low.push_back({i, i < 10 ? 1.0 : 0.0});
+  }
+  EXPECT_GT(ewma(low_then_high, 0.3), ewma(high_then_low, 0.3));
+}
+
+}  // namespace
+}  // namespace knots::telemetry

@@ -1,0 +1,73 @@
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::telemetry {
+namespace {
+
+TEST(Sampler, NoiselessSamplesMatchDeviceState) {
+  gpu::NodeSpec spec;
+  spec.gpus_per_node = 2;
+  gpu::GpuNode node(NodeId{0}, spec, 0);
+  ASSERT_TRUE(node.gpu(0).attach(PodId{1}, 1000));
+  EXPECT_TRUE(node.gpu(0).set_usage(PodId{1}, {0.6, 4096, 1000, 250}));
+
+  TimeSeriesDb db;
+  HeartbeatSampler sampler(node, db, Rng(1), /*noise_sigma=*/0.0);
+  sampler.sample(500);
+
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kSmUtil), 0.6);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kMemUtil),
+                   4096.0 / spec.gpu.memory_mb);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kTxBandwidth), 1000);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kRxBandwidth), 250);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kPowerWatts),
+                   node.gpu(0).power_watts());
+  // Idle second GPU sampled too.
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{1}, Metric::kSmUtil), 0.0);
+}
+
+TEST(Sampler, WritesAllFiveMetricsPerGpu) {
+  gpu::NodeSpec spec;
+  spec.gpus_per_node = 3;
+  gpu::GpuNode node(NodeId{0}, spec, 0);
+  TimeSeriesDb db;
+  HeartbeatSampler sampler(node, db, Rng(1), 0.0);
+  sampler.sample(0);
+  EXPECT_EQ(db.series_count(), 15u);
+  EXPECT_EQ(db.total_samples(), 15u);
+  sampler.sample(1);
+  EXPECT_EQ(db.total_samples(), 30u);
+}
+
+TEST(Sampler, NoiseStaysBoundedAndNonNegative) {
+  gpu::NodeSpec spec;
+  gpu::GpuNode node(NodeId{0}, spec, 0);
+  ASSERT_TRUE(node.gpu(0).attach(PodId{1}, 100));
+  EXPECT_TRUE(node.gpu(0).set_usage(PodId{1}, {0.5, 8192, 0, 0}));
+  TimeSeriesDb db;
+  HeartbeatSampler sampler(node, db, Rng(7), /*noise_sigma=*/0.05);
+  for (SimTime t = 0; t < 200; ++t) sampler.sample(t);
+  for (const auto& s : db.query_all(GpuId{0}, Metric::kSmUtil)) {
+    EXPECT_GE(s.value, 0.0);
+    EXPECT_LE(s.value, 1.0);
+    EXPECT_NEAR(s.value, 0.5, 0.4);
+  }
+}
+
+TEST(Sampler, NoisyMeanTracksTruth) {
+  gpu::NodeSpec spec;
+  gpu::GpuNode node(NodeId{0}, spec, 0);
+  ASSERT_TRUE(node.gpu(0).attach(PodId{1}, 100));
+  EXPECT_TRUE(node.gpu(0).set_usage(PodId{1}, {0.4, 1000, 0, 0}));
+  TimeSeriesDb db;
+  HeartbeatSampler sampler(node, db, Rng(11), 0.02);
+  for (SimTime t = 0; t < 2000; ++t) sampler.sample(t);
+  double sum = 0;
+  const auto all = db.query_all(GpuId{0}, Metric::kSmUtil);
+  for (const auto& s : all) sum += s.value;
+  EXPECT_NEAR(sum / static_cast<double>(all.size()), 0.4, 0.01);
+}
+
+}  // namespace
+}  // namespace knots::telemetry

@@ -1,0 +1,77 @@
+#include "telemetry/timeseries_db.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::telemetry {
+namespace {
+
+TEST(TimeSeriesDb, EmptyQueries) {
+  TimeSeriesDb db;
+  EXPECT_TRUE(db.query_window(GpuId{0}, Metric::kSmUtil, 0).empty());
+  EXPECT_TRUE(db.query_all(GpuId{0}, Metric::kSmUtil).empty());
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{0}, Metric::kSmUtil, -3.0), -3.0);
+  EXPECT_EQ(db.series_count(), 0u);
+}
+
+TEST(TimeSeriesDb, WriteAndLatest) {
+  TimeSeriesDb db;
+  db.write(GpuId{1}, Metric::kPowerWatts, {10, 100.0});
+  db.write(GpuId{1}, Metric::kPowerWatts, {20, 150.0});
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{1}, Metric::kPowerWatts), 150.0);
+  EXPECT_EQ(db.total_samples(), 2u);
+}
+
+TEST(TimeSeriesDb, SeriesKeyedByGpuAndMetric) {
+  TimeSeriesDb db;
+  db.write(GpuId{1}, Metric::kSmUtil, {0, 0.5});
+  db.write(GpuId{2}, Metric::kSmUtil, {0, 0.9});
+  db.write(GpuId{1}, Metric::kMemUtil, {0, 0.2});
+  EXPECT_EQ(db.series_count(), 3u);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{1}, Metric::kSmUtil), 0.5);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{2}, Metric::kSmUtil), 0.9);
+  EXPECT_DOUBLE_EQ(db.latest(GpuId{1}, Metric::kMemUtil), 0.2);
+}
+
+TEST(TimeSeriesDb, WindowQueryInclusiveOfSince) {
+  TimeSeriesDb db;
+  for (SimTime t = 0; t < 10; ++t) {
+    db.write(GpuId{0}, Metric::kSmUtil, {t, static_cast<double>(t)});
+  }
+  const auto window = db.query_window(GpuId{0}, Metric::kSmUtil, 6);
+  ASSERT_EQ(window.size(), 4u);
+  EXPECT_DOUBLE_EQ(window.front(), 6.0);
+  EXPECT_DOUBLE_EQ(window.back(), 9.0);
+}
+
+TEST(TimeSeriesDb, WindowBeforeAllReturnsEverything) {
+  TimeSeriesDb db;
+  for (SimTime t = 100; t < 105; ++t) {
+    db.write(GpuId{0}, Metric::kRxBandwidth, {t, 1.0});
+  }
+  EXPECT_EQ(db.query_window(GpuId{0}, Metric::kRxBandwidth, 0).size(), 5u);
+  EXPECT_TRUE(db.query_window(GpuId{0}, Metric::kRxBandwidth, 1000).empty());
+}
+
+TEST(TimeSeriesDb, RetentionDropsOldest) {
+  TimeSeriesDb db(/*retention=*/8);
+  for (SimTime t = 0; t < 20; ++t) {
+    db.write(GpuId{0}, Metric::kSmUtil, {t, static_cast<double>(t)});
+  }
+  const auto all = db.query_all(GpuId{0}, Metric::kSmUtil);
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.front().time, 12);
+  EXPECT_EQ(all.back().time, 19);
+}
+
+TEST(MetricNames, AllDistinct) {
+  for (auto a : kAllMetrics) {
+    for (auto b : kAllMetrics) {
+      if (a != b) EXPECT_NE(metric_name(a), metric_name(b));
+    }
+  }
+  EXPECT_EQ(metric_name(Metric::kSmUtil), "sm_util");
+  EXPECT_EQ(kAllMetrics.size(), 5u);  // the five §IV-A metrics
+}
+
+}  // namespace
+}  // namespace knots::telemetry

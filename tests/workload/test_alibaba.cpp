@@ -1,0 +1,133 @@
+#include "workload/alibaba.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/percentile.hpp"
+#include "stats/correlation.hpp"
+
+namespace knots::workload {
+namespace {
+
+TEST(Alibaba, MetricLabelCounts) {
+  EXPECT_EQ(lc_metric_labels().size(), 8u);     // Fig 2a heat map
+  EXPECT_EQ(batch_metric_labels().size(), 6u);  // Fig 2c heat map
+}
+
+TEST(Alibaba, ContainerMeansMatchObservation2) {
+  // Fig 2b: average CPU ≈ 47 %, average memory ≈ 76 % of request.
+  AlibabaTrace trace(Rng(42));
+  OnlineStats cpu, mem;
+  for (int i = 0; i < 20000; ++i) {
+    const auto c = trace.sample_container();
+    cpu.add(c.cpu_avg);
+    mem.add(c.mem_avg);
+  }
+  EXPECT_NEAR(cpu.mean(), 0.47, 0.04);
+  EXPECT_NEAR(mem.mean(), 0.76, 0.04);
+}
+
+TEST(Alibaba, MaxAboveAverageAndBounded) {
+  AlibabaTrace trace(Rng(7));
+  for (int i = 0; i < 2000; ++i) {
+    const auto c = trace.sample_container();
+    EXPECT_GE(c.cpu_max, c.cpu_avg);
+    EXPECT_GE(c.mem_max, c.mem_avg);
+    EXPECT_LE(c.cpu_max, 1.0);
+    EXPECT_LE(c.mem_max, 1.0);
+    EXPECT_GE(c.cpu_avg, 0.0);
+  }
+}
+
+TEST(Alibaba, MemoryMaxRarelyExceeds80PercentOfRequest) {
+  // The basis for CBP's 80th-percentile provisioning (§IV-C).
+  AlibabaTrace trace(Rng(3));
+  int exceed = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (trace.sample_container().mem_max > 0.97) ++exceed;
+  }
+  EXPECT_LT(exceed, n / 4);
+}
+
+TEST(Alibaba, BatchMetricsStronglyCorrelated) {
+  // Observation 3 / Fig 2c: core↔memory and core↔load_1 co-move.
+  AlibabaTrace trace(Rng(5));
+  const auto cols = trace.batch_metric_columns(5000);
+  const auto m = stats::spearman_matrix(batch_metric_labels(), cols);
+  EXPECT_GT(m.at(0, 1), 0.7);  // core_util vs mem_util
+  EXPECT_GT(m.at(0, 3), 0.8);  // core_util vs load_1
+  EXPECT_GT(m.at(3, 4), 0.7);  // load_1 vs load_5
+  EXPECT_LT(m.at(0, 2), -0.5); // network anti-correlates with compute
+}
+
+TEST(Alibaba, LatencyCriticalMetricsWeaklyCorrelated) {
+  // Fig 2a: no clear correlation indicators for short-lived tasks.
+  AlibabaTrace trace(Rng(5));
+  const auto cols = trace.lc_metric_columns(5000);
+  const auto m = stats::spearman_matrix(lc_metric_labels(), cols);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = i + 1; j < 8; ++j) {
+      EXPECT_LT(std::abs(m.at(i, j)), 0.45)
+          << m.labels[i] << " vs " << m.labels[j];
+    }
+  }
+}
+
+TEST(Alibaba, ParetoSplitIsTwentyPercentBatch) {
+  AlibabaTrace trace(Rng(9));
+  int batch = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) batch += trace.next_is_batch() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(batch) / n, 0.20, 0.01);
+}
+
+TEST(Alibaba, ArrivalsSortedWithinWindow) {
+  AlibabaTrace trace(Rng(11));
+  const auto arrivals = trace.arrivals(60 * kSec, 200 * kMsec, 0.5);
+  ASSERT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  EXPECT_LT(arrivals.back(), 60 * kSec);
+  EXPECT_GT(arrivals.front(), 0);
+}
+
+TEST(Alibaba, ArrivalCountTracksMeanInterarrival) {
+  AlibabaTrace trace(Rng(13));
+  const auto arrivals = trace.arrivals(600 * kSec, 500 * kMsec, 0.3,
+                                       /*diurnal=*/false);
+  EXPECT_NEAR(static_cast<double>(arrivals.size()), 1200.0, 150.0);
+}
+
+TEST(Alibaba, BurstinessRaisesInterarrivalCov) {
+  auto gap_cov = [](const std::vector<SimTime>& arrivals) {
+    OnlineStats st;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+      st.add(static_cast<double>(arrivals[i] - arrivals[i - 1]));
+    }
+    return st.cov();
+  };
+  AlibabaTrace smooth(Rng(17));
+  AlibabaTrace bursty(Rng(17));
+  const auto low = smooth.arrivals(600 * kSec, 300 * kMsec, 0.2, false);
+  const auto high = bursty.arrivals(600 * kSec, 300 * kMsec, 2.5, false);
+  EXPECT_GT(gap_cov(high), gap_cov(low) + 0.5);
+}
+
+class BurstinessSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BurstinessSweep, MeanGapRoughlyPreserved) {
+  AlibabaTrace trace(Rng(19));
+  const auto arrivals =
+      trace.arrivals(1200 * kSec, 400 * kMsec, GetParam(), false);
+  const double mean_gap =
+      static_cast<double>(arrivals.back()) /
+      static_cast<double>(arrivals.size());
+  EXPECT_NEAR(mean_gap, 400.0 * kMsec, 120.0 * kMsec);
+}
+
+INSTANTIATE_TEST_SUITE_P(Burst, BurstinessSweep,
+                         ::testing::Values(0.0, 0.3, 0.9, 2.2));
+
+}  // namespace
+}  // namespace knots::workload

@@ -1,0 +1,91 @@
+#include "workload/app_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::workload {
+namespace {
+
+AppProfile two_phase() {
+  // 30 ms at 100 MB / 0.2 SM, then 10 ms at 400 MB / 0.8 SM.
+  return AppProfile("two",
+                    {{30 * kMsec, gpu::Usage{0.2, 100, 0, 0}},
+                     {10 * kMsec, gpu::Usage{0.8, 400, 50, 0}}});
+}
+
+TEST(AppProfile, DurationsAndCycles) {
+  const auto p = two_phase();
+  EXPECT_EQ(p.cycle_duration(), 40 * kMsec);
+  EXPECT_EQ(p.total_duration(), 40 * kMsec);
+  EXPECT_EQ(p.with_cycles(3).total_duration(), 120 * kMsec);
+}
+
+TEST(AppProfile, UsageLookupByPhase) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.usage_at(0).memory_mb, 100);
+  EXPECT_DOUBLE_EQ(p.usage_at(29 * kMsec).memory_mb, 100);
+  EXPECT_DOUBLE_EQ(p.usage_at(30 * kMsec).memory_mb, 400);
+  EXPECT_DOUBLE_EQ(p.usage_at(39 * kMsec).sm, 0.8);
+}
+
+TEST(AppProfile, UsageWrapsAcrossCycles) {
+  const auto p = two_phase().with_cycles(5);
+  EXPECT_DOUBLE_EQ(p.usage_at(40 * kMsec).memory_mb, 100);   // cycle 2 start
+  EXPECT_DOUBLE_EQ(p.usage_at(75 * kMsec).memory_mb, 400);   // cycle 2 peak
+}
+
+TEST(AppProfile, NegativeTimeClampsToStart) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.usage_at(-5).memory_mb, 100);
+}
+
+TEST(AppProfile, MemoryPercentileIsDurationWeighted) {
+  const auto p = two_phase();
+  // 75 % of the cycle sits at 100 MB.
+  EXPECT_DOUBLE_EQ(p.memory_percentile_mb(50), 100);
+  EXPECT_DOUBLE_EQ(p.memory_percentile_mb(75), 100);
+  EXPECT_DOUBLE_EQ(p.memory_percentile_mb(80), 400);
+  EXPECT_DOUBLE_EQ(p.memory_percentile_mb(100), 400);
+}
+
+TEST(AppProfile, PeaksAndMeans) {
+  const auto p = two_phase();
+  EXPECT_DOUBLE_EQ(p.peak_memory_mb(), 400);
+  EXPECT_DOUBLE_EQ(p.peak_sm(), 0.8);
+  EXPECT_NEAR(p.mean_sm(), (0.2 * 30 + 0.8 * 10) / 40, 1e-12);
+  EXPECT_NEAR(p.mean_memory_mb(), (100.0 * 30 + 400 * 10) / 40, 1e-12);
+}
+
+TEST(AppProfile, TimeScalingPreservesShape) {
+  const auto p = two_phase().time_scaled(10.0);
+  EXPECT_EQ(p.cycle_duration(), 400 * kMsec);
+  EXPECT_DOUBLE_EQ(p.usage_at(0).memory_mb, 100);
+  EXPECT_DOUBLE_EQ(p.usage_at(350 * kMsec).memory_mb, 400);
+  EXPECT_DOUBLE_EQ(p.peak_memory_mb(), 400);
+  EXPECT_NEAR(p.mean_sm(), two_phase().mean_sm(), 1e-12);
+}
+
+TEST(AppProfile, SignaturesSampleOneCycle) {
+  const auto p = two_phase();
+  const auto mem = p.memory_signature(8);
+  ASSERT_EQ(mem.size(), 8u);
+  EXPECT_DOUBLE_EQ(mem.front(), 100);
+  EXPECT_DOUBLE_EQ(mem.back(), 400);
+  const auto sm = p.sm_signature(8);
+  EXPECT_DOUBLE_EQ(sm.front(), 0.2);
+  EXPECT_DOUBLE_EQ(sm.back(), 0.8);
+}
+
+class CycleSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CycleSweep, TotalDurationScalesLinearly) {
+  const int cycles = GetParam();
+  const auto p = two_phase().with_cycles(cycles);
+  EXPECT_EQ(p.total_duration(), cycles * 40 * kMsec);
+  // Percentiles are cycle-invariant.
+  EXPECT_DOUBLE_EQ(p.memory_percentile_mb(50), 100);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cycles, CycleSweep, ::testing::Values(1, 2, 5, 17));
+
+}  // namespace
+}  // namespace knots::workload

@@ -1,0 +1,111 @@
+#include "workload/djinn_tonic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::workload {
+namespace {
+
+constexpr double kP100Mb = 16384.0;
+
+TEST(Djinn, NamesRoundTrip) {
+  for (Service s : kAllServices) {
+    EXPECT_EQ(service_from_name(service_name(s)), s);
+  }
+}
+
+TEST(Djinn, SingleInferenceUnderTenPercent) {
+  // Fig 4: most single queries use well under 10 % of a P100.
+  for (Service s : kAllServices) {
+    EXPECT_LT(inference_memory_mb(s, 1), 0.10 * kP100Mb)
+        << service_name(s);
+  }
+}
+
+TEST(Djinn, Batch128MostlyUnderHalfDevice) {
+  // Fig 4: even at batch 128 the majority stay below 50 %.
+  int under_half = 0;
+  for (Service s : kAllServices) {
+    if (inference_memory_mb(s, 128) < 0.5 * kP100Mb) ++under_half;
+  }
+  EXPECT_GE(under_half, 5);  // all but (at most) one service
+}
+
+TEST(Djinn, TfEarmarksNinetyNinePercent) {
+  EXPECT_DOUBLE_EQ(tf_managed_memory_mb(kP100Mb), 0.99 * kP100Mb);
+}
+
+TEST(Djinn, MemoryMonotonicInBatchSize) {
+  for (Service s : kAllServices) {
+    double prev = 0;
+    for (int b = 1; b <= 128; b *= 2) {
+      const double mb = inference_memory_mb(s, b);
+      EXPECT_GT(mb, prev) << service_name(s) << " batch " << b;
+      prev = mb;
+    }
+  }
+}
+
+TEST(Djinn, MemorySublinearInBatchSize) {
+  for (Service s : kAllServices) {
+    const double m1 = inference_memory_mb(s, 1);
+    const double m128 = inference_memory_mb(s, 128);
+    EXPECT_LT(m128, 128 * m1) << service_name(s);
+  }
+}
+
+TEST(Djinn, LatencyMonotonicInBatchSize) {
+  for (Service s : kAllServices) {
+    SimTime prev = 0;
+    for (int b = 1; b <= 128; b *= 2) {
+      const SimTime lat = inference_latency(s, b);
+      EXPECT_GT(lat, prev);
+      prev = lat;
+    }
+  }
+}
+
+TEST(Djinn, LatencyScaleMatchesPaper) {
+  // §II-C: image recognition ≈ 90 ms on a P100; text services ≈ 10 ms.
+  EXPECT_EQ(inference_latency(Service::kImc, 1), 90 * kMsec);
+  EXPECT_LE(inference_latency(Service::kPos, 1), 10 * kMsec);
+  for (Service s : kAllServices) {
+    EXPECT_GE(inference_latency(s, 1), 5 * kMsec);
+    EXPECT_LE(inference_latency(s, 1), 100 * kMsec);
+  }
+}
+
+TEST(Djinn, SmDemandSaturatesBelowMax) {
+  for (Service s : kAllServices) {
+    double prev = 0;
+    for (int b = 1; b <= 128; b *= 2) {
+      const double sm = inference_sm_demand(s, b);
+      EXPECT_GE(sm, prev);
+      EXPECT_LE(sm, 1.0);
+      prev = sm;
+    }
+  }
+}
+
+class ServiceBatchSweep
+    : public ::testing::TestWithParam<std::tuple<Service, int>> {};
+
+TEST_P(ServiceBatchSweep, ProfileConsistentWithModels) {
+  const auto [service, batch] = GetParam();
+  const auto profile = inference_profile(service, batch);
+  EXPECT_EQ(profile.total_duration(), inference_latency(service, batch));
+  EXPECT_NEAR(profile.peak_memory_mb(), inference_memory_mb(service, batch),
+              1e-9);
+  EXPECT_NEAR(profile.peak_sm(), inference_sm_demand(service, batch), 1e-9);
+  // Load phase (tx burst) precedes the compute phase.
+  EXPECT_GT(profile.phases().front().usage.tx_mbps, 0);
+  EXPECT_GT(profile.phases().back().usage.rx_mbps, 0);
+  EXPECT_EQ(profile.phases().size(), 3u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ServiceBatchSweep,
+    ::testing::Combine(::testing::ValuesIn(kAllServices),
+                       ::testing::Values(1, 4, 16, 64, 128)));
+
+}  // namespace
+}  // namespace knots::workload

@@ -1,0 +1,144 @@
+#include "workload/rodinia.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/percentile.hpp"
+
+namespace knots::workload {
+namespace {
+
+TEST(Rodinia, NamesRoundTrip) {
+  for (RodiniaApp app : kAllRodinia) {
+    EXPECT_EQ(rodinia_from_name(rodinia_name(app)), app);
+  }
+}
+
+TEST(Rodinia, NineDistinctProfiles) {
+  const auto profiles = all_rodinia_profiles();
+  ASSERT_EQ(profiles.size(), 9u);
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    for (std::size_t j = i + 1; j < profiles.size(); ++j) {
+      EXPECT_NE(profiles[i].name(), profiles[j].name());
+    }
+  }
+}
+
+TEST(Rodinia, SubSecondCharacterizationCycles) {
+  // Fig 3's x axis is milliseconds: base cycles are sub-second.
+  for (const auto& p : all_rodinia_profiles()) {
+    EXPECT_GT(p.cycle_duration(), 30 * kMsec) << p.name();
+    EXPECT_LT(p.cycle_duration(), 1 * kSec) << p.name();
+  }
+}
+
+TEST(Rodinia, FootprintsFitP100) {
+  for (const auto& p : all_rodinia_profiles()) {
+    EXPECT_GT(p.peak_memory_mb(), 0) << p.name();
+    EXPECT_LT(p.peak_memory_mb(), 16384 / 4) << p.name();
+  }
+}
+
+TEST(Rodinia, HeartwallHasLargestFootprint) {
+  const auto profiles = all_rodinia_profiles();
+  const auto heartwall = rodinia_profile(RodiniaApp::kHeartwall);
+  for (const auto& p : profiles) {
+    EXPECT_LE(p.peak_memory_mb(), heartwall.peak_memory_mb()) << p.name();
+  }
+  EXPECT_GT(heartwall.peak_memory_mb(), 2000);  // ~2.3 GB in Fig 3
+}
+
+TEST(Rodinia, MyocyteNearlyIdle) {
+  const auto p = rodinia_profile(RodiniaApp::kMyocyte);
+  EXPECT_LT(p.mean_sm(), 0.05);
+  EXPECT_LT(p.peak_memory_mb(), 300);
+}
+
+TEST(Rodinia, ParticleFilterIsSpiky) {
+  // Observation 4 material: rare tall spikes over a mostly idle baseline.
+  const auto p = rodinia_profile(RodiniaApp::kParticleFilter);
+  EXPECT_GT(p.peak_sm() / p.mean_sm(), 8.0);
+}
+
+TEST(Rodinia, InputBurstPrecedesComputePeak) {
+  // The PCIe-leads-compute phase pattern CBP/PP rely on (§II-C1).
+  for (RodiniaApp app : {RodiniaApp::kLeukocyte, RodiniaApp::kHeartwall,
+                         RodiniaApp::kLud, RodiniaApp::kKmeans}) {
+    const auto profile = rodinia_profile(app);
+    const auto& phases = profile.phases();
+    std::size_t first_tx = phases.size(), first_sm_peak = phases.size();
+    double peak_sm = 0;
+    for (const auto& ph : phases) peak_sm = std::max(peak_sm, ph.usage.sm);
+    for (std::size_t i = 0; i < phases.size(); ++i) {
+      if (first_tx == phases.size() && phases[i].usage.tx_mbps > 1000) {
+        first_tx = i;
+      }
+      if (first_sm_peak == phases.size() &&
+          phases[i].usage.sm >= 0.9 * peak_sm) {
+        first_sm_peak = i;
+      }
+    }
+    EXPECT_LT(first_tx, first_sm_peak) << rodinia_name(app);
+  }
+}
+
+TEST(Rodinia, SuiteWideMedianFarBelowPeak) {
+  // §IV-C: SM utilization differs ~90x between median and peak across the
+  // suite; we assert a conservatively large gap.
+  std::vector<double> samples;
+  for (const auto& p : all_rodinia_profiles()) {
+    for (double v : p.sm_signature(128)) samples.push_back(v);
+  }
+  const double median = percentile(samples, 50);
+  const double peak = percentile(samples, 100);
+  EXPECT_GT(peak / std::max(median, 1e-9), 1.8);
+  EXPECT_DOUBLE_EQ(peak, 1.0);
+  // The bursty apps individually show extreme median-to-peak gaps.
+  const auto pf = rodinia_profile(RodiniaApp::kParticleFilter).sm_signature(128);
+  EXPECT_GT(percentile(pf, 100) / std::max(percentile(pf, 50), 1e-9), 40.0);
+}
+
+TEST(Rodinia, PeakFootprintOccupiesSmallFractionOfRuntime) {
+  // §IV-C: the whole allocated capacity is used for only a small slice of
+  // the runtime. Steady streaming apps sit near their peak longer, so we
+  // assert the suite-wide average and that most apps have ample headroom.
+  double total_frac = 0;
+  int tight_apps = 0;
+  for (const auto& p : all_rodinia_profiles()) {
+    SimTime at_peak = 0;
+    for (const auto& ph : p.phases()) {
+      if (ph.usage.memory_mb >= 0.95 * p.peak_memory_mb()) {
+        at_peak += ph.duration;
+      }
+    }
+    const double frac = static_cast<double>(at_peak) /
+                        static_cast<double>(p.cycle_duration());
+    total_frac += frac;
+    if (frac < 0.20) ++tight_apps;
+  }
+  EXPECT_LT(total_frac / 9.0, 0.40);
+  EXPECT_GE(tight_apps, 5);
+}
+
+class EveryApp : public ::testing::TestWithParam<RodiniaApp> {};
+
+TEST_P(EveryApp, ProfileInvariants) {
+  const auto p = rodinia_profile(GetParam());
+  EXPECT_FALSE(p.phases().empty());
+  for (const auto& ph : p.phases()) {
+    EXPECT_GT(ph.duration, 0);
+    EXPECT_GE(ph.usage.sm, 0);
+    EXPECT_LE(ph.usage.sm, 1.0);
+    EXPECT_GE(ph.usage.memory_mb, 0);
+    EXPECT_GE(ph.usage.tx_mbps, 0);
+    EXPECT_GE(ph.usage.rx_mbps, 0);
+  }
+  // p80 below peak: the harvesting headroom CBP exploits.
+  EXPECT_LE(p.memory_percentile_mb(80), p.peak_memory_mb());
+}
+
+INSTANTIATE_TEST_SUITE_P(Apps, EveryApp, ::testing::ValuesIn(kAllRodinia));
+
+}  // namespace
+}  // namespace knots::workload
