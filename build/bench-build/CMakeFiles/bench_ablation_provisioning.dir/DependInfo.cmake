@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_provisioning.cpp" "bench-build/CMakeFiles/bench_ablation_provisioning.dir/bench_ablation_provisioning.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ablation_provisioning.dir/bench_ablation_provisioning.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlsim/CMakeFiles/knots_dlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/knots/CMakeFiles/knots_knots.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/knots_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/knots_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/knots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/knots_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/knots_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/knots_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

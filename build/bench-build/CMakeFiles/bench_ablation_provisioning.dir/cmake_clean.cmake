@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_provisioning"
+  "../bench/bench_ablation_provisioning.pdb"
+  "CMakeFiles/bench_ablation_provisioning.dir/bench_ablation_provisioning.cpp.o"
+  "CMakeFiles/bench_ablation_provisioning.dir/bench_ablation_provisioning.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_provisioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig01_energy_efficiency"
+  "../bench/bench_fig01_energy_efficiency.pdb"
+  "CMakeFiles/bench_fig01_energy_efficiency.dir/bench_fig01_energy_efficiency.cpp.o"
+  "CMakeFiles/bench_fig01_energy_efficiency.dir/bench_fig01_energy_efficiency.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig02_trace_analysis"
+  "../bench/bench_fig02_trace_analysis.pdb"
+  "CMakeFiles/bench_fig02_trace_analysis.dir/bench_fig02_trace_analysis.cpp.o"
+  "CMakeFiles/bench_fig02_trace_analysis.dir/bench_fig02_trace_analysis.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_trace_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig03_rodinia_characterization"
+  "../bench/bench_fig03_rodinia_characterization.pdb"
+  "CMakeFiles/bench_fig03_rodinia_characterization.dir/bench_fig03_rodinia_characterization.cpp.o"
+  "CMakeFiles/bench_fig03_rodinia_characterization.dir/bench_fig03_rodinia_characterization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_rodinia_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_inference_memory"
+  "../bench/bench_fig04_inference_memory.pdb"
+  "CMakeFiles/bench_fig04_inference_memory.dir/bench_fig04_inference_memory.cpp.o"
+  "CMakeFiles/bench_fig04_inference_memory.dir/bench_fig04_inference_memory.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_inference_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig06_resag_utilization"
+  "../bench/bench_fig06_resag_utilization.pdb"
+  "CMakeFiles/bench_fig06_resag_utilization.dir/bench_fig06_resag_utilization.cpp.o"
+  "CMakeFiles/bench_fig06_resag_utilization.dir/bench_fig06_resag_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_resag_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

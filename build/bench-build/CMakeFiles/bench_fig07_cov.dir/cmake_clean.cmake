@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig07_cov"
+  "../bench/bench_fig07_cov.pdb"
+  "CMakeFiles/bench_fig07_cov.dir/bench_fig07_cov.cpp.o"
+  "CMakeFiles/bench_fig07_cov.dir/bench_fig07_cov.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_cov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

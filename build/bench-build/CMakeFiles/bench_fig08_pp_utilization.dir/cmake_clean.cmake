@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig08_pp_utilization"
+  "../bench/bench_fig08_pp_utilization.pdb"
+  "CMakeFiles/bench_fig08_pp_utilization.dir/bench_fig08_pp_utilization.cpp.o"
+  "CMakeFiles/bench_fig08_pp_utilization.dir/bench_fig08_pp_utilization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_pp_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

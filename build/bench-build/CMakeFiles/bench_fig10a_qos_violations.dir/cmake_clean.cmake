@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10a_qos_violations"
+  "../bench/bench_fig10a_qos_violations.pdb"
+  "CMakeFiles/bench_fig10a_qos_violations.dir/bench_fig10a_qos_violations.cpp.o"
+  "CMakeFiles/bench_fig10a_qos_violations.dir/bench_fig10a_qos_violations.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_qos_violations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10b_prediction_accuracy"
+  "../bench/bench_fig10b_prediction_accuracy.pdb"
+  "CMakeFiles/bench_fig10b_prediction_accuracy.dir/bench_fig10b_prediction_accuracy.cpp.o"
+  "CMakeFiles/bench_fig10b_prediction_accuracy.dir/bench_fig10b_prediction_accuracy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_prediction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11b_load_balance"
+  "../bench/bench_fig11b_load_balance.pdb"
+  "CMakeFiles/bench_fig11b_load_balance.dir/bench_fig11b_load_balance.cpp.o"
+  "CMakeFiles/bench_fig11b_load_balance.dir/bench_fig11b_load_balance.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11b_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_dl_jct"
+  "../bench/bench_fig12_dl_jct.pdb"
+  "CMakeFiles/bench_fig12_dl_jct.dir/bench_fig12_dl_jct.cpp.o"
+  "CMakeFiles/bench_fig12_dl_jct.dir/bench_fig12_dl_jct.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dl_jct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

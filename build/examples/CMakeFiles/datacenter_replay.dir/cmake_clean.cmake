@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_replay.dir/datacenter_replay.cpp.o"
+  "CMakeFiles/datacenter_replay.dir/datacenter_replay.cpp.o.d"
+  "datacenter_replay"
+  "datacenter_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dl_scheduler_comparison.dir/dl_scheduler_comparison.cpp.o"
+  "CMakeFiles/dl_scheduler_comparison.dir/dl_scheduler_comparison.cpp.o.d"
+  "dl_scheduler_comparison"
+  "dl_scheduler_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dl_scheduler_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

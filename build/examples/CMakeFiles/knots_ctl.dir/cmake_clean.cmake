@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_ctl.dir/knots_ctl.cpp.o"
+  "CMakeFiles/knots_ctl.dir/knots_ctl.cpp.o.d"
+  "knots_ctl"
+  "knots_ctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_ctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

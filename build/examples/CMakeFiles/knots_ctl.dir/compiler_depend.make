@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for knots_ctl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/knots_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/knots_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/metrics.cpp" "src/cluster/CMakeFiles/knots_cluster.dir/metrics.cpp.o" "gcc" "src/cluster/CMakeFiles/knots_cluster.dir/metrics.cpp.o.d"
+  "/root/repo/src/cluster/pod.cpp" "src/cluster/CMakeFiles/knots_cluster.dir/pod.cpp.o" "gcc" "src/cluster/CMakeFiles/knots_cluster.dir/pod.cpp.o.d"
+  "/root/repo/src/cluster/profile_store.cpp" "src/cluster/CMakeFiles/knots_cluster.dir/profile_store.cpp.o" "gcc" "src/cluster/CMakeFiles/knots_cluster.dir/profile_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/knots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/knots_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/knots_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/knots_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/knots_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/knots_cluster.dir/metrics.cpp.o"
+  "CMakeFiles/knots_cluster.dir/metrics.cpp.o.d"
+  "CMakeFiles/knots_cluster.dir/pod.cpp.o"
+  "CMakeFiles/knots_cluster.dir/pod.cpp.o.d"
+  "CMakeFiles/knots_cluster.dir/profile_store.cpp.o"
+  "CMakeFiles/knots_cluster.dir/profile_store.cpp.o.d"
+  "libknots_cluster.a"
+  "libknots_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libknots_cluster.a"
+)

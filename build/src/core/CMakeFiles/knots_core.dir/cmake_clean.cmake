@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_core.dir/csv.cpp.o"
+  "CMakeFiles/knots_core.dir/csv.cpp.o.d"
+  "CMakeFiles/knots_core.dir/percentile.cpp.o"
+  "CMakeFiles/knots_core.dir/percentile.cpp.o.d"
+  "CMakeFiles/knots_core.dir/rng.cpp.o"
+  "CMakeFiles/knots_core.dir/rng.cpp.o.d"
+  "CMakeFiles/knots_core.dir/table.cpp.o"
+  "CMakeFiles/knots_core.dir/table.cpp.o.d"
+  "CMakeFiles/knots_core.dir/thread_pool.cpp.o"
+  "CMakeFiles/knots_core.dir/thread_pool.cpp.o.d"
+  "libknots_core.a"
+  "libknots_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dlsim/dl_cluster.cpp" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_cluster.cpp.o" "gcc" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_cluster.cpp.o.d"
+  "/root/repo/src/dlsim/dl_policies.cpp" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_policies.cpp.o" "gcc" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_policies.cpp.o.d"
+  "/root/repo/src/dlsim/dl_report.cpp" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_report.cpp.o" "gcc" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_report.cpp.o.d"
+  "/root/repo/src/dlsim/dl_workload.cpp" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_workload.cpp.o" "gcc" "src/dlsim/CMakeFiles/knots_dlsim.dir/dl_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/knots_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

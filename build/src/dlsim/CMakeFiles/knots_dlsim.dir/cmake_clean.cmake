@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_dlsim.dir/dl_cluster.cpp.o"
+  "CMakeFiles/knots_dlsim.dir/dl_cluster.cpp.o.d"
+  "CMakeFiles/knots_dlsim.dir/dl_policies.cpp.o"
+  "CMakeFiles/knots_dlsim.dir/dl_policies.cpp.o.d"
+  "CMakeFiles/knots_dlsim.dir/dl_report.cpp.o"
+  "CMakeFiles/knots_dlsim.dir/dl_report.cpp.o.d"
+  "CMakeFiles/knots_dlsim.dir/dl_workload.cpp.o"
+  "CMakeFiles/knots_dlsim.dir/dl_workload.cpp.o.d"
+  "libknots_dlsim.a"
+  "libknots_dlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_dlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

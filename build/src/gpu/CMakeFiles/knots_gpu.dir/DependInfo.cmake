@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpu/gpu_device.cpp" "src/gpu/CMakeFiles/knots_gpu.dir/gpu_device.cpp.o" "gcc" "src/gpu/CMakeFiles/knots_gpu.dir/gpu_device.cpp.o.d"
+  "/root/repo/src/gpu/gpu_node.cpp" "src/gpu/CMakeFiles/knots_gpu.dir/gpu_node.cpp.o" "gcc" "src/gpu/CMakeFiles/knots_gpu.dir/gpu_node.cpp.o.d"
+  "/root/repo/src/gpu/power_model.cpp" "src/gpu/CMakeFiles/knots_gpu.dir/power_model.cpp.o" "gcc" "src/gpu/CMakeFiles/knots_gpu.dir/power_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

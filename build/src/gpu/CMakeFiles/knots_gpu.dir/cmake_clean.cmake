@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_gpu.dir/gpu_device.cpp.o"
+  "CMakeFiles/knots_gpu.dir/gpu_device.cpp.o.d"
+  "CMakeFiles/knots_gpu.dir/gpu_node.cpp.o"
+  "CMakeFiles/knots_gpu.dir/gpu_node.cpp.o.d"
+  "CMakeFiles/knots_gpu.dir/power_model.cpp.o"
+  "CMakeFiles/knots_gpu.dir/power_model.cpp.o.d"
+  "libknots_gpu.a"
+  "libknots_gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_knots.dir/config.cpp.o"
+  "CMakeFiles/knots_knots.dir/config.cpp.o.d"
+  "CMakeFiles/knots_knots.dir/experiment.cpp.o"
+  "CMakeFiles/knots_knots.dir/experiment.cpp.o.d"
+  "CMakeFiles/knots_knots.dir/kube_knots.cpp.o"
+  "CMakeFiles/knots_knots.dir/kube_knots.cpp.o.d"
+  "libknots_knots.a"
+  "libknots_knots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_knots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

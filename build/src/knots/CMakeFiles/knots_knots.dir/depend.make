@@ -1,0 +1,2 @@
+# Empty dependencies file for knots_knots.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_sched.dir/cbp.cpp.o"
+  "CMakeFiles/knots_sched.dir/cbp.cpp.o.d"
+  "CMakeFiles/knots_sched.dir/peak_prediction.cpp.o"
+  "CMakeFiles/knots_sched.dir/peak_prediction.cpp.o.d"
+  "CMakeFiles/knots_sched.dir/registry.cpp.o"
+  "CMakeFiles/knots_sched.dir/registry.cpp.o.d"
+  "CMakeFiles/knots_sched.dir/resource_agnostic.cpp.o"
+  "CMakeFiles/knots_sched.dir/resource_agnostic.cpp.o.d"
+  "CMakeFiles/knots_sched.dir/uniform.cpp.o"
+  "CMakeFiles/knots_sched.dir/uniform.cpp.o.d"
+  "libknots_sched.a"
+  "libknots_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_sim.dir/simulation.cpp.o"
+  "CMakeFiles/knots_sim.dir/simulation.cpp.o.d"
+  "libknots_sim.a"
+  "libknots_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/arima.cpp" "src/stats/CMakeFiles/knots_stats.dir/arima.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/arima.cpp.o.d"
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/knots_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/knots_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/knots_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ewma_forecaster.cpp" "src/stats/CMakeFiles/knots_stats.dir/ewma_forecaster.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/ewma_forecaster.cpp.o.d"
+  "/root/repo/src/stats/regressors.cpp" "src/stats/CMakeFiles/knots_stats.dir/regressors.cpp.o" "gcc" "src/stats/CMakeFiles/knots_stats.dir/regressors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_stats.dir/arima.cpp.o"
+  "CMakeFiles/knots_stats.dir/arima.cpp.o.d"
+  "CMakeFiles/knots_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/knots_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/knots_stats.dir/correlation.cpp.o"
+  "CMakeFiles/knots_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/knots_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/knots_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/knots_stats.dir/ewma_forecaster.cpp.o"
+  "CMakeFiles/knots_stats.dir/ewma_forecaster.cpp.o.d"
+  "CMakeFiles/knots_stats.dir/regressors.cpp.o"
+  "CMakeFiles/knots_stats.dir/regressors.cpp.o.d"
+  "libknots_stats.a"
+  "libknots_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

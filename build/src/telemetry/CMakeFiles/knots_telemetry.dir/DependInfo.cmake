@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/telemetry/aggregator.cpp" "src/telemetry/CMakeFiles/knots_telemetry.dir/aggregator.cpp.o" "gcc" "src/telemetry/CMakeFiles/knots_telemetry.dir/aggregator.cpp.o.d"
+  "/root/repo/src/telemetry/downsample.cpp" "src/telemetry/CMakeFiles/knots_telemetry.dir/downsample.cpp.o" "gcc" "src/telemetry/CMakeFiles/knots_telemetry.dir/downsample.cpp.o.d"
+  "/root/repo/src/telemetry/sampler.cpp" "src/telemetry/CMakeFiles/knots_telemetry.dir/sampler.cpp.o" "gcc" "src/telemetry/CMakeFiles/knots_telemetry.dir/sampler.cpp.o.d"
+  "/root/repo/src/telemetry/timeseries_db.cpp" "src/telemetry/CMakeFiles/knots_telemetry.dir/timeseries_db.cpp.o" "gcc" "src/telemetry/CMakeFiles/knots_telemetry.dir/timeseries_db.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

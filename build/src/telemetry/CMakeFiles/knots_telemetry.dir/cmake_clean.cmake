@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_telemetry.dir/aggregator.cpp.o"
+  "CMakeFiles/knots_telemetry.dir/aggregator.cpp.o.d"
+  "CMakeFiles/knots_telemetry.dir/downsample.cpp.o"
+  "CMakeFiles/knots_telemetry.dir/downsample.cpp.o.d"
+  "CMakeFiles/knots_telemetry.dir/sampler.cpp.o"
+  "CMakeFiles/knots_telemetry.dir/sampler.cpp.o.d"
+  "CMakeFiles/knots_telemetry.dir/timeseries_db.cpp.o"
+  "CMakeFiles/knots_telemetry.dir/timeseries_db.cpp.o.d"
+  "libknots_telemetry.a"
+  "libknots_telemetry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

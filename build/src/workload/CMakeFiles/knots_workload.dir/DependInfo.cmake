@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/alibaba.cpp" "src/workload/CMakeFiles/knots_workload.dir/alibaba.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/alibaba.cpp.o.d"
+  "/root/repo/src/workload/app_mix.cpp" "src/workload/CMakeFiles/knots_workload.dir/app_mix.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/app_mix.cpp.o.d"
+  "/root/repo/src/workload/app_profile.cpp" "src/workload/CMakeFiles/knots_workload.dir/app_profile.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/app_profile.cpp.o.d"
+  "/root/repo/src/workload/djinn_tonic.cpp" "src/workload/CMakeFiles/knots_workload.dir/djinn_tonic.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/djinn_tonic.cpp.o.d"
+  "/root/repo/src/workload/load_generator.cpp" "src/workload/CMakeFiles/knots_workload.dir/load_generator.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/load_generator.cpp.o.d"
+  "/root/repo/src/workload/rodinia.cpp" "src/workload/CMakeFiles/knots_workload.dir/rodinia.cpp.o" "gcc" "src/workload/CMakeFiles/knots_workload.dir/rodinia.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

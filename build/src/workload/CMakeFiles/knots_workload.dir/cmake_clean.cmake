@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/knots_workload.dir/alibaba.cpp.o"
+  "CMakeFiles/knots_workload.dir/alibaba.cpp.o.d"
+  "CMakeFiles/knots_workload.dir/app_mix.cpp.o"
+  "CMakeFiles/knots_workload.dir/app_mix.cpp.o.d"
+  "CMakeFiles/knots_workload.dir/app_profile.cpp.o"
+  "CMakeFiles/knots_workload.dir/app_profile.cpp.o.d"
+  "CMakeFiles/knots_workload.dir/djinn_tonic.cpp.o"
+  "CMakeFiles/knots_workload.dir/djinn_tonic.cpp.o.d"
+  "CMakeFiles/knots_workload.dir/load_generator.cpp.o"
+  "CMakeFiles/knots_workload.dir/load_generator.cpp.o.d"
+  "CMakeFiles/knots_workload.dir/rodinia.cpp.o"
+  "CMakeFiles/knots_workload.dir/rodinia.cpp.o.d"
+  "libknots_workload.a"
+  "libknots_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/knots_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

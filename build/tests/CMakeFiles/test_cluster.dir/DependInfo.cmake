@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/test_cluster.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "/root/repo/tests/cluster/test_cluster_properties.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster_properties.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_cluster_properties.cpp.o.d"
+  "/root/repo/tests/cluster/test_failure_injection.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/cluster/test_metrics.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_metrics.cpp.o.d"
+  "/root/repo/tests/cluster/test_pod.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_pod.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_pod.cpp.o.d"
+  "/root/repo/tests/cluster/test_profile_store.cpp" "tests/CMakeFiles/test_cluster.dir/cluster/test_profile_store.cpp.o" "gcc" "tests/CMakeFiles/test_cluster.dir/cluster/test_profile_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dlsim/CMakeFiles/knots_dlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/knots/CMakeFiles/knots_knots.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/knots_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/knots_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/knots_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/telemetry/CMakeFiles/knots_telemetry.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/knots_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/knots_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpu/CMakeFiles/knots_gpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/knots_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

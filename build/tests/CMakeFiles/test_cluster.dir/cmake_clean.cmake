@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster_properties.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster_properties.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_failure_injection.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_failure_injection.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_metrics.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_metrics.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_pod.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_pod.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_profile_store.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_profile_store.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_csv.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_csv.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_percentile.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_percentile.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_ring_buffer.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_ring_buffer.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_thread_pool.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_thread_pool.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

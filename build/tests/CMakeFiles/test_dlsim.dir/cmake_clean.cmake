@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_cluster.cpp.o"
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_cluster.cpp.o.d"
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_policies.cpp.o"
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_policies.cpp.o.d"
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_workload.cpp.o"
+  "CMakeFiles/test_dlsim.dir/dlsim/test_dl_workload.cpp.o.d"
+  "test_dlsim"
+  "test_dlsim.pdb"
+  "test_dlsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_device.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_device.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_device_fuzz.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_device_fuzz.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_node.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_gpu_node.cpp.o.d"
+  "CMakeFiles/test_gpu.dir/gpu/test_power_model.cpp.o"
+  "CMakeFiles/test_gpu.dir/gpu/test_power_model.cpp.o.d"
+  "test_gpu"
+  "test_gpu.pdb"
+  "test_gpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

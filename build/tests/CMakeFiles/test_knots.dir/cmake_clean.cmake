@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knots.dir/knots/test_experiment.cpp.o"
+  "CMakeFiles/test_knots.dir/knots/test_experiment.cpp.o.d"
+  "test_knots"
+  "test_knots.pdb"
+  "test_knots[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_stats.dir/stats/test_arima.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_arima.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_autocorrelation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_correlation.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_descriptive.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_ewma_forecaster.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_ewma_forecaster.cpp.o.d"
+  "CMakeFiles/test_stats.dir/stats/test_regressors.cpp.o"
+  "CMakeFiles/test_stats.dir/stats/test_regressors.cpp.o.d"
+  "test_stats"
+  "test_stats.pdb"
+  "test_stats[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

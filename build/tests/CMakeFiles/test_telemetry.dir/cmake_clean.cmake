@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_telemetry.dir/telemetry/test_aggregator.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_aggregator.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_downsample.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_downsample.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_sampler.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_sampler.cpp.o.d"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_timeseries_db.cpp.o"
+  "CMakeFiles/test_telemetry.dir/telemetry/test_timeseries_db.cpp.o.d"
+  "test_telemetry"
+  "test_telemetry.pdb"
+  "test_telemetry[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_telemetry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

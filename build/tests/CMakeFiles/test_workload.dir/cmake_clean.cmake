@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_alibaba.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_alibaba.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_app_profile.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_app_profile.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_djinn.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_djinn.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_load_generator.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_load_generator.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_rodinia.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
