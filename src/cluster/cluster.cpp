@@ -113,6 +113,7 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   p.begin_start(gpu_id, provisioned_mb, now(), now() + start_latency);
   active_.push_back(id);
   gpu_last_busy_[static_cast<std::size_t>(gpu_id.value)] = now();
+  for (auto* o : observers_) o->on_place(*this, id, gpu_id, provisioned_mb);
   return true;
 }
 
@@ -123,6 +124,7 @@ bool Cluster::resize_pod(PodId id, double provisioned_mb) {
   }
   if (!device(p.gpu()).resize(id, provisioned_mb)) return false;
   p.set_provisioned_mb(provisioned_mb);
+  for (auto* o : observers_) o->on_resize(*this, id, provisioned_mb);
   return true;
 }
 
@@ -130,7 +132,13 @@ bool Cluster::park(GpuId id) {
   auto& dev = device(id);
   if (dev.totals().residents > 0) return false;
   dev.set_parked(true);
+  for (auto* o : observers_) o->on_park(*this, id);
   return true;
+}
+
+void Cluster::add_observer(ClusterObserver* observer) {
+  KNOTS_CHECK(observer != nullptr);
+  observers_.push_back(observer);
 }
 
 void Cluster::on_arrival(PodId id) { pending_.push_back(id); }
@@ -240,6 +248,7 @@ void Cluster::complete_pod(Pod& p) {
     b.crashes = p.crash_count();
     metrics_->record_batch(b);
   }
+  for (auto* o : observers_) o->on_complete(*this, p.id());
 }
 
 void Cluster::crash_pod(Pod& p) {
@@ -247,10 +256,12 @@ void Cluster::crash_pod(Pod& p) {
   p.crash(now());
   metrics_->record_crash();
   const PodId id = p.id();
+  for (auto* o : observers_) o->on_crash(*this, id);
   sim_.schedule_after(config_.relaunch_delay, [this, id] {
     auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
     pod_ref.requeue();
     pending_.push_back(id);
+    for (auto* o : observers_) o->on_requeue(*this, id);
   });
 }
 
@@ -281,6 +292,9 @@ void Cluster::maybe_park_idle_gpus() {
     if (!dev.parked() && dev.totals().residents == 0 &&
         now() - gpu_last_busy_[i] >= config_.idle_park_after) {
       dev.set_parked(true);
+      for (auto* o : observers_) {
+        o->on_park(*this, GpuId{static_cast<std::int32_t>(i)});
+      }
     }
   }
 }
@@ -304,6 +318,7 @@ void Cluster::tick() {
       (now() / config_.tick) % (config_.metrics_period / config_.tick) == 0) {
     sample_figure_metrics();
   }
+  for (auto* o : observers_) o->on_tick_end(*this);
 }
 
 }  // namespace knots::cluster

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "cluster/metrics.hpp"
+#include "cluster/observer.hpp"
 #include "cluster/pod.hpp"
 #include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
@@ -97,6 +98,12 @@ class Cluster {
   /// Parks an empty GPU into deep sleep; fails when occupied.
   bool park(GpuId id);
 
+  // ---- Observation API (verification layer) ----
+  /// Registers a passive observer notified on every lifecycle edge and at
+  /// the end of every tick, in registration order. The observer must
+  /// outlive the cluster's run(); it is not owned.
+  void add_observer(ClusterObserver* observer);
+
  private:
   void on_arrival(PodId id);
   void tick();
@@ -128,6 +135,7 @@ class Cluster {
   std::unique_ptr<MetricsCollector> metrics_;
   std::set<std::pair<std::size_t, std::string>> image_cache_;
   std::vector<SimTime> gpu_last_busy_;
+  std::vector<ClusterObserver*> observers_;
   SimTime last_arrival_ = 0;
   std::size_t completed_ = 0;
   std::uint64_t pod_rng_counter_ = 0;

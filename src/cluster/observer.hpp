@@ -1,0 +1,45 @@
+// Passive observation hooks on the cluster's lifecycle edges.
+//
+// The Cluster notifies registered observers after every state-changing
+// action (placement, resize, crash, requeue, completion, park) and at the
+// end of every scheduling tick. Observers never mutate the cluster; they
+// exist so the verification layer (knots::verify) can audit invariants and
+// accumulate run digests without the cluster depending on it.
+#pragma once
+
+#include "core/types.hpp"
+
+namespace knots::cluster {
+
+class Cluster;
+
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+
+  /// A pending pod was placed on a GPU with the given container allocation.
+  virtual void on_place(const Cluster& /*cluster*/, PodId /*pod*/,
+                        GpuId /*gpu*/, double /*provisioned_mb*/) {}
+
+  /// A running/starting pod's container allocation was resized.
+  virtual void on_resize(const Cluster& /*cluster*/, PodId /*pod*/,
+                         double /*provisioned_mb*/) {}
+
+  /// A pod tripped a capacity violation and was evicted from its GPU.
+  virtual void on_crash(const Cluster& /*cluster*/, PodId /*pod*/) {}
+
+  /// A crashed pod re-entered the pending queue after the relaunch delay.
+  virtual void on_requeue(const Cluster& /*cluster*/, PodId /*pod*/) {}
+
+  /// A pod executed its full profile and left the cluster.
+  virtual void on_complete(const Cluster& /*cluster*/, PodId /*pod*/) {}
+
+  /// An idle GPU was parked into deep sleep.
+  virtual void on_park(const Cluster& /*cluster*/, GpuId /*gpu*/) {}
+
+  /// End of one scheduling tick: progress, telemetry, the scheduling round
+  /// and parking have all run; the cluster is in a consistent rest state.
+  virtual void on_tick_end(const Cluster& /*cluster*/) {}
+};
+
+}  // namespace knots::cluster

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -35,6 +36,15 @@ struct ExperimentReport {
   double mean_jct_s = 0, median_jct_s = 0, p99_jct_s = 0;
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;
+
+  // -- Verification layer (knots::verify) --
+  /// Order-sensitive FNV-1a hash over every scheduling decision, crash and
+  /// completion. Identical config + seed must yield identical digests.
+  std::uint64_t run_digest = 0;
+  std::uint64_t invariant_checks = 0;      ///< Tick-level audits performed.
+  std::uint64_t invariant_violations = 0;  ///< Breaches detected (want 0).
+  /// First few violations as "category: message" (capped; for diagnostics).
+  std::vector<std::string> invariant_messages;
 };
 
 /// Distils a finished cluster's metrics into a report.

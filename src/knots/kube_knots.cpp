@@ -3,15 +3,38 @@
 #include <algorithm>
 
 #include "core/check.hpp"
+#include "verify/invariant_checker.hpp"
+#include "verify/run_digest.hpp"
 #include "workload/app_mix.hpp"
 
 namespace knots {
+
+namespace {
+
+verify::InvariantOptions invariant_options_for(sched::SchedulerKind kind) {
+  verify::InvariantOptions opts;
+  // Res-Ag is the blind baseline whose whole point is overcommitting
+  // declared requests past capacity (§II fragmentation story), so its
+  // provisioned-claim ceiling is left unchecked; the utilization-aware
+  // policies and the exclusive-access stock scheduler must stay within the
+  // physical device.
+  opts.provision_ceiling_ratio =
+      kind == sched::SchedulerKind::kResourceAgnostic ? 0.0 : 1.0;
+  return opts;
+}
+
+}  // namespace
 
 KubeKnots::KubeKnots(ExperimentConfig config) : config_(std::move(config)) {
   scheduler_ = sched::make_scheduler(config_.scheduler, config_.sched_params);
   cluster::ClusterConfig cluster_cfg = config_.cluster;
   cluster_cfg.seed = config_.seed;
   cluster_ = std::make_unique<cluster::Cluster>(cluster_cfg, *scheduler_);
+  verifier_ = std::make_unique<verify::InvariantChecker>(
+      invariant_options_for(config_.scheduler));
+  digest_ = std::make_unique<verify::RunDigest>();
+  cluster_->add_observer(verifier_.get());
+  cluster_->add_observer(digest_.get());
 }
 
 KubeKnots::~KubeKnots() = default;
@@ -43,9 +66,23 @@ ExperimentReport KubeKnots::run() {
   cluster_->load(std::move(submitted_));
   submitted_.clear();
   cluster_->run();
-  return build_report(*cluster_, scheduler_->name(), config_.mix_id);
+  ExperimentReport report =
+      build_report(*cluster_, scheduler_->name(), config_.mix_id);
+  report.run_digest = digest_->value();
+  report.invariant_checks = verifier_->checks_run();
+  report.invariant_violations = verifier_->violation_count();
+  for (const auto& v : verifier_->violations()) {
+    report.invariant_messages.push_back(v.category + ": " + v.message);
+  }
+  return report;
 }
 
 const cluster::Cluster& KubeKnots::cluster() const { return *cluster_; }
+
+const verify::InvariantChecker& KubeKnots::verifier() const {
+  return *verifier_;
+}
+
+const verify::RunDigest& KubeKnots::digest() const { return *digest_; }
 
 }  // namespace knots

@@ -18,6 +18,11 @@
 #include "knots/config.hpp"
 #include "knots/experiment.hpp"
 
+namespace knots::verify {
+class InvariantChecker;
+class RunDigest;
+}  // namespace knots::verify
+
 namespace knots {
 
 class KubeKnots {
@@ -44,10 +49,17 @@ class KubeKnots {
     return config_;
   }
 
+  /// The attached invariant auditor / run digest (post-mortem inspection;
+  /// their distilled results also land on the ExperimentReport).
+  [[nodiscard]] const verify::InvariantChecker& verifier() const;
+  [[nodiscard]] const verify::RunDigest& digest() const;
+
  private:
   ExperimentConfig config_;
   std::unique_ptr<cluster::Scheduler> scheduler_;
   std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<verify::InvariantChecker> verifier_;
+  std::unique_ptr<verify::RunDigest> digest_;
   std::vector<workload::PodSpec> submitted_;
   bool ran_ = false;
 };

@@ -18,6 +18,7 @@ void Simulation::run_until(SimTime end) {
     // Copy out before pop: the handler may schedule new events.
     Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
     queue_.pop();
+    KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
     now_ = ev.time;
     ++processed_;
     ev.fn();
@@ -31,6 +32,7 @@ void Simulation::run_all() {
     Event ev{queue_.top().time, queue_.top().seq,
              std::move(const_cast<Event&>(queue_.top()).fn)};
     queue_.pop();
+    KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
     now_ = ev.time;
     ++processed_;
     ev.fn();
@@ -41,11 +43,17 @@ void schedule_periodic(Simulation& sim, SimTime first, SimTime period,
                        std::function<bool(SimTime)> fn) {
   KNOTS_CHECK(period > 0);
   auto shared = std::make_shared<std::function<bool(SimTime)>>(std::move(fn));
-  // Self-rescheduling closure; stops when the callback returns false.
+  // Self-rescheduling closure; stops when the callback returns false. The
+  // stored function holds only a weak self-reference — each *queued* event
+  // owns a strong one — so the closure is freed once no event references
+  // it, instead of leaking through a shared_ptr cycle.
   auto step = std::make_shared<std::function<void()>>();
-  *step = [&sim, period, shared, step] {
+  std::weak_ptr<std::function<void()>> weak_step = step;
+  *step = [&sim, period, shared, weak_step] {
     if ((*shared)(sim.now())) {
-      sim.schedule_after(period, [step] { (*step)(); });
+      if (auto strong = weak_step.lock()) {
+        sim.schedule_after(period, [strong] { (*strong)(); });
+      }
     }
   };
   sim.schedule_at(first, [step] { (*step)(); });

@@ -1,0 +1,258 @@
+#include "verify/invariant_checker.hpp"
+
+#include <array>
+#include <cmath>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "core/check.hpp"
+
+namespace knots::verify {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string gpu_tag(GpuId gpu) {
+  return "gpu " + std::to_string(gpu.value);
+}
+
+std::string pod_tag(PodId pod) {
+  return "pod " + std::to_string(pod.value);
+}
+
+/// Transitions observable between two consecutive tick-end audits. These
+/// are the closures of the single-step transitions in pod.hpp over one
+/// tick: e.g. a crashed pod can requeue *and* be re-placed within one tick,
+/// so Crashed → Starting is observable even though the state machine only
+/// allows Crashed → Pending → Starting.
+bool observable_transition(cluster::PodState from,
+                           cluster::PodState to) noexcept {
+  using S = cluster::PodState;
+  if (from == to) return true;
+  switch (from) {
+    case S::kPending:
+      return to == S::kStarting;
+    case S::kStarting:
+      return to == S::kRunning || to == S::kCrashed;
+    case S::kRunning:
+      return to == S::kCompleted || to == S::kCrashed;
+    case S::kCrashed:
+      return to == S::kPending || to == S::kStarting;
+    case S::kCompleted:
+      return false;  // Terminal.
+  }
+  return false;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(InvariantOptions options)
+    : options_(options) {}
+
+void InvariantChecker::report(const cluster::Cluster& cluster,
+                              std::string category, std::string message) {
+  ++violation_count_;
+  if (options_.fatal) {
+    const std::string full = category + ": " + message;
+    KNOTS_CHECK_MSG(false, full.c_str());
+  }
+  if (violations_.size() < options_.max_recorded) {
+    violations_.push_back(
+        Violation{std::move(category), std::move(message), cluster.now()});
+  }
+}
+
+void InvariantChecker::check_time(const cluster::Cluster& cluster) {
+  const SimTime now = cluster.now();
+  if (now <= last_tick_) {
+    report(cluster, "time-monotonicity",
+           "tick time " + std::to_string(now) +
+               " did not advance past previous tick " +
+               std::to_string(last_tick_));
+  }
+  last_tick_ = now;
+}
+
+void InvariantChecker::check_devices(const cluster::Cluster& cluster) {
+  const double eps = options_.memory_epsilon_mb;
+  for (GpuId gpu : cluster.all_gpus()) {
+    const auto& dev = cluster.device(gpu);
+    const auto totals = dev.totals();
+    const auto& spec = dev.spec();
+
+    // Space-shared memory: aggregate *usage* must fit the physical device
+    // at every rest state (transient overshoot crashes the grower before
+    // the tick ends).
+    if (totals.memory_used_mb > spec.memory_mb + eps) {
+      report(cluster, "gpu-memory",
+             gpu_tag(gpu) + " usage " + fmt_double(totals.memory_used_mb) +
+                 " MB exceeds capacity " + fmt_double(spec.memory_mb) + " MB");
+    }
+    if (totals.memory_used_mb < -eps || totals.memory_provisioned_mb < -eps) {
+      report(cluster, "gpu-memory",
+             gpu_tag(gpu) + " negative memory accounting");
+    }
+    if (options_.provision_ceiling_ratio > 0 &&
+        totals.memory_provisioned_mb >
+            options_.provision_ceiling_ratio * spec.memory_mb + eps) {
+      report(cluster, "gpu-provision",
+             gpu_tag(gpu) + " provisioned " +
+                 fmt_double(totals.memory_provisioned_mb) +
+                 " MB exceeds ceiling " +
+                 fmt_double(options_.provision_ceiling_ratio *
+                            spec.memory_mb) +
+                 " MB");
+    }
+
+    // Time-shared SMs: delivered utilization is demand clamped to [0, 1].
+    if (totals.sm_util < 0.0 || totals.sm_util > 1.0) {
+      report(cluster, "gpu-utilization",
+             gpu_tag(gpu) + " sm_util " + fmt_double(totals.sm_util) +
+                 " outside [0, 1]");
+    }
+    if (totals.sm_util > totals.sm_demand + 1e-12) {
+      report(cluster, "gpu-utilization",
+             gpu_tag(gpu) + " delivered utilization " +
+                 fmt_double(totals.sm_util) + " exceeds demand " +
+                 fmt_double(totals.sm_demand));
+    }
+
+    // P100 p-state envelope: deep sleep (P12) through TDP.
+    const double watts = dev.power_watts();
+    if (watts < spec.power.deep_sleep_watts - 1e-9 ||
+        watts > spec.power.max_watts + 1e-9) {
+      report(cluster, "gpu-power",
+             gpu_tag(gpu) + " power " + fmt_double(watts) +
+                 " W outside envelope [" +
+                 fmt_double(spec.power.deep_sleep_watts) + ", " +
+                 fmt_double(spec.power.max_watts) + "]");
+    }
+
+    // Internal accounting: totals must agree with per-pod records.
+    const auto residents = dev.resident_pods();
+    if (static_cast<std::size_t>(totals.residents) != residents.size()) {
+      report(cluster, "gpu-accounting",
+             gpu_tag(gpu) + " resident count " +
+                 std::to_string(totals.residents) + " != tracked pods " +
+                 std::to_string(residents.size()));
+    }
+    double provisioned_sum = 0;
+    for (PodId pod : residents) {
+      provisioned_sum += dev.provisioned_mb(pod).value_or(0.0);
+    }
+    if (std::abs(provisioned_sum - totals.memory_provisioned_mb) > eps) {
+      report(cluster, "gpu-accounting",
+             gpu_tag(gpu) + " provisioned total " +
+                 fmt_double(totals.memory_provisioned_mb) +
+                 " != per-pod sum " + fmt_double(provisioned_sum));
+    }
+    if (dev.parked() && totals.residents != 0) {
+      report(cluster, "gpu-parking",
+             gpu_tag(gpu) + " parked with " +
+                 std::to_string(totals.residents) + " residents");
+    }
+  }
+}
+
+void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
+  using S = cluster::PodState;
+  const std::size_t n = cluster.pod_count();
+  // Pods are all loaded before run(); the first audit baselines them at
+  // their construction state (Pending).
+  if (last_states_.size() < n) last_states_.resize(n, S::kPending);
+
+  std::array<std::size_t, 5> by_state{};
+  std::vector<bool> in_pending(n, false);
+  for (PodId id : cluster.pending()) {
+    const auto idx = static_cast<std::size_t>(id.value);
+    if (!id.valid() || idx >= n) {
+      report(cluster, "pod-queue", "pending queue holds invalid " + pod_tag(id));
+      continue;
+    }
+    if (in_pending[idx]) {
+      report(cluster, "pod-queue",
+             pod_tag(id) + " appears twice in the pending queue");
+    }
+    in_pending[idx] = true;
+    if (cluster.pod(id).state() != S::kPending) {
+      report(cluster, "pod-queue",
+             pod_tag(id) + " queued while in state " +
+                 std::string(to_string(cluster.pod(id).state())));
+    }
+  }
+
+  const double eps = options_.memory_epsilon_mb;
+  for (std::size_t i = 0; i < n; ++i) {
+    const PodId id{static_cast<std::int32_t>(i)};
+    const auto& pod = cluster.pod(id);
+    const S state = pod.state();
+    by_state[static_cast<std::size_t>(state)] += 1;
+
+    if (!observable_transition(last_states_[i], state)) {
+      report(cluster, "pod-transition",
+             pod_tag(id) + " illegal transition " +
+                 std::string(to_string(last_states_[i])) + " -> " +
+                 std::string(to_string(state)));
+    }
+    last_states_[i] = state;
+
+    const double progress = pod.progress();
+    if (progress < 0.0 || progress > 1.0) {
+      report(cluster, "pod-progress",
+             pod_tag(id) + " progress " + fmt_double(progress) +
+                 " outside [0, 1]");
+    }
+    if (state == S::kCompleted && !pod.finished_profile()) {
+      report(cluster, "pod-progress",
+             pod_tag(id) + " completed without finishing its profile");
+    }
+
+    // A placed pod must be resident on its GPU with a matching allocation.
+    if (state == S::kStarting || state == S::kRunning) {
+      const auto& dev = cluster.device(pod.gpu());
+      const auto recorded = dev.provisioned_mb(id);
+      if (!recorded.has_value()) {
+        report(cluster, "pod-residency",
+               pod_tag(id) + " in state " + std::string(to_string(state)) +
+                   " but not resident on " + gpu_tag(pod.gpu()));
+      } else if (std::abs(*recorded - pod.provisioned_mb()) > eps) {
+        report(cluster, "pod-residency",
+               pod_tag(id) + " allocation " + fmt_double(pod.provisioned_mb()) +
+                   " MB disagrees with device record " +
+                   fmt_double(*recorded) + " MB");
+      }
+    }
+  }
+
+  // Conservation: every submitted pod is in exactly one lifecycle state,
+  // and the cluster's completion counter matches the terminal population.
+  std::size_t total = 0;
+  for (std::size_t c : by_state) total += c;
+  if (total != n) {
+    report(cluster, "pod-conservation",
+           "state counts sum to " + std::to_string(total) + " but " +
+               std::to_string(n) + " pods were submitted");
+  }
+  if (by_state[static_cast<std::size_t>(S::kCompleted)] !=
+      cluster.completed_count()) {
+    report(cluster, "pod-conservation",
+           "completed counter " + std::to_string(cluster.completed_count()) +
+               " != terminal pods " +
+               std::to_string(
+                   by_state[static_cast<std::size_t>(S::kCompleted)]));
+  }
+}
+
+void InvariantChecker::on_tick_end(const cluster::Cluster& cluster) {
+  ++checks_;
+  check_time(cluster);
+  check_devices(cluster);
+  check_pods(cluster);
+}
+
+}  // namespace knots::verify

@@ -1,0 +1,81 @@
+#include "verify/run_digest.hpp"
+
+#include <bit>
+
+#include "cluster/cluster.hpp"
+
+namespace knots::verify {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void RunDigest::mix_u64(std::uint64_t v) noexcept {
+  // Fold byte-by-byte in little-endian order so the digest does not depend
+  // on the host's endianness.
+  for (int i = 0; i < 8; ++i) {
+    hash_ ^= (v >> (8 * i)) & 0xffu;
+    hash_ *= kFnvPrime;
+  }
+}
+
+void RunDigest::mix_double(double v) noexcept {
+  if (v == 0.0) v = 0.0;  // Collapse -0.0 and +0.0 to one bit pattern.
+  mix_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+void RunDigest::mix_string(std::string_view s) noexcept {
+  hash_ = fnv1a64(s.data(), s.size(), hash_);
+  mix_u64(s.size());
+}
+
+void RunDigest::begin_record(Tag tag, const cluster::Cluster& cluster) {
+  ++events_;
+  mix_u64(static_cast<std::uint64_t>(tag));
+  mix_u64(static_cast<std::uint64_t>(cluster.now()));
+}
+
+void RunDigest::on_place(const cluster::Cluster& cluster, PodId pod,
+                         GpuId gpu, double provisioned_mb) {
+  begin_record(Tag::kPlace, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+  mix_u64(static_cast<std::uint64_t>(gpu.value));
+  mix_double(provisioned_mb);
+}
+
+void RunDigest::on_resize(const cluster::Cluster& cluster, PodId pod,
+                          double provisioned_mb) {
+  begin_record(Tag::kResize, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+  mix_double(provisioned_mb);
+}
+
+void RunDigest::on_crash(const cluster::Cluster& cluster, PodId pod) {
+  begin_record(Tag::kCrash, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+}
+
+void RunDigest::on_requeue(const cluster::Cluster& cluster, PodId pod) {
+  begin_record(Tag::kRequeue, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+}
+
+void RunDigest::on_complete(const cluster::Cluster& cluster, PodId pod) {
+  begin_record(Tag::kComplete, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+  mix_double(cluster.pod(pod).progress());
+}
+
+void RunDigest::on_park(const cluster::Cluster& cluster, GpuId gpu) {
+  begin_record(Tag::kPark, cluster);
+  mix_u64(static_cast<std::uint64_t>(gpu.value));
+}
+
+}  // namespace knots::verify

@@ -1,0 +1,66 @@
+// Order-sensitive digest of one simulation run.
+//
+// Every scheduling decision (placement, resize, park), crash, requeue and
+// completion is folded — with its simulated timestamp and operands — into a
+// single FNV-1a 64-bit hash. Two runs with identical configuration and seed
+// must produce identical digests; any divergence (thread-pool ordering,
+// unordered-map iteration, a behaviour change) shows up as a one-line test
+// failure instead of a silently shifted figure.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "cluster/observer.hpp"
+#include "core/types.hpp"
+
+namespace knots::verify {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/// FNV-1a over an arbitrary byte range (exposed for tests).
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t size,
+                                    std::uint64_t seed = kFnvOffsetBasis)
+    noexcept;
+
+class RunDigest final : public cluster::ClusterObserver {
+ public:
+  /// The digest accumulated so far. Stable across platforms for identical
+  /// event sequences (doubles are folded by bit pattern, -0.0 normalized).
+  [[nodiscard]] std::uint64_t value() const noexcept { return hash_; }
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  // -- Manual mixing (tests, non-cluster digests) --
+  void mix_u64(std::uint64_t v) noexcept;
+  void mix_double(double v) noexcept;
+  void mix_string(std::string_view s) noexcept;
+
+  // -- ClusterObserver --
+  void on_place(const cluster::Cluster& cluster, PodId pod, GpuId gpu,
+                double provisioned_mb) override;
+  void on_resize(const cluster::Cluster& cluster, PodId pod,
+                 double provisioned_mb) override;
+  void on_crash(const cluster::Cluster& cluster, PodId pod) override;
+  void on_requeue(const cluster::Cluster& cluster, PodId pod) override;
+  void on_complete(const cluster::Cluster& cluster, PodId pod) override;
+  void on_park(const cluster::Cluster& cluster, GpuId gpu) override;
+
+ private:
+  // Record-type tags keep distinct event kinds with equal operands from
+  // colliding (a crash of pod 3 never hashes like a completion of pod 3).
+  enum class Tag : std::uint64_t {
+    kPlace = 0x01,
+    kResize = 0x02,
+    kCrash = 0x03,
+    kRequeue = 0x04,
+    kComplete = 0x05,
+    kPark = 0x06,
+  };
+  void begin_record(Tag tag, const cluster::Cluster& cluster);
+
+  std::uint64_t hash_ = kFnvOffsetBasis;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace knots::verify

@@ -1,0 +1,165 @@
+// Property tests for core/percentile.cpp: boundary percentiles, duplicate
+// values, CDF downsampling edge cases, and OnlineStats agreement with
+// batch formulas on random inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "core/rng.hpp"
+
+namespace knots {
+namespace {
+
+std::vector<double> random_values(Rng& rng, std::size_t n) {
+  std::vector<double> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform(-1e3, 1e3));
+  return v;
+}
+
+TEST(PercentileProperties, BoundaryPercentilesAreExtremes) {
+  Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto v = random_values(rng, static_cast<std::size_t>(
+                                    rng.uniform_int(1, 200)));
+    std::sort(v.begin(), v.end());
+    EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.0), v.front());
+    EXPECT_DOUBLE_EQ(percentile_sorted(v, 100.0), v.back());
+  }
+}
+
+TEST(PercentileProperties, MonotoneInP) {
+  Rng rng(12);
+  auto v = random_values(rng, 101);
+  std::sort(v.begin(), v.end());
+  double prev = percentile_sorted(v, 0.0);
+  for (double p = 1.0; p <= 100.0; p += 1.0) {
+    const double cur = percentile_sorted(v, p);
+    EXPECT_GE(cur, prev) << "p=" << p;
+    prev = cur;
+  }
+}
+
+TEST(PercentileProperties, DuplicateValuesCollapse) {
+  // All-equal data: every percentile is that value, exactly.
+  const std::vector<double> same(17, 42.5);
+  for (double p : {0.0, 25.0, 50.0, 80.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile_sorted(same, p), 42.5);
+  }
+  // Duplicated extremes: interpolation never leaves the data's range.
+  Rng rng(13);
+  for (int trial = 0; trial < 20; ++trial) {
+    auto v = random_values(rng, 30);
+    v.insert(v.end(), v.begin(), v.begin() + 10);  // Duplicate a chunk.
+    std::sort(v.begin(), v.end());
+    for (double p = 0.0; p <= 100.0; p += 7.0) {
+      const double q = percentile_sorted(v, p);
+      EXPECT_GE(q, v.front());
+      EXPECT_LE(q, v.back());
+    }
+  }
+}
+
+TEST(PercentileProperties, PercentileMatchesSortedVariant) {
+  Rng rng(14);
+  const auto v = random_values(rng, 64);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 10.0, 50.0, 90.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), percentile_sorted(sorted, p));
+  }
+}
+
+TEST(EmpiricalCdfProperties, MorePointsThanSamples) {
+  Rng rng(15);
+  const auto v = random_values(rng, 7);
+  const auto cdf = empirical_cdf(v, /*max_points=*/100);
+  // Downsampling never invents points: at most n, covering min to max.
+  ASSERT_EQ(cdf.size(), 7u);
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_DOUBLE_EQ(cdf.front().value, sorted.front());
+  EXPECT_DOUBLE_EQ(cdf.back().value, sorted.back());
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(EmpiricalCdfProperties, SingleSample) {
+  const std::vector<double> v{3.25};
+  for (std::size_t max_points : {std::size_t{1}, std::size_t{10}}) {
+    const auto cdf = empirical_cdf(v, max_points);
+    ASSERT_EQ(cdf.size(), 1u);
+    EXPECT_DOUBLE_EQ(cdf[0].value, 3.25);
+    EXPECT_DOUBLE_EQ(cdf[0].fraction, 1.0);
+  }
+}
+
+TEST(EmpiricalCdfProperties, FractionsWithinBounds) {
+  Rng rng(16);
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto v = random_values(
+        rng, static_cast<std::size_t>(rng.uniform_int(1, 300)));
+    const auto max_points =
+        static_cast<std::size_t>(rng.uniform_int(1, 150));
+    const auto cdf = empirical_cdf(v, max_points);
+    ASSERT_FALSE(cdf.empty());
+    EXPECT_LE(cdf.size(), std::min(max_points, v.size()));
+    for (const auto& pt : cdf) {
+      EXPECT_GT(pt.fraction, 0.0);
+      EXPECT_LE(pt.fraction, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  }
+}
+
+TEST(OnlineStatsProperties, AgreesWithBatchFormulas) {
+  Rng rng(17);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto v = random_values(
+        rng, static_cast<std::size_t>(rng.uniform_int(2, 500)));
+    OnlineStats stats;
+    for (double x : v) stats.add(x);
+
+    const auto n = static_cast<double>(v.size());
+    double sum = 0;
+    for (double x : v) sum += x;
+    const double mean = sum / n;
+    double sq = 0;
+    for (double x : v) sq += (x - mean) * (x - mean);
+    const double variance = sq / (n - 1);
+
+    EXPECT_EQ(stats.count(), v.size());
+    EXPECT_NEAR(stats.mean(), mean, 1e-9 * std::abs(mean) + 1e-9);
+    EXPECT_NEAR(stats.variance(), variance, 1e-9 * variance + 1e-6);
+    EXPECT_NEAR(stats.stddev(), std::sqrt(variance),
+                1e-9 * std::sqrt(variance) + 1e-6);
+    EXPECT_DOUBLE_EQ(stats.min(), *std::min_element(v.begin(), v.end()));
+    EXPECT_DOUBLE_EQ(stats.max(), *std::max_element(v.begin(), v.end()));
+    EXPECT_NEAR(stats.sum(), sum, 1e-9 * std::abs(sum) + 1e-9);
+  }
+}
+
+TEST(OnlineStatsProperties, DegenerateCounts) {
+  OnlineStats empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.min(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.max(), 0.0);
+
+  OnlineStats one;
+  one.add(-5.5);
+  EXPECT_DOUBLE_EQ(one.mean(), -5.5);
+  EXPECT_DOUBLE_EQ(one.variance(), 0.0);  // n-1 denominator undefined at 1.
+  EXPECT_DOUBLE_EQ(one.min(), -5.5);
+  EXPECT_DOUBLE_EQ(one.max(), -5.5);
+}
+
+}  // namespace
+}  // namespace knots
