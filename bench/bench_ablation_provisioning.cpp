@@ -18,8 +18,9 @@ knots::ExperimentConfig scarce_config(knots::sched::SchedulerKind kind) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "ablation_provisioning");
   std::cout << "Ablations run on memory-scarce (6 GB) devices; see header "
                "comment.\n";
 
@@ -35,6 +36,10 @@ int main() {
       table.row({fmt(p, 0), fmt(r.violations_per_kilo, 1),
                  std::to_string(r.crashes), fmt(r.cluster_wide.p50, 1),
                  fmt(r.energy_joules / 1000, 0)});
+      session.record("provision_p" + fmt(p, 0),
+                     {{"qos_viol_per_kilo", r.violations_per_kilo},
+                      {"crashes", double(r.crashes)},
+                      {"util_p50", r.cluster_wide.p50}});
     }
     table.print(std::cout);
     std::cout << "Paper choice: p80 — the sweet spot between capacity "

@@ -3,10 +3,19 @@
 // Every bench prints the same rows/series the paper's figure plots, plus an
 // ASCII rendering where it aids eyeballing. Absolute values live in
 // EXPERIMENTS.md next to the paper's numbers.
+//
+// Every bench binary also accepts:
+//   --json <path>   write a machine-readable result file (see Session)
+//   --fast          shrink workloads for CI smoke runs
 #pragma once
 
+#include <chrono>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/table.hpp"
@@ -14,6 +23,93 @@
 #include "stats/correlation.hpp"
 
 namespace knots::bench {
+
+/// One benchmark's machine-readable result: a name plus flat numeric
+/// metrics (ns_per_op, ticks_per_sec, allocs_per_op, ...).
+struct BenchRecord {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Serializes records as the BENCH_perf.json schema:
+///   {"suite": ..., "wall_seconds": ..., "benchmarks": [{"name": ...}]}
+inline void write_bench_json(std::ostream& os, const std::string& suite,
+                             double wall_seconds,
+                             const std::vector<BenchRecord>& records) {
+  const auto num = [](double v) {
+    std::ostringstream s;
+    s.precision(12);
+    s << v;
+    return s.str();
+  };
+  os << "{\n  \"suite\": \"" << suite << "\",\n  \"wall_seconds\": "
+     << num(wall_seconds) << ",\n  \"benchmarks\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    os << (i == 0 ? "" : ",") << "\n    {\"name\": \"" << records[i].name
+       << '"';
+    for (const auto& [key, value] : records[i].metrics) {
+      os << ", \"" << key << "\": " << num(value);
+    }
+    os << '}';
+  }
+  os << "\n  ]\n}\n";
+}
+
+/// Per-binary bench session: parses the shared flags, accumulates
+/// BenchRecords, and (when --json was given) writes the result file on
+/// destruction — so a bench only needs `Session session(argc, argv, name);`
+/// plus optional record() calls for its headline numbers.
+class Session {
+ public:
+  Session(int argc, char** argv, std::string suite)
+      : suite_(std::move(suite)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (std::strcmp(argv[i], "--fast") == 0) {
+        fast_ = true;
+      }
+    }
+  }
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// True when --fast was passed: benches should shrink their workloads
+  /// (CI smoke mode).
+  [[nodiscard]] bool fast() const noexcept { return fast_; }
+  [[nodiscard]] bool json_requested() const noexcept {
+    return !json_path_.empty();
+  }
+
+  void record(std::string name,
+              std::vector<std::pair<std::string, double>> metrics) {
+    records_.push_back({std::move(name), std::move(metrics)});
+  }
+
+  ~Session() {
+    if (json_path_.empty()) return;
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::ofstream out(json_path_);
+    if (!out) {
+      std::cerr << "bench: cannot write " << json_path_ << '\n';
+      return;
+    }
+    write_bench_json(out, suite_, wall, records_);
+    std::cout << "wrote " << json_path_ << " (" << records_.size()
+              << " benchmarks)\n";
+  }
+
+ private:
+  std::string suite_;
+  std::string json_path_;
+  bool fast_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<BenchRecord> records_;
+};
 
 /// Default arrival window for the cluster experiments: a compressed slice
 /// of the paper's 12 h trace replay that keeps each bench run ~1 s.

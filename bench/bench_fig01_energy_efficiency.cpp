@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "gpu/power_model.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig01_energy_efficiency");
   const gpu::GpuPowerSpec gpu_spec;
   const auto sandy = gpu::sandy_bridge_spec();
   const auto westmere = gpu::westmere_spec();
@@ -41,5 +42,7 @@ int main() {
             << "Sandy Bridge peak efficiency at " << sandy_peak_u
             << "% util (paper: 60-80%), " << knots::fmt(sandy_peak, 2)
             << "x the 100% point\n";
+  session.record("sandy_bridge_peak",
+                 {{"util_pct", sandy_peak_u}, {"ee_vs_100pct", sandy_peak}});
   return 0;
 }

@@ -6,8 +6,9 @@
 #include "core/percentile.hpp"
 #include "workload/rodinia.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig03_rodinia_characterization");
   std::cout << "Fig 3: sequential Rodinia characterization on one P100.\n"
             << "Columns: time since suite start | app | tx+rx MB/s | SM % | "
                "memory MB\n";
@@ -50,5 +51,8 @@ int main() {
                        .peak_memory_mb(),
                    0)
             << " MB of 16384 MB\n";
+  session.record("burstiness",
+                 {{"sm_median_to_peak_x", sm_peak / sm_median},
+                  {"bw_median_to_peak_x", bw_peak / std::max(bw_median, 1.0)}});
   return 0;
 }

@@ -5,8 +5,9 @@
 #include "bench_common.hpp"
 #include "workload/djinn_tonic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig04_inference_memory");
   constexpr double kCapacityMb = 16384.0;
 
   TablePrinter table("Fig 4: % of GPU memory used per inference batch size");
@@ -38,5 +39,8 @@ int main() {
             << under_half_at_128 << "/6 (paper: majority)\n"
             << "TF default earmark: 99% regardless of workload — the "
                "internal fragmentation CBP/PP harvest back\n";
+  session.record("footprints",
+                 {{"under_10pct_at_batch1", double(under_ten_at_one)},
+                  {"under_50pct_at_batch128", double(under_half_at_128)}});
   return 0;
 }

@@ -6,8 +6,9 @@
 #include "bench_common.hpp"
 #include "workload/app_mix.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig06_resag_utilization");
 
   TablePrinter t1("Table I: cluster workload suite (load / COV bins)");
   t1.columns({"mix", "batch apps", "latency-critical", "Load", "COV"});
@@ -49,6 +50,9 @@ int main() {
             ": per-node GPU utilization %, Res-Ag, app-mix-" +
             std::to_string(mix),
         report);
+    session.record("mix" + std::to_string(mix) + "_cluster",
+                   {{"p50", report.cluster_wide.p50},
+                    {"p99", report.cluster_wide.p99}});
   }
   return 0;
 }

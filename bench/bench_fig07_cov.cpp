@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig07_cov");
   for (int mix = 1; mix <= 3; ++mix) {
     const auto report = run_experiment(
         bench::bench_config(mix, sched::SchedulerKind::kResourceAgnostic));
@@ -25,6 +26,7 @@ int main() {
               << (max_cov > 1.0 ? "  -> heavy-tailed (COV > 1)"
                                 : "  -> steady (COV < 1)")
               << "\n";
+    session.record("mix" + std::to_string(mix), {{"max_cov", max_cov}});
   }
   std::cout << "\nPaper shape: mixes 1-2 stay below 1, the sporadic mix 3 "
                "exceeds 1 on its busiest nodes.\n";

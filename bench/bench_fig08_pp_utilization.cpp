@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig08_pp_utilization");
   for (int mix = 1; mix <= 3; ++mix) {
     const auto report = run_experiment(
         bench::bench_config(mix, sched::SchedulerKind::kPeakPrediction));
@@ -22,6 +23,9 @@ int main() {
     }
     std::cout << "Nodes minimally used (consolidated away): "
               << minimally_used << "/10\n";
+    session.record("mix" + std::to_string(mix),
+                   {{"minimally_used_nodes", double(minimally_used)},
+                    {"cluster_p50", report.cluster_wide.p50}});
   }
   return 0;
 }

@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig09_cluster_utilization");
   const std::vector<sched::SchedulerKind> kinds = {
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kResourceAgnostic};
@@ -34,6 +35,11 @@ int main() {
                 << fmt(100.0 * (pp50 - ra50) / ra50, 0)
                 << "% (paper: up to +80% on the high-load mix)\n";
     }
+    session.record("mix" + std::to_string(mix),
+                   {{"pp_p50", pp50},
+                    {"resag_p50", ra50},
+                    {"pp_gain_pct",
+                     ra50 > 0 ? 100.0 * (pp50 - ra50) / ra50 : 0.0}});
   }
   return 0;
 }

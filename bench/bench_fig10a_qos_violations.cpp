@@ -4,8 +4,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig10a_qos_violations");
   const std::vector<sched::SchedulerKind> kinds = {
       sched::SchedulerKind::kResourceAgnostic, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kUniform};
@@ -20,6 +21,11 @@ int main() {
                fmt(reports[2].violations_per_kilo, 1),
                fmt(reports[3].violations_per_kilo, 1),
                std::to_string(reports[0].queries)});
+    session.record("mix" + std::to_string(mix),
+                   {{"resag_vpk", reports[0].violations_per_kilo},
+                    {"cbp_vpk", reports[1].violations_per_kilo},
+                    {"pp_vpk", reports[2].violations_per_kilo},
+                    {"uniform_vpk", reports[3].violations_per_kilo}});
   }
   table.print(std::cout);
   std::cout << "\nPaper shape: Uniform violates ~18% on average (HOL "

@@ -104,8 +104,9 @@ AccuracyResult evaluate(int model_id, SimTime heartbeat,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig10b_prediction_accuracy");
   const SimTime heartbeats[] = {1000 * kMsec, 500 * kMsec, 100 * kMsec,
                                 10 * kMsec,  1 * kMsec,   kMsec / 10};
   TablePrinter table(
@@ -133,5 +134,8 @@ int main() {
             << fmt(arima_best, 0)
             << "% accuracy (paper: 84% at 1 ms, dropping beyond), so the "
                "utilization aggregator queries every 1 ms.\n";
+  session.record("arima_peak",
+                 {{"accuracy_pct", arima_best},
+                  {"heartbeat_ms", static_cast<double>(arima_best_hb) / kMsec}});
   return 0;
 }

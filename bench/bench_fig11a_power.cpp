@@ -5,8 +5,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig11a_power");
   const std::vector<sched::SchedulerKind> kinds = {
       sched::SchedulerKind::kResourceAgnostic, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kUniform};
@@ -33,5 +34,6 @@ int main() {
             << "% (paper: ~33% across the three mixes). Paper ordering: "
                "Res-Ag least, PP ~+10% over Res-Ag, CBP above PP, Uniform "
                "highest.\n";
+  session.record("pp_energy_saving", {{"avg_pct", total_saving / 3.0}});
   return 0;
 }

@@ -6,8 +6,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig11b_load_balance");
   const auto report = run_experiment(
       bench::bench_config(1, sched::SchedulerKind::kPeakPrediction));
 
@@ -36,5 +37,6 @@ int main() {
   std::cout << "\nMax pairwise COV under CBP+PP: " << fmt(max_cov, 2)
             << " (paper: 0 to 0.2, vs 0.1-0.7 for the agnostic baseline in "
                "Fig 7a)\n";
+  session.record("pairwise_cov", {{"max", max_cov}});
   return 0;
 }

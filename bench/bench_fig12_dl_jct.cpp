@@ -7,13 +7,18 @@
 #include "bench_common.hpp"
 #include "dlsim/dl_report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace knots;
+  bench::Session session(argc, argv, "fig12_dl_jct");
   dlsim::DlClusterConfig cluster;
   dlsim::DlWorkloadConfig workload;  // 520 DLT + 1400 DLI, 12 h (§V-C)
 
   const auto results = dlsim::run_all_policies(cluster, workload);
   dlsim::print_dl_report(std::cout, results);
+  for (const auto& r : results) {
+    session.record(r.policy, {{"avg_jct_h", r.avg_jct_h},
+                              {"violations_per_hour", r.violations_per_hour}});
+  }
 
   // Fig 12a: JCT CDF series.
   const auto cdfs = dlsim::jct_cdfs(results, 16);

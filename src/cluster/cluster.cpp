@@ -304,6 +304,7 @@ bool Cluster::all_terminal() const {
 }
 
 void Cluster::tick() {
+  ++ticks_;
   advance_running_pods();
   start_ready_pods();
   for (auto& sampler : samplers_) sampler.sample(now());

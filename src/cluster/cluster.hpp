@@ -9,6 +9,7 @@
 // relaunches from scratch at the back of the queue after a delay.
 #pragma once
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <set>
@@ -71,6 +72,9 @@ class Cluster {
   [[nodiscard]] std::size_t completed_count() const noexcept {
     return completed_;
   }
+  /// Scheduling quanta executed so far (the bench harness's ticks/sec
+  /// denominator).
+  [[nodiscard]] std::uint64_t tick_count() const noexcept { return ticks_; }
   [[nodiscard]] const telemetry::UtilizationAggregator& aggregator() const {
     return aggregator_;
   }
@@ -139,6 +143,7 @@ class Cluster {
   SimTime last_arrival_ = 0;
   std::size_t completed_ = 0;
   std::uint64_t pod_rng_counter_ = 0;
+  std::uint64_t ticks_ = 0;
 };
 
 }  // namespace knots::cluster

@@ -40,6 +40,13 @@ double MetricsCollector::gpu_util_percentile(std::size_t gpu_index,
   return percentile(samples, p);
 }
 
+std::vector<double> MetricsCollector::gpu_util_percentiles(
+    std::size_t gpu_index, std::span<const double> ps) const {
+  const auto& samples = gpu_util_samples(gpu_index);
+  if (samples.empty()) return std::vector<double>(ps.size(), 0.0);
+  return percentiles(samples, ps);
+}
+
 double MetricsCollector::cluster_util_percentile(double p) const {
   std::vector<double> pooled;
   for (const auto& samples : per_gpu_util_) {
@@ -47,6 +54,16 @@ double MetricsCollector::cluster_util_percentile(double p) const {
   }
   if (pooled.empty()) return 0.0;
   return percentile(pooled, p);
+}
+
+std::vector<double> MetricsCollector::cluster_util_percentiles(
+    std::span<const double> ps) const {
+  std::vector<double> pooled;
+  for (const auto& samples : per_gpu_util_) {
+    pooled.insert(pooled.end(), samples.begin(), samples.end());
+  }
+  if (pooled.empty()) return std::vector<double>(ps.size(), 0.0);
+  return percentiles(pooled, ps);
 }
 
 double MetricsCollector::gpu_util_cov(std::size_t gpu_index) const {
@@ -93,6 +110,15 @@ double MetricsCollector::batch_jct_percentile(double p) const {
   return percentile(jcts, p);
 }
 
+std::vector<double> MetricsCollector::batch_jct_percentiles(
+    std::span<const double> ps) const {
+  if (batches_.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::vector<double> jcts;
+  jcts.reserve(batches_.size());
+  for (const auto& b : batches_) jcts.push_back(to_seconds(b.jct));
+  return percentiles(jcts, ps);
+}
+
 double MetricsCollector::mean_batch_jct_seconds() const {
   if (batches_.empty()) return 0.0;
   double sum = 0;
@@ -107,6 +133,16 @@ double MetricsCollector::query_latency_percentile(double p) const {
   for (const auto& q : queries_)
     lat.push_back(static_cast<double>(q.latency) / static_cast<double>(kMsec));
   return percentile(lat, p);
+}
+
+std::vector<double> MetricsCollector::query_latency_percentiles(
+    std::span<const double> ps) const {
+  if (queries_.empty()) return std::vector<double>(ps.size(), 0.0);
+  std::vector<double> lat;
+  lat.reserve(queries_.size());
+  for (const auto& q : queries_)
+    lat.push_back(static_cast<double>(q.latency) / static_cast<double>(kMsec));
+  return percentiles(lat, ps);
 }
 
 }  // namespace knots::cluster

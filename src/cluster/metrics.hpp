@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "core/percentile.hpp"
@@ -46,8 +47,17 @@ class MetricsCollector {
   [[nodiscard]] double gpu_util_percentile(std::size_t gpu_index,
                                            double p) const;
 
+  /// Several percentiles of one GPU's active utilization with one shared
+  /// sort (report building reads four per GPU). Zeros when no samples.
+  [[nodiscard]] std::vector<double> gpu_util_percentiles(
+      std::size_t gpu_index, std::span<const double> ps) const;
+
   /// Cluster-wide utilization percentile pooling active-GPU samples (Fig 9).
   [[nodiscard]] double cluster_util_percentile(double p) const;
+
+  /// Batched cluster-wide percentiles: one pooling pass + one sort.
+  [[nodiscard]] std::vector<double> cluster_util_percentiles(
+      std::span<const double> ps) const;
 
   /// Coefficient of variation of one GPU's active utilization (Fig 7).
   [[nodiscard]] double gpu_util_cov(std::size_t gpu_index) const;
@@ -75,9 +85,15 @@ class MetricsCollector {
 
   /// Batch JCT percentile in seconds.
   [[nodiscard]] double batch_jct_percentile(double p) const;
+  /// Batched variant: one materialization + one sort for all `ps`.
+  [[nodiscard]] std::vector<double> batch_jct_percentiles(
+      std::span<const double> ps) const;
   [[nodiscard]] double mean_batch_jct_seconds() const;
   /// LC end-to-end latency percentile in milliseconds.
   [[nodiscard]] double query_latency_percentile(double p) const;
+  /// Batched variant: one materialization + one sort for all `ps`.
+  [[nodiscard]] std::vector<double> query_latency_percentiles(
+      std::span<const double> ps) const;
 
  private:
   // Per GPU: utilization% samples while active, and the aligned full trace

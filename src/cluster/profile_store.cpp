@@ -45,6 +45,11 @@ void ProfileStore::record_run(const std::string& image, double p80_memory_mb,
     ema_merge(prof.memory_signature, memory_signature);
     ema_merge(prof.sm_signature, sm_signature);
   }
+  // Runs complete far less often than schedulers read percentiles, so the
+  // sorted shadow is refreshed here rather than per query.
+  prof.memory_signature_sorted = prof.memory_signature;
+  std::sort(prof.memory_signature_sorted.begin(),
+            prof.memory_signature_sorted.end());
   ++prof.observed_runs;
 }
 

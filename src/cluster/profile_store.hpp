@@ -24,6 +24,11 @@ struct ImageProfile {
   /// length); used for pairwise Spearman correlation between images.
   std::vector<double> memory_signature;
   std::vector<double> sm_signature;
+  /// memory_signature ascending, maintained by record_run(). CBP reads
+  /// footprint percentiles of this once per pending pod per tick (and
+  /// O(n log n) times inside its sort comparator); keeping the sorted copy
+  /// here turns each of those into an O(1) percentile_sorted() lookup.
+  std::vector<double> memory_signature_sorted;
 };
 
 class ProfileStore {

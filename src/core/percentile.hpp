@@ -8,7 +8,9 @@
 namespace knots {
 
 /// Linear-interpolation percentile (type-7, like numpy.percentile default).
-/// `p` in [0, 100]. Copies and sorts; O(n log n).
+/// `p` in [0, 100]. O(n) selection into a thread-local scratch buffer;
+/// bit-identical to sorting first. For several percentiles of one dataset
+/// use percentiles() (one shared sort) or percentile_sorted().
 double percentile(std::span<const double> values, double p);
 
 /// Percentile over data the caller has already sorted ascending. O(1).

@@ -5,6 +5,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "core/check.hpp"
@@ -49,6 +51,25 @@ class RingBuffer {
   void clear() noexcept {
     size_ = 0;
     head_ = 0;
+  }
+
+  /// The retained elements as (at most) two contiguous spans, oldest-first:
+  /// `first` covers logical indices [0, first.size()), `second` the rest.
+  /// Zero-copy; invalidated by the next push(). `from` skips that many
+  /// oldest elements.
+  [[nodiscard]] std::pair<std::span<const T>, std::span<const T>> segments(
+      std::size_t from = 0) const {
+    if (from >= size_) return {};
+    const std::size_t count = size_ - from;
+    const std::size_t start =
+        (head_ + data_.size() - size_ + from) % data_.size();
+    const std::size_t tail = data_.size() - start;  // room before wrap
+    if (count <= tail) {
+      return {std::span<const T>(data_.data() + start, count),
+              std::span<const T>()};
+    }
+    return {std::span<const T>(data_.data() + start, tail),
+            std::span<const T>(data_.data(), count - tail)};
   }
 
   /// Copies the newest `n` elements (or all if fewer), oldest-first.

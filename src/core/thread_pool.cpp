@@ -41,11 +41,24 @@ void ThreadPool::worker_loop() {
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Self-scheduling: one resident task per worker pulls indices off a
+  // shared atomic counter. Uneven item costs (a CBP run takes ~3x a
+  // Uniform run) balance dynamically, and the queue sees thread_count()
+  // entries instead of n.
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  const std::size_t lanes = std::min(n, workers_.size());
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([i, &fn] { fn(i); }));
+  futures.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    futures.push_back(submit([next, n, &fn] {
+      for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+           i < n; i = next->fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
+    }));
   }
+  // get() rethrows the first exception of each lane (remaining indices of
+  // a throwing lane are abandoned, as with the previous per-index tasks).
   for (auto& f : futures) f.get();
 }
 

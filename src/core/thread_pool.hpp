@@ -44,6 +44,9 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is self-scheduled from a shared atomic counter, so unevenly
+  /// sized items balance across threads. fn must be safe to call
+  /// concurrently for distinct i.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

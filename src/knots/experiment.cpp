@@ -14,19 +14,15 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   ExperimentReport r;
   r.scheduler = std::move(scheduler_name);
   r.mix_id = mix_id;
+  // One shared sort per sample set instead of one copy+sort per percentile.
+  constexpr double kUtilPs[] = {50, 90, 99, 100};
   for (std::size_t g = 0; g < m.gpu_count(); ++g) {
-    UtilPercentiles u;
-    u.p50 = m.gpu_util_percentile(g, 50);
-    u.p90 = m.gpu_util_percentile(g, 90);
-    u.p99 = m.gpu_util_percentile(g, 99);
-    u.max = m.gpu_util_percentile(g, 100);
-    r.per_gpu.push_back(u);
+    const auto ps = m.gpu_util_percentiles(g, kUtilPs);
+    r.per_gpu.push_back(UtilPercentiles{ps[0], ps[1], ps[2], ps[3]});
     r.per_gpu_cov.push_back(m.gpu_util_cov(g));
   }
-  r.cluster_wide.p50 = m.cluster_util_percentile(50);
-  r.cluster_wide.p90 = m.cluster_util_percentile(90);
-  r.cluster_wide.p99 = m.cluster_util_percentile(99);
-  r.cluster_wide.max = m.cluster_util_percentile(100);
+  const auto cps = m.cluster_util_percentiles(kUtilPs);
+  r.cluster_wide = UtilPercentiles{cps[0], cps[1], cps[2], cps[3]};
 
   r.pairwise_load_cov.assign(m.gpu_count(),
                              std::vector<double>(m.gpu_count(), 0.0));
@@ -45,12 +41,16 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   r.energy_joules = m.energy_joules();
   r.crashes = m.crash_count();
   r.mean_jct_s = m.mean_batch_jct_seconds();
-  r.median_jct_s = m.batch_jct_percentile(50);
-  r.p99_jct_s = m.batch_jct_percentile(99);
-  r.lc_p50_ms = m.query_latency_percentile(50);
-  r.lc_p99_ms = m.query_latency_percentile(99);
+  constexpr double kTailPs[] = {50, 99};
+  const auto jct = m.batch_jct_percentiles(kTailPs);
+  r.median_jct_s = jct[0];
+  r.p99_jct_s = jct[1];
+  const auto lc = m.query_latency_percentiles(kTailPs);
+  r.lc_p50_ms = lc[0];
+  r.lc_p99_ms = lc[1];
   r.pods_total = cl.pod_count();
   r.pods_completed = cl.completed_count();
+  r.ticks = cl.tick_count();
   return r;
 }
 
@@ -60,16 +60,48 @@ ExperimentReport run_experiment(const ExperimentConfig& config) {
   return knots.run();
 }
 
+std::vector<SweepResult> run_sweep(const ExperimentConfig& base,
+                                   const SweepGrid& grid,
+                                   std::size_t threads) {
+  // Enumerate the grid up front so slot i is a fixed coordinate: workers
+  // fill disjoint slots and the output order never depends on timing.
+  std::vector<SweepResult> results;
+  results.reserve(grid.size());
+  for (const auto kind : grid.schedulers) {
+    for (const auto seed : grid.seeds) {
+      for (const double load : grid.load_scales) {
+        SweepResult r;
+        r.scheduler = kind;
+        r.seed = seed;
+        r.load_scale = load;
+        results.push_back(std::move(r));
+      }
+    }
+  }
+  ThreadPool pool(threads);
+  pool.parallel_for(results.size(), [&](std::size_t i) {
+    SweepResult& slot = results[i];
+    ExperimentConfig cfg = base;
+    cfg.scheduler = slot.scheduler;
+    cfg.seed = slot.seed;
+    cfg.workload.batch_rate_scale *= slot.load_scale;
+    cfg.workload.lc_rate_scale *= slot.load_scale;
+    slot.report = run_experiment(cfg);
+  });
+  return results;
+}
+
 std::vector<ExperimentReport> run_scheduler_sweep(
     const ExperimentConfig& base,
     const std::vector<sched::SchedulerKind>& kinds) {
-  std::vector<ExperimentReport> reports(kinds.size());
-  ThreadPool pool(kinds.size());
-  pool.parallel_for(kinds.size(), [&](std::size_t i) {
-    ExperimentConfig cfg = base;
-    cfg.scheduler = kinds[i];
-    reports[i] = run_experiment(cfg);
-  });
+  SweepGrid grid;
+  grid.schedulers = kinds;
+  grid.seeds = {base.seed};
+  grid.load_scales = {1.0};
+  auto results = run_sweep(base, grid, kinds.size());
+  std::vector<ExperimentReport> reports;
+  reports.reserve(results.size());
+  for (auto& r : results) reports.push_back(std::move(r.report));
   return reports;
 }
 

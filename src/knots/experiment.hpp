@@ -37,6 +37,8 @@ struct ExperimentReport {
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;
 
+  std::uint64_t ticks = 0;  ///< Scheduling quanta executed (perf harness).
+
   // -- Verification layer (knots::verify) --
   /// Order-sensitive FNV-1a hash over every scheduling decision, crash and
   /// completion. Identical config + seed must yield identical digests.
@@ -54,8 +56,38 @@ ExperimentReport build_report(const cluster::Cluster& cl,
 /// Runs the configuration to completion (single-threaded, deterministic).
 ExperimentReport run_experiment(const ExperimentConfig& config);
 
-/// Runs one configuration per scheduler kind concurrently (one thread
-/// each); reports are returned in `kinds` order.
+/// Cartesian sweep grid: every (scheduler, seed, load_scale) combination
+/// becomes one independent experiment. `load_scales` multiply the base
+/// config's batch and LC arrival-rate scales.
+struct SweepGrid {
+  std::vector<sched::SchedulerKind> schedulers;
+  std::vector<std::uint64_t> seeds = {42};
+  std::vector<double> load_scales = {1.0};
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return schedulers.size() * seeds.size() * load_scales.size();
+  }
+};
+
+/// One grid coordinate and its finished report.
+struct SweepResult {
+  sched::SchedulerKind scheduler{};
+  std::uint64_t seed = 0;
+  double load_scale = 1.0;
+  ExperimentReport report;
+};
+
+/// Runs the whole grid on a core::ThreadPool (`threads` = 0 → hardware
+/// concurrency) with dynamic work distribution — each simulation is
+/// single-threaded and deterministic, so results are independent of thread
+/// schedule. Results are returned in deterministic scheduler-major order
+/// (scheduler, then seed, then load_scale, each in grid order).
+std::vector<SweepResult> run_sweep(const ExperimentConfig& base,
+                                   const SweepGrid& grid,
+                                   std::size_t threads = 0);
+
+/// Runs one configuration per scheduler kind concurrently; reports are
+/// returned in `kinds` order. Convenience wrapper over run_sweep().
 std::vector<ExperimentReport> run_scheduler_sweep(
     const ExperimentConfig& base, const std::vector<sched::SchedulerKind>& kinds);
 

@@ -32,7 +32,7 @@ double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
   // declared claim. Latency-critical pods get their peak (their footprint
   // is flat and small; under-provisioning them buys nothing).
   const double p = pod.latency_critical() ? 100.0 : params_.provision_percentile;
-  const double target = percentile(prof->memory_signature, p);
+  const double target = percentile_sorted(prof->memory_signature_sorted, p);
   return std::max(kMinProvisionMb, target * kResizeHeadroom);
 }
 
@@ -102,10 +102,11 @@ void CbpScheduler::harvest(cluster::Cluster& cl) {
       if (pod.state() != cluster::PodState::kRunning) continue;
       const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
       if (prof == nullptr || prof->memory_signature.empty()) continue;
-      const double target = std::max(
-          kMinProvisionMb,
-          percentile(prof->memory_signature, params_.provision_percentile) *
-              kResizeHeadroom);
+      const double target =
+          std::max(kMinProvisionMb,
+                   percentile_sorted(prof->memory_signature_sorted,
+                                     params_.provision_percentile) *
+                       kResizeHeadroom);
       if (pod.provisioned_mb() > target * kResizeHeadroom) {
         // May fail when current usage sits above the target; retried on a
         // later tick once the pod's demand recedes.
@@ -142,11 +143,13 @@ void CbpScheduler::on_tick(cluster::Cluster& cl) {
 
     // Algorithm 1's node list: active GPUs ordered by free memory. We walk
     // it best-fit (least free first) so work consolidates onto already-busy
-    // GPUs and idle ones can deep-sleep.
-    auto views = cl.aggregator().active_sorted_by_free_memory();
-    std::reverse(views.begin(), views.end());
+    // GPUs and idle ones can deep-sleep. The list is served from the
+    // aggregator's cache (re-sorted only when a view changed); iterate the
+    // descending order in reverse instead of copying it.
+    const auto& views = cl.aggregator().active_sorted_by_free_memory();
     bool placed = false;
-    for (const auto& view : views) {
+    for (auto it = views.rbegin(); it != views.rend(); ++it) {
+      const auto& view = *it;
       auto& dev = cl.device(view.gpu);
       if (!dev.provision_fits(size)) continue;
       if (dev.totals().sm_demand + sm > sm_cap) continue;

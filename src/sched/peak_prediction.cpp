@@ -11,8 +11,9 @@ namespace knots::sched {
 bool PeakPredictionScheduler::forecast_override(
     const cluster::Cluster& cl, const telemetry::GpuView& view,
     double needed_mb) const {
-  const auto series = cl.aggregator().window(
-      view.gpu, telemetry::Metric::kMemUtil, cl.now(), params_.window);
+  cl.aggregator().window_into(view.gpu, telemetry::Metric::kMemUtil, cl.now(),
+                              params_.window, window_scratch_);
+  const auto& series = window_scratch_;
   if (series.size() < 10) return false;
   ++forecasts_;
 

@@ -8,6 +8,8 @@
 // correlated pods are safe as long as their peaks interleave.
 #pragma once
 
+#include <vector>
+
 #include "sched/cbp.hpp"
 
 namespace knots::sched {
@@ -35,6 +37,10 @@ class PeakPredictionScheduler final : public CbpScheduler {
  private:
   mutable std::size_t forecasts_ = 0;
   mutable std::size_t granted_ = 0;
+  /// Window materialization scratch, reused across candidate GPUs and
+  /// ticks — the ARIMA fit needs contiguous doubles, but refilling this
+  /// buffer allocates nothing once it has warmed up to the window length.
+  mutable std::vector<double> window_scratch_;
 };
 
 }  // namespace knots::sched

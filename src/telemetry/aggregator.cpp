@@ -6,11 +6,16 @@ namespace knots::telemetry {
 
 void UtilizationAggregator::register_node(const gpu::GpuNode& node,
                                           const TimeSeriesDb& db) {
+  const std::size_t entry = nodes_.size();
   nodes_.push_back(Entry{&node, &db});
+  for (std::size_t i = 0; i < node.gpu_count(); ++i) {
+    gpu_to_entry_.emplace(node.gpu(i).id().value, entry);
+  }
+  active_cache_valid_ = false;
 }
 
-std::vector<GpuView> UtilizationAggregator::snapshot() const {
-  std::vector<GpuView> out;
+void UtilizationAggregator::snapshot_into(std::vector<GpuView>& out) const {
+  out.clear();
   for (const auto& entry : nodes_) {
     for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
       const auto& dev = entry.node->gpu(i);
@@ -28,36 +33,70 @@ std::vector<GpuView> UtilizationAggregator::snapshot() const {
       out.push_back(v);
     }
   }
+}
+
+std::vector<GpuView> UtilizationAggregator::snapshot() const {
+  std::vector<GpuView> out;
+  snapshot_into(out);
   return out;
 }
 
-std::vector<GpuView> UtilizationAggregator::active_sorted_by_free_memory()
-    const {
-  auto views = snapshot();
-  std::erase_if(views, [](const GpuView& v) { return v.parked; });
-  std::stable_sort(views.begin(), views.end(),
+const std::vector<GpuView>&
+UtilizationAggregator::active_sorted_by_free_memory() const {
+  snapshot_scratch_.clear();
+  snapshot_into(snapshot_scratch_);
+  std::erase_if(snapshot_scratch_,
+                [](const GpuView& v) { return v.parked; });
+  // Views change only when telemetry lands (once per tick) or a placement
+  // flips parked/residents; between those, serve the previous sort.
+  if (active_cache_valid_ && snapshot_scratch_ == active_input_) {
+    return active_sorted_;
+  }
+  std::swap(active_input_, snapshot_scratch_);
+  active_sorted_ = active_input_;
+  std::stable_sort(active_sorted_.begin(), active_sorted_.end(),
                    [](const GpuView& a, const GpuView& b) {
                      return a.free_mem_mb > b.free_mem_mb;
                    });
-  return views;
+  active_cache_valid_ = true;
+  return active_sorted_;
 }
 
 std::vector<double> UtilizationAggregator::window(GpuId gpu, Metric metric,
                                                   SimTime now,
                                                   SimTime window_len) const {
+  std::vector<double> out;
+  window_into(gpu, metric, now, window_len, out);
+  return out;
+}
+
+void UtilizationAggregator::window_into(GpuId gpu, Metric metric, SimTime now,
+                                        SimTime window_len,
+                                        std::vector<double>& out) const {
+  out.clear();
+  window_view(gpu, metric, now, window_len).append_values_to(out);
+}
+
+WindowView UtilizationAggregator::window_view(GpuId gpu, Metric metric,
+                                              SimTime now,
+                                              SimTime window_len) const {
   const Entry* entry = find_gpu(gpu);
   if (entry == nullptr) return {};
-  return entry->db->query_window(gpu, metric, now - window_len);
+  return entry->db->window_view(gpu, metric, now - window_len);
+}
+
+const WindowAggregate& UtilizationAggregator::window_stats(
+    GpuId gpu, Metric metric, SimTime now, SimTime window_len) const {
+  static const WindowAggregate kEmpty{};
+  const Entry* entry = find_gpu(gpu);
+  if (entry == nullptr) return kEmpty;
+  return entry->db->window_stats(gpu, metric, now - window_len);
 }
 
 const UtilizationAggregator::Entry* UtilizationAggregator::find_gpu(
     GpuId gpu) const {
-  for (const auto& entry : nodes_) {
-    for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
-      if (entry.node->gpu(i).id() == gpu) return &entry;
-    }
-  }
-  return nullptr;
+  const auto it = gpu_to_entry_.find(gpu.value);
+  return it == gpu_to_entry_.end() ? nullptr : &nodes_[it->second];
 }
 
 }  // namespace knots::telemetry

@@ -4,8 +4,17 @@
 // cluster-wide view: latest per-GPU utilization, windowed series (the
 // time-series window `d` of §IV-C), and nodes sorted by free memory
 // (Algorithm 1's Sort_by_Free_Memory).
+//
+// The read API is tick-loop friendly: GPU lookup is O(1) via an index built
+// at registration, windows can be filled into caller-owned scratch buffers
+// or read zero-copy, and the sorted-by-free-memory list is cached — the
+// stable_sort reruns only when the underlying views actually changed since
+// the previous call (telemetry writes land once per tick, but schedulers ask
+// once per pending pod). Not thread-safe; each simulated cluster owns one.
 #pragma once
 
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "core/types.hpp"
@@ -25,6 +34,8 @@ struct GpuView {
   double power_watts = 0.0;
   bool parked = false;
   int residents = 0;
+
+  bool operator==(const GpuView&) const = default;
 };
 
 class UtilizationAggregator {
@@ -39,14 +50,36 @@ class UtilizationAggregator {
   /// Latest per-GPU snapshot of the whole cluster.
   [[nodiscard]] std::vector<GpuView> snapshot() const;
 
+  /// Fills `out` (cleared first) with the latest per-GPU snapshot without
+  /// reallocating once `out` has warmed up to cluster size.
+  void snapshot_into(std::vector<GpuView>& out) const;
+
   /// Snapshot of *active* (non-parked) GPUs sorted by free memory
-  /// (descending) — Algorithm 1's node list.
-  [[nodiscard]] std::vector<GpuView> active_sorted_by_free_memory() const;
+  /// (descending) — Algorithm 1's node list. The returned reference stays
+  /// valid until the next call; the sort is skipped when no view changed.
+  [[nodiscard]] const std::vector<GpuView>& active_sorted_by_free_memory()
+      const;
 
   /// Windowed series for a metric of one GPU: samples with
-  /// time >= now − window.
+  /// time >= now − window. Allocates; prefer window_into()/window_view()
+  /// on the tick path.
   [[nodiscard]] std::vector<double> window(GpuId gpu, Metric metric,
                                            SimTime now, SimTime window) const;
+
+  /// Fills `out` (cleared first) with the windowed series, reusing its
+  /// capacity. Leaves `out` empty for unknown GPUs.
+  void window_into(GpuId gpu, Metric metric, SimTime now, SimTime window,
+                   std::vector<double>& out) const;
+
+  /// Zero-copy windowed series (empty view for unknown GPUs).
+  [[nodiscard]] WindowView window_view(GpuId gpu, Metric metric, SimTime now,
+                                       SimTime window) const;
+
+  /// Cached window aggregate for one GPU's metric (see
+  /// TimeSeriesDb::window_stats). Zero-count aggregate for unknown GPUs.
+  [[nodiscard]] const WindowAggregate& window_stats(GpuId gpu, Metric metric,
+                                                    SimTime now,
+                                                    SimTime window) const;
 
  private:
   struct Entry {
@@ -56,6 +89,14 @@ class UtilizationAggregator {
   [[nodiscard]] const Entry* find_gpu(GpuId gpu) const;
 
   std::vector<Entry> nodes_;
+  std::unordered_map<std::int32_t, std::size_t> gpu_to_entry_;
+
+  // active_sorted_by_free_memory cache: `active_input_` is the unsorted
+  // active list of the previous call, `active_sorted_` its sorted result.
+  mutable std::vector<GpuView> snapshot_scratch_;
+  mutable std::vector<GpuView> active_input_;
+  mutable std::vector<GpuView> active_sorted_;
+  mutable bool active_cache_valid_ = false;
 };
 
 }  // namespace knots::telemetry

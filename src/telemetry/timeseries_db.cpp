@@ -1,24 +1,33 @@
 #include "telemetry/timeseries_db.hpp"
 
+#include <algorithm>
+
+#include "core/percentile.hpp"
+
 namespace knots::telemetry {
 
 void TimeSeriesDb::write(GpuId gpu, Metric metric, Sample sample) {
   const Key key{gpu.value, static_cast<int>(metric)};
   auto it = series_.find(key);
   if (it == series_.end()) {
-    it = series_.emplace(key, RingBuffer<Sample>(retention_)).first;
+    it = series_.emplace(key, Series(retention_, stats_window_)).first;
   }
-  it->second.push(sample);
+  Series& s = it->second;
+  s.buf.push(sample);
+  if (s.live) s.live->push(sample.value);
+  ++s.generation;
   ++total_samples_;
 }
 
-std::vector<double> TimeSeriesDb::query_window(GpuId gpu, Metric metric,
-                                               SimTime since) const {
-  std::vector<double> out;
+const TimeSeriesDb::Series* TimeSeriesDb::find(GpuId gpu,
+                                               Metric metric) const {
   const Key key{gpu.value, static_cast<int>(metric)};
-  auto it = series_.find(key);
-  if (it == series_.end()) return out;
-  const auto& buf = it->second;
+  const auto it = series_.find(key);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::size_t TimeSeriesDb::lower_bound_time(const RingBuffer<Sample>& buf,
+                                           SimTime since) {
   // Samples are time-ordered; binary-search the window start.
   std::size_t lo = 0, hi = buf.size();
   while (lo < hi) {
@@ -29,27 +38,82 @@ std::vector<double> TimeSeriesDb::query_window(GpuId gpu, Metric metric,
       hi = mid;
     }
   }
-  out.reserve(buf.size() - lo);
-  for (std::size_t i = lo; i < buf.size(); ++i) out.push_back(buf.at(i).value);
+  return lo;
+}
+
+WindowView TimeSeriesDb::window_view(GpuId gpu, Metric metric,
+                                     SimTime since) const {
+  const Series* s = find(gpu, metric);
+  if (s == nullptr) return {};
+  const auto [first, second] =
+      s->buf.segments(lower_bound_time(s->buf, since));
+  return WindowView{first, second};
+}
+
+std::vector<double> TimeSeriesDb::query_window(GpuId gpu, Metric metric,
+                                               SimTime since) const {
+  std::vector<double> out;
+  window_view(gpu, metric, since).append_values_to(out);
   return out;
+}
+
+const WindowAggregate& TimeSeriesDb::window_stats(GpuId gpu, Metric metric,
+                                                  SimTime since) const {
+  static const WindowAggregate kEmpty{};
+  const Series* s = find(gpu, metric);
+  if (s == nullptr) return kEmpty;
+  if (s->agg_generation == s->generation && s->agg_since == since) {
+    return s->agg_cache;  // No write since the last identical query.
+  }
+  const WindowView view = window_view(gpu, metric, since);
+  WindowAggregate agg;
+  agg.count = view.size();
+  if (agg.count > 0) {
+    auto& scratch = s->sort_scratch;
+    scratch.clear();
+    view.append_values_to(scratch);
+    std::sort(scratch.begin(), scratch.end());
+    double sum = 0.0;
+    for (double v : scratch) sum += v;
+    agg.mean = sum / static_cast<double>(agg.count);
+    agg.min = scratch.front();
+    agg.max = scratch.back();
+    agg.p50 = percentile_sorted(scratch, 50.0);
+    agg.p95 = percentile_sorted(scratch, 95.0);
+    agg.p99 = percentile_sorted(scratch, 99.0);
+  }
+  s->agg_cache = agg;
+  s->agg_generation = s->generation;
+  s->agg_since = since;
+  return s->agg_cache;
+}
+
+const stats::RollingStats* TimeSeriesDb::live_stats(GpuId gpu,
+                                                    Metric metric) const {
+  const Series* s = find(gpu, metric);
+  return s == nullptr ? nullptr : s->live.get();
 }
 
 std::vector<Sample> TimeSeriesDb::query_all(GpuId gpu, Metric metric) const {
   std::vector<Sample> out;
-  const Key key{gpu.value, static_cast<int>(metric)};
-  auto it = series_.find(key);
-  if (it == series_.end()) return out;
-  out.reserve(it->second.size());
-  for (std::size_t i = 0; i < it->second.size(); ++i)
-    out.push_back(it->second.at(i));
+  const Series* s = find(gpu, metric);
+  if (s == nullptr) return out;
+  const auto [first, second] = s->buf.segments();
+  out.reserve(first.size() + second.size());
+  out.insert(out.end(), first.begin(), first.end());
+  out.insert(out.end(), second.begin(), second.end());
   return out;
 }
 
 double TimeSeriesDb::latest(GpuId gpu, Metric metric, double fallback) const {
-  const Key key{gpu.value, static_cast<int>(metric)};
-  auto it = series_.find(key);
-  if (it == series_.end() || it->second.empty()) return fallback;
-  return it->second.back().value;
+  const Series* s = find(gpu, metric);
+  if (s == nullptr || s->buf.empty()) return fallback;
+  return s->buf.back().value;
+}
+
+std::uint64_t TimeSeriesDb::generation(GpuId gpu, Metric metric) const {
+  const Series* s = find(gpu, metric);
+  return s == nullptr ? 0 : s->generation;
 }
 
 }  // namespace knots::telemetry

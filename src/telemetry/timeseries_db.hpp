@@ -3,30 +3,97 @@
 // One instance lives on each worker node; the head-node aggregator queries it
 // per heartbeat (Fig 5). Series are bounded ring buffers: Influx retention
 // policies map to a fixed per-series sample capacity.
+//
+// Since PR 2 the query side is built for the scheduler tick loop:
+//  * window_view() hands out a zero-copy WindowView (at most two spans over
+//    the ring) instead of materializing a vector per (GPU, metric, tick);
+//  * every write feeds a per-series RollingStats, so window means/extrema of
+//    the live window are O(1) reads;
+//  * window_stats() percentile aggregates are cached per write generation —
+//    repeated queries within one tick sort the window once.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ring_buffer.hpp"
 #include "core/types.hpp"
+#include "stats/rolling.hpp"
 #include "telemetry/metric.hpp"
 
 namespace knots::telemetry {
 
+/// Zero-copy view of one series window: the retained samples with
+/// time >= since, as at most two contiguous spans (the ring may wrap).
+/// Invalidated by the next write() to the same series.
+struct WindowView {
+  std::span<const Sample> first;
+  std::span<const Sample> second;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return first.size() + second.size();
+  }
+  [[nodiscard]] bool empty() const noexcept {
+    return first.empty() && second.empty();
+  }
+  /// Sample `i` counted oldest-first.
+  [[nodiscard]] const Sample& operator[](std::size_t i) const noexcept {
+    return i < first.size() ? first[i] : second[i - first.size()];
+  }
+  /// Appends the window's values (oldest-first) to `out` without clearing.
+  void append_values_to(std::vector<double>& out) const {
+    out.reserve(out.size() + size());
+    for (const Sample& s : first) out.push_back(s.value);
+    for (const Sample& s : second) out.push_back(s.value);
+  }
+};
+
+/// Per-window aggregate served from the per-tick cache.
+struct WindowAggregate {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
 class TimeSeriesDb {
  public:
   /// `retention` = max samples kept per (gpu, metric) series.
-  explicit TimeSeriesDb(std::size_t retention = 65536)
-      : retention_(retention) {}
+  /// `stats_window` = span (in samples) of the per-series RollingStats
+  /// maintained on write; 0 disables them.
+  explicit TimeSeriesDb(std::size_t retention = 65536,
+                        std::size_t stats_window = 0)
+      : retention_(retention), stats_window_(stats_window) {}
 
   /// Appends one observation.
   void write(GpuId gpu, Metric metric, Sample sample);
 
+  /// Zero-copy window: samples (oldest-first) with time >= since.
+  [[nodiscard]] WindowView window_view(GpuId gpu, Metric metric,
+                                       SimTime since) const;
+
   /// Values (oldest-first) with time >= since. Empty when none.
+  /// Allocates; prefer window_view() on the tick path.
   [[nodiscard]] std::vector<double> query_window(GpuId gpu, Metric metric,
                                                  SimTime since) const;
+
+  /// Aggregate over the window with time >= since. Cached: repeated calls
+  /// between writes to the series reuse one sorted pass. Zero-count
+  /// aggregate when the window is empty.
+  [[nodiscard]] const WindowAggregate& window_stats(GpuId gpu, Metric metric,
+                                                    SimTime since) const;
+
+  /// O(1) stats over the newest `stats_window` samples, maintained on
+  /// write. Null when stats are disabled or the series is unknown.
+  [[nodiscard]] const stats::RollingStats* live_stats(GpuId gpu,
+                                                      Metric metric) const;
 
   /// Full retained samples (oldest-first) for a series.
   [[nodiscard]] std::vector<Sample> query_all(GpuId gpu, Metric metric) const;
@@ -35,6 +102,10 @@ class TimeSeriesDb {
   [[nodiscard]] double latest(GpuId gpu, Metric metric,
                               double fallback = 0.0) const;
 
+  /// Monotonic per-series write counter (0 for unknown series); bumping it
+  /// is what invalidates the window_stats cache.
+  [[nodiscard]] std::uint64_t generation(GpuId gpu, Metric metric) const;
+
   [[nodiscard]] std::size_t series_count() const noexcept {
     return series_.size();
   }
@@ -42,21 +113,55 @@ class TimeSeriesDb {
     return total_samples_;
   }
 
- private:
   struct Key {
     std::int32_t gpu;
     int metric;
     bool operator==(const Key&) const = default;
   };
+  /// splitmix64 over the packed key: full 64-bit avalanche, no collisions
+  /// for metric ids >= 256 (the old `(gpu << 8) | metric` packing aliased
+  /// those onto neighbouring GPUs).
   struct KeyHash {
+    static constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+      x += 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    }
     std::size_t operator()(const Key& k) const noexcept {
-      return std::hash<std::int64_t>{}(
-          (static_cast<std::int64_t>(k.gpu) << 8) | k.metric);
+      const auto packed =
+          (static_cast<std::uint64_t>(static_cast<std::uint32_t>(k.gpu))
+           << 32) |
+          static_cast<std::uint32_t>(k.metric);
+      return static_cast<std::size_t>(splitmix64(packed));
     }
   };
 
+ private:
+  struct Series {
+    explicit Series(std::size_t retention, std::size_t stats_window)
+        : buf(retention),
+          live(stats_window == 0 ? nullptr
+                                 : std::make_unique<stats::RollingStats>(
+                                       stats_window)) {}
+    RingBuffer<Sample> buf;
+    std::unique_ptr<stats::RollingStats> live;
+    std::uint64_t generation = 0;
+    // window_stats cache: valid while (generation, since) match.
+    mutable WindowAggregate agg_cache;
+    mutable std::uint64_t agg_generation = 0;  ///< 0 = never computed.
+    mutable SimTime agg_since = 0;
+    mutable std::vector<double> sort_scratch;
+  };
+
+  [[nodiscard]] const Series* find(GpuId gpu, Metric metric) const;
+  /// Logical index of the first sample with time >= since.
+  static std::size_t lower_bound_time(const RingBuffer<Sample>& buf,
+                                      SimTime since);
+
   std::size_t retention_;
-  std::unordered_map<Key, RingBuffer<Sample>, KeyHash> series_;
+  std::size_t stats_window_;
+  std::unordered_map<Key, Series, KeyHash> series_;
   std::size_t total_samples_ = 0;
 };
 

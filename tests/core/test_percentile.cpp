@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "core/rng.hpp"
@@ -55,6 +56,40 @@ TEST(Percentile, BatchMatchesIndividual) {
   for (std::size_t i = 0; i < ps.size(); ++i) {
     EXPECT_DOUBLE_EQ(batch[i], percentile(v, ps[i]));
   }
+}
+
+// percentile() selects its two order statistics with nth_element instead of
+// sorting; the interpolation arithmetic must stay bit-identical to the
+// sort-everything reference for every rank the interpolation can touch.
+TEST(Percentile, SelectionMatchesFullSortExactly) {
+  for (std::size_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    std::vector<double> v;
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.uniform(0, 300));
+    for (std::size_t i = 0; i < n; ++i) v.push_back(rng.uniform(-50, 50));
+    auto sorted = v;
+    std::sort(sorted.begin(), sorted.end());
+    for (double p = 0; p <= 100.0; p += 0.5) {
+      EXPECT_DOUBLE_EQ(percentile(v, p), percentile_sorted(sorted, p))
+          << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Percentile, SelectionHandlesDuplicatesAndInfinities) {
+  const std::vector<double> v = {3, 3, 3, 1, 9, 9, 2, 3};
+  auto sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (double p : {0.0, 13.0, 50.0, 87.0, 99.9, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile(v, p), percentile_sorted(sorted, p));
+  }
+}
+
+TEST(Percentile, InputIsNotModified) {
+  const std::vector<double> v = {9, 1, 5, 3, 7};
+  const auto before = v;
+  (void)percentile(v, 37.0);
+  EXPECT_EQ(v, before);
 }
 
 class PercentileMonotonic : public ::testing::TestWithParam<std::size_t> {};

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace knots {
 namespace {
 
@@ -66,6 +68,54 @@ TEST(RingBuffer, ClearResets) {
   buf.push(9);
   EXPECT_EQ(buf.front(), 9);
   EXPECT_EQ(buf.back(), 9);
+}
+
+TEST(RingBuffer, SegmentsCoverWholeBufferBeforeWrap) {
+  RingBuffer<int> buf(4);
+  for (int i = 1; i <= 3; ++i) buf.push(i);
+  const auto [a, b] = buf.segments();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[2], 3);
+}
+
+TEST(RingBuffer, SegmentsSplitAfterWrap) {
+  RingBuffer<int> buf(4);
+  for (int i = 1; i <= 6; ++i) buf.push(i);  // retains 3,4,5,6; head mid-ring
+  const auto [a, b] = buf.segments();
+  EXPECT_EQ(a.size() + b.size(), 4u);
+  EXPECT_FALSE(b.empty());  // 6 pushes into cap 4 must wrap
+  std::vector<int> flat;
+  for (int v : a) flat.push_back(v);
+  for (int v : b) flat.push_back(v);
+  EXPECT_EQ(flat, (std::vector<int>{3, 4, 5, 6}));
+}
+
+TEST(RingBuffer, SegmentsFromSkipsOldest) {
+  RingBuffer<int> buf(4);
+  for (int i = 1; i <= 6; ++i) buf.push(i);
+  const auto [a, b] = buf.segments(3);  // only the newest element
+  ASSERT_EQ(a.size() + b.size(), 1u);
+  EXPECT_EQ(a.empty() ? b[0] : a[0], 6);
+  const auto [c, d] = buf.segments(4);  // past the end: empty
+  EXPECT_TRUE(c.empty());
+  EXPECT_TRUE(d.empty());
+}
+
+TEST(RingBuffer, SegmentsMatchAtForEveryOffset) {
+  RingBuffer<int> buf(8);
+  for (int i = 0; i < 19; ++i) {
+    buf.push(i);
+    for (std::size_t from = 0; from <= buf.size(); ++from) {
+      const auto [a, b] = buf.segments(from);
+      ASSERT_EQ(a.size() + b.size(), buf.size() - from);
+      for (std::size_t k = 0; k < a.size() + b.size(); ++k) {
+        const int v = k < a.size() ? a[k] : b[k - a.size()];
+        EXPECT_EQ(v, buf.at(from + k));
+      }
+    }
+  }
 }
 
 class RingBufferCapacity : public ::testing::TestWithParam<std::size_t> {};

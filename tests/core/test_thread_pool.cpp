@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 namespace knots {
@@ -57,6 +58,32 @@ TEST(ThreadPool, ParallelSumMatchesSerial) {
   });
   const long total = std::accumulate(partial.begin(), partial.end(), 0L);
   EXPECT_EQ(total, 6400L * 6399L / 2);
+}
+
+TEST(ThreadPool, ParallelForMoreItemsThanThreadsSelfSchedules) {
+  // Work-stealing grid shape: far more items than workers, wildly uneven
+  // costs. Every index must run exactly once.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.parallel_for(1000, [&](std::size_t i) {
+    if (i % 97 == 0) {  // a few "expensive simulations"
+      volatile long spin = 0;
+      for (int k = 0; k < 20000; ++k) spin += k;
+    }
+    ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(16,
+                                 [](std::size_t i) {
+                                   if (i == 7) {
+                                     throw std::runtime_error("slot 7");
+                                   }
+                                 }),
+               std::runtime_error);
 }
 
 TEST(ThreadPool, DestructorJoinsCleanly) {

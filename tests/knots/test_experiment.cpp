@@ -78,6 +78,70 @@ TEST(Experiment, SweepMatchesSerialRuns) {
   EXPECT_EQ(sweep[0].qos_violations, direct.qos_violations);
 }
 
+TEST(Experiment, SweepGridSizeAndOrdering) {
+  SweepGrid grid;
+  grid.schedulers = {sched::SchedulerKind::kUniform,
+                     sched::SchedulerKind::kCbp};
+  grid.seeds = {42, 7};
+  grid.load_scales = {1.0, 0.5};
+  EXPECT_EQ(grid.size(), 8u);
+
+  const auto results = run_sweep(tiny(1, sched::SchedulerKind::kUniform),
+                                 grid, /*threads=*/3);
+  ASSERT_EQ(results.size(), 8u);
+  // Scheduler-major, then seed, then load scale — independent of which
+  // worker thread finished first.
+  std::size_t i = 0;
+  for (auto kind : grid.schedulers) {
+    for (auto seed : grid.seeds) {
+      for (double load : grid.load_scales) {
+        EXPECT_EQ(results[i].scheduler, kind) << "slot " << i;
+        EXPECT_EQ(results[i].seed, seed) << "slot " << i;
+        EXPECT_DOUBLE_EQ(results[i].load_scale, load) << "slot " << i;
+        EXPECT_GT(results[i].report.ticks, 0u) << "slot " << i;
+        ++i;
+      }
+    }
+  }
+}
+
+TEST(Experiment, SweepSlotsMatchSerialRunsExactly) {
+  const auto base = tiny(1, sched::SchedulerKind::kUniform);
+  SweepGrid grid;
+  grid.schedulers = {sched::SchedulerKind::kCbp,
+                     sched::SchedulerKind::kPeakPrediction};
+  grid.seeds = {42, 1234};
+  const auto results = run_sweep(base, grid);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) {
+    ExperimentConfig serial = base;
+    serial.scheduler = r.scheduler;
+    serial.seed = r.seed;
+    const auto direct = run_experiment(serial);
+    // Bit-identical: parallel dispatch must not perturb the simulation.
+    EXPECT_EQ(r.report.run_digest, direct.run_digest);
+    EXPECT_DOUBLE_EQ(r.report.energy_joules, direct.energy_joules);
+    EXPECT_EQ(r.report.ticks, direct.ticks);
+  }
+}
+
+TEST(Experiment, SweepLoadScaleChangesWorkload) {
+  const auto base = tiny(1, sched::SchedulerKind::kUniform);
+  SweepGrid grid;
+  grid.schedulers = {sched::SchedulerKind::kUniform};
+  grid.load_scales = {1.0, 3.0};
+  const auto results = run_sweep(base, grid);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_GT(results[1].report.pods_total, results[0].report.pods_total);
+}
+
+TEST(Experiment, ReportCountsTicks) {
+  const auto report =
+      run_experiment(tiny(1, sched::SchedulerKind::kUniform));
+  // 30 s duration at a 10 ms tick → at least 3000 quanta before drain.
+  EXPECT_GE(report.ticks, 3000u);
+}
+
 TEST(KubeKnots, FacadeSubmitAndRun) {
   KubeKnots knots(tiny(1, sched::SchedulerKind::kPeakPrediction));
 

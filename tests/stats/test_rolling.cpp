@@ -1,0 +1,190 @@
+#include "stats/rolling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "core/rng.hpp"
+
+namespace knots::stats {
+namespace {
+
+/// Reference implementation: keeps the raw window and recomputes everything
+/// from scratch. The rolling structures must agree with this to 1e-9
+/// (RollingStats) or exactly (RollingQuantile).
+class NaiveWindow {
+ public:
+  explicit NaiveWindow(std::size_t capacity) : capacity_(capacity) {}
+
+  void push(double x) {
+    window_.push_back(x);
+    if (window_.size() > capacity_) window_.pop_front();
+  }
+
+  [[nodiscard]] std::vector<double> values() const {
+    return {window_.begin(), window_.end()};
+  }
+  [[nodiscard]] double mean() const {
+    double s = 0;
+    for (double v : window_) s += v;
+    return window_.empty() ? 0.0 : s / static_cast<double>(window_.size());
+  }
+  [[nodiscard]] double variance() const {
+    if (window_.size() < 2) return 0.0;
+    const double m = mean();
+    double s = 0;
+    for (double v : window_) s += (v - m) * (v - m);
+    return s / static_cast<double>(window_.size() - 1);
+  }
+  [[nodiscard]] double min() const {
+    return *std::min_element(window_.begin(), window_.end());
+  }
+  [[nodiscard]] double max() const {
+    return *std::max_element(window_.begin(), window_.end());
+  }
+
+ private:
+  std::size_t capacity_;
+  std::deque<double> window_;
+};
+
+TEST(RollingStats, EmptyIsSafe) {
+  RollingStats rs(8);
+  EXPECT_TRUE(rs.empty());
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 0.0);
+}
+
+TEST(RollingStats, PartialWindowMatchesNaive) {
+  RollingStats rs(16);
+  NaiveWindow naive(16);
+  for (double x : {3.0, 1.0, 4.0, 1.0, 5.0}) {
+    rs.push(x);
+    naive.push(x);
+  }
+  EXPECT_EQ(rs.count(), 5u);
+  EXPECT_NEAR(rs.mean(), naive.mean(), 1e-12);
+  EXPECT_NEAR(rs.variance(), naive.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 5.0);
+}
+
+TEST(RollingStats, SingleSampleVarianceIsZero) {
+  RollingStats rs(4);
+  rs.push(7.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 7.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 7.0);
+}
+
+TEST(RollingStats, ClearResets) {
+  RollingStats rs(4);
+  for (double x : {1.0, 2.0, 3.0}) rs.push(x);
+  rs.clear();
+  EXPECT_TRUE(rs.empty());
+  EXPECT_DOUBLE_EQ(rs.mean(), 0.0);
+  rs.push(9.0);
+  EXPECT_DOUBLE_EQ(rs.mean(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.min(), 9.0);
+}
+
+/// The equivalence bound the perf work must honour: rolling results track
+/// the naive recomputation to 1e-9 across long randomized runs with many
+/// full window turnovers (evictions), for each window size.
+class RollingStatsEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(RollingStatsEquivalence, TracksNaiveTo1e9OverEvictions) {
+  const std::size_t capacity = GetParam();
+  RollingStats rs(capacity);
+  NaiveWindow naive(capacity);
+  Rng rng(1234 + capacity);
+  for (int i = 0; i < 5000; ++i) {
+    // Mix of scales and occasional bursts, like utilization telemetry.
+    double x = rng.uniform();
+    if (i % 97 == 0) x *= 100.0;
+    if (i % 193 == 0) x = 0.0;
+    rs.push(x);
+    naive.push(x);
+    EXPECT_NEAR(rs.mean(), naive.mean(), 1e-9) << "i=" << i;
+    EXPECT_NEAR(rs.variance(), naive.variance(), 1e-9) << "i=" << i;
+    EXPECT_DOUBLE_EQ(rs.min(), naive.min()) << "i=" << i;
+    EXPECT_DOUBLE_EQ(rs.max(), naive.max()) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, RollingStatsEquivalence,
+                         ::testing::Values(1u, 2u, 7u, 64u, 500u));
+
+TEST(RollingQuantile, EmptyIsSafe) {
+  RollingQuantile rq(8);
+  EXPECT_TRUE(rq.empty());
+  EXPECT_DOUBLE_EQ(rq.quantile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(rq.min(), 0.0);
+  EXPECT_DOUBLE_EQ(rq.max(), 0.0);
+}
+
+TEST(RollingQuantile, SortedShadowIsAscending) {
+  RollingQuantile rq(4);
+  for (double x : {9.0, 2.0, 7.0, 4.0, 1.0}) rq.push(x);  // evicts the 9
+  const std::vector<double> expect = {1.0, 2.0, 4.0, 7.0};
+  EXPECT_EQ(rq.sorted(), expect);
+  EXPECT_DOUBLE_EQ(rq.min(), 1.0);
+  EXPECT_DOUBLE_EQ(rq.max(), 7.0);
+}
+
+TEST(RollingQuantile, DuplicateValuesEvictCorrectly) {
+  RollingQuantile rq(3);
+  for (double x : {5.0, 5.0, 5.0, 5.0, 2.0}) rq.push(x);
+  const std::vector<double> expect = {2.0, 5.0, 5.0};
+  EXPECT_EQ(rq.sorted(), expect);
+}
+
+/// quantile(p) must be *exactly* core::percentile over the same window —
+/// the structure is a drop-in replacement on digest-sensitive paths.
+class RollingQuantileEquivalence
+    : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RollingQuantileEquivalence, ExactlyMatchesPercentileOverEvictions) {
+  const std::size_t capacity = GetParam();
+  RollingQuantile rq(capacity);
+  std::deque<double> naive;
+  Rng rng(77 + capacity);
+  const double ps[] = {0.0, 12.5, 50.0, 90.0, 99.0, 100.0};
+  for (int i = 0; i < 3000; ++i) {
+    const double x = rng.uniform(0, 100);
+    rq.push(x);
+    naive.push_back(x);
+    if (naive.size() > capacity) naive.pop_front();
+    if (i % 7 != 0) continue;  // checking every push is O(n^2)-slow
+    const std::vector<double> window(naive.begin(), naive.end());
+    for (double p : ps) {
+      EXPECT_DOUBLE_EQ(rq.quantile(p), percentile(window, p))
+          << "i=" << i << " p=" << p;
+    }
+    EXPECT_DOUBLE_EQ(rq.min(), *std::min_element(window.begin(), window.end()));
+    EXPECT_DOUBLE_EQ(rq.max(), *std::max_element(window.begin(), window.end()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowSizes, RollingQuantileEquivalence,
+                         ::testing::Values(1u, 2u, 5u, 64u, 311u));
+
+TEST(RollingQuantile, ClearResets) {
+  RollingQuantile rq(4);
+  for (double x : {1.0, 2.0, 3.0}) rq.push(x);
+  rq.clear();
+  EXPECT_TRUE(rq.empty());
+  rq.push(42.0);
+  EXPECT_DOUBLE_EQ(rq.quantile(50.0), 42.0);
+}
+
+}  // namespace
+}  // namespace knots::stats

@@ -89,5 +89,75 @@ TEST_F(AggregatorTest, WindowedSeriesQuery) {
   EXPECT_TRUE(agg_.window(GpuId{99}, Metric::kSmUtil, 100, 35).empty());
 }
 
+TEST_F(AggregatorTest, WindowIntoAndViewMatchAllocatingWindow) {
+  for (SimTime t = 0; t <= 100; t += 10) sample_all(t);
+  const auto expect =
+      agg_.window(GpuId{1}, Metric::kSmUtil, /*now=*/100, /*window=*/35);
+
+  std::vector<double> scratch = {99.0, 98.0};  // must be cleared, not appended
+  agg_.window_into(GpuId{1}, Metric::kSmUtil, 100, 35, scratch);
+  EXPECT_EQ(scratch, expect);
+
+  const auto view = agg_.window_view(GpuId{1}, Metric::kSmUtil, 100, 35);
+  ASSERT_EQ(view.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_DOUBLE_EQ(view[i].value, expect[i]);
+  }
+
+  agg_.window_into(GpuId{99}, Metric::kSmUtil, 100, 35, scratch);
+  EXPECT_TRUE(scratch.empty());
+  EXPECT_TRUE(agg_.window_view(GpuId{99}, Metric::kSmUtil, 100, 35).empty());
+}
+
+TEST_F(AggregatorTest, WindowStatsForUnknownGpuIsZeroCount) {
+  sample_all(0);
+  EXPECT_EQ(agg_.window_stats(GpuId{99}, Metric::kSmUtil, 100, 35).count, 0u);
+  EXPECT_GT(agg_.window_stats(GpuId{1}, Metric::kSmUtil, 0, 35).count, 0u);
+}
+
+TEST_F(AggregatorTest, SnapshotIntoReusesBuffer) {
+  sample_all(0);
+  std::vector<GpuView> out;
+  agg_.snapshot_into(out);
+  EXPECT_EQ(out, agg_.snapshot());
+  const auto* data = out.data();
+  agg_.snapshot_into(out);  // warmed buffer: no reallocation
+  EXPECT_EQ(out.data(), data);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST_F(AggregatorTest, ActiveSortedCacheStableAcrossRepeatedCalls) {
+  sample_all(0);
+  const auto& first = agg_.active_sorted_by_free_memory();
+  const auto snapshot_before = first;
+  // No telemetry change between calls: the cached list is returned as-is.
+  const auto& second = agg_.active_sorted_by_free_memory();
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second, snapshot_before);
+}
+
+TEST_F(AggregatorTest, ActiveSortedCacheReactsToTelemetryWrites) {
+  sample_all(0);
+  auto before = agg_.active_sorted_by_free_memory();
+  // Node 0's GPU fills up; after the next heartbeat it must sort last.
+  ASSERT_TRUE(nodes_[0]->gpu(0).attach(PodId{1}, 100));
+  EXPECT_TRUE(nodes_[0]->gpu(0).set_usage(PodId{1}, {0.5, 15000, 0, 0}));
+  sample_all(10);
+  const auto& after = agg_.active_sorted_by_free_memory();
+  EXPECT_NE(after, before);
+  EXPECT_EQ(after.back().node.value, 0);
+}
+
+TEST_F(AggregatorTest, ActiveSortedCacheReactsToParkFlip) {
+  sample_all(0);
+  EXPECT_EQ(agg_.active_sorted_by_free_memory().size(), 3u);
+  // Parking is visible in the node object immediately — no heartbeat
+  // between the two calls, mirroring a scheduler parking mid-tick.
+  nodes_[1]->gpu(0).set_parked(true);
+  EXPECT_EQ(agg_.active_sorted_by_free_memory().size(), 2u);
+  nodes_[1]->gpu(0).set_parked(false);
+  EXPECT_EQ(agg_.active_sorted_by_free_memory().size(), 3u);
+}
+
 }  // namespace
 }  // namespace knots::telemetry

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/percentile.hpp"
+#include "core/rng.hpp"
+
 namespace knots::telemetry {
 namespace {
 
@@ -61,6 +68,125 @@ TEST(TimeSeriesDb, RetentionDropsOldest) {
   ASSERT_EQ(all.size(), 8u);
   EXPECT_EQ(all.front().time, 12);
   EXPECT_EQ(all.back().time, 19);
+}
+
+TEST(TimeSeriesDb, WindowViewMatchesQueryWindow) {
+  TimeSeriesDb db(/*retention=*/32);  // small retention forces ring wrap
+  Rng rng(5);
+  for (SimTime t = 0; t < 100; ++t) {
+    db.write(GpuId{3}, Metric::kMemUtil, {t, rng.uniform()});
+    const SimTime since = t > 10 ? t - 10 : 0;
+    const auto vec = db.query_window(GpuId{3}, Metric::kMemUtil, since);
+    const auto view = db.window_view(GpuId{3}, Metric::kMemUtil, since);
+    ASSERT_EQ(view.size(), vec.size()) << "t=" << t;
+    for (std::size_t i = 0; i < vec.size(); ++i) {
+      EXPECT_DOUBLE_EQ(view[i].value, vec[i]);
+      EXPECT_GE(view[i].time, since);
+    }
+    std::vector<double> flattened;
+    view.append_values_to(flattened);
+    EXPECT_EQ(flattened, vec);
+  }
+}
+
+TEST(TimeSeriesDb, WindowViewEmptyCases) {
+  TimeSeriesDb db;
+  EXPECT_TRUE(db.window_view(GpuId{0}, Metric::kSmUtil, 0).empty());
+  db.write(GpuId{0}, Metric::kSmUtil, {5, 1.0});
+  EXPECT_TRUE(db.window_view(GpuId{0}, Metric::kSmUtil, 6).empty());
+  EXPECT_EQ(db.window_view(GpuId{0}, Metric::kSmUtil, 5).size(), 1u);
+}
+
+TEST(TimeSeriesDb, WindowStatsMatchesNaivePercentiles) {
+  TimeSeriesDb db;
+  Rng rng(11);
+  for (SimTime t = 0; t < 200; ++t) {
+    db.write(GpuId{0}, Metric::kSmUtil, {t, rng.uniform(0, 100)});
+  }
+  const SimTime since = 50;
+  const auto agg = db.window_stats(GpuId{0}, Metric::kSmUtil, since);
+  const auto window = db.query_window(GpuId{0}, Metric::kSmUtil, since);
+  ASSERT_EQ(agg.count, window.size());
+  double sum = 0, mn = window[0], mx = window[0];
+  for (double v : window) {
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  // Summation order differs (the aggregate sums its sorted scratch), so
+  // mean agrees to the 1e-9 equivalence bound, not bit-exactly.
+  EXPECT_NEAR(agg.mean, sum / static_cast<double>(window.size()), 1e-9);
+  EXPECT_DOUBLE_EQ(agg.min, mn);
+  EXPECT_DOUBLE_EQ(agg.max, mx);
+  EXPECT_DOUBLE_EQ(agg.p50, percentile(window, 50));
+  EXPECT_DOUBLE_EQ(agg.p95, percentile(window, 95));
+  EXPECT_DOUBLE_EQ(agg.p99, percentile(window, 99));
+}
+
+TEST(TimeSeriesDb, WindowStatsCacheInvalidatedByWrite) {
+  TimeSeriesDb db;
+  for (SimTime t = 0; t < 10; ++t) {
+    db.write(GpuId{0}, Metric::kSmUtil, {t, 1.0});
+  }
+  const auto gen0 = db.generation(GpuId{0}, Metric::kSmUtil);
+  const auto& a = db.window_stats(GpuId{0}, Metric::kSmUtil, 0);
+  EXPECT_DOUBLE_EQ(a.max, 1.0);
+  // Repeat query with no intervening write: same cached aggregate object.
+  const auto* cached = &db.window_stats(GpuId{0}, Metric::kSmUtil, 0);
+  EXPECT_EQ(cached, &a);
+  EXPECT_EQ(db.generation(GpuId{0}, Metric::kSmUtil), gen0);
+  // A write must invalidate: the next query sees the new sample.
+  db.write(GpuId{0}, Metric::kSmUtil, {10, 9.0});
+  EXPECT_GT(db.generation(GpuId{0}, Metric::kSmUtil), gen0);
+  EXPECT_DOUBLE_EQ(db.window_stats(GpuId{0}, Metric::kSmUtil, 0).max, 9.0);
+  // Changing `since` must also bypass the cache.
+  EXPECT_EQ(db.window_stats(GpuId{0}, Metric::kSmUtil, 10).count, 1u);
+}
+
+TEST(TimeSeriesDb, LiveStatsTrackWindow) {
+  TimeSeriesDb db(/*retention=*/1024, /*stats_window=*/4);
+  EXPECT_EQ(db.live_stats(GpuId{0}, Metric::kSmUtil), nullptr);
+  for (SimTime t = 0; t < 8; ++t) {
+    db.write(GpuId{0}, Metric::kSmUtil, {t, static_cast<double>(t)});
+  }
+  const auto* live = db.live_stats(GpuId{0}, Metric::kSmUtil);
+  ASSERT_NE(live, nullptr);
+  EXPECT_EQ(live->count(), 4u);  // last four samples: 4,5,6,7
+  EXPECT_DOUBLE_EQ(live->mean(), 5.5);
+  EXPECT_DOUBLE_EQ(live->min(), 4.0);
+  EXPECT_DOUBLE_EQ(live->max(), 7.0);
+}
+
+TEST(TimeSeriesDb, LiveStatsDisabledByDefault) {
+  TimeSeriesDb db;
+  db.write(GpuId{0}, Metric::kSmUtil, {0, 1.0});
+  EXPECT_EQ(db.live_stats(GpuId{0}, Metric::kSmUtil), nullptr);
+}
+
+// The old KeyHash packed the metric into the low 8 bits of (gpu << 8),
+// colliding whole series once metric ids or gpu counts grew. The splitmix64
+// mix must keep every (gpu, metric) key distinct and well spread.
+TEST(TimeSeriesDbKeyHash, NoCollisionsOverGpuMetricGrid) {
+  TimeSeriesDb::KeyHash hash;
+  std::unordered_set<std::size_t> seen;
+  std::size_t keys = 0;
+  for (std::int32_t gpu = 0; gpu < 512; ++gpu) {
+    for (int metric = 0; metric < 512; metric += 37) {
+      seen.insert(hash(TimeSeriesDb::Key{gpu, metric}));
+      ++keys;
+    }
+  }
+  // splitmix64 is a bijection on the packed 64-bit key, so any collision
+  // here would have to come from the size_t truncation — none expected.
+  EXPECT_EQ(seen.size(), keys);
+}
+
+TEST(TimeSeriesDbKeyHash, LargeMetricIdsDoNotAliasAcrossGpus) {
+  // Regression for the (gpu << 8) | metric scheme: metric id 256 on gpu g
+  // collided with metric id 0 on gpu g+1.
+  TimeSeriesDb::KeyHash hash;
+  EXPECT_NE(hash(TimeSeriesDb::Key{0, 256}), hash(TimeSeriesDb::Key{1, 0}));
+  EXPECT_NE(hash(TimeSeriesDb::Key{0, 257}), hash(TimeSeriesDb::Key{1, 1}));
 }
 
 TEST(MetricNames, AllDistinct) {
