@@ -11,25 +11,26 @@ int main(int argc, char** argv) {
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kResourceAgnostic};
 
+  SweepGrid grid;
+  grid.schedulers = kinds;
   for (int mix = 1; mix <= 3; ++mix) {
-    const auto reports =
-        run_scheduler_sweep(bench::bench_config(mix, kinds[0]), kinds);
+    const auto results = run_sweep(bench::bench_config(mix, kinds[0]), grid);
     TablePrinter table("Fig 9: cluster-wide GPU utilization %, app-mix-" +
                        std::to_string(mix));
     table.columns({"percentile", "PP", "CBP", "Res-Ag"});
     const char* names[] = {"50%le", "90%le", "99%le", "Max"};
     for (int row = 0; row < 4; ++row) {
       std::vector<double> vals;
-      for (const auto& r : reports) {
-        const auto& u = r.cluster_wide;
+      for (const auto& result : results) {
+        const auto& u = result.report.cluster_wide;
         vals.push_back(row == 0 ? u.p50
                                 : row == 1 ? u.p90 : row == 2 ? u.p99 : u.max);
       }
       table.row(names[row], vals, 1);
     }
     table.print(std::cout);
-    const double pp50 = reports[0].cluster_wide.p50;
-    const double ra50 = reports[2].cluster_wide.p50;
+    const double pp50 = results[0].report.cluster_wide.p50;
+    const double ra50 = results[2].report.cluster_wide.p50;
     if (ra50 > 0) {
       std::cout << "PP median improvement over Res-Ag: "
                 << fmt(100.0 * (pp50 - ra50) / ra50, 0)

@@ -11,21 +11,23 @@ int main(int argc, char** argv) {
       sched::SchedulerKind::kResourceAgnostic, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kUniform};
 
+  SweepGrid grid;
+  grid.schedulers = kinds;
   TablePrinter table("Fig 10a: QoS violations per kilo inference queries");
   table.columns({"mix", "Res-Ag", "CBP", "PP", "Uniform", "queries"});
   for (int mix = 1; mix <= 3; ++mix) {
-    const auto reports =
-        run_scheduler_sweep(bench::bench_config(mix, kinds[0]), kinds);
-    table.row({std::to_string(mix), fmt(reports[0].violations_per_kilo, 1),
-               fmt(reports[1].violations_per_kilo, 1),
-               fmt(reports[2].violations_per_kilo, 1),
-               fmt(reports[3].violations_per_kilo, 1),
-               std::to_string(reports[0].queries)});
+    const auto results = run_sweep(bench::bench_config(mix, kinds[0]), grid);
+    table.row({std::to_string(mix),
+               fmt(results[0].report.violations_per_kilo, 1),
+               fmt(results[1].report.violations_per_kilo, 1),
+               fmt(results[2].report.violations_per_kilo, 1),
+               fmt(results[3].report.violations_per_kilo, 1),
+               std::to_string(results[0].report.queries)});
     session.record("mix" + std::to_string(mix),
-                   {{"resag_vpk", reports[0].violations_per_kilo},
-                    {"cbp_vpk", reports[1].violations_per_kilo},
-                    {"pp_vpk", reports[2].violations_per_kilo},
-                    {"uniform_vpk", reports[3].violations_per_kilo}});
+                   {{"resag_vpk", results[0].report.violations_per_kilo},
+                    {"cbp_vpk", results[1].report.violations_per_kilo},
+                    {"pp_vpk", results[2].report.violations_per_kilo},
+                    {"uniform_vpk", results[3].report.violations_per_kilo}});
   }
   table.print(std::cout);
   std::cout << "\nPaper shape: Uniform violates ~18% on average (HOL "

@@ -15,17 +15,19 @@ int main(int argc, char** argv) {
   TablePrinter table(
       "Fig 11a: cluster energy normalized to the Uniform scheduler");
   table.columns({"mix", "Res-Ag", "CBP", "PP", "Uniform", "PP saving"});
+  SweepGrid grid;
+  grid.schedulers = kinds;
   double total_saving = 0;
   for (int mix = 1; mix <= 3; ++mix) {
-    const auto reports =
-        run_scheduler_sweep(bench::bench_config(mix, kinds[0]), kinds);
-    const double uniform = reports[3].energy_joules;
+    const auto results = run_sweep(bench::bench_config(mix, kinds[0]), grid);
+    const double uniform = results[3].report.energy_joules;
     const double saving =
-        100.0 * (uniform - reports[2].energy_joules) / uniform;
+        100.0 * (uniform - results[2].report.energy_joules) / uniform;
     total_saving += saving;
-    table.row({std::to_string(mix), fmt(reports[0].energy_joules / uniform, 2),
-               fmt(reports[1].energy_joules / uniform, 2),
-               fmt(reports[2].energy_joules / uniform, 2), "1.00",
+    table.row({std::to_string(mix),
+               fmt(results[0].report.energy_joules / uniform, 2),
+               fmt(results[1].report.energy_joules / uniform, 2),
+               fmt(results[2].report.energy_joules / uniform, 2), "1.00",
                fmt(saving, 0) + "%"});
   }
   table.print(std::cout);

@@ -3,6 +3,7 @@
 //
 //   knots_ctl run --mix 1 --scheduler PP --duration 300 [--nodes 10]
 //                 [--gpus 1] [--seed 42] [--csv out.csv]
+//                 [--crash-node N@T[:D]]          # fault injection
 //   knots_ctl sweep --mix 1 --duration 300        # all four schedulers
 //   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]
 //   knots_ctl list                                 # schedulers & mixes
@@ -34,24 +35,42 @@ std::map<std::string, std::string> parse_flags(int argc, char** argv,
 
 ExperimentConfig config_from_flags(
     const std::map<std::string, std::string>& flags) {
-  const int mix = flags.count("mix") ? std::atoi(flags.at("mix").c_str()) : 1;
-  const auto kind = sched::scheduler_from_name(
-      flags.count("scheduler") ? flags.at("scheduler") : "PP");
-  ExperimentConfig cfg = default_experiment(mix, kind);
+  ExperimentConfig::Builder builder;
+  if (flags.count("mix")) builder.mix(std::atoi(flags.at("mix").c_str()));
+  builder.scheduler(sched::scheduler_from_name(
+      flags.count("scheduler") ? flags.at("scheduler") : "PP"));
   if (flags.count("duration")) {
-    cfg.workload.duration = std::atoi(flags.at("duration").c_str()) * kSec;
+    builder.duration(std::atoi(flags.at("duration").c_str()) * kSec);
   }
   if (flags.count("nodes")) {
-    cfg.cluster.nodes = std::atoi(flags.at("nodes").c_str());
+    builder.nodes(std::atoi(flags.at("nodes").c_str()));
   }
   if (flags.count("gpus")) {
-    cfg.cluster.gpus_per_node = std::atoi(flags.at("gpus").c_str());
+    builder.gpus_per_node(std::atoi(flags.at("gpus").c_str()));
   }
   if (flags.count("seed")) {
-    cfg.seed = static_cast<std::uint64_t>(
-        std::atoll(flags.at("seed").c_str()));
+    builder.seed(static_cast<std::uint64_t>(
+        std::atoll(flags.at("seed").c_str())));
   }
-  return cfg;
+  if (flags.count("crash-node")) {
+    // --crash-node N@T[:D] — node N dies at T seconds, down D seconds
+    // (omitted D = forever). A minimal chaos knob for the CLI.
+    const std::string& spec = flags.at("crash-node");
+    const auto at_pos = spec.find('@');
+    const int node = std::atoi(spec.substr(0, at_pos).c_str());
+    SimTime at = 0;
+    SimTime down_for = 0;
+    if (at_pos != std::string::npos) {
+      const std::string rest = spec.substr(at_pos + 1);
+      const auto colon = rest.find(':');
+      at = std::atoi(rest.substr(0, colon).c_str()) * kSec;
+      if (colon != std::string::npos) {
+        down_for = std::atoi(rest.substr(colon + 1).c_str()) * kSec;
+      }
+    }
+    builder.faults(fault::FaultPlan{}.node_crash(NodeId{node}, at, down_for));
+  }
+  return builder.build();
 }
 
 void print_report(const ExperimentReport& r) {
@@ -63,6 +82,10 @@ void print_report(const ExperimentReport& r) {
   table.row({"queries", std::to_string(r.queries)});
   table.row({"QoS violations/kilo", fmt(r.violations_per_kilo, 1)});
   table.row({"crashes", std::to_string(r.crashes)});
+  if (r.node_crashes > 0 || r.pods_evicted > 0) {
+    table.row({"node crashes", std::to_string(r.node_crashes)});
+    table.row({"pods evicted", std::to_string(r.pods_evicted)});
+  }
   table.row({"util p50 %", fmt(r.cluster_wide.p50, 1)});
   table.row({"util p99 %", fmt(r.cluster_wide.p99, 1)});
   table.row({"LC p50 / p99 ms",
@@ -100,15 +123,19 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto base = config_from_flags(flags);
   const std::vector<sched::SchedulerKind> kinds(sched::kAllSchedulers.begin(),
                                                 sched::kAllSchedulers.end());
-  const auto reports = run_scheduler_sweep(base, kinds);
+  SweepGrid grid;
+  grid.schedulers = kinds;
+  const auto results = run_sweep(base, grid);
   TablePrinter table("Scheduler sweep, app-mix-" +
                      std::to_string(base.mix_id));
-  table.columns({"scheduler", "viol/kilo", "crashes", "util p50%",
-                 "energy kJ", "mean JCT s"});
-  for (const auto& r : reports) {
+  table.columns({"scheduler", "viol/kilo", "crashes", "evictions",
+                 "util p50%", "energy kJ", "mean JCT s"});
+  for (const auto& result : results) {
+    const auto& r = result.report;
     table.row({r.scheduler, fmt(r.violations_per_kilo, 1),
-               std::to_string(r.crashes), fmt(r.cluster_wide.p50, 1),
-               fmt(r.energy_joules / 1000, 0), fmt(r.mean_jct_s, 1)});
+               std::to_string(r.crashes), std::to_string(r.pods_evicted),
+               fmt(r.cluster_wide.p50, 1), fmt(r.energy_joules / 1000, 0),
+               fmt(r.mean_jct_s, 1)});
   }
   table.print(std::cout);
   return 0;

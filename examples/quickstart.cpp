@@ -14,9 +14,10 @@ int main(int argc, char** argv) {
   const int mix_id = argc > 1 ? std::atoi(argv[1]) : 1;
   const int duration_s = argc > 2 ? std::atoi(argv[2]) : 300;
 
-  knots::ExperimentConfig base = knots::default_experiment(
-      mix_id, knots::sched::SchedulerKind::kPeakPrediction);
-  base.workload.duration = duration_s * knots::kSec;
+  const knots::ExperimentConfig base = knots::ExperimentConfig::Builder{}
+                                           .mix(mix_id)
+                                           .duration(duration_s * knots::kSec)
+                                           .build();
 
   std::cout << "Kube-Knots quickstart: app-mix-" << mix_id << ", "
             << duration_s << "s arrival window, 10x P100 cluster\n";
@@ -27,14 +28,17 @@ int main(int argc, char** argv) {
       knots::sched::SchedulerKind::kCbp,
       knots::sched::SchedulerKind::kPeakPrediction,
   };
-  const auto reports = knots::run_scheduler_sweep(base, kinds);
+  knots::SweepGrid grid;
+  grid.schedulers = kinds;
+  const auto results = knots::run_sweep(base, grid);
 
   knots::TablePrinter table("Scheduler comparison (app-mix-" +
                             std::to_string(mix_id) + ")");
   table.columns({"scheduler", "util p50%", "util p99%", "QoS viol/kilo",
                  "queries", "crashes", "energy kJ", "mean JCT s",
                  "completed"});
-  for (const auto& r : reports) {
+  for (const auto& result : results) {
+    const auto& r = result.report;
     table.row({r.scheduler, knots::fmt(r.cluster_wide.p50, 1),
                knots::fmt(r.cluster_wide.p99, 1),
                knots::fmt(r.violations_per_kilo, 1),

@@ -31,6 +31,15 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
   }
   metrics_ = std::make_unique<MetricsCollector>(gpu_index_.size());
   gpu_last_busy_.assign(gpu_index_.size(), 0);
+  injector_ = std::make_unique<fault::FaultInjector>(nodes_.size());
+  gpu_stale_.assign(gpu_index_.size(), false);
+  aggregator_.set_staleness_horizon(
+      static_cast<SimTime>(config_.stale_after_heartbeats) * config_.tick);
+}
+
+void Cluster::set_fault_plan(fault::FaultPlan plan) {
+  plan.validate(config_.nodes);
+  fault_plan_ = std::move(plan);
 }
 
 void Cluster::load(std::vector<workload::PodSpec> specs) {
@@ -50,6 +59,11 @@ void Cluster::load(std::vector<workload::PodSpec> specs) {
 }
 
 void Cluster::run() {
+  // Fault events land before the tick at the same timestamp: the scheduler
+  // sees a consistent post-fault world in its next round.
+  for (const fault::FaultEvent& event : fault_plan_.events) {
+    sim_.schedule_at(event.at, [this, event] { apply_fault(event); });
+  }
   const SimTime deadline = last_arrival_ + config_.drain_grace;
   sim::schedule_periodic(sim_, config_.tick, config_.tick,
                          [this, deadline](SimTime now) {
@@ -90,18 +104,28 @@ std::size_t Cluster::gpu_dense_index(GpuId id) const {
   return static_cast<std::size_t>(id.value);
 }
 
+NodeId Cluster::node_of_gpu(GpuId id) const {
+  const auto [n, g] = gpu_index_.at(static_cast<std::size_t>(id.value));
+  return nodes_[n]->id();
+}
+
+NodeHealth Cluster::node_health(NodeId id) const {
+  return injector_->node_down(id) ? NodeHealth::kDown : NodeHealth::kHealthy;
+}
+
 bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   auto& p = *pods_.at(static_cast<std::size_t>(id.value));
   if (p.state() != PodState::kPending) return false;
   auto it = std::find(pending_.begin(), pending_.end(), id);
   if (it == pending_.end()) return false;
 
+  const auto [node_idx, gpu_in_node] =
+      gpu_index_.at(static_cast<std::size_t>(gpu_id.value));
+  if (!nodes_[node_idx]->online()) return false;
   auto& dev = device(gpu_id);
   if (!dev.attach(id, provisioned_mb)) return false;
   pending_.erase(it);
 
-  const auto [node_idx, gpu_in_node] =
-      gpu_index_[static_cast<std::size_t>(gpu_id.value)];
   const auto cache_key = std::make_pair(node_idx, p.spec().app);
   // Inference services are long-lived deployments whose images are
   // pre-pulled (§V-B: only the first-ever query pays the docker pull);
@@ -129,11 +153,45 @@ bool Cluster::resize_pod(PodId id, double provisioned_mb) {
 }
 
 bool Cluster::park(GpuId id) {
+  const auto [node_idx, gpu_in_node] =
+      gpu_index_.at(static_cast<std::size_t>(id.value));
+  if (!nodes_[node_idx]->online()) return false;
   auto& dev = device(id);
   if (dev.totals().residents > 0) return false;
   dev.set_parked(true);
   for (auto* o : observers_) o->on_park(*this, id);
   return true;
+}
+
+void Cluster::evict_node(NodeId id) {
+  auto& node = *nodes_.at(static_cast<std::size_t>(id.value));
+  std::uint64_t evicted = 0;
+  for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+    auto& dev = node.gpu(g);
+    for (PodId pod_id : dev.resident_pods()) {
+      auto& p = *pods_[static_cast<std::size_t>(pod_id.value)];
+      dev.detach(pod_id);
+      p.evict(now());
+      ++evicted;
+      for (auto* o : observers_) o->on_evict(*this, pod_id, id);
+      sim_.schedule_after(config_.evict_relaunch_delay, [this, pod_id] {
+        auto& pod_ref = *pods_[static_cast<std::size_t>(pod_id.value)];
+        pod_ref.requeue();
+        pending_.push_back(pod_id);
+        for (auto* o : observers_) o->on_requeue(*this, pod_id);
+      });
+    }
+  }
+  std::erase_if(active_, [this](PodId pid) {
+    return pods_[static_cast<std::size_t>(pid.value)]->state() ==
+           PodState::kEvicted;
+  });
+  // Images die with the node: after recovery, pulls cold-start again.
+  const auto node_idx = static_cast<std::size_t>(id.value);
+  std::erase_if(image_cache_, [node_idx](const auto& key) {
+    return key.first == node_idx;
+  });
+  injector_->note_evictions(evicted);
 }
 
 void Cluster::add_observer(ClusterObserver* observer) {
@@ -142,6 +200,91 @@ void Cluster::add_observer(ClusterObserver* observer) {
 }
 
 void Cluster::on_arrival(PodId id) { pending_.push_back(id); }
+
+SchedulingContext Cluster::make_context() {
+  return SchedulingContext{*this,          now(),          pending_,
+                           aggregator_,    profile_store_, fault_feed_};
+}
+
+void Cluster::apply_fault(const fault::FaultEvent& event) {
+  const auto node_idx = static_cast<std::size_t>(event.node.value);
+  switch (event.kind) {
+    case fault::FaultKind::kNodeCrash: {
+      // A crash while already down (overlapping random-plan intervals) is
+      // absorbed by the outstanding outage.
+      if (injector_->node_down(event.node)) return;
+      injector_->note_node_down(event.node);
+      nodes_[node_idx]->set_online(false);
+      evict_node(event.node);
+      fault_feed_.push_back(
+          {now(), fault::FaultKind::kNodeCrash, event.node, false});
+      for (auto* o : observers_) o->on_node_down(*this, event.node);
+      SchedulingContext ctx = make_context();
+      scheduler_->on_node_down(ctx, event.node);
+      if (event.duration > 0) {
+        sim_.schedule_after(event.duration,
+                            [this, node = event.node] { recover_node(node); });
+      }
+      break;
+    }
+    case fault::FaultKind::kGpuEccDegrade: {
+      auto& node = *nodes_[node_idx];
+      for (std::size_t g = 0; g < node.gpu_count(); ++g) {
+        node.gpu(g).retire_memory_mb(event.severity);
+      }
+      injector_->note_ecc_degrade(event.node);
+      fault_feed_.push_back(
+          {now(), fault::FaultKind::kGpuEccDegrade, event.node, false});
+      break;
+    }
+    case fault::FaultKind::kHeartbeatLoss: {
+      injector_->note_heartbeat_gap(event.node, event.at + event.duration);
+      fault_feed_.push_back(
+          {now(), fault::FaultKind::kHeartbeatLoss, event.node, false});
+      sim_.schedule_after(event.duration, [this, node = event.node] {
+        if (!injector_->heartbeat_muted(node, now())) {
+          fault_feed_.push_back(
+              {now(), fault::FaultKind::kHeartbeatLoss, node, true});
+        }
+      });
+      break;
+    }
+    case fault::FaultKind::kPcieStall: {
+      injector_->note_pcie_stall(event.node, now(), event.at + event.duration,
+                                 event.severity);
+      fault_feed_.push_back(
+          {now(), fault::FaultKind::kPcieStall, event.node, false});
+      sim_.schedule_after(event.duration, [this, node = event.node] {
+        if (injector_->pcie_slowdown(node, now()) == 1.0) {
+          fault_feed_.push_back(
+              {now(), fault::FaultKind::kPcieStall, node, true});
+        }
+      });
+      break;
+    }
+  }
+}
+
+void Cluster::recover_node(NodeId id) {
+  injector_->note_node_up(id);
+  nodes_[static_cast<std::size_t>(id.value)]->set_online(true);
+  fault_feed_.push_back({now(), fault::FaultKind::kNodeCrash, id, true});
+  for (auto* o : observers_) o->on_node_up(*this, id);
+  SchedulingContext ctx = make_context();
+  scheduler_->on_node_up(ctx, id);
+}
+
+void Cluster::detect_stale_transitions(SchedulingContext& ctx) {
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    const GpuId gpu{static_cast<std::int32_t>(i)};
+    const bool is_stale = aggregator_.stale(gpu);
+    if (is_stale && !gpu_stale_[i]) {
+      injector_->note_stale_transition();
+      scheduler_->on_telemetry_stale(ctx, gpu);
+    }
+    gpu_stale_[i] = is_stale;
+  }
+}
 
 gpu::Usage Cluster::jittered(const gpu::Usage& usage, Rng& rng) const {
   if (config_.usage_jitter <= 0) return usage;
@@ -160,8 +303,13 @@ void Cluster::advance_running_pods() {
   // progress and usage are applied; violations crash the grown pod.
   std::vector<double> slowdown(gpu_index_.size(), 1.0);
   std::vector<double> batch_sm(gpu_index_.size(), 0.0);
+  const bool faults_live = injector_->any_effects();
   for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
     slowdown[i] = device(GpuId{static_cast<std::int32_t>(i)}).slowdown();
+    if (faults_live) {
+      slowdown[i] *= injector_->pcie_slowdown(nodes_[gpu_index_[i].first]->id(),
+                                              now());
+    }
   }
   for (PodId id : active_) {
     const auto& p = *pods_[static_cast<std::size_t>(id.value)];
@@ -288,6 +436,7 @@ void Cluster::sample_figure_metrics() {
 void Cluster::maybe_park_idle_gpus() {
   if (!scheduler_->parks_idle_gpus()) return;
   for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    if (!nodes_[gpu_index_[i].first]->online()) continue;
     auto& dev = device(GpuId{static_cast<std::int32_t>(i)});
     if (!dev.parked() && dev.totals().residents == 0 &&
         now() - gpu_last_busy_[i] >= config_.idle_park_after) {
@@ -307,8 +456,22 @@ void Cluster::tick() {
   ++ticks_;
   advance_running_pods();
   start_ready_pods();
-  for (auto& sampler : samplers_) sampler.sample(now());
-  scheduler_->on_tick(*this);
+  if (injector_->any_effects()) {
+    // Down or heartbeat-muted nodes stop reporting; their series age toward
+    // the staleness horizon while last-known-good values persist.
+    for (std::size_t n = 0; n < samplers_.size(); ++n) {
+      if (!injector_->heartbeat_muted(nodes_[n]->id(), now())) {
+        samplers_[n].sample(now());
+      }
+    }
+  } else {
+    for (auto& sampler : samplers_) sampler.sample(now());
+  }
+  aggregator_.begin_tick(now());
+  SchedulingContext ctx = make_context();
+  if (injector_->any_effects()) detect_stale_transitions(ctx);
+  scheduler_->on_schedule(ctx);
+  fault_feed_.clear();
   maybe_park_idle_gpus();
 
   // Energy integrates every tick; figure metrics sample at 1 s cadence.

@@ -22,6 +22,8 @@
 #include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
 #include "core/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "gpu/gpu_node.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/aggregator.hpp"
@@ -39,6 +41,12 @@ struct ClusterConfig {
   SimTime cold_start = 2 * kSec;      ///< First image pull on a node (§V-B).
   SimTime warm_start = 25 * kMsec;    ///< Cached-image container launch.
   SimTime relaunch_delay = 3 * kSec;  ///< Crash → rejoin pending queue.
+  /// Node-death eviction → rejoin pending queue. Longer than the crash
+  /// relaunch delay: kubelet must notice the node is gone before pods are
+  /// rescheduled.
+  SimTime evict_relaunch_delay = 5 * kSec;
+  /// Missed heartbeats before the aggregator marks a GPU's series stale.
+  int stale_after_heartbeats = 5;
   SimTime idle_park_after = 15 * kSec;///< Idle time before deep sleep.
   SimTime drain_grace = 30 * kMinute; ///< Max drain time past last arrival.
   double usage_jitter = 0.02;         ///< Run-to-run usage noise (fraction).
@@ -51,12 +59,19 @@ struct ClusterConfig {
   std::uint64_t seed = 42;
 };
 
+enum class NodeHealth { kHealthy, kDown };
+
 class Cluster {
  public:
   Cluster(const ClusterConfig& config, Scheduler& scheduler);
 
   /// Registers the workload; call once before run().
   void load(std::vector<workload::PodSpec> specs);
+
+  /// Installs a fault schedule (validated against the topology); call
+  /// before run(). Every event is replayed on the discrete-event engine, so
+  /// identical (config, seed, plan) runs are bit-identical.
+  void set_fault_plan(fault::FaultPlan plan);
 
   /// Runs to completion (all pods terminal) or the drain-grace deadline.
   void run();
@@ -88,6 +103,17 @@ class Cluster {
   /// Dense index of a GPU (0..gpu_count), for metrics addressing.
   [[nodiscard]] std::size_t gpu_dense_index(GpuId id) const;
 
+  // ---- Fault/health API ----
+  [[nodiscard]] int node_count() const noexcept { return config_.nodes; }
+  [[nodiscard]] NodeId node_of_gpu(GpuId id) const;
+  [[nodiscard]] NodeHealth node_health(NodeId id) const;
+  [[nodiscard]] const fault::FaultStats& fault_stats() const noexcept {
+    return injector_->stats();
+  }
+  [[nodiscard]] const fault::FaultPlan& fault_plan() const noexcept {
+    return fault_plan_;
+  }
+
   // ---- Mutation API (schedulers) ----
   /// Places a pending pod on a GPU with the given container allocation.
   /// Removes it from the pending queue; start latency depends on whether the
@@ -99,8 +125,14 @@ class Cluster {
   /// new size is below current usage.
   bool resize_pod(PodId id, double provisioned_mb);
 
-  /// Parks an empty GPU into deep sleep; fails when occupied.
+  /// Parks an empty GPU into deep sleep; fails when occupied or on a dead
+  /// node.
   bool park(GpuId id);
+
+  /// Drains a node for a crash: evicts every resident pod back to pending
+  /// (after the eviction relaunch delay) and forgets the node's image
+  /// cache. Also usable directly for graceful-drain experiments.
+  void evict_node(NodeId id);
 
   // ---- Observation API (verification layer) ----
   /// Registers a passive observer notified on every lifecycle edge and at
@@ -117,6 +149,10 @@ class Cluster {
   void crash_pod(Pod& pod);
   void sample_figure_metrics();
   void maybe_park_idle_gpus();
+  [[nodiscard]] SchedulingContext make_context();
+  void apply_fault(const fault::FaultEvent& event);
+  void recover_node(NodeId id);
+  void detect_stale_transitions(SchedulingContext& ctx);
   [[nodiscard]] bool all_terminal() const;
   [[nodiscard]] gpu::Usage jittered(const gpu::Usage& usage, Rng& rng) const;
 
@@ -140,6 +176,10 @@ class Cluster {
   std::set<std::pair<std::size_t, std::string>> image_cache_;
   std::vector<SimTime> gpu_last_busy_;
   std::vector<ClusterObserver*> observers_;
+  fault::FaultPlan fault_plan_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<fault::FaultNotice> fault_feed_;
+  std::vector<bool> gpu_stale_;  ///< Previous-tick staleness, for edges.
   SimTime last_arrival_ = 0;
   std::size_t completed_ = 0;
   std::uint64_t pod_rng_counter_ = 0;

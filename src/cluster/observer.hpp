@@ -28,8 +28,19 @@ class ClusterObserver {
   /// A pod tripped a capacity violation and was evicted from its GPU.
   virtual void on_crash(const Cluster& /*cluster*/, PodId /*pod*/) {}
 
-  /// A crashed pod re-entered the pending queue after the relaunch delay.
+  /// A crashed/evicted pod re-entered the pending queue after its delay.
   virtual void on_requeue(const Cluster& /*cluster*/, PodId /*pod*/) {}
+
+  /// A pod was evicted from a dying node (fault path, not a capacity
+  /// violation); it re-enters pending after the eviction relaunch delay.
+  virtual void on_evict(const Cluster& /*cluster*/, PodId /*pod*/,
+                        NodeId /*node*/) {}
+
+  /// A worker node crashed; its residents were evicted first.
+  virtual void on_node_down(const Cluster& /*cluster*/, NodeId /*node*/) {}
+
+  /// A crashed worker node recovered.
+  virtual void on_node_up(const Cluster& /*cluster*/, NodeId /*node*/) {}
 
   /// A pod executed its full profile and left the cluster.
   virtual void on_complete(const Cluster& /*cluster*/, PodId /*pod*/) {}

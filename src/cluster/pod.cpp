@@ -13,6 +13,7 @@ std::string_view to_string(PodState s) noexcept {
     case PodState::kRunning: return "running";
     case PodState::kCompleted: return "completed";
     case PodState::kCrashed: return "crashed";
+    case PodState::kEvicted: return "evicted";
   }
   return "unknown";
 }
@@ -77,8 +78,18 @@ void Pod::crash(SimTime now) {
   completion_ = now;  // Transient; overwritten on eventual completion.
 }
 
+void Pod::evict(SimTime now) {
+  KNOTS_CHECK(state_ == PodState::kRunning || state_ == PodState::kStarting);
+  state_ = PodState::kEvicted;
+  ++evict_count_;
+  gpu_ = GpuId{};
+  provisioned_mb_ = 0;
+  app_time_ = 0;  // Containers restart from scratch.
+  completion_ = now;  // Transient; overwritten on eventual completion.
+}
+
 void Pod::requeue() {
-  KNOTS_CHECK(state_ == PodState::kCrashed);
+  KNOTS_CHECK(state_ == PodState::kCrashed || state_ == PodState::kEvicted);
   state_ = PodState::kPending;
 }
 

@@ -4,6 +4,8 @@
 //     → Completed                  (profile fully executed)
 //     → Crashed → Pending          (capacity violation; relaunch after delay,
 //                                   back of the queue, progress lost)
+//     → Evicted → Pending          (hosting node died; relaunch after the
+//                                   eviction delay, progress lost)
 #pragma once
 
 #include <string_view>
@@ -13,7 +15,14 @@
 
 namespace knots::cluster {
 
-enum class PodState { kPending, kStarting, kRunning, kCompleted, kCrashed };
+enum class PodState {
+  kPending,
+  kStarting,
+  kRunning,
+  kCompleted,
+  kCrashed,
+  kEvicted,
+};
 
 std::string_view to_string(PodState s) noexcept;
 
@@ -40,6 +49,7 @@ class Pod {
   [[nodiscard]] SimTime app_time() const noexcept { return app_time_; }
   [[nodiscard]] double provisioned_mb() const noexcept { return provisioned_mb_; }
   [[nodiscard]] int crash_count() const noexcept { return crash_count_; }
+  [[nodiscard]] int evict_count() const noexcept { return evict_count_; }
   [[nodiscard]] SimTime first_start() const noexcept { return first_start_; }
   [[nodiscard]] SimTime completion() const noexcept { return completion_; }
   [[nodiscard]] SimTime running_since() const noexcept { return running_since_; }
@@ -62,7 +72,10 @@ class Pod {
   void advance(SimTime dt);
   void complete(SimTime now);
   void crash(SimTime now);
-  /// Re-enters the pending queue after a crash.
+  /// Fault-path removal from a dying node (progress lost, like a crash,
+  /// but tallied separately — the pod did nothing wrong).
+  void evict(SimTime now);
+  /// Re-enters the pending queue after a crash or eviction.
   void requeue() ;
   void set_provisioned_mb(double mb) noexcept { provisioned_mb_ = mb; }
 
@@ -77,6 +90,7 @@ class Pod {
   SimTime running_since_ = -1;
   SimTime completion_ = -1;
   int crash_count_ = 0;
+  int evict_count_ = 0;
 };
 
 }  // namespace knots::cluster

@@ -1,15 +1,43 @@
-// Scheduler plug-in interface.
+// Scheduler plug-in interface (event-driven since PR 3).
 //
-// The Cluster invokes the policy once per scheduling tick; the policy reads
-// cluster state (pending queue, telemetry aggregator, profile store) and
-// acts through Cluster::place / resize_pod / park.
+// The Cluster invokes the policy once per scheduling tick through
+// on_schedule(), handing it a SchedulingContext — a curated view of
+// everything a policy may read (pending queue, telemetry aggregator,
+// profile store, this tick's fault feed) plus the Cluster reference it
+// mutates through place / resize_pod / park. Fault transitions additionally
+// fire the optional on_node_down / on_node_up / on_telemetry_stale hooks,
+// so policies can react at the event edge instead of re-deriving health
+// from telemetry every round.
 #pragma once
 
+#include <deque>
 #include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "fault/fault_plan.hpp"
+
+namespace knots::telemetry {
+class UtilizationAggregator;
+}
 
 namespace knots::cluster {
 
 class Cluster;
+class ProfileStore;
+
+/// Everything a scheduling policy may consult in one round. Views are
+/// borrowed from the Cluster and valid only for the duration of the call.
+struct SchedulingContext {
+  Cluster& cluster;
+  SimTime now;
+  const std::deque<PodId>& pending;
+  const telemetry::UtilizationAggregator& aggregator;
+  const ProfileStore& profiles;
+  /// Fault transitions applied since the previous scheduling round,
+  /// oldest-first (empty on every tick of a fault-free run).
+  const std::vector<fault::FaultNotice>& fault_feed;
+};
 
 class Scheduler {
  public:
@@ -18,7 +46,17 @@ class Scheduler {
   [[nodiscard]] virtual std::string name() const = 0;
 
   /// One scheduling round. Called after pod progress/telemetry updates.
-  virtual void on_tick(Cluster& cluster) = 0;
+  virtual void on_schedule(SchedulingContext& ctx) = 0;
+
+  // -- Optional fault hooks (default: no reaction) --
+  /// A worker node died; its pods are already evicted back to pending.
+  virtual void on_node_down(SchedulingContext& /*ctx*/, NodeId /*node*/) {}
+  /// A crashed node recovered and may host pods again.
+  virtual void on_node_up(SchedulingContext& /*ctx*/, NodeId /*node*/) {}
+  /// A GPU's telemetry series crossed the staleness horizon (K missed
+  /// heartbeats); its aggregator view is last-known-good, not current.
+  virtual void on_telemetry_stale(SchedulingContext& /*ctx*/,
+                                  GpuId /*gpu*/) {}
 
   /// Policies that consolidate may let the cluster park long-idle GPUs into
   /// deep sleep (p-state 12).

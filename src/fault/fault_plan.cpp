@@ -1,0 +1,128 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+
+#include "core/check.hpp"
+#include "core/rng.hpp"
+
+namespace knots::fault {
+
+std::string_view to_string(FaultKind kind) noexcept {
+  switch (kind) {
+    case FaultKind::kNodeCrash: return "node-crash";
+    case FaultKind::kGpuEccDegrade: return "gpu-ecc-degrade";
+    case FaultKind::kHeartbeatLoss: return "heartbeat-loss";
+    case FaultKind::kPcieStall: return "pcie-stall";
+  }
+  return "unknown";
+}
+
+FaultPlan& FaultPlan::node_crash(NodeId node, SimTime at, SimTime down_for) {
+  events.push_back({FaultKind::kNodeCrash, node, at, down_for, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::gpu_ecc_degrade(NodeId node, SimTime at,
+                                      double retired_mb) {
+  events.push_back({FaultKind::kGpuEccDegrade, node, at, 0, retired_mb});
+  return *this;
+}
+
+FaultPlan& FaultPlan::heartbeat_loss(NodeId node, SimTime at, SimTime gap) {
+  events.push_back({FaultKind::kHeartbeatLoss, node, at, gap, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::pcie_stall(NodeId node, SimTime at, SimTime stall_for,
+                                 double slowdown) {
+  events.push_back({FaultKind::kPcieStall, node, at, stall_for, slowdown});
+  return *this;
+}
+
+void FaultPlan::validate(int node_count) const {
+  for (const FaultEvent& ev : events) {
+    KNOTS_CHECK_MSG(ev.node.valid() && ev.node.value < node_count,
+                    "fault event targets a node outside the cluster");
+    KNOTS_CHECK_MSG(ev.at >= 0, "fault event scheduled before t=0");
+    KNOTS_CHECK_MSG(ev.duration >= 0, "negative fault duration");
+    switch (ev.kind) {
+      case FaultKind::kGpuEccDegrade:
+        KNOTS_CHECK_MSG(ev.severity > 0, "ECC degrade must retire memory");
+        break;
+      case FaultKind::kPcieStall:
+        KNOTS_CHECK_MSG(ev.severity >= 1.0,
+                        "PCIe stall slowdown must be >= 1");
+        KNOTS_CHECK_MSG(ev.duration > 0, "PCIe stall needs a duration");
+        break;
+      case FaultKind::kHeartbeatLoss:
+        KNOTS_CHECK_MSG(ev.duration > 0, "heartbeat gap needs a duration");
+        break;
+      case FaultKind::kNodeCrash:
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Appends Poisson arrivals of one fault class over [0, horizon).
+template <typename Append>
+void sample_arrivals(Rng& rng, double rate_per_min, SimTime horizon,
+                     Append&& append) {
+  if (rate_per_min <= 0) return;
+  const double mean_gap_s = 60.0 / rate_per_min;
+  SimTime t = from_seconds(rng.exponential(mean_gap_s));
+  while (t < horizon) {
+    append(t);
+    t += std::max<SimTime>(1, from_seconds(rng.exponential(mean_gap_s)));
+  }
+}
+
+}  // namespace
+
+FaultPlan random_plan(const RandomFaultSpec& spec, int nodes, SimTime horizon,
+                      std::uint64_t seed) {
+  KNOTS_CHECK(nodes > 0 && horizon > 0);
+  FaultPlan plan;
+  Rng rng(seed);
+  // One independent stream per fault class so tuning one rate never
+  // perturbs the arrivals of another.
+  Rng crash_rng = rng.fork(1);
+  sample_arrivals(crash_rng, spec.node_crash_rate_per_min, horizon,
+                  [&](SimTime t) {
+                    const NodeId node{static_cast<std::int32_t>(
+                        crash_rng.uniform_int(0, nodes - 1))};
+                    const auto down = std::max<SimTime>(
+                        kSec, from_seconds(crash_rng.exponential(
+                                  to_seconds(spec.mean_downtime))));
+                    plan.node_crash(node, t, down);
+                  });
+  Rng gap_rng = rng.fork(2);
+  sample_arrivals(gap_rng, spec.heartbeat_loss_rate_per_min, horizon,
+                  [&](SimTime t) {
+                    const NodeId node{static_cast<std::int32_t>(
+                        gap_rng.uniform_int(0, nodes - 1))};
+                    const auto gap = std::max<SimTime>(
+                        100 * kMsec, from_seconds(gap_rng.exponential(
+                                         to_seconds(spec.mean_gap))));
+                    plan.heartbeat_loss(node, t, gap);
+                  });
+  Rng stall_rng = rng.fork(3);
+  sample_arrivals(stall_rng, spec.pcie_stall_rate_per_min, horizon,
+                  [&](SimTime t) {
+                    const NodeId node{static_cast<std::int32_t>(
+                        stall_rng.uniform_int(0, nodes - 1))};
+                    const auto stall = std::max<SimTime>(
+                        100 * kMsec, from_seconds(stall_rng.exponential(
+                                         to_seconds(spec.mean_stall))));
+                    plan.pcie_stall(node, t, stall, spec.stall_slowdown);
+                  });
+  // Deterministic event order regardless of which class sampled first.
+  std::stable_sort(plan.events.begin(), plan.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  return plan;
+}
+
+}  // namespace knots::fault

@@ -1,0 +1,102 @@
+// Deterministic fault-injection plans.
+//
+// A FaultPlan is a seed-free, fully explicit list of fault events against
+// simulated time: which node fails, when, for how long, and how badly. The
+// cluster schedules every event on its discrete-event engine, so two runs
+// with identical (config, seed, plan) replay identically — faults are part
+// of the experiment, not noise on top of it.
+//
+// Event taxonomy (DESIGN.md §7):
+//   kNodeCrash      — the worker node dies: every resident pod is evicted
+//                     back to pending (relaunch penalty), telemetry stops,
+//                     power drops to zero; recovers after `duration`
+//                     (0 = never).
+//   kGpuEccDegrade  — sticky double-bit ECC errors retire `severity` MB of
+//                     device memory on every GPU of the node, permanently
+//                     shrinking usable capacity.
+//   kHeartbeatLoss  — the node keeps running but its telemetry heartbeats
+//                     are dropped for `duration`; after K missed beats the
+//                     aggregator marks the series stale.
+//   kPcieStall      — transient PCIe degradation: progress of the node's
+//                     residents is slowed by factor `severity` for
+//                     `duration`.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace knots::fault {
+
+enum class FaultKind {
+  kNodeCrash,
+  kGpuEccDegrade,
+  kHeartbeatLoss,
+  kPcieStall,
+};
+
+std::string_view to_string(FaultKind kind) noexcept;
+
+/// One planned fault against a node.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node{};
+  SimTime at = 0;        ///< Injection time.
+  SimTime duration = 0;  ///< Crash/gap/stall length; 0 = permanent.
+  double severity = 0.0; ///< ECC: retired MB per GPU; PCIe: slowdown >= 1.
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+/// An applied fault transition, as surfaced to schedulers through the
+/// SchedulingContext fault feed. `cleared` marks the recovery edge of a
+/// transient fault (node back up, heartbeats resumed, stall over).
+struct FaultNotice {
+  SimTime time = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node{};
+  bool cleared = false;
+
+  bool operator==(const FaultNotice&) const = default;
+};
+
+/// Explicit fault schedule. Fluent builders append events; the cluster
+/// validates targets against its topology when the plan is installed.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  [[nodiscard]] bool empty() const noexcept { return events.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events.size(); }
+
+  FaultPlan& node_crash(NodeId node, SimTime at, SimTime down_for = 0);
+  FaultPlan& gpu_ecc_degrade(NodeId node, SimTime at, double retired_mb);
+  FaultPlan& heartbeat_loss(NodeId node, SimTime at, SimTime gap);
+  FaultPlan& pcie_stall(NodeId node, SimTime at, SimTime stall_for,
+                        double slowdown);
+
+  /// Aborts (KNOTS_CHECK) when an event targets a node outside
+  /// [0, node_count), has a negative time, or carries a nonsense severity.
+  void validate(int node_count) const;
+
+  bool operator==(const FaultPlan&) const = default;
+};
+
+/// Knobs for seed-driven random plan generation (chaos-monkey harness).
+struct RandomFaultSpec {
+  double node_crash_rate_per_min = 0.0;
+  double heartbeat_loss_rate_per_min = 0.0;
+  double pcie_stall_rate_per_min = 0.0;
+  SimTime mean_downtime = 20 * kSec;
+  SimTime mean_gap = 5 * kSec;
+  SimTime mean_stall = 2 * kSec;
+  double stall_slowdown = 4.0;
+};
+
+/// Samples a plan over [0, horizon): Poisson arrivals per fault class,
+/// uniform node targets, exponential durations. Deterministic in `seed`.
+[[nodiscard]] FaultPlan random_plan(const RandomFaultSpec& spec, int nodes,
+                                    SimTime horizon, std::uint64_t seed);
+
+}  // namespace knots::fault

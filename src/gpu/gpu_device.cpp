@@ -41,9 +41,15 @@ bool GpuDevice::set_usage(PodId pod, const Usage& usage) {
   KNOTS_CHECK_MSG(it != usages_.end(), "set_usage on non-resident pod");
   it->second = usage;
   recompute_totals();
-  // Space-shared memory: violation when *usage* exceeds the physical device,
-  // regardless of what allocations promised (overcommitting schedulers).
-  return totals_.memory_used_mb <= spec_.memory_mb;
+  // Space-shared memory: violation when *usage* exceeds the usable device
+  // (physical capacity minus ECC-retired pages), regardless of what
+  // allocations promised (overcommitting schedulers).
+  return totals_.memory_used_mb <= effective_memory_mb();
+}
+
+void GpuDevice::retire_memory_mb(double mb) {
+  KNOTS_CHECK(mb >= 0);
+  ecc_retired_mb_ = std::min(ecc_retired_mb_ + mb, spec_.memory_mb - 1.0);
 }
 
 std::optional<double> GpuDevice::provisioned_mb(PodId pod) const {

@@ -64,9 +64,9 @@ class GpuDevice {
   [[nodiscard]] bool attach(PodId pod, double provisioned_mb);
 
   /// True when an extra allocation of `mb` keeps total claims within the
-  /// physical device (what CBP/PP check before placement).
+  /// usable device (what CBP/PP check before placement).
   [[nodiscard]] bool provision_fits(double mb) const noexcept {
-    return totals_.memory_provisioned_mb + mb <= spec_.memory_mb;
+    return totals_.memory_provisioned_mb + mb <= effective_memory_mb();
   }
 
   /// Removes a pod; its usage and allocation are released.
@@ -89,8 +89,24 @@ class GpuDevice {
 
   [[nodiscard]] GpuTotals totals() const noexcept { return totals_; }
   [[nodiscard]] double free_provision_mb() const noexcept {
-    return spec_.memory_mb - totals_.memory_provisioned_mb;
+    return effective_memory_mb() - totals_.memory_provisioned_mb;
   }
+
+  // -- ECC error state (knots::fault GpuEccDegrade) --
+  /// Usable capacity: physical memory minus pages retired by sticky ECC
+  /// errors. Capacity violations and provisioning both bound against this.
+  [[nodiscard]] double effective_memory_mb() const noexcept {
+    return spec_.memory_mb - ecc_retired_mb_;
+  }
+  [[nodiscard]] double ecc_retired_mb() const noexcept {
+    return ecc_retired_mb_;
+  }
+  [[nodiscard]] bool ecc_degraded() const noexcept {
+    return ecc_retired_mb_ > 0;
+  }
+  /// Retires `mb` of device memory (sticky double-bit errors; cumulative,
+  /// never restored). Capped so at least 1 MB stays usable.
+  void retire_memory_mb(double mb);
 
   /// Progress slowdown from SM time-sharing: max(1, aggregate demand) plus a
   /// context-switch tax that grows with the number of co-residents.
@@ -112,6 +128,7 @@ class GpuDevice {
   std::unordered_map<PodId, double> provisioned_;
   GpuTotals totals_{};
   bool parked_ = false;
+  double ecc_retired_mb_ = 0.0;
 };
 
 }  // namespace knots::gpu

@@ -15,6 +15,7 @@ GpuNode::GpuNode(NodeId id, const NodeSpec& spec, std::int32_t first_gpu_id)
 }
 
 double GpuNode::power_watts() const {
+  if (!online_) return 0.0;
   double watts = spec_.host_idle_watts;
   for (const auto& g : gpus_) watts += g->power_watts();
   return watts;

@@ -29,8 +29,13 @@ class GpuNode {
   [[nodiscard]] GpuDevice& gpu(std::size_t i) { return *gpus_[i]; }
   [[nodiscard]] const GpuDevice& gpu(std::size_t i) const { return *gpus_[i]; }
 
-  /// Node power = host floor + sum of GPU draws.
+  /// Node power = host floor + sum of GPU draws; 0 while offline.
   [[nodiscard]] double power_watts() const;
+
+  /// False while the node is crashed (knots::fault NodeCrash): it draws no
+  /// power, reports no telemetry, and hosts no pods until recovery.
+  [[nodiscard]] bool online() const noexcept { return online_; }
+  void set_online(bool online) noexcept { online_ = online; }
 
   /// Mean SM utilization across this node's GPUs, in [0,1].
   [[nodiscard]] double mean_sm_util() const;
@@ -42,6 +47,7 @@ class GpuNode {
   NodeId id_;
   NodeSpec spec_;
   std::vector<std::unique_ptr<GpuDevice>> gpus_;
+  bool online_ = true;
 };
 
 }  // namespace knots::gpu

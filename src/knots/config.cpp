@@ -1,5 +1,7 @@
 #include "knots/config.hpp"
 
+#include <utility>
+
 namespace knots {
 
 HardwareConfig hardware_config() { return HardwareConfig{}; }
@@ -15,6 +17,60 @@ ExperimentConfig default_experiment(int mix_id, sched::SchedulerKind kind) {
   cfg.workload.duration = 600 * kSec;
   cfg.workload.device_memory_mb = cfg.cluster.node_spec.gpu.memory_mb;
   return cfg;
+}
+
+ExperimentConfig::Builder::Builder()
+    : cfg_(default_experiment(1, sched::SchedulerKind::kPeakPrediction)) {}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::mix(int mix_id) {
+  cfg_.mix_id = mix_id;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::scheduler(
+    sched::SchedulerKind kind) {
+  cfg_.scheduler = kind;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::nodes(int nodes) {
+  cfg_.cluster.nodes = nodes;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::gpus_per_node(int gpus) {
+  cfg_.cluster.gpus_per_node = gpus;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::duration(
+    SimTime duration) {
+  cfg_.workload.duration = duration;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::seed(std::uint64_t seed) {
+  cfg_.seed = seed;
+  cfg_.cluster.seed = seed;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::load_scale(double scale) {
+  cfg_.workload.batch_rate_scale *= scale;
+  cfg_.workload.lc_rate_scale *= scale;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::sched_params(
+    const sched::SchedParams& params) {
+  cfg_.sched_params = params;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::faults(
+    fault::FaultPlan plan) {
+  cfg_.faults = std::move(plan);
+  return *this;
 }
 
 }  // namespace knots

@@ -46,6 +46,42 @@ struct ExperimentConfig {
   workload::LoadGenConfig workload{};
   sched::SchedParams sched_params{};
   std::uint64_t seed = 42;
+  /// Deterministic fault schedule replayed on the simulation engine; empty
+  /// (the default) reproduces the fault-free runs bit-identically.
+  fault::FaultPlan faults{};
+
+  class Builder;
+};
+
+/// Fluent construction of the common experiment knobs on top of the paper
+/// defaults:
+///
+///   auto cfg = ExperimentConfig::Builder{}
+///                  .scheduler(sched::SchedulerKind::kCbp)
+///                  .nodes(4).duration(30 * kSec).seed(7)
+///                  .faults(fault::FaultPlan{}.node_crash(NodeId{1}, 5 * kSec))
+///                  .build();
+class ExperimentConfig::Builder {
+ public:
+  /// Starts from the paper defaults (default_experiment(1, PP)).
+  Builder();
+
+  Builder& mix(int mix_id);
+  Builder& scheduler(sched::SchedulerKind kind);
+  Builder& nodes(int nodes);
+  Builder& gpus_per_node(int gpus);
+  /// Arrival-window length of the generated workload.
+  Builder& duration(SimTime duration);
+  Builder& seed(std::uint64_t seed);
+  /// Multiplies both the batch and latency-critical arrival rates.
+  Builder& load_scale(double scale);
+  Builder& sched_params(const sched::SchedParams& params);
+  Builder& faults(fault::FaultPlan plan);
+
+  [[nodiscard]] ExperimentConfig build() const { return cfg_; }
+
+ private:
+  ExperimentConfig cfg_;
 };
 
 /// Paper-default experiment: ten single-P100 worker nodes, 600 s arrival

@@ -40,6 +40,14 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   r.mean_power_watts = m.mean_power_watts();
   r.energy_joules = m.energy_joules();
   r.crashes = m.crash_count();
+  const auto& fs = cl.fault_stats();
+  r.pods_evicted = fs.pods_evicted;
+  r.node_crashes = fs.node_crashes;
+  r.node_recoveries = fs.node_recoveries;
+  r.ecc_degrades = fs.ecc_degrades;
+  r.heartbeat_gaps = fs.heartbeat_gaps;
+  r.pcie_stalls = fs.pcie_stalls;
+  r.stale_transitions = fs.stale_transitions;
   r.mean_jct_s = m.mean_batch_jct_seconds();
   constexpr double kTailPs[] = {50, 99};
   const auto jct = m.batch_jct_percentiles(kTailPs);
@@ -65,10 +73,12 @@ std::vector<SweepResult> run_sweep(const ExperimentConfig& base,
                                    std::size_t threads) {
   // Enumerate the grid up front so slot i is a fixed coordinate: workers
   // fill disjoint slots and the output order never depends on timing.
+  const std::vector<std::uint64_t> seeds =
+      grid.seeds.empty() ? std::vector<std::uint64_t>{base.seed} : grid.seeds;
   std::vector<SweepResult> results;
   results.reserve(grid.size());
   for (const auto kind : grid.schedulers) {
-    for (const auto seed : grid.seeds) {
+    for (const auto seed : seeds) {
       for (const double load : grid.load_scales) {
         SweepResult r;
         r.scheduler = kind;
@@ -89,20 +99,6 @@ std::vector<SweepResult> run_sweep(const ExperimentConfig& base,
     slot.report = run_experiment(cfg);
   });
   return results;
-}
-
-std::vector<ExperimentReport> run_scheduler_sweep(
-    const ExperimentConfig& base,
-    const std::vector<sched::SchedulerKind>& kinds) {
-  SweepGrid grid;
-  grid.schedulers = kinds;
-  grid.seeds = {base.seed};
-  grid.load_scales = {1.0};
-  auto results = run_sweep(base, grid, kinds.size());
-  std::vector<ExperimentReport> reports;
-  reports.reserve(results.size());
-  for (auto& r : results) reports.push_back(std::move(r.report));
-  return reports;
 }
 
 }  // namespace knots

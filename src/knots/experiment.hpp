@@ -2,6 +2,7 @@
 // every figure reads into a flat report.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <string>
@@ -33,6 +34,15 @@ struct ExperimentReport {
   double energy_joules = 0;
   std::size_t crashes = 0;
 
+  // -- Fault layer (knots::fault) --
+  std::uint64_t pods_evicted = 0;     ///< Node-death evictions.
+  std::uint64_t node_crashes = 0;
+  std::uint64_t node_recoveries = 0;
+  std::uint64_t ecc_degrades = 0;
+  std::uint64_t heartbeat_gaps = 0;
+  std::uint64_t pcie_stalls = 0;
+  std::uint64_t stale_transitions = 0;  ///< Fresh → stale telemetry edges.
+
   double mean_jct_s = 0, median_jct_s = 0, p99_jct_s = 0;
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;
@@ -58,14 +68,16 @@ ExperimentReport run_experiment(const ExperimentConfig& config);
 
 /// Cartesian sweep grid: every (scheduler, seed, load_scale) combination
 /// becomes one independent experiment. `load_scales` multiply the base
-/// config's batch and LC arrival-rate scales.
+/// config's batch and LC arrival-rate scales. An empty `seeds` list means
+/// "the base config's seed" — the common one-run-per-scheduler sweep.
 struct SweepGrid {
   std::vector<sched::SchedulerKind> schedulers;
-  std::vector<std::uint64_t> seeds = {42};
+  std::vector<std::uint64_t> seeds;
   std::vector<double> load_scales = {1.0};
 
   [[nodiscard]] std::size_t size() const noexcept {
-    return schedulers.size() * seeds.size() * load_scales.size();
+    return schedulers.size() * std::max<std::size_t>(1, seeds.size()) *
+           load_scales.size();
   }
 };
 
@@ -85,10 +97,5 @@ struct SweepResult {
 std::vector<SweepResult> run_sweep(const ExperimentConfig& base,
                                    const SweepGrid& grid,
                                    std::size_t threads = 0);
-
-/// Runs one configuration per scheduler kind concurrently; reports are
-/// returned in `kinds` order. Convenience wrapper over run_sweep().
-std::vector<ExperimentReport> run_scheduler_sweep(
-    const ExperimentConfig& base, const std::vector<sched::SchedulerKind>& kinds);
 
 }  // namespace knots

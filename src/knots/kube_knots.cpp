@@ -1,6 +1,7 @@
 #include "knots/kube_knots.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "core/check.hpp"
 #include "verify/invariant_checker.hpp"
@@ -30,6 +31,7 @@ KubeKnots::KubeKnots(ExperimentConfig config) : config_(std::move(config)) {
   cluster::ClusterConfig cluster_cfg = config_.cluster;
   cluster_cfg.seed = config_.seed;
   cluster_ = std::make_unique<cluster::Cluster>(cluster_cfg, *scheduler_);
+  cluster_->set_fault_plan(config_.faults);
   verifier_ = std::make_unique<verify::InvariantChecker>(
       invariant_options_for(config_.scheduler));
   digest_ = std::make_unique<verify::RunDigest>();
@@ -40,12 +42,20 @@ KubeKnots::KubeKnots(ExperimentConfig config) : config_(std::move(config)) {
 KubeKnots::~KubeKnots() = default;
 
 void KubeKnots::submit(workload::PodSpec spec) {
-  KNOTS_CHECK_MSG(!ran_, "submit after run()");
+  if (ran_) {
+    throw std::logic_error(
+        "KubeKnots::submit() called after run(); the simulation is "
+        "single-shot — build a new KubeKnots for another run");
+  }
   submitted_.push_back(std::move(spec));
 }
 
 void KubeKnots::submit_mix_workload() {
-  KNOTS_CHECK_MSG(!ran_, "submit after run()");
+  if (ran_) {
+    throw std::logic_error(
+        "KubeKnots::submit_mix_workload() called after run(); the "
+        "simulation is single-shot — build a new KubeKnots for another run");
+  }
   workload::LoadGenConfig wl = config_.workload;
   wl.device_memory_mb = config_.cluster.node_spec.gpu.memory_mb;
   auto pods = workload::generate_workload(workload::app_mix(config_.mix_id),
@@ -54,7 +64,11 @@ void KubeKnots::submit_mix_workload() {
 }
 
 ExperimentReport KubeKnots::run() {
-  KNOTS_CHECK_MSG(!ran_, "run() must be called once");
+  if (ran_) {
+    throw std::logic_error(
+        "KubeKnots::run() called twice; the simulation is single-shot — "
+        "build a new KubeKnots (same config) to replay it");
+  }
   ran_ = true;
   std::stable_sort(submitted_.begin(), submitted_.end(),
                    [](const auto& a, const auto& b) {

@@ -34,13 +34,15 @@ class KubeKnots {
   KubeKnots& operator=(const KubeKnots&) = delete;
 
   /// Queues hand-built pod specs (ids are reassigned densely at run()).
+  /// Throws std::logic_error once run() has been called.
   void submit(workload::PodSpec spec);
 
   /// Queues the configured Table I app-mix workload.
+  /// Throws std::logic_error once run() has been called.
   void submit_mix_workload();
 
   /// Runs the cluster to completion and returns the distilled report.
-  /// Must be called exactly once.
+  /// Single-shot: a second call throws std::logic_error.
   ExperimentReport run();
 
   /// The live cluster (valid after run() for post-mortem inspection).

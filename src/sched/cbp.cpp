@@ -116,15 +116,16 @@ void CbpScheduler::harvest(cluster::Cluster& cl) {
   }
 }
 
-void CbpScheduler::on_tick(cluster::Cluster& cl) {
+void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
+  auto& cl = ctx.cluster;
   harvest(cl);
-  if (cl.pending().empty()) return;
+  if (ctx.pending.empty()) return;
 
   // Schedule order: latency-critical first (SLO-awareness), then batch pods
   // first-fit-decreasing by their resized footprint (Algorithm 1).
   std::vector<PodId> lc_pods;
   std::vector<PodId> batch_pods;
-  for (PodId id : cl.pending()) {
+  for (PodId id : ctx.pending) {
     (cl.pod(id).latency_critical() ? lc_pods : batch_pods).push_back(id);
   }
   std::stable_sort(batch_pods.begin(), batch_pods.end(),
@@ -146,10 +147,14 @@ void CbpScheduler::on_tick(cluster::Cluster& cl) {
     // GPUs and idle ones can deep-sleep. The list is served from the
     // aggregator's cache (re-sorted only when a view changed); iterate the
     // descending order in reverse instead of copying it.
-    const auto& views = cl.aggregator().active_sorted_by_free_memory();
+    const auto& views = ctx.aggregator.active_sorted_by_free_memory();
     bool placed = false;
     for (auto it = views.rbegin(); it != views.rend(); ++it) {
       const auto& view = *it;
+      // Degradation path: a stale view is last-known-good, not current —
+      // never place on what might be a ghost; dead nodes host nothing.
+      if (view.stale) continue;
+      if (cl.node_health(view.node) == cluster::NodeHealth::kDown) continue;
       auto& dev = cl.device(view.gpu);
       if (!dev.provision_fits(size)) continue;
       if (dev.totals().sm_demand + sm > sm_cap) continue;
@@ -178,6 +183,9 @@ void CbpScheduler::on_tick(cluster::Cluster& cl) {
 
     // No active GPU admits the pod: wake a parked one (leaves deep sleep).
     for (GpuId gpu : cl.all_gpus()) {
+      if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
+        continue;
+      }
       auto& dev = cl.device(gpu);
       if (!dev.parked()) continue;
       if (!dev.provision_fits(size)) continue;

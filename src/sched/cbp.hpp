@@ -21,7 +21,7 @@ class CbpScheduler : public cluster::Scheduler {
   explicit CbpScheduler(SchedParams params = {}) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return "CBP"; }
-  void on_tick(cluster::Cluster& cluster) override;
+  void on_schedule(cluster::SchedulingContext& ctx) override;
   /// CBP/PP consolidate onto active GPUs and let idle ones deep-sleep.
   [[nodiscard]] bool parks_idle_gpus() const override { return true; }
 

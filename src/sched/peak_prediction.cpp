@@ -11,6 +11,9 @@ namespace knots::sched {
 bool PeakPredictionScheduler::forecast_override(
     const cluster::Cluster& cl, const telemetry::GpuView& view,
     double needed_mb) const {
+  // A stale series would feed the ARIMA frozen samples: the fit would be
+  // confident and wrong. Fall back to CBP's conservative veto.
+  if (view.stale) return false;
   cl.aggregator().window_into(view.gpu, telemetry::Metric::kMemUtil, cl.now(),
                               params_.window, window_scratch_);
   const auto& series = window_scratch_;
@@ -30,7 +33,7 @@ bool PeakPredictionScheduler::forecast_override(
   const auto steps = static_cast<std::size_t>(
       std::max<SimTime>(1, params_.forecast_horizon / std::max<SimTime>(tick, 1)));
   const double pred_util = std::clamp(model.predict_ahead(steps), 0.0, 1.0);
-  const double capacity = cl.device(view.gpu).spec().memory_mb;
+  const double capacity = cl.device(view.gpu).effective_memory_mb();
   const double pred_free = capacity * (1.0 - pred_util);
   const bool ok = pred_free >= needed_mb;
   if (ok) ++granted_;

@@ -7,9 +7,10 @@
 
 namespace knots::sched {
 
-void ResourceAgnosticScheduler::on_tick(cluster::Cluster& cl) {
+void ResourceAgnosticScheduler::on_schedule(cluster::SchedulingContext& ctx) {
+  auto& cl = ctx.cluster;
   // First-fit-decreasing by declared request size.
-  std::vector<PodId> order(cl.pending().begin(), cl.pending().end());
+  std::vector<PodId> order(ctx.pending.begin(), ctx.pending.end());
   std::stable_sort(order.begin(), order.end(), [&](PodId a, PodId b) {
     return cl.pod(a).spec().requested_mb > cl.pod(b).spec().requested_mb;
   });
@@ -22,6 +23,9 @@ void ResourceAgnosticScheduler::on_tick(cluster::Cluster& cl) {
     // random pick — fully blind to live utilization and real footprints.
     std::vector<GpuId> feasible;
     for (GpuId gpu : cl.all_gpus()) {
+      if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
+        continue;  // kubelet stopped reporting; the node holds no shares.
+      }
       if (cl.device(gpu).totals().residents >= params_.max_residents) continue;
       feasible.push_back(gpu);
     }

@@ -18,7 +18,7 @@ class ResourceAgnosticScheduler final : public cluster::Scheduler {
       : params_(params), rng_(seed) {}
 
   [[nodiscard]] std::string name() const override { return "Res-Ag"; }
-  void on_tick(cluster::Cluster& cluster) override;
+  void on_schedule(cluster::SchedulingContext& ctx) override;
 
  private:
   SchedParams params_;

@@ -6,17 +6,21 @@
 
 namespace knots::sched {
 
-void UniformScheduler::on_tick(cluster::Cluster& cl) {
+void UniformScheduler::on_schedule(cluster::SchedulingContext& ctx) {
+  auto& cl = ctx.cluster;
   // Strict FIFO over the pending queue; stop at the first pod that cannot
   // be placed (head-of-line blocking, exactly the stock behaviour). Free
   // GPUs are picked round-robin, matching the stock spreading score.
-  while (!cl.pending().empty()) {
-    const PodId head = cl.pending().front();
+  while (!ctx.pending.empty()) {
+    const PodId head = ctx.pending.front();
     const auto& pod = cl.pod(head);
     bool placed = false;
     const auto gpus = cl.all_gpus();
     for (std::size_t k = 0; k < gpus.size(); ++k) {
       const GpuId gpu = gpus[(rr_cursor_ + k) % gpus.size()];
+      if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
+        continue;
+      }
       auto& dev = cl.device(gpu);
       if (dev.totals().residents != 0) continue;
       // Exclusive access: the pod gets the whole device; its declared

@@ -13,7 +13,7 @@ class UniformScheduler final : public cluster::Scheduler {
   explicit UniformScheduler(SchedParams params = {}) : params_(params) {}
 
   [[nodiscard]] std::string name() const override { return "Uniform"; }
-  void on_tick(cluster::Cluster& cluster) override;
+  void on_schedule(cluster::SchedulingContext& ctx) override;
 
  private:
   SchedParams params_;

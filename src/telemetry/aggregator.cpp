@@ -19,6 +19,8 @@ void UtilizationAggregator::snapshot_into(std::vector<GpuView>& out) const {
   for (const auto& entry : nodes_) {
     for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
       const auto& dev = entry.node->gpu(i);
+      // NVML reports used/physical; free is bounded by *usable* capacity
+      // (physical minus ECC-retired pages).
       const double cap = dev.spec().memory_mb;
       GpuView v;
       v.node = entry.node->id();
@@ -26,10 +28,12 @@ void UtilizationAggregator::snapshot_into(std::vector<GpuView>& out) const {
       v.sm_util = entry.db->latest(dev.id(), Metric::kSmUtil);
       v.mem_util = entry.db->latest(dev.id(), Metric::kMemUtil);
       v.mem_used_mb = v.mem_util * cap;
-      v.free_mem_mb = cap - v.mem_used_mb;
+      v.free_mem_mb = dev.effective_memory_mb() - v.mem_used_mb;
       v.power_watts = entry.db->latest(dev.id(), Metric::kPowerWatts);
       v.parked = dev.parked();
       v.residents = dev.totals().residents;
+      v.last_heartbeat = entry.db->latest_time(dev.id(), Metric::kSmUtil);
+      v.stale = horizon_ > 0 && now_ - v.last_heartbeat > horizon_;
       out.push_back(v);
     }
   }
@@ -91,6 +95,13 @@ const WindowAggregate& UtilizationAggregator::window_stats(
   const Entry* entry = find_gpu(gpu);
   if (entry == nullptr) return kEmpty;
   return entry->db->window_stats(gpu, metric, now - window_len);
+}
+
+bool UtilizationAggregator::stale(GpuId gpu) const {
+  if (horizon_ <= 0) return false;
+  const Entry* entry = find_gpu(gpu);
+  if (entry == nullptr) return false;
+  return now_ - entry->db->latest_time(gpu, Metric::kSmUtil) > horizon_;
 }
 
 const UtilizationAggregator::Entry* UtilizationAggregator::find_gpu(

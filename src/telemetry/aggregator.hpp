@@ -30,10 +30,14 @@ struct GpuView {
   double sm_util = 0.0;        ///< Latest sampled SM utilization [0,1].
   double mem_util = 0.0;       ///< Latest sampled memory utilization [0,1].
   double mem_used_mb = 0.0;
-  double free_mem_mb = 0.0;    ///< capacity − used (telemetry view).
+  double free_mem_mb = 0.0;    ///< usable capacity − used (telemetry view).
   double power_watts = 0.0;
   bool parked = false;
   int residents = 0;
+  SimTime last_heartbeat = -1; ///< Time of the newest sample; -1 = never.
+  /// True when the series missed enough heartbeats to cross the staleness
+  /// horizon — the values above are last-known-good, not current.
+  bool stale = false;
 
   bool operator==(const GpuView&) const = default;
 };
@@ -46,6 +50,18 @@ class UtilizationAggregator {
   [[nodiscard]] std::size_t node_count() const noexcept {
     return nodes_.size();
   }
+
+  // -- Staleness rule (DESIGN.md §7) --
+  /// A series is stale when now − last_heartbeat > horizon. Horizon 0
+  /// (default) disables the rule; the cluster sets it to
+  /// stale_after_heartbeats × tick.
+  void set_staleness_horizon(SimTime horizon) noexcept { horizon_ = horizon; }
+  /// Advances the aggregator's notion of "now" (called once per cluster
+  /// tick, after telemetry lands); snapshots compare heartbeat ages
+  /// against it.
+  void begin_tick(SimTime now) noexcept { now_ = now; }
+  /// Staleness of one GPU's series under the configured horizon.
+  [[nodiscard]] bool stale(GpuId gpu) const;
 
   /// Latest per-GPU snapshot of the whole cluster.
   [[nodiscard]] std::vector<GpuView> snapshot() const;
@@ -90,6 +106,8 @@ class UtilizationAggregator {
 
   std::vector<Entry> nodes_;
   std::unordered_map<std::int32_t, std::size_t> gpu_to_entry_;
+  SimTime horizon_ = 0;
+  SimTime now_ = 0;
 
   // active_sorted_by_free_memory cache: `active_input_` is the unsorted
   // active list of the previous call, `active_sorted_` its sorted result.

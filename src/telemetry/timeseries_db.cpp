@@ -111,6 +111,12 @@ double TimeSeriesDb::latest(GpuId gpu, Metric metric, double fallback) const {
   return s->buf.back().value;
 }
 
+SimTime TimeSeriesDb::latest_time(GpuId gpu, Metric metric) const {
+  const Series* s = find(gpu, metric);
+  if (s == nullptr || s->buf.empty()) return -1;
+  return s->buf.back().time;
+}
+
 std::uint64_t TimeSeriesDb::generation(GpuId gpu, Metric metric) const {
   const Series* s = find(gpu, metric);
   return s == nullptr ? 0 : s->generation;

@@ -102,6 +102,10 @@ class TimeSeriesDb {
   [[nodiscard]] double latest(GpuId gpu, Metric metric,
                               double fallback = 0.0) const;
 
+  /// Timestamp of the most recent sample, or -1 when the series is empty
+  /// (what the aggregator's staleness rule compares against `now`).
+  [[nodiscard]] SimTime latest_time(GpuId gpu, Metric metric) const;
+
   /// Monotonic per-series write counter (0 for unknown series); bumping it
   /// is what invalidates the window_stats cache.
   [[nodiscard]] std::uint64_t generation(GpuId gpu, Metric metric) const;

@@ -38,10 +38,12 @@ bool observable_transition(cluster::PodState from,
     case S::kPending:
       return to == S::kStarting;
     case S::kStarting:
-      return to == S::kRunning || to == S::kCrashed;
+      return to == S::kRunning || to == S::kCrashed || to == S::kEvicted;
     case S::kRunning:
-      return to == S::kCompleted || to == S::kCrashed;
+      return to == S::kCompleted || to == S::kCrashed || to == S::kEvicted;
     case S::kCrashed:
+      return to == S::kPending || to == S::kStarting;
+    case S::kEvicted:
       return to == S::kPending || to == S::kStarting;
     case S::kCompleted:
       return false;  // Terminal.
@@ -85,13 +87,14 @@ void InvariantChecker::check_devices(const cluster::Cluster& cluster) {
     const auto totals = dev.totals();
     const auto& spec = dev.spec();
 
-    // Space-shared memory: aggregate *usage* must fit the physical device
-    // at every rest state (transient overshoot crashes the grower before
-    // the tick ends).
-    if (totals.memory_used_mb > spec.memory_mb + eps) {
+    // Space-shared memory: aggregate *usage* must fit the usable device
+    // (physical capacity minus ECC-retired pages) at every rest state
+    // (transient overshoot crashes the grower before the tick ends).
+    if (totals.memory_used_mb > dev.effective_memory_mb() + eps) {
       report(cluster, "gpu-memory",
              gpu_tag(gpu) + " usage " + fmt_double(totals.memory_used_mb) +
-                 " MB exceeds capacity " + fmt_double(spec.memory_mb) + " MB");
+                 " MB exceeds usable capacity " +
+                 fmt_double(dev.effective_memory_mb()) + " MB");
     }
     if (totals.memory_used_mb < -eps || totals.memory_provisioned_mb < -eps) {
       report(cluster, "gpu-memory",
@@ -156,6 +159,16 @@ void InvariantChecker::check_devices(const cluster::Cluster& cluster) {
              gpu_tag(gpu) + " parked with " +
                  std::to_string(totals.residents) + " residents");
     }
+
+    // A dead node hosts nothing: the eviction path must have drained it
+    // before the tick's rest state.
+    if (cluster.node_health(cluster.node_of_gpu(gpu)) ==
+            cluster::NodeHealth::kDown &&
+        totals.residents != 0) {
+      report(cluster, "node-health",
+             gpu_tag(gpu) + " on a down node with " +
+                 std::to_string(totals.residents) + " residents");
+    }
   }
 }
 
@@ -166,7 +179,7 @@ void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
   // their construction state (Pending).
   if (last_states_.size() < n) last_states_.resize(n, S::kPending);
 
-  std::array<std::size_t, 5> by_state{};
+  std::array<std::size_t, 6> by_state{};
   std::vector<bool> in_pending(n, false);
   for (PodId id : cluster.pending()) {
     const auto idx = static_cast<std::size_t>(id.value);
@@ -212,8 +225,16 @@ void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
              pod_tag(id) + " completed without finishing its profile");
     }
 
-    // A placed pod must be resident on its GPU with a matching allocation.
+    // A placed pod must be resident on its GPU with a matching allocation,
+    // and that GPU's node must be alive.
     if (state == S::kStarting || state == S::kRunning) {
+      if (cluster.node_health(cluster.node_of_gpu(pod.gpu())) ==
+          cluster::NodeHealth::kDown) {
+        report(cluster, "node-health",
+               pod_tag(id) + " in state " + std::string(to_string(state)) +
+                   " on down node " +
+                   std::to_string(cluster.node_of_gpu(pod.gpu()).value));
+      }
       const auto& dev = cluster.device(pod.gpu());
       const auto recorded = dev.provisioned_mb(id);
       if (!recorded.has_value()) {

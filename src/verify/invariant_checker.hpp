@@ -12,11 +12,13 @@
 //     the P100 p-state envelope [deep-sleep, TDP];
 //   * pods only take the transitions documented in pod.hpp
 //     (Pending → Starting → Running → Completed, with the
-//     Crashed → Pending relaunch cycle);
+//     Crashed → Pending and Evicted → Pending relaunch cycles);
 //   * simulated time is strictly monotone across ticks;
 //   * pods are conserved: pending + starting + running + completed + crashed
-//     always equals the number submitted, and the cluster's completion
-//     counter matches the number of terminal pods.
+//     + evicted always equals the number submitted, and the cluster's
+//     completion counter matches the number of terminal pods;
+//   * no pod is resident on a node the fault layer reports as down — a dead
+//     kubelet hosts nothing (the eviction path must have drained it).
 //
 // Violations are collected into a structured report; with `fatal` set (the
 // default in debug builds) the first violation aborts via KNOTS_CHECK so the

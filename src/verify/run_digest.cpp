@@ -78,4 +78,21 @@ void RunDigest::on_park(const cluster::Cluster& cluster, GpuId gpu) {
   mix_u64(static_cast<std::uint64_t>(gpu.value));
 }
 
+void RunDigest::on_evict(const cluster::Cluster& cluster, PodId pod,
+                         NodeId node) {
+  begin_record(Tag::kEvict, cluster);
+  mix_u64(static_cast<std::uint64_t>(pod.value));
+  mix_u64(static_cast<std::uint64_t>(node.value));
+}
+
+void RunDigest::on_node_down(const cluster::Cluster& cluster, NodeId node) {
+  begin_record(Tag::kNodeDown, cluster);
+  mix_u64(static_cast<std::uint64_t>(node.value));
+}
+
+void RunDigest::on_node_up(const cluster::Cluster& cluster, NodeId node) {
+  begin_record(Tag::kNodeUp, cluster);
+  mix_u64(static_cast<std::uint64_t>(node.value));
+}
+
 }  // namespace knots::verify

@@ -45,6 +45,10 @@ class RunDigest final : public cluster::ClusterObserver {
   void on_requeue(const cluster::Cluster& cluster, PodId pod) override;
   void on_complete(const cluster::Cluster& cluster, PodId pod) override;
   void on_park(const cluster::Cluster& cluster, GpuId gpu) override;
+  void on_evict(const cluster::Cluster& cluster, PodId pod,
+                NodeId node) override;
+  void on_node_down(const cluster::Cluster& cluster, NodeId node) override;
+  void on_node_up(const cluster::Cluster& cluster, NodeId node) override;
 
  private:
   // Record-type tags keep distinct event kinds with equal operands from
@@ -56,6 +60,9 @@ class RunDigest final : public cluster::ClusterObserver {
     kRequeue = 0x04,
     kComplete = 0x05,
     kPark = 0x06,
+    kEvict = 0x07,
+    kNodeDown = 0x08,
+    kNodeUp = 0x09,
   };
   void begin_record(Tag tag, const cluster::Cluster& cluster);
 

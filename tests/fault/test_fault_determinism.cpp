@@ -1,0 +1,151 @@
+// Fault determinism: faults are part of the experiment, not noise on top of
+// it. Identical (config, seed, FaultPlan) must replay bit-identically, and
+// an *empty* plan must leave the fault-free decision sequence untouched —
+// the pre-fault golden digests stay pinned.
+#include <gtest/gtest.h>
+
+#include "knots/experiment.hpp"
+#include "knots/kube_knots.hpp"
+#include "sched/registry.hpp"
+
+namespace knots::fault {
+namespace {
+
+ExperimentConfig golden_config(sched::SchedulerKind kind) {
+  ExperimentConfig cfg = default_experiment(1, kind);
+  cfg.cluster.nodes = 4;
+  cfg.workload.duration = 30 * kSec;
+  return cfg;  // Default seed (42), default mix 1.
+}
+
+FaultPlan storm_plan() {
+  // One of everything, at staggered times. The crash lands at 15 s so the
+  // digest covers eviction events for every policy.
+  return FaultPlan{}
+      .node_crash(NodeId{1}, 15 * kSec, 10 * kSec)
+      .gpu_ecc_degrade(NodeId{0}, 3 * kSec, 1024.0)
+      .heartbeat_loss(NodeId{2}, 8 * kSec, 4 * kSec)
+      .pcie_stall(NodeId{3}, 12 * kSec, 6 * kSec, 4.0);
+}
+
+TEST(FaultDeterminism, EmptyPlanIsInert) {
+  // An explicitly installed empty FaultPlan must be indistinguishable from
+  // no plan at all: same golden digests as the fault-free verification
+  // suite pins (tests/verify/test_run_digest.cpp). This is the load-bearing
+  // backward-compatibility guarantee of the whole fault layer.
+  struct GoldenDigest {
+    sched::SchedulerKind kind;
+    std::uint64_t digest;
+  };
+  const GoldenDigest golden[] = {
+      {sched::SchedulerKind::kUniform, 0xd0c2a2db96af286dull},
+      {sched::SchedulerKind::kResourceAgnostic, 0x07884542fa949d9eull},
+      {sched::SchedulerKind::kCbp, 0x7173dae2bf4b9374ull},
+      {sched::SchedulerKind::kPeakPrediction, 0x86e8b45560a1a94cull},
+  };
+  for (const auto& g : golden) {
+    ExperimentConfig cfg = golden_config(g.kind);
+    cfg.faults = FaultPlan{};
+    const auto report = run_experiment(cfg);
+    EXPECT_EQ(report.run_digest, g.digest)
+        << "scheduler " << sched::to_string(g.kind)
+        << ": an empty fault plan perturbed the run (actual 0x" << std::hex
+        << report.run_digest << ")";
+  }
+}
+
+TEST(FaultDeterminism, IdenticalPlanReplaysIdentically) {
+  for (auto kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    ExperimentConfig cfg = golden_config(kind);
+    cfg.faults = storm_plan();
+    const auto a = run_experiment(cfg);
+    const auto b = run_experiment(cfg);
+    EXPECT_EQ(a.run_digest, b.run_digest);
+    EXPECT_EQ(a.pods_evicted, b.pods_evicted);
+    EXPECT_EQ(a.stale_transitions, b.stale_transitions);
+    EXPECT_EQ(a.energy_joules, b.energy_joules);
+  }
+}
+
+// Golden digests for the storm plan above, one per scheduler. These pin the
+// fault-path decision sequence (eviction order, recovery timing, stale
+// fallbacks) exactly as the fault-free goldens pin the happy path. To
+// regenerate after an intentional behaviour change: run this test and copy
+// the "actual" values from the failure output, then record the change in
+// EXPERIMENTS.md.
+TEST(FaultDeterminism, GoldenFaultedPerScheduler) {
+  struct GoldenDigest {
+    sched::SchedulerKind kind;
+    std::uint64_t digest;
+  };
+  const GoldenDigest golden[] = {
+      {sched::SchedulerKind::kUniform, 0x53775ed3418ec498ull},
+      {sched::SchedulerKind::kResourceAgnostic, 0x3d07b799e7395a27ull},
+      {sched::SchedulerKind::kCbp, 0x97ee4c0f999e22b9ull},
+      {sched::SchedulerKind::kPeakPrediction, 0x3f80411f928cde87ull},
+  };
+  for (const auto& g : golden) {
+    ExperimentConfig cfg = golden_config(g.kind);
+    cfg.faults = storm_plan();
+    const auto report = run_experiment(cfg);
+    EXPECT_EQ(report.run_digest, g.digest)
+        << "scheduler " << sched::to_string(g.kind)
+        << " faulted digest drifted (actual 0x" << std::hex
+        << report.run_digest << ")";
+    EXPECT_EQ(report.invariant_violations, 0u);
+  }
+}
+
+TEST(FaultDeterminism, PlanPerturbsTheDigest) {
+  // Sanity: the golden comparison has teeth — injecting the storm changes
+  // the decision sequence, and different plans diverge from each other.
+  ExperimentConfig base = golden_config(sched::SchedulerKind::kCbp);
+  const auto clean = run_experiment(base);
+  base.faults = storm_plan();
+  const auto stormed = run_experiment(base);
+  EXPECT_NE(clean.run_digest, stormed.run_digest);
+
+  base.faults = FaultPlan{}.node_crash(NodeId{2}, 5 * kSec, 10 * kSec);
+  const auto other = run_experiment(base);
+  EXPECT_NE(stormed.run_digest, other.run_digest);
+}
+
+TEST(FaultDeterminism, SweepWithFaultsMatchesSerialRuns) {
+  // The thread-pool sweep must not perturb faulted runs either.
+  ExperimentConfig base = golden_config(sched::SchedulerKind::kUniform);
+  base.faults = storm_plan();
+  SweepGrid grid;
+  grid.schedulers.assign(sched::kAllSchedulers.begin(),
+                         sched::kAllSchedulers.end());
+  const auto sweep = run_sweep(base, grid);
+  ASSERT_EQ(sweep.size(), grid.schedulers.size());
+  for (const auto& slot : sweep) {
+    SCOPED_TRACE(sched::to_string(slot.scheduler));
+    ExperimentConfig cfg = base;
+    cfg.scheduler = slot.scheduler;
+    const auto direct = run_experiment(cfg);
+    EXPECT_EQ(slot.report.run_digest, direct.run_digest);
+    EXPECT_EQ(slot.report.pods_evicted, direct.pods_evicted);
+  }
+}
+
+// ---- KubeKnots facade lifecycle (satellite bugfix) ----
+
+TEST(KubeKnotsLifecycle, RunTwiceThrows) {
+  KubeKnots knots(golden_config(sched::SchedulerKind::kUniform));
+  knots.submit_mix_workload();
+  (void)knots.run();
+  EXPECT_THROW((void)knots.run(), std::logic_error);
+}
+
+TEST(KubeKnotsLifecycle, SubmitAfterRunThrows) {
+  KubeKnots knots(golden_config(sched::SchedulerKind::kUniform));
+  knots.submit_mix_workload();
+  (void)knots.run();
+  EXPECT_THROW(knots.submit(workload::PodSpec{}), std::logic_error);
+  EXPECT_THROW(knots.submit_mix_workload(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace knots::fault

@@ -1,0 +1,98 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace knots::fault {
+namespace {
+
+TEST(FaultPlan, BuildersAppendInOrder) {
+  FaultPlan plan;
+  plan.node_crash(NodeId{1}, 5 * kSec, 10 * kSec)
+      .gpu_ecc_degrade(NodeId{0}, 2 * kSec, 512.0)
+      .heartbeat_loss(NodeId{2}, 7 * kSec, 3 * kSec)
+      .pcie_stall(NodeId{3}, 9 * kSec, 1 * kSec, 4.0);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_FALSE(plan.empty());
+
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kNodeCrash);
+  EXPECT_EQ(plan.events[0].node, NodeId{1});
+  EXPECT_EQ(plan.events[0].at, 5 * kSec);
+  EXPECT_EQ(plan.events[0].duration, 10 * kSec);
+
+  EXPECT_EQ(plan.events[1].kind, FaultKind::kGpuEccDegrade);
+  EXPECT_DOUBLE_EQ(plan.events[1].severity, 512.0);
+
+  EXPECT_EQ(plan.events[2].kind, FaultKind::kHeartbeatLoss);
+  EXPECT_EQ(plan.events[2].duration, 3 * kSec);
+
+  EXPECT_EQ(plan.events[3].kind, FaultKind::kPcieStall);
+  EXPECT_DOUBLE_EQ(plan.events[3].severity, 4.0);
+}
+
+TEST(FaultPlan, PermanentCrashByDefault) {
+  FaultPlan plan;
+  plan.node_crash(NodeId{0}, 1 * kSec);
+  EXPECT_EQ(plan.events[0].duration, 0);  // 0 = never recovers
+}
+
+TEST(FaultPlan, KindNamesAreDistinct) {
+  EXPECT_NE(to_string(FaultKind::kNodeCrash), to_string(FaultKind::kPcieStall));
+  EXPECT_NE(to_string(FaultKind::kGpuEccDegrade),
+            to_string(FaultKind::kHeartbeatLoss));
+  EXPECT_FALSE(to_string(FaultKind::kNodeCrash).empty());
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsOutOfRangeNode) {
+  FaultPlan plan;
+  plan.node_crash(NodeId{7}, 1 * kSec);
+  plan.validate(8);  // in range — fine
+  EXPECT_DEATH(plan.validate(7), "KNOTS_CHECK");
+}
+
+TEST(FaultPlanDeathTest, ValidateRejectsNonsenseSeverity) {
+  FaultPlan bad_stall;
+  bad_stall.pcie_stall(NodeId{0}, 1 * kSec, 1 * kSec, 0.5);  // speedup?!
+  EXPECT_DEATH(bad_stall.validate(4), "KNOTS_CHECK");
+
+  FaultPlan bad_ecc;
+  bad_ecc.gpu_ecc_degrade(NodeId{0}, 1 * kSec, -64.0);
+  EXPECT_DEATH(bad_ecc.validate(4), "KNOTS_CHECK");
+}
+
+TEST(RandomPlan, DeterministicInSeed) {
+  RandomFaultSpec spec;
+  spec.node_crash_rate_per_min = 2.0;
+  spec.heartbeat_loss_rate_per_min = 4.0;
+  spec.pcie_stall_rate_per_min = 4.0;
+  const auto a = random_plan(spec, 8, 120 * kSec, 99);
+  const auto b = random_plan(spec, 8, 120 * kSec, 99);
+  const auto c = random_plan(spec, 8, 120 * kSec, 100);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(RandomPlan, ZeroRatesYieldEmptyPlan) {
+  const auto plan = random_plan(RandomFaultSpec{}, 8, 300 * kSec, 1);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(RandomPlan, EventsStayInsideTopologyAndHorizon) {
+  RandomFaultSpec spec;
+  spec.node_crash_rate_per_min = 6.0;
+  spec.heartbeat_loss_rate_per_min = 6.0;
+  spec.pcie_stall_rate_per_min = 6.0;
+  const SimTime horizon = 60 * kSec;
+  const int nodes = 5;
+  const auto plan = random_plan(spec, nodes, horizon, 7);
+  plan.validate(nodes);  // must not abort
+  for (const auto& e : plan.events) {
+    EXPECT_GE(e.at, 0);
+    EXPECT_LT(e.at, horizon);
+    EXPECT_GE(e.node.value, 0);
+    EXPECT_LT(e.node.value, nodes);
+  }
+}
+
+}  // namespace
+}  // namespace knots::fault

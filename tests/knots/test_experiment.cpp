@@ -56,26 +56,33 @@ TEST(Experiment, DeterministicAcrossCalls) {
 }
 
 TEST(Experiment, SweepRunsEveryScheduler) {
-  const auto reports = run_scheduler_sweep(
-      tiny(1, sched::SchedulerKind::kUniform),
-      {sched::SchedulerKind::kUniform, sched::SchedulerKind::kResourceAgnostic,
-       sched::SchedulerKind::kCbp, sched::SchedulerKind::kPeakPrediction});
-  ASSERT_EQ(reports.size(), 4u);
-  EXPECT_EQ(reports[0].scheduler, "Uniform");
-  EXPECT_EQ(reports[1].scheduler, "Res-Ag");
-  EXPECT_EQ(reports[2].scheduler, "CBP");
-  EXPECT_EQ(reports[3].scheduler, "PP");
+  SweepGrid grid;
+  grid.schedulers = {sched::SchedulerKind::kUniform,
+                     sched::SchedulerKind::kResourceAgnostic,
+                     sched::SchedulerKind::kCbp,
+                     sched::SchedulerKind::kPeakPrediction};
+  const auto results = run_sweep(tiny(1, sched::SchedulerKind::kUniform), grid);
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].report.scheduler, "Uniform");
+  EXPECT_EQ(results[1].report.scheduler, "Res-Ag");
+  EXPECT_EQ(results[2].report.scheduler, "CBP");
+  EXPECT_EQ(results[3].report.scheduler, "PP");
 }
 
 TEST(Experiment, SweepMatchesSerialRuns) {
   const auto base = tiny(1, sched::SchedulerKind::kUniform);
-  const auto sweep =
-      run_scheduler_sweep(base, {sched::SchedulerKind::kCbp});
+  SweepGrid grid;
+  grid.schedulers = {sched::SchedulerKind::kCbp};
+  // Empty grid.seeds = "use the base config's seed" — the sweep slot must
+  // reproduce a plain serial run of the same config bit-for-bit.
+  const auto sweep = run_sweep(base, grid);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_EQ(sweep[0].seed, base.seed);
   ExperimentConfig serial = base;
   serial.scheduler = sched::SchedulerKind::kCbp;
   const auto direct = run_experiment(serial);
-  EXPECT_DOUBLE_EQ(sweep[0].energy_joules, direct.energy_joules);
-  EXPECT_EQ(sweep[0].qos_violations, direct.qos_violations);
+  EXPECT_DOUBLE_EQ(sweep[0].report.energy_joules, direct.energy_joules);
+  EXPECT_EQ(sweep[0].report.qos_violations, direct.qos_violations);
 }
 
 TEST(Experiment, SweepGridSizeAndOrdering) {

@@ -53,11 +53,11 @@ TEST(Uniform, NeverCoLocates) {
     explicit Probe(std::unique_ptr<cluster::Scheduler> inner)
         : inner_(std::move(inner)) {}
     std::string name() const override { return inner_->name(); }
-    void on_tick(Cluster& cl) override {
-      inner_->on_tick(cl);
-      for (GpuId gpu : cl.all_gpus()) {
-        max_residents_ =
-            std::max(max_residents_, cl.device(gpu).totals().residents);
+    void on_schedule(cluster::SchedulingContext& ctx) override {
+      inner_->on_schedule(ctx);
+      for (GpuId gpu : ctx.cluster.all_gpus()) {
+        max_residents_ = std::max(max_residents_,
+                                  ctx.cluster.device(gpu).totals().residents);
       }
     }
     int max_residents_ = 0;
@@ -79,11 +79,11 @@ TEST(ResAg, RespectsResidentCap) {
    public:
     Probe(SchedParams p) : inner_(p, 7) {}
     std::string name() const override { return inner_.name(); }
-    void on_tick(Cluster& cl) override {
-      inner_.on_tick(cl);
-      for (GpuId gpu : cl.all_gpus()) {
-        max_residents_ =
-            std::max(max_residents_, cl.device(gpu).totals().residents);
+    void on_schedule(cluster::SchedulingContext& ctx) override {
+      inner_.on_schedule(ctx);
+      for (GpuId gpu : ctx.cluster.all_gpus()) {
+        max_residents_ = std::max(max_residents_,
+                                  ctx.cluster.device(gpu).totals().residents);
       }
     }
     ResourceAgnosticScheduler inner_;
@@ -114,10 +114,10 @@ TEST(Cbp, NeverOvercommitsPhysicalAllocations) {
   class Probe : public CbpScheduler {
    public:
     using CbpScheduler::CbpScheduler;
-    void on_tick(Cluster& cl) override {
-      CbpScheduler::on_tick(cl);
-      for (GpuId gpu : cl.all_gpus()) {
-        const auto& dev = cl.device(gpu);
+    void on_schedule(cluster::SchedulingContext& ctx) override {
+      CbpScheduler::on_schedule(ctx);
+      for (GpuId gpu : ctx.cluster.all_gpus()) {
+        const auto& dev = ctx.cluster.device(gpu);
         ok_ = ok_ && dev.totals().memory_provisioned_mb <=
                          dev.spec().memory_mb + 1e-6;
       }

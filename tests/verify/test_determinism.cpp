@@ -59,29 +59,31 @@ TEST(Determinism, RepeatedRunsFieldIdentical) {
 
 TEST(Determinism, SweepMatchesSequentialRuns) {
   const auto base = tiny(2, sched::SchedulerKind::kUniform);
-  const std::vector<sched::SchedulerKind> kinds(sched::kAllSchedulers.begin(),
-                                                sched::kAllSchedulers.end());
-  const auto sweep = run_scheduler_sweep(base, kinds);
-  ASSERT_EQ(sweep.size(), kinds.size());
-  for (std::size_t i = 0; i < kinds.size(); ++i) {
-    SCOPED_TRACE(sched::to_string(kinds[i]));
+  SweepGrid grid;
+  grid.schedulers.assign(sched::kAllSchedulers.begin(),
+                         sched::kAllSchedulers.end());
+  const auto sweep = run_sweep(base, grid);
+  ASSERT_EQ(sweep.size(), grid.schedulers.size());
+  for (std::size_t i = 0; i < grid.schedulers.size(); ++i) {
+    SCOPED_TRACE(sched::to_string(grid.schedulers[i]));
     ExperimentConfig cfg = base;
-    cfg.scheduler = kinds[i];
-    expect_identical(sweep[i], run_experiment(cfg));
+    cfg.scheduler = grid.schedulers[i];
+    expect_identical(sweep[i].report, run_experiment(cfg));
   }
 }
 
 TEST(Determinism, SweepIsRepeatable) {
   // Thread-pool scheduling order must never leak into results.
   const auto base = tiny(3, sched::SchedulerKind::kCbp);
-  const std::vector<sched::SchedulerKind> kinds(sched::kAllSchedulers.begin(),
-                                                sched::kAllSchedulers.end());
-  const auto first = run_scheduler_sweep(base, kinds);
-  const auto second = run_scheduler_sweep(base, kinds);
+  SweepGrid grid;
+  grid.schedulers.assign(sched::kAllSchedulers.begin(),
+                         sched::kAllSchedulers.end());
+  const auto first = run_sweep(base, grid);
+  const auto second = run_sweep(base, grid);
   ASSERT_EQ(first.size(), second.size());
   for (std::size_t i = 0; i < first.size(); ++i) {
-    SCOPED_TRACE(sched::to_string(kinds[i]));
-    expect_identical(first[i], second[i]);
+    SCOPED_TRACE(sched::to_string(grid.schedulers[i]));
+    expect_identical(first[i].report, second[i].report);
   }
 }
 

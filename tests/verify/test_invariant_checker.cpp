@@ -16,7 +16,7 @@ namespace {
 class NoopScheduler final : public cluster::Scheduler {
  public:
   [[nodiscard]] std::string name() const override { return "noop"; }
-  void on_tick(cluster::Cluster&) override {}
+  void on_schedule(cluster::SchedulingContext&) override {}
 };
 
 cluster::ClusterConfig one_gpu_config() {

@@ -41,7 +41,7 @@ TEST(RunDigest, EventKindsAreDistinguished) {
   class Noop final : public cluster::Scheduler {
    public:
     [[nodiscard]] std::string name() const override { return "noop"; }
-    void on_tick(cluster::Cluster&) override {}
+    void on_schedule(cluster::SchedulingContext&) override {}
   } sched;
   cluster::Cluster cl(cfg, sched);
 
