@@ -5,6 +5,8 @@
 
 #include "cluster/cluster.hpp"
 #include "core/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/registry.hpp"
 #include "sim/simulation.hpp"
 #include "stats/arima.hpp"
@@ -112,6 +114,38 @@ BENCHMARK(BM_FullClusterRun)
     ->Arg(static_cast<int>(sched::SchedulerKind::kCbp))
     ->Arg(static_cast<int>(sched::SchedulerKind::kPeakPrediction))
     ->Unit(benchmark::kMillisecond);
+
+void BM_TraceRecord(benchmark::State& state) {
+  obs::TraceSink sink;
+  SimTime t = 0;
+  for (auto _ : state) {
+    sink.record(t++, obs::EventKind::kPlace, 1, 2, 1024.0);
+    if (sink.size() >= 1u << 20) sink.clear();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceRecord);
+
+void BM_FullClusterRunTraced(benchmark::State& state) {
+  // CBP run with a live sink + registry attached; compare against the CBP
+  // row of BM_FullClusterRun for the end-to-end observability overhead.
+  for (auto _ : state) {
+    auto scheduler = sched::make_scheduler(sched::SchedulerKind::kCbp);
+    cluster::ClusterConfig cfg;
+    cfg.nodes = 10;
+    cluster::Cluster cl(cfg, *scheduler);
+    obs::TraceSink trace;
+    obs::MetricsRegistry metrics;
+    cl.set_trace_sink(&trace);
+    cl.set_metrics_registry(&metrics);
+    workload::LoadGenConfig wl;
+    wl.duration = 60 * kSec;
+    cl.load(workload::generate_workload(workload::app_mix(1), wl, Rng(3)));
+    cl.run();
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_FullClusterRunTraced)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -4,71 +4,154 @@
 //   knots_ctl run --mix 1 --scheduler PP --duration 300 [--nodes 10]
 //                 [--gpus 1] [--seed 42] [--csv out.csv]
 //                 [--crash-node N@T[:D]]          # fault injection
+//                 [--trace out.json]              # Chrome about:tracing
+//                 [--trace-bin out.trc]           # compact binary trace
+//                 [--metrics-out out.json]        # metrics registry dump
 //   knots_ctl sweep --mix 1 --duration 300        # all four schedulers
 //   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]
 //   knots_ctl list                                 # schedulers & mixes
+//
+// Unknown or malformed flags exit 2 with a usage message.
 #include <cstdlib>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <map>
+#include <optional>
+#include <set>
+#include <sstream>
 #include <string>
 
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "dlsim/dl_report.hpp"
 #include "knots/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "workload/app_mix.hpp"
 
 namespace {
 
 using namespace knots;
 
-std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               int first) {
+constexpr const char* kUsage =
+    "usage: knots_ctl <command> [--flag value]...\n"
+    "  run    --mix N --scheduler NAME --duration SECS [--nodes N] [--gpus N]\n"
+    "         [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
+    "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
+    "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--seed N]\n"
+    "  dlsim  [--mix N] [--dlt N] [--dli N]\n"
+    "  list\n";
+
+int usage_error(const std::string& message) {
+  std::cerr << "knots_ctl: " << message << "\n" << kUsage;
+  return 2;
+}
+
+/// Strict flag parser: every token must be a known --flag followed by a
+/// value. Returns std::nullopt (after printing the offending token) on any
+/// violation so main can exit 2.
+std::optional<std::map<std::string, std::string>> parse_flags(
+    int argc, char** argv, int first, const std::set<std::string>& allowed) {
   std::map<std::string, std::string> flags;
-  for (int i = first; i + 1 < argc; i += 2) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) == 0) key = key.substr(2);
-    flags[key] = argv[i + 1];
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      std::cerr << "knots_ctl: expected --flag, got '" << arg << "'\n";
+      return std::nullopt;
+    }
+    const std::string key = arg.substr(2);
+    if (!allowed.contains(key)) {
+      std::cerr << "knots_ctl: unknown flag '--" << key << "'\n";
+      return std::nullopt;
+    }
+    if (i + 1 >= argc) {
+      std::cerr << "knots_ctl: flag '--" << key << "' needs a value\n";
+      return std::nullopt;
+    }
+    if (flags.count(key) != 0) {
+      std::cerr << "knots_ctl: duplicate flag '--" << key << "'\n";
+      return std::nullopt;
+    }
+    flags[key] = argv[++i];
   }
   return flags;
 }
 
-ExperimentConfig config_from_flags(
+/// Full-consumption integer parse; rejects "12x", "", "--nodes --gpus".
+std::optional<long long> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Validated integer lookup: missing flag → fallback, malformed → nullopt.
+std::optional<long long> int_flag(
+    const std::map<std::string, std::string>& flags, const std::string& key,
+    long long fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const auto v = parse_int(it->second);
+  if (!v.has_value()) {
+    std::cerr << "knots_ctl: flag '--" << key << "' expects an integer, got '"
+              << it->second << "'\n";
+  }
+  return v;
+}
+
+std::optional<ExperimentConfig> config_from_flags(
     const std::map<std::string, std::string>& flags) {
   ExperimentConfig::Builder builder;
-  if (flags.count("mix")) builder.mix(std::atoi(flags.at("mix").c_str()));
-  builder.scheduler(sched::scheduler_from_name(
-      flags.count("scheduler") ? flags.at("scheduler") : "PP"));
-  if (flags.count("duration")) {
-    builder.duration(std::atoi(flags.at("duration").c_str()) * kSec);
+  const auto mix = int_flag(flags, "mix", 1);
+  const auto duration = int_flag(flags, "duration", -1);
+  const auto nodes = int_flag(flags, "nodes", -1);
+  const auto gpus = int_flag(flags, "gpus", -1);
+  const auto seed = int_flag(flags, "seed", -1);
+  if (!mix || !duration || !nodes || !gpus || !seed) return std::nullopt;
+  builder.mix(static_cast<int>(*mix));
+  if (*duration >= 0) builder.duration(*duration * kSec);
+  if (*nodes >= 0) builder.nodes(static_cast<int>(*nodes));
+  if (*gpus >= 0) builder.gpus_per_node(static_cast<int>(*gpus));
+  if (*seed >= 0) builder.seed(static_cast<std::uint64_t>(*seed));
+
+  std::string sched_name = "PP";
+  if (flags.count("scheduler")) sched_name = flags.at("scheduler");
+  bool known = false;
+  for (auto kind : sched::kAllSchedulers) {
+    if (sched::to_string(kind) == sched_name) known = true;
   }
-  if (flags.count("nodes")) {
-    builder.nodes(std::atoi(flags.at("nodes").c_str()));
+  if (!known) {
+    std::cerr << "knots_ctl: unknown scheduler '" << sched_name << "'\n";
+    return std::nullopt;
   }
-  if (flags.count("gpus")) {
-    builder.gpus_per_node(std::atoi(flags.at("gpus").c_str()));
-  }
-  if (flags.count("seed")) {
-    builder.seed(static_cast<std::uint64_t>(
-        std::atoll(flags.at("seed").c_str())));
-  }
+  builder.scheduler(sched::scheduler_from_name(sched_name));
+
   if (flags.count("crash-node")) {
     // --crash-node N@T[:D] — node N dies at T seconds, down D seconds
     // (omitted D = forever). A minimal chaos knob for the CLI.
     const std::string& spec = flags.at("crash-node");
     const auto at_pos = spec.find('@');
-    const int node = std::atoi(spec.substr(0, at_pos).c_str());
-    SimTime at = 0;
-    SimTime down_for = 0;
-    if (at_pos != std::string::npos) {
-      const std::string rest = spec.substr(at_pos + 1);
-      const auto colon = rest.find(':');
-      at = std::atoi(rest.substr(0, colon).c_str()) * kSec;
-      if (colon != std::string::npos) {
-        down_for = std::atoi(rest.substr(colon + 1).c_str()) * kSec;
-      }
+    if (at_pos == std::string::npos) {
+      std::cerr << "knots_ctl: --crash-node expects N@T[:D], got '" << spec
+                << "'\n";
+      return std::nullopt;
     }
-    builder.faults(fault::FaultPlan{}.node_crash(NodeId{node}, at, down_for));
+    const auto node = parse_int(spec.substr(0, at_pos));
+    const std::string rest = spec.substr(at_pos + 1);
+    const auto colon = rest.find(':');
+    const auto at = parse_int(rest.substr(0, colon));
+    std::optional<long long> down_for = 0;
+    if (colon != std::string::npos) down_for = parse_int(rest.substr(colon + 1));
+    if (!node || !at || !down_for || *node < 0 || *at < 0 || *down_for < 0) {
+      std::cerr << "knots_ctl: --crash-node expects N@T[:D], got '" << spec
+                << "'\n";
+      return std::nullopt;
+    }
+    builder.faults(fault::FaultPlan{}.node_crash(
+        NodeId{static_cast<std::int32_t>(*node)}, *at * kSec,
+        *down_for * kSec));
   }
   return builder.build();
 }
@@ -94,6 +177,10 @@ void print_report(const ExperimentReport& r) {
              fmt(r.mean_jct_s, 1) + " / " + fmt(r.p99_jct_s, 1)});
   table.row({"mean power W", fmt(r.mean_power_watts, 0)});
   table.row({"energy kJ", fmt(r.energy_joules / 1000, 1)});
+  std::ostringstream digest;
+  digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
+         << r.run_digest;
+  table.row({"run digest", digest.str()});
   table.print(std::cout);
 }
 
@@ -112,22 +199,67 @@ void export_csv(const ExperimentReport& r, const std::string& path) {
   std::cout << "wrote " << csv.rows_written() << " rows to " << path << "\n";
 }
 
+/// Writes via `emit` to `path`; returns false (with a message) on I/O error.
+template <typename Emit>
+bool write_file(const std::string& path, const char* what, Emit emit) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "knots_ctl: cannot write " << what << " to " << path << "\n";
+    return false;
+  }
+  emit(out);
+  std::cout << "wrote " << what << " to " << path << "\n";
+  return !out.fail();
+}
+
 int cmd_run(const std::map<std::string, std::string>& flags) {
-  const auto report = run_experiment(config_from_flags(flags));
+  const auto config = config_from_flags(flags);
+  if (!config) {
+    std::cerr << kUsage;
+    return 2;
+  }
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  const bool want_trace =
+      flags.count("trace") != 0 || flags.count("trace-bin") != 0;
+  RunObservability observability;
+  if (want_trace) observability.trace = &trace;
+  if (flags.count("metrics-out")) observability.metrics = &metrics;
+
+  const auto report = run_experiment(*config, observability);
   print_report(report);
   if (flags.count("csv")) export_csv(report, flags.at("csv"));
-  return 0;
+
+  bool io_ok = true;
+  if (flags.count("trace")) {
+    io_ok &= write_file(flags.at("trace"), "chrome trace",
+                        [&](std::ostream& os) { trace.export_chrome_trace(os); });
+  }
+  if (flags.count("trace-bin")) {
+    io_ok &= write_file(flags.at("trace-bin"), "binary trace",
+                        [&](std::ostream& os) { trace.export_binary(os); });
+  }
+  if (flags.count("metrics-out")) {
+    io_ok &= write_file(flags.at("metrics-out"), "metrics",
+                        [&](std::ostream& os) { metrics.to_json(os); });
+  }
+  return io_ok ? 0 : 1;
 }
 
 int cmd_sweep(const std::map<std::string, std::string>& flags) {
   const auto base = config_from_flags(flags);
+  if (!base) {
+    std::cerr << kUsage;
+    return 2;
+  }
   const std::vector<sched::SchedulerKind> kinds(sched::kAllSchedulers.begin(),
                                                 sched::kAllSchedulers.end());
   SweepGrid grid;
   grid.schedulers = kinds;
-  const auto results = run_sweep(base, grid);
+  const auto results = run_sweep(*base, grid);
   TablePrinter table("Scheduler sweep, app-mix-" +
-                     std::to_string(base.mix_id));
+                     std::to_string(base->mix_id));
   table.columns({"scheduler", "viol/kilo", "crashes", "evictions",
                  "util p50%", "energy kJ", "mean JCT s"});
   for (const auto& result : results) {
@@ -144,9 +276,16 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
 int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   dlsim::DlClusterConfig cluster;
   dlsim::DlWorkloadConfig wl;
-  if (flags.count("mix")) wl.mix_id = std::atoi(flags.at("mix").c_str());
-  if (flags.count("dlt")) wl.dlt_jobs = std::atoi(flags.at("dlt").c_str());
-  if (flags.count("dli")) wl.dli_queries = std::atoi(flags.at("dli").c_str());
+  const auto mix = int_flag(flags, "mix", wl.mix_id);
+  const auto dlt = int_flag(flags, "dlt", wl.dlt_jobs);
+  const auto dli = int_flag(flags, "dli", wl.dli_queries);
+  if (!mix || !dlt || !dli) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  wl.mix_id = static_cast<int>(*mix);
+  wl.dlt_jobs = static_cast<int>(*dlt);
+  wl.dli_queries = static_cast<int>(*dli);
   const auto results = dlsim::run_all_policies(cluster, wl);
   dlsim::print_dl_report(std::cout, results);
   return 0;
@@ -169,16 +308,28 @@ int cmd_list() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    std::cerr << "usage: knots_ctl <run|sweep|dlsim|list> [--flag value]...\n";
+  if (argc < 2) return usage_error("missing command");
+  const std::string cmd = argv[1];
+
+  static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
+      {"run",
+       {"mix", "scheduler", "duration", "nodes", "gpus", "seed", "csv",
+        "crash-node", "trace", "trace-bin", "metrics-out"}},
+      {"sweep", {"mix", "scheduler", "duration", "nodes", "gpus", "seed"}},
+      {"dlsim", {"mix", "dlt", "dli"}},
+      {"list", {}},
+  };
+  const auto allowed = kAllowedFlags.find(cmd);
+  if (allowed == kAllowedFlags.end()) {
+    return usage_error("unknown command: " + cmd);
+  }
+  const auto flags = parse_flags(argc, argv, 2, allowed->second);
+  if (!flags) {
+    std::cerr << kUsage;
     return 2;
   }
-  const std::string cmd = argv[1];
-  const auto flags = parse_flags(argc, argv, 2);
-  if (cmd == "run") return cmd_run(flags);
-  if (cmd == "sweep") return cmd_sweep(flags);
-  if (cmd == "dlsim") return cmd_dlsim(flags);
-  if (cmd == "list") return cmd_list();
-  std::cerr << "unknown command: " << cmd << "\n";
-  return 2;
+  if (cmd == "run") return cmd_run(*flags);
+  if (cmd == "sweep") return cmd_sweep(*flags);
+  if (cmd == "dlsim") return cmd_dlsim(*flags);
+  return cmd_list();
 }

@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "core/check.hpp"
+#include "obs/profile.hpp"
 
 namespace knots::cluster {
+
+using obs::EventKind;
 
 Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
     : config_(config), scheduler_(&scheduler), rng_(config.seed) {
@@ -138,6 +141,11 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   active_.push_back(id);
   gpu_last_busy_[static_cast<std::size_t>(gpu_id.value)] = now();
   for (auto* o : observers_) o->on_place(*this, id, gpu_id, provisioned_mb);
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kPlace, id.value, gpu_id.value,
+                   provisioned_mb);
+  }
+  if (registry_ != nullptr) registry_->counter("cluster.placements").inc();
   return true;
 }
 
@@ -149,6 +157,9 @@ bool Cluster::resize_pod(PodId id, double provisioned_mb) {
   if (!device(p.gpu()).resize(id, provisioned_mb)) return false;
   p.set_provisioned_mb(provisioned_mb);
   for (auto* o : observers_) o->on_resize(*this, id, provisioned_mb);
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kResize, id.value, -1, provisioned_mb);
+  }
   return true;
 }
 
@@ -160,6 +171,7 @@ bool Cluster::park(GpuId id) {
   if (dev.totals().residents > 0) return false;
   dev.set_parked(true);
   for (auto* o : observers_) o->on_park(*this, id);
+  if (trace_ != nullptr) trace_->record(now(), EventKind::kPark, id.value);
   return true;
 }
 
@@ -174,11 +186,17 @@ void Cluster::evict_node(NodeId id) {
       p.evict(now());
       ++evicted;
       for (auto* o : observers_) o->on_evict(*this, pod_id, id);
+      if (trace_ != nullptr) {
+        trace_->record(now(), EventKind::kEvict, pod_id.value, id.value);
+      }
       sim_.schedule_after(config_.evict_relaunch_delay, [this, pod_id] {
         auto& pod_ref = *pods_[static_cast<std::size_t>(pod_id.value)];
         pod_ref.requeue();
         pending_.push_back(pod_id);
         for (auto* o : observers_) o->on_requeue(*this, pod_id);
+        if (trace_ != nullptr) {
+          trace_->record(now(), EventKind::kRequeue, pod_id.value);
+        }
       });
     }
   }
@@ -192,6 +210,7 @@ void Cluster::evict_node(NodeId id) {
     return key.first == node_idx;
   });
   injector_->note_evictions(evicted);
+  if (registry_ != nullptr) registry_->counter("cluster.evictions").inc(evicted);
 }
 
 void Cluster::add_observer(ClusterObserver* observer) {
@@ -199,15 +218,41 @@ void Cluster::add_observer(ClusterObserver* observer) {
   observers_.push_back(observer);
 }
 
-void Cluster::on_arrival(PodId id) { pending_.push_back(id); }
+void Cluster::set_trace_sink(obs::TraceSink* sink) noexcept { trace_ = sink; }
+
+void Cluster::set_metrics_registry(obs::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    sched_profile_ = nullptr;
+    aggregator_.set_sort_profile(nullptr);
+    sim_.set_dispatch_profile(nullptr);
+    return;
+  }
+  sched_profile_ = &registry->histogram("sched.on_schedule_ns");
+  aggregator_.set_sort_profile(&registry->histogram("telemetry.agg_sort_ns"));
+  sim_.set_dispatch_profile(&registry->histogram("sim.dispatch_ns"));
+}
+
+void Cluster::on_arrival(PodId id) {
+  pending_.push_back(id);
+  if (trace_ != nullptr) trace_->record(now(), EventKind::kSubmit, id.value);
+}
 
 SchedulingContext Cluster::make_context() {
   return SchedulingContext{*this,          now(),          pending_,
-                           aggregator_,    profile_store_, fault_feed_};
+                           aggregator_,    profile_store_, fault_feed_,
+                           trace_};
 }
 
 void Cluster::apply_fault(const fault::FaultEvent& event) {
   const auto node_idx = static_cast<std::size_t>(event.node.value);
+  // A node-crash on an already-down node is absorbed below without effect;
+  // its kFaultInject record still lands, mirroring the injector's view.
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kFaultInject, event.node.value, -1,
+                   event.severity, fault::to_string(event.kind));
+  }
+  if (registry_ != nullptr) registry_->counter("cluster.faults_injected").inc();
   switch (event.kind) {
     case fault::FaultKind::kNodeCrash: {
       // A crash while already down (overlapping random-plan intervals) is
@@ -219,6 +264,9 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
       fault_feed_.push_back(
           {now(), fault::FaultKind::kNodeCrash, event.node, false});
       for (auto* o : observers_) o->on_node_down(*this, event.node);
+      if (trace_ != nullptr) {
+        trace_->record(now(), EventKind::kNodeDown, event.node.value);
+      }
       SchedulingContext ctx = make_context();
       scheduler_->on_node_down(ctx, event.node);
       if (event.duration > 0) {
@@ -245,6 +293,10 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
         if (!injector_->heartbeat_muted(node, now())) {
           fault_feed_.push_back(
               {now(), fault::FaultKind::kHeartbeatLoss, node, true});
+          if (trace_ != nullptr) {
+            trace_->record(now(), EventKind::kFaultRecover, node.value, -1,
+                           0.0, "heartbeat-loss");
+          }
         }
       });
       break;
@@ -258,6 +310,10 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
         if (injector_->pcie_slowdown(node, now()) == 1.0) {
           fault_feed_.push_back(
               {now(), fault::FaultKind::kPcieStall, node, true});
+          if (trace_ != nullptr) {
+            trace_->record(now(), EventKind::kFaultRecover, node.value, -1,
+                           0.0, "pcie-stall");
+          }
         }
       });
       break;
@@ -270,6 +326,11 @@ void Cluster::recover_node(NodeId id) {
   nodes_[static_cast<std::size_t>(id.value)]->set_online(true);
   fault_feed_.push_back({now(), fault::FaultKind::kNodeCrash, id, true});
   for (auto* o : observers_) o->on_node_up(*this, id);
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kNodeUp, id.value);
+    trace_->record(now(), EventKind::kFaultRecover, id.value, -1, 0.0,
+                   "node-crash");
+  }
   SchedulingContext ctx = make_context();
   scheduler_->on_node_up(ctx, id);
 }
@@ -360,6 +421,9 @@ void Cluster::start_ready_pods() {
     auto& p = *pods_[static_cast<std::size_t>(id.value)];
     if (p.state() == PodState::kStarting && p.ready_at() <= now()) {
       p.begin_running(now());
+      if (trace_ != nullptr) {
+        trace_->record(now(), EventKind::kStart, id.value, p.gpu().value);
+      }
       if (!device(p.gpu()).set_usage(id, p.current_usage())) {
         crash_pod(p);
       }
@@ -397,6 +461,11 @@ void Cluster::complete_pod(Pod& p) {
     metrics_->record_batch(b);
   }
   for (auto* o : observers_) o->on_complete(*this, p.id());
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kComplete, p.id().value, -1,
+                   p.progress());
+  }
+  if (registry_ != nullptr) registry_->counter("cluster.completions").inc();
 }
 
 void Cluster::crash_pod(Pod& p) {
@@ -405,11 +474,14 @@ void Cluster::crash_pod(Pod& p) {
   metrics_->record_crash();
   const PodId id = p.id();
   for (auto* o : observers_) o->on_crash(*this, id);
+  if (trace_ != nullptr) trace_->record(now(), EventKind::kCrash, id.value);
+  if (registry_ != nullptr) registry_->counter("cluster.crashes").inc();
   sim_.schedule_after(config_.relaunch_delay, [this, id] {
     auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
     pod_ref.requeue();
     pending_.push_back(id);
     for (auto* o : observers_) o->on_requeue(*this, id);
+    if (trace_ != nullptr) trace_->record(now(), EventKind::kRequeue, id.value);
   });
 }
 
@@ -444,6 +516,9 @@ void Cluster::maybe_park_idle_gpus() {
       for (auto* o : observers_) {
         o->on_park(*this, GpuId{static_cast<std::int32_t>(i)});
       }
+      if (trace_ != nullptr) {
+        trace_->record(now(), EventKind::kPark, static_cast<std::int32_t>(i));
+      }
     }
   }
 }
@@ -456,21 +531,31 @@ void Cluster::tick() {
   ++ticks_;
   advance_running_pods();
   start_ready_pods();
+  std::size_t nodes_sampled = 0;
   if (injector_->any_effects()) {
     // Down or heartbeat-muted nodes stop reporting; their series age toward
     // the staleness horizon while last-known-good values persist.
     for (std::size_t n = 0; n < samplers_.size(); ++n) {
       if (!injector_->heartbeat_muted(nodes_[n]->id(), now())) {
         samplers_[n].sample(now());
+        ++nodes_sampled;
       }
     }
   } else {
     for (auto& sampler : samplers_) sampler.sample(now());
+    nodes_sampled = samplers_.size();
+  }
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kScrape, -1, -1,
+                   static_cast<double>(nodes_sampled));
   }
   aggregator_.begin_tick(now());
   SchedulingContext ctx = make_context();
   if (injector_->any_effects()) detect_stale_transitions(ctx);
-  scheduler_->on_schedule(ctx);
+  {
+    KNOTS_PROF_SCOPE(sched_profile_);
+    scheduler_->on_schedule(ctx);
+  }
   fault_feed_.clear();
   maybe_park_idle_gpus();
 
@@ -482,7 +567,26 @@ void Cluster::tick() {
       (now() / config_.tick) % (config_.metrics_period / config_.tick) == 0) {
     sample_figure_metrics();
   }
+  if (registry_ != nullptr) update_tick_metrics();
   for (auto* o : observers_) o->on_tick_end(*this);
+}
+
+void Cluster::update_tick_metrics() {
+  registry_->counter("cluster.ticks").inc();
+  registry_->gauge("cluster.pending_pods")
+      .set(static_cast<double>(pending_.size()));
+  registry_->gauge("cluster.active_pods")
+      .set(static_cast<double>(active_.size()));
+  registry_->gauge("cluster.completed_pods")
+      .set(static_cast<double>(completed_));
+  double watts = 0;
+  std::size_t parked = 0;
+  for (const auto& node : nodes_) watts += node->power_watts();
+  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
+    if (device(GpuId{static_cast<std::int32_t>(i)}).parked()) ++parked;
+  }
+  registry_->gauge("cluster.power_watts").set(watts);
+  registry_->gauge("cluster.parked_gpus").set(static_cast<double>(parked));
 }
 
 }  // namespace knots::cluster

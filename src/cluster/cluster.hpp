@@ -25,6 +25,8 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "gpu/gpu_node.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/sampler.hpp"
@@ -140,6 +142,17 @@ class Cluster {
   /// outlive the cluster's run(); it is not owned.
   void add_observer(ClusterObserver* observer);
 
+  // ---- Observability API (obs layer; call before run()) ----
+  /// Attaches a tracer recording every lifecycle edge, fault transition,
+  /// telemetry scrape and scheduler decision. Not owned; nullptr detaches.
+  /// Purely observational — the decision sequence (and run digest) of a
+  /// traced run is bit-identical to the untraced run.
+  void set_trace_sink(obs::TraceSink* sink) noexcept;
+  /// Attaches a metrics registry: per-tick cluster gauges, lifecycle
+  /// counters, and the hot-path profiling histograms (sched.on_schedule_ns,
+  /// telemetry.agg_sort_ns, sim.dispatch_ns). Not owned; nullptr detaches.
+  void set_metrics_registry(obs::MetricsRegistry* registry);
+
  private:
   void on_arrival(PodId id);
   void tick();
@@ -153,6 +166,7 @@ class Cluster {
   void apply_fault(const fault::FaultEvent& event);
   void recover_node(NodeId id);
   void detect_stale_transitions(SchedulingContext& ctx);
+  void update_tick_metrics();
   [[nodiscard]] bool all_terminal() const;
   [[nodiscard]] gpu::Usage jittered(const gpu::Usage& usage, Rng& rng) const;
 
@@ -184,6 +198,11 @@ class Cluster {
   std::size_t completed_ = 0;
   std::uint64_t pod_rng_counter_ = 0;
   std::uint64_t ticks_ = 0;
+
+  // Observability (all optional, never sampled by the simulation itself).
+  obs::TraceSink* trace_ = nullptr;
+  obs::MetricsRegistry* registry_ = nullptr;
+  obs::Histogram* sched_profile_ = nullptr;  ///< sched.on_schedule_ns
 };
 
 }  // namespace knots::cluster

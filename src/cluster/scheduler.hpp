@@ -20,6 +20,9 @@
 namespace knots::telemetry {
 class UtilizationAggregator;
 }
+namespace knots::obs {
+class TraceSink;
+}
 
 namespace knots::cluster {
 
@@ -37,6 +40,9 @@ struct SchedulingContext {
   /// Fault transitions applied since the previous scheduling round,
   /// oldest-first (empty on every tick of a fault-free run).
   const std::vector<fault::FaultNotice>& fault_feed;
+  /// Optional tracer for kDecision rationale events; nullptr when the run
+  /// is untraced. Policies must behave identically either way.
+  obs::TraceSink* trace = nullptr;
 };
 
 class Scheduler {

@@ -65,7 +65,13 @@ DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
                            const DlWorkloadConfig& workload,
                            std::uint64_t seed) {
   Rng rng(seed);
-  const DlWorkload wl = generate_dl_workload(workload, rng.fork(1));
+  return run_dl_simulation(policy, cluster,
+                           generate_dl_workload(workload, rng.fork(1)), seed);
+}
+
+DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
+                           const DlWorkload& wl, std::uint64_t seed) {
+  Rng rng(seed);
   auto impl = make_dl_policy(policy, cluster, rng.fork(2));
 
   DlState state;

@@ -89,4 +89,11 @@ DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
                            const DlWorkloadConfig& workload,
                            std::uint64_t seed = 42);
 
+/// Runs a caller-built workload (hand-crafted job/query lists, edge-case
+/// tests). Bit-identical to the config overload when handed the workload it
+/// would have generated: the policy RNG is forked from the same stream.
+DlResult run_dl_simulation(DlPolicy policy, const DlClusterConfig& cluster,
+                           const DlWorkload& workload,
+                           std::uint64_t seed = 42);
+
 }  // namespace knots::dlsim

@@ -63,7 +63,18 @@ ExperimentReport build_report(const cluster::Cluster& cl,
 }
 
 ExperimentReport run_experiment(const ExperimentConfig& config) {
+  return run_experiment(config, RunObservability{});
+}
+
+ExperimentReport run_experiment(const ExperimentConfig& config,
+                                const RunObservability& observability) {
   KubeKnots knots(config);
+  if (observability.trace != nullptr) {
+    knots.attach_tracer(observability.trace);
+  }
+  if (observability.metrics != nullptr) {
+    knots.attach_metrics(observability.metrics);
+  }
   knots.submit_mix_workload();
   return knots.run();
 }

@@ -10,6 +10,11 @@
 
 #include "knots/config.hpp"
 
+namespace knots::obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace knots::obs
+
 namespace knots {
 
 /// Utilization percentiles in percent, in Fig 6/8/9 order.
@@ -65,6 +70,18 @@ ExperimentReport build_report(const cluster::Cluster& cl,
 
 /// Runs the configuration to completion (single-threaded, deterministic).
 ExperimentReport run_experiment(const ExperimentConfig& config);
+
+/// Optional observability attachments for a run. Both pointers are borrowed
+/// (must outlive the call) and may independently be null. Attaching either
+/// never changes the run's decisions or digest.
+struct RunObservability {
+  obs::TraceSink* trace = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// run_experiment with tracing/metrics attached for the run's duration.
+ExperimentReport run_experiment(const ExperimentConfig& config,
+                                const RunObservability& observability);
 
 /// Cartesian sweep grid: every (scheduler, seed, load_scale) combination
 /// becomes one independent experiment. `load_scales` multiply the base

@@ -63,6 +63,24 @@ void KubeKnots::submit_mix_workload() {
   for (auto& p : pods) submitted_.push_back(std::move(p));
 }
 
+void KubeKnots::attach_tracer(obs::TraceSink* sink) {
+  if (ran_) {
+    throw std::logic_error(
+        "KubeKnots::attach_tracer() called after run(); attach the tracer "
+        "before running");
+  }
+  cluster_->set_trace_sink(sink);
+}
+
+void KubeKnots::attach_metrics(obs::MetricsRegistry* registry) {
+  if (ran_) {
+    throw std::logic_error(
+        "KubeKnots::attach_metrics() called after run(); attach the "
+        "registry before running");
+  }
+  cluster_->set_metrics_registry(registry);
+}
+
 ExperimentReport KubeKnots::run() {
   if (ran_) {
     throw std::logic_error(

@@ -22,6 +22,10 @@ namespace knots::verify {
 class InvariantChecker;
 class RunDigest;
 }  // namespace knots::verify
+namespace knots::obs {
+class TraceSink;
+class MetricsRegistry;
+}  // namespace knots::obs
 
 namespace knots {
 
@@ -55,6 +59,14 @@ class KubeKnots {
   /// their distilled results also land on the ExperimentReport).
   [[nodiscard]] const verify::InvariantChecker& verifier() const;
   [[nodiscard]] const verify::RunDigest& digest() const;
+
+  /// Attaches an event tracer (not owned, must outlive run()). Tracing is
+  /// purely observational: the traced run's digest is bit-identical to the
+  /// untraced run. Throws std::logic_error once run() has been called.
+  void attach_tracer(obs::TraceSink* sink);
+  /// Attaches a metrics registry (not owned, must outlive run()).
+  /// Throws std::logic_error once run() has been called.
+  void attach_metrics(obs::MetricsRegistry* registry);
 
  private:
   ExperimentConfig config_;

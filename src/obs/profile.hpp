@@ -1,0 +1,60 @@
+// RAII profiling hooks for the hot paths.
+//
+// KNOTS_PROF_SCOPE(hist) times the enclosing scope on the steady clock and
+// records the elapsed nanoseconds into an obs::Histogram — a null histogram
+// (profiling not attached) costs one branch. Timings feed the metrics
+// registry only, never the simulation: wall-clock jitter cannot perturb a
+// run's decision sequence.
+//
+// Building with -DKNOTS_TRACE=OFF defines KNOTS_TRACE_OFF and compiles the
+// timer to a true no-op (no clock reads, no stored state), for measuring the
+// observability layer's own overhead budget (DESIGN.md §8).
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace knots::obs {
+
+#ifndef KNOTS_TRACE_OFF
+
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Histogram* hist) noexcept : hist_(hist) {
+    if (hist_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopeTimer() {
+    if (hist_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      hist_->record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+#else  // KNOTS_TRACE_OFF: compile the hooks out entirely.
+
+class ScopeTimer {
+ public:
+  explicit ScopeTimer(Histogram*) noexcept {}
+  ScopeTimer(const ScopeTimer&) = delete;
+  ScopeTimer& operator=(const ScopeTimer&) = delete;
+};
+
+#endif
+
+}  // namespace knots::obs
+
+#define KNOTS_PROF_CONCAT_INNER(a, b) a##b
+#define KNOTS_PROF_CONCAT(a, b) KNOTS_PROF_CONCAT_INNER(a, b)
+/// Times the enclosing scope into `hist` (an obs::Histogram*, may be null).
+#define KNOTS_PROF_SCOPE(hist) \
+  ::knots::obs::ScopeTimer KNOTS_PROF_CONCAT(knots_prof_scope_, __LINE__)(hist)

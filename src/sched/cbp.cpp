@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/percentile.hpp"
+#include "obs/trace.hpp"
 
 namespace knots::sched {
 
@@ -177,7 +178,13 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
         continue;
       }
       placed = cl.place(id, view.gpu, size);
-      if (placed) break;
+      if (placed) {
+        if (ctx.trace != nullptr) {
+          ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
+                            view.gpu.value, size, rationale_placed_);
+        }
+        break;
+      }
     }
     if (placed) continue;
 
@@ -189,7 +196,18 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
       auto& dev = cl.device(gpu);
       if (!dev.parked()) continue;
       if (!dev.provision_fits(size)) continue;
-      if (cl.place(id, gpu, size)) break;
+      if (cl.place(id, gpu, size)) {
+        placed = true;
+        if (ctx.trace != nullptr) {
+          ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
+                            gpu.value, size, rationale_woke_);
+        }
+        break;
+      }
+    }
+    if (!placed && ctx.trace != nullptr) {
+      ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value, -1,
+                        size, rationale_no_fit_);
     }
   }
 }

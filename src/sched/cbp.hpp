@@ -18,7 +18,8 @@ namespace knots::sched {
 
 class CbpScheduler : public cluster::Scheduler {
  public:
-  explicit CbpScheduler(SchedParams params = {}) : params_(params) {}
+  explicit CbpScheduler(SchedParams params = {})
+      : CbpScheduler(params, "cbp") {}
 
   [[nodiscard]] std::string name() const override { return "CBP"; }
   void on_schedule(cluster::SchedulingContext& ctx) override;
@@ -28,6 +29,14 @@ class CbpScheduler : public cluster::Scheduler {
   [[nodiscard]] const SchedParams& params() const noexcept { return params_; }
 
  protected:
+  /// Derived policies (PP) pass their own prefix so traced kDecision
+  /// rationales carry the right policy tag.
+  CbpScheduler(SchedParams params, const std::string& trace_prefix)
+      : params_(params),
+        rationale_placed_(trace_prefix + ":best-fit"),
+        rationale_woke_(trace_prefix + ":woke-parked"),
+        rationale_no_fit_(trace_prefix + ":no-fit") {}
+
   /// PP's hook: may admit a positively-correlated co-location when the
   /// node's forecast says the peaks will not collide. CBP never does.
   [[nodiscard]] virtual bool forecast_override(
@@ -58,6 +67,9 @@ class CbpScheduler : public cluster::Scheduler {
   void harvest(cluster::Cluster& cluster);
 
   SchedParams params_;
+  std::string rationale_placed_;
+  std::string rationale_woke_;
+  std::string rationale_no_fit_;
 };
 
 }  // namespace knots::sched

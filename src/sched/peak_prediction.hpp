@@ -17,7 +17,7 @@ namespace knots::sched {
 class PeakPredictionScheduler final : public CbpScheduler {
  public:
   explicit PeakPredictionScheduler(SchedParams params = {})
-      : CbpScheduler(params) {}
+      : CbpScheduler(params, "pp") {}
 
   [[nodiscard]] std::string name() const override { return "PP"; }
 

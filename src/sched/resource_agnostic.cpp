@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/trace.hpp"
 
 namespace knots::sched {
 
@@ -32,7 +33,14 @@ void ResourceAgnosticScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     if (!feasible.empty()) {
       const auto pick = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(feasible.size()) - 1));
-      (void)cl.place(id, feasible[pick], request);
+      if (cl.place(id, feasible[pick], request) && ctx.trace != nullptr) {
+        ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
+                          feasible[pick].value, request,
+                          "resag:random-feasible");
+      }
+    } else if (ctx.trace != nullptr) {
+      ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value, -1,
+                        request, "resag:no-shares");
     }
   }
 }

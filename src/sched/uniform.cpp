@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "obs/trace.hpp"
 
 namespace knots::sched {
 
@@ -30,10 +31,20 @@ void UniformScheduler::on_schedule(cluster::SchedulingContext& ctx) {
       placed = cl.place(head, gpu, provision);
       if (placed) {
         rr_cursor_ = (rr_cursor_ + k + 1) % gpus.size();
+        if (ctx.trace != nullptr) {
+          ctx.trace->record(ctx.now, obs::EventKind::kDecision, head.value,
+                            gpu.value, provision, "uniform:round-robin");
+        }
         break;
       }
     }
-    if (!placed) break;
+    if (!placed) {
+      if (ctx.trace != nullptr) {
+        ctx.trace->record(ctx.now, obs::EventKind::kDecision, head.value, -1,
+                          0.0, "uniform:head-of-line-blocked");
+      }
+      break;
+    }
   }
 }
 

@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/profile.hpp"
+
 namespace knots::sim {
 
 void Simulation::schedule_at(SimTime t, Handler fn) {
@@ -21,7 +23,10 @@ void Simulation::run_until(SimTime end) {
     KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
     now_ = ev.time;
     ++processed_;
-    ev.fn();
+    {
+      KNOTS_PROF_SCOPE(dispatch_profile_);
+      ev.fn();
+    }
   }
   if (now_ < end) now_ = end;
 }
@@ -35,7 +40,10 @@ void Simulation::run_all() {
     KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
     now_ = ev.time;
     ++processed_;
-    ev.fn();
+    {
+      KNOTS_PROF_SCOPE(dispatch_profile_);
+      ev.fn();
+    }
   }
 }
 

@@ -11,6 +11,7 @@
 
 #include "core/check.hpp"
 #include "core/types.hpp"
+#include "obs/metrics.hpp"
 
 namespace knots::sim {
 
@@ -47,6 +48,12 @@ class Simulation {
   /// in-flight event completes.
   void request_stop() noexcept { stop_requested_ = true; }
 
+  /// Profiles each event dispatch (handler wall time, ns) into `hist`.
+  /// Pass nullptr to detach. Observation only — never affects ordering.
+  void set_dispatch_profile(obs::Histogram* hist) noexcept {
+    dispatch_profile_ = hist;
+  }
+
  private:
   struct Event {
     SimTime time;
@@ -65,6 +72,7 @@ class Simulation {
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stop_requested_ = false;
+  obs::Histogram* dispatch_profile_ = nullptr;
 };
 
 /// Repeating tick helper: invokes `fn(now)` every `period` until it returns

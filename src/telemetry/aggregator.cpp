@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hpp"
+
 namespace knots::telemetry {
 
 void UtilizationAggregator::register_node(const gpu::GpuNode& node,
@@ -47,6 +49,7 @@ std::vector<GpuView> UtilizationAggregator::snapshot() const {
 
 const std::vector<GpuView>&
 UtilizationAggregator::active_sorted_by_free_memory() const {
+  KNOTS_PROF_SCOPE(sort_profile_);
   snapshot_scratch_.clear();
   snapshot_into(snapshot_scratch_);
   std::erase_if(snapshot_scratch_,

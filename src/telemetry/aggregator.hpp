@@ -19,6 +19,7 @@
 
 #include "core/types.hpp"
 #include "gpu/gpu_node.hpp"
+#include "obs/metrics.hpp"
 #include "telemetry/timeseries_db.hpp"
 
 namespace knots::telemetry {
@@ -97,6 +98,12 @@ class UtilizationAggregator {
                                                     SimTime now,
                                                     SimTime window) const;
 
+  /// Profiles each active_sorted_by_free_memory() call (wall time, ns) into
+  /// `hist`. Pass nullptr to detach. Observation only.
+  void set_sort_profile(obs::Histogram* hist) noexcept {
+    sort_profile_ = hist;
+  }
+
  private:
   struct Entry {
     const gpu::GpuNode* node;
@@ -115,6 +122,7 @@ class UtilizationAggregator {
   mutable std::vector<GpuView> active_input_;
   mutable std::vector<GpuView> active_sorted_;
   mutable bool active_cache_valid_ = false;
+  obs::Histogram* sort_profile_ = nullptr;
 };
 
 }  // namespace knots::telemetry

@@ -83,6 +83,13 @@ AppProfile AppProfile::time_scaled(double factor) const {
   return AppProfile(name_, std::move(scaled), cycles_);
 }
 
+AppProfile AppProfile::memory_scaled(double factor) const {
+  KNOTS_CHECK(factor > 0);
+  std::vector<Phase> scaled = phases_;
+  for (auto& ph : scaled) ph.usage.memory_mb *= factor;
+  return AppProfile(name_, std::move(scaled), cycles_);
+}
+
 AppProfile AppProfile::with_cycles(int cycles) const {
   return AppProfile(name_, phases_, cycles);
 }

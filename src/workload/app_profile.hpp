@@ -57,6 +57,11 @@ class AppProfile {
   /// (scaling a sub-second characterization run up to batch-job length).
   [[nodiscard]] AppProfile time_scaled(double factor) const;
 
+  /// Returns a copy with every phase's memory demand multiplied by `factor`
+  /// (SM/PCIe demand unchanged). With power-of-two factors the scaling is
+  /// exact in IEEE arithmetic — the metamorphic scheduler tests rely on it.
+  [[nodiscard]] AppProfile memory_scaled(double factor) const;
+
   /// Returns a copy repeating for `cycles` cycles.
   [[nodiscard]] AppProfile with_cycles(int cycles) const;
 

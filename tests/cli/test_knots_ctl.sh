@@ -1,0 +1,82 @@
+#!/bin/sh
+# CLI contract test for knots_ctl: strict flag validation (unknown or
+# malformed input exits 2 with usage on stderr) and the observability
+# outputs (--trace / --trace-bin / --metrics-out) land on disk.
+#
+# Usage: test_knots_ctl.sh /path/to/knots_ctl
+set -u
+
+CTL="${1:?usage: test_knots_ctl.sh /path/to/knots_ctl}"
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+failures=0
+
+fail() {
+  echo "FAIL: $1" >&2
+  failures=$((failures + 1))
+}
+
+# expect_reject <description> -- <args...>: must exit 2 and print usage.
+expect_reject() {
+  desc="$1"
+  shift 2
+  "$CTL" "$@" >"$WORK/out" 2>"$WORK/err"
+  rc=$?
+  [ "$rc" -eq 2 ] || fail "$desc: expected exit 2, got $rc"
+  grep -q "usage:" "$WORK/err" || fail "$desc: no usage text on stderr"
+}
+
+# ---- rejection matrix ----
+expect_reject "no command"            --
+expect_reject "unknown command"       -- frobnicate
+expect_reject "unknown flag"          -- run --mix 1 --scheduler CBP --duration 5 --bogus 1
+expect_reject "missing flag value"    -- run --mix 1 --scheduler CBP --duration
+expect_reject "malformed int"         -- run --mix 1 --scheduler CBP --duration five
+expect_reject "unknown scheduler"     -- run --mix 1 --scheduler FancyNew --duration 5
+expect_reject "duplicate flag"        -- run --mix 1 --mix 2 --scheduler CBP --duration 5
+expect_reject "malformed crash spec"  -- run --mix 1 --scheduler CBP --duration 5 --crash-node banana
+expect_reject "bare positional"       -- run 1 CBP 5
+expect_reject "flag on list"          -- list --mix 1
+
+# list, by contrast, succeeds bare.
+"$CTL" list >"$WORK/list_out" 2>&1 || fail "list: expected exit 0, got $?"
+grep -qi "cbp" "$WORK/list_out" || fail "list: CBP missing from output"
+
+# ---- observability outputs on a real faulted run ----
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 \
+  --crash-node "1@5:3" \
+  --trace "$WORK/trace.json" \
+  --trace-bin "$WORK/trace.trc" \
+  --metrics-out "$WORK/metrics.json" >"$WORK/run_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "traced run: expected exit 0, got $rc (output: $(cat "$WORK/run_out"))"
+
+grep -q "run digest" "$WORK/run_out" || fail "report: 'run digest' row missing"
+grep -q "0x" "$WORK/run_out" || fail "report: digest not hex-formatted"
+
+[ -s "$WORK/trace.json" ] || fail "--trace: trace.json missing or empty"
+grep -q '"traceEvents"' "$WORK/trace.json" || fail "--trace: not chrome-trace JSON"
+grep -q '"name":"place"' "$WORK/trace.json" || fail "--trace: no placement events"
+grep -q '"name":"node down"' "$WORK/trace.json" || fail "--trace: crash-node fault left no node-down event"
+
+[ -s "$WORK/trace.trc" ] || fail "--trace-bin: trace.trc missing or empty"
+head -c 8 "$WORK/trace.trc" | grep -q "KNOBTRC1" || fail "--trace-bin: bad magic"
+
+[ -s "$WORK/metrics.json" ] || fail "--metrics-out: metrics.json missing or empty"
+grep -q '"counters"' "$WORK/metrics.json" || fail "--metrics-out: no counters section"
+grep -q "cluster.placements" "$WORK/metrics.json" || fail "--metrics-out: placement counter missing"
+
+# ---- tracing must not perturb the digest ----
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \
+  >"$WORK/untraced_out" 2>&1 || fail "untraced run: expected exit 0, got $?"
+traced_digest=$(grep "run digest" "$WORK/run_out")
+untraced_digest=$(grep "run digest" "$WORK/untraced_out")
+[ -n "$traced_digest" ] && [ "$traced_digest" = "$untraced_digest" ] || \
+  fail "digest drift: traced='$traced_digest' untraced='$untraced_digest'"
+
+if [ "$failures" -ne 0 ]; then
+  echo "test_knots_ctl.sh: $failures check(s) failed" >&2
+  exit 1
+fi
+echo "test_knots_ctl.sh: all checks passed"

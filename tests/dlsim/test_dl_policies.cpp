@@ -1,7 +1,9 @@
 // Unit-level behaviour of the individual DL policies.
 #include <gtest/gtest.h>
 
+#include "dlsim/dl_cluster.hpp"
 #include "dlsim/dl_policies.hpp"
+#include "dlsim/dl_workload.hpp"
 
 namespace knots::dlsim {
 namespace {
@@ -135,6 +137,69 @@ TEST(CbpPpPolicy, BackfillsAroundBlockedGang) {
   policy.schedule(state);
   EXPECT_FALSE(state.jobs[0].running);
   EXPECT_TRUE(state.jobs[1].running);  // small job backfills past the head
+}
+
+TEST(DlSimulation, TwoJobTraceShortJobBenefitsFromSizeAwareness) {
+  // One GPU, a long trainer at t=0 and a short one a minute later. A FIFO
+  // policy (Res-Ag) makes the short job wait out the long one; size/LAS
+  // aware policies (Tiresias, Gandiva) let it through, so their mean JCT
+  // on this hand-built trace must not be worse.
+  DlClusterConfig cluster;
+  cluster.nodes = 1;
+  cluster.gpus_per_node = 1;
+
+  DlWorkload wl;
+  wl.horizon = 6 * kHour;
+  wl.jobs = {job(0, 1, 2 * kHour, /*arrival=*/0),
+             job(1, 1, 15 * kMinute, /*arrival=*/1 * kMinute)};
+
+  const auto resag =
+      run_dl_simulation(DlPolicy::kResAg, cluster, wl, /*seed=*/7);
+  const auto tiresias =
+      run_dl_simulation(DlPolicy::kTiresias, cluster, wl, /*seed=*/7);
+  const auto gandiva =
+      run_dl_simulation(DlPolicy::kGandiva, cluster, wl, /*seed=*/7);
+
+  ASSERT_EQ(resag.dlt_completed, 2u);
+  ASSERT_EQ(tiresias.dlt_completed, 2u);
+  ASSERT_EQ(gandiva.dlt_completed, 2u);
+  EXPECT_LE(tiresias.avg_jct_h, resag.avg_jct_h);
+  EXPECT_LE(gandiva.avg_jct_h, resag.avg_jct_h);
+  // Under FIFO the short job's JCT includes the long job's residual
+  // service, so the trace has real head-of-line blocking to harvest.
+  EXPECT_GT(resag.avg_jct_h, 1.0);
+}
+
+TEST(DlSimulation, ConfigAndExplicitWorkloadPathsAgree) {
+  // run_dl_simulation(config) must equal generating the workload by hand
+  // (fork stream 1) and calling the explicit-workload overload —
+  // bit-identical results, not just statistically close.
+  DlClusterConfig cluster;
+  cluster.nodes = 2;
+  cluster.gpus_per_node = 4;
+  DlWorkloadConfig workload;
+  workload.dlt_jobs = 24;
+  workload.dli_queries = 60;
+  workload.window = 2 * kHour;
+
+  for (const auto policy : {DlPolicy::kResAg, DlPolicy::kGandiva,
+                            DlPolicy::kTiresias, DlPolicy::kCbpPp}) {
+    SCOPED_TRACE(to_string(policy));
+    const std::uint64_t seed = 11;
+    const auto via_config =
+        run_dl_simulation(policy, cluster, workload, seed);
+    Rng rng(seed);
+    const DlWorkload wl = generate_dl_workload(workload, rng.fork(1));
+    const auto via_workload = run_dl_simulation(policy, cluster, wl, seed);
+
+    EXPECT_EQ(via_config.avg_jct_h, via_workload.avg_jct_h);
+    EXPECT_EQ(via_config.median_jct_h, via_workload.median_jct_h);
+    EXPECT_EQ(via_config.p99_jct_h, via_workload.p99_jct_h);
+    EXPECT_EQ(via_config.dlt_completed, via_workload.dlt_completed);
+    EXPECT_EQ(via_config.dli_violations, via_workload.dli_violations);
+    EXPECT_EQ(via_config.crash_restarts, via_workload.crash_restarts);
+    EXPECT_EQ(via_config.preemptions, via_workload.preemptions);
+  }
 }
 
 TEST(CbpPpPolicy, LullForecastServesQueryNearNative) {

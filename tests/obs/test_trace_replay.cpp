@@ -1,0 +1,209 @@
+// Trace ↔ digest consistency.
+//
+// The cluster emits every observer-visible decision into the TraceSink at
+// the same simulated timestamp, in the same order, with the same operands
+// the RunDigest folds. That makes the trace strong enough to *replay* the
+// digest: walking the trace and re-mixing the digest's per-kind recipe must
+// reproduce the run digest bit-for-bit, for every scheduler, with and
+// without a fault storm. Any divergence means the trace dropped, reordered
+// or mislabelled a decision.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "knots/experiment.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "verify/run_digest.hpp"
+
+namespace knots::obs {
+namespace {
+
+ExperimentConfig golden_config(sched::SchedulerKind kind) {
+  // Same recipe as tests/fault/test_fault_determinism.cpp — the digests it
+  // pins are the ones replayed here.
+  ExperimentConfig cfg = default_experiment(1, kind);
+  cfg.cluster.nodes = 4;
+  cfg.workload.duration = 30 * kSec;
+  return cfg;
+}
+
+fault::FaultPlan storm_plan() {
+  return fault::FaultPlan{}
+      .node_crash(NodeId{1}, 15 * kSec, 10 * kSec)
+      .gpu_ecc_degrade(NodeId{0}, 3 * kSec, 1024.0)
+      .heartbeat_loss(NodeId{2}, 8 * kSec, 4 * kSec)
+      .pcie_stall(NodeId{3}, 12 * kSec, 6 * kSec, 4.0);
+}
+
+// Rebuilds the run digest from the trace alone, mirroring RunDigest's
+// per-event recipe (tag, timestamp, operands). Kinds the digest does not
+// observe (submit, start, faults, scrapes, decisions) are skipped.
+std::uint64_t replay_digest(const TraceSink& trace) {
+  verify::RunDigest digest;
+  const auto record = [&](std::uint64_t tag, const TraceEvent& e) {
+    digest.mix_u64(tag);
+    digest.mix_u64(static_cast<std::uint64_t>(e.ts));
+  };
+  for (const TraceEvent& e : trace.events()) {
+    const auto a = static_cast<std::uint64_t>(e.a);
+    const auto b = static_cast<std::uint64_t>(e.b);
+    switch (e.kind) {
+      case EventKind::kPlace:
+        record(0x01, e);
+        digest.mix_u64(a);       // pod
+        digest.mix_u64(b);       // gpu
+        digest.mix_double(e.value);  // provisioned MB
+        break;
+      case EventKind::kResize:
+        record(0x02, e);
+        digest.mix_u64(a);
+        digest.mix_double(e.value);
+        break;
+      case EventKind::kCrash:
+        record(0x03, e);
+        digest.mix_u64(a);
+        break;
+      case EventKind::kRequeue:
+        record(0x04, e);
+        digest.mix_u64(a);
+        break;
+      case EventKind::kComplete:
+        record(0x05, e);
+        digest.mix_u64(a);
+        digest.mix_double(e.value);  // final progress
+        break;
+      case EventKind::kPark:
+        record(0x06, e);
+        digest.mix_u64(a);       // gpu
+        break;
+      case EventKind::kEvict:
+        record(0x07, e);
+        digest.mix_u64(a);       // pod
+        digest.mix_u64(b);       // node
+        break;
+      case EventKind::kNodeDown:
+        record(0x08, e);
+        digest.mix_u64(a);
+        break;
+      case EventKind::kNodeUp:
+        record(0x09, e);
+        digest.mix_u64(a);
+        break;
+      case EventKind::kSubmit:
+      case EventKind::kStart:
+      case EventKind::kFaultInject:
+      case EventKind::kFaultRecover:
+      case EventKind::kScrape:
+      case EventKind::kDecision:
+        break;
+    }
+  }
+  return digest.value();
+}
+
+TEST(TraceReplay, ReplayedDigestMatchesRunDigestAcrossMatrix) {
+  for (auto kind : sched::kAllSchedulers) {
+    for (const bool faulted : {false, true}) {
+      SCOPED_TRACE(std::string(sched::to_string(kind)) +
+                   (faulted ? " (storm)" : " (fault-free)"));
+      ExperimentConfig cfg = golden_config(kind);
+      if (faulted) cfg.faults = storm_plan();
+      TraceSink trace;
+      const auto report = run_experiment(cfg, RunObservability{&trace});
+      EXPECT_FALSE(trace.empty());
+      EXPECT_EQ(replay_digest(trace), report.run_digest)
+          << "trace replay diverged from the live digest";
+    }
+  }
+}
+
+TEST(TraceReplay, TracingLeavesTheDigestUntouched) {
+  // A traced run and an untraced run of the same config must agree, and the
+  // fault-free traced run must still hit the pinned golden digests — tracing
+  // is strictly an observer, never a participant.
+  struct Golden {
+    sched::SchedulerKind kind;
+    std::uint64_t digest;
+  };
+  const Golden golden[] = {
+      {sched::SchedulerKind::kUniform, 0xd0c2a2db96af286dull},
+      {sched::SchedulerKind::kResourceAgnostic, 0x07884542fa949d9eull},
+      {sched::SchedulerKind::kCbp, 0x7173dae2bf4b9374ull},
+      {sched::SchedulerKind::kPeakPrediction, 0x86e8b45560a1a94cull},
+  };
+  for (const auto& g : golden) {
+    SCOPED_TRACE(sched::to_string(g.kind));
+    ExperimentConfig cfg = golden_config(g.kind);
+    TraceSink trace;
+    MetricsRegistry metrics;
+    const auto traced = run_experiment(cfg, RunObservability{&trace, &metrics});
+    const auto untraced = run_experiment(cfg);
+    EXPECT_EQ(traced.run_digest, untraced.run_digest);
+    EXPECT_EQ(traced.run_digest, g.digest)
+        << "traced digest drifted (actual 0x" << std::hex << traced.run_digest
+        << ")";
+  }
+}
+
+TEST(TraceReplay, TraceCountsReconcileWithTheReport) {
+  // CBP under the storm: the trace's per-kind tallies must agree with the
+  // report's aggregate counters event-for-event.
+  ExperimentConfig cfg = golden_config(sched::SchedulerKind::kCbp);
+  cfg.faults = storm_plan();
+  TraceSink trace;
+  MetricsRegistry metrics;
+  const auto report = run_experiment(cfg, RunObservability{&trace, &metrics});
+
+  EXPECT_EQ(trace.count(EventKind::kSubmit), report.pods_total);
+  EXPECT_EQ(trace.count(EventKind::kComplete), report.pods_completed);
+  EXPECT_EQ(trace.count(EventKind::kCrash), report.crashes);
+  EXPECT_EQ(trace.count(EventKind::kEvict), report.pods_evicted);
+  EXPECT_EQ(trace.count(EventKind::kNodeDown), report.node_crashes);
+  EXPECT_EQ(trace.count(EventKind::kNodeUp), report.node_recoveries);
+  EXPECT_EQ(trace.count(EventKind::kScrape), report.ticks);
+  // Requeues are deferred relaunch events, so at most one per crash or
+  // eviction (fewer if the run ends inside a restart delay).
+  EXPECT_LE(trace.count(EventKind::kRequeue),
+            report.crashes + report.pods_evicted);
+  // The storm injects four faults.
+  EXPECT_EQ(trace.count(EventKind::kFaultInject), 4u);
+  // CBP narrates every placement it makes.
+  EXPECT_GE(trace.count(EventKind::kDecision),
+            trace.count(EventKind::kPlace));
+
+  // The same counters flow through the metrics registry.
+  const auto* placements = metrics.find_counter("cluster.placements");
+  ASSERT_NE(placements, nullptr);
+  EXPECT_EQ(placements->value(), trace.count(EventKind::kPlace));
+  const auto* completions = metrics.find_counter("cluster.completions");
+  ASSERT_NE(completions, nullptr);
+  EXPECT_EQ(completions->value(), report.pods_completed);
+  const auto* ticks = metrics.find_counter("cluster.ticks");
+  ASSERT_NE(ticks, nullptr);
+  EXPECT_EQ(ticks->value(), report.ticks);
+
+  // And the chrome export of a real faulted run is non-trivial.
+  std::ostringstream os;
+  trace.export_chrome_trace(os);
+  EXPECT_GT(os.str().size(), 1000u);
+  EXPECT_NE(os.str().find("cbp:"), std::string::npos);
+}
+
+TEST(TraceReplay, BinaryRoundTripPreservesTheReplay) {
+  ExperimentConfig cfg = golden_config(sched::SchedulerKind::kPeakPrediction);
+  cfg.faults = storm_plan();
+  TraceSink trace;
+  const auto report = run_experiment(cfg, RunObservability{&trace});
+
+  std::stringstream buf;
+  trace.export_binary(buf);
+  const TraceSink loaded = TraceSink::import_binary(buf);
+  EXPECT_EQ(replay_digest(loaded), report.run_digest);
+}
+
+}  // namespace
+}  // namespace knots::obs

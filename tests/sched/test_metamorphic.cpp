@@ -1,0 +1,115 @@
+// Metamorphic properties of the scheduling policies.
+//
+// Property 1 (scale invariance): memory is a *ratio* game. Scaling every
+// pod's footprint, every declared request and every GPU's capacity by the
+// same power-of-two factor leaves all free-memory comparisons, correlation
+// tests and utilization ratios bit-identical (IEEE multiplication by 2 is
+// exact), so every policy must make the same placement sequence — same
+// pods, same GPUs, same timestamps — with provisioned sizes exactly
+// doubled.
+//
+// Property 2 (empty-plan inertness): a zero-length FaultPlan must be
+// indistinguishable from no plan at all, digest-for-digest.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "knots/experiment.hpp"
+#include "knots/kube_knots.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "workload/app_mix.hpp"
+#include "workload/load_generator.hpp"
+
+namespace knots::sched {
+namespace {
+
+constexpr double kScale = 2.0;  // Power of two: exact in IEEE doubles.
+
+ExperimentConfig small_config(SchedulerKind kind) {
+  ExperimentConfig cfg = default_experiment(1, kind);
+  cfg.cluster.nodes = 4;
+  cfg.workload.duration = 30 * kSec;
+  return cfg;
+}
+
+/// The (ts, pod, gpu, provisioned_mb) placement sequence of one run.
+struct Placement {
+  SimTime ts;
+  std::int32_t pod;
+  std::int32_t gpu;
+  double mb;
+};
+
+std::vector<Placement> run_and_capture(const ExperimentConfig& cfg,
+                                       const std::vector<workload::PodSpec>&
+                                           pods) {
+  obs::TraceSink trace;
+  KubeKnots knots(cfg);
+  knots.attach_tracer(&trace);
+  for (const auto& spec : pods) knots.submit(spec);
+  (void)knots.run();
+  std::vector<Placement> placements;
+  for (const auto& e : trace.events()) {
+    if (e.kind != obs::EventKind::kPlace) continue;
+    placements.push_back(Placement{e.ts, e.a, e.b, e.value});
+  }
+  return placements;
+}
+
+TEST(Metamorphic, MemoryScaleInvariance) {
+  for (auto kind : kAllSchedulers) {
+    SCOPED_TRACE(to_string(kind));
+    const ExperimentConfig base_cfg = small_config(kind);
+
+    // One workload, generated once; the scaled run doubles every memory
+    // quantity in it and the GPU capacity, nothing else.
+    const auto base_pods = workload::generate_workload(
+        workload::app_mix(base_cfg.mix_id), base_cfg.workload,
+        Rng(base_cfg.seed));
+    std::vector<workload::PodSpec> scaled_pods;
+    scaled_pods.reserve(base_pods.size());
+    for (const auto& spec : base_pods) {
+      workload::PodSpec s = spec;
+      s.requested_mb *= kScale;
+      s.profile = spec.profile.memory_scaled(kScale);
+      scaled_pods.push_back(std::move(s));
+    }
+    ExperimentConfig scaled_cfg = base_cfg;
+    scaled_cfg.cluster.node_spec.gpu.memory_mb *= kScale;
+    scaled_cfg.workload.device_memory_mb *= kScale;
+
+    const auto base = run_and_capture(base_cfg, base_pods);
+    const auto scaled = run_and_capture(scaled_cfg, scaled_pods);
+
+    ASSERT_FALSE(base.empty());
+    ASSERT_EQ(base.size(), scaled.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      SCOPED_TRACE("placement #" + std::to_string(i));
+      EXPECT_EQ(base[i].ts, scaled[i].ts);
+      EXPECT_EQ(base[i].pod, scaled[i].pod);
+      EXPECT_EQ(base[i].gpu, scaled[i].gpu);
+      EXPECT_EQ(scaled[i].mb, kScale * base[i].mb);
+    }
+  }
+}
+
+TEST(Metamorphic, ZeroLengthFaultPlanMatchesNoPlan) {
+  for (auto kind : kAllSchedulers) {
+    SCOPED_TRACE(to_string(kind));
+    const ExperimentConfig cfg = small_config(kind);
+
+    ExperimentConfig with_empty_plan = cfg;
+    with_empty_plan.faults = fault::FaultPlan{};
+
+    const auto bare = run_experiment(cfg);
+    const auto planned = run_experiment(with_empty_plan);
+    EXPECT_EQ(bare.run_digest, planned.run_digest);
+    EXPECT_EQ(bare.pods_completed, planned.pods_completed);
+    EXPECT_EQ(bare.energy_joules, planned.energy_joules);
+  }
+}
+
+}  // namespace
+}  // namespace knots::sched

@@ -1,0 +1,108 @@
+// Degenerate workload shapes the orchestrator must survive: an empty run,
+// a single pod, and an arrival burst far beyond cluster capacity.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "knots/experiment.hpp"
+#include "knots/kube_knots.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "workload/rodinia.hpp"
+
+namespace knots::workload {
+namespace {
+
+ExperimentConfig tiny_config(sched::SchedulerKind kind) {
+  return ExperimentConfig::Builder{}
+      .scheduler(kind)
+      .nodes(2)
+      .duration(10 * kSec)
+      .build();
+}
+
+PodSpec batch_pod(SimTime arrival, double requested_mb) {
+  PodSpec spec;
+  spec.app = "pathfinder";
+  spec.klass = PodClass::kBatch;
+  spec.arrival = arrival;
+  spec.profile = rodinia_profile(RodiniaApp::kPathfinder).time_scaled(20.0);
+  spec.requested_mb = requested_mb;
+  return spec;
+}
+
+TEST(WorkloadEdgeCases, EmptyWorkloadTerminatesWithEmptyTrace) {
+  for (auto kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    obs::TraceSink trace;
+    KubeKnots knots(tiny_config(kind));
+    knots.attach_tracer(&trace);
+    const auto report = knots.run();  // No submissions at all.
+    EXPECT_EQ(report.pods_total, 0u);
+    EXPECT_EQ(report.pods_completed, 0u);
+    EXPECT_EQ(report.crashes, 0u);
+    EXPECT_EQ(report.invariant_violations, 0u);
+    EXPECT_EQ(trace.count(obs::EventKind::kSubmit), 0u);
+    EXPECT_EQ(trace.count(obs::EventKind::kPlace), 0u);
+    // The engine still ticks (telemetry heartbeats), so the trace need not
+    // be empty — but it must contain only scrapes and park events.
+    for (const auto& e : trace.events()) {
+      EXPECT_TRUE(e.kind == obs::EventKind::kScrape ||
+                  e.kind == obs::EventKind::kPark)
+          << "unexpected event kind in an empty run: "
+          << to_string(e.kind);
+    }
+  }
+}
+
+TEST(WorkloadEdgeCases, SinglePodRunsToCompletionReproducibly) {
+  const auto run_once = [] {
+    obs::TraceSink trace;
+    KubeKnots knots(tiny_config(sched::SchedulerKind::kCbp));
+    knots.attach_tracer(&trace);
+    knots.submit(batch_pod(/*arrival=*/0, /*requested_mb=*/2048.0));
+    const auto report = knots.run();
+    return std::pair{report, trace.count(obs::EventKind::kComplete)};
+  };
+  const auto [report, completes] = run_once();
+  EXPECT_EQ(report.pods_total, 1u);
+  EXPECT_EQ(report.pods_completed, 1u);
+  EXPECT_EQ(completes, 1u);
+  EXPECT_GT(report.mean_jct_s, 0.0);
+
+  const auto [again, completes_again] = run_once();
+  EXPECT_EQ(report.run_digest, again.run_digest);
+  EXPECT_EQ(completes_again, 1u);
+}
+
+TEST(WorkloadEdgeCases, BurstBeyondCapacityDrainsWithoutViolations) {
+  // 24 pods of 2 GB each arrive at t=0 on a two-GPU cluster: far more work
+  // than fits at once. Every policy must stay invariant-clean, place pods
+  // only as capacity frees up, and finish the backlog within the drain
+  // grace window.
+  for (auto kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    obs::TraceSink trace;
+    KubeKnots knots(tiny_config(kind));
+    knots.attach_tracer(&trace);
+    for (int i = 0; i < 24; ++i) {
+      knots.submit(batch_pod(/*arrival=*/0, /*requested_mb=*/2048.0));
+    }
+    const auto report = knots.run();
+    EXPECT_EQ(report.pods_total, 24u);
+    EXPECT_EQ(report.invariant_violations, 0u);
+    EXPECT_GT(report.pods_completed, 0u);
+    // Placements happen over time, not all at the burst instant.
+    SimTime last_place = 0;
+    for (const auto& e : trace.events()) {
+      if (e.kind == obs::EventKind::kPlace) last_place = e.ts;
+    }
+    EXPECT_GT(last_place, 0);
+    // Each placement was preceded by a submit for that pod.
+    EXPECT_EQ(trace.count(obs::EventKind::kSubmit), 24u);
+    EXPECT_LE(report.pods_completed, 24u);
+  }
+}
+
+}  // namespace
+}  // namespace knots::workload
