@@ -5,6 +5,7 @@
 
 #include "cluster/cluster.hpp"
 #include "core/rng.hpp"
+#include "dlsim/dl_cluster.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sched/registry.hpp"
@@ -114,6 +115,26 @@ BENCHMARK(BM_FullClusterRun)
     ->Arg(static_cast<int>(sched::SchedulerKind::kCbp))
     ->Arg(static_cast<int>(sched::SchedulerKind::kPeakPrediction))
     ->Unit(benchmark::kMillisecond);
+
+void BM_DlSimRun(benchmark::State& state) {
+  // One full DL run on the shared substrate (event engine + GpuDevice +
+  // digest): the per-policy cost of the unified path, small 4x4 topology.
+  const auto& policy =
+      dlsim::kDlPolicyNames[static_cast<std::size_t>(state.range(0))];
+  dlsim::DlClusterConfig cluster;
+  cluster.nodes = 4;
+  cluster.gpus_per_node = 4;
+  dlsim::DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 150;
+  wl.window = 2 * kHour;
+  for (auto _ : state) {
+    const auto result =
+        dlsim::run_dl_simulation(std::string(policy), cluster, wl, 7);
+    benchmark::DoNotOptimize(result.run_digest);
+  }
+}
+BENCHMARK(BM_DlSimRun)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
 void BM_TraceRecord(benchmark::State& state) {
   obs::TraceSink sink;

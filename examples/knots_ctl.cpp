@@ -8,10 +8,15 @@
 //                 [--trace-bin out.trc]           # compact binary trace
 //                 [--metrics-out out.json]        # metrics registry dump
 //   knots_ctl sweep --mix 1 --duration 300        # all four schedulers
-//   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]
+//   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]       # 4-way compare
+//   knots_ctl dlsim --dl gandiva [--nodes 32] [--gpus 8]     # one DL policy
+//                   [--duration SECS] [--seed 42]
+//                   [--crash-node N@T[:D]] [--trace out.json]
+//                   [--trace-bin out.trc] [--metrics-out out.json]
 //   knots_ctl list                                 # schedulers & mixes
 //
 // Unknown or malformed flags exit 2 with a usage message.
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -40,7 +45,10 @@ constexpr const char* kUsage =
     "         [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--seed N]\n"
-    "  dlsim  [--mix N] [--dlt N] [--dli N]\n"
+    "  dlsim  [--mix N] [--dlt N] [--dli N]           (compare all policies)\n"
+    "  dlsim  --dl NAME [--mix N] [--dlt N] [--dli N] [--nodes N] [--gpus N]\n"
+    "         [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
+    "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  list\n";
 
 int usage_error(const std::string& message) {
@@ -101,6 +109,34 @@ std::optional<long long> int_flag(
   return v;
 }
 
+/// Parses `--crash-node N@T[:D]` (node N dies at T seconds, down D seconds;
+/// omitted D = forever) into a one-event fault plan. Missing flag → empty
+/// plan; malformed spec → nullopt after a message.
+std::optional<fault::FaultPlan> crash_plan_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  fault::FaultPlan plan;
+  const auto it = flags.find("crash-node");
+  if (it == flags.end()) return plan;
+  const std::string& spec = it->second;
+  const auto at_pos = spec.find('@');
+  if (at_pos != std::string::npos) {
+    const auto node = parse_int(spec.substr(0, at_pos));
+    const std::string rest = spec.substr(at_pos + 1);
+    const auto colon = rest.find(':');
+    const auto at = parse_int(rest.substr(0, colon));
+    std::optional<long long> down_for = 0;
+    if (colon != std::string::npos) down_for = parse_int(rest.substr(colon + 1));
+    if (node && at && down_for && *node >= 0 && *at >= 0 && *down_for >= 0) {
+      plan.node_crash(NodeId{static_cast<std::int32_t>(*node)}, *at * kSec,
+                      *down_for * kSec);
+      return plan;
+    }
+  }
+  std::cerr << "knots_ctl: --crash-node expects N@T[:D], got '" << spec
+            << "'\n";
+  return std::nullopt;
+}
+
 std::optional<ExperimentConfig> config_from_flags(
     const std::map<std::string, std::string>& flags) {
   ExperimentConfig::Builder builder;
@@ -128,31 +164,9 @@ std::optional<ExperimentConfig> config_from_flags(
   }
   builder.scheduler(sched::scheduler_from_name(sched_name));
 
-  if (flags.count("crash-node")) {
-    // --crash-node N@T[:D] — node N dies at T seconds, down D seconds
-    // (omitted D = forever). A minimal chaos knob for the CLI.
-    const std::string& spec = flags.at("crash-node");
-    const auto at_pos = spec.find('@');
-    if (at_pos == std::string::npos) {
-      std::cerr << "knots_ctl: --crash-node expects N@T[:D], got '" << spec
-                << "'\n";
-      return std::nullopt;
-    }
-    const auto node = parse_int(spec.substr(0, at_pos));
-    const std::string rest = spec.substr(at_pos + 1);
-    const auto colon = rest.find(':');
-    const auto at = parse_int(rest.substr(0, colon));
-    std::optional<long long> down_for = 0;
-    if (colon != std::string::npos) down_for = parse_int(rest.substr(colon + 1));
-    if (!node || !at || !down_for || *node < 0 || *at < 0 || *down_for < 0) {
-      std::cerr << "knots_ctl: --crash-node expects N@T[:D], got '" << spec
-                << "'\n";
-      return std::nullopt;
-    }
-    builder.faults(fault::FaultPlan{}.node_crash(
-        NodeId{static_cast<std::int32_t>(*node)}, *at * kSec,
-        *down_for * kSec));
-  }
+  const auto plan = crash_plan_from_flags(flags);
+  if (!plan) return std::nullopt;
+  if (!plan->events.empty()) builder.faults(*plan);
   return builder.build();
 }
 
@@ -273,28 +287,113 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+void print_dl_run(const dlsim::DlResult& r) {
+  TablePrinter table("DL run: " + r.policy);
+  table.columns({"metric", "value"});
+  table.row({"jobs", std::to_string(r.dlt_completed) + "/" +
+                         std::to_string(r.dlt_total)});
+  table.row({"avg / median / p99 JCT h",
+             fmt(r.avg_jct_h, 2) + " / " + fmt(r.median_jct_h, 2) + " / " +
+                 fmt(r.p99_jct_h, 2)});
+  table.row({"queries", std::to_string(r.queries.size())});
+  table.row({"DLI violations/hr", fmt(r.violations_per_hour, 1)});
+  table.row({"crashes / migr / preempt",
+             std::to_string(r.crash_restarts) + " / " +
+                 std::to_string(r.migrations) + " / " +
+                 std::to_string(r.preemptions)});
+  if (r.node_crashes > 0 || r.jobs_evicted > 0) {
+    table.row({"node crashes", std::to_string(r.node_crashes)});
+    table.row({"jobs evicted", std::to_string(r.jobs_evicted)});
+  }
+  table.row({"mean power W", fmt(r.mean_power_watts, 0)});
+  table.row({"energy kJ", fmt(r.energy_joules / 1000, 1)});
+  std::ostringstream digest;
+  digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
+         << r.run_digest;
+  table.row({"run digest", digest.str()});
+  table.print(std::cout);
+}
+
 int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   dlsim::DlClusterConfig cluster;
   dlsim::DlWorkloadConfig wl;
   const auto mix = int_flag(flags, "mix", wl.mix_id);
   const auto dlt = int_flag(flags, "dlt", wl.dlt_jobs);
   const auto dli = int_flag(flags, "dli", wl.dli_queries);
-  if (!mix || !dlt || !dli) {
+  const auto nodes = int_flag(flags, "nodes", cluster.nodes);
+  const auto gpus = int_flag(flags, "gpus", cluster.gpus_per_node);
+  const auto duration = int_flag(flags, "duration", -1);
+  const auto seed = int_flag(flags, "seed", 42);
+  if (!mix || !dlt || !dli || !nodes || !gpus || !duration || !seed) {
     std::cerr << kUsage;
     return 2;
   }
   wl.mix_id = static_cast<int>(*mix);
   wl.dlt_jobs = static_cast<int>(*dlt);
   wl.dli_queries = static_cast<int>(*dli);
-  const auto results = dlsim::run_all_policies(cluster, wl);
-  dlsim::print_dl_report(std::cout, results);
-  return 0;
+  if (*duration >= 0) wl.window = *duration * kSec;
+  cluster.nodes = static_cast<int>(*nodes);
+  cluster.gpus_per_node = static_cast<int>(*gpus);
+
+  if (flags.count("dl") == 0) {
+    // Classic 4-way comparison (Fig 12); observability flags need --dl.
+    const auto results = dlsim::run_all_policies(cluster, wl);
+    dlsim::print_dl_report(std::cout, results);
+    return 0;
+  }
+
+  const std::string policy = flags.at("dl");
+  const auto known = dlsim::dl_policy_names();
+  if (std::find(known.begin(), known.end(), policy) == known.end()) {
+    std::cerr << "knots_ctl: unknown DL policy '" << policy << "' (one of:";
+    for (const auto& name : known) std::cerr << " " << name;
+    std::cerr << ")\n" << kUsage;
+    return 2;
+  }
+
+  dlsim::DlRunOptions options;
+  const auto plan = crash_plan_from_flags(flags);
+  if (!plan) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  options.faults = *plan;
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  if (flags.count("trace") != 0 || flags.count("trace-bin") != 0) {
+    options.trace = &trace;
+  }
+  if (flags.count("metrics-out")) options.metrics = &metrics;
+
+  const auto result = dlsim::run_dl_simulation(
+      policy, cluster, wl, static_cast<std::uint64_t>(*seed), options);
+  print_dl_run(result);
+
+  bool io_ok = true;
+  if (flags.count("trace")) {
+    io_ok &= write_file(flags.at("trace"), "chrome trace",
+                        [&](std::ostream& os) { trace.export_chrome_trace(os); });
+  }
+  if (flags.count("trace-bin")) {
+    io_ok &= write_file(flags.at("trace-bin"), "binary trace",
+                        [&](std::ostream& os) { trace.export_binary(os); });
+  }
+  if (flags.count("metrics-out")) {
+    io_ok &= write_file(flags.at("metrics-out"), "metrics",
+                        [&](std::ostream& os) { metrics.to_json(os); });
+  }
+  return io_ok ? 0 : 1;
 }
 
 int cmd_list() {
   std::cout << "schedulers:";
   for (auto kind : sched::kAllSchedulers) {
     std::cout << " " << sched::to_string(kind);
+  }
+  std::cout << "\ndl policies:";
+  for (const auto& name : dlsim::dl_policy_names()) {
+    std::cout << " " << name;
   }
   std::cout << "\napp mixes:\n";
   for (const auto& mix : workload::all_app_mixes()) {
@@ -316,7 +415,9 @@ int main(int argc, char** argv) {
        {"mix", "scheduler", "duration", "nodes", "gpus", "seed", "csv",
         "crash-node", "trace", "trace-bin", "metrics-out"}},
       {"sweep", {"mix", "scheduler", "duration", "nodes", "gpus", "seed"}},
-      {"dlsim", {"mix", "dlt", "dli"}},
+      {"dlsim",
+       {"mix", "dlt", "dli", "dl", "nodes", "gpus", "duration", "seed",
+        "crash-node", "trace", "trace-bin", "metrics-out"}},
       {"list", {}},
   };
   const auto allowed = kAllowedFlags.find(cmd);

@@ -239,9 +239,9 @@ void Cluster::on_arrival(PodId id) {
 }
 
 SchedulingContext Cluster::make_context() {
-  return SchedulingContext{*this,          now(),          pending_,
-                           aggregator_,    profile_store_, fault_feed_,
-                           trace_};
+  return SchedulingContext{this,           now(),          &pending_,
+                           &aggregator_,   &profile_store_, &fault_feed_,
+                           trace_,         nullptr};
 }
 
 void Cluster::apply_fault(const fault::FaultEvent& event) {

@@ -1,10 +1,12 @@
 // Scheduler plug-in interface (event-driven since PR 3).
 //
-// The Cluster invokes the policy once per scheduling tick through
+// An engine invokes the policy once per scheduling tick through
 // on_schedule(), handing it a SchedulingContext — a curated view of
 // everything a policy may read (pending queue, telemetry aggregator,
-// profile store, this tick's fault feed) plus the Cluster reference it
-// mutates through place / resize_pod / park. Fault transitions additionally
+// profile store, this tick's fault feed) plus the Cluster pointer it
+// mutates through place / resize_pod / park. The DL engine drives the same
+// interface with the pod-specific members null and its own view in
+// `extension` (see dlsim/). Fault transitions additionally
 // fire the optional on_node_down / on_node_up / on_telemetry_stale hooks,
 // so policies can react at the event edge instead of re-deriving health
 // from telemetry every round.
@@ -29,20 +31,34 @@ namespace knots::cluster {
 class Cluster;
 class ProfileStore;
 
+/// Engine-specific payload a substrate may hang off the SchedulingContext.
+/// Pod scheduling leaves it null; the DL engine passes its DlSchedView so
+/// DL policies can recover their richer view from the shared hook
+/// signature. Policies downcast to the concrete type they were built for.
+struct ContextExtension {
+  virtual ~ContextExtension() = default;
+};
+
 /// Everything a scheduling policy may consult in one round. Views are
-/// borrowed from the Cluster and valid only for the duration of the call.
+/// borrowed from the owning engine and valid only for the duration of the
+/// call. The pod-cluster members are pointers because more than one engine
+/// now drives this interface: a Cluster tick fills them all in, while the
+/// DL engine runs with them null and hands policies its own view through
+/// `extension`.
 struct SchedulingContext {
-  Cluster& cluster;
-  SimTime now;
-  const std::deque<PodId>& pending;
-  const telemetry::UtilizationAggregator& aggregator;
-  const ProfileStore& profiles;
+  Cluster* cluster = nullptr;
+  SimTime now = 0;
+  const std::deque<PodId>* pending = nullptr;
+  const telemetry::UtilizationAggregator* aggregator = nullptr;
+  const ProfileStore* profiles = nullptr;
   /// Fault transitions applied since the previous scheduling round,
   /// oldest-first (empty on every tick of a fault-free run).
-  const std::vector<fault::FaultNotice>& fault_feed;
+  const std::vector<fault::FaultNotice>* fault_feed = nullptr;
   /// Optional tracer for kDecision rationale events; nullptr when the run
   /// is untraced. Policies must behave identically either way.
   obs::TraceSink* trace = nullptr;
+  /// Substrate-specific view (null for pod-cluster rounds).
+  ContextExtension* extension = nullptr;
 };
 
 class Scheduler {

@@ -1,235 +1,211 @@
 #include "dlsim/dl_policies.hpp"
 
 #include <algorithm>
-#include <numeric>
+#include <mutex>
+#include <vector>
 
 #include "core/check.hpp"
+#include "sched/registry.hpp"
 
 namespace knots::dlsim {
 
-std::size_t DlPolicyImpl::random_gpu(const DlState& state) {
-  return static_cast<std::size_t>(rng_.uniform_int(
-      0, static_cast<std::int64_t>(state.gpus.size()) - 1));
+void DlScheduler::on_schedule(cluster::SchedulingContext& ctx) {
+  KNOTS_CHECK_MSG(ctx.extension != nullptr,
+                  "DL policies schedule through a DlSchedView extension");
+  schedule(static_cast<DlSchedView&>(*ctx.extension));
 }
 
-void DlPolicyImpl::crash_trainer(DlState& state, std::size_t gpu) {
-  auto& slot = state.gpus[gpu];
-  if (slot.jobs.empty()) return;
-  const int victim = slot.jobs.front();
-  auto& job = state.jobs[static_cast<std::size_t>(victim)];
+std::size_t DlScheduler::random_gpu(DlSchedView& view) {
+  return static_cast<std::size_t>(view.rng().uniform_int(
+      0, static_cast<std::int64_t>(view.gpu_count()) - 1));
+}
+
+void DlScheduler::crash_trainer(DlSchedView& view, std::size_t gpu) {
+  const auto& residents = view.residents(gpu);
+  if (residents.empty()) return;
   // Progress rolls back to the last checkpoint; the container relaunches
   // and the job rejoins the FCFS queue at the back (§IV-C: relaunched tasks
   // cannot be prioritized over tasks already ahead in the queue).
-  job.progress =
-      (job.progress / cfg_.checkpoint_interval) * cfg_.checkpoint_interval;
-  state.evict(victim);
-  job.running = false;
-  ++job.restarts;
+  view.crash_job(residents.front());
   ++crashes_;
-  state.pending.push_back(victim);
-  slot.paused_until = std::max(slot.paused_until,
-                               state.now + cfg_.restart_pause);
+  view.pause_gpu(gpu, view.now() + view.config().restart_pause);
 }
 
 // ---------------------------------------------------------------- Res-Ag --
 
-void ResAgDlPolicy::schedule(DlState& state) {
+void ResAgDlPolicy::schedule(DlSchedView& view) {
   // Strict FCFS gang placement on exclusive GPUs; the head blocks the rest.
-  while (!state.pending.empty()) {
-    const int head = state.pending.front();
-    auto& job = state.jobs[static_cast<std::size_t>(head)];
-    if (!state.place(head, job.gpus, /*max_share=*/1)) break;
+  auto& pending = view.pending();
+  while (!pending.empty()) {
+    const int head = pending.front();
+    auto& job = view.job(head);
+    if (!view.place(head, job.gpus, /*max_share=*/1)) break;
     job.running = true;
-    state.pending.erase(state.pending.begin());
+    pending.erase(pending.begin());
   }
 }
 
-SimTime ResAgDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+SimTime ResAgDlPolicy::serve_query(DlSchedView& view, const DliQuery& query) {
+  const DlClusterConfig& cfg = view.config();
   // Blind placement: any GPU, busy or not.
-  const std::size_t gpu = random_gpu(state);
-  const auto& slot = state.gpus[gpu];
-  if (slot.free()) return query.base_latency;
+  const std::size_t gpu = random_gpu(view);
+  if (view.free(gpu)) return query.base_latency;
   // Blocked behind non-preemptive training kernels…
   SimTime latency = static_cast<SimTime>(
       static_cast<double>(query.base_latency) *
-      (1.0 + cfg_.dli_blocking * static_cast<double>(slot.load())));
+      (1.0 + cfg.dli_blocking * static_cast<double>(view.load(gpu))));
   // …and TF's greedy allocator may blow the device's memory, crashing the
   // co-located trainer and forcing the query itself to relaunch elsewhere.
-  if (rng_.chance(cfg_.crash_prob)) {
-    crash_trainer(state, gpu);
-    latency += cfg_.restart_pause / 20 + query.base_latency;  // retry cost
+  if (view.rng().chance(cfg.crash_prob)) {
+    crash_trainer(view, gpu);
+    latency += cfg.restart_pause / 20 + query.base_latency;  // retry cost
   }
   return latency;
 }
 
 // --------------------------------------------------------------- Gandiva --
 
-void GandivaDlPolicy::schedule(DlState& state) {
+void GandivaDlPolicy::schedule(DlSchedView& view) {
+  const DlClusterConfig& cfg = view.config();
   // Pass 0: de-slice — once a shared trainer outgrows the young threshold,
   // migrate its cohabitant to a free GPU when one exists.
-  for (std::size_t g = 0; g < state.gpus.size(); ++g) {
-    auto& slot = state.gpus[g];
-    if (slot.load() < 2) continue;
+  for (std::size_t g = 0; g < view.gpu_count(); ++g) {
+    if (view.load(g) < 2) continue;
     bool has_old = false;
-    for (int j : slot.jobs) {
-      if (state.jobs[static_cast<std::size_t>(j)].attained >
-          cfg_.slice_young_threshold) {
-        has_old = true;
-      }
+    for (int j : view.residents(g)) {
+      if (view.job(j).attained > cfg.slice_young_threshold) has_old = true;
     }
     if (!has_old) continue;
     // Move the youngest single-GPU resident to a free GPU (gangs stay put).
     int mover = -1;
-    for (int j : slot.jobs) {
-      const auto& res = state.jobs[static_cast<std::size_t>(j)];
+    for (int j : view.residents(g)) {
+      const auto& res = view.job(j);
       if (res.placed_gpus.size() != 1) continue;
-      if (mover < 0 ||
-          res.attained < state.jobs[static_cast<std::size_t>(mover)].attained) {
-        mover = j;
-      }
+      if (mover < 0 || res.attained < view.job(mover).attained) mover = j;
     }
     if (mover < 0) continue;
-    auto& mjob = state.jobs[static_cast<std::size_t>(mover)];
-    bool moved = false;
-    for (std::size_t h = 0; h < state.gpus.size(); ++h) {
-      if (state.gpus[h].free() && state.gpus[h].paused_until <= state.now) {
-        std::erase(slot.jobs, mover);
-        state.gpus[h].jobs.push_back(mover);
-        mjob.placed_gpus = {static_cast<int>(h)};
-        state.gpus[h].paused_until = state.now + cfg_.migration_pause;
-        ++migrations_;
-        moved = true;
-        break;
-      }
-    }
-    if (!moved) {
+    const std::size_t target = view.first_serviceable_gpu();
+    if (target != DlEngine::npos) {
+      view.migrate(mover, g, target);
+      view.pause_gpu(target, view.now() + cfg.migration_pause);
+      ++migrations_;
+    } else {
       // Trial-and-error fallback: suspend the young cohabitant back to the
       // queue so the long trainer regains exclusive access.
-      state.evict(mover);
-      mjob.running = false;
-      state.pending.push_back(mover);
+      view.requeue(mover);
       ++migrations_;
     }
   }
 
   // Pass 1: exclusive placement while GPUs are free.
-  while (!state.pending.empty()) {
-    const int head = state.pending.front();
-    auto& job = state.jobs[static_cast<std::size_t>(head)];
-    if (!state.place(head, job.gpus, /*max_share=*/1)) break;
+  auto& pending = view.pending();
+  while (!pending.empty()) {
+    const int head = pending.front();
+    auto& job = view.job(head);
+    if (!view.place(head, job.gpus, /*max_share=*/1)) break;
     job.running = true;
-    state.pending.erase(state.pending.begin());
+    pending.erase(pending.begin());
   }
   // Pass 2: introspective oversubscription — when jobs still queue, pack
   // them two-way onto GPUs whose incumbent trainer is still young (long
-  // trainers keep exclusive GPUs). Each trial-and-error placement migrates
-  // the incumbent (pause).
-  auto incumbent_young = [&](const GpuSlot& slot) {
-    for (int j : slot.jobs) {
-      const auto& res = state.jobs[static_cast<std::size_t>(j)];
-      if (res.attained > cfg_.slice_young_threshold) return false;
+  // trainers keep exclusive GPUs; GPUs with old incumbents are ineligible).
+  auto incumbent_young = [&](std::size_t g) {
+    for (int j : view.residents(g)) {
+      const auto& res = view.job(j);
+      if (res.attained > cfg.slice_young_threshold) return false;
       // Never slice under a gang: one shared member halves the whole gang.
       if (res.gpus > 1) return false;
     }
     return true;
   };
-  while (!state.pending.empty()) {
-    const int head = state.pending.front();
-    auto& job = state.jobs[static_cast<std::size_t>(head)];
-    // Temporarily mask GPUs with old incumbents by treating them as full.
-    std::vector<std::size_t> masked;
-    for (std::size_t g = 0; g < state.gpus.size(); ++g) {
-      if (!state.gpus[g].free() && !incumbent_young(state.gpus[g])) {
-        masked.push_back(g);
-        state.gpus[g].jobs.push_back(-1);  // sentinel blocks sharing
-      }
-    }
-    const bool ok = state.place(head, job.gpus, /*max_share=*/2);
-    for (std::size_t g : masked) state.gpus[g].jobs.pop_back();
-    if (!ok) break;
+  while (!pending.empty()) {
+    const int head = pending.front();
+    auto& job = view.job(head);
+    if (!view.place(head, job.gpus, /*max_share=*/2, incumbent_young)) break;
     job.running = true;
-    state.pending.erase(state.pending.begin());
+    pending.erase(pending.begin());
     ++migrations_;
     for (int g : job.placed_gpus) {
-      auto& slot = state.gpus[static_cast<std::size_t>(g)];
-      if (slot.load() > 1) {
-        slot.paused_until =
-            std::max(slot.paused_until, state.now + cfg_.migration_pause);
+      const auto gi = static_cast<std::size_t>(g);
+      if (view.load(gi) > 1) {
+        view.pause_gpu(gi, view.now() + cfg.migration_pause);
       }
     }
   }
 }
 
-SimTime GandivaDlPolicy::serve_query(DlState& state, const DliQuery& query) {
-  const std::size_t gpu = random_gpu(state);
-  const auto& slot = state.gpus[gpu];
-  double factor = 1.0 + cfg_.dli_blocking * static_cast<double>(slot.load());
+SimTime GandivaDlPolicy::serve_query(DlSchedView& view,
+                                     const DliQuery& query) {
+  const DlClusterConfig& cfg = view.config();
+  const std::size_t gpu = random_gpu(view);
+  const double factor =
+      1.0 + cfg.dli_blocking * static_cast<double>(view.load(gpu));
   SimTime latency = static_cast<SimTime>(
       static_cast<double>(query.base_latency) * factor);
-  if (!slot.free()) {
+  if (!view.free(gpu)) {
     // Time-slice quantum wait: the query queues for the incumbent's slice.
     latency += static_cast<SimTime>(
-        rng_.uniform(0.0, 80.0 * static_cast<double>(kMsec)));
+        view.rng().uniform(0.0, 80.0 * static_cast<double>(kMsec)));
   }
   // A migration in flight on the chosen GPU stalls the query outright.
-  if (slot.paused_until > state.now) {
-    latency += std::min<SimTime>(slot.paused_until - state.now,
-                                 cfg_.migration_pause);
+  if (view.paused_until(gpu) > view.now()) {
+    latency += std::min<SimTime>(view.paused_until(gpu) - view.now(),
+                                 cfg.migration_pause);
   }
   return latency;
 }
 
 // -------------------------------------------------------------- Tiresias --
 
-void TiresiasDlPolicy::schedule(DlState& state) {
-  if (state.now - last_quantum_ < cfg_.quantum) {
+void TiresiasDlPolicy::schedule(DlSchedView& view) {
+  const DlClusterConfig& cfg = view.config();
+  auto& pending = view.pending();
+  if (view.now() - last_quantum_ < cfg.quantum) {
     // Between quanta, only fill genuinely free GPUs FCFS (no preemption).
-    for (auto it = state.pending.begin(); it != state.pending.end();) {
-      auto& job = state.jobs[static_cast<std::size_t>(*it)];
-      if (state.place(*it, job.gpus, 1)) {
+    for (auto it = pending.begin(); it != pending.end();) {
+      auto& job = view.job(*it);
+      if (view.place(*it, job.gpus, 1)) {
         job.running = true;
-        it = state.pending.erase(it);
+        it = pending.erase(it);
       } else {
         ++it;
       }
     }
     return;
   }
-  last_quantum_ = state.now;
+  last_quantum_ = view.now();
 
   // Discretized LAS: rank every live job by attained service (least first)
   // and rebuild the allocation greedily; descheduled jobs pay a suspend.
   std::vector<int> live;
-  for (const auto& job : state.jobs) {
-    if (!job.done() && job.arrival <= state.now) {
-      live.push_back(job.id);
-    }
+  for (const auto& job : view.jobs()) {
+    if (!job.done() && job.arrival <= view.now()) live.push_back(job.id);
   }
   // Two-queue discretization: attained service saturates at the cap, so
   // long-running jobs stop losing priority (no starvation) and compete
   // FIFO among themselves.
   std::stable_sort(live.begin(), live.end(), [&](int a, int b) {
-    const auto& ja = state.jobs[static_cast<std::size_t>(a)];
-    const auto& jb = state.jobs[static_cast<std::size_t>(b)];
-    const SimTime ka = std::min(ja.attained, cfg_.las_attained_cap);
-    const SimTime kb = std::min(jb.attained, cfg_.las_attained_cap);
+    const auto& ja = view.job(a);
+    const auto& jb = view.job(b);
+    const SimTime ka = std::min(ja.attained, cfg.las_attained_cap);
+    const SimTime kb = std::min(jb.attained, cfg.las_attained_cap);
     if (ka != kb) return ka < kb;
     return ja.arrival < jb.arrival;
   });
 
   std::vector<int> previously_running;
-  for (auto& job : state.jobs) {
+  for (auto& job : view.jobs()) {
     if (job.running) previously_running.push_back(job.id);
   }
   for (int id : previously_running) {
-    state.evict(id);
-    state.jobs[static_cast<std::size_t>(id)].running = false;
+    view.evict(id);
+    view.job(id).running = false;
   }
-  state.pending.clear();
+  pending.clear();
 
   for (int id : live) {
-    auto& job = state.jobs[static_cast<std::size_t>(id)];
-    if (state.place(id, job.gpus, 1)) {
+    auto& job = view.job(id);
+    if (view.place(id, job.gpus, 1)) {
       job.running = true;
       const bool was_running =
           std::find(previously_running.begin(), previously_running.end(),
@@ -238,91 +214,98 @@ void TiresiasDlPolicy::schedule(DlState& state) {
         // Resuming a suspended job costs a pause on its GPUs.
         ++preemptions_;
         for (int g : job.placed_gpus) {
-          auto& slot = state.gpus[static_cast<std::size_t>(g)];
-          slot.paused_until =
-              std::max(slot.paused_until, state.now + cfg_.preemption_pause);
+          view.pause_gpu(static_cast<std::size_t>(g),
+                         view.now() + cfg.preemption_pause);
         }
       }
     } else {
-      state.pending.push_back(id);
+      pending.push_back(id);
     }
   }
 }
 
-SimTime TiresiasDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+SimTime TiresiasDlPolicy::serve_query(DlSchedView& view,
+                                      const DliQuery& query) {
+  const DlClusterConfig& cfg = view.config();
   // A free GPU serves the query natively.
-  for (const auto& slot : state.gpus) {
-    if (slot.free() && slot.paused_until <= state.now) {
-      return query.base_latency;
-    }
+  for (std::size_t g = 0; g < view.gpu_count(); ++g) {
+    if (view.gpu_serviceable(g)) return query.base_latency;
   }
   // Otherwise Tiresias usually preempts a trainer to prioritize the short
   // query (suspend/resume overhead inflates it a little); the rest queue
   // behind the running quantum.
-  if (rng_.chance(cfg_.tiresias_dli_priority)) {
+  if (view.rng().chance(cfg.tiresias_dli_priority)) {
     ++preemptions_;
     return static_cast<SimTime>(
         static_cast<double>(query.base_latency) * 1.2);
   }
-  const SimTime wait =
-      static_cast<SimTime>(rng_.uniform(0.0, 2.0 * static_cast<double>(kSec)));
+  const SimTime wait = static_cast<SimTime>(
+      view.rng().uniform(0.0, 2.0 * static_cast<double>(kSec)));
   return query.base_latency + wait;
+}
+
+void TiresiasDlPolicy::on_node_down(cluster::SchedulingContext& /*ctx*/,
+                                    NodeId /*node*/) {
+  last_quantum_ = -kHour;
 }
 
 // ---------------------------------------------------------------- CBP+PP --
 
-void CbpPpDlPolicy::schedule(DlState& state) {
+void CbpPpDlPolicy::schedule(DlSchedView& view) {
   // Crash-free FCFS with backfill: the head waits for its gang, but smaller
   // jobs behind it may start on GPUs the head cannot use yet (utilization-
   // aware harvesting keeps them safe), bounded to a small lookahead so the
   // head cannot starve.
+  auto& pending = view.pending();
   std::size_t scanned = 0;
-  for (auto it = state.pending.begin();
-       it != state.pending.end() && scanned < 64; ++scanned) {
-    auto& job = state.jobs[static_cast<std::size_t>(*it)];
-    if (state.place(*it, job.gpus, 1)) {
+  for (auto it = pending.begin(); it != pending.end() && scanned < 64;
+       ++scanned) {
+    auto& job = view.job(*it);
+    if (view.place(*it, job.gpus, 1)) {
       job.running = true;
-      it = state.pending.erase(it);
+      it = pending.erase(it);
     } else {
       ++it;
     }
   }
 }
 
-SimTime CbpPpDlPolicy::serve_query(DlState& state, const DliQuery& query) {
+SimTime CbpPpDlPolicy::serve_query(DlSchedView& view, const DliQuery& query) {
+  const DlClusterConfig& cfg = view.config();
   // Prefer a free GPU.
-  for (const auto& slot : state.gpus) {
-    if (slot.free() && slot.paused_until <= state.now) {
-      return query.base_latency;
-    }
+  for (std::size_t g = 0; g < view.gpu_count(); ++g) {
+    if (view.gpu_serviceable(g)) return query.base_latency;
   }
   // Otherwise co-locate into a predicted mini-batch lull. With probability
   // = forecast accuracy the query slips into the lull (near-native speed);
   // a misprediction collides with the compute phase.
-  const std::size_t gpu = random_gpu(state);
-  const auto& slot = state.gpus[gpu];
-  if (rng_.chance(cfg_.pp_accuracy)) {
-    return static_cast<SimTime>(static_cast<double>(query.base_latency) * 1.15);
+  const std::size_t gpu = random_gpu(view);
+  if (view.rng().chance(cfg.pp_accuracy)) {
+    return static_cast<SimTime>(
+        static_cast<double>(query.base_latency) * 1.15);
   }
   return static_cast<SimTime>(
       static_cast<double>(query.base_latency) *
-      (1.0 + cfg_.dli_blocking * static_cast<double>(std::max(1, slot.load()))));
+      (1.0 +
+       cfg.dli_blocking * static_cast<double>(std::max(1, view.load(gpu)))));
 }
 
-std::unique_ptr<DlPolicyImpl> make_dl_policy(DlPolicy policy,
-                                             const DlClusterConfig& config,
-                                             Rng rng) {
-  switch (policy) {
-    case DlPolicy::kResAg:
-      return std::make_unique<ResAgDlPolicy>(config, rng);
-    case DlPolicy::kGandiva:
-      return std::make_unique<GandivaDlPolicy>(config, rng);
-    case DlPolicy::kTiresias:
-      return std::make_unique<TiresiasDlPolicy>(config, rng);
-    case DlPolicy::kCbpPp:
-      return std::make_unique<CbpPpDlPolicy>(config, rng);
-  }
-  return nullptr;
+void register_dl_schedulers() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    sched::register_scheduler("resag", [](const sched::SchedParams&) {
+      return std::make_unique<ResAgDlPolicy>();
+    });
+    sched::register_scheduler("gandiva", [](const sched::SchedParams&) {
+      return std::make_unique<GandivaDlPolicy>();
+    });
+    sched::register_scheduler("tiresias", [](const sched::SchedParams&) {
+      return std::make_unique<TiresiasDlPolicy>();
+    });
+    sched::register_scheduler("cbp-pp", [](const sched::SchedParams&) {
+      return std::make_unique<CbpPpDlPolicy>();
+    });
+  });
 }
 
 }  // namespace knots::dlsim

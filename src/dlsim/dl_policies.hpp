@@ -1,4 +1,5 @@
-// The four DL scheduling policies of Fig 12 / Table IV.
+// The four DL scheduling policies of Fig 12 / Table IV, as
+// cluster::Scheduler plug-ins on the shared substrate.
 //
 // Res-Ag      — FCFS gang placement, utilization-blind DLI placement with
 //               TF-greedy crash risk for the co-located trainer; crashed
@@ -14,26 +15,39 @@
 //               consolidation; DLI is co-located into predicted mini-batch
 //               lulls (PP forecast, Fig 10b accuracy), FCFS without
 //               preemption or HOL blocking.
+//
+// Every policy registers in sched::registry under its lowercase key
+// ("resag", "gandiva", "tiresias", "cbp-pp") and implements
+// Scheduler::on_schedule — the shared hook the DlEngine drives each tick —
+// recovering its DlSchedView from the context extension. serve_query is the
+// DL-specific extension the engine calls for each inference arrival.
 #pragma once
 
+#include <cstddef>
+#include <string>
+
+#include "cluster/scheduler.hpp"
 #include "dlsim/dl_cluster.hpp"
 
 namespace knots::dlsim {
 
-class DlPolicyImpl {
+/// Base of all DL policies: adapts the shared Scheduler hook onto the
+/// DL-typed schedule()/serve_query() pair and owns the per-run counters.
+/// Config and RNG come from the view (engine-owned), so instances are
+/// constructible by the registry with no DL-specific arguments; one
+/// instance drives exactly one run.
+class DlScheduler : public cluster::Scheduler {
  public:
-  DlPolicyImpl(const DlClusterConfig& config, Rng rng)
-      : cfg_(config), rng_(rng) {}
-  virtual ~DlPolicyImpl() = default;
-
-  [[nodiscard]] virtual std::string name() const = 0;
+  /// Shared entry point: recovers the DlSchedView the engine attached and
+  /// runs one DL scheduling round.
+  void on_schedule(cluster::SchedulingContext& ctx) final;
 
   /// Admits pending DLT jobs for this step.
-  virtual void schedule(DlState& state) = 0;
+  virtual void schedule(DlSchedView& view) = 0;
 
   /// Serves one inference query analytically; returns its end-to-end
   /// latency. May mutate state (Res-Ag crash side effects).
-  virtual SimTime serve_query(DlState& state, const DliQuery& query) = 0;
+  virtual SimTime serve_query(DlSchedView& view, const DliQuery& query) = 0;
 
   [[nodiscard]] std::size_t crash_restarts() const { return crashes_; }
   [[nodiscard]] std::size_t migrations() const { return migrations_; }
@@ -41,54 +55,53 @@ class DlPolicyImpl {
 
  protected:
   /// Picks a uniformly random GPU index.
-  [[nodiscard]] std::size_t random_gpu(const DlState& state);
-  /// Crashes one trainer on the GPU: checkpoint rollback + requeue at back.
-  void crash_trainer(DlState& state, std::size_t gpu);
+  [[nodiscard]] std::size_t random_gpu(DlSchedView& view);
+  /// Crashes one trainer on the GPU: checkpoint rollback + requeue at back
+  /// (engine-side, digest-visible) plus a relaunch pause on the device.
+  void crash_trainer(DlSchedView& view, std::size_t gpu);
 
-  DlClusterConfig cfg_;
-  Rng rng_;
   std::size_t crashes_ = 0;
   std::size_t migrations_ = 0;
   std::size_t preemptions_ = 0;
 };
 
-class ResAgDlPolicy final : public DlPolicyImpl {
+class ResAgDlPolicy final : public DlScheduler {
  public:
-  using DlPolicyImpl::DlPolicyImpl;
   [[nodiscard]] std::string name() const override { return "Res-Ag"; }
-  void schedule(DlState& state) override;
-  SimTime serve_query(DlState& state, const DliQuery& query) override;
+  void schedule(DlSchedView& view) override;
+  SimTime serve_query(DlSchedView& view, const DliQuery& query) override;
 };
 
-class GandivaDlPolicy final : public DlPolicyImpl {
+class GandivaDlPolicy final : public DlScheduler {
  public:
-  using DlPolicyImpl::DlPolicyImpl;
   [[nodiscard]] std::string name() const override { return "Gandiva"; }
-  void schedule(DlState& state) override;
-  SimTime serve_query(DlState& state, const DliQuery& query) override;
+  void schedule(DlSchedView& view) override;
+  SimTime serve_query(DlSchedView& view, const DliQuery& query) override;
 };
 
-class TiresiasDlPolicy final : public DlPolicyImpl {
+class TiresiasDlPolicy final : public DlScheduler {
  public:
-  using DlPolicyImpl::DlPolicyImpl;
   [[nodiscard]] std::string name() const override { return "Tiresias"; }
-  void schedule(DlState& state) override;
-  SimTime serve_query(DlState& state, const DliQuery& query) override;
+  void schedule(DlSchedView& view) override;
+  SimTime serve_query(DlSchedView& view, const DliQuery& query) override;
+  /// A node death reshuffles capacity: force a LAS quantum on the next
+  /// round so survivors re-rank immediately instead of waiting it out.
+  void on_node_down(cluster::SchedulingContext& ctx, NodeId node) override;
 
  private:
   SimTime last_quantum_ = -kHour;
 };
 
-class CbpPpDlPolicy final : public DlPolicyImpl {
+class CbpPpDlPolicy final : public DlScheduler {
  public:
-  using DlPolicyImpl::DlPolicyImpl;
   [[nodiscard]] std::string name() const override { return "CBP+PP"; }
-  void schedule(DlState& state) override;
-  SimTime serve_query(DlState& state, const DliQuery& query) override;
+  void schedule(DlSchedView& view) override;
+  SimTime serve_query(DlSchedView& view, const DliQuery& query) override;
 };
 
-std::unique_ptr<DlPolicyImpl> make_dl_policy(DlPolicy policy,
-                                             const DlClusterConfig& config,
-                                             Rng rng);
+/// Registers the four DL policies in sched::registry under kDlPolicyNames.
+/// Idempotent and thread-safe; every dlsim entry point calls it, so any
+/// path that can construct a DL policy has the registry populated.
+void register_dl_schedulers();
 
 }  // namespace knots::dlsim

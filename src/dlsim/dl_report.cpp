@@ -9,18 +9,14 @@
 
 namespace knots::dlsim {
 
-namespace {
-constexpr DlPolicy kOrder[] = {DlPolicy::kResAg, DlPolicy::kGandiva,
-                               DlPolicy::kTiresias, DlPolicy::kCbpPp};
-}
-
 std::vector<DlResult> run_all_policies(const DlClusterConfig& cluster,
                                        const DlWorkloadConfig& workload,
                                        std::uint64_t seed) {
-  std::vector<DlResult> results(4);
+  std::vector<DlResult> results(kDlPolicyNames.size());
   ThreadPool pool(4);
-  pool.parallel_for(4, [&](std::size_t i) {
-    results[i] = run_dl_simulation(kOrder[i], cluster, workload, seed);
+  pool.parallel_for(kDlPolicyNames.size(), [&](std::size_t i) {
+    results[i] = run_dl_simulation(std::string(kDlPolicyNames[i]), cluster,
+                                   workload, seed);
   });
   return results;
 }

@@ -118,15 +118,15 @@ void CbpScheduler::harvest(cluster::Cluster& cl) {
 }
 
 void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
-  auto& cl = ctx.cluster;
+  auto& cl = *ctx.cluster;
   harvest(cl);
-  if (ctx.pending.empty()) return;
+  if (ctx.pending->empty()) return;
 
   // Schedule order: latency-critical first (SLO-awareness), then batch pods
   // first-fit-decreasing by their resized footprint (Algorithm 1).
   std::vector<PodId> lc_pods;
   std::vector<PodId> batch_pods;
-  for (PodId id : ctx.pending) {
+  for (PodId id : *ctx.pending) {
     (cl.pod(id).latency_critical() ? lc_pods : batch_pods).push_back(id);
   }
   std::stable_sort(batch_pods.begin(), batch_pods.end(),
@@ -148,7 +148,7 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     // GPUs and idle ones can deep-sleep. The list is served from the
     // aggregator's cache (re-sorted only when a view changed); iterate the
     // descending order in reverse instead of copying it.
-    const auto& views = ctx.aggregator.active_sorted_by_free_memory();
+    const auto& views = ctx.aggregator->active_sorted_by_free_memory();
     bool placed = false;
     for (auto it = views.rbegin(); it != views.rend(); ++it) {
       const auto& view = *it;

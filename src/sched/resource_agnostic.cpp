@@ -9,9 +9,9 @@
 namespace knots::sched {
 
 void ResourceAgnosticScheduler::on_schedule(cluster::SchedulingContext& ctx) {
-  auto& cl = ctx.cluster;
+  auto& cl = *ctx.cluster;
   // First-fit-decreasing by declared request size.
-  std::vector<PodId> order(ctx.pending.begin(), ctx.pending.end());
+  std::vector<PodId> order(ctx.pending->begin(), ctx.pending->end());
   std::stable_sort(order.begin(), order.end(), [&](PodId a, PodId b) {
     return cl.pod(a).spec().requested_mb > cl.pod(b).spec().requested_mb;
   });

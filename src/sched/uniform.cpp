@@ -8,12 +8,12 @@
 namespace knots::sched {
 
 void UniformScheduler::on_schedule(cluster::SchedulingContext& ctx) {
-  auto& cl = ctx.cluster;
+  auto& cl = *ctx.cluster;
   // Strict FIFO over the pending queue; stop at the first pod that cannot
   // be placed (head-of-line blocking, exactly the stock behaviour). Free
   // GPUs are picked round-robin, matching the stock spreading score.
-  while (!ctx.pending.empty()) {
-    const PodId head = ctx.pending.front();
+  while (!ctx.pending->empty()) {
+    const PodId head = ctx.pending->front();
     const auto& pod = cl.pod(head);
     bool placed = false;
     const auto gpus = cl.all_gpus();

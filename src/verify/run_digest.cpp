@@ -36,10 +36,14 @@ void RunDigest::mix_string(std::string_view s) noexcept {
   mix_u64(s.size());
 }
 
-void RunDigest::begin_record(Tag tag, const cluster::Cluster& cluster) {
+void RunDigest::begin_record(Tag tag, SimTime now) {
   ++events_;
   mix_u64(static_cast<std::uint64_t>(tag));
-  mix_u64(static_cast<std::uint64_t>(cluster.now()));
+  mix_u64(static_cast<std::uint64_t>(now));
+}
+
+void RunDigest::begin_record(Tag tag, const cluster::Cluster& cluster) {
+  begin_record(tag, cluster.now());
 }
 
 void RunDigest::on_place(const cluster::Cluster& cluster, PodId pod,

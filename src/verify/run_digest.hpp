@@ -36,6 +36,28 @@ class RunDigest final : public cluster::ClusterObserver {
   void mix_double(double v) noexcept;
   void mix_string(std::string_view s) noexcept;
 
+  // Record-type tags keep distinct event kinds with equal operands from
+  // colliding (a crash of pod 3 never hashes like a completion of pod 3).
+  // Values are shared across substrates: the DL engine folds the same tags
+  // through begin_record(tag, now) so its traces replay with the same
+  // recipe as cluster runs.
+  enum class Tag : std::uint64_t {
+    kPlace = 0x01,
+    kResize = 0x02,
+    kCrash = 0x03,
+    kRequeue = 0x04,
+    kComplete = 0x05,
+    kPark = 0x06,
+    kEvict = 0x07,
+    kNodeDown = 0x08,
+    kNodeUp = 0x09,
+  };
+
+  /// Opens a record for a non-cluster substrate: mixes the tag and the
+  /// simulated timestamp and counts one event. Callers append operands
+  /// with mix_u64 / mix_double.
+  void begin_record(Tag tag, SimTime now);
+
   // -- ClusterObserver --
   void on_place(const cluster::Cluster& cluster, PodId pod, GpuId gpu,
                 double provisioned_mb) override;
@@ -51,19 +73,6 @@ class RunDigest final : public cluster::ClusterObserver {
   void on_node_up(const cluster::Cluster& cluster, NodeId node) override;
 
  private:
-  // Record-type tags keep distinct event kinds with equal operands from
-  // colliding (a crash of pod 3 never hashes like a completion of pod 3).
-  enum class Tag : std::uint64_t {
-    kPlace = 0x01,
-    kResize = 0x02,
-    kCrash = 0x03,
-    kRequeue = 0x04,
-    kComplete = 0x05,
-    kPark = 0x06,
-    kEvict = 0x07,
-    kNodeDown = 0x08,
-    kNodeUp = 0x09,
-  };
   void begin_record(Tag tag, const cluster::Cluster& cluster);
 
   std::uint64_t hash_ = kFnvOffsetBasis;

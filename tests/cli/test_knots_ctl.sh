@@ -38,10 +38,13 @@ expect_reject "duplicate flag"        -- run --mix 1 --mix 2 --scheduler CBP --d
 expect_reject "malformed crash spec"  -- run --mix 1 --scheduler CBP --duration 5 --crash-node banana
 expect_reject "bare positional"       -- run 1 CBP 5
 expect_reject "flag on list"          -- list --mix 1
+expect_reject "unknown DL policy"     -- dlsim --dl borg --dlt 4 --dli 8
+expect_reject "dl crash spec"         -- dlsim --dl gandiva --crash-node oops
 
 # list, by contrast, succeeds bare.
 "$CTL" list >"$WORK/list_out" 2>&1 || fail "list: expected exit 0, got $?"
 grep -qi "cbp" "$WORK/list_out" || fail "list: CBP missing from output"
+grep -q "gandiva" "$WORK/list_out" || fail "list: DL policies missing"
 
 # ---- observability outputs on a real faulted run ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 \
@@ -66,6 +69,30 @@ head -c 8 "$WORK/trace.trc" | grep -q "KNOBTRC1" || fail "--trace-bin: bad magic
 [ -s "$WORK/metrics.json" ] || fail "--metrics-out: metrics.json missing or empty"
 grep -q '"counters"' "$WORK/metrics.json" || fail "--metrics-out: no counters section"
 grep -q "cluster.placements" "$WORK/metrics.json" || fail "--metrics-out: placement counter missing"
+
+# ---- DL substrate: traced, faulted single-policy run ----
+"$CTL" dlsim --dl gandiva --dlt 6 --dli 12 --nodes 2 --gpus 2 \
+  --duration 1800 --seed 7 --crash-node "1@600:300" \
+  --trace "$WORK/dl_trace.json" \
+  --metrics-out "$WORK/dl_metrics.json" >"$WORK/dl_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "dl run: expected exit 0, got $rc (output: $(cat "$WORK/dl_out"))"
+grep -q "Gandiva" "$WORK/dl_out" || fail "dl report: policy name missing"
+grep -q "run digest" "$WORK/dl_out" || fail "dl report: 'run digest' row missing"
+grep -q "node crashes" "$WORK/dl_out" || fail "dl report: node-crash row missing"
+[ -s "$WORK/dl_trace.json" ] || fail "dl --trace: trace.json missing or empty"
+grep -q '"name":"node down"' "$WORK/dl_trace.json" || fail "dl --trace: no node-down event"
+[ -s "$WORK/dl_metrics.json" ] || fail "dl --metrics-out: metrics.json missing or empty"
+grep -q "dlsim.queries" "$WORK/dl_metrics.json" || fail "dl --metrics-out: dlsim counter missing"
+
+# DL tracing must not perturb the DL digest either.
+"$CTL" dlsim --dl gandiva --dlt 6 --dli 12 --nodes 2 --gpus 2 \
+  --duration 1800 --seed 7 --crash-node "1@600:300" \
+  >"$WORK/dl_untraced_out" 2>&1 || fail "dl untraced run: expected exit 0, got $?"
+dl_traced=$(grep "run digest" "$WORK/dl_out")
+dl_untraced=$(grep "run digest" "$WORK/dl_untraced_out")
+[ -n "$dl_traced" ] && [ "$dl_traced" = "$dl_untraced" ] || \
+  fail "dl digest drift: traced='$dl_traced' untraced='$dl_untraced'"
 
 # ---- tracing must not perturb the digest ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \

@@ -1,8 +1,13 @@
+// DlEngine mechanics on the shared substrate (placement, eviction,
+// time-slicing, GPU-device integration) plus the end-to-end policy
+// comparisons the report layer builds on.
 #include "dlsim/dl_cluster.hpp"
 
 #include <gtest/gtest.h>
 
+#include "dlsim/dl_policies.hpp"
 #include "dlsim/dl_report.hpp"
+#include "sched/registry.hpp"
 
 namespace knots::dlsim {
 namespace {
@@ -24,55 +29,103 @@ DlWorkloadConfig small_workload() {
   return wl;
 }
 
-TEST(DlState, PlaceAndEvict) {
-  DlState state;
-  state.gpus.assign(4, GpuSlot{});
-  DltJob job;
-  job.id = 0;
-  job.gpus = 2;
-  state.jobs.push_back(job);
-  EXPECT_EQ(state.free_gpus(), 4);
-  EXPECT_TRUE(state.place(0, 2, 1));
-  EXPECT_EQ(state.free_gpus(), 2);
-  EXPECT_EQ(state.jobs[0].placed_gpus.size(), 2u);
-  state.evict(0);
-  EXPECT_EQ(state.free_gpus(), 4);
-  EXPECT_TRUE(state.jobs[0].placed_gpus.empty());
+/// Inert policy for driving the engine's mutation API directly.
+class NullDlPolicy final : public DlScheduler {
+ public:
+  [[nodiscard]] std::string name() const override { return "Null"; }
+  void schedule(DlSchedView&) override {}
+  SimTime serve_query(DlSchedView&, const DliQuery& query) override {
+    return query.base_latency;
+  }
+};
+
+DltJob job(int id, int gpus) {
+  DltJob j;
+  j.id = id;
+  j.gpus = gpus;
+  j.service = kHour;
+  return j;
 }
 
-TEST(DlState, PlaceFailsWhenInsufficientGpus) {
-  DlState state;
-  state.gpus.assign(2, GpuSlot{});
-  DltJob big;
-  big.id = 0;
-  big.gpus = 4;
-  state.jobs.push_back(big);
-  EXPECT_FALSE(state.place(0, 4, 1));
-  EXPECT_TRUE(state.jobs[0].placed_gpus.empty());
-  EXPECT_EQ(state.free_gpus(), 2);
+DlClusterConfig one_node(int gpus) {
+  DlClusterConfig cfg;
+  cfg.nodes = 1;
+  cfg.gpus_per_node = gpus;
+  return cfg;
 }
 
-TEST(DlState, MaxShareAllowsTimeSlicing) {
-  DlState state;
-  state.gpus.assign(1, GpuSlot{});
-  DltJob a, b;
-  a.id = 0;
-  b.id = 1;
-  state.jobs = {a, b};
-  EXPECT_TRUE(state.place(0, 1, 1));
-  EXPECT_FALSE(state.place(1, 1, 1));
-  EXPECT_TRUE(state.place(1, 1, 2));
-  EXPECT_EQ(state.gpus[0].load(), 2);
+TEST(DlEngine, PlaceAndEvict) {
+  NullDlPolicy policy;
+  DlEngine eng(one_node(4), policy, 1);
+  eng.jobs() = {job(0, 2)};
+  EXPECT_EQ(eng.free_gpu_count(), 4);
+  EXPECT_TRUE(eng.place(0, 2, 1));
+  EXPECT_EQ(eng.free_gpu_count(), 2);
+  EXPECT_EQ(eng.jobs()[0].placed_gpus.size(), 2u);
+  // The placement claims real GpuDevice memory, not just a counter.
+  EXPECT_GT(eng.device(0).totals().memory_provisioned_mb, 0.0);
+  eng.evict(0);
+  EXPECT_EQ(eng.free_gpu_count(), 4);
+  EXPECT_TRUE(eng.jobs()[0].placed_gpus.empty());
+  EXPECT_EQ(eng.device(0).totals().residents, 0);
 }
 
-TEST(PolicyNames, RoundTrip) {
-  EXPECT_EQ(to_string(DlPolicy::kResAg), "Res-Ag");
-  EXPECT_EQ(to_string(DlPolicy::kGandiva), "Gandiva");
-  EXPECT_EQ(to_string(DlPolicy::kTiresias), "Tiresias");
-  EXPECT_EQ(to_string(DlPolicy::kCbpPp), "CBP+PP");
+TEST(DlEngine, PlaceFailsWhenInsufficientGpus) {
+  NullDlPolicy policy;
+  DlEngine eng(one_node(2), policy, 1);
+  eng.jobs() = {job(0, 4)};
+  EXPECT_FALSE(eng.place(0, 4, 1));
+  EXPECT_TRUE(eng.jobs()[0].placed_gpus.empty());
+  EXPECT_EQ(eng.free_gpu_count(), 2);
 }
 
-class EveryDlPolicy : public ::testing::TestWithParam<DlPolicy> {};
+TEST(DlEngine, MaxShareAllowsTimeSlicing) {
+  NullDlPolicy policy;
+  DlEngine eng(one_node(1), policy, 1);
+  eng.jobs() = {job(0, 1), job(1, 1)};
+  EXPECT_TRUE(eng.place(0, 1, 1));
+  EXPECT_FALSE(eng.place(1, 1, 1));
+  EXPECT_TRUE(eng.place(1, 1, 2));
+  EXPECT_EQ(eng.load(0), 2);
+  EXPECT_EQ(eng.device(0).totals().residents, 2);
+}
+
+TEST(DlEngine, PlaceSkipsOfflineNodes) {
+  NullDlPolicy policy;
+  DlEngine eng(DlClusterConfig{.nodes = 2, .gpus_per_node = 2}, policy, 1);
+  eng.node(0).set_online(false);
+  eng.jobs() = {job(0, 2)};
+  ASSERT_TRUE(eng.place(0, 2, 1));
+  for (int g : eng.jobs()[0].placed_gpus) {
+    EXPECT_EQ(eng.node_of(static_cast<std::size_t>(g)).value, 1);
+  }
+}
+
+TEST(DlEngine, PlaceRespectsEccShrunkCapacity) {
+  NullDlPolicy policy;
+  DlEngine eng(one_node(2), policy, 1);
+  // Retire GPU 0 down to less than one trainer's working set.
+  eng.device(0).retire_memory_mb(eng.config().gpu.memory_mb -
+                                 eng.config().job_memory_mb / 2);
+  eng.jobs() = {job(0, 1)};
+  ASSERT_TRUE(eng.place(0, 1, 1));
+  EXPECT_EQ(eng.jobs()[0].placed_gpus, std::vector<int>{1});
+}
+
+TEST(DlRegistry, DlPoliciesResolveByName) {
+  register_dl_schedulers();
+  for (const auto& name : dl_policy_names()) {
+    EXPECT_TRUE(sched::scheduler_registered(name)) << name;
+  }
+  EXPECT_EQ(sched::make_scheduler("resag")->name(), "Res-Ag");
+  EXPECT_EQ(sched::make_scheduler("gandiva")->name(), "Gandiva");
+  EXPECT_EQ(sched::make_scheduler("tiresias")->name(), "Tiresias");
+  EXPECT_EQ(sched::make_scheduler("cbp-pp")->name(), "CBP+PP");
+  // Pod schedulers share the same registry namespace.
+  EXPECT_TRUE(sched::scheduler_registered("PP"));
+}
+
+class EveryDlPolicy : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(EveryDlPolicy, AllJobsCompleteAndStatsConsistent) {
   const auto result =
@@ -85,6 +138,13 @@ TEST_P(EveryDlPolicy, AllJobsCompleteAndStatsConsistent) {
   std::size_t violated = 0;
   for (const auto& q : result.queries) violated += q.violated ? 1 : 0;
   EXPECT_EQ(violated, result.dli_violations);
+  // Substrate accounting: the run audited itself and burned real power.
+  EXPECT_GT(result.invariant_checks, 0u);
+  EXPECT_EQ(result.invariant_violations, 0u);
+  EXPECT_GT(result.mean_power_watts, 0.0);
+  EXPECT_GT(result.energy_joules, 0.0);
+  EXPECT_EQ(result.node_crashes, 0u);
+  EXPECT_EQ(result.jobs_evicted, 0u);
 }
 
 TEST_P(EveryDlPolicy, Deterministic) {
@@ -95,17 +155,16 @@ TEST_P(EveryDlPolicy, Deterministic) {
   EXPECT_EQ(a.avg_jct_h, b.avg_jct_h);
   EXPECT_EQ(a.dli_violations, b.dli_violations);
   EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.digest_events, b.digest_events);
 }
 
 INSTANTIATE_TEST_SUITE_P(Policies, EveryDlPolicy,
-                         ::testing::Values(DlPolicy::kResAg,
-                                           DlPolicy::kGandiva,
-                                           DlPolicy::kTiresias,
-                                           DlPolicy::kCbpPp),
+                         ::testing::Values("resag", "gandiva", "tiresias",
+                                           "cbp-pp"),
                          [](const auto& info) {
-                           std::string n = to_string(info.param);
+                           std::string n = info.param;
                            std::erase(n, '-');
-                           std::erase(n, '+');
                            return n;
                          });
 

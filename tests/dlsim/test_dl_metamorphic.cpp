@@ -1,0 +1,126 @@
+// Metamorphic property of the DL placement path: the default workload never
+// saturates device memory (two 4 GB trainers on a 16 GB P100), so doubling
+// both the GPU capacity and the per-trainer working set must leave every
+// placement decision — which job lands on which GPU at which tick — exactly
+// where it was, for every policy. Only the recorded working-set size may
+// change, and it must exactly double. A violation means the placement path
+// grew a hidden dependence on absolute memory numbers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dlsim/dl_cluster.hpp"
+#include "obs/trace.hpp"
+
+namespace knots::dlsim {
+namespace {
+
+struct Placement {
+  SimTime ts;
+  std::int32_t job;
+  std::int32_t gpu;
+  double memory_mb;
+};
+
+std::vector<Placement> placements(const obs::TraceSink& trace) {
+  std::vector<Placement> out;
+  for (const obs::TraceEvent& e : trace.events()) {
+    if (e.kind == obs::EventKind::kPlace) {
+      out.push_back(Placement{e.ts, e.a, e.b, e.value});
+    }
+  }
+  return out;
+}
+
+TEST(DlMetamorphic, DoublingGpuMemoryPreservesEveryPlacement) {
+  DlClusterConfig base;
+  base.nodes = 4;
+  base.gpus_per_node = 4;
+  DlClusterConfig doubled = base;
+  doubled.gpu.memory_mb *= 2;
+  doubled.job_memory_mb *= 2;
+
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 150;
+  wl.window = 2 * kHour;
+
+  for (const auto& policy : dl_policy_names()) {
+    SCOPED_TRACE(policy);
+    obs::TraceSink base_trace;
+    DlRunOptions base_opt;
+    base_opt.trace = &base_trace;
+    const auto base_result =
+        run_dl_simulation(policy, base, wl, 7, base_opt);
+
+    obs::TraceSink doubled_trace;
+    DlRunOptions doubled_opt;
+    doubled_opt.trace = &doubled_trace;
+    const auto doubled_result =
+        run_dl_simulation(policy, doubled, wl, 7, doubled_opt);
+
+    const auto a = placements(base_trace);
+    const auto b = placements(doubled_trace);
+    ASSERT_EQ(a.size(), b.size());
+    ASSERT_FALSE(a.empty());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].ts, b[i].ts) << "placement " << i;
+      EXPECT_EQ(a[i].job, b[i].job) << "placement " << i;
+      EXPECT_EQ(a[i].gpu, b[i].gpu) << "placement " << i;
+      EXPECT_EQ(a[i].memory_mb * 2, b[i].memory_mb) << "placement " << i;
+    }
+    // The schedule itself is untouched, so every JCT statistic agrees.
+    EXPECT_EQ(base_result.avg_jct_h, doubled_result.avg_jct_h);
+    EXPECT_EQ(base_result.dlt_completed, doubled_result.dlt_completed);
+    EXPECT_EQ(base_result.dli_violations, doubled_result.dli_violations);
+    EXPECT_EQ(base_result.digest_events, doubled_result.digest_events);
+  }
+}
+
+TEST(DlMetamorphic, ScalingHoldsUnderProportionalEccDegrade) {
+  // Same law with an ECC retirement in play, provided the retired pages
+  // scale with the capacity: the eviction-and-replace sequence is identical.
+  DlClusterConfig base;
+  base.nodes = 4;
+  base.gpus_per_node = 4;
+  DlClusterConfig doubled = base;
+  doubled.gpu.memory_mb *= 2;
+  doubled.job_memory_mb *= 2;
+
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 150;
+  wl.window = 2 * kHour;
+
+  for (const auto& policy : {std::string("gandiva"), std::string("tiresias")}) {
+    SCOPED_TRACE(policy);
+    obs::TraceSink base_trace;
+    DlRunOptions base_opt;
+    base_opt.faults =
+        fault::FaultPlan{}.gpu_ecc_degrade(NodeId{0}, 30 * kMinute, 12288.0);
+    base_opt.trace = &base_trace;
+    const auto base_result = run_dl_simulation(policy, base, wl, 7, base_opt);
+
+    obs::TraceSink doubled_trace;
+    DlRunOptions doubled_opt;
+    doubled_opt.faults =
+        fault::FaultPlan{}.gpu_ecc_degrade(NodeId{0}, 30 * kMinute, 24576.0);
+    doubled_opt.trace = &doubled_trace;
+    const auto doubled_result =
+        run_dl_simulation(policy, doubled, wl, 7, doubled_opt);
+
+    const auto a = placements(base_trace);
+    const auto b = placements(doubled_trace);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].ts, b[i].ts) << "placement " << i;
+      EXPECT_EQ(a[i].job, b[i].job) << "placement " << i;
+      EXPECT_EQ(a[i].gpu, b[i].gpu) << "placement " << i;
+    }
+    EXPECT_EQ(base_result.capacity_crashes, doubled_result.capacity_crashes);
+    EXPECT_EQ(base_result.avg_jct_h, doubled_result.avg_jct_h);
+  }
+}
+
+}  // namespace
+}  // namespace knots::dlsim

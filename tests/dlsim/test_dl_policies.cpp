@@ -1,4 +1,5 @@
-// Unit-level behaviour of the individual DL policies.
+// Unit-level behaviour of the individual DL policies, driven through the
+// DlEngine/DlSchedView substrate they now run on.
 #include <gtest/gtest.h>
 
 #include "dlsim/dl_cluster.hpp"
@@ -8,18 +9,11 @@
 namespace knots::dlsim {
 namespace {
 
-DlClusterConfig tiny_cfg() {
+DlClusterConfig tiny_cfg(int gpus = 4) {
   DlClusterConfig cfg;
   cfg.nodes = 1;
-  cfg.gpus_per_node = 4;
+  cfg.gpus_per_node = gpus;
   return cfg;
-}
-
-DlState make_state(int gpus, std::vector<DltJob> jobs) {
-  DlState state;
-  state.gpus.assign(static_cast<std::size_t>(gpus), GpuSlot{});
-  state.jobs = std::move(jobs);
-  return state;
 }
 
 DltJob job(int id, int gpus, SimTime service, SimTime arrival = 0) {
@@ -32,111 +26,117 @@ DltJob job(int id, int gpus, SimTime service, SimTime arrival = 0) {
 }
 
 TEST(ResAgPolicy, FcfsHeadOfLineBlocks) {
-  auto state = make_state(4, {job(0, 8, kHour), job(1, 1, kHour)});
-  state.pending = {0, 1};
-  ResAgDlPolicy policy(tiny_cfg(), Rng(1));
-  policy.schedule(state);
+  ResAgDlPolicy policy;
+  DlEngine eng(tiny_cfg(4), policy, 1);
+  eng.jobs() = {job(0, 8, kHour), job(1, 1, kHour)};
+  eng.pending() = {0, 1};
+  policy.schedule(eng.view());
   // The 8-GPU head cannot fit on 4 GPUs and must block the 1-GPU job.
-  EXPECT_FALSE(state.jobs[0].running);
-  EXPECT_FALSE(state.jobs[1].running);
-  EXPECT_EQ(state.pending.size(), 2u);
+  EXPECT_FALSE(eng.jobs()[0].running);
+  EXPECT_FALSE(eng.jobs()[1].running);
+  EXPECT_EQ(eng.pending().size(), 2u);
 }
 
 TEST(ResAgPolicy, BusyGpuQueryMayCrashTrainer) {
-  auto state = make_state(1, {job(0, 1, kHour)});
-  state.pending = {0};
-  DlClusterConfig cfg = tiny_cfg();
+  DlClusterConfig cfg = tiny_cfg(1);
   cfg.crash_prob = 1.0;  // force the TF-greedy crash path
-  ResAgDlPolicy policy(cfg, Rng(2));
-  policy.schedule(state);
-  ASSERT_TRUE(state.jobs[0].running);
+  ResAgDlPolicy policy;
+  DlEngine eng(cfg, policy, 2);
+  eng.jobs() = {job(0, 1, kHour)};
+  eng.pending() = {0};
+  policy.schedule(eng.view());
+  ASSERT_TRUE(eng.jobs()[0].running);
   DliQuery q;
   q.base_latency = 20 * kMsec;
   q.qos = 150 * kMsec;
-  const SimTime latency = policy.serve_query(state, q);
+  const SimTime latency = policy.serve_query(eng.view(), q);
   EXPECT_GT(latency, q.base_latency);
   EXPECT_EQ(policy.crash_restarts(), 1u);
-  EXPECT_FALSE(state.jobs[0].running);
-  EXPECT_EQ(state.pending.size(), 1u);  // victim requeued at the back
-  EXPECT_EQ(state.jobs[0].restarts, 1);
+  EXPECT_FALSE(eng.jobs()[0].running);
+  EXPECT_EQ(eng.pending().size(), 1u);  // victim requeued at the back
+  EXPECT_EQ(eng.jobs()[0].restarts, 1);
+  // The crash released the GpuDevice claim too.
+  EXPECT_EQ(eng.device(0).totals().residents, 0);
 }
 
 TEST(ResAgPolicy, FreeGpuQueryRunsNatively) {
-  auto state = make_state(2, {});
-  ResAgDlPolicy policy(tiny_cfg(), Rng(3));
+  ResAgDlPolicy policy;
+  DlEngine eng(tiny_cfg(2), policy, 3);
   DliQuery q;
   q.base_latency = 30 * kMsec;
-  EXPECT_EQ(policy.serve_query(state, q), 30 * kMsec);
+  EXPECT_EQ(policy.serve_query(eng.view(), q), 30 * kMsec);
 }
 
 TEST(GandivaPolicy, OversubscribesOnlyUnderYoungIncumbents) {
-  DlClusterConfig cfg = tiny_cfg();
-  auto state = make_state(1, {job(0, 1, 10 * kHour), job(1, 1, kHour)});
-  state.jobs[0].attained = 3 * kHour;  // old trainer
-  state.pending = {0, 1};
-  GandivaDlPolicy policy(cfg, Rng(4));
-  policy.schedule(state);  // places job 0 exclusively
-  ASSERT_TRUE(state.jobs[0].running);
-  policy.schedule(state);  // job 1 must NOT slice under the old trainer
-  EXPECT_FALSE(state.jobs[1].running);
+  GandivaDlPolicy policy;
+  DlEngine eng(tiny_cfg(1), policy, 4);
+  eng.jobs() = {job(0, 1, 10 * kHour), job(1, 1, kHour)};
+  eng.jobs()[0].attained = 3 * kHour;  // old trainer
+  eng.pending() = {0, 1};
+  policy.schedule(eng.view());  // places job 0 exclusively
+  ASSERT_TRUE(eng.jobs()[0].running);
+  policy.schedule(eng.view());  // job 1 must NOT slice under the old trainer
+  EXPECT_FALSE(eng.jobs()[1].running);
 
   // Make the incumbent young: slicing becomes legal.
-  state.jobs[0].attained = 10 * kMinute;
-  policy.schedule(state);
-  EXPECT_TRUE(state.jobs[1].running);
-  EXPECT_EQ(state.gpus[0].load(), 2);
+  eng.jobs()[0].attained = 10 * kMinute;
+  policy.schedule(eng.view());
+  EXPECT_TRUE(eng.jobs()[1].running);
+  EXPECT_EQ(eng.load(0), 2);
   EXPECT_GT(policy.migrations(), 0u);
 }
 
 TEST(GandivaPolicy, NeverSlicesUnderAGang) {
-  DlClusterConfig cfg = tiny_cfg();
-  auto state = make_state(2, {job(0, 2, kHour, 0), job(1, 1, kHour, 0)});
-  state.pending = {0, 1};
-  GandivaDlPolicy policy(cfg, Rng(5));
-  policy.schedule(state);
-  EXPECT_TRUE(state.jobs[0].running);
-  EXPECT_FALSE(state.jobs[1].running);  // no slicing under gang members
+  GandivaDlPolicy policy;
+  DlEngine eng(tiny_cfg(2), policy, 5);
+  eng.jobs() = {job(0, 2, kHour, 0), job(1, 1, kHour, 0)};
+  eng.pending() = {0, 1};
+  policy.schedule(eng.view());
+  EXPECT_TRUE(eng.jobs()[0].running);
+  EXPECT_FALSE(eng.jobs()[1].running);  // no slicing under gang members
 }
 
 TEST(TiresiasPolicy, LasPrefersLeastAttained) {
-  DlClusterConfig cfg = tiny_cfg();
+  DlClusterConfig cfg = tiny_cfg(1);
   cfg.quantum = 0;  // reschedule every call
-  auto state = make_state(1, {job(0, 1, 10 * kHour), job(1, 1, 10 * kHour)});
-  state.jobs[0].attained = 2 * kMinute;
-  state.jobs[1].attained = 0;
-  state.pending = {0, 1};
-  TiresiasDlPolicy policy(cfg, Rng(6));
-  state.now = kHour;  // past the first quantum boundary
-  policy.schedule(state);
-  EXPECT_FALSE(state.jobs[0].running);
-  EXPECT_TRUE(state.jobs[1].running);  // least attained wins the single GPU
+  TiresiasDlPolicy policy;
+  DlEngine eng(cfg, policy, 6);
+  eng.jobs() = {job(0, 1, 10 * kHour), job(1, 1, 10 * kHour)};
+  eng.jobs()[0].attained = 2 * kMinute;
+  eng.jobs()[1].attained = 0;
+  eng.pending() = {0, 1};
+  eng.advance_to(kHour);  // past the first quantum boundary
+  policy.schedule(eng.view());
+  EXPECT_FALSE(eng.jobs()[0].running);
+  EXPECT_TRUE(eng.jobs()[1].running);  // least attained wins the single GPU
 }
 
 TEST(TiresiasPolicy, AttainedCapPreventsStarvationOrdering) {
-  DlClusterConfig cfg = tiny_cfg();
+  DlClusterConfig cfg = tiny_cfg(1);
   cfg.quantum = 0;
   cfg.las_attained_cap = 20 * kMinute;
   // Both far past the cap: FIFO by arrival decides, not attained service.
-  auto state = make_state(1, {job(0, 1, 10 * kHour, /*arrival=*/5),
-                              job(1, 1, 10 * kHour, /*arrival=*/0)});
-  state.jobs[0].attained = 2 * kHour;
-  state.jobs[1].attained = 9 * kHour;  // more attained but earlier arrival
-  state.pending = {0, 1};
-  TiresiasDlPolicy policy(cfg, Rng(7));
-  state.now = kHour;
-  policy.schedule(state);
-  EXPECT_TRUE(state.jobs[1].running);
-  EXPECT_FALSE(state.jobs[0].running);
+  TiresiasDlPolicy policy;
+  DlEngine eng(cfg, policy, 7);
+  eng.jobs() = {job(0, 1, 10 * kHour, /*arrival=*/5),
+                job(1, 1, 10 * kHour, /*arrival=*/0)};
+  eng.jobs()[0].attained = 2 * kHour;
+  eng.jobs()[1].attained = 9 * kHour;  // more attained but earlier arrival
+  eng.pending() = {0, 1};
+  eng.advance_to(kHour);
+  policy.schedule(eng.view());
+  EXPECT_TRUE(eng.jobs()[1].running);
+  EXPECT_FALSE(eng.jobs()[0].running);
 }
 
 TEST(CbpPpPolicy, BackfillsAroundBlockedGang) {
-  auto state = make_state(2, {job(0, 1, kHour), job(1, 1, kHour)});
-  state.jobs[0].gpus = 8;  // can never fit on 2 GPUs right now
-  state.pending = {0, 1};
-  CbpPpDlPolicy policy(tiny_cfg(), Rng(8));
-  policy.schedule(state);
-  EXPECT_FALSE(state.jobs[0].running);
-  EXPECT_TRUE(state.jobs[1].running);  // small job backfills past the head
+  CbpPpDlPolicy policy;
+  DlEngine eng(tiny_cfg(2), policy, 8);
+  eng.jobs() = {job(0, 8, kHour), job(1, 1, kHour)};
+  eng.pending() = {0, 1};
+  policy.schedule(eng.view());
+  EXPECT_FALSE(eng.jobs()[0].running);
+  EXPECT_TRUE(eng.jobs()[1].running);  // small job backfills past the head
 }
 
 TEST(DlSimulation, TwoJobTraceShortJobBenefitsFromSizeAwareness) {
@@ -153,12 +153,9 @@ TEST(DlSimulation, TwoJobTraceShortJobBenefitsFromSizeAwareness) {
   wl.jobs = {job(0, 1, 2 * kHour, /*arrival=*/0),
              job(1, 1, 15 * kMinute, /*arrival=*/1 * kMinute)};
 
-  const auto resag =
-      run_dl_simulation(DlPolicy::kResAg, cluster, wl, /*seed=*/7);
-  const auto tiresias =
-      run_dl_simulation(DlPolicy::kTiresias, cluster, wl, /*seed=*/7);
-  const auto gandiva =
-      run_dl_simulation(DlPolicy::kGandiva, cluster, wl, /*seed=*/7);
+  const auto resag = run_dl_simulation("resag", cluster, wl, /*seed=*/7);
+  const auto tiresias = run_dl_simulation("tiresias", cluster, wl, /*seed=*/7);
+  const auto gandiva = run_dl_simulation("gandiva", cluster, wl, /*seed=*/7);
 
   ASSERT_EQ(resag.dlt_completed, 2u);
   ASSERT_EQ(tiresias.dlt_completed, 2u);
@@ -182,12 +179,10 @@ TEST(DlSimulation, ConfigAndExplicitWorkloadPathsAgree) {
   workload.dli_queries = 60;
   workload.window = 2 * kHour;
 
-  for (const auto policy : {DlPolicy::kResAg, DlPolicy::kGandiva,
-                            DlPolicy::kTiresias, DlPolicy::kCbpPp}) {
-    SCOPED_TRACE(to_string(policy));
+  for (const auto& policy : dl_policy_names()) {
+    SCOPED_TRACE(policy);
     const std::uint64_t seed = 11;
-    const auto via_config =
-        run_dl_simulation(policy, cluster, workload, seed);
+    const auto via_config = run_dl_simulation(policy, cluster, workload, seed);
     Rng rng(seed);
     const DlWorkload wl = generate_dl_workload(workload, rng.fork(1));
     const auto via_workload = run_dl_simulation(policy, cluster, wl, seed);
@@ -199,20 +194,22 @@ TEST(DlSimulation, ConfigAndExplicitWorkloadPathsAgree) {
     EXPECT_EQ(via_config.dli_violations, via_workload.dli_violations);
     EXPECT_EQ(via_config.crash_restarts, via_workload.crash_restarts);
     EXPECT_EQ(via_config.preemptions, via_workload.preemptions);
+    EXPECT_EQ(via_config.run_digest, via_workload.run_digest);
   }
 }
 
 TEST(CbpPpPolicy, LullForecastServesQueryNearNative) {
-  DlClusterConfig cfg = tiny_cfg();
+  DlClusterConfig cfg = tiny_cfg(1);
   cfg.pp_accuracy = 1.0;  // always predicts the lull correctly
-  auto state = make_state(1, {job(0, 1, kHour)});
-  state.pending = {0};
-  CbpPpDlPolicy policy(cfg, Rng(9));
-  policy.schedule(state);
+  CbpPpDlPolicy policy;
+  DlEngine eng(cfg, policy, 9);
+  eng.jobs() = {job(0, 1, kHour)};
+  eng.pending() = {0};
+  policy.schedule(eng.view());
   DliQuery q;
   q.base_latency = 40 * kMsec;
   q.qos = 150 * kMsec;
-  const SimTime latency = policy.serve_query(state, q);
+  const SimTime latency = policy.serve_query(eng.view(), q);
   EXPECT_LE(latency, 50 * kMsec);  // 1.15x of base, no blocking
   EXPECT_EQ(policy.crash_restarts(), 0u);
 }

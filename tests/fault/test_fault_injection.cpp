@@ -191,7 +191,7 @@ TEST(EvictionConservation, DirectEvictNodeRequeuesResidents) {
     void on_schedule(cluster::SchedulingContext& ctx) override {
       if (!drained_ && ctx.now >= 5 * kSec) {
         drained_ = true;
-        ctx.cluster.evict_node(NodeId{0});
+        ctx.cluster->evict_node(NodeId{0});
       }
       inner_->on_schedule(ctx);
     }

@@ -55,9 +55,9 @@ TEST(Uniform, NeverCoLocates) {
     std::string name() const override { return inner_->name(); }
     void on_schedule(cluster::SchedulingContext& ctx) override {
       inner_->on_schedule(ctx);
-      for (GpuId gpu : ctx.cluster.all_gpus()) {
+      for (GpuId gpu : ctx.cluster->all_gpus()) {
         max_residents_ = std::max(max_residents_,
-                                  ctx.cluster.device(gpu).totals().residents);
+                                  ctx.cluster->device(gpu).totals().residents);
       }
     }
     int max_residents_ = 0;
@@ -81,9 +81,9 @@ TEST(ResAg, RespectsResidentCap) {
     std::string name() const override { return inner_.name(); }
     void on_schedule(cluster::SchedulingContext& ctx) override {
       inner_.on_schedule(ctx);
-      for (GpuId gpu : ctx.cluster.all_gpus()) {
+      for (GpuId gpu : ctx.cluster->all_gpus()) {
         max_residents_ = std::max(max_residents_,
-                                  ctx.cluster.device(gpu).totals().residents);
+                                  ctx.cluster->device(gpu).totals().residents);
       }
     }
     ResourceAgnosticScheduler inner_;
@@ -116,8 +116,8 @@ TEST(Cbp, NeverOvercommitsPhysicalAllocations) {
     using CbpScheduler::CbpScheduler;
     void on_schedule(cluster::SchedulingContext& ctx) override {
       CbpScheduler::on_schedule(ctx);
-      for (GpuId gpu : ctx.cluster.all_gpus()) {
-        const auto& dev = ctx.cluster.device(gpu);
+      for (GpuId gpu : ctx.cluster->all_gpus()) {
+        const auto& dev = ctx.cluster->device(gpu);
         ok_ = ok_ && dev.totals().memory_provisioned_mb <=
                          dev.spec().memory_mb + 1e-6;
       }
