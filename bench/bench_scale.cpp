@@ -1,0 +1,125 @@
+// Datacenter-scale throughput curves: nodes × pods × events/sec at
+// 10 → 100 → 1k → 10k nodes, plus a lane-determinism gate (the sharded
+// run must reproduce the single-lane digest bit-for-bit before its
+// numbers count). Committed baseline lives in BENCH_scale.json.
+//
+//   --fast   10/100-node points only (CI smoke; ~seconds)
+//   --json   machine-readable BENCH_scale.json schema
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/table.hpp"
+#include "knots/experiment.hpp"
+
+namespace {
+
+using namespace knots;
+
+struct ScalePoint {
+  int nodes = 0;
+  SimTime window = 0;  ///< Arrival window; larger clusters use shorter ones.
+};
+
+struct ScaleResult {
+  int nodes = 0;
+  std::size_t pods = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t events = 0;
+  double wall_seconds = 0;
+  std::uint64_t digest = 0;
+};
+
+/// Scale config: arrival rates grow with the node count so pods-per-node
+/// stays at the paper's 10-node density, and telemetry retention shrinks
+/// to a scheduler-sufficient window so a 10k-node cluster does not spend
+/// its time faulting in ring buffers.
+ExperimentConfig scale_config(int nodes, int lanes, SimTime window) {
+  ExperimentConfig cfg = ExperimentConfig::Builder{}
+                             .mix(1)
+                             .scheduler(sched::SchedulerKind::kPeakPrediction)
+                             .nodes(nodes)
+                             .lanes(lanes)
+                             .duration(window)
+                             .seed(42)
+                             .load_scale(nodes / 10.0)
+                             .build();
+  cfg.cluster.telemetry_retention = 2048;
+  return cfg;
+}
+
+ScaleResult run_point(const ScalePoint& pt, int lanes) {
+  const ExperimentConfig cfg = scale_config(pt.nodes, lanes, pt.window);
+  const auto t0 = std::chrono::steady_clock::now();
+  const ExperimentReport report = run_experiment(cfg);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return ScaleResult{pt.nodes,        report.pods_total, report.ticks,
+                     report.events,   wall,              report.run_digest};
+}
+
+double node_ticks_per_sec(const ScaleResult& r) {
+  return r.wall_seconds > 0
+             ? static_cast<double>(r.ticks) * r.nodes / r.wall_seconds
+             : 0.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Session session(argc, argv, "scale");
+
+  // Lane-determinism gate: throughput numbers are meaningless if sharding
+  // changed the simulation, so prove digest equality first.
+  {
+    const ScalePoint gate{100, 30 * kSec};
+    const ScaleResult one = run_point(gate, 1);
+    const ScaleResult four = run_point(gate, 4);
+    if (one.digest != four.digest) {
+      std::cerr << "bench_scale: lanes=4 digest diverged from lanes=1\n";
+      return 1;
+    }
+    session.record("lanes_digest_match",
+                   {{"nodes", 100}, {"lanes", 4}, {"match", 1}});
+  }
+
+  std::vector<ScalePoint> points = {{10, 300 * kSec}, {100, 60 * kSec}};
+  if (!session.fast()) {
+    points.push_back({1000, 20 * kSec});
+    points.push_back({10000, 5 * kSec});
+  }
+
+  TablePrinter table("Scale curve (mix 1, PP)");
+  table.columns({"nodes", "pods", "ticks", "events", "wall s", "ticks/s",
+                 "node-ticks/s", "events/s", "vs 10-node"});
+
+  double baseline = 0;
+  for (const ScalePoint& pt : points) {
+    const ScaleResult r = run_point(pt, 1);
+    const double nts = node_ticks_per_sec(r);
+    if (r.nodes == 10) baseline = nts;
+    const double speedup = baseline > 0 ? nts / baseline : 0.0;
+    const double tps = r.wall_seconds > 0 ? r.ticks / r.wall_seconds : 0.0;
+    const double eps = r.wall_seconds > 0 ? r.events / r.wall_seconds : 0.0;
+    table.row({std::to_string(r.nodes), std::to_string(r.pods),
+               std::to_string(r.ticks), std::to_string(r.events),
+               fmt(r.wall_seconds, 3), fmt(tps, 1), fmt(nts, 1), fmt(eps, 1),
+               fmt(speedup, 2) + "x"});
+    session.record("e2e_" + std::to_string(r.nodes) + "node",
+                   {{"nodes", static_cast<double>(r.nodes)},
+                    {"pods", static_cast<double>(r.pods)},
+                    {"ticks", static_cast<double>(r.ticks)},
+                    {"events", static_cast<double>(r.events)},
+                    {"wall_seconds", r.wall_seconds},
+                    {"ticks_per_sec", tps},
+                    {"node_ticks_per_sec", nts},
+                    {"events_per_sec", eps},
+                    {"speedup_vs_10node", speedup}});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -42,12 +42,13 @@ using namespace knots;
 constexpr const char* kUsage =
     "usage: knots_ctl <command> [--flag value]...\n"
     "  run    --mix N --scheduler NAME --duration SECS [--nodes N] [--gpus N]\n"
-    "         [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
+    "         [--lanes N] [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
-    "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--seed N]\n"
+    "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--lanes N]\n"
+    "         [--seed N]\n"
     "  dlsim  [--mix N] [--dlt N] [--dli N]           (compare all policies)\n"
     "  dlsim  --dl NAME [--mix N] [--dlt N] [--dli N] [--nodes N] [--gpus N]\n"
-    "         [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
+    "         [--lanes N] [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  list\n";
 
@@ -144,12 +145,23 @@ std::optional<ExperimentConfig> config_from_flags(
   const auto duration = int_flag(flags, "duration", -1);
   const auto nodes = int_flag(flags, "nodes", -1);
   const auto gpus = int_flag(flags, "gpus", -1);
+  const auto lanes = int_flag(flags, "lanes", -1);
   const auto seed = int_flag(flags, "seed", -1);
-  if (!mix || !duration || !nodes || !gpus || !seed) return std::nullopt;
+  if (!mix || !duration || !nodes || !gpus || !lanes || !seed) {
+    return std::nullopt;
+  }
   builder.mix(static_cast<int>(*mix));
   if (*duration >= 0) builder.duration(*duration * kSec);
   if (*nodes >= 0) builder.nodes(static_cast<int>(*nodes));
   if (*gpus >= 0) builder.gpus_per_node(static_cast<int>(*gpus));
+  if (flags.count("lanes") != 0) {
+    if (*lanes < 1) {
+      std::cerr << "knots_ctl: flag '--lanes' expects an integer >= 1, got '"
+                << flags.at("lanes") << "'\n";
+      return std::nullopt;
+    }
+    builder.lanes(static_cast<int>(*lanes));
+  }
   if (*seed >= 0) builder.seed(static_cast<std::uint64_t>(*seed));
 
   std::string sched_name = "PP";
@@ -322,10 +334,18 @@ int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   const auto dli = int_flag(flags, "dli", wl.dli_queries);
   const auto nodes = int_flag(flags, "nodes", cluster.nodes);
   const auto gpus = int_flag(flags, "gpus", cluster.gpus_per_node);
+  const auto lanes = int_flag(flags, "lanes", cluster.lanes);
   const auto duration = int_flag(flags, "duration", -1);
   const auto seed = int_flag(flags, "seed", 42);
-  if (!mix || !dlt || !dli || !nodes || !gpus || !duration || !seed) {
+  if (!mix || !dlt || !dli || !nodes || !gpus || !lanes || !duration ||
+      !seed) {
     std::cerr << kUsage;
+    return 2;
+  }
+  if (*lanes < 1) {
+    std::cerr << "knots_ctl: flag '--lanes' expects an integer >= 1, got '"
+              << flags.at("lanes") << "'\n"
+              << kUsage;
     return 2;
   }
   wl.mix_id = static_cast<int>(*mix);
@@ -334,6 +354,7 @@ int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   if (*duration >= 0) wl.window = *duration * kSec;
   cluster.nodes = static_cast<int>(*nodes);
   cluster.gpus_per_node = static_cast<int>(*gpus);
+  cluster.lanes = static_cast<int>(*lanes);
 
   if (flags.count("dl") == 0) {
     // Classic 4-way comparison (Fig 12); observability flags need --dl.
@@ -412,12 +433,13 @@ int main(int argc, char** argv) {
 
   static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       {"run",
-       {"mix", "scheduler", "duration", "nodes", "gpus", "seed", "csv",
-        "crash-node", "trace", "trace-bin", "metrics-out"}},
-      {"sweep", {"mix", "scheduler", "duration", "nodes", "gpus", "seed"}},
+       {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
+        "csv", "crash-node", "trace", "trace-bin", "metrics-out"}},
+      {"sweep",
+       {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed"}},
       {"dlsim",
-       {"mix", "dlt", "dli", "dl", "nodes", "gpus", "duration", "seed",
-        "crash-node", "trace", "trace-bin", "metrics-out"}},
+       {"mix", "dlt", "dli", "dl", "nodes", "gpus", "lanes", "duration",
+        "seed", "crash-node", "trace", "trace-bin", "metrics-out"}},
       {"list", {}},
   };
   const auto allowed = kAllowedFlags.find(cmd);

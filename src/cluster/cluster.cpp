@@ -19,7 +19,8 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
   for (int n = 0; n < config_.nodes; ++n) {
     nodes_.push_back(std::make_unique<gpu::GpuNode>(NodeId{n}, node_spec,
                                                     next_gpu));
-    dbs_.push_back(std::make_unique<telemetry::TimeSeriesDb>());
+    dbs_.push_back(
+        std::make_unique<telemetry::TimeSeriesDb>(config_.telemetry_retention));
     for (int g = 0; g < config_.gpus_per_node; ++g) {
       gpu_index_.emplace_back(static_cast<std::size_t>(n),
                               static_cast<std::size_t>(g));
@@ -38,6 +39,29 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
   gpu_stale_.assign(gpu_index_.size(), false);
   aggregator_.set_staleness_horizon(
       static_cast<SimTime>(config_.stale_after_heartbeats) * config_.tick);
+
+  // Carve the node set into event lanes. The partition is by node, so pods
+  // sharing a GPU (the only intra-tick coupling) always land in one lane.
+  KNOTS_CHECK_MSG(config_.lanes >= 1, "lanes must be >= 1");
+  const auto lanes = static_cast<std::size_t>(config_.lanes);
+  if (config_.lane_assignment.empty()) {
+    shard_ = sim::ShardPlan::contiguous(nodes_.size(), lanes);
+  } else {
+    KNOTS_CHECK_MSG(config_.lane_assignment.size() == nodes_.size(),
+                    "lane_assignment must map every node");
+    std::vector<std::uint32_t> lane_of;
+    lane_of.reserve(nodes_.size());
+    for (const int lane : config_.lane_assignment) {
+      KNOTS_CHECK_MSG(lane >= 0 && lane < config_.lanes,
+                      "lane_assignment entry out of range");
+      lane_of.push_back(static_cast<std::uint32_t>(lane));
+    }
+    shard_ = sim::ShardPlan::from_assignment(std::move(lane_of), lanes);
+  }
+  if (lanes > 1) lane_exec_ = std::make_unique<sim::LaneExecutor>(lanes);
+  commit_.reset(lanes);
+  lane_members_.resize(lanes);
+  lane_sampled_.assign(lanes, 0);
 }
 
 void Cluster::set_fault_plan(fault::FaultPlan plan) {
@@ -56,7 +80,7 @@ void Cluster::load(std::vector<workload::PodSpec> specs) {
     last_arrival_ = std::max(last_arrival_, spec.arrival);
     const SimTime arrival = spec.arrival;
     const PodId id = spec.id;
-    pods_.push_back(std::make_unique<Pod>(std::move(spec)));
+    pods_.push_back(pod_arena_.create(std::move(spec)));
     sim_.schedule_at(arrival, [this, id] { on_arrival(id); });
   }
 }
@@ -145,7 +169,7 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
     trace_->record(now(), EventKind::kPlace, id.value, gpu_id.value,
                    provisioned_mb);
   }
-  if (registry_ != nullptr) registry_->counter("cluster.placements").inc();
+  if (placements_counter_ != nullptr) placements_counter_->inc();
   return true;
 }
 
@@ -210,7 +234,7 @@ void Cluster::evict_node(NodeId id) {
     return key.first == node_idx;
   });
   injector_->note_evictions(evicted);
-  if (registry_ != nullptr) registry_->counter("cluster.evictions").inc(evicted);
+  if (evictions_counter_ != nullptr) evictions_counter_->inc(evicted);
 }
 
 void Cluster::add_observer(ClusterObserver* observer) {
@@ -226,11 +250,28 @@ void Cluster::set_metrics_registry(obs::MetricsRegistry* registry) {
     sched_profile_ = nullptr;
     aggregator_.set_sort_profile(nullptr);
     sim_.set_dispatch_profile(nullptr);
+    ticks_counter_ = placements_counter_ = completions_counter_ = nullptr;
+    crashes_counter_ = evictions_counter_ = faults_counter_ = nullptr;
+    pending_gauge_ = active_gauge_ = completed_gauge_ = nullptr;
+    power_gauge_ = parked_gauge_ = nullptr;
     return;
   }
   sched_profile_ = &registry->histogram("sched.on_schedule_ns");
   aggregator_.set_sort_profile(&registry->histogram("telemetry.agg_sort_ns"));
   sim_.set_dispatch_profile(&registry->histogram("sim.dispatch_ns"));
+  // Resolve every hot-path instrument once; registry handles stay valid for
+  // the registry's lifetime, so per-tick paths skip the name lookup.
+  ticks_counter_ = &registry->counter("cluster.ticks");
+  placements_counter_ = &registry->counter("cluster.placements");
+  completions_counter_ = &registry->counter("cluster.completions");
+  crashes_counter_ = &registry->counter("cluster.crashes");
+  evictions_counter_ = &registry->counter("cluster.evictions");
+  faults_counter_ = &registry->counter("cluster.faults_injected");
+  pending_gauge_ = &registry->gauge("cluster.pending_pods");
+  active_gauge_ = &registry->gauge("cluster.active_pods");
+  completed_gauge_ = &registry->gauge("cluster.completed_pods");
+  power_gauge_ = &registry->gauge("cluster.power_watts");
+  parked_gauge_ = &registry->gauge("cluster.parked_gpus");
 }
 
 void Cluster::on_arrival(PodId id) {
@@ -252,7 +293,7 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
     trace_->record(now(), EventKind::kFaultInject, event.node.value, -1,
                    event.severity, fault::to_string(event.kind));
   }
-  if (registry_ != nullptr) registry_->counter("cluster.faults_injected").inc();
+  if (faults_counter_ != nullptr) faults_counter_->inc();
   switch (event.kind) {
     case fault::FaultKind::kNodeCrash: {
       // A crash while already down (overlapping random-plan intervals) is
@@ -360,60 +401,122 @@ gpu::Usage Cluster::jittered(const gpu::Usage& usage, Rng& rng) const {
 }
 
 void Cluster::advance_running_pods() {
-  // Slowdowns are computed from the device state at tick entry, then pod
-  // progress and usage are applied; violations crash the grown pod.
-  std::vector<double> slowdown(gpu_index_.size(), 1.0);
-  std::vector<double> batch_sm(gpu_index_.size(), 0.0);
+  // Phase A — snapshot. Slowdowns and co-resident batch SM pressure are
+  // computed from the device state at tick entry, so pod advance order
+  // within the tick cannot feed back into this tick's factors.
+  const std::size_t gpus = gpu_index_.size();
+  slowdown_scratch_.assign(gpus, 1.0);
+  batch_sm_scratch_.assign(gpus, 0.0);
   const bool faults_live = injector_->any_effects();
-  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
-    slowdown[i] = device(GpuId{static_cast<std::int32_t>(i)}).slowdown();
+  for (std::size_t i = 0; i < gpus; ++i) {
+    slowdown_scratch_[i] =
+        device(GpuId{static_cast<std::int32_t>(i)}).slowdown();
     if (faults_live) {
-      slowdown[i] *= injector_->pcie_slowdown(nodes_[gpu_index_[i].first]->id(),
-                                              now());
+      slowdown_scratch_[i] *= injector_->pcie_slowdown(
+          nodes_[gpu_index_[i].first]->id(), now());
     }
   }
   for (PodId id : active_) {
     const auto& p = *pods_[static_cast<std::size_t>(id.value)];
     if (p.state() == PodState::kRunning && !p.latency_critical()) {
-      batch_sm[static_cast<std::size_t>(p.gpu().value)] +=
+      batch_sm_scratch_[static_cast<std::size_t>(p.gpu().value)] +=
           p.current_usage().sm;
     }
   }
-  std::vector<PodId> still_active;
-  still_active.reserve(active_.size());
-  for (PodId id : active_) {
-    auto& p = *pods_[static_cast<std::size_t>(id.value)];
+
+  // Phase B — sequential pre-pass in canonical active_ order. Fixes each
+  // running pod's delivered dt, assigns the usage-jitter RNG stream exactly
+  // as the single-lane loop would (a pod that will finish this tick draws
+  // none; a pod that will crash still draws one, since jitter is what
+  // crashes it), and buckets pods into their node's lane.
+  advance_slots_.assign(active_.size(), AdvanceSlot{});
+  for (auto& members : lane_members_) members.clear();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    const auto& p = *pods_[static_cast<std::size_t>(active_[i].value)];
+    auto& slot = advance_slots_[i];
     if (p.state() != PodState::kRunning) {
-      if (p.state() == PodState::kStarting) still_active.push_back(id);
+      slot.keep = p.state() == PodState::kStarting ? 1 : 0;
       continue;
     }
     const auto gi = static_cast<std::size_t>(p.gpu().value);
-    double factor = slowdown[gi];
+    double factor = slowdown_scratch_[gi];
     if (p.latency_critical()) {
       // Non-preemptive blocking behind co-resident batch kernels.
-      factor *= 1.0 + config_.lc_blocking_tax * batch_sm[gi];
+      factor *= 1.0 + config_.lc_blocking_tax * batch_sm_scratch_[gi];
     }
     const auto dt = static_cast<SimTime>(
         static_cast<double>(config_.tick) / factor);
-    p.advance(std::max<SimTime>(1, dt));
-    if (p.finished_profile()) {
-      complete_pod(p);
-      continue;
+    slot.dt = std::max<SimTime>(1, dt);
+    slot.run = 1;
+    if (!p.would_finish(slot.dt)) {
+      slot.rng_stream = 0x9000 + pod_rng_counter_++;
     }
-    Rng jrng = rng_.fork(0x9000 + pod_rng_counter_++);
-    gpu::Usage usage = jittered(p.current_usage(), jrng);
-    if (p.spec().tf_greedy) {
-      // TF never allocates past its own earmark, jitter or not.
-      usage.memory_mb = std::min(usage.memory_mb, 0.995 * p.provisioned_mb());
-    }
-    if (!device(p.gpu()).set_usage(id, usage)) {
-      crash_pod(p);
-      continue;
-    }
-    gpu_last_busy_[gi] = now();
-    still_active.push_back(id);
+    lane_members_[shard_.lane_of(gpu_index_[gi].first)].push_back(
+        static_cast<std::uint32_t>(i));
   }
-  active_ = std::move(still_active);
+
+  // Phase C — lane-parallel advance. Everything touched here is lane-local
+  // (a node's pods, devices and gpu_last_busy_ slots belong to one lane) or
+  // a disjoint advance_slots_ write; completions and crashes detach and
+  // edge the pod locally, then defer their global half to the barrier with
+  // seq = canonical active_ index.
+  commit_.reset(shard_.lanes());
+  const SimTime tick_now = now();
+  const auto run_lane = [&](std::size_t lane) {
+    for (const std::uint32_t i : lane_members_[lane]) {
+      const PodId id = active_[i];
+      auto& p = *pods_[static_cast<std::size_t>(id.value)];
+      auto& slot = advance_slots_[i];
+      p.advance(slot.dt);
+      if (p.finished_profile()) {
+        device(p.gpu()).detach(id);
+        p.complete(tick_now);
+        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/false});
+        continue;
+      }
+      Rng jrng = rng_.fork(slot.rng_stream);
+      gpu::Usage usage = jittered(p.current_usage(), jrng);
+      if (p.spec().tf_greedy) {
+        // TF never allocates past its own earmark, jitter or not.
+        usage.memory_mb =
+            std::min(usage.memory_mb, 0.995 * p.provisioned_mb());
+      }
+      if (!device(p.gpu()).set_usage(id, usage)) {
+        device(p.gpu()).detach(id);
+        p.crash(tick_now);
+        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/true});
+        continue;
+      }
+      gpu_last_busy_[static_cast<std::size_t>(p.gpu().value)] = tick_now;
+      slot.keep = 1;
+    }
+  };
+  if (lane_exec_ != nullptr) {
+    lane_exec_->for_each_lane(run_lane);
+  } else {
+    for (std::size_t lane = 0; lane < shard_.lanes(); ++lane) run_lane(lane);
+  }
+
+  // Phase D — deterministic commit. Draining in (time, seq, partition)
+  // order — seq is the canonical active_ index — replays the global halves
+  // (metrics, profile store, observers, traces, relaunch scheduling) in
+  // exactly the order the single-lane loop interleaved them.
+  commit_.drain([this](SimTime, std::uint64_t, std::size_t, PodEffect& e) {
+    auto& p = *pods_[static_cast<std::size_t>(e.id.value)];
+    if (e.crashed) {
+      commit_crash(p);
+    } else {
+      commit_complete(p);
+    }
+  });
+
+  // Rebuild active_ in canonical order: kept runners plus starting pods.
+  still_active_scratch_.clear();
+  still_active_scratch_.reserve(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (advance_slots_[i].keep != 0) still_active_scratch_.push_back(active_[i]);
+  }
+  std::swap(active_, still_active_scratch_);
 }
 
 void Cluster::start_ready_pods() {
@@ -435,9 +538,7 @@ void Cluster::start_ready_pods() {
   });
 }
 
-void Cluster::complete_pod(Pod& p) {
-  device(p.gpu()).detach(p.id());
-  p.complete(now());
+void Cluster::commit_complete(Pod& p) {
   ++completed_;
 
   const auto& spec = p.spec();
@@ -465,17 +566,21 @@ void Cluster::complete_pod(Pod& p) {
     trace_->record(now(), EventKind::kComplete, p.id().value, -1,
                    p.progress());
   }
-  if (registry_ != nullptr) registry_->counter("cluster.completions").inc();
+  if (completions_counter_ != nullptr) completions_counter_->inc();
 }
 
 void Cluster::crash_pod(Pod& p) {
   device(p.gpu()).detach(p.id());
   p.crash(now());
+  commit_crash(p);
+}
+
+void Cluster::commit_crash(Pod& p) {
   metrics_->record_crash();
   const PodId id = p.id();
   for (auto* o : observers_) o->on_crash(*this, id);
   if (trace_ != nullptr) trace_->record(now(), EventKind::kCrash, id.value);
-  if (registry_ != nullptr) registry_->counter("cluster.crashes").inc();
+  if (crashes_counter_ != nullptr) crashes_counter_->inc();
   sim_.schedule_after(config_.relaunch_delay, [this, id] {
     auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
     pod_ref.requeue();
@@ -531,20 +636,32 @@ void Cluster::tick() {
   ++ticks_;
   advance_running_pods();
   start_ready_pods();
-  std::size_t nodes_sampled = 0;
-  if (injector_->any_effects()) {
-    // Down or heartbeat-muted nodes stop reporting; their series age toward
-    // the staleness horizon while last-known-good values persist.
-    for (std::size_t n = 0; n < samplers_.size(); ++n) {
-      if (!injector_->heartbeat_muted(nodes_[n]->id(), now())) {
-        samplers_[n].sample(now());
-        ++nodes_sampled;
+  // Telemetry heartbeats shard cleanly: each sampler owns its node's
+  // time-series store and RNG, and the injector queries are const, so lanes
+  // sample concurrently. Down or heartbeat-muted nodes stop reporting;
+  // their series age toward the staleness horizon while last-known-good
+  // values persist.
+  const bool muting = injector_->any_effects();
+  const auto sample_lane = [&](std::size_t lane) {
+    std::size_t count = 0;
+    for (const std::size_t n : shard_.members(lane)) {
+      if (muting && injector_->heartbeat_muted(nodes_[n]->id(), now())) {
+        continue;
       }
+      samplers_[n].sample(now());
+      ++count;
     }
+    lane_sampled_[lane] = count;
+  };
+  if (lane_exec_ != nullptr) {
+    lane_exec_->for_each_lane(sample_lane);
   } else {
-    for (auto& sampler : samplers_) sampler.sample(now());
-    nodes_sampled = samplers_.size();
+    for (std::size_t lane = 0; lane < shard_.lanes(); ++lane) {
+      sample_lane(lane);
+    }
   }
+  std::size_t nodes_sampled = 0;
+  for (const std::size_t count : lane_sampled_) nodes_sampled += count;
   if (trace_ != nullptr) {
     trace_->record(now(), EventKind::kScrape, -1, -1,
                    static_cast<double>(nodes_sampled));
@@ -567,26 +684,21 @@ void Cluster::tick() {
       (now() / config_.tick) % (config_.metrics_period / config_.tick) == 0) {
     sample_figure_metrics();
   }
-  if (registry_ != nullptr) update_tick_metrics();
+  if (registry_ != nullptr) update_tick_metrics(cluster_watts);
   for (auto* o : observers_) o->on_tick_end(*this);
 }
 
-void Cluster::update_tick_metrics() {
-  registry_->counter("cluster.ticks").inc();
-  registry_->gauge("cluster.pending_pods")
-      .set(static_cast<double>(pending_.size()));
-  registry_->gauge("cluster.active_pods")
-      .set(static_cast<double>(active_.size()));
-  registry_->gauge("cluster.completed_pods")
-      .set(static_cast<double>(completed_));
-  double watts = 0;
+void Cluster::update_tick_metrics(double cluster_watts) {
+  ticks_counter_->inc();
+  pending_gauge_->set(static_cast<double>(pending_.size()));
+  active_gauge_->set(static_cast<double>(active_.size()));
+  completed_gauge_->set(static_cast<double>(completed_));
   std::size_t parked = 0;
-  for (const auto& node : nodes_) watts += node->power_watts();
   for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
     if (device(GpuId{static_cast<std::int32_t>(i)}).parked()) ++parked;
   }
-  registry_->gauge("cluster.power_watts").set(watts);
-  registry_->gauge("cluster.parked_gpus").set(static_cast<double>(parked));
+  power_gauge_->set(cluster_watts);
+  parked_gauge_->set(static_cast<double>(parked));
 }
 
 }  // namespace knots::cluster

@@ -21,12 +21,14 @@
 #include "cluster/pod.hpp"
 #include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
+#include "core/arena.hpp"
 #include "core/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "gpu/gpu_node.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "telemetry/aggregator.hpp"
 #include "telemetry/sampler.hpp"
@@ -59,6 +61,23 @@ struct ClusterConfig {
   double lc_blocking_tax = 2.5;
   double telemetry_noise = 0.005;     ///< NVML measurement noise (sigma).
   std::uint64_t seed = 42;
+  /// Event-lane shards for the tick hot path. Nodes are partitioned across
+  /// lanes (contiguous blocks unless lane_assignment overrides); pod
+  /// advance and telemetry sampling run lane-parallel, with every global
+  /// effect committed through a deterministic (time, seq, partition)
+  /// barrier merge — any lane count, and any node→lane permutation,
+  /// reproduces the single-lane run bit-for-bit.
+  int lanes = 1;
+  /// Optional explicit node→lane map (size == nodes, each entry < lanes).
+  /// Empty picks contiguous blocks. Pods sharing a GPU always share a lane
+  /// because the partition is by node.
+  std::vector<int> lane_assignment{};
+  /// Samples retained per telemetry series (the node-local time-series
+  /// store's retention policy). The default preserves the historical
+  /// capacity; datacenter-scale runs shrink it to bound memory — results
+  /// are unchanged as long as it covers the widest scheduler lookback
+  /// window (window / tick samples; 500 at the defaults).
+  std::size_t telemetry_retention = 65536;
 };
 
 enum class NodeHealth { kHealthy, kDown };
@@ -92,6 +111,15 @@ class Cluster {
   /// Scheduling quanta executed so far (the bench harness's ticks/sec
   /// denominator).
   [[nodiscard]] std::uint64_t tick_count() const noexcept { return ticks_; }
+  /// Discrete events dispatched by the underlying engine (bench events/sec
+  /// numerator).
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return sim_.events_processed();
+  }
+  /// Event lanes the tick hot path is sharded into (1 = sequential).
+  [[nodiscard]] std::size_t lane_count() const noexcept {
+    return shard_.lanes();
+  }
   [[nodiscard]] const telemetry::UtilizationAggregator& aggregator() const {
     return aggregator_;
   }
@@ -158,15 +186,18 @@ class Cluster {
   void tick();
   void advance_running_pods();
   void start_ready_pods();
-  void complete_pod(Pod& pod);
   void crash_pod(Pod& pod);
+  /// Global bookkeeping halves of complete/crash — run at barrier-commit
+  /// time, after the lane halves (detach + state edge) already ran.
+  void commit_complete(Pod& pod);
+  void commit_crash(Pod& pod);
   void sample_figure_metrics();
   void maybe_park_idle_gpus();
   [[nodiscard]] SchedulingContext make_context();
   void apply_fault(const fault::FaultEvent& event);
   void recover_node(NodeId id);
   void detect_stale_transitions(SchedulingContext& ctx);
-  void update_tick_metrics();
+  void update_tick_metrics(double cluster_watts);
   [[nodiscard]] bool all_terminal() const;
   [[nodiscard]] gpu::Usage jittered(const gpu::Usage& usage, Rng& rng) const;
 
@@ -182,7 +213,11 @@ class Cluster {
   // GpuId -> (node index, gpu index within node); ids are dense from 0.
   std::vector<std::pair<std::size_t, std::size_t>> gpu_index_;
 
-  std::vector<std::unique_ptr<Pod>> pods_;
+  // Pods live in a slab arena: stable addresses, one bulk allocation per
+  // slab instead of one heap node per pod (10k-node runs create hundreds of
+  // thousands of relaunch-churned pods).
+  core::SlabArena<Pod> pod_arena_;
+  std::vector<Pod*> pods_;
   std::deque<PodId> pending_;
   std::vector<PodId> active_;  ///< Starting or running, in placement order.
   ProfileStore profile_store_;
@@ -199,10 +234,48 @@ class Cluster {
   std::uint64_t pod_rng_counter_ = 0;
   std::uint64_t ticks_ = 0;
 
+  // ---- Sharded tick machinery ----
+  /// A pod lifecycle edge detected inside a lane, deferred to the barrier.
+  struct PodEffect {
+    PodId id;
+    bool crashed = false;  ///< false → completed
+  };
+  /// Per-active-pod advance plan, filled by the sequential pre-pass and
+  /// consumed by the lanes (each slot written by exactly one lane).
+  struct AdvanceSlot {
+    SimTime dt = 0;
+    std::uint64_t rng_stream = 0;
+    std::uint8_t run = 0;   ///< Pod was kRunning at tick entry.
+    std::uint8_t keep = 0;  ///< Pod stays in active_ after this tick.
+  };
+  sim::ShardPlan shard_;  ///< node index → lane
+  std::unique_ptr<sim::LaneExecutor> lane_exec_;  ///< null when lanes == 1
+  sim::BarrierMerge<PodEffect> commit_;
+  // Persistent per-tick scratch: the tick hot loop never reallocates.
+  std::vector<double> slowdown_scratch_;
+  std::vector<double> batch_sm_scratch_;
+  std::vector<AdvanceSlot> advance_slots_;
+  std::vector<std::vector<std::uint32_t>> lane_members_;
+  std::vector<PodId> still_active_scratch_;
+  std::vector<std::size_t> lane_sampled_;
+
   // Observability (all optional, never sampled by the simulation itself).
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* registry_ = nullptr;
   obs::Histogram* sched_profile_ = nullptr;  ///< sched.on_schedule_ns
+  // Instrument handles resolved once at attach time — the per-tick and
+  // per-lifecycle-edge paths never pay the registry's name lookup.
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::Counter* placements_counter_ = nullptr;
+  obs::Counter* completions_counter_ = nullptr;
+  obs::Counter* crashes_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* faults_counter_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Gauge* completed_gauge_ = nullptr;
+  obs::Gauge* power_gauge_ = nullptr;
+  obs::Gauge* parked_gauge_ = nullptr;
 };
 
 }  // namespace knots::cluster

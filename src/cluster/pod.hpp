@@ -33,9 +33,15 @@ std::string image_key(const workload::PodSpec& spec);
 
 class Pod {
  public:
-  explicit Pod(workload::PodSpec spec) : spec_(std::move(spec)) {}
+  explicit Pod(workload::PodSpec spec)
+      : spec_(std::move(spec)), profile_key_(image_key(spec_)) {}
 
   [[nodiscard]] const workload::PodSpec& spec() const noexcept { return spec_; }
+  /// image_key(spec()), computed once — the schedulers' profile lookups
+  /// would otherwise rebuild the string per resident per tick.
+  [[nodiscard]] const std::string& profile_key() const noexcept {
+    return profile_key_;
+  }
   [[nodiscard]] PodId id() const noexcept { return spec_.id; }
   [[nodiscard]] PodState state() const noexcept { return state_; }
   [[nodiscard]] bool terminal() const noexcept {
@@ -59,6 +65,13 @@ class Pod {
   [[nodiscard]] bool finished_profile() const noexcept {
     return app_time_ >= spec_.profile.total_duration();
   }
+  /// Whether advancing by `dt` would finish the profile. The sharded tick's
+  /// sequential pre-pass uses this to assign usage-jitter RNG streams in
+  /// canonical order before the lanes advance in parallel (a completing pod
+  /// draws no jitter, so it consumes no stream).
+  [[nodiscard]] bool would_finish(SimTime dt) const noexcept {
+    return app_time_ + dt >= spec_.profile.total_duration();
+  }
 
   /// Current ground-truth demand (profile evaluated at app-time).
   [[nodiscard]] gpu::Usage current_usage() const;
@@ -81,6 +94,7 @@ class Pod {
 
  private:
   workload::PodSpec spec_;
+  std::string profile_key_;
   PodState state_ = PodState::kPending;
   GpuId gpu_{};
   double provisioned_mb_ = 0;

@@ -1,0 +1,97 @@
+// Slab arena: chunked object storage with stable addresses.
+//
+// The cluster creates one Pod per workload spec and never destroys it until
+// the run ends. Allocating each pod individually (`make_unique` per spec)
+// costs one malloc per pod and scatters the hot lifecycle state across the
+// heap; at datacenter scale (10k nodes, ~100k pods) that is both the
+// dominant setup cost and a cache liability for the per-tick advance loop.
+// The arena batches construction into fixed-size slabs: addresses never move
+// (slabs are never reallocated), so raw pointers into the arena stay valid
+// for its whole lifetime, and creation order is preserved for index access.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+
+namespace knots::core {
+
+template <typename T>
+class SlabArena {
+ public:
+  /// `slab_capacity` = objects per slab. Sized so one slab comfortably
+  /// holds a small run while large runs amortize to one allocation per
+  /// `slab_capacity` objects.
+  explicit SlabArena(std::size_t slab_capacity = 256)
+      : slab_capacity_(slab_capacity) {
+    KNOTS_CHECK(slab_capacity_ > 0);
+  }
+  ~SlabArena() { clear(); }
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  /// Constructs a new T in place; the returned pointer is stable until
+  /// clear()/destruction.
+  template <typename... Args>
+  T* create(Args&&... args) {
+    if (slabs_.empty() || used_in_last_ == slab_capacity_) {
+      slabs_.push_back(std::make_unique<Slab>(slab_capacity_));
+      used_in_last_ = 0;
+    }
+    T* slot = slabs_.back()->objects() + used_in_last_;
+    ::new (static_cast<void*>(slot)) T(std::forward<Args>(args)...);
+    ++used_in_last_;
+    index_.push_back(slot);
+    return slot;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return index_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return index_.empty(); }
+  [[nodiscard]] std::size_t slab_count() const noexcept {
+    return slabs_.size();
+  }
+
+  /// Element `i` in creation order.
+  [[nodiscard]] T& operator[](std::size_t i) { return *index_[i]; }
+  [[nodiscard]] const T& operator[](std::size_t i) const {
+    return *index_[i];
+  }
+
+  /// Destroys every object (newest first) and releases all slabs.
+  void clear() {
+    for (std::size_t i = index_.size(); i > 0; --i) {
+      index_[i - 1]->~T();
+    }
+    index_.clear();
+    slabs_.clear();
+    used_in_last_ = 0;
+  }
+
+ private:
+  // Raw aligned storage: objects are constructed lazily by create(), so the
+  // slab must not default-construct (or destroy) its slots itself.
+  struct Slab {
+    explicit Slab(std::size_t capacity)
+        : bytes(static_cast<std::byte*>(::operator new(
+              sizeof(T) * capacity, std::align_val_t{alignof(T)}))) {}
+    ~Slab() { ::operator delete(bytes, std::align_val_t{alignof(T)}); }
+    Slab(const Slab&) = delete;
+    Slab& operator=(const Slab&) = delete;
+    [[nodiscard]] T* objects() noexcept {
+      return std::launder(reinterpret_cast<T*>(bytes));
+    }
+    std::byte* bytes;
+  };
+
+  std::size_t slab_capacity_;
+  std::size_t used_in_last_ = 0;
+  std::vector<std::unique_ptr<Slab>> slabs_;
+  std::vector<T*> index_;  ///< Creation-order access.
+};
+
+}  // namespace knots::core

@@ -23,8 +23,17 @@ class RingBuffer {
   /// Appends a value, overwriting the oldest when full.
   void push(const T& value) {
     data_[head_] = value;
-    head_ = (head_ + 1) % data_.size();
+    // Conditional wrap: capacity is runtime-sized, so `% size()` would be a
+    // hardware divide on the hottest write path in the simulator.
+    if (++head_ == data_.size()) head_ = 0;
     if (size_ < data_.size()) ++size_;
+  }
+
+  /// Hints the cache that the next push's slot is about to be written.
+  void prefetch_write_slot() const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(data_.data() + head_, 1);
+#endif
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return size_; }
@@ -42,7 +51,7 @@ class RingBuffer {
   /// Most recently pushed element.
   [[nodiscard]] const T& back() const {
     KNOTS_CHECK(size_ > 0);
-    return data_[(head_ + data_.size() - 1) % data_.size()];
+    return data_[head_ == 0 ? data_.size() - 1 : head_ - 1];
   }
 
   /// Oldest retained element.

@@ -28,6 +28,7 @@
 #include "gpu/gpu_node.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "verify/run_digest.hpp"
 
@@ -69,6 +70,12 @@ struct DlClusterConfig {
   double job_memory_mb = 4096.0;
   /// Host CPU floor folded into node power (0 = GPU-only, as measured).
   double host_idle_watts = 0.0;
+  /// Event lanes for the job-advance hot path. Lanes precompute per-job
+  /// progress deltas in parallel from the tick-entry placement snapshot;
+  /// the apply pass stays sequential and falls back to live computation
+  /// after the first completion of the tick (completions evict, changing
+  /// the loads later jobs see). Any lane count is bit-identical to 1.
+  int lanes = 1;
 };
 
 struct DliRecord {
@@ -240,6 +247,8 @@ class DlEngine {
   void crash_node(const fault::FaultEvent& event);
   void apply_ecc(const fault::FaultEvent& event);
   void advance_jobs(SimTime t);
+  [[nodiscard]] double job_speed(const DltJob& job, SimTime t,
+                                 bool fault_effects) const;
   void serve_queries(SimTime t);
   void complete_job(DltJob& job, SimTime t);
   void attach_job(int job, std::size_t g);
@@ -274,6 +283,9 @@ class DlEngine {
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   std::unique_ptr<DlSchedView> view_;
+
+  std::unique_ptr<sim::LaneExecutor> lane_exec_;  ///< null when lanes == 1
+  std::vector<SimTime> delta_scratch_;  ///< per-job precomputed progress
 
   std::uint64_t jobs_evicted_ = 0;
   std::uint64_t capacity_crashes_ = 0;

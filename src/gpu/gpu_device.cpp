@@ -17,6 +17,9 @@ bool GpuDevice::attach(PodId pod, double provisioned_mb) {
   parked_ = false;
   usages_.emplace(pod, Usage{});
   provisioned_.emplace(pod, provisioned_mb);
+  residents_sorted_.insert(std::lower_bound(residents_sorted_.begin(),
+                                            residents_sorted_.end(), pod),
+                           pod);
   recompute_totals();
   return true;
 }
@@ -24,6 +27,11 @@ bool GpuDevice::attach(PodId pod, double provisioned_mb) {
 void GpuDevice::detach(PodId pod) {
   usages_.erase(pod);
   provisioned_.erase(pod);
+  const auto it = std::lower_bound(residents_sorted_.begin(),
+                                   residents_sorted_.end(), pod);
+  if (it != residents_sorted_.end() && *it == pod) {
+    residents_sorted_.erase(it);
+  }
   recompute_totals();
 }
 
@@ -59,11 +67,7 @@ std::optional<double> GpuDevice::provisioned_mb(PodId pod) const {
 }
 
 std::vector<PodId> GpuDevice::resident_pods() const {
-  std::vector<PodId> out;
-  out.reserve(usages_.size());
-  for (const auto& [pod, usage] : usages_) out.push_back(pod);
-  std::sort(out.begin(), out.end());
-  return out;
+  return residents_sorted_;
 }
 
 double GpuDevice::slowdown() const noexcept {

@@ -86,6 +86,12 @@ class GpuDevice {
   }
   [[nodiscard]] std::optional<double> provisioned_mb(PodId pod) const;
   [[nodiscard]] std::vector<PodId> resident_pods() const;
+  /// Resident pods in ascending id order, without the copy resident_pods()
+  /// makes — maintained incrementally on attach/detach for the per-tick
+  /// harvest and audit loops.
+  [[nodiscard]] const std::vector<PodId>& residents() const noexcept {
+    return residents_sorted_;
+  }
 
   [[nodiscard]] GpuTotals totals() const noexcept { return totals_; }
   [[nodiscard]] double free_provision_mb() const noexcept {
@@ -126,6 +132,7 @@ class GpuDevice {
   GpuSpec spec_;
   std::unordered_map<PodId, Usage> usages_;
   std::unordered_map<PodId, double> provisioned_;
+  std::vector<PodId> residents_sorted_;
   GpuTotals totals_{};
   bool parked_ = false;
   double ecc_retired_mb_ = 0.0;

@@ -43,6 +43,11 @@ ExperimentConfig::Builder& ExperimentConfig::Builder::gpus_per_node(int gpus) {
   return *this;
 }
 
+ExperimentConfig::Builder& ExperimentConfig::Builder::lanes(int lanes) {
+  cfg_.cluster.lanes = lanes;
+  return *this;
+}
+
 ExperimentConfig::Builder& ExperimentConfig::Builder::duration(
     SimTime duration) {
   cfg_.workload.duration = duration;

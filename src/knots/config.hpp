@@ -70,6 +70,9 @@ class ExperimentConfig::Builder {
   Builder& scheduler(sched::SchedulerKind kind);
   Builder& nodes(int nodes);
   Builder& gpus_per_node(int gpus);
+  /// Event lanes sharding the tick hot path (1 = sequential). Any lane
+  /// count reproduces the single-lane run bit-for-bit.
+  Builder& lanes(int lanes);
   /// Arrival-window length of the generated workload.
   Builder& duration(SimTime duration);
   Builder& seed(std::uint64_t seed);

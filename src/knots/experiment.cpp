@@ -59,6 +59,7 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   r.pods_total = cl.pod_count();
   r.pods_completed = cl.completed_count();
   r.ticks = cl.tick_count();
+  r.events = cl.events_processed();
   return r;
 }
 

@@ -52,7 +52,8 @@ struct ExperimentReport {
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;
 
-  std::uint64_t ticks = 0;  ///< Scheduling quanta executed (perf harness).
+  std::uint64_t ticks = 0;   ///< Scheduling quanta executed (perf harness).
+  std::uint64_t events = 0;  ///< Engine events dispatched (perf harness).
 
   // -- Verification layer (knots::verify) --
   /// Order-sensitive FNV-1a hash over every scheduling decision, crash and

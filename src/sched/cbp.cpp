@@ -22,7 +22,7 @@ bool CbpScheduler::forecast_override(const cluster::Cluster&,
 
 double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
                                const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  const auto* prof = cl.profiles().find(pod.profile_key());
   if (prof == nullptr || prof->memory_signature.empty()) {
     // First run of this image: trust the (overstated) user request — for
     // inference pods that is TensorFlow's whole-device earmark, so the
@@ -39,14 +39,14 @@ double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
 
 double CbpScheduler::sm_estimate(const cluster::Cluster& cl,
                                  const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  const auto* prof = cl.profiles().find(pod.profile_key());
   if (prof == nullptr) return params_.unknown_sm_estimate;
   return prof->mean_sm;
 }
 
 double CbpScheduler::peak_sm_estimate(const cluster::Cluster& cl,
                                       const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+  const auto* prof = cl.profiles().find(pod.profile_key());
   if (prof == nullptr) return 1.0;
   return prof->peak_sm;
 }
@@ -57,7 +57,7 @@ bool CbpScheduler::lc_peak_safe(const cluster::Cluster& cl,
   double peak_sum = sm_estimate(cl, pod);
   double batch_peak_sum = 0;
   int contexts = 1;
-  for (PodId resident : dev.resident_pods()) {
+  for (PodId resident : dev.residents()) {
     const auto& res = cl.pod(resident);
     const double peak = peak_sm_estimate(cl, res);
     peak_sum += peak;
@@ -83,10 +83,10 @@ bool CbpScheduler::lc_peak_safe(const cluster::Cluster& cl,
 bool CbpScheduler::correlation_ok(const cluster::Cluster& cl,
                                   const cluster::Pod& pod,
                                   const gpu::GpuDevice& dev) const {
-  const std::string key = cluster::image_key(pod.spec());
-  for (PodId resident : dev.resident_pods()) {
+  const std::string& key = pod.profile_key();
+  for (PodId resident : dev.residents()) {
     const auto corr = cl.profiles().memory_correlation(
-        key, cluster::image_key(cl.pod(resident).spec()));
+        key, cl.pod(resident).profile_key());
     if (corr.has_value() && *corr > params_.correlation_threshold) {
       return false;
     }
@@ -97,11 +97,11 @@ bool CbpScheduler::correlation_ok(const cluster::Cluster& cl,
 void CbpScheduler::harvest(cluster::Cluster& cl) {
   for (GpuId gpu : cl.all_gpus()) {
     auto& dev = cl.device(gpu);
-    for (PodId id : dev.resident_pods()) {
+    for (PodId id : dev.residents()) {
       const auto& pod = cl.pod(id);
       if (pod.latency_critical()) continue;
       if (pod.state() != cluster::PodState::kRunning) continue;
-      const auto* prof = cl.profiles().find(cluster::image_key(pod.spec()));
+      const auto* prof = cl.profiles().find(pod.profile_key());
       if (prof == nullptr || prof->memory_signature.empty()) continue;
       const double target =
           std::max(kMinProvisionMb,
@@ -165,7 +165,7 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
       } else {
         // Protect resident queries from a batch context moving in.
         bool hosts_lc = false;
-        for (PodId resident : dev.resident_pods()) {
+        for (PodId resident : dev.residents()) {
           if (cl.pod(resident).latency_critical()) {
             hosts_lc = true;
             break;

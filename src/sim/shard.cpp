@@ -1,0 +1,65 @@
+#include "sim/shard.hpp"
+
+#include <thread>
+
+namespace knots::sim {
+
+namespace {
+
+std::vector<std::vector<std::size_t>> build_members(
+    const std::vector<std::uint32_t>& lane_of, std::size_t lanes) {
+  std::vector<std::vector<std::size_t>> members(lanes);
+  for (std::size_t i = 0; i < lane_of.size(); ++i) {
+    members[lane_of[i]].push_back(i);
+  }
+  return members;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::contiguous(std::size_t items, std::size_t lanes) {
+  KNOTS_CHECK(lanes > 0);
+  ShardPlan plan;
+  plan.lanes_ = lanes;
+  plan.lane_of_.resize(items);
+  const std::size_t block = (items + lanes - 1) / std::max<std::size_t>(lanes, 1);
+  for (std::size_t i = 0; i < items; ++i) {
+    plan.lane_of_[i] =
+        static_cast<std::uint32_t>(block == 0 ? 0 : std::min(i / block, lanes - 1));
+  }
+  plan.members_ = build_members(plan.lane_of_, lanes);
+  return plan;
+}
+
+ShardPlan ShardPlan::from_assignment(std::vector<std::uint32_t> lane_of,
+                                     std::size_t lanes) {
+  KNOTS_CHECK(lanes > 0);
+  for (std::uint32_t lane : lane_of) KNOTS_CHECK(lane < lanes);
+  ShardPlan plan;
+  plan.lanes_ = lanes;
+  plan.lane_of_ = std::move(lane_of);
+  plan.members_ = build_members(plan.lane_of_, lanes);
+  return plan;
+}
+
+LaneExecutor::LaneExecutor(std::size_t lanes, std::size_t threads)
+    : lanes_(lanes) {
+  KNOTS_CHECK(lanes_ > 0);
+  if (lanes_ == 1) return;
+  if (threads == 0) {
+    const std::size_t hw = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+    threads = std::min(lanes_, hw);
+  }
+  pool_ = std::make_unique<ThreadPool>(threads);
+}
+
+void LaneExecutor::for_each_lane(const std::function<void(std::size_t)>& fn) {
+  if (pool_ == nullptr) {
+    for (std::size_t lane = 0; lane < lanes_; ++lane) fn(lane);
+    return;
+  }
+  pool_->parallel_for(lanes_, fn);
+}
+
+}  // namespace knots::sim

@@ -1,0 +1,180 @@
+// Sharded execution substrate for the tick hot path.
+//
+// A datacenter-scale tick partitions its per-node work (pod advance,
+// telemetry sampling) into `lanes` independent event lanes that run
+// concurrently on a thread pool. Determinism is preserved by construction:
+//
+//  * ShardPlan maps every item (node) to exactly one lane, so state coupled
+//    through a node/GPU (co-resident pods, the node's TimeSeriesDb) is
+//    always mutated by a single lane;
+//  * lane-local effects commute (disjoint state), and every *global* effect
+//    (completion bookkeeping, crash relaunch scheduling, digest/observer
+//    hooks) is deferred into a BarrierMerge and replayed sequentially in
+//    (time, seq, lane) order — `seq` is the item's position in the canonical
+//    single-lane iteration order, so the drained sequence is bit-identical
+//    to the unsharded loop no matter how many lanes ran or how the OS
+//    scheduled them.
+//
+// DESIGN.md §10 carries the full argument.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/check.hpp"
+#include "core/thread_pool.hpp"
+#include "core/types.hpp"
+
+namespace knots::sim {
+
+/// Item → lane assignment. Items are whatever the caller shards over
+/// (cluster nodes, DL job stripes); the default layout is contiguous blocks,
+/// and any explicit assignment (e.g. a permutation, for the metamorphic
+/// partition-invariance tests) is accepted as long as every lane id is in
+/// range. Lanes may be empty (more lanes than items is valid).
+class ShardPlan {
+ public:
+  /// Single lane over `items` items (the identity plan).
+  ShardPlan() = default;
+
+  /// Contiguous blocks: items [i*ceil(n/lanes), ...) land on lane i.
+  [[nodiscard]] static ShardPlan contiguous(std::size_t items,
+                                            std::size_t lanes);
+
+  /// Explicit assignment; `lane_of[i]` is item i's lane, each < `lanes`.
+  [[nodiscard]] static ShardPlan from_assignment(
+      std::vector<std::uint32_t> lane_of, std::size_t lanes);
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t items() const noexcept { return lane_of_.size(); }
+  [[nodiscard]] std::size_t lane_of(std::size_t item) const {
+    KNOTS_CHECK(item < lane_of_.size());
+    return lane_of_[item];
+  }
+  /// Item indices of one lane, in ascending (canonical) order.
+  [[nodiscard]] const std::vector<std::size_t>& members(
+      std::size_t lane) const {
+    KNOTS_CHECK(lane < members_.size());
+    return members_[lane];
+  }
+
+ private:
+  std::vector<std::uint32_t> lane_of_;
+  std::vector<std::vector<std::size_t>> members_;
+  std::size_t lanes_ = 1;
+};
+
+/// Runs one callback per lane, concurrently when the plan has more than one
+/// lane. Single-lane executors run inline on the caller's thread — the
+/// sharded code path and the historical sequential path are the same code.
+class LaneExecutor {
+ public:
+  /// `threads == 0` sizes the pool to min(lanes, hardware_concurrency).
+  /// Passing an explicit `threads` < lanes oversubscribes deliberately
+  /// (stress tests); lanes == 1 never spins up a pool.
+  explicit LaneExecutor(std::size_t lanes, std::size_t threads = 0);
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] bool parallel() const noexcept { return pool_ != nullptr; }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return pool_ == nullptr ? 1 : pool_->thread_count();
+  }
+
+  /// Invokes fn(lane) for every lane in [0, lanes) and waits for all of
+  /// them. fn must only touch lane-local state plus its own BarrierMerge
+  /// buffers.
+  void for_each_lane(const std::function<void(std::size_t)>& fn);
+
+ private:
+  std::size_t lanes_;
+  std::unique_ptr<ThreadPool> pool_;  ///< Null when lanes == 1.
+};
+
+/// Deferred-effect buffer for one barrier: lanes push into private
+/// per-lane buffers (no locks, no false sharing on the push path), and
+/// drain() replays every effect in exact (time, seq, lane) order.
+///
+/// The buffers double as the pool allocator for deferred events: clearing
+/// retains capacity, so after warm-up a tick's pushes never allocate.
+template <typename T>
+class BarrierMerge {
+ public:
+  explicit BarrierMerge(std::size_t lanes = 1) : buffers_(lanes) {}
+
+  /// Re-shapes to `lanes` buffers, keeping each buffer's capacity.
+  void reset(std::size_t lanes) {
+    KNOTS_CHECK(lanes > 0);
+    if (buffers_.size() < lanes) buffers_.resize(lanes);
+    for (auto& buf : buffers_) buf.clear();
+    lanes_ = lanes;
+  }
+
+  [[nodiscard]] std::size_t lanes() const noexcept { return lanes_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    std::size_t n = 0;
+    for (std::size_t l = 0; l < lanes_; ++l) n += buffers_[l].size();
+    return n;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Records one effect from `lane`. Safe to call concurrently from
+  /// different lanes (each lane owns its buffer exclusively).
+  void push(std::size_t lane, SimTime time, std::uint64_t seq, T value) {
+    KNOTS_CHECK(lane < lanes_);
+    buffers_[lane].push_back(Item{time, seq, std::move(value)});
+  }
+
+  /// Replays every pushed effect as fn(time, seq, lane, value&) in
+  /// ascending (time, seq, lane) order; same-key pushes within one lane
+  /// replay in push order. Buffers are cleared (capacity retained).
+  template <typename Fn>
+  void drain(Fn&& fn) {
+    // Lanes usually push in nondecreasing (time, seq) order already (they
+    // iterate their members in canonical order), so the sort is a no-op
+    // check in the common case.
+    for (std::size_t l = 0; l < lanes_; ++l) {
+      auto& buf = buffers_[l];
+      if (!std::is_sorted(buf.begin(), buf.end(), item_before)) {
+        std::stable_sort(buf.begin(), buf.end(), item_before);
+      }
+    }
+    // K-way merge with a linear min-scan: lane counts are small (≤ ~64),
+    // and ties on (time, seq) resolve to the lowest lane.
+    cursors_.assign(lanes_, 0);
+    for (;;) {
+      std::size_t best = lanes_;
+      for (std::size_t l = 0; l < lanes_; ++l) {
+        if (cursors_[l] >= buffers_[l].size()) continue;
+        if (best == lanes_ ||
+            item_before(buffers_[l][cursors_[l]],
+                        buffers_[best][cursors_[best]])) {
+          best = l;
+        }
+      }
+      if (best == lanes_) break;
+      Item& item = buffers_[best][cursors_[best]++];
+      fn(item.time, item.seq, best, item.value);
+    }
+    for (std::size_t l = 0; l < lanes_; ++l) buffers_[l].clear();
+  }
+
+ private:
+  struct Item {
+    SimTime time;
+    std::uint64_t seq;
+    T value;
+  };
+  static bool item_before(const Item& a, const Item& b) noexcept {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  std::vector<std::vector<Item>> buffers_;
+  std::vector<std::size_t> cursors_;
+  std::size_t lanes_ = 1;
+};
+
+}  // namespace knots::sim

@@ -9,33 +9,69 @@ namespace knots::telemetry {
 void UtilizationAggregator::register_node(const gpu::GpuNode& node,
                                           const TimeSeriesDb& db) {
   const std::size_t entry = nodes_.size();
-  nodes_.push_back(Entry{&node, &db});
+  nodes_.push_back(Entry{&node, &db, series_cache_.size()});
   for (std::size_t i = 0; i < node.gpu_count(); ++i) {
     gpu_to_entry_.emplace(node.gpu(i).id().value, entry);
+    series_cache_.emplace_back();
   }
+  // ~0 can never equal a real sample count, so the first snapshot always
+  // reads through.
+  entry_seen_.push_back(~std::uint64_t{0});
   active_cache_valid_ = false;
+}
+
+void UtilizationAggregator::refresh_entry(std::size_t entry_idx) const {
+  const Entry& entry = nodes_[entry_idx];
+  const std::uint64_t stamp = entry.db->total_samples();
+  if (entry_seen_[entry_idx] == stamp) return;
+  entry_seen_[entry_idx] = stamp;
+  for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
+    const GpuId id = entry.node->gpu(i).id();
+    CachedSeries& c = series_cache_[entry.first_slot + i];
+    if (!c.h_sm) {
+      c.h_sm = entry.db->find_series(id, Metric::kSmUtil);
+      c.h_mem = entry.db->find_series(id, Metric::kMemUtil);
+      c.h_power = entry.db->find_series(id, Metric::kPowerWatts);
+    }
+    if (c.h_sm) {
+      c.sm_util = entry.db->latest(c.h_sm, 0.0);
+      c.mem_util = entry.db->latest(c.h_mem, 0.0);
+      c.power_watts = entry.db->latest(c.h_power, 0.0);
+      c.last_heartbeat = entry.db->latest_time(c.h_sm);
+    } else {
+      c.sm_util = entry.db->latest(id, Metric::kSmUtil);
+      c.mem_util = entry.db->latest(id, Metric::kMemUtil);
+      c.power_watts = entry.db->latest(id, Metric::kPowerWatts);
+      c.last_heartbeat = entry.db->latest_time(id, Metric::kSmUtil);
+    }
+  }
 }
 
 void UtilizationAggregator::snapshot_into(std::vector<GpuView>& out) const {
   out.clear();
-  for (const auto& entry : nodes_) {
+  for (std::size_t e = 0; e < nodes_.size(); ++e) {
+    // Series values change only when samples land; everything else (parked,
+    // residents, ECC-retired capacity) is read live from the device.
+    refresh_entry(e);
+    const Entry& entry = nodes_[e];
     for (std::size_t i = 0; i < entry.node->gpu_count(); ++i) {
       const auto& dev = entry.node->gpu(i);
+      const CachedSeries& c = series_cache_[entry.first_slot + i];
       // NVML reports used/physical; free is bounded by *usable* capacity
       // (physical minus ECC-retired pages).
       const double cap = dev.spec().memory_mb;
       GpuView v;
       v.node = entry.node->id();
       v.gpu = dev.id();
-      v.sm_util = entry.db->latest(dev.id(), Metric::kSmUtil);
-      v.mem_util = entry.db->latest(dev.id(), Metric::kMemUtil);
-      v.mem_used_mb = v.mem_util * cap;
+      v.sm_util = c.sm_util;
+      v.mem_util = c.mem_util;
+      v.mem_used_mb = c.mem_util * cap;
       v.free_mem_mb = dev.effective_memory_mb() - v.mem_used_mb;
-      v.power_watts = entry.db->latest(dev.id(), Metric::kPowerWatts);
+      v.power_watts = c.power_watts;
       v.parked = dev.parked();
       v.residents = dev.totals().residents;
-      v.last_heartbeat = entry.db->latest_time(dev.id(), Metric::kSmUtil);
-      v.stale = horizon_ > 0 && now_ - v.last_heartbeat > horizon_;
+      v.last_heartbeat = c.last_heartbeat;
+      v.stale = horizon_ > 0 && now_ - c.last_heartbeat > horizon_;
       out.push_back(v);
     }
   }
@@ -60,11 +96,24 @@ UtilizationAggregator::active_sorted_by_free_memory() const {
     return active_sorted_;
   }
   std::swap(active_input_, snapshot_scratch_);
-  active_sorted_ = active_input_;
-  std::stable_sort(active_sorted_.begin(), active_sorted_.end(),
-                   [](const GpuView& a, const GpuView& b) {
+  // Sort 16-byte {key, index} pairs instead of whole views, then gather.
+  // stable_sort on the keys preserves input order on ties exactly like the
+  // historical stable_sort over the views did.
+  sort_keys_.clear();
+  sort_keys_.reserve(active_input_.size());
+  for (std::size_t i = 0; i < active_input_.size(); ++i) {
+    sort_keys_.push_back(
+        SortKey{active_input_[i].free_mem_mb, static_cast<std::uint32_t>(i)});
+  }
+  std::stable_sort(sort_keys_.begin(), sort_keys_.end(),
+                   [](const SortKey& a, const SortKey& b) {
                      return a.free_mem_mb > b.free_mem_mb;
                    });
+  active_sorted_.clear();
+  active_sorted_.reserve(active_input_.size());
+  for (const SortKey& key : sort_keys_) {
+    active_sorted_.push_back(active_input_[key.idx]);
+  }
   active_cache_valid_ = true;
   return active_sorted_;
 }

@@ -108,19 +108,46 @@ class UtilizationAggregator {
   struct Entry {
     const gpu::GpuNode* node;
     const TimeSeriesDb* db;
+    std::size_t first_slot;  ///< Index of this node's first GPU slot.
+  };
+  /// Latest-value cache for one GPU's series, refreshed only when its
+  /// node's database has actually appended samples (total_samples() moved).
+  /// Schedulers snapshot once per pending pod but telemetry lands once per
+  /// tick — without this, every snapshot pays four hash lookups per GPU.
+  struct CachedSeries {
+    double sm_util = 0.0;
+    double mem_util = 0.0;
+    double power_watts = 0.0;
+    SimTime last_heartbeat = -1;
+    /// Direct series handles, resolved on first refresh (the series appear
+    /// once the node's sampler runs); null until then.
+    TimeSeriesDb::ConstSeriesHandle h_sm{};
+    TimeSeriesDb::ConstSeriesHandle h_mem{};
+    TimeSeriesDb::ConstSeriesHandle h_power{};
+  };
+  /// Sort key for Algorithm 1: struct-of-arrays view of the hot field, so
+  /// the stable_sort swaps 16-byte keys instead of whole GpuViews.
+  struct SortKey {
+    double free_mem_mb;
+    std::uint32_t idx;
   };
   [[nodiscard]] const Entry* find_gpu(GpuId gpu) const;
+  void refresh_entry(std::size_t entry_idx) const;
 
   std::vector<Entry> nodes_;
   std::unordered_map<std::int32_t, std::size_t> gpu_to_entry_;
   SimTime horizon_ = 0;
   SimTime now_ = 0;
 
+  mutable std::vector<std::uint64_t> entry_seen_;  ///< db stamp per entry
+  mutable std::vector<CachedSeries> series_cache_;  ///< per GPU slot
+
   // active_sorted_by_free_memory cache: `active_input_` is the unsorted
   // active list of the previous call, `active_sorted_` its sorted result.
   mutable std::vector<GpuView> snapshot_scratch_;
   mutable std::vector<GpuView> active_input_;
   mutable std::vector<GpuView> active_sorted_;
+  mutable std::vector<SortKey> sort_keys_;
   mutable bool active_cache_valid_ = false;
   obs::Histogram* sort_profile_ = nullptr;
 };

@@ -19,6 +19,16 @@ void TimeSeriesDb::write(GpuId gpu, Metric metric, Sample sample) {
   ++total_samples_;
 }
 
+TimeSeriesDb::SeriesHandle TimeSeriesDb::open_series(GpuId gpu,
+                                                     Metric metric) {
+  const Key key{gpu.value, static_cast<int>(metric)};
+  auto it = series_.find(key);
+  if (it == series_.end()) {
+    it = series_.emplace(key, Series(retention_, stats_window_)).first;
+  }
+  return SeriesHandle{&it->second};
+}
+
 const TimeSeriesDb::Series* TimeSeriesDb::find(GpuId gpu,
                                                Metric metric) const {
   const Key key{gpu.value, static_cast<int>(metric)};

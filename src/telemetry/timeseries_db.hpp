@@ -64,6 +64,9 @@ struct WindowAggregate {
 };
 
 class TimeSeriesDb {
+ private:
+  struct Series;
+
  public:
   /// `retention` = max samples kept per (gpu, metric) series.
   /// `stats_window` = span (in samples) of the per-series RollingStats
@@ -74,6 +77,59 @@ class TimeSeriesDb {
 
   /// Appends one observation.
   void write(GpuId gpu, Metric metric, Sample sample);
+
+  /// Stable handle to one series for repeated writes. The map is
+  /// node-based, so the handle survives rehashes and stays valid for the
+  /// db's lifetime (series are never erased). Opening creates the (empty)
+  /// series if it does not exist yet.
+  class SeriesHandle {
+   public:
+    SeriesHandle() = default;
+
+   private:
+    friend class TimeSeriesDb;
+    explicit SeriesHandle(Series* s) : series_(s) {}
+    Series* series_ = nullptr;
+  };
+  [[nodiscard]] SeriesHandle open_series(GpuId gpu, Metric metric);
+
+  /// write() without the per-call hash lookup — the heartbeat hot path
+  /// (every sampler writes five series per GPU per tick).
+  void write(SeriesHandle handle, Sample sample);
+
+  /// Warms the handle's next write slot (the rings of a datacenter-scale
+  /// run exceed cache; issuing the prefetch before the jitter math hides
+  /// the miss behind the FP work).
+  void prefetch_write(SeriesHandle handle) const noexcept;
+
+  /// latest()/latest_time() through a pre-opened handle (aggregator
+  /// refresh path).
+  [[nodiscard]] double latest(SeriesHandle handle,
+                              double fallback = 0.0) const noexcept;
+  [[nodiscard]] SimTime latest_time(SeriesHandle handle) const noexcept;
+
+  /// Read-only handle for consumers holding a const db (the aggregator):
+  /// same stability guarantee as SeriesHandle, null when the series does
+  /// not exist yet.
+  class ConstSeriesHandle {
+   public:
+    ConstSeriesHandle() = default;
+    [[nodiscard]] explicit operator bool() const noexcept {
+      return series_ != nullptr;
+    }
+
+   private:
+    friend class TimeSeriesDb;
+    explicit ConstSeriesHandle(const Series* s) : series_(s) {}
+    const Series* series_ = nullptr;
+  };
+  [[nodiscard]] ConstSeriesHandle find_series(GpuId gpu,
+                                              Metric metric) const noexcept {
+    return ConstSeriesHandle{find(gpu, metric)};
+  }
+  [[nodiscard]] double latest(ConstSeriesHandle handle,
+                              double fallback = 0.0) const noexcept;
+  [[nodiscard]] SimTime latest_time(ConstSeriesHandle handle) const noexcept;
 
   /// Zero-copy window: samples (oldest-first) with time >= since.
   [[nodiscard]] WindowView window_view(GpuId gpu, Metric metric,
@@ -142,6 +198,8 @@ class TimeSeriesDb {
   };
 
  private:
+  friend class SeriesHandle;
+
   struct Series {
     explicit Series(std::size_t retention, std::size_t stats_window)
         : buf(retention),
@@ -168,5 +226,40 @@ class TimeSeriesDb {
   std::unordered_map<Key, Series, KeyHash> series_;
   std::size_t total_samples_ = 0;
 };
+
+inline void TimeSeriesDb::write(SeriesHandle handle, Sample sample) {
+  Series& s = *handle.series_;
+  s.buf.push(sample);
+  if (s.live) s.live->push(sample.value);
+  ++s.generation;
+  ++total_samples_;
+}
+
+inline void TimeSeriesDb::prefetch_write(SeriesHandle handle) const noexcept {
+  handle.series_->buf.prefetch_write_slot();
+}
+
+inline double TimeSeriesDb::latest(SeriesHandle handle,
+                                   double fallback) const noexcept {
+  const Series& s = *handle.series_;
+  return s.buf.empty() ? fallback : s.buf.back().value;
+}
+
+inline SimTime TimeSeriesDb::latest_time(SeriesHandle handle) const noexcept {
+  const Series& s = *handle.series_;
+  return s.buf.empty() ? SimTime{-1} : s.buf.back().time;
+}
+
+inline double TimeSeriesDb::latest(ConstSeriesHandle handle,
+                                   double fallback) const noexcept {
+  const Series& s = *handle.series_;
+  return s.buf.empty() ? fallback : s.buf.back().value;
+}
+
+inline SimTime TimeSeriesDb::latest_time(
+    ConstSeriesHandle handle) const noexcept {
+  const Series& s = *handle.series_;
+  return s.buf.empty() ? SimTime{-1} : s.buf.back().time;
+}
 
 }  // namespace knots::telemetry

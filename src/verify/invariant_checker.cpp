@@ -137,7 +137,7 @@ void InvariantChecker::check_devices(const cluster::Cluster& cluster) {
     }
 
     // Internal accounting: totals must agree with per-pod records.
-    const auto residents = dev.resident_pods();
+    const auto& residents = dev.residents();
     if (static_cast<std::size_t>(totals.residents) != residents.size()) {
       report(cluster, "gpu-accounting",
              gpu_tag(gpu) + " resident count " +
@@ -180,7 +180,8 @@ void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
   if (last_states_.size() < n) last_states_.resize(n, S::kPending);
 
   std::array<std::size_t, 6> by_state{};
-  std::vector<bool> in_pending(n, false);
+  auto& in_pending = in_pending_scratch_;
+  in_pending.assign(n, false);
   for (PodId id : cluster.pending()) {
     const auto idx = static_cast<std::size_t>(id.value);
     if (!id.valid() || idx >= n) {

@@ -90,6 +90,7 @@ class InvariantChecker final : public cluster::ClusterObserver {
   InvariantOptions options_;
   SimTime last_tick_ = -1;
   std::vector<cluster::PodState> last_states_;
+  std::vector<bool> in_pending_scratch_;  ///< Reused across per-tick audits.
   std::vector<Violation> violations_;
   std::uint64_t checks_ = 0;
   std::uint64_t violation_count_ = 0;

@@ -40,6 +40,9 @@ expect_reject "bare positional"       -- run 1 CBP 5
 expect_reject "flag on list"          -- list --mix 1
 expect_reject "unknown DL policy"     -- dlsim --dl borg --dlt 4 --dli 8
 expect_reject "dl crash spec"         -- dlsim --dl gandiva --crash-node oops
+expect_reject "malformed lanes"       -- run --mix 1 --scheduler CBP --duration 5 --lanes banana
+expect_reject "zero lanes"            -- run --mix 1 --scheduler CBP --duration 5 --lanes 0
+expect_reject "dl zero lanes"         -- dlsim --dl gandiva --lanes 0
 
 # list, by contrast, succeeds bare.
 "$CTL" list >"$WORK/list_out" 2>&1 || fail "list: expected exit 0, got $?"
@@ -93,6 +96,25 @@ dl_traced=$(grep "run digest" "$WORK/dl_out")
 dl_untraced=$(grep "run digest" "$WORK/dl_untraced_out")
 [ -n "$dl_traced" ] && [ "$dl_traced" = "$dl_untraced" ] || \
   fail "dl digest drift: traced='$dl_traced' untraced='$dl_untraced'"
+
+# ---- sharding must not perturb the digest: --lanes 1 == --lanes 4 ----
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 4 --lanes 1 \
+  >"$WORK/lanes1_out" 2>&1 || fail "lanes=1 run: expected exit 0, got $?"
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 4 --lanes 4 \
+  >"$WORK/lanes4_out" 2>&1 || fail "lanes=4 run: expected exit 0, got $?"
+lanes1_digest=$(grep "run digest" "$WORK/lanes1_out")
+lanes4_digest=$(grep "run digest" "$WORK/lanes4_out")
+[ -n "$lanes1_digest" ] && [ "$lanes1_digest" = "$lanes4_digest" ] || \
+  fail "lane digest drift: lanes1='$lanes1_digest' lanes4='$lanes4_digest'"
+
+"$CTL" dlsim --dl resag --dlt 6 --dli 12 --nodes 4 --duration 1800 --lanes 1 \
+  >"$WORK/dl_lanes1_out" 2>&1 || fail "dl lanes=1 run: expected exit 0, got $?"
+"$CTL" dlsim --dl resag --dlt 6 --dli 12 --nodes 4 --duration 1800 --lanes 4 \
+  >"$WORK/dl_lanes4_out" 2>&1 || fail "dl lanes=4 run: expected exit 0, got $?"
+dl_lanes1=$(grep "run digest" "$WORK/dl_lanes1_out")
+dl_lanes4=$(grep "run digest" "$WORK/dl_lanes4_out")
+[ -n "$dl_lanes1" ] && [ "$dl_lanes1" = "$dl_lanes4" ] || \
+  fail "dl lane digest drift: lanes1='$dl_lanes1' lanes4='$dl_lanes4'"
 
 # ---- tracing must not perturb the digest ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \

@@ -75,6 +75,24 @@ TEST(ThreadPool, ParallelForMoreItemsThanThreadsSelfSchedules) {
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPool, ParallelForOversubscriptionStress) {
+  // Sharded-tick shape: the cluster may be carved into far more event lanes
+  // than worker threads (10k nodes in 64 lanes on a 2-core runner), and
+  // ticks re-enter parallel_for thousands of times. Every lane must run
+  // exactly once per barrier, every barrier, with all writes visible to the
+  // caller afterwards.
+  ThreadPool pool(2);
+  constexpr std::size_t kLanes = 256;
+  constexpr int kBarriers = 200;
+  std::vector<std::uint64_t> lane_sum(kLanes, 0);
+  for (int barrier = 0; barrier < kBarriers; ++barrier) {
+    pool.parallel_for(kLanes, [&](std::size_t lane) { ++lane_sum[lane]; });
+  }
+  for (const auto sum : lane_sum) {
+    EXPECT_EQ(sum, static_cast<std::uint64_t>(kBarriers));
+  }
+}
+
 TEST(ThreadPool, ParallelForPropagatesExceptions) {
   ThreadPool pool(3);
   EXPECT_THROW(pool.parallel_for(16,

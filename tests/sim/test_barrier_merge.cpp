@@ -1,0 +1,208 @@
+// Property/fuzz tests for the sharded-tick substrate: randomized event
+// batches with colliding timestamps must drain in exact (time, seq, lane)
+// order, independent of which lane pushed what and in which order; plus
+// ShardPlan shape checks and LaneExecutor coverage (including deliberate
+// oversubscription, lanes >> threads).
+#include "sim/shard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <tuple>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::sim {
+namespace {
+
+TEST(ShardPlan, ContiguousCoversEveryItemExactlyOnce) {
+  for (std::size_t lanes : {1u, 2u, 3u, 4u, 7u, 16u}) {
+    const ShardPlan plan = ShardPlan::contiguous(37, lanes);
+    EXPECT_EQ(plan.lanes(), lanes);
+    EXPECT_EQ(plan.items(), 37u);
+    std::vector<int> seen(37, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      std::size_t prev = 0;
+      bool first = true;
+      for (std::size_t item : plan.members(lane)) {
+        EXPECT_EQ(plan.lane_of(item), lane);
+        // Members are in ascending canonical order.
+        EXPECT_TRUE(first || item > prev);
+        first = false;
+        prev = item;
+        ++seen[item];
+      }
+    }
+    for (int count : seen) EXPECT_EQ(count, 1);
+  }
+}
+
+TEST(ShardPlan, MoreLanesThanItemsLeavesEmptyLanes) {
+  const ShardPlan plan = ShardPlan::contiguous(3, 8);
+  std::size_t total = 0;
+  for (std::size_t lane = 0; lane < plan.lanes(); ++lane) {
+    total += plan.members(lane).size();
+  }
+  EXPECT_EQ(total, 3u);
+}
+
+TEST(ShardPlan, ExplicitAssignmentRoundTrips) {
+  const std::vector<std::uint32_t> lane_of = {2, 0, 1, 2, 1, 0, 0};
+  const ShardPlan plan = ShardPlan::from_assignment(lane_of, 3);
+  for (std::size_t i = 0; i < lane_of.size(); ++i) {
+    EXPECT_EQ(plan.lane_of(i), lane_of[i]);
+  }
+  EXPECT_EQ(plan.members(0), (std::vector<std::size_t>{1, 5, 6}));
+  EXPECT_EQ(plan.members(1), (std::vector<std::size_t>{2, 4}));
+  EXPECT_EQ(plan.members(2), (std::vector<std::size_t>{0, 3}));
+}
+
+TEST(LaneExecutor, SingleLaneRunsInlineWithoutAPool) {
+  LaneExecutor exec(1);
+  EXPECT_FALSE(exec.parallel());
+  int calls = 0;
+  exec.for_each_lane([&](std::size_t lane) {
+    EXPECT_EQ(lane, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(LaneExecutor, EveryLaneRunsExactlyOnce) {
+  constexpr std::size_t kLanes = 8;
+  LaneExecutor exec(kLanes);
+  std::vector<std::atomic<int>> hits(kLanes);
+  exec.for_each_lane([&](std::size_t lane) { ++hits[lane]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(LaneExecutor, OversubscriptionLanesFarExceedThreads) {
+  // 64 lanes on 2 threads: the self-scheduling pool must still run every
+  // lane exactly once and the caller must observe all their writes.
+  constexpr std::size_t kLanes = 64;
+  LaneExecutor exec(kLanes, /*threads=*/2);
+  EXPECT_TRUE(exec.parallel());
+  EXPECT_EQ(exec.thread_count(), 2u);
+  std::vector<std::atomic<int>> hits(kLanes);
+  std::atomic<std::uint64_t> sum{0};
+  exec.for_each_lane([&](std::size_t lane) {
+    ++hits[lane];
+    sum += lane;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(sum.load(), kLanes * (kLanes - 1) / 2);
+}
+
+struct Tagged {
+  int lane_hint;
+  int payload;
+};
+
+// Reference model: every push recorded globally, then sorted by
+// (time, seq, lane, per-lane push order).
+struct RefItem {
+  SimTime time;
+  std::uint64_t seq;
+  std::size_t lane;
+  std::size_t push_order;
+  int payload;
+};
+
+TEST(BarrierMerge, FuzzDrainsInExactTimeSeqLaneOrder) {
+  Rng rng(0xB4221E5u);
+  for (int round = 0; round < 50; ++round) {
+    const auto lanes =
+        static_cast<std::size_t>(rng.uniform_int(1, 8));  // inclusive bounds
+    BarrierMerge<int> merge(lanes);
+    merge.reset(lanes);
+    std::vector<RefItem> reference;
+    std::vector<std::size_t> push_count(lanes, 0);
+    const int batch = static_cast<int>(rng.uniform_int(0, 200));
+    for (int i = 0; i < batch; ++i) {
+      const auto lane = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(lanes) - 1));
+      // Tiny key ranges force heavy collisions on both time and seq.
+      const auto time = static_cast<SimTime>(rng.uniform_int(0, 4));
+      const auto seq = static_cast<std::uint64_t>(rng.uniform_int(0, 6));
+      merge.push(lane, time, seq, i);
+      reference.push_back(RefItem{time, seq, lane, push_count[lane]++, i});
+    }
+    std::sort(reference.begin(), reference.end(),
+              [](const RefItem& a, const RefItem& b) {
+                return std::tie(a.time, a.seq, a.lane, a.push_order) <
+                       std::tie(b.time, b.seq, b.lane, b.push_order);
+              });
+    std::vector<RefItem> drained;
+    merge.drain([&](SimTime time, std::uint64_t seq, std::size_t lane,
+                    int& payload) {
+      drained.push_back(RefItem{time, seq, lane, 0, payload});
+    });
+    ASSERT_EQ(drained.size(), reference.size()) << "round " << round;
+    for (std::size_t i = 0; i < drained.size(); ++i) {
+      EXPECT_EQ(drained[i].time, reference[i].time) << "round " << round;
+      EXPECT_EQ(drained[i].seq, reference[i].seq) << "round " << round;
+      EXPECT_EQ(drained[i].lane, reference[i].lane) << "round " << round;
+      EXPECT_EQ(drained[i].payload, reference[i].payload)
+          << "round " << round << " position " << i;
+    }
+    EXPECT_TRUE(merge.empty());  // drained buffers reset for the next tick
+  }
+}
+
+TEST(BarrierMerge, ConcurrentPushesDrainDeterministically) {
+  // Lanes push concurrently (each to its own buffer); the drained sequence
+  // must match the same pushes performed sequentially.
+  constexpr std::size_t kLanes = 8;
+  constexpr std::uint64_t kPerLane = 500;
+  const auto run = [&](bool concurrent) {
+    BarrierMerge<std::uint64_t> merge(kLanes);
+    merge.reset(kLanes);
+    const auto fill = [&](std::size_t lane) {
+      Rng rng(0xC0FFEEull + lane);
+      for (std::uint64_t i = 0; i < kPerLane; ++i) {
+        const auto time = static_cast<SimTime>(rng.uniform_int(0, 3));
+        merge.push(lane, time, i, lane * kPerLane + i);
+      }
+    };
+    if (concurrent) {
+      LaneExecutor exec(kLanes, /*threads=*/4);
+      exec.for_each_lane(fill);
+    } else {
+      for (std::size_t lane = 0; lane < kLanes; ++lane) fill(lane);
+    }
+    std::vector<std::uint64_t> order;
+    merge.drain([&](SimTime, std::uint64_t, std::size_t,
+                    std::uint64_t& v) { order.push_back(v); });
+    return order;
+  };
+  const auto sequential = run(false);
+  const auto parallel = run(true);
+  ASSERT_EQ(sequential.size(), kLanes * kPerLane);
+  EXPECT_EQ(sequential, parallel);
+}
+
+TEST(BarrierMerge, ResetKeepsLaneShapeAndClears) {
+  BarrierMerge<int> merge(2);
+  merge.reset(2);
+  merge.push(0, 5, 0, 1);
+  merge.push(1, 3, 0, 2);
+  EXPECT_EQ(merge.size(), 2u);
+  merge.reset(4);
+  EXPECT_EQ(merge.lanes(), 4u);
+  EXPECT_TRUE(merge.empty());
+  merge.push(3, 1, 0, 9);
+  int seen = 0;
+  merge.drain([&](SimTime t, std::uint64_t, std::size_t lane, int& v) {
+    EXPECT_EQ(t, 1);
+    EXPECT_EQ(lane, 3u);
+    seen = v;
+  });
+  EXPECT_EQ(seen, 9);
+}
+
+}  // namespace
+}  // namespace knots::sim

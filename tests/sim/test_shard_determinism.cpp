@@ -1,0 +1,306 @@
+// Determinism laws for the sharded tick: carving the cluster into event
+// lanes is a pure execution strategy. For every scheduler, every lane
+// count, every node→lane permutation and every fault plan, the sharded run
+// must reproduce the single-lane run bit-for-bit — same decision digest,
+// same metrics, same everything. The fault-free single-lane digests are
+// additionally pinned to the committed goldens, so a "deterministic but
+// uniformly wrong" regression cannot hide here.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "dlsim/dl_cluster.hpp"
+#include "dlsim/dl_workload.hpp"
+#include "knots/experiment.hpp"
+#include "sched/registry.hpp"
+
+namespace knots {
+namespace {
+
+/// Same shape as the digest-suite goldens: mix 1 on four nodes, 30 s
+/// arrival window.
+ExperimentConfig golden_config(sched::SchedulerKind kind) {
+  ExperimentConfig cfg = default_experiment(1, kind);
+  cfg.cluster.nodes = 4;
+  cfg.workload.duration = 30 * kSec;
+  return cfg;
+}
+
+/// Every fault kind inside the 30 s window, aimed at all four nodes.
+fault::FaultPlan crash_storm() {
+  fault::FaultPlan plan;
+  plan.node_crash(NodeId{1}, 5 * kSec, 5 * kSec)
+      .gpu_ecc_degrade(NodeId{0}, 8 * kSec, 12288.0)
+      .heartbeat_loss(NodeId{2}, 6 * kSec, 2 * kSec)
+      .pcie_stall(NodeId{3}, 4 * kSec, 6 * kSec, 3.0);
+  return plan;
+}
+
+/// Lane counts the suite sweeps: sequential, two, four, and whatever this
+/// machine's concurrency is (deduplicated, ascending).
+std::vector<int> lane_counts() {
+  std::vector<int> lanes = {1, 2, 4,
+                            static_cast<int>(std::max(
+                                1u, std::thread::hardware_concurrency()))};
+  std::sort(lanes.begin(), lanes.end());
+  lanes.erase(std::unique(lanes.begin(), lanes.end()), lanes.end());
+  return lanes;
+}
+
+void expect_identical(const ExperimentReport& a, const ExperimentReport& b) {
+  EXPECT_EQ(a.scheduler, b.scheduler);
+  EXPECT_EQ(a.mix_id, b.mix_id);
+  ASSERT_EQ(a.per_gpu.size(), b.per_gpu.size());
+  for (std::size_t i = 0; i < a.per_gpu.size(); ++i) {
+    EXPECT_EQ(a.per_gpu[i].p50, b.per_gpu[i].p50) << "gpu " << i;
+    EXPECT_EQ(a.per_gpu[i].p90, b.per_gpu[i].p90) << "gpu " << i;
+    EXPECT_EQ(a.per_gpu[i].p99, b.per_gpu[i].p99) << "gpu " << i;
+    EXPECT_EQ(a.per_gpu[i].max, b.per_gpu[i].max) << "gpu " << i;
+  }
+  EXPECT_EQ(a.cluster_wide.p50, b.cluster_wide.p50);
+  EXPECT_EQ(a.cluster_wide.p90, b.cluster_wide.p90);
+  EXPECT_EQ(a.cluster_wide.p99, b.cluster_wide.p99);
+  EXPECT_EQ(a.cluster_wide.max, b.cluster_wide.max);
+  EXPECT_EQ(a.per_gpu_cov, b.per_gpu_cov);
+  EXPECT_EQ(a.pairwise_load_cov, b.pairwise_load_cov);
+  EXPECT_EQ(a.queries, b.queries);
+  EXPECT_EQ(a.qos_violations, b.qos_violations);
+  EXPECT_EQ(a.violations_per_kilo, b.violations_per_kilo);
+  EXPECT_EQ(a.mean_power_watts, b.mean_power_watts);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.crashes, b.crashes);
+  EXPECT_EQ(a.mean_jct_s, b.mean_jct_s);
+  EXPECT_EQ(a.median_jct_s, b.median_jct_s);
+  EXPECT_EQ(a.p99_jct_s, b.p99_jct_s);
+  EXPECT_EQ(a.lc_p50_ms, b.lc_p50_ms);
+  EXPECT_EQ(a.lc_p99_ms, b.lc_p99_ms);
+  EXPECT_EQ(a.pods_total, b.pods_total);
+  EXPECT_EQ(a.pods_completed, b.pods_completed);
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.invariant_checks, b.invariant_checks);
+  EXPECT_EQ(a.invariant_violations, b.invariant_violations);
+}
+
+/// Committed fault-free goldens (same values test_run_digest pins): the
+/// single-lane anchor every sharded run must reproduce.
+std::uint64_t committed_golden(sched::SchedulerKind kind) {
+  switch (kind) {
+    case sched::SchedulerKind::kUniform:
+      return 0xd0c2a2db96af286dULL;
+    case sched::SchedulerKind::kResourceAgnostic:
+      return 0x07884542fa949d9eULL;
+    case sched::SchedulerKind::kCbp:
+      return 0x7173dae2bf4b9374ULL;
+    case sched::SchedulerKind::kPeakPrediction:
+      return 0x86e8b45560a1a94cULL;
+  }
+  return 0;
+}
+
+TEST(ShardDeterminism, EverySchedulerEveryLaneCountFaultFree) {
+  for (sched::SchedulerKind kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    ExperimentConfig cfg = golden_config(kind);
+    cfg.cluster.lanes = 1;
+    const ExperimentReport single = run_experiment(cfg);
+    EXPECT_EQ(single.run_digest, committed_golden(kind));
+    for (const int lanes : lane_counts()) {
+      if (lanes == 1) continue;
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      ExperimentConfig sharded = golden_config(kind);
+      sharded.cluster.lanes = lanes;
+      expect_identical(single, run_experiment(sharded));
+    }
+  }
+}
+
+TEST(ShardDeterminism, EverySchedulerEveryLaneCountCrashStorm) {
+  for (sched::SchedulerKind kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    ExperimentConfig cfg = golden_config(kind);
+    cfg.faults = crash_storm();
+    cfg.cluster.lanes = 1;
+    const ExperimentReport single = run_experiment(cfg);
+    // The storm must actually bite, or the matrix degenerates to the
+    // fault-free case.
+    EXPECT_NE(single.run_digest, committed_golden(kind));
+    for (const int lanes : lane_counts()) {
+      if (lanes == 1) continue;
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      ExperimentConfig sharded = golden_config(kind);
+      sharded.faults = crash_storm();
+      sharded.cluster.lanes = lanes;
+      expect_identical(single, run_experiment(sharded));
+    }
+  }
+}
+
+TEST(ShardDeterminism, PartitionPermutationInvariance) {
+  // Metamorphic law: the node→lane assignment is load balancing, not
+  // semantics. Any permutation of it — contiguous, reversed, round-robin,
+  // or an arbitrary fixed shuffle — leaves every scheduling decision (and
+  // therefore the digest and full report) unchanged.
+  constexpr int kLanes = 4;
+  ExperimentConfig base = golden_config(sched::SchedulerKind::kCbp);
+  base.cluster.lanes = kLanes;
+  const int nodes = base.cluster.nodes;
+  const ExperimentReport contiguous = run_experiment(base);
+
+  std::vector<std::vector<int>> assignments;
+  std::vector<int> reversed(static_cast<std::size_t>(nodes));
+  std::vector<int> round_robin(static_cast<std::size_t>(nodes));
+  for (int n = 0; n < nodes; ++n) {
+    reversed[static_cast<std::size_t>(n)] = (nodes - 1 - n) % kLanes;
+    round_robin[static_cast<std::size_t>(n)] = n % kLanes;
+  }
+  assignments.push_back(reversed);
+  assignments.push_back(round_robin);
+  assignments.push_back({3, 1, 0, 2});  // arbitrary fixed shuffle
+
+  for (const auto& assignment : assignments) {
+    ExperimentConfig cfg = base;
+    cfg.cluster.lane_assignment = assignment;
+    expect_identical(contiguous, run_experiment(cfg));
+  }
+}
+
+TEST(ShardDeterminism, PartitionInvarianceUnderFaults) {
+  ExperimentConfig base = golden_config(sched::SchedulerKind::kPeakPrediction);
+  base.faults = crash_storm();
+  base.cluster.lanes = 2;
+  const ExperimentReport contiguous = run_experiment(base);
+  ExperimentConfig cfg = base;
+  cfg.cluster.lane_assignment = {1, 0, 1, 0};
+  expect_identical(contiguous, run_experiment(cfg));
+}
+
+// ---- DL engine: the same laws over the four DL policies ----
+
+dlsim::DlClusterConfig dl_cluster(int lanes) {
+  dlsim::DlClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.lanes = lanes;
+  return cfg;
+}
+
+dlsim::DlWorkloadConfig dl_workload() {
+  dlsim::DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 150;
+  wl.window = 2 * kHour;
+  return wl;
+}
+
+constexpr std::uint64_t kDlSeed = 7;
+
+/// Same storm the DL digest goldens pin: one of each fault kind.
+fault::FaultPlan dl_storm() {
+  return fault::FaultPlan{}
+      .node_crash(NodeId{1}, 30 * kMinute, 30 * kMinute)
+      .gpu_ecc_degrade(NodeId{0}, 45 * kMinute, 12288.0)
+      .heartbeat_loss(NodeId{2}, 40 * kMinute, 5 * kMinute)
+      .pcie_stall(NodeId{3}, 20 * kMinute, 10 * kMinute, 3.0);
+}
+
+void expect_identical(const dlsim::DlResult& a, const dlsim::DlResult& b) {
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.jct_hours, b.jct_hours);
+  EXPECT_EQ(a.avg_jct_h, b.avg_jct_h);
+  EXPECT_EQ(a.median_jct_h, b.median_jct_h);
+  EXPECT_EQ(a.p99_jct_h, b.p99_jct_h);
+  EXPECT_EQ(a.dlt_total, b.dlt_total);
+  EXPECT_EQ(a.dlt_completed, b.dlt_completed);
+  EXPECT_EQ(a.dli_violations, b.dli_violations);
+  EXPECT_EQ(a.violations_per_hour, b.violations_per_hour);
+  EXPECT_EQ(a.crash_restarts, b.crash_restarts);
+  EXPECT_EQ(a.migrations, b.migrations);
+  EXPECT_EQ(a.preemptions, b.preemptions);
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.digest_events, b.digest_events);
+  EXPECT_EQ(a.node_crashes, b.node_crashes);
+  EXPECT_EQ(a.jobs_evicted, b.jobs_evicted);
+  EXPECT_EQ(a.capacity_crashes, b.capacity_crashes);
+  EXPECT_EQ(a.mean_power_watts, b.mean_power_watts);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+  EXPECT_EQ(a.invariant_checks, b.invariant_checks);
+  EXPECT_EQ(a.invariant_violations, b.invariant_violations);
+}
+
+/// Committed fault-free DL goldens (the values test_dl_digest pins).
+std::uint64_t committed_dl_golden(const std::string& policy) {
+  if (policy == "resag") return 0x1b67335b67314a91ULL;
+  if (policy == "gandiva") return 0x6b81dc542165d23aULL;
+  if (policy == "tiresias") return 0x9890bc06a6ff501bULL;
+  if (policy == "cbp-pp") return 0x142fe7c75c2a1c1dULL;
+  return 0;
+}
+
+TEST(ShardDeterminism, EveryDlPolicyEveryLaneCountFaultFree) {
+  for (const auto policy_name : dlsim::kDlPolicyNames) {
+    const std::string policy{policy_name};
+    SCOPED_TRACE(policy);
+    const auto single =
+        dlsim::run_dl_simulation(policy, dl_cluster(1), dl_workload(), kDlSeed);
+    EXPECT_EQ(single.run_digest, committed_dl_golden(policy));
+    for (const int lanes : lane_counts()) {
+      if (lanes == 1) continue;
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      expect_identical(single,
+                       dlsim::run_dl_simulation(policy, dl_cluster(lanes),
+                                                dl_workload(), kDlSeed));
+    }
+  }
+}
+
+TEST(ShardDeterminism, EveryDlPolicyEveryLaneCountStorm) {
+  dlsim::DlRunOptions options;
+  options.faults = dl_storm();
+  for (const auto policy_name : dlsim::kDlPolicyNames) {
+    const std::string policy{policy_name};
+    SCOPED_TRACE(policy);
+    const auto single = dlsim::run_dl_simulation(policy, dl_cluster(1),
+                                                 dl_workload(), kDlSeed,
+                                                 options);
+    EXPECT_NE(single.run_digest, committed_dl_golden(policy));
+    for (const int lanes : lane_counts()) {
+      if (lanes == 1) continue;
+      SCOPED_TRACE("lanes=" + std::to_string(lanes));
+      expect_identical(single,
+                       dlsim::run_dl_simulation(policy, dl_cluster(lanes),
+                                                dl_workload(), kDlSeed,
+                                                options));
+    }
+  }
+}
+
+TEST(ShardDeterminism, ThousandNodeSmoke) {
+  // Datacenter scale, kept short: a 1k-node cluster must still be digest-
+  // identical between one lane and four, and actually run (the scale ctest
+  // label gates this in CI).
+  const auto make = [](int lanes) {
+    ExperimentConfig cfg =
+        default_experiment(1, sched::SchedulerKind::kPeakPrediction);
+    cfg.cluster.nodes = 1000;
+    cfg.cluster.lanes = lanes;
+    // Bound telemetry memory: 1k nodes at the default retention would hold
+    // gigabytes of ring buffers; 2048 samples comfortably covers the widest
+    // scheduler lookback window (500 samples).
+    cfg.cluster.telemetry_retention = 2048;
+    cfg.workload.duration = 5 * kSec;
+    cfg.workload.batch_rate_scale *= 20.0;
+    cfg.workload.lc_rate_scale *= 20.0;
+    return cfg;
+  };
+  const ExperimentReport single = run_experiment(make(1));
+  EXPECT_GT(single.pods_total, 0u);
+  EXPECT_GT(single.ticks, 0u);
+  const ExperimentReport sharded = run_experiment(make(4));
+  expect_identical(single, sharded);
+}
+
+}  // namespace
+}  // namespace knots
