@@ -1,19 +1,31 @@
 // Datacenter-scale throughput curves: nodes × pods × events/sec at
 // 10 → 100 → 1k → 10k nodes, plus a lane-determinism gate (the sharded
 // run must reproduce the single-lane digest bit-for-bit before its
-// numbers count). Committed baseline lives in BENCH_scale.json.
+// numbers count). Committed baseline lives in BENCH_scale.json (the
+// pre-pipeline curve is kept in BENCH_scale_pr6.json for comparison).
 //
-//   --fast   10/100-node points only (CI smoke; ~seconds)
-//   --json   machine-readable BENCH_scale.json schema
+//   --fast         10/100/1k-node points (CI smoke; the 1k point gates
+//                  the 1M node-ticks/s floor)
+//   --json         machine-readable BENCH_scale.json schema; includes a
+//                  per-phase tick breakdown (advance / scrape / schedule /
+//                  barrier merge / event dispatch) from an instrumented
+//                  1k-node run
+//   --lanes-sweep  lanes ∈ {1, 2, 4, hw} at 1k nodes with parallel
+//                  efficiency, instead of the node curve (diagnostic mode;
+//                  not part of the committed baseline)
+#include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "core/table.hpp"
 #include "knots/experiment.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -47,14 +59,25 @@ ExperimentConfig scale_config(int nodes, int lanes, SimTime window) {
                              .seed(42)
                              .load_scale(nodes / 10.0)
                              .build();
-  cfg.cluster.telemetry_retention = 2048;
+  // 1024 samples cover the widest scheduler lookback with 2× headroom
+  // (PP's 5 s window / 10 ms tick = 500 samples); halving the rings also
+  // halves the scrape's resident set.
+  cfg.cluster.telemetry_retention = 1024;
   return cfg;
 }
 
-ScaleResult run_point(const ScalePoint& pt, int lanes) {
+ScaleResult run_point(const ScalePoint& pt, int lanes,
+                      obs::MetricsRegistry* registry = nullptr) {
   const ExperimentConfig cfg = scale_config(pt.nodes, lanes, pt.window);
   const auto t0 = std::chrono::steady_clock::now();
-  const ExperimentReport report = run_experiment(cfg);
+  ExperimentReport report;
+  if (registry != nullptr) {
+    RunObservability obs_hooks;
+    obs_hooks.metrics = registry;
+    report = run_experiment(cfg, obs_hooks);
+  } else {
+    report = run_experiment(cfg);
+  }
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -68,10 +91,96 @@ double node_ticks_per_sec(const ScaleResult& r) {
              : 0.0;
 }
 
+/// Instrumented 1k-node run: where does a tick actually go? The phase
+/// timers are KNOTS_PROF_SCOPE histograms the cluster resolves from the
+/// registry; their sums are wall-ns attributable to each phase. Dispatch
+/// covers whole event handlers, so it nests the others — report it as the
+/// envelope, not a disjoint slice.
+void record_phase_breakdown(bench::Session& session, const ScalePoint& pt) {
+  obs::MetricsRegistry registry;
+  const ScaleResult r = run_point(pt, /*lanes=*/1, &registry);
+  const char* const kPhases[] = {
+      "cluster.advance_ns",    "telemetry.scrape_ns",
+      "sched.on_schedule_ns",  "cluster.barrier_merge_ns",
+      "telemetry.agg_sort_ns", "sim.dispatch_ns",
+  };
+  std::vector<std::pair<std::string, double>> metrics = {
+      {"nodes", static_cast<double>(r.nodes)},
+      {"wall_seconds", r.wall_seconds},
+      {"node_ticks_per_sec", node_ticks_per_sec(r)},
+  };
+  TablePrinter table("Per-phase tick breakdown (1k nodes, lanes=1)");
+  table.columns({"phase", "total s", "% of wall", "samples"});
+  for (const char* name : kPhases) {
+    const obs::Histogram* h = registry.find_histogram(name);
+    const double total_s = h != nullptr ? h->sum() * 1e-9 : 0.0;
+    const double share =
+        r.wall_seconds > 0 ? 100.0 * total_s / r.wall_seconds : 0.0;
+    const std::uint64_t samples = h != nullptr ? h->count() : 0;
+    table.row({name, fmt(total_s, 3), fmt(share, 1), std::to_string(samples)});
+    // JSON keys: phase name with '.' → '_', e.g. cluster_advance_ns_total.
+    std::string key = name;
+    std::replace(key.begin(), key.end(), '.', '_');
+    metrics.emplace_back(key + "_total_s", total_s);
+    metrics.emplace_back(key + "_share_pct", share);
+  }
+  table.print(std::cout);
+  session.record("phase_breakdown_" + std::to_string(pt.nodes) + "node",
+                 std::move(metrics));
+}
+
+/// Lane sweep at one size: throughput and parallel efficiency
+/// rate(L) / (L × rate(1)) for lanes ∈ {1, 2, 4, hardware}. Digest equality
+/// across every lane count is asserted — a diverging digest voids the row.
+int run_lanes_sweep(bench::Session& session, const ScalePoint& pt) {
+  std::vector<int> lane_counts = {1, 2, 4};
+  const int hw = static_cast<int>(
+      std::max(1u, std::thread::hardware_concurrency()));
+  if (std::find(lane_counts.begin(), lane_counts.end(), hw) ==
+      lane_counts.end()) {
+    lane_counts.push_back(hw);
+  }
+
+  TablePrinter table("Lane sweep (" + std::to_string(pt.nodes) + " nodes)");
+  table.columns({"lanes", "wall s", "node-ticks/s", "efficiency", "digest"});
+  double rate1 = 0;
+  std::uint64_t digest1 = 0;
+  for (const int lanes : lane_counts) {
+    const ScaleResult r = run_point(pt, lanes);
+    const double rate = node_ticks_per_sec(r);
+    if (lanes == 1) {
+      rate1 = rate;
+      digest1 = r.digest;
+    } else if (r.digest != digest1) {
+      std::cerr << "bench_scale: lanes=" << lanes
+                << " digest diverged from lanes=1\n";
+      return 1;
+    }
+    const double efficiency =
+        rate1 > 0 ? rate / (static_cast<double>(lanes) * rate1) : 0.0;
+    table.row({std::to_string(lanes), fmt(r.wall_seconds, 3), fmt(rate, 1),
+               fmt(efficiency, 3), std::to_string(r.digest == digest1)});
+    session.record("lanes_" + std::to_string(lanes) + "_" +
+                       std::to_string(pt.nodes) + "node",
+                   {{"lanes", static_cast<double>(lanes)},
+                    {"nodes", static_cast<double>(pt.nodes)},
+                    {"wall_seconds", r.wall_seconds},
+                    {"node_ticks_per_sec", rate},
+                    {"parallel_efficiency", efficiency},
+                    {"digest_match", 1.0}});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::Session session(argc, argv, "scale");
+  bool lanes_sweep = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--lanes-sweep") == 0) lanes_sweep = true;
+  }
 
   // Lane-determinism gate: throughput numbers are meaningless if sharding
   // changed the simulation, so prove digest equality first.
@@ -87,11 +196,13 @@ int main(int argc, char** argv) {
                    {{"nodes", 100}, {"lanes", 4}, {"match", 1}});
   }
 
-  std::vector<ScalePoint> points = {{10, 300 * kSec}, {100, 60 * kSec}};
-  if (!session.fast()) {
-    points.push_back({1000, 20 * kSec});
-    points.push_back({10000, 5 * kSec});
+  if (lanes_sweep) {
+    return run_lanes_sweep(session, ScalePoint{1000, 10 * kSec});
   }
+
+  std::vector<ScalePoint> points = {
+      {10, 300 * kSec}, {100, 60 * kSec}, {1000, 20 * kSec}};
+  if (!session.fast()) points.push_back({10000, 5 * kSec});
 
   TablePrinter table("Scale curve (mix 1, PP)");
   table.columns({"nodes", "pods", "ticks", "events", "wall s", "ticks/s",
@@ -121,5 +232,12 @@ int main(int argc, char** argv) {
                     {"speedup_vs_10node", speedup}});
   }
   table.print(std::cout);
+
+  // Phase breakdown only when a machine-readable report was asked for —
+  // the extra instrumented run is not free on the headline path.
+  if (session.json_requested()) {
+    record_phase_breakdown(
+        session, ScalePoint{1000, session.fast() ? 10 * kSec : 20 * kSec});
+  }
   return 0;
 }

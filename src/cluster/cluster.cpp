@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "core/check.hpp"
 #include "obs/profile.hpp"
@@ -19,13 +20,17 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
   for (int n = 0; n < config_.nodes; ++n) {
     nodes_.push_back(std::make_unique<gpu::GpuNode>(NodeId{n}, node_spec,
                                                     next_gpu));
-    dbs_.push_back(
-        std::make_unique<telemetry::TimeSeriesDb>(config_.telemetry_retention));
+    dbs_.push_back(std::make_unique<telemetry::TimeSeriesDb>(
+        config_.telemetry_retention, /*stats_window=*/0, &telemetry_arena_));
     for (int g = 0; g < config_.gpus_per_node; ++g) {
       gpu_index_.emplace_back(static_cast<std::size_t>(n),
                               static_cast<std::size_t>(g));
       ++next_gpu;
     }
+  }
+  devices_.reserve(gpu_index_.size());
+  for (const auto& [n, g] : gpu_index_) {
+    devices_.push_back(&nodes_[n]->gpu(g));
   }
   samplers_.reserve(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -34,6 +39,9 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
     aggregator_.register_node(*nodes_[n], *dbs_[n]);
   }
   metrics_ = std::make_unique<MetricsCollector>(gpu_index_.size());
+  occupied_bits_.assign((gpu_index_.size() + 63) / 64, 0);
+  parked_bits_.assign((gpu_index_.size() + 63) / 64, 0);
+  aggregator_.set_live_epoch(&device_epoch_);
   gpu_last_busy_.assign(gpu_index_.size(), 0);
   injector_ = std::make_unique<fault::FaultInjector>(nodes_.size());
   gpu_stale_.assign(gpu_index_.size(), false);
@@ -62,6 +70,16 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
   commit_.reset(lanes);
   lane_members_.resize(lanes);
   lane_sampled_.assign(lanes, 0);
+
+  // Mirror the node shard into the aggregator so its sorted-by-free-memory
+  // runs partition the same way as telemetry sampling; refresh_lane() can
+  // then piggyback on the lane-parallel scrape phase.
+  std::vector<std::uint32_t> agg_lanes;
+  agg_lanes.reserve(nodes_.size());
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    agg_lanes.push_back(static_cast<std::uint32_t>(shard_.lane_of(n)));
+  }
+  aggregator_.set_lane_partition(std::move(agg_lanes), lanes);
 }
 
 void Cluster::set_fault_plan(fault::FaultPlan plan) {
@@ -83,6 +101,8 @@ void Cluster::load(std::vector<workload::PodSpec> specs) {
     pods_.push_back(pod_arena_.create(std::move(spec)));
     sim_.schedule_at(arrival, [this, id] { on_arrival(id); });
   }
+  pod_states_.assign(pods_.size(),
+                     static_cast<std::uint8_t>(PodState::kPending));
 }
 
 void Cluster::run() {
@@ -104,16 +124,6 @@ const Pod& Cluster::pod(PodId id) const {
   KNOTS_CHECK(id.valid() &&
               static_cast<std::size_t>(id.value) < pods_.size());
   return *pods_[static_cast<std::size_t>(id.value)];
-}
-
-gpu::GpuDevice& Cluster::device(GpuId id) {
-  const auto [n, g] = gpu_index_.at(static_cast<std::size_t>(id.value));
-  return nodes_[n]->gpu(g);
-}
-
-const gpu::GpuDevice& Cluster::device(GpuId id) const {
-  const auto [n, g] = gpu_index_.at(static_cast<std::size_t>(id.value));
-  return nodes_[n]->gpu(g);
 }
 
 std::vector<GpuId> Cluster::all_gpus() const {
@@ -151,6 +161,7 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   if (!nodes_[node_idx]->online()) return false;
   auto& dev = device(gpu_id);
   if (!dev.attach(id, provisioned_mb)) return false;
+  note_attach(gpu_id);
   pending_.erase(it);
 
   const auto cache_key = std::make_pair(node_idx, p.spec().app);
@@ -162,7 +173,9 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   image_cache_.insert(cache_key);
   const SimTime start_latency = cached ? config_.warm_start : config_.cold_start;
   p.begin_start(gpu_id, provisioned_mb, now(), now() + start_latency);
+  note_state(p);
   active_.push_back(id);
+  starting_.push_back(id);
   gpu_last_busy_[static_cast<std::size_t>(gpu_id.value)] = now();
   for (auto* o : observers_) o->on_place(*this, id, gpu_id, provisioned_mb);
   if (trace_ != nullptr) {
@@ -194,6 +207,7 @@ bool Cluster::park(GpuId id) {
   auto& dev = device(id);
   if (dev.totals().residents > 0) return false;
   dev.set_parked(true);
+  note_parked(id);
   for (auto* o : observers_) o->on_park(*this, id);
   if (trace_ != nullptr) trace_->record(now(), EventKind::kPark, id.value);
   return true;
@@ -207,7 +221,9 @@ void Cluster::evict_node(NodeId id) {
     for (PodId pod_id : dev.resident_pods()) {
       auto& p = *pods_[static_cast<std::size_t>(pod_id.value)];
       dev.detach(pod_id);
+      note_detach(dev.id());
       p.evict(now());
+      note_state(p);
       ++evicted;
       for (auto* o : observers_) o->on_evict(*this, pod_id, id);
       if (trace_ != nullptr) {
@@ -216,6 +232,7 @@ void Cluster::evict_node(NodeId id) {
       sim_.schedule_after(config_.evict_relaunch_delay, [this, pod_id] {
         auto& pod_ref = *pods_[static_cast<std::size_t>(pod_id.value)];
         pod_ref.requeue();
+        note_state(pod_ref);
         pending_.push_back(pod_id);
         for (auto* o : observers_) o->on_requeue(*this, pod_id);
         if (trace_ != nullptr) {
@@ -248,6 +265,7 @@ void Cluster::set_metrics_registry(obs::MetricsRegistry* registry) {
   registry_ = registry;
   if (registry == nullptr) {
     sched_profile_ = nullptr;
+    advance_profile_ = scrape_profile_ = merge_profile_ = nullptr;
     aggregator_.set_sort_profile(nullptr);
     sim_.set_dispatch_profile(nullptr);
     ticks_counter_ = placements_counter_ = completions_counter_ = nullptr;
@@ -257,6 +275,12 @@ void Cluster::set_metrics_registry(obs::MetricsRegistry* registry) {
     return;
   }
   sched_profile_ = &registry->histogram("sched.on_schedule_ns");
+  // Per-phase tick breakdown (bench_scale --json reads these): pod advance,
+  // telemetry scrape, barrier merge, plus the existing scheduler round /
+  // aggregator sort / event dispatch timers.
+  advance_profile_ = &registry->histogram("cluster.advance_ns");
+  scrape_profile_ = &registry->histogram("telemetry.scrape_ns");
+  merge_profile_ = &registry->histogram("cluster.barrier_merge_ns");
   aggregator_.set_sort_profile(&registry->histogram("telemetry.agg_sort_ns"));
   sim_.set_dispatch_profile(&registry->histogram("sim.dispatch_ns"));
   // Resolve every hot-path instrument once; registry handles stay valid for
@@ -321,6 +345,7 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
       for (std::size_t g = 0; g < node.gpu_count(); ++g) {
         node.gpu(g).retire_memory_mb(event.severity);
       }
+      ++device_epoch_;  // usable capacity moved → aggregator views stale
       injector_->note_ecc_degrade(event.node);
       fault_feed_.push_back(
           {now(), fault::FaultKind::kGpuEccDegrade, event.node, false});
@@ -424,35 +449,54 @@ void Cluster::advance_running_pods() {
     }
   }
 
-  // Phase B — sequential pre-pass in canonical active_ order. Fixes each
-  // running pod's delivered dt, assigns the usage-jitter RNG stream exactly
-  // as the single-lane loop would (a pod that will finish this tick draws
-  // none; a pod that will crash still draws one, since jitter is what
-  // crashes it), and buckets pods into their node's lane.
-  advance_slots_.assign(active_.size(), AdvanceSlot{});
+  if (lane_exec_ == nullptr) {
+    advance_fused();
+    return;
+  }
+
+  // Phase B1 — lane-parallel pre-pass. Every lane scans the full active_
+  // list and fills the slots of its own pods (dt, run, needs_stream) plus
+  // its member list; canonical order is preserved because members are
+  // pushed in ascending active_ index. No lane touches RNG state — stream
+  // ranks come from the serial prefix scan below.
+  advance_slots_.resize(active_.size());
   for (auto& members : lane_members_) members.clear();
-  for (std::size_t i = 0; i < active_.size(); ++i) {
-    const auto& p = *pods_[static_cast<std::size_t>(active_[i].value)];
-    auto& slot = advance_slots_[i];
-    if (p.state() != PodState::kRunning) {
-      slot.keep = p.state() == PodState::kStarting ? 1 : 0;
-      continue;
+  const auto plan_lane = [&](std::size_t lane) {
+    for (std::size_t i = 0; i < active_.size(); ++i) {
+      const auto& p = *pods_[static_cast<std::size_t>(active_[i].value)];
+      const auto gi = static_cast<std::size_t>(p.gpu().value);
+      if (shard_.lane_of(gpu_index_[gi].first) != lane) continue;
+      auto& slot = advance_slots_[i];
+      slot = AdvanceSlot{};
+      if (p.state() != PodState::kRunning) {
+        slot.keep = p.state() == PodState::kStarting ? 1 : 0;
+        continue;
+      }
+      double factor = slowdown_scratch_[gi];
+      if (p.latency_critical()) {
+        // Non-preemptive blocking behind co-resident batch kernels.
+        factor *= 1.0 + config_.lc_blocking_tax * batch_sm_scratch_[gi];
+      }
+      const auto dt = static_cast<SimTime>(
+          static_cast<double>(config_.tick) / factor);
+      slot.dt = std::max<SimTime>(1, dt);
+      slot.run = 1;
+      // A pod that will finish this tick draws no jitter; one that will
+      // crash still draws (jitter is what crashes it).
+      slot.needs_stream = p.would_finish(slot.dt) ? 0 : 1;
+      lane_members_[lane].push_back(static_cast<std::uint32_t>(i));
     }
-    const auto gi = static_cast<std::size_t>(p.gpu().value);
-    double factor = slowdown_scratch_[gi];
-    if (p.latency_critical()) {
-      // Non-preemptive blocking behind co-resident batch kernels.
-      factor *= 1.0 + config_.lc_blocking_tax * batch_sm_scratch_[gi];
-    }
-    const auto dt = static_cast<SimTime>(
-        static_cast<double>(config_.tick) / factor);
-    slot.dt = std::max<SimTime>(1, dt);
-    slot.run = 1;
-    if (!p.would_finish(slot.dt)) {
+  };
+  lane_exec_->for_each_lane(plan_lane);
+
+  // Phase B2 — serial stream-rank prefix scan in canonical active_ order.
+  // fork_at's counter-based derivation makes the rank the only serial part:
+  // the i-th needs_stream pod gets the i-th stream, exactly the sequence
+  // the old full sequential pre-pass produced.
+  for (auto& slot : advance_slots_) {
+    if (slot.needs_stream != 0) {
       slot.rng_stream = 0x9000 + pod_rng_counter_++;
     }
-    lane_members_[shard_.lane_of(gpu_index_[gi].first)].push_back(
-        static_cast<std::uint32_t>(i));
   }
 
   // Phase C — lane-parallel advance. Everything touched here is lane-local
@@ -469,9 +513,11 @@ void Cluster::advance_running_pods() {
       auto& slot = advance_slots_[i];
       p.advance(slot.dt);
       if (p.finished_profile()) {
-        device(p.gpu()).detach(id);
+        const GpuId g = p.gpu();
+        device(g).detach(id);
         p.complete(tick_now);
-        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/false});
+        note_state(p);
+        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/false, g});
         continue;
       }
       Rng jrng = rng_.fork(slot.rng_stream);
@@ -482,33 +528,35 @@ void Cluster::advance_running_pods() {
             std::min(usage.memory_mb, 0.995 * p.provisioned_mb());
       }
       if (!device(p.gpu()).set_usage(id, usage)) {
-        device(p.gpu()).detach(id);
+        const GpuId g = p.gpu();
+        device(g).detach(id);
         p.crash(tick_now);
-        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/true});
+        note_state(p);
+        commit_.push(lane, tick_now, i, PodEffect{id, /*crashed=*/true, g});
         continue;
       }
       gpu_last_busy_[static_cast<std::size_t>(p.gpu().value)] = tick_now;
       slot.keep = 1;
     }
   };
-  if (lane_exec_ != nullptr) {
-    lane_exec_->for_each_lane(run_lane);
-  } else {
-    for (std::size_t lane = 0; lane < shard_.lanes(); ++lane) run_lane(lane);
-  }
+  lane_exec_->for_each_lane(run_lane);
 
   // Phase D — deterministic commit. Draining in (time, seq, partition)
   // order — seq is the canonical active_ index — replays the global halves
   // (metrics, profile store, observers, traces, relaunch scheduling) in
   // exactly the order the single-lane loop interleaved them.
-  commit_.drain([this](SimTime, std::uint64_t, std::size_t, PodEffect& e) {
-    auto& p = *pods_[static_cast<std::size_t>(e.id.value)];
-    if (e.crashed) {
-      commit_crash(p);
-    } else {
-      commit_complete(p);
-    }
-  });
+  {
+    KNOTS_PROF_SCOPE(merge_profile_);
+    commit_.drain([this](SimTime, std::uint64_t, std::size_t, PodEffect& e) {
+      note_detach(e.gpu);  // serial half of the lane's detach
+      auto& p = *pods_[static_cast<std::size_t>(e.id.value)];
+      if (e.crashed) {
+        commit_crash(p);
+      } else {
+        commit_complete(p);
+      }
+    });
+  }
 
   // Rebuild active_ in canonical order: kept runners plus starting pods.
   still_active_scratch_.clear();
@@ -519,23 +567,104 @@ void Cluster::advance_running_pods() {
   std::swap(active_, still_active_scratch_);
 }
 
-void Cluster::start_ready_pods() {
-  for (PodId id : active_) {
+void Cluster::advance_fused() {
+  // Single-lane fast path: one pass over active_, completions and crashes
+  // committed inline. Equivalent to the phased path run at one lane — the
+  // commit halves fire in the same canonical active_ order (barrier drain
+  // order equals push order at one lane), the stream-rank sequence matches
+  // the prefix scan (same predicate, same order), and pod advancement
+  // never reads another pod's state (factors were snapshotted in Phase A),
+  // so interleaving commits with advances changes no recorded value.
+  still_active_scratch_.clear();
+  still_active_scratch_.reserve(active_.size());
+  const SimTime tick_now = now();
+  for (const PodId id : active_) {
     auto& p = *pods_[static_cast<std::size_t>(id.value)];
-    if (p.state() == PodState::kStarting && p.ready_at() <= now()) {
-      p.begin_running(now());
-      if (trace_ != nullptr) {
-        trace_->record(now(), EventKind::kStart, id.value, p.gpu().value);
+    if (p.state() != PodState::kRunning) {
+      if (p.state() == PodState::kStarting) {
+        still_active_scratch_.push_back(id);
       }
-      if (!device(p.gpu()).set_usage(id, p.current_usage())) {
-        crash_pod(p);
-      }
+      continue;
+    }
+    const auto gi = static_cast<std::size_t>(p.gpu().value);
+    double factor = slowdown_scratch_[gi];
+    if (p.latency_critical()) {
+      // Non-preemptive blocking behind co-resident batch kernels.
+      factor *= 1.0 + config_.lc_blocking_tax * batch_sm_scratch_[gi];
+    }
+    const auto scaled = static_cast<SimTime>(
+        static_cast<double>(config_.tick) / factor);
+    const SimTime dt = std::max<SimTime>(1, scaled);
+    // A pod that will finish this tick draws no jitter; one that will
+    // crash still draws (jitter is what crashes it). The rank must be
+    // consumed before the outcome is known to match the phased pre-pass.
+    std::uint64_t stream = 0;
+    if (!p.would_finish(dt)) stream = 0x9000 + pod_rng_counter_++;
+    p.advance(dt);
+    if (p.finished_profile()) {
+      const GpuId g = p.gpu();
+      device(g).detach(id);
+      p.complete(tick_now);
+      note_state(p);
+      note_detach(g);
+      commit_complete(p);
+      continue;
+    }
+    Rng jrng = rng_.fork(stream);
+    gpu::Usage usage = jittered(p.current_usage(), jrng);
+    if (p.spec().tf_greedy) {
+      // TF never allocates past its own earmark, jitter or not.
+      usage.memory_mb = std::min(usage.memory_mb, 0.995 * p.provisioned_mb());
+    }
+    if (!device(p.gpu()).set_usage(id, usage)) {
+      const GpuId g = p.gpu();
+      device(g).detach(id);
+      p.crash(tick_now);
+      note_state(p);
+      note_detach(g);
+      commit_crash(p);
+      continue;
+    }
+    gpu_last_busy_[gi] = tick_now;
+    still_active_scratch_.push_back(id);
+  }
+  std::swap(active_, still_active_scratch_);
+}
+
+void Cluster::start_ready_pods() {
+  // Sweep the starting_ list instead of all of active_. Entries whose pod
+  // moved on (evicted/crashed elsewhere) are dropped here; list order is
+  // placement order, which is exactly the relative order these pods hold
+  // in active_, so begin_running fires in the same sequence the full
+  // active_ scan produced.
+  if (starting_.empty()) return;
+  bool any_crashed = false;
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < starting_.size(); ++r) {
+    const PodId id = starting_[r];
+    auto& p = *pods_[static_cast<std::size_t>(id.value)];
+    if (p.state() != PodState::kStarting) continue;  // stale entry
+    if (p.ready_at() > now()) {
+      starting_[w++] = id;  // still warming up
+      continue;
+    }
+    p.begin_running(now());
+    note_state(p);
+    if (trace_ != nullptr) {
+      trace_->record(now(), EventKind::kStart, id.value, p.gpu().value);
+    }
+    if (!device(p.gpu()).set_usage(id, p.current_usage())) {
+      crash_pod(p);
+      any_crashed = true;
     }
   }
-  std::erase_if(active_, [this](PodId id) {
-    return pods_[static_cast<std::size_t>(id.value)]->state() ==
-           PodState::kCrashed;
-  });
+  starting_.resize(w);
+  if (any_crashed) {
+    std::erase_if(active_, [this](PodId id) {
+      return pods_[static_cast<std::size_t>(id.value)]->state() ==
+             PodState::kCrashed;
+    });
+  }
 }
 
 void Cluster::commit_complete(Pod& p) {
@@ -543,7 +672,7 @@ void Cluster::commit_complete(Pod& p) {
 
   const auto& spec = p.spec();
   profile_store_.record_run(
-      image_key(spec), spec.profile.memory_percentile_mb(80.0),
+      p.profile_key(), spec.profile.memory_percentile_mb(80.0),
       spec.profile.peak_memory_mb(), spec.profile.mean_sm(),
       spec.profile.peak_sm(), spec.profile.memory_signature(),
       spec.profile.sm_signature());
@@ -570,8 +699,11 @@ void Cluster::commit_complete(Pod& p) {
 }
 
 void Cluster::crash_pod(Pod& p) {
-  device(p.gpu()).detach(p.id());
+  const GpuId g = p.gpu();
+  device(g).detach(p.id());
   p.crash(now());
+  note_state(p);
+  note_detach(g);
   commit_crash(p);
 }
 
@@ -584,6 +716,7 @@ void Cluster::commit_crash(Pod& p) {
   sim_.schedule_after(config_.relaunch_delay, [this, id] {
     auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
     pod_ref.requeue();
+    note_state(pod_ref);
     pending_.push_back(id);
     for (auto* o : observers_) o->on_requeue(*this, id);
     if (trace_ != nullptr) trace_->record(now(), EventKind::kRequeue, id.value);
@@ -612,17 +745,27 @@ void Cluster::sample_figure_metrics() {
 
 void Cluster::maybe_park_idle_gpus() {
   if (!scheduler_->parks_idle_gpus()) return;
-  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
-    if (!nodes_[gpu_index_[i].first]->online()) continue;
-    auto& dev = device(GpuId{static_cast<std::int32_t>(i)});
-    if (!dev.parked() && dev.totals().residents == 0 &&
-        now() - gpu_last_busy_[i] >= config_.idle_park_after) {
-      dev.set_parked(true);
-      for (auto* o : observers_) {
-        o->on_park(*this, GpuId{static_cast<std::int32_t>(i)});
-      }
+  // Park candidates are exactly the unoccupied, unparked devices — walk the
+  // bitmap complement (ascending, matching the historical full scan) so the
+  // sweep costs O(idle) instead of O(gpus) once the datacenter warms up.
+  const std::size_t gpus = gpu_index_.size();
+  for (std::size_t w = 0; w < parked_bits_.size(); ++w) {
+    std::uint64_t cand = ~(occupied_bits_[w] | parked_bits_[w]);
+    if (w + 1 == parked_bits_.size() && (gpus & 63) != 0) {
+      cand &= (std::uint64_t{1} << (gpus & 63)) - 1;  // mask tail padding
+    }
+    while (cand != 0) {
+      const std::size_t i =
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(cand));
+      cand &= cand - 1;
+      if (!nodes_[gpu_index_[i].first]->online()) continue;
+      if (now() - gpu_last_busy_[i] < config_.idle_park_after) continue;
+      const GpuId id{static_cast<std::int32_t>(i)};
+      device(id).set_parked(true);
+      note_parked(id);
+      for (auto* o : observers_) o->on_park(*this, id);
       if (trace_ != nullptr) {
-        trace_->record(now(), EventKind::kPark, static_cast<std::int32_t>(i));
+        trace_->record(now(), EventKind::kPark, id.value);
       }
     }
   }
@@ -634,30 +777,45 @@ bool Cluster::all_terminal() const {
 
 void Cluster::tick() {
   ++ticks_;
-  advance_running_pods();
+  {
+    KNOTS_PROF_SCOPE(advance_profile_);
+    advance_running_pods();
+  }
   start_ready_pods();
   // Telemetry heartbeats shard cleanly: each sampler owns its node's
   // time-series store and RNG, and the injector queries are const, so lanes
   // sample concurrently. Down or heartbeat-muted nodes stop reporting;
   // their series age toward the staleness horizon while last-known-good
   // values persist.
-  const bool muting = injector_->any_effects();
-  const auto sample_lane = [&](std::size_t lane) {
-    std::size_t count = 0;
-    for (const std::size_t n : shard_.members(lane)) {
-      if (muting && injector_->heartbeat_muted(nodes_[n]->id(), now())) {
-        continue;
+  // Advance the aggregator's clock before the scrape so refresh_lane stamps
+  // its freshness under this tick's `now` — the scheduler's first query then
+  // skips re-checking every db stamp the scrape just refreshed.
+  aggregator_.begin_tick(now());
+  {
+    KNOTS_PROF_SCOPE(scrape_profile_);
+    const bool muting = injector_->any_effects();
+    const auto sample_lane = [&](std::size_t lane) {
+      std::size_t count = 0;
+      for (const std::size_t n : shard_.members(lane)) {
+        if (muting && injector_->heartbeat_muted(nodes_[n]->id(), now())) {
+          continue;
+        }
+        samplers_[n].sample(now());
+        ++count;
       }
-      samplers_[n].sample(now());
-      ++count;
-    }
-    lane_sampled_[lane] = count;
-  };
-  if (lane_exec_ != nullptr) {
-    lane_exec_->for_each_lane(sample_lane);
-  } else {
-    for (std::size_t lane = 0; lane < shard_.lanes(); ++lane) {
-      sample_lane(lane);
+      lane_sampled_[lane] = count;
+      // Pull the fresh samples into the aggregator's per-lane series cache
+      // and sorted run while we are still lane-parallel; the scheduler's
+      // first query then reduces to a k-way merge. No-op for policies that
+      // never query the aggregator.
+      aggregator_.refresh_lane(lane);
+    };
+    if (lane_exec_ != nullptr) {
+      lane_exec_->for_each_lane(sample_lane);
+    } else {
+      for (std::size_t lane = 0; lane < shard_.lanes(); ++lane) {
+        sample_lane(lane);
+      }
     }
   }
   std::size_t nodes_sampled = 0;
@@ -666,7 +824,6 @@ void Cluster::tick() {
     trace_->record(now(), EventKind::kScrape, -1, -1,
                    static_cast<double>(nodes_sampled));
   }
-  aggregator_.begin_tick(now());
   SchedulingContext ctx = make_context();
   if (injector_->any_effects()) detect_stale_transitions(ctx);
   {
@@ -694,8 +851,8 @@ void Cluster::update_tick_metrics(double cluster_watts) {
   active_gauge_->set(static_cast<double>(active_.size()));
   completed_gauge_->set(static_cast<double>(completed_));
   std::size_t parked = 0;
-  for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
-    if (device(GpuId{static_cast<std::int32_t>(i)}).parked()) ++parked;
+  for (const std::uint64_t w : parked_bits_) {
+    parked += static_cast<std::size_t>(std::popcount(w));
   }
   power_gauge_->set(cluster_watts);
   parked_gauge_->set(static_cast<double>(parked));

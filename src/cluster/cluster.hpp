@@ -22,6 +22,7 @@
 #include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
 #include "core/arena.hpp"
+#include "core/page_arena.hpp"
 #include "core/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -127,11 +128,33 @@ class Cluster {
   [[nodiscard]] const MetricsCollector& metrics() const { return *metrics_; }
 
   [[nodiscard]] std::size_t gpu_count() const noexcept { return gpu_index_.size(); }
-  [[nodiscard]] gpu::GpuDevice& device(GpuId id);
-  [[nodiscard]] const gpu::GpuDevice& device(GpuId id) const;
+  // Flat device table: one indirection instead of gpu_index_ + node + slot
+  // (the tick hot path resolves tens of millions of GpuIds per run).
+  [[nodiscard]] gpu::GpuDevice& device(GpuId id) {
+    return *devices_[static_cast<std::size_t>(id.value)];
+  }
+  [[nodiscard]] const gpu::GpuDevice& device(GpuId id) const {
+    return *devices_[static_cast<std::size_t>(id.value)];
+  }
   [[nodiscard]] std::vector<GpuId> all_gpus() const;
   /// Dense index of a GPU (0..gpu_count), for metrics addressing.
   [[nodiscard]] std::size_t gpu_dense_index(GpuId id) const;
+
+  /// Occupancy bitmap over dense GPU indices: bit (i & 63) of word (i >> 6)
+  /// is set while GPU i hosts at least one pod. Maintained at every
+  /// attach/detach; schedulers iterate the set bits (ascending, identical
+  /// to a full scan that skips empty devices) instead of touching every
+  /// device in the datacenter.
+  [[nodiscard]] const std::vector<std::uint64_t>& occupied_gpu_bits()
+      const noexcept {
+    return occupied_bits_;
+  }
+  /// Parked bitmap over dense GPU indices (same layout). Set on park,
+  /// cleared on attach (attach wakes the device).
+  [[nodiscard]] const std::vector<std::uint64_t>& parked_gpu_bits()
+      const noexcept {
+    return parked_bits_;
+  }
 
   // ---- Fault/health API ----
   [[nodiscard]] int node_count() const noexcept { return config_.nodes; }
@@ -170,6 +193,15 @@ class Cluster {
   /// outlive the cluster's run(); it is not owned.
   void add_observer(ClusterObserver* observer);
 
+  /// Packed per-pod state table (index = pod id, value = PodState),
+  /// maintained at every transition. Lets auditors diff one byte per pod
+  /// per tick instead of dereferencing every Pod; always consistent with
+  /// pod(id).state() at observer time.
+  [[nodiscard]] const std::vector<std::uint8_t>& pod_state_table()
+      const noexcept {
+    return pod_states_;
+  }
+
   // ---- Observability API (obs layer; call before run()) ----
   /// Attaches a tracer recording every lifecycle edge, fault transition,
   /// telemetry scrape and scheduler decision. Not owned; nullptr detaches.
@@ -185,6 +217,7 @@ class Cluster {
   void on_arrival(PodId id);
   void tick();
   void advance_running_pods();
+  void advance_fused();  ///< Single-lane advance: one pass, no barrier.
   void start_ready_pods();
   void crash_pod(Pod& pod);
   /// Global bookkeeping halves of complete/crash — run at barrier-commit
@@ -200,6 +233,34 @@ class Cluster {
   void update_tick_metrics(double cluster_watts);
   [[nodiscard]] bool all_terminal() const;
   [[nodiscard]] gpu::Usage jittered(const gpu::Usage& usage, Rng& rng) const;
+  /// Mirrors a pod's state into the packed table. In lane context this
+  /// writes the pod's own byte only — distinct pods are distinct memory
+  /// locations, so concurrent lane calls never race.
+  void note_state(const Pod& p) noexcept {
+    pod_states_[static_cast<std::size_t>(p.id().value)] =
+        static_cast<std::uint8_t>(p.state());
+  }
+  // Bitmap/epoch bookkeeping for device mutations. Serial-phase only: lanes
+  // never call these (the lane advance defers its detaches to the barrier
+  // drain, which runs them serially via the PodEffect's captured GpuId).
+  void note_attach(GpuId g) noexcept {
+    const auto i = static_cast<std::size_t>(g.value);
+    occupied_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    parked_bits_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));  // attach wakes
+    ++device_epoch_;
+  }
+  void note_detach(GpuId g) noexcept {
+    const auto i = static_cast<std::size_t>(g.value);
+    if (devices_[i]->totals().residents == 0) {
+      occupied_bits_[i >> 6] &= ~(std::uint64_t{1} << (i & 63));
+    }
+    ++device_epoch_;
+  }
+  void note_parked(GpuId g) noexcept {
+    const auto i = static_cast<std::size_t>(g.value);
+    parked_bits_[i >> 6] |= std::uint64_t{1} << (i & 63);
+    ++device_epoch_;
+  }
 
   ClusterConfig config_;
   Scheduler* scheduler_;
@@ -207,11 +268,25 @@ class Cluster {
   Rng rng_;
 
   std::vector<std::unique_ptr<gpu::GpuNode>> nodes_;
+  /// Backs every node db's telemetry rings (declared before dbs_ so it
+  /// outlives them): one shared huge-page arena packs the whole
+  /// datacenter's rings contiguously in node order — per-node arenas would
+  /// never fill a huge page (a node's five series are ~KBs each).
+  core::PageArena telemetry_arena_;
   std::vector<std::unique_ptr<telemetry::TimeSeriesDb>> dbs_;
   std::vector<telemetry::HeartbeatSampler> samplers_;
   telemetry::UtilizationAggregator aggregator_;
   // GpuId -> (node index, gpu index within node); ids are dense from 0.
   std::vector<std::pair<std::size_t, std::size_t>> gpu_index_;
+  // GpuId -> device, flat. Stable: GpuNode owns devices by unique_ptr.
+  std::vector<gpu::GpuDevice*> devices_;
+  /// Bumped by note_attach/note_detach/note_parked and ECC retirement —
+  /// every change to the live device fields the aggregator's views depend
+  /// on (parked/residents/usable capacity). The aggregator watches it via
+  /// set_live_epoch to skip its O(slots) live-bits diff on quiet queries.
+  std::uint64_t device_epoch_ = 0;
+  std::vector<std::uint64_t> occupied_bits_;  ///< see occupied_gpu_bits()
+  std::vector<std::uint64_t> parked_bits_;    ///< see parked_gpu_bits()
 
   // Pods live in a slab arena: stable addresses, one bulk allocation per
   // slab instead of one heap node per pod (10k-node runs create hundreds of
@@ -220,6 +295,15 @@ class Cluster {
   std::vector<Pod*> pods_;
   std::deque<PodId> pending_;
   std::vector<PodId> active_;  ///< Starting or running, in placement order.
+  /// Pods possibly still kStarting, in placement order (a subsequence of
+  /// active_'s order). May hold stale entries after an eviction/crash; the
+  /// per-tick start_ready_pods() sweep drops any whose state moved on —
+  /// always before the pod can re-enter kStarting, because re-entry requires
+  /// a requeue event plus an on_schedule placement, and every tick runs this
+  /// sweep before on_schedule.
+  std::vector<PodId> starting_;
+  /// Packed PodState per pod id (see pod_state_table()).
+  std::vector<std::uint8_t> pod_states_;
   ProfileStore profile_store_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::set<std::pair<std::size_t, std::string>> image_cache_;
@@ -239,14 +323,21 @@ class Cluster {
   struct PodEffect {
     PodId id;
     bool crashed = false;  ///< false → completed
+    /// Device the pod detached from, captured in the lane before the state
+    /// edge (Pod::crash clears gpu_). The serial drain applies the
+    /// bitmap/epoch update the lane could not.
+    GpuId gpu{};
   };
-  /// Per-active-pod advance plan, filled by the sequential pre-pass and
-  /// consumed by the lanes (each slot written by exactly one lane).
+  /// Per-active-pod advance plan. Lanes fill their own pods' slots in
+  /// parallel (dt, run, needs_stream); a tiny serial prefix scan then
+  /// assigns rng_stream ranks in canonical active_ order, reproducing the
+  /// exact stream sequence of the old sequential pre-pass.
   struct AdvanceSlot {
     SimTime dt = 0;
     std::uint64_t rng_stream = 0;
-    std::uint8_t run = 0;   ///< Pod was kRunning at tick entry.
-    std::uint8_t keep = 0;  ///< Pod stays in active_ after this tick.
+    std::uint8_t run = 0;           ///< Pod was kRunning at tick entry.
+    std::uint8_t keep = 0;          ///< Pod stays in active_ after this tick.
+    std::uint8_t needs_stream = 0;  ///< Running and not finishing: draws jitter.
   };
   sim::ShardPlan shard_;  ///< node index → lane
   std::unique_ptr<sim::LaneExecutor> lane_exec_;  ///< null when lanes == 1
@@ -263,6 +354,9 @@ class Cluster {
   obs::TraceSink* trace_ = nullptr;
   obs::MetricsRegistry* registry_ = nullptr;
   obs::Histogram* sched_profile_ = nullptr;  ///< sched.on_schedule_ns
+  obs::Histogram* advance_profile_ = nullptr;  ///< cluster.advance_ns
+  obs::Histogram* scrape_profile_ = nullptr;   ///< telemetry.scrape_ns
+  obs::Histogram* merge_profile_ = nullptr;    ///< cluster.barrier_merge_ns
   // Instrument handles resolved once at attach time — the per-tick and
   // per-lifecycle-edge paths never pay the registry's name lookup.
   obs::Counter* ticks_counter_ = nullptr;

@@ -27,6 +27,7 @@ void ProfileStore::record_run(const std::string& image, double p80_memory_mb,
                               double peak_sm,
                               const std::vector<double>& memory_signature,
                               const std::vector<double>& sm_signature) {
+  ++gen_;
   auto& prof = profiles_[image];
   if (prof.observed_runs == 0) {
     prof.image = image;

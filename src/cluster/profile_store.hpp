@@ -6,6 +6,7 @@
 // CBP's inter-application correlation checks.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -46,6 +47,12 @@ class ProfileStore {
   }
   [[nodiscard]] std::size_t size() const noexcept { return profiles_.size(); }
 
+  /// Bumped on every record_run(). Schedulers key per-pod profile caches on
+  /// this: while the generation stands still, a cached find() result —
+  /// including a miss — is still current. ImageProfile pointers are stable
+  /// (node-based map), so caching the pointer itself is safe.
+  [[nodiscard]] std::uint64_t generation() const noexcept { return gen_; }
+
   /// Spearman correlation between two images' memory signatures; nullopt
   /// when either image is unknown (CBP then provisions conservatively).
   [[nodiscard]] std::optional<double> memory_correlation(
@@ -53,6 +60,7 @@ class ProfileStore {
 
  private:
   std::unordered_map<std::string, ImageProfile> profiles_;
+  std::uint64_t gen_ = 0;
 };
 
 }  // namespace knots::cluster

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <utility>
 #include <vector>
@@ -13,10 +14,14 @@
 
 namespace knots {
 
-template <typename T>
+/// `Alloc` customizes the backing storage (e.g. core::ArenaAllocator packs
+/// a datacenter's telemetry rings onto huge pages); the buffer allocates
+/// exactly once, at construction, and never reallocates.
+template <typename T, typename Alloc = std::allocator<T>>
 class RingBuffer {
  public:
-  explicit RingBuffer(std::size_t capacity) : data_(capacity) {
+  explicit RingBuffer(std::size_t capacity, const Alloc& alloc = Alloc())
+      : data_(capacity, alloc) {
     KNOTS_CHECK(capacity > 0);
   }
 
@@ -91,7 +96,7 @@ class RingBuffer {
   }
 
  private:
-  std::vector<T> data_;
+  std::vector<T, Alloc> data_;
   std::size_t head_ = 0;
   std::size_t size_ = 0;
 };

@@ -44,9 +44,11 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is self-scheduled from a shared atomic counter, so unevenly
-  /// sized items balance across threads. fn must be safe to call
-  /// concurrently for distinct i.
+  /// Work is self-scheduled in adaptive chunks (~8 grabs per lane) from a
+  /// shared atomic counter, so unevenly sized items balance across threads
+  /// without paying per-index synchronization on small ranges. Runs inline
+  /// on the caller when the pool has a single worker. fn must be safe to
+  /// call concurrently for distinct i.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:

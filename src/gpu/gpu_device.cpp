@@ -70,7 +70,7 @@ std::vector<PodId> GpuDevice::resident_pods() const {
   return residents_sorted_;
 }
 
-double GpuDevice::slowdown() const noexcept {
+void GpuDevice::refresh_derived() const {
   double factor = std::max(1.0, totals_.sm_demand);
   if (totals_.active_contexts > 1) {
     // Context-switch tax: non-preemptive kernels + VIVT cache flushes make
@@ -78,7 +78,10 @@ double GpuDevice::slowdown() const noexcept {
     factor *= 1.0 + spec_.context_switch_tax *
                         static_cast<double>(totals_.active_contexts - 1);
   }
-  return factor;
+  cached_slowdown_ = factor;
+  cached_power_ = gpu_power_watts(spec_.power, totals_.sm_util,
+                                  totals_.residents > 0, parked_);
+  derived_dirty_ = false;
 }
 
 void GpuDevice::set_parked(bool parked) {
@@ -86,11 +89,7 @@ void GpuDevice::set_parked(bool parked) {
     KNOTS_CHECK_MSG(usages_.empty(), "cannot park an occupied GPU");
   }
   parked_ = parked;
-}
-
-double GpuDevice::power_watts() const {
-  return gpu_power_watts(spec_.power, totals_.sm_util,
-                         totals_.residents > 0, parked_);
+  derived_dirty_ = true;
 }
 
 void GpuDevice::recompute_totals() noexcept {
@@ -108,6 +107,7 @@ void GpuDevice::recompute_totals() noexcept {
   t.tx_mbps = std::min(t.tx_mbps, spec_.pcie_mbps);
   t.rx_mbps = std::min(t.rx_mbps, spec_.pcie_mbps);
   totals_ = t;
+  derived_dirty_ = true;
 }
 
 }  // namespace knots::gpu

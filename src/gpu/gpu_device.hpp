@@ -115,18 +115,28 @@ class GpuDevice {
   void retire_memory_mb(double mb);
 
   /// Progress slowdown from SM time-sharing: max(1, aggregate demand) plus a
-  /// context-switch tax that grows with the number of co-residents.
-  [[nodiscard]] double slowdown() const noexcept;
+  /// context-switch tax that grows with the number of co-residents. Pure in
+  /// the current totals, so the value is cached until the next usage change
+  /// (the tick hot path asks several times per device per tick).
+  [[nodiscard]] double slowdown() const noexcept {
+    if (derived_dirty_) refresh_derived();
+    return cached_slowdown_;
+  }
 
   /// True when the orchestrator parked this device (deep sleep p-state).
   [[nodiscard]] bool parked() const noexcept { return parked_; }
   /// Parking requires an empty device.
   void set_parked(bool parked);
 
-  [[nodiscard]] double power_watts() const;
+  /// Instantaneous draw; cached like slowdown() (pure in totals + parked).
+  [[nodiscard]] double power_watts() const {
+    if (derived_dirty_) refresh_derived();
+    return cached_power_;
+  }
 
  private:
   void recompute_totals() noexcept;
+  void refresh_derived() const;
 
   GpuId id_;
   GpuSpec spec_;
@@ -136,6 +146,9 @@ class GpuDevice {
   GpuTotals totals_{};
   bool parked_ = false;
   double ecc_retired_mb_ = 0.0;
+  mutable bool derived_dirty_ = true;
+  mutable double cached_slowdown_ = 1.0;
+  mutable double cached_power_ = 0.0;
 };
 
 }  // namespace knots::gpu

@@ -1,6 +1,7 @@
 #include "sched/cbp.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
 #include "cluster/cluster.hpp"
@@ -20,9 +21,24 @@ bool CbpScheduler::forecast_override(const cluster::Cluster&,
   return false;
 }
 
+const cluster::ImageProfile* CbpScheduler::profile_of(
+    const cluster::Cluster& cl, const cluster::Pod& pod) const {
+  const auto idx = static_cast<std::size_t>(pod.id().value);
+  if (profile_cache_.size() <= idx) {
+    profile_cache_.resize(idx + 1, {kNeverCached, nullptr});
+  }
+  auto& [gen, prof] = profile_cache_[idx];
+  const std::uint64_t current = cl.profiles().generation();
+  if (gen != current) {
+    prof = cl.profiles().find(pod.profile_key());
+    gen = current;
+  }
+  return prof;
+}
+
 double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
                                const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(pod.profile_key());
+  const auto* prof = profile_of(cl, pod);
   if (prof == nullptr || prof->memory_signature.empty()) {
     // First run of this image: trust the (overstated) user request — for
     // inference pods that is TensorFlow's whole-device earmark, so the
@@ -39,14 +55,14 @@ double CbpScheduler::sizing_mb(const cluster::Cluster& cl,
 
 double CbpScheduler::sm_estimate(const cluster::Cluster& cl,
                                  const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(pod.profile_key());
+  const auto* prof = profile_of(cl, pod);
   if (prof == nullptr) return params_.unknown_sm_estimate;
   return prof->mean_sm;
 }
 
 double CbpScheduler::peak_sm_estimate(const cluster::Cluster& cl,
                                       const cluster::Pod& pod) const {
-  const auto* prof = cl.profiles().find(pod.profile_key());
+  const auto* prof = profile_of(cl, pod);
   if (prof == nullptr) return 1.0;
   return prof->peak_sm;
 }
@@ -95,23 +111,33 @@ bool CbpScheduler::correlation_ok(const cluster::Cluster& cl,
 }
 
 void CbpScheduler::harvest(cluster::Cluster& cl) {
-  for (GpuId gpu : cl.all_gpus()) {
-    auto& dev = cl.device(gpu);
-    for (PodId id : dev.residents()) {
-      const auto& pod = cl.pod(id);
-      if (pod.latency_critical()) continue;
-      if (pod.state() != cluster::PodState::kRunning) continue;
-      const auto* prof = cl.profiles().find(pod.profile_key());
-      if (prof == nullptr || prof->memory_signature.empty()) continue;
-      const double target =
-          std::max(kMinProvisionMb,
-                   percentile_sorted(prof->memory_signature_sorted,
-                                     params_.provision_percentile) *
-                       kResizeHeadroom);
-      if (pod.provisioned_mb() > target * kResizeHeadroom) {
-        // May fail when current usage sits above the target; retried on a
-        // later tick once the pod's demand recedes.
-        (void)cl.resize_pod(id, target);
+  // Only occupied devices can host a resize candidate: walk the cluster's
+  // occupancy bitmap (set bits ascending — the same device order as the
+  // historical dense scan, which visited empty devices for nothing).
+  const auto& occupied = cl.occupied_gpu_bits();
+  for (std::size_t w = 0; w < occupied.size(); ++w) {
+    std::uint64_t bits = occupied[w];
+    while (bits != 0) {
+      const auto g = static_cast<std::int32_t>(
+          (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)));
+      bits &= bits - 1;
+      auto& dev = cl.device(GpuId{g});
+      for (PodId id : dev.residents()) {
+        const auto& pod = cl.pod(id);
+        if (pod.latency_critical()) continue;
+        if (pod.state() != cluster::PodState::kRunning) continue;
+        const auto* prof = profile_of(cl, pod);
+        if (prof == nullptr || prof->memory_signature.empty()) continue;
+        const double target =
+            std::max(kMinProvisionMb,
+                     percentile_sorted(prof->memory_signature_sorted,
+                                       params_.provision_percentile) *
+                         kResizeHeadroom);
+        if (pod.provisioned_mb() > target * kResizeHeadroom) {
+          // May fail when current usage sits above the target; retried on a
+          // later tick once the pod's demand recedes.
+          (void)cl.resize_pod(id, target);
+        }
       }
     }
   }
@@ -123,18 +149,26 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
   if (ctx.pending->empty()) return;
 
   // Schedule order: latency-critical first (SLO-awareness), then batch pods
-  // first-fit-decreasing by their resized footprint (Algorithm 1).
+  // first-fit-decreasing by their resized footprint (Algorithm 1). Sizes
+  // are computed once up front — the comparator would otherwise re-derive
+  // them O(n log n) times.
   std::vector<PodId> lc_pods;
-  std::vector<PodId> batch_pods;
+  sized_batch_.clear();
   for (PodId id : *ctx.pending) {
-    (cl.pod(id).latency_critical() ? lc_pods : batch_pods).push_back(id);
+    const auto& pod = cl.pod(id);
+    if (pod.latency_critical()) {
+      lc_pods.push_back(id);
+    } else {
+      sized_batch_.emplace_back(sizing_mb(cl, pod), id);
+    }
   }
-  std::stable_sort(batch_pods.begin(), batch_pods.end(),
-                   [&](PodId a, PodId b) {
-                     return sizing_mb(cl, cl.pod(a)) > sizing_mb(cl, cl.pod(b));
+  std::stable_sort(sized_batch_.begin(), sized_batch_.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
                    });
   std::vector<PodId> order = std::move(lc_pods);
-  order.insert(order.end(), batch_pods.begin(), batch_pods.end());
+  order.reserve(order.size() + sized_batch_.size());
+  for (const auto& [size, id] : sized_batch_) order.push_back(id);
 
   for (PodId id : order) {
     const auto& pod = cl.pod(id);
@@ -189,20 +223,29 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     if (placed) continue;
 
     // No active GPU admits the pod: wake a parked one (leaves deep sleep).
-    for (GpuId gpu : cl.all_gpus()) {
-      if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
-        continue;
-      }
-      auto& dev = cl.device(gpu);
-      if (!dev.parked()) continue;
-      if (!dev.provision_fits(size)) continue;
-      if (cl.place(id, gpu, size)) {
-        placed = true;
-        if (ctx.trace != nullptr) {
-          ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
-                            gpu.value, size, rationale_woke_);
+    // The parked bitmap's set bits ascend, matching the historical dense
+    // scan's first-parked-fit choice. place() clears the bit it wakes, but
+    // the word copy below is already snapshotted and we break on success.
+    const auto& parked = cl.parked_gpu_bits();
+    for (std::size_t w = 0; w < parked.size() && !placed; ++w) {
+      std::uint64_t bits = parked[w];
+      while (bits != 0) {
+        const GpuId gpu{static_cast<std::int32_t>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)))};
+        bits &= bits - 1;
+        if (cl.node_health(cl.node_of_gpu(gpu)) ==
+            cluster::NodeHealth::kDown) {
+          continue;
         }
-        break;
+        if (!cl.device(gpu).provision_fits(size)) continue;
+        if (cl.place(id, gpu, size)) {
+          placed = true;
+          if (ctx.trace != nullptr) {
+            ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
+                              gpu.value, size, rationale_woke_);
+          }
+          break;
+        }
       }
     }
     if (!placed && ctx.trace != nullptr) {

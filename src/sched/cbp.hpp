@@ -8,7 +8,12 @@
 // queries are admitted first, with an SM-headroom guard for QoS.
 #pragma once
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 #include "cluster/pod.hpp"
+#include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
 #include "gpu/gpu_device.hpp"
 #include "sched/params.hpp"
@@ -66,10 +71,26 @@ class CbpScheduler : public cluster::Scheduler {
   /// Harvests over-provisioned running batch containers down to percentile.
   void harvest(cluster::Cluster& cluster);
 
+  /// Memoized ProfileStore::find for a pod's image. A pod's profile key is
+  /// immutable and profiles only change when record_run() bumps the store
+  /// generation, so the (generation, pointer) pair — misses included — stays
+  /// valid until then. Saves a string hash per lookup; CBP asks several
+  /// times per pending pod per tick.
+  [[nodiscard]] const cluster::ImageProfile* profile_of(
+      const cluster::Cluster& cluster, const cluster::Pod& pod) const;
+
   SchedParams params_;
   std::string rationale_placed_;
   std::string rationale_woke_;
   std::string rationale_no_fit_;
+
+ private:
+  static constexpr std::uint64_t kNeverCached = ~std::uint64_t{0};
+  /// Indexed by dense pod id: (store generation at lookup, cached result).
+  mutable std::vector<std::pair<std::uint64_t, const cluster::ImageProfile*>>
+      profile_cache_;
+  /// Scratch for the first-fit-decreasing sort: (sizing_mb, pod).
+  std::vector<std::pair<double, PodId>> sized_batch_;
 };
 
 }  // namespace knots::sched

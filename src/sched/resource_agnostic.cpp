@@ -22,14 +22,19 @@ void ResourceAgnosticScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     // per GPU; kube-scheduler sees only share counts. GPU memory is not a
     // Kubernetes resource, so admission is share-count feasibility plus a
     // random pick — fully blind to live utilization and real footprints.
-    std::vector<GpuId> feasible;
-    for (GpuId gpu : cl.all_gpus()) {
+    feasible_.clear();
+    // Dense GPU ids: index directly, skipping all_gpus()'s per-call
+    // allocation (this loop runs once per pending pod per tick).
+    for (std::int32_t g = 0; g < static_cast<std::int32_t>(cl.gpu_count());
+         ++g) {
+      const GpuId gpu{g};
       if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
         continue;  // kubelet stopped reporting; the node holds no shares.
       }
       if (cl.device(gpu).totals().residents >= params_.max_residents) continue;
-      feasible.push_back(gpu);
+      feasible_.push_back(gpu);
     }
+    const auto& feasible = feasible_;
     if (!feasible.empty()) {
       const auto pick = static_cast<std::size_t>(rng_.uniform_int(
           0, static_cast<std::int64_t>(feasible.size()) - 1));

@@ -23,6 +23,7 @@ class ResourceAgnosticScheduler final : public cluster::Scheduler {
  private:
   SchedParams params_;
   Rng rng_;
+  std::vector<GpuId> feasible_;  ///< Reused per-pod scratch.
 };
 
 }  // namespace knots::sched

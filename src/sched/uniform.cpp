@@ -16,9 +16,11 @@ void UniformScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     const PodId head = ctx.pending->front();
     const auto& pod = cl.pod(head);
     bool placed = false;
-    const auto gpus = cl.all_gpus();
-    for (std::size_t k = 0; k < gpus.size(); ++k) {
-      const GpuId gpu = gpus[(rr_cursor_ + k) % gpus.size()];
+    // Dense GPU ids: compute the round-robin id directly instead of
+    // materializing all_gpus() every pod.
+    const std::size_t n_gpus = cl.gpu_count();
+    for (std::size_t k = 0; k < n_gpus; ++k) {
+      const GpuId gpu{static_cast<std::int32_t>((rr_cursor_ + k) % n_gpus)};
       if (cl.node_health(cl.node_of_gpu(gpu)) == cluster::NodeHealth::kDown) {
         continue;
       }
@@ -30,7 +32,7 @@ void UniformScheduler::on_schedule(cluster::SchedulingContext& ctx) {
           std::min(pod.spec().requested_mb, dev.spec().memory_mb);
       placed = cl.place(head, gpu, provision);
       if (placed) {
-        rr_cursor_ = (rr_cursor_ + k + 1) % gpus.size();
+        rr_cursor_ = (rr_cursor_ + k + 1) % n_gpus;
         if (ctx.trace != nullptr) {
           ctx.trace->record(ctx.now, obs::EventKind::kDecision, head.value,
                             gpu.value, provision, "uniform:round-robin");

@@ -7,25 +7,24 @@
 
 namespace knots::sim {
 
-void Simulation::schedule_at(SimTime t, Handler fn) {
+std::uint64_t Simulation::schedule_at(SimTime t, Handler fn) {
   KNOTS_CHECK_MSG(t >= now_, "cannot schedule into the past");
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  return queue_.schedule(t, std::move(fn));
 }
 
 void Simulation::run_until(SimTime end) {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    const Event& top = queue_.top();
-    if (top.time > end) break;
-    // Copy out before pop: the handler may schedule new events.
-    Event ev{top.time, top.seq, std::move(const_cast<Event&>(top).fn)};
-    queue_.pop();
-    KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
-    now_ = ev.time;
+  SimTime t = 0;
+  while (!stop_requested_ && queue_.peek_time(t)) {
+    if (t > end) break;
+    Handler fn;
+    queue_.pop(t, fn);
+    KNOTS_CHECK_MSG(t >= now_, "event time moved backwards");
+    now_ = t;
     ++processed_;
     {
       KNOTS_PROF_SCOPE(dispatch_profile_);
-      ev.fn();
+      fn();
     }
   }
   if (now_ < end) now_ = end;
@@ -33,17 +32,17 @@ void Simulation::run_until(SimTime end) {
 
 void Simulation::run_all() {
   stop_requested_ = false;
-  while (!queue_.empty() && !stop_requested_) {
-    Event ev{queue_.top().time, queue_.top().seq,
-             std::move(const_cast<Event&>(queue_.top()).fn)};
-    queue_.pop();
-    KNOTS_CHECK_MSG(ev.time >= now_, "event time moved backwards");
-    now_ = ev.time;
+  SimTime t = 0;
+  Handler fn;
+  while (!stop_requested_ && queue_.pop(t, fn)) {
+    KNOTS_CHECK_MSG(t >= now_, "event time moved backwards");
+    now_ = t;
     ++processed_;
     {
       KNOTS_PROF_SCOPE(dispatch_profile_);
-      ev.fn();
+      fn();
     }
+    fn = nullptr;
   }
 }
 

@@ -1,17 +1,18 @@
 // Deterministic discrete-event simulation engine.
 //
 // Events fire in (time, insertion-sequence) order, so same-timestamp events
-// run FIFO and every run with the same inputs replays identically.
+// run FIFO and every run with the same inputs replays identically. Storage
+// is a two-level calendar queue (see event_queue.hpp) with the same
+// ordering contract as the binary heap it replaced.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <vector>
 
 #include "core/check.hpp"
 #include "core/types.hpp"
 #include "obs/metrics.hpp"
+#include "sim/event_queue.hpp"
 
 namespace knots::sim {
 
@@ -28,14 +29,20 @@ class Simulation {
     return queue_.size();
   }
 
-  /// Schedules `fn` at absolute simulated time `t` (must not be in the past).
-  void schedule_at(SimTime t, Handler fn);
+  /// Schedules `fn` at absolute simulated time `t` (must not be in the
+  /// past). Returns an id accepted by cancel().
+  std::uint64_t schedule_at(SimTime t, Handler fn);
 
   /// Schedules `fn` `dt` after the current time.
-  void schedule_after(SimTime dt, Handler fn) {
+  std::uint64_t schedule_after(SimTime dt, Handler fn) {
     KNOTS_CHECK(dt >= 0);
-    schedule_at(now_ + dt, std::move(fn));
+    return schedule_at(now_ + dt, std::move(fn));
   }
+
+  /// Cancels a *pending* event by the id schedule_at/schedule_after
+  /// returned. Canceling an event that already fired or was already
+  /// canceled is a caller error (see EventQueue::cancel).
+  void cancel(std::uint64_t id) { queue_.cancel(id); }
 
   /// Runs until the queue drains or the next event is past `end`.
   /// Advances `now()` to `end` when stopping on the time bound.
@@ -55,21 +62,8 @@ class Simulation {
   }
 
  private:
-  struct Event {
-    SimTime time;
-    std::uint64_t seq;
-    Handler fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
   bool stop_requested_ = false;
   obs::Histogram* dispatch_profile_ = nullptr;

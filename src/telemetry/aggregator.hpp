@@ -7,10 +7,20 @@
 //
 // The read API is tick-loop friendly: GPU lookup is O(1) via an index built
 // at registration, windows can be filled into caller-owned scratch buffers
-// or read zero-copy, and the sorted-by-free-memory list is cached — the
-// stable_sort reruns only when the underlying views actually changed since
-// the previous call (telemetry writes land once per tick, but schedulers ask
-// once per pending pod). Not thread-safe; each simulated cluster owns one.
+// or read zero-copy, and the sorted-by-free-memory list is hierarchical —
+// entries are partitioned into lanes (the cluster's node shards), each lane
+// maintains its own sorted run of {free-memory, slot} keys, and a query
+// k-way merges the runs instead of re-sorting the whole cluster. Runs are
+// dirty-tracked: a lane re-sorts only when its databases actually appended
+// samples or a device's usable capacity moved (ECC retirement). The cluster
+// refreshes each lane's run from its lane-parallel telemetry phase
+// (refresh_lane), so by the time a scheduler asks, the merge is all that is
+// left. Both the series refresh and the run maintenance are demand-driven:
+// policies that never query (Res-Ag, Uniform) never pay for either.
+//
+// Query methods are not thread-safe; refresh_lane is safe to call from
+// concurrent lanes because every mutable structure it touches is partitioned
+// by lane. Each simulated cluster owns one aggregator.
 #pragma once
 
 #include <cstdint>
@@ -52,6 +62,20 @@ class UtilizationAggregator {
     return nodes_.size();
   }
 
+  /// Partitions registered entries into `lanes` shards for the hierarchical
+  /// sort; `entry_lanes[e]` is the lane owning entry (node) `e`. Values must
+  /// be < `lanes`. Without a partition every entry lives in one implicit
+  /// lane, which degenerates to the classic full sort.
+  void set_lane_partition(std::vector<std::uint32_t> entry_lanes,
+                          std::size_t lanes);
+
+  /// Refreshes one lane's series caches and (when a sorted query has ever
+  /// been made) rebuilds its sorted run if anything changed. Intended to be
+  /// called from the cluster's lane-parallel telemetry phase: all state it
+  /// writes is owned by `lane`, so concurrent calls for distinct lanes are
+  /// race-free. No-op until the first query creates demand.
+  void refresh_lane(std::size_t lane) const;
+
   // -- Staleness rule (DESIGN.md §7) --
   /// A series is stale when now − last_heartbeat > horizon. Horizon 0
   /// (default) disables the rule; the cluster sets it to
@@ -73,7 +97,10 @@ class UtilizationAggregator {
 
   /// Snapshot of *active* (non-parked) GPUs sorted by free memory
   /// (descending) — Algorithm 1's node list. The returned reference stays
-  /// valid until the next call; the sort is skipped when no view changed.
+  /// valid until the next call. Served from cache unless a lane run or a
+  /// live device field (parked/residents/capacity) moved since the last
+  /// merge; ties resolve by registration slot, exactly like the historical
+  /// stable_sort.
   [[nodiscard]] const std::vector<GpuView>& active_sorted_by_free_memory()
       const;
 
@@ -104,6 +131,16 @@ class UtilizationAggregator {
     sort_profile_ = hist;
   }
 
+  /// Registers a device-mutation epoch: the owner bumps `*epoch` whenever
+  /// any registered device's parked/residents/usable-capacity state changes
+  /// (placement, completion, park, ECC retirement). While the epoch is
+  /// unchanged, queries skip the O(slots) live-bits diff entirely — at
+  /// datacenter scale that scan dominates the query cost. Without an epoch
+  /// (standalone use) every query diffs, which is always correct.
+  void set_live_epoch(const std::uint64_t* epoch) noexcept {
+    live_epoch_ = epoch;
+  }
+
  private:
   struct Entry {
     const gpu::GpuNode* node;
@@ -125,30 +162,95 @@ class UtilizationAggregator {
     TimeSeriesDb::ConstSeriesHandle h_mem{};
     TimeSeriesDb::ConstSeriesHandle h_power{};
   };
-  /// Sort key for Algorithm 1: struct-of-arrays view of the hot field, so
-  /// the stable_sort swaps 16-byte keys instead of whole GpuViews.
+  /// Sort key for Algorithm 1. Keyed (free_mem desc, slot asc): slot order
+  /// is registration order, so merged output ties resolve exactly like the
+  /// historical stable_sort over the unsorted snapshot did.
   struct SortKey {
     double free_mem_mb;
-    std::uint32_t idx;
+    std::uint32_t slot;
   };
+  /// One lane's sorted run over its *unparked* GPU slots (as of the last
+  /// live-bits diff — a park/unpark flip dirties the owning lane, so at
+  /// datacenter scale the per-tick sort covers only the active population,
+  /// not the parked long tail).
+  struct LaneRun {
+    std::vector<SortKey> keys;
+    /// Keys are out of date (registration, capacity change, or samples
+    /// landed while sort demand was off).
+    bool dirty = true;
+    /// Bumped on every key rebuild; the merge caches the sum across lanes
+    /// to detect staleness without a flag lanes would race on.
+    std::uint64_t version = 0;
+  };
+  /// Live per-slot device fields the views depend on but no database stamp
+  /// tracks. A cheap pre-merge scan diffs them against the device.
+  struct LiveBits {
+    double effective_mb = -1.0;
+    std::int32_t residents = -1;
+    bool parked = false;
+  };
+
+  /// Immutable per-slot facts captured at registration, so the merge's
+  /// random-order (free-sorted) emission never chases node/device pointers.
+  struct SlotStatic {
+    GpuId gpu;
+    NodeId node;
+    double cap = 0.0;  ///< physical memory_mb (spec; ECC-independent)
+  };
+
   [[nodiscard]] const Entry* find_gpu(GpuId gpu) const;
-  void refresh_entry(std::size_t entry_idx) const;
+  bool refresh_entry(std::size_t entry_idx) const;  ///< true if stamp moved
+  void ensure_partition() const;
+  void rebuild_lane_keys(std::size_t lane) const;
+  [[nodiscard]] GpuView make_view(std::size_t entry_idx,
+                                  std::size_t gpu_idx) const;
+  /// make_view served entirely from slot_static_/series_cache_/live_bits_.
+  /// Valid only after the live-bits diff of the current query (the merge
+  /// path) — snapshot paths, which never diff, keep reading devices live.
+  [[nodiscard]] GpuView make_view_cached(std::uint32_t slot) const;
+  /// Diffs parked/residents/capacity against the last merge; marks lanes
+  /// whose sort keys went stale (capacity moved) dirty. Returns true if any
+  /// field moved.
+  bool live_bits_moved() const;
+  void merge_runs() const;
 
   std::vector<Entry> nodes_;
   std::unordered_map<std::int32_t, std::size_t> gpu_to_entry_;
+  /// Owning entry index per GPU slot (inverse of Entry::first_slot spans).
+  std::vector<std::uint32_t> slot_entry_;
+  std::vector<SlotStatic> slot_static_;  ///< per GPU slot
   SimTime horizon_ = 0;
   SimTime now_ = 0;
 
   mutable std::vector<std::uint64_t> entry_seen_;  ///< db stamp per entry
   mutable std::vector<CachedSeries> series_cache_;  ///< per GPU slot
 
-  // active_sorted_by_free_memory cache: `active_input_` is the unsorted
-  // active list of the previous call, `active_sorted_` its sorted result.
-  mutable std::vector<GpuView> snapshot_scratch_;
-  mutable std::vector<GpuView> active_input_;
+  // -- Hierarchical sort state --
+  // The partition is mutable because ensure_partition() lazily builds the
+  // implicit single-lane layout on first query when no explicit partition
+  // was configured.
+  mutable std::vector<std::uint32_t> entry_lane_;   ///< lane per entry
+  mutable std::vector<std::vector<std::uint32_t>> lane_entries_;
+  mutable std::vector<LaneRun> lane_runs_;
+  /// Tick at which refresh_lane last refreshed each lane's entries. Samples
+  /// land only in the cluster's telemetry phase, so a query at the same
+  /// tick can skip re-checking every entry's db stamp.
+  mutable std::vector<SimTime> lane_fresh_;
+  mutable std::vector<LiveBits> live_bits_;         ///< per GPU slot
+  /// Sticky demand flags: set by the first query of each kind, read by
+  /// refresh_lane so non-querying policies never pay refresh/sort costs.
+  mutable bool refresh_demand_ = false;
+  mutable bool sort_demand_ = false;
+  // Merged-result cache: valid while lane-run versions, live device bits,
+  // and the tick's `now` (staleness flags) are all unchanged.
   mutable std::vector<GpuView> active_sorted_;
-  mutable std::vector<SortKey> sort_keys_;
-  mutable bool active_cache_valid_ = false;
+  mutable std::uint64_t merged_version_sum_ = ~std::uint64_t{0};
+  mutable SimTime merged_now_ = -1;
+  mutable bool merged_valid_ = false;
+  mutable std::vector<std::size_t> merge_heads_;    ///< scratch
+  /// Device-mutation epoch (see set_live_epoch); null = diff every query.
+  const std::uint64_t* live_epoch_ = nullptr;
+  mutable std::uint64_t live_epoch_seen_ = ~std::uint64_t{0};
   obs::Histogram* sort_profile_ = nullptr;
 };
 

@@ -10,7 +10,7 @@ void TimeSeriesDb::write(GpuId gpu, Metric metric, Sample sample) {
   const Key key{gpu.value, static_cast<int>(metric)};
   auto it = series_.find(key);
   if (it == series_.end()) {
-    it = series_.emplace(key, Series(retention_, stats_window_)).first;
+    it = series_.emplace(key, Series(retention_, stats_window_, arena_)).first;
   }
   Series& s = it->second;
   s.buf.push(sample);
@@ -24,7 +24,7 @@ TimeSeriesDb::SeriesHandle TimeSeriesDb::open_series(GpuId gpu,
   const Key key{gpu.value, static_cast<int>(metric)};
   auto it = series_.find(key);
   if (it == series_.end()) {
-    it = series_.emplace(key, Series(retention_, stats_window_)).first;
+    it = series_.emplace(key, Series(retention_, stats_window_, arena_)).first;
   }
   return SeriesHandle{&it->second};
 }
@@ -36,7 +36,7 @@ const TimeSeriesDb::Series* TimeSeriesDb::find(GpuId gpu,
   return it == series_.end() ? nullptr : &it->second;
 }
 
-std::size_t TimeSeriesDb::lower_bound_time(const RingBuffer<Sample>& buf,
+std::size_t TimeSeriesDb::lower_bound_time(const SampleRing& buf,
                                            SimTime since) {
   // Samples are time-ordered; binary-search the window start.
   std::size_t lo = 0, hi = buf.size();

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/page_arena.hpp"
 #include "core/ring_buffer.hpp"
 #include "core/types.hpp"
 #include "stats/rolling.hpp"
@@ -71,9 +72,17 @@ class TimeSeriesDb {
   /// `retention` = max samples kept per (gpu, metric) series.
   /// `stats_window` = span (in samples) of the per-series RollingStats
   /// maintained on write; 0 disables them.
+  /// `arena` (optional, not owned, must outlive the db) backs the ring
+  /// buffers — the cluster shares one huge-page arena across all node dbs
+  /// so a datacenter's rings pack contiguously instead of thrashing the
+  /// TLB; null keeps the global heap.
   explicit TimeSeriesDb(std::size_t retention = 65536,
-                        std::size_t stats_window = 0)
-      : retention_(retention), stats_window_(stats_window) {}
+                        std::size_t stats_window = 0,
+                        core::PageArena* arena = nullptr)
+      : retention_(retention),
+        stats_window_(stats_window),
+        arena_(arena),
+        series_(SeriesAlloc(arena)) {}
 
   /// Appends one observation.
   void write(GpuId gpu, Metric metric, Sample sample);
@@ -201,12 +210,13 @@ class TimeSeriesDb {
   friend class SeriesHandle;
 
   struct Series {
-    explicit Series(std::size_t retention, std::size_t stats_window)
-        : buf(retention),
+    explicit Series(std::size_t retention, std::size_t stats_window,
+                    core::PageArena* arena)
+        : buf(retention, core::ArenaAllocator<Sample>(arena)),
           live(stats_window == 0 ? nullptr
                                  : std::make_unique<stats::RollingStats>(
                                        stats_window)) {}
-    RingBuffer<Sample> buf;
+    RingBuffer<Sample, core::ArenaAllocator<Sample>> buf;
     std::unique_ptr<stats::RollingStats> live;
     std::uint64_t generation = 0;
     // window_stats cache: valid while (generation, since) match.
@@ -216,14 +226,22 @@ class TimeSeriesDb {
     mutable std::vector<double> sort_scratch;
   };
 
+  using SampleRing = RingBuffer<Sample, core::ArenaAllocator<Sample>>;
+
   [[nodiscard]] const Series* find(GpuId gpu, Metric metric) const;
   /// Logical index of the first sample with time >= since.
-  static std::size_t lower_bound_time(const RingBuffer<Sample>& buf,
-                                      SimTime since);
+  static std::size_t lower_bound_time(const SampleRing& buf, SimTime since);
 
   std::size_t retention_;
   std::size_t stats_window_;
-  std::unordered_map<Key, Series, KeyHash> series_;
+  core::PageArena* arena_ = nullptr;  ///< not owned; null = global heap
+  /// Map nodes come from the same arena as the rings: the scrape touches
+  /// every series' head metadata each tick, and packing the nodes beats
+  /// scattering them across the heap. Series are never erased, so the
+  /// bump-only arena fits; a rehash strands only the old bucket array.
+  using SeriesAlloc = core::ArenaAllocator<std::pair<const Key, Series>>;
+  std::unordered_map<Key, Series, KeyHash, std::equal_to<Key>, SeriesAlloc>
+      series_;
   std::size_t total_samples_ = 0;
 };
 

@@ -172,14 +172,66 @@ void InvariantChecker::check_devices(const cluster::Cluster& cluster) {
   }
 }
 
+void InvariantChecker::audit_pod(const cluster::Cluster& cluster,
+                                 std::size_t index,
+                                 std::uint8_t packed_state) {
+  using S = cluster::PodState;
+  const PodId id{static_cast<std::int32_t>(index)};
+  const auto& pod = cluster.pod(id);
+  const S state = pod.state();
+  if (static_cast<std::uint8_t>(state) != packed_state) {
+    report(cluster, "pod-state-table",
+           pod_tag(id) + " packed state " + std::to_string(packed_state) +
+               " disagrees with pod state " +
+               std::string(to_string(state)));
+  }
+
+  const double progress = pod.progress();
+  if (progress < 0.0 || progress > 1.0) {
+    report(cluster, "pod-progress",
+           pod_tag(id) + " progress " + fmt_double(progress) +
+               " outside [0, 1]");
+  }
+  if (state == S::kCompleted && !pod.finished_profile()) {
+    report(cluster, "pod-progress",
+           pod_tag(id) + " completed without finishing its profile");
+  }
+
+  // A placed pod must be resident on its GPU with a matching allocation,
+  // and that GPU's node must be alive.
+  if (state == S::kStarting || state == S::kRunning) {
+    const double eps = options_.memory_epsilon_mb;
+    if (cluster.node_health(cluster.node_of_gpu(pod.gpu())) ==
+        cluster::NodeHealth::kDown) {
+      report(cluster, "node-health",
+             pod_tag(id) + " in state " + std::string(to_string(state)) +
+                 " on down node " +
+                 std::to_string(cluster.node_of_gpu(pod.gpu()).value));
+    }
+    const auto& dev = cluster.device(pod.gpu());
+    const auto recorded = dev.provisioned_mb(id);
+    if (!recorded.has_value()) {
+      report(cluster, "pod-residency",
+             pod_tag(id) + " in state " + std::string(to_string(state)) +
+                 " but not resident on " + gpu_tag(pod.gpu()));
+    } else if (std::abs(*recorded - pod.provisioned_mb()) > eps) {
+      report(cluster, "pod-residency",
+             pod_tag(id) + " allocation " + fmt_double(pod.provisioned_mb()) +
+                 " MB disagrees with device record " +
+                 fmt_double(*recorded) + " MB");
+    }
+  }
+}
+
 void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
   using S = cluster::PodState;
   const std::size_t n = cluster.pod_count();
   // Pods are all loaded before run(); the first audit baselines them at
   // their construction state (Pending).
-  if (last_states_.size() < n) last_states_.resize(n, S::kPending);
+  if (last_states_.size() < n) {
+    last_states_.resize(n, static_cast<std::uint8_t>(S::kPending));
+  }
 
-  std::array<std::size_t, 6> by_state{};
   auto& in_pending = in_pending_scratch_;
   in_pending.assign(n, false);
   for (PodId id : cluster.pending()) {
@@ -200,56 +252,48 @@ void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
     }
   }
 
-  const double eps = options_.memory_epsilon_mb;
-  for (std::size_t i = 0; i < n; ++i) {
-    const PodId id{static_cast<std::int32_t>(i)};
-    const auto& pod = cluster.pod(id);
-    const S state = pod.state();
-    by_state[static_cast<std::size_t>(state)] += 1;
-
-    if (!observable_transition(last_states_[i], state)) {
-      report(cluster, "pod-transition",
-             pod_tag(id) + " illegal transition " +
-                 std::string(to_string(last_states_[i])) + " -> " +
-                 std::string(to_string(state)));
-    }
-    last_states_[i] = state;
-
-    const double progress = pod.progress();
-    if (progress < 0.0 || progress > 1.0) {
-      report(cluster, "pod-progress",
-             pod_tag(id) + " progress " + fmt_double(progress) +
-                 " outside [0, 1]");
-    }
-    if (state == S::kCompleted && !pod.finished_profile()) {
-      report(cluster, "pod-progress",
-             pod_tag(id) + " completed without finishing its profile");
-    }
-
-    // A placed pod must be resident on its GPU with a matching allocation,
-    // and that GPU's node must be alive.
-    if (state == S::kStarting || state == S::kRunning) {
-      if (cluster.node_health(cluster.node_of_gpu(pod.gpu())) ==
-          cluster::NodeHealth::kDown) {
-        report(cluster, "node-health",
-               pod_tag(id) + " in state " + std::string(to_string(state)) +
-                   " on down node " +
-                   std::to_string(cluster.node_of_gpu(pod.gpu()).value));
-      }
-      const auto& dev = cluster.device(pod.gpu());
-      const auto recorded = dev.provisioned_mb(id);
-      if (!recorded.has_value()) {
-        report(cluster, "pod-residency",
-               pod_tag(id) + " in state " + std::string(to_string(state)) +
-                   " but not resident on " + gpu_tag(pod.gpu()));
-      } else if (std::abs(*recorded - pod.provisioned_mb()) > eps) {
-        report(cluster, "pod-residency",
-               pod_tag(id) + " allocation " + fmt_double(pod.provisioned_mb()) +
-                   " MB disagrees with device record " +
-                   fmt_double(*recorded) + " MB");
-      }
-    }
+  // Delta audit over the cluster's packed state table: one byte per pod
+  // decides everything cheap (conservation histogram, transition legality —
+  // same state to same state is always legal), and only pods that changed
+  // state or sit in a live state (Starting/Running: progress and residency
+  // move without a state edge) pay the full per-pod dereference. The
+  // packed byte is cross-checked against pod.state() for every audited
+  // pod, so a stale table is itself a detected violation. Trade-off versus
+  // the old exhaustive sweep: corruption of a *frozen* pod's fields with
+  // no state change (impossible through the public API) is no longer
+  // caught every tick — only at its next transition.
+  const auto& table = cluster.pod_state_table();
+  if (table.size() != n) {
+    report(cluster, "pod-state-table",
+           "state table size " + std::to_string(table.size()) +
+               " != pod count " + std::to_string(n));
+    return;
   }
+  std::array<std::size_t, 6> by_state{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t cur = table[i];
+    if (cur >= by_state.size()) {
+      report(cluster, "pod-state-table",
+             pod_tag(PodId{static_cast<std::int32_t>(i)}) +
+                 " packed state " + std::to_string(cur) + " out of range");
+      continue;
+    }
+    by_state[cur] += 1;
+    const std::uint8_t prev = last_states_[i];
+    const bool changed = cur != prev;
+    if (changed && !observable_transition(static_cast<S>(prev),
+                                          static_cast<S>(cur))) {
+      report(cluster, "pod-transition",
+             pod_tag(PodId{static_cast<std::int32_t>(i)}) +
+                 " illegal transition " +
+                 std::string(to_string(static_cast<S>(prev))) + " -> " +
+                 std::string(to_string(static_cast<S>(cur))));
+    }
+    const bool live = cur == static_cast<std::uint8_t>(S::kStarting) ||
+                      cur == static_cast<std::uint8_t>(S::kRunning);
+    if (changed || live) audit_pod(cluster, i, cur);
+  }
+  last_states_.assign(table.begin(), table.end());
 
   // Conservation: every submitted pod is in exactly one lifecycle state,
   // and the cluster's completion counter matches the terminal population.

@@ -87,9 +87,15 @@ class InvariantChecker final : public cluster::ClusterObserver {
   void report(const cluster::Cluster& cluster, std::string category,
               std::string message);
 
+  void audit_pod(const cluster::Cluster& cluster, std::size_t index,
+                 std::uint8_t packed_state);
+
   InvariantOptions options_;
   SimTime last_tick_ = -1;
-  std::vector<cluster::PodState> last_states_;
+  /// Previous audit's packed states (mirror of Cluster::pod_state_table()).
+  /// Byte-diffing against the cluster's table finds the pods worth a full
+  /// dereference; unchanged frozen-state pods skip the audit entirely.
+  std::vector<std::uint8_t> last_states_;
   std::vector<bool> in_pending_scratch_;  ///< Reused across per-tick audits.
   std::vector<Violation> violations_;
   std::uint64_t checks_ = 0;

@@ -1,0 +1,89 @@
+#include "core/page_arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/ring_buffer.hpp"
+
+namespace knots::core {
+namespace {
+
+TEST(PageArena, AllocationsAreAlignedDisjointAndZeroed) {
+  PageArena arena;
+  std::vector<std::pair<std::byte*, std::size_t>> blocks;
+  for (std::size_t i = 1; i <= 64; ++i) {
+    const std::size_t bytes = i * 24;
+    auto* p = static_cast<std::byte*>(arena.allocate(bytes, 8));
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 8, 0u);
+    for (std::size_t b = 0; b < bytes; ++b) {
+      EXPECT_EQ(std::to_integer<int>(p[b]), 0);
+    }
+    std::memset(p, 0xAB, bytes);  // overlap with a prior block would trip
+    blocks.emplace_back(p, bytes);
+  }
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    const auto [prev, prev_bytes] = blocks[i - 1];
+    EXPECT_GE(blocks[i].first, prev + prev_bytes);
+  }
+  EXPECT_GE(arena.bytes_reserved(), PageArena::kHugePage);
+}
+
+TEST(PageArena, ChunkBasesAreHugePageAligned) {
+  PageArena arena(PageArena::kHugePage);
+  // First allocation of a fresh chunk starts at the chunk base.
+  auto* p = arena.allocate(16, 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % PageArena::kHugePage, 0u);
+  // An oversized request gets its own dedicated (aligned) chunk.
+  auto* big = arena.allocate(3 * PageArena::kHugePage, 1);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % PageArena::kHugePage, 0u);
+  EXPECT_EQ(arena.chunk_count(), 2u);
+}
+
+TEST(PageArena, GrowsAcrossChunksWithStableContents) {
+  PageArena arena(PageArena::kHugePage);
+  std::vector<std::uint64_t*> ptrs;
+  const std::size_t per_alloc = 64 * 1024;  // 512 KiB each → several chunks
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    auto* p = static_cast<std::uint64_t*>(
+        arena.allocate(per_alloc * sizeof(std::uint64_t), 64));
+    p[0] = i;
+    p[per_alloc - 1] = ~i;
+    ptrs.push_back(p);
+  }
+  EXPECT_GE(arena.chunk_count(), 4u);
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(ptrs[i][0], i);
+    EXPECT_EQ(ptrs[i][per_alloc - 1], ~i);
+  }
+}
+
+TEST(ArenaAllocator, BacksRingBufferIdenticallyToHeap) {
+  PageArena arena;
+  RingBuffer<int, ArenaAllocator<int>> arena_ring(7, ArenaAllocator<int>(
+                                                         &arena));
+  RingBuffer<int> heap_ring(7);
+  for (int i = 0; i < 23; ++i) {
+    arena_ring.push(i);
+    heap_ring.push(i);
+  }
+  ASSERT_EQ(arena_ring.size(), heap_ring.size());
+  for (std::size_t i = 0; i < heap_ring.size(); ++i) {
+    EXPECT_EQ(arena_ring.at(i), heap_ring.at(i));
+  }
+}
+
+TEST(ArenaAllocator, NullArenaFallsBackToHeap) {
+  // Standalone containers (no arena) must behave like std::allocator,
+  // including real deallocation.
+  std::vector<double, ArenaAllocator<double>> v{ArenaAllocator<double>{}};
+  for (int i = 0; i < 1000; ++i) v.push_back(i * 0.5);
+  EXPECT_EQ(v.size(), 1000u);
+  EXPECT_DOUBLE_EQ(v[999], 499.5);
+}
+
+}  // namespace
+}  // namespace knots::core

@@ -104,6 +104,25 @@ TEST(ThreadPool, ParallelForPropagatesExceptions) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ParallelForAdaptiveChunkingCoversEveryIndexOnce) {
+  // The chunked work-stealing path (chunk = n / (lanes * 8)) must still
+  // visit every index exactly once, for sizes around chunk boundaries,
+  // worker-count boundaries, and the serial n<=1 fast path.
+  ThreadPool pool(4);
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{4},
+        std::size_t{5}, std::size_t{31}, std::size_t{32}, std::size_t{33},
+        std::size_t{1000}, std::size_t{4099}}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " index " << i;
+    }
+  }
+}
+
 TEST(ThreadPool, DestructorJoinsCleanly) {
   std::atomic<int> counter{0};
   {

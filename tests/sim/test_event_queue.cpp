@@ -1,0 +1,279 @@
+// Property and differential-fuzz suite for the bucketed calendar queue.
+//
+// The queue replaced a std::priority_queue; its one contract is *identical
+// observable order*: events pop in ascending (time, insertion-sequence)
+// order under any interleaving of schedule / cancel / pop, including times
+// that straddle bucket boundaries, the wheel horizon, and the overflow
+// list. The fuzz drives both implementations with the same operation
+// stream and demands identical pop sequences.
+
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::sim {
+namespace {
+
+constexpr SimTime kBucketWidth = SimTime{1} << EventQueue::kBucketWidthLog2;
+constexpr SimTime kHorizon =
+    kBucketWidth * static_cast<SimTime>(EventQueue::kBuckets);
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+  SimTime t = -1;
+  EXPECT_FALSE(q.peek_time(t));
+  EventQueue::Handler fn;
+  EXPECT_FALSE(q.pop(t, fn));
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  SimTime t;
+  EventQueue::Handler fn;
+  while (q.pop(t, fn)) fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimestampIsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    q.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  SimTime t;
+  EventQueue::Handler fn;
+  while (q.pop(t, fn)) {
+    EXPECT_EQ(t, 5);
+    fn();
+  }
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(EventQueue, PeekMatchesPopAndDoesNotExtract) {
+  EventQueue q;
+  q.schedule(42, [] {});
+  SimTime t = -1;
+  ASSERT_TRUE(q.peek_time(t));
+  EXPECT_EQ(t, 42);
+  EXPECT_EQ(q.size(), 1u);
+  EventQueue::Handler fn;
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, BucketBoundaryTimesStayOrdered) {
+  // Events sitting exactly on, just before, and just after bucket edges.
+  EventQueue q;
+  std::vector<SimTime> times;
+  for (SimTime b = 0; b < 5; ++b) {
+    const SimTime edge = b * kBucketWidth;
+    for (const SimTime t : {edge, edge + 1, edge + kBucketWidth - 1}) {
+      times.push_back(t);
+    }
+  }
+  // Insert in a scrambled order.
+  std::vector<SimTime> scrambled = times;
+  std::reverse(scrambled.begin(), scrambled.end());
+  for (const SimTime t : scrambled) q.schedule(t, [] {});
+  std::sort(times.begin(), times.end());
+  SimTime t;
+  EventQueue::Handler fn;
+  for (const SimTime expect : times) {
+    ASSERT_TRUE(q.pop(t, fn));
+    EXPECT_EQ(t, expect);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, FarFutureEventsCrossTheHorizon) {
+  // An event far past the wheel horizon must migrate in and pop in order,
+  // even when the wheel in between is completely empty (cursor jump).
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3 * kHorizon, [&] { order.push_back(2); });
+  q.schedule(7, [&] { order.push_back(1); });
+  q.schedule(9 * kHorizon, [&] { order.push_back(3); });
+  SimTime t;
+  EventQueue::Handler fn;
+  std::vector<SimTime> pop_times;
+  while (q.pop(t, fn)) {
+    pop_times.push_back(t);
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(pop_times, (std::vector<SimTime>{7, 3 * kHorizon, 9 * kHorizon}));
+}
+
+TEST(EventQueue, ScheduleBetweenPopsLandsInOrder) {
+  // After draining past empty buckets, a new near-term event (>= the last
+  // popped time, the engine's contract) must still pop before later ones.
+  EventQueue q;
+  q.schedule(2 * kHorizon, [] {});
+  SimTime t;
+  ASSERT_TRUE(q.peek_time(t));  // advances the cursor across the gap
+  EXPECT_EQ(t, 2 * kHorizon);
+  q.schedule(kHorizon / 2, [] {});  // behind the (jumped) cursor
+  ASSERT_TRUE(q.peek_time(t));
+  EXPECT_EQ(t, kHorizon / 2);
+  EventQueue::Handler fn;
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, kHorizon / 2);
+  ASSERT_TRUE(q.pop(t, fn));
+  EXPECT_EQ(t, 2 * kHorizon);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelSuppressesPendingEvent) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(10, [&] { fired += 1; });
+  const std::uint64_t doomed = q.schedule(20, [&] { fired += 100; });
+  q.schedule(30, [&] { fired += 10; });
+  q.cancel(doomed);
+  EXPECT_EQ(q.size(), 2u);
+  SimTime t;
+  EventQueue::Handler fn;
+  while (q.pop(t, fn)) fn();
+  EXPECT_EQ(fired, 11);
+}
+
+TEST(EventQueue, CancelOverflowEvent) {
+  EventQueue q;
+  int fired = 0;
+  const std::uint64_t doomed =
+      q.schedule(5 * kHorizon, [&] { fired += 100; });
+  q.schedule(6 * kHorizon, [&] { fired += 1; });
+  q.cancel(doomed);
+  EXPECT_EQ(q.size(), 1u);
+  SimTime t;
+  EventQueue::Handler fn;
+  while (q.pop(t, fn)) fn();
+  EXPECT_EQ(fired, 1);
+}
+
+// Reference model: the exact (time, seq) heap the engine used before.
+struct RefEvent {
+  SimTime time;
+  std::uint64_t seq;
+  int payload;
+};
+struct RefLater {
+  bool operator()(const RefEvent& a, const RefEvent& b) const noexcept {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+};
+
+/// Differential fuzz: random schedule/pop/cancel interleavings, with times
+/// drawn to stress bucket edges, the horizon boundary, and far overflow.
+TEST(EventQueueFuzz, MatchesPriorityQueueReference) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    EventQueue q;
+    std::priority_queue<RefEvent, std::vector<RefEvent>, RefLater> ref;
+    // id -> payload for live (pending, uncanceled) EventQueue events; the
+    // reference erases lazily via a tombstone set mirror.
+    std::vector<std::uint64_t> live_ids;
+    std::vector<bool> canceled;  // by seq
+    SimTime last_pop = 0;
+    int next_payload = 0;
+    std::vector<int> got;
+    std::vector<int> want;
+
+    for (int step = 0; step < 4000; ++step) {
+      const double roll = rng.uniform();
+      if (roll < 0.55) {
+        // Schedule at a time >= last_pop (the engine's contract). Mix
+        // near-term, bucket-edge, horizon-edge, and far-future times.
+        SimTime t = last_pop;
+        const double kind = rng.uniform();
+        if (kind < 0.4) {
+          t += rng.uniform_int(0, 3 * kBucketWidth);
+        } else if (kind < 0.6) {
+          const SimTime edge =
+              (last_pop / kBucketWidth + rng.uniform_int(0, 4)) * kBucketWidth;
+          t = edge + rng.uniform_int(-1, 1);
+          if (t < last_pop) t = last_pop;
+        } else if (kind < 0.8) {
+          t += kHorizon + rng.uniform_int(-2 * kBucketWidth, 2 * kBucketWidth);
+        } else {
+          t += rng.uniform_int(0, 5 * kHorizon);
+        }
+        const int payload = next_payload++;
+        const std::uint64_t id = q.schedule(t, [payload, &got] {
+          got.push_back(payload);
+        });
+        ref.push(RefEvent{t, id, payload});
+        if (canceled.size() <= id) canceled.resize(id + 1, false);
+        live_ids.push_back(id);
+      } else if (roll < 0.65 && !live_ids.empty()) {
+        // Cancel a random pending event in both models.
+        const auto pick = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(live_ids.size()) - 1));
+        const std::uint64_t id = live_ids[pick];
+        q.cancel(id);
+        canceled[id] = true;
+        live_ids[pick] = live_ids.back();
+        live_ids.pop_back();
+      } else {
+        // Pop once; both models must agree on time and payload.
+        SimTime t;
+        EventQueue::Handler fn;
+        const bool have = q.pop(t, fn);
+        // Drain reference tombstones.
+        while (!ref.empty() && canceled[ref.top().seq]) ref.pop();
+        ASSERT_EQ(have, !ref.empty()) << "seed " << seed << " step " << step;
+        if (!have) continue;
+        ASSERT_EQ(t, ref.top().time) << "seed " << seed << " step " << step;
+        const std::uint64_t popped_id = ref.top().seq;
+        want.push_back(ref.top().payload);
+        ref.pop();
+        fn();
+        ASSERT_EQ(got.back(), want.back())
+            << "seed " << seed << " step " << step;
+        // The fired event is no longer cancelable (pending-only contract).
+        const auto it = std::find(live_ids.begin(), live_ids.end(), popped_id);
+        ASSERT_NE(it, live_ids.end());
+        *it = live_ids.back();
+        live_ids.pop_back();
+        last_pop = t;
+      }
+    }
+    // Full drain: remaining events must replay the reference exactly.
+    SimTime t;
+    EventQueue::Handler fn;
+    while (q.pop(t, fn)) {
+      while (!ref.empty() && canceled[ref.top().seq]) ref.pop();
+      ASSERT_FALSE(ref.empty());
+      ASSERT_EQ(t, ref.top().time);
+      want.push_back(ref.top().payload);
+      ref.pop();
+      fn();
+      ASSERT_EQ(got.back(), want.back());
+      ASSERT_GE(t, last_pop);
+      last_pop = t;
+    }
+    while (!ref.empty() && canceled[ref.top().seq]) ref.pop();
+    EXPECT_TRUE(ref.empty()) << "seed " << seed;
+    EXPECT_EQ(got, want) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace knots::sim
