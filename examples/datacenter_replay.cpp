@@ -9,6 +9,7 @@
 
 #include "core/table.hpp"
 #include "knots/experiment.hpp"
+#include "serve/serving.hpp"
 
 int main(int argc, char** argv) {
   using namespace knots;
@@ -48,5 +49,25 @@ int main(int argc, char** argv) {
                        : 0.0,
                    2)
             << "%)\n";
+
+  // Operator view of the serving tier: one open-loop run per arrival
+  // shape, same scheduler, on top of the mix-1 batch substrate.
+  TablePrinter serve_table("Serving tier: " + name);
+  serve_table.columns({"arrivals", "offered", "served", "shed", "p50 ms",
+                       "p99 ms", "p999 ms", "scale-ups"});
+  for (const auto shape :
+       {serve::ArrivalShape::kPoisson, serve::ArrivalShape::kDiurnal,
+        serve::ArrivalShape::kFlashCrowd}) {
+    serve::ServingConfig scfg = serve::default_serving(120.0, shape, kind);
+    scfg.window = 30 * kSec;
+    const auto sr = serve::run_serving(scfg);
+    serve_table.row({std::string(to_string(shape)),
+                     std::to_string(sr.offered),
+                     std::to_string(sr.completed + sr.degraded),
+                     std::to_string(sr.shed), fmt(sr.latency.p50_ms, 1),
+                     fmt(sr.latency.p99_ms, 1), fmt(sr.latency.p999_ms, 1),
+                     std::to_string(sr.scale_ups)});
+  }
+  serve_table.print(std::cout);
   return 0;
 }

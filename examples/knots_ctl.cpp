@@ -8,6 +8,10 @@
 //                 [--trace-bin out.trc]           # compact binary trace
 //                 [--metrics-out out.json]        # metrics registry dump
 //   knots_ctl sweep --mix 1 --duration 300        # all four schedulers
+//   knots_ctl serve --qps 120 [--diurnal AMP | --flash-crowd MULT]
+//                   [--slo-ms N] [--autoscale on|off] [--duration SECS]
+//                   [--scheduler PP] [--nodes N] [--seed N] ...
+//                                                  # open-loop serving run
 //   knots_ctl dlsim [--mix 1] [--dlt 520] [--dli 1400]       # 4-way compare
 //   knots_ctl dlsim --dl gandiva [--nodes 32] [--gpus 8]     # one DL policy
 //                   [--duration SECS] [--seed 42]
@@ -33,6 +37,7 @@
 #include "knots/experiment.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/serving.hpp"
 #include "workload/app_mix.hpp"
 
 namespace {
@@ -46,6 +51,11 @@ constexpr const char* kUsage =
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--lanes N]\n"
     "         [--seed N]\n"
+    "  serve  --qps RATE [--diurnal AMP | --flash-crowd MULT] [--slo-ms N]\n"
+    "         [--autoscale on|off] [--duration SECS] [--mix N]\n"
+    "         [--scheduler NAME] [--nodes N] [--gpus N] [--lanes N] [--seed N]\n"
+    "         [--crash-node N@T[:D]] [--trace FILE] [--trace-bin FILE]\n"
+    "         [--metrics-out FILE]\n"
     "  dlsim  [--mix N] [--dlt N] [--dli N]           (compare all policies)\n"
     "  dlsim  --dl NAME [--mix N] [--dlt N] [--dli N] [--nodes N] [--gpus N]\n"
     "         [--lanes N] [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
@@ -93,6 +103,29 @@ std::optional<long long> parse_int(const std::string& s) {
   char* end = nullptr;
   const long long v = std::strtoll(s.c_str(), &end, 10);
   if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Full-consumption floating-point parse; rejects "1.5x" and "".
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return v;
+}
+
+/// Validated double lookup: missing flag → fallback, malformed → nullopt.
+std::optional<double> double_flag(
+    const std::map<std::string, std::string>& flags, const std::string& key,
+    double fallback) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return fallback;
+  const auto v = parse_double(it->second);
+  if (!v.has_value()) {
+    std::cerr << "knots_ctl: flag '--" << key << "' expects a number, got '"
+              << it->second << "'\n";
+  }
   return v;
 }
 
@@ -299,6 +332,151 @@ int cmd_sweep(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+void print_serving_report(const serve::ServingReport& r,
+                          const serve::ServingConfig& cfg) {
+  TablePrinter table("Serving report: " + r.experiment.scheduler + ", " +
+                     std::string(to_string(cfg.arrivals.shape)) +
+                     " arrivals");
+  table.columns({"metric", "value"});
+  table.row({"offered / admitted", std::to_string(r.offered) + " / " +
+                                       std::to_string(r.admitted)});
+  table.row({"served (degraded)", std::to_string(r.completed + r.degraded) +
+                                      " (" + std::to_string(r.degraded) +
+                                      ")"});
+  table.row({"shed / expired", std::to_string(r.shed) + " / " +
+                                   std::to_string(r.expired)});
+  table.row({"SLO violations", std::to_string(r.slo_violations)});
+  table.row({"offered / achieved qps",
+             fmt(r.offered_qps, 1) + " / " + fmt(r.achieved_qps, 1)});
+  table.row({"p50 / p99 / p999 ms", fmt(r.latency.p50_ms, 1) + " / " +
+                                        fmt(r.latency.p99_ms, 1) + " / " +
+                                        fmt(r.latency.p999_ms, 1)});
+  table.row({"batches (mean fill)", std::to_string(r.batches) + " (" +
+                                        fmt(r.mean_batch_fill, 2) + ")"});
+  table.row({"replicas launched/retired",
+             std::to_string(r.replicas_launched) + " / " +
+                 std::to_string(r.replicas_retired)});
+  table.row({"scale up / down", std::to_string(r.scale_ups) + " / " +
+                                    std::to_string(r.scale_downs)});
+  for (const auto& s : r.services) {
+    table.row({"svc " + s.service + " p99 ms / shed",
+               fmt(s.latency.p99_ms, 1) + " / " + std::to_string(s.shed)});
+  }
+  std::ostringstream serve_digest;
+  serve_digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
+               << r.serve_digest;
+  table.row({"serve digest", serve_digest.str()});
+  std::ostringstream run_digest;
+  run_digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
+             << r.experiment.run_digest;
+  table.row({"run digest", run_digest.str()});
+  table.print(std::cout);
+}
+
+int cmd_serve(const std::map<std::string, std::string>& flags) {
+  const auto config = config_from_flags(flags);
+  const auto qps = double_flag(flags, "qps", 120.0);
+  const auto slo_ms = int_flag(flags, "slo-ms", -1);
+  if (!config || !qps || !slo_ms) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (*qps < 0.0) {
+    std::cerr << "knots_ctl: flag '--qps' expects a rate >= 0, got '"
+              << flags.at("qps") << "'\n"
+              << kUsage;
+    return 2;
+  }
+  if (flags.count("diurnal") != 0 && flags.count("flash-crowd") != 0) {
+    std::cerr << "knots_ctl: --diurnal and --flash-crowd are mutually "
+                 "exclusive\n"
+              << kUsage;
+    return 2;
+  }
+
+  serve::ArrivalShape shape = serve::ArrivalShape::kPoisson;
+  const auto diurnal = double_flag(flags, "diurnal", -1.0);
+  const auto flash = double_flag(flags, "flash-crowd", -1.0);
+  if (!diurnal || !flash) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  serve::ServingConfig cfg =
+      serve::default_serving(*qps, shape, config->scheduler);
+  cfg.experiment = *config;
+  if (flags.count("diurnal") != 0) {
+    if (*diurnal < 0.0 || *diurnal > 1.0) {
+      std::cerr << "knots_ctl: flag '--diurnal' expects an amplitude in "
+                   "[0, 1], got '"
+                << flags.at("diurnal") << "'\n"
+                << kUsage;
+      return 2;
+    }
+    cfg.arrivals.shape = serve::ArrivalShape::kDiurnal;
+    cfg.arrivals.diurnal_amplitude = *diurnal;
+  }
+  if (flags.count("flash-crowd") != 0) {
+    if (*flash < 1.0) {
+      std::cerr << "knots_ctl: flag '--flash-crowd' expects a multiplier "
+                   ">= 1, got '"
+                << flags.at("flash-crowd") << "'\n"
+                << kUsage;
+      return 2;
+    }
+    cfg.arrivals.shape = serve::ArrivalShape::kFlashCrowd;
+    cfg.arrivals.spike_multiplier = *flash;
+  }
+  if (flags.count("slo-ms") != 0) {
+    if (*slo_ms < 1) {
+      std::cerr << "knots_ctl: flag '--slo-ms' expects an integer >= 1, "
+                   "got '"
+                << flags.at("slo-ms") << "'\n"
+                << kUsage;
+      return 2;
+    }
+    for (auto& svc : cfg.services) svc.slo = *slo_ms * kMsec;
+  }
+  if (flags.count("autoscale") != 0) {
+    const std::string& v = flags.at("autoscale");
+    if (v != "on" && v != "off") {
+      std::cerr << "knots_ctl: flag '--autoscale' expects on|off, got '" << v
+                << "'\n"
+                << kUsage;
+      return 2;
+    }
+    cfg.autoscale = v == "on";
+  }
+  // --duration is the request window for serving runs.
+  const auto duration = int_flag(flags, "duration", -1);
+  if (duration && *duration >= 0) cfg.window = *duration * kSec;
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  RunObservability observability;
+  if (flags.count("trace") != 0 || flags.count("trace-bin") != 0) {
+    observability.trace = &trace;
+  }
+  if (flags.count("metrics-out")) observability.metrics = &metrics;
+
+  const auto report = serve::run_serving(cfg, observability);
+  print_serving_report(report, cfg);
+
+  bool io_ok = true;
+  if (flags.count("trace")) {
+    io_ok &= write_file(flags.at("trace"), "chrome trace",
+                        [&](std::ostream& os) { trace.export_chrome_trace(os); });
+  }
+  if (flags.count("trace-bin")) {
+    io_ok &= write_file(flags.at("trace-bin"), "binary trace",
+                        [&](std::ostream& os) { trace.export_binary(os); });
+  }
+  if (flags.count("metrics-out")) {
+    io_ok &= write_file(flags.at("metrics-out"), "metrics",
+                        [&](std::ostream& os) { metrics.to_json(os); });
+  }
+  return io_ok ? 0 : 1;
+}
+
 void print_dl_run(const dlsim::DlResult& r) {
   TablePrinter table("DL run: " + r.policy);
   table.columns({"metric", "value"});
@@ -437,6 +615,10 @@ int main(int argc, char** argv) {
         "csv", "crash-node", "trace", "trace-bin", "metrics-out"}},
       {"sweep",
        {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed"}},
+      {"serve",
+       {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
+        "qps", "diurnal", "flash-crowd", "slo-ms", "autoscale", "crash-node",
+        "trace", "trace-bin", "metrics-out"}},
       {"dlsim",
        {"mix", "dlt", "dli", "dl", "nodes", "gpus", "lanes", "duration",
         "seed", "crash-node", "trace", "trace-bin", "metrics-out"}},
@@ -453,6 +635,7 @@ int main(int argc, char** argv) {
   }
   if (cmd == "run") return cmd_run(*flags);
   if (cmd == "sweep") return cmd_sweep(*flags);
+  if (cmd == "serve") return cmd_serve(*flags);
   if (cmd == "dlsim") return cmd_dlsim(*flags);
   return cmd_list();
 }

@@ -9,6 +9,7 @@
 #include "core/table.hpp"
 #include "knots/experiment.hpp"
 #include "knots/kube_knots.hpp"
+#include "serve/serving.hpp"
 
 int main(int argc, char** argv) {
   const int mix_id = argc > 1 ? std::atoi(argv[1]) : 1;
@@ -49,5 +50,17 @@ int main(int argc, char** argv) {
                    std::to_string(r.pods_total)});
   }
   table.print(std::cout);
+
+  // Bonus: the same cluster serving an open-loop inference stream
+  // (knots::serve) under the winning PP scheduler.
+  knots::serve::ServingConfig serving = knots::serve::default_serving(
+      100.0, knots::serve::ArrivalShape::kPoisson);
+  serving.window = 30 * knots::kSec;
+  const auto sr = knots::serve::run_serving(serving);
+  std::cout << "\nServing taster (100 qps Poisson, 30 s): "
+            << sr.completed + sr.degraded << "/" << sr.offered
+            << " served, p99 " << knots::fmt(sr.latency.p99_ms, 1)
+            << " ms, " << sr.shed << " shed, " << sr.scale_ups
+            << " scale-ups\n";
   return 0;
 }

@@ -111,13 +111,42 @@ void Cluster::run() {
   for (const fault::FaultEvent& event : fault_plan_.events) {
     sim_.schedule_at(event.at, [this, event] { apply_fault(event); });
   }
-  const SimTime deadline = last_arrival_ + config_.drain_grace;
+  // The drain deadline is evaluated per tick (not captured once) so pods
+  // submitted mid-run via submit_pod() extend it.
   sim::schedule_periodic(sim_, config_.tick, config_.tick,
-                         [this, deadline](SimTime now) {
+                         [this](SimTime now) {
                            tick();
-                           return !(all_terminal() || now >= deadline);
+                           return !(all_terminal() ||
+                                    now >= last_arrival_ + config_.drain_grace);
                          });
   sim_.run_all();
+}
+
+PodId Cluster::submit_pod(workload::PodSpec spec) {
+  const PodId id{static_cast<std::int32_t>(pods_.size())};
+  spec.id = id;
+  spec.arrival = std::max(spec.arrival, now());
+  last_arrival_ = std::max(last_arrival_, spec.arrival);
+  const SimTime arrival = spec.arrival;
+  pods_.push_back(pod_arena_.create(std::move(spec)));
+  pod_states_.push_back(static_cast<std::uint8_t>(PodState::kPending));
+  sim_.schedule_at(arrival, [this, id] { on_arrival(id); });
+  return id;
+}
+
+bool Cluster::finish_pod(PodId id) {
+  KNOTS_CHECK(id.valid() && static_cast<std::size_t>(id.value) < pods_.size());
+  auto& p = *pods_[static_cast<std::size_t>(id.value)];
+  if (p.state() != PodState::kRunning) return false;
+  const GpuId g = p.gpu();
+  device(g).detach(id);
+  p.complete(now());
+  note_state(p);
+  note_detach(g);
+  gpu_last_busy_[static_cast<std::size_t>(g.value)] = now();
+  std::erase(active_, id);
+  commit_complete(p);
+  return true;
 }
 
 const Pod& Cluster::pod(PodId id) const {
@@ -165,11 +194,11 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   pending_.erase(it);
 
   const auto cache_key = std::make_pair(node_idx, p.spec().app);
-  // Inference services are long-lived deployments whose images are
-  // pre-pulled (§V-B: only the first-ever query pays the docker pull);
-  // batch images cold-start once per node.
-  const bool cached =
-      p.latency_critical() || image_cache_.contains(cache_key);
+  // Inference services (queries and serving replicas alike) are long-lived
+  // deployments whose images are pre-pulled (§V-B: only the first-ever
+  // query pays the docker pull); batch images cold-start once per node.
+  const bool cached = p.spec().klass != workload::PodClass::kBatch ||
+                      image_cache_.contains(cache_key);
   image_cache_.insert(cache_key);
   const SimTime start_latency = cached ? config_.warm_start : config_.cold_start;
   p.begin_start(gpu_id, provisioned_mb, now(), now() + start_latency);
@@ -683,13 +712,15 @@ void Cluster::commit_complete(Pod& p) {
     q.latency = p.completion() - spec.arrival;
     q.violated = spec.qos_latency > 0 && q.latency > spec.qos_latency;
     metrics_->record_query(q);
-  } else {
+  } else if (spec.klass == workload::PodClass::kBatch) {
     BatchRecord b;
     b.arrival = spec.arrival;
     b.jct = p.completion() - spec.arrival;
     b.crashes = p.crash_count();
     metrics_->record_batch(b);
   }
+  // kService replicas report per-request latency through knots::serve;
+  // neither query nor batch-JCT metrics apply to the replica lifetime.
   for (auto* o : observers_) o->on_complete(*this, p.id());
   if (trace_ != nullptr) {
     trace_->record(now(), EventKind::kComplete, p.id().value, -1,

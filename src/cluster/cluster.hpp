@@ -96,7 +96,28 @@ class Cluster {
   void set_fault_plan(fault::FaultPlan plan);
 
   /// Runs to completion (all pods terminal) or the drain-grace deadline.
+  /// The deadline tracks the latest arrival, including pods submitted
+  /// mid-run via submit_pod().
   void run();
+
+  // ---- Control-plane API (knots::serve and other mid-run drivers) ----
+  /// Submits a pod while the cluster is running (autoscaler scale-up). The
+  /// spec's id is overwritten with the next dense id; its arrival is
+  /// clamped to now-or-later. The pod joins the pending queue at its
+  /// arrival time and is placed by the scheduler like any other pod.
+  PodId submit_pod(workload::PodSpec spec);
+
+  /// Gracefully retires a *running* pod (autoscaler scale-down): detaches
+  /// it from its GPU and completes it through the normal completion path.
+  /// Returns false when the pod is not currently running (pending or
+  /// still starting replicas cannot be retired yet).
+  bool finish_pod(PodId id);
+
+  /// The cluster's discrete-event engine. Control planes (the serving
+  /// engine, autoscalers) schedule their own events here so request
+  /// processing, scale decisions and cluster ticks interleave in one
+  /// deterministic (time, insertion-seq) order.
+  [[nodiscard]] sim::Simulation& engine() noexcept { return sim_; }
 
   // ---- Read API (schedulers, tests, benches) ----
   [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }

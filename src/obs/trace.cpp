@@ -96,6 +96,13 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kFaultRecover: return "fault-recover";
     case EventKind::kScrape: return "telemetry-scrape";
     case EventKind::kDecision: return "decision";
+    case EventKind::kRequestArrive: return "serve.arrive";
+    case EventKind::kRequestShed: return "serve.shed";
+    case EventKind::kRequestExpire: return "serve.expire";
+    case EventKind::kBatchDispatch: return "serve.batch";
+    case EventKind::kRequestDone: return "serve.done";
+    case EventKind::kScaleUp: return "serve.scale-up";
+    case EventKind::kScaleDown: return "serve.scale-down";
   }
   return "unknown";
 }

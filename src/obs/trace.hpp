@@ -51,8 +51,16 @@ enum class EventKind : std::uint8_t {
   kFaultRecover,   ///< Fault effect ended.                   a = node, detail = kind.
   kScrape,         ///< Telemetry heartbeat round.            value = nodes sampled.
   kDecision,       ///< Scheduler rationale.                  a = pod, b = gpu (-1 = none), detail = rationale.
+  // -- knots::serve (open-loop request serving) --
+  kRequestArrive,  ///< Request entered the front door.       a = request, b = service.
+  kRequestShed,    ///< Admission control rejected it.        a = request, b = service.
+  kRequestExpire,  ///< Dropped at dispatch, deadline passed. a = request, b = service.
+  kBatchDispatch,  ///< Dynamic batch sent to a replica.      a = replica pod, b = service, value = batch size.
+  kRequestDone,    ///< Request served.                       a = request, b = service, value = latency ms.
+  kScaleUp,        ///< Autoscaler launched a replica.        a = replica pod, b = service.
+  kScaleDown,      ///< Autoscaler retired a replica.         a = replica pod, b = service.
 };
-inline constexpr std::size_t kEventKindCount = 15;
+inline constexpr std::size_t kEventKindCount = 22;
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 

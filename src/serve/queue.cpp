@@ -1,0 +1,44 @@
+#include "serve/queue.hpp"
+
+#include "core/check.hpp"
+
+namespace knots::serve {
+
+ServiceQueue::ServiceQueue(int max_batch, SimTime batch_timeout)
+    : max_batch_(max_batch), timeout_(batch_timeout) {
+  KNOTS_CHECK(max_batch >= 1);
+  KNOTS_CHECK(batch_timeout >= 0);
+}
+
+void ServiceQueue::push(std::uint32_t request, SimTime arrival) {
+  q_.push_back(Entry{request, arrival});
+}
+
+void ServiceQueue::push_front(std::uint32_t request, SimTime arrival) {
+  q_.push_front(Entry{request, arrival});
+}
+
+bool ServiceQueue::ripe(SimTime now) const noexcept {
+  if (q_.empty()) return false;
+  if (q_.size() >= static_cast<std::size_t>(max_batch_)) return true;
+  return now >= front_ready_at();
+}
+
+SimTime ServiceQueue::front_ready_at() const noexcept {
+  return q_.front().arrival + timeout_;
+}
+
+std::vector<std::uint32_t> ServiceQueue::form_batch() {
+  KNOTS_CHECK(!q_.empty());
+  std::vector<std::uint32_t> batch;
+  const auto n = std::min<std::size_t>(q_.size(),
+                                       static_cast<std::size_t>(max_batch_));
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(q_.front().request);
+    q_.pop_front();
+  }
+  return batch;
+}
+
+}  // namespace knots::serve

@@ -192,7 +192,12 @@ void InvariantChecker::audit_pod(const cluster::Cluster& cluster,
            pod_tag(id) + " progress " + fmt_double(progress) +
                " outside [0, 1]");
   }
-  if (state == S::kCompleted && !pod.finished_profile()) {
+  // Service replicas (PodClass::kService) are long-running servers whose
+  // lifetime is a control-plane decision: the serve autoscaler retires them
+  // mid-profile by design, so early completion is only a violation for
+  // profile-driven pods.
+  if (state == S::kCompleted && !pod.finished_profile() &&
+      pod.spec().klass != workload::PodClass::kService) {
     report(cluster, "pod-progress",
            pod_tag(id) + " completed without finishing its profile");
   }

@@ -4,7 +4,9 @@
 #include <cmath>
 
 #include "core/check.hpp"
+#include "workload/arrival.hpp"
 #include "workload/djinn_tonic.hpp"
+#include "workload/workload_spec.hpp"
 
 namespace knots::workload {
 
@@ -44,16 +46,16 @@ PodSpec make_batch_pod(const AppMix& mix, const LoadGenConfig& cfg,
   const double scale = rng.uniform(cfg.min_time_scale, cfg.max_time_scale);
   const int cycles = static_cast<int>(
       rng.uniform_int(cfg.min_cycles, cfg.max_cycles));
-  PodSpec pod;
-  pod.app = std::string(rodinia_name(app));
-  pod.klass = PodClass::kBatch;
-  pod.arrival = arrival;
-  pod.profile = rodinia_profile(app).time_scaled(scale).with_cycles(cycles);
+  // Users overstate requests by a sampled factor (Observation 2).
   const double overstate =
       rng.uniform(cfg.min_overstatement, cfg.max_overstatement);
-  pod.requested_mb = std::min(cfg.device_memory_mb * 0.95,
-                              pod.profile.peak_memory_mb() * overstate);
-  return pod;
+  return BatchJobSpec(app)
+      .time_scale(scale)
+      .cycles(cycles)
+      .memory_headroom(overstate)
+      .cap_device_mb(cfg.device_memory_mb)
+      .arrival(arrival)
+      .build();
 }
 
 PodSpec make_lc_pod(const AppMix& mix, const LoadGenConfig& cfg,
@@ -66,27 +68,17 @@ PodSpec make_lc_pod(const AppMix& mix, const LoadGenConfig& cfg,
   const std::size_t idx = rng.weighted_index(
       {0.22, 0.18, 0.15, 0.13, 0.12, 0.10, 0.06, 0.04});
   const int batch = kBatches[idx];
-  PodSpec pod;
-  pod.app = std::string(service_name(service));
-  pod.klass = PodClass::kLatencyCritical;
-  pod.arrival = arrival;
-  pod.batch_size = batch;
-  pod.profile = inference_profile(service, batch);
-  // Inference containers run with TF incremental memory growth configured
-  // (§V-B), so requests track the real footprint with modest headroom.
   // Stock TensorFlow earmarks essentially the whole device regardless of
   // the real footprint (Fig 4's TF series) — that request is what GPU-
   // agnostic schedulers see. Knots-aware schedulers resize the container to
-  // the image's observed footprint instead (§II-C2, Observation 5).
-  pod.requested_mb = tf_managed_memory_mb(cfg.device_memory_mb);
-  pod.tf_greedy = true;
-  // QoS target: the 150 ms user-facing budget, floored per service so that
-  // heavyweight batched queries (imc@128 runs ~400 ms uncontended) get a
-  // proportional SLO rather than an unmeetable one.
-  const SimTime uncontended = inference_latency(service, batch);
-  pod.qos_latency =
-      std::max(cfg.qos_latency, 3 * uncontended / 2 + 30 * kMsec);
-  return pod;
+  // the image's observed footprint instead (§II-C2, Observation 5). The
+  // qos_target floor is the §V-B per-service proportional SLO.
+  return ServiceSpec(service)
+      .batch(batch)
+      .tf_greedy(cfg.device_memory_mb)
+      .qos_target(cfg.qos_latency)
+      .arrival(arrival)
+      .build();
 }
 
 }  // namespace
@@ -99,8 +91,6 @@ std::vector<PodSpec> generate_workload(const AppMix& mix,
   Rng batch_rng = rng.fork(2);
   Rng lc_rng = rng.fork(3);
 
-  AlibabaTrace batch_trace(arrival_rng.fork(1));
-  AlibabaTrace lc_trace(arrival_rng.fork(2));
   const double burst = arrival_burstiness(mix.cov);
 
   const auto batch_gap = static_cast<SimTime>(
@@ -108,21 +98,14 @@ std::vector<PodSpec> generate_workload(const AppMix& mix,
   const auto lc_gap = static_cast<SimTime>(
       static_cast<double>(lc_interarrival(mix.load)) / cfg.lc_rate_scale);
 
-  std::vector<PodSpec> pods;
-  for (SimTime t : batch_trace.arrivals(cfg.duration, batch_gap, burst)) {
-    pods.push_back(make_batch_pod(mix, cfg, t, batch_rng));
-  }
-  for (SimTime t : lc_trace.arrivals(cfg.duration, lc_gap, burst)) {
-    pods.push_back(make_lc_pod(mix, cfg, t, lc_rng));
-  }
-  std::stable_sort(pods.begin(), pods.end(),
-                   [](const PodSpec& a, const PodSpec& b) {
-                     return a.arrival < b.arrival;
-                   });
-  for (std::size_t i = 0; i < pods.size(); ++i) {
-    pods[i].id = PodId{static_cast<std::int32_t>(i)};
-  }
-  return pods;
+  WorkloadSpec spec;
+  spec.stream(AlibabaArrivals(batch_gap, burst), cfg.duration,
+              arrival_rng.fork(1),
+              [&](SimTime t) { return make_batch_pod(mix, cfg, t, batch_rng); });
+  spec.stream(AlibabaArrivals(lc_gap, burst), cfg.duration,
+              arrival_rng.fork(2),
+              [&](SimTime t) { return make_lc_pod(mix, cfg, t, lc_rng); });
+  return spec.build();
 }
 
 }  // namespace knots::workload

@@ -18,7 +18,11 @@
 
 namespace knots::workload {
 
-enum class PodClass { kBatch, kLatencyCritical };
+enum class PodClass {
+  kBatch,            ///< Best-effort harvest job (Rodinia).
+  kLatencyCritical,  ///< One user-facing inference query with a deadline.
+  kService,          ///< Long-running serving replica managed by knots::serve.
+};
 
 /// Everything the orchestrator knows about a pod when it arrives.
 struct PodSpec {

@@ -1,0 +1,105 @@
+#include "workload/workload_spec.hpp"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "core/check.hpp"
+
+namespace knots::workload {
+
+PodSpec BatchJobSpec::build() const {
+  KNOTS_CHECK(time_scale_ > 0.0);
+  KNOTS_CHECK(cycles_ >= 1);
+  KNOTS_CHECK(headroom_ >= 1.0);
+  PodSpec pod;
+  pod.app = std::string(rodinia_name(app_));
+  pod.klass = PodClass::kBatch;
+  pod.arrival = arrival_;
+  pod.profile = rodinia_profile(app_).time_scaled(time_scale_)
+                    .with_cycles(cycles_);
+  pod.requested_mb =
+      std::min(cap_mb_, pod.profile.peak_memory_mb() * headroom_);
+  return pod;
+}
+
+SimTime ServiceSpec::effective_qos() const {
+  if (qos_exact_) return *qos_exact_;
+  // §V-B floor: heavyweight batched queries (imc@128 runs ~400 ms
+  // uncontended) get a proportional SLO rather than an unmeetable one.
+  const SimTime uncontended = inference_latency(service_, batch_);
+  return std::max(qos_budget_, 3 * uncontended / 2 + 30 * kMsec);
+}
+
+PodSpec ServiceSpec::build() const {
+  KNOTS_CHECK(batch_ >= 1);
+  PodSpec pod;
+  pod.app = std::string(service_name(service_));
+  pod.klass = PodClass::kLatencyCritical;
+  pod.arrival = arrival_;
+  pod.batch_size = batch_;
+  pod.profile = inference_profile(service_, batch_);
+  if (tf_device_mb_) {
+    pod.requested_mb = tf_managed_memory_mb(*tf_device_mb_);
+    pod.tf_greedy = true;
+  } else {
+    pod.requested_mb = inference_memory_mb(service_, batch_) * headroom_;
+  }
+  pod.qos_latency = effective_qos();
+  return pod;
+}
+
+PodSpec ServiceSpec::replica(SimTime lifetime) const {
+  KNOTS_CHECK(batch_ >= 1);
+  KNOTS_CHECK(lifetime > 0);
+  PodSpec pod;
+  pod.app = std::string(service_name(service_)) + "-replica";
+  pod.klass = PodClass::kService;
+  pod.arrival = arrival_;
+  pod.batch_size = batch_;
+  // Steady state: back-to-back batches at the configured batch size for the
+  // whole lifetime (tx burst -> compute -> rx, repeating).
+  const AppProfile one_batch = inference_profile(service_, batch_);
+  const SimTime cycle = std::max<SimTime>(one_batch.total_duration(), 1);
+  const int cycles =
+      static_cast<int>(std::max<SimTime>(1, (lifetime + cycle - 1) / cycle));
+  pod.profile = one_batch.with_cycles(cycles);
+  if (tf_device_mb_) {
+    pod.requested_mb = tf_managed_memory_mb(*tf_device_mb_);
+    pod.tf_greedy = true;
+  } else {
+    // Replicas are Knots-right-sized: warm-model footprint plus headroom.
+    pod.requested_mb = pod.profile.peak_memory_mb() * headroom_;
+  }
+  pod.qos_latency = effective_qos();
+  return pod;
+}
+
+WorkloadSpec& WorkloadSpec::add(PodSpec pod) {
+  pods_.push_back(std::move(pod));
+  return *this;
+}
+
+WorkloadSpec& WorkloadSpec::stream(const ArrivalProcess& process,
+                                   SimTime duration, Rng rng,
+                                   const PodFactory& factory) {
+  for (SimTime t : process.generate(duration, rng)) {
+    PodSpec pod = factory(t);
+    pod.arrival = t;  // The stream owns arrival times.
+    pods_.push_back(std::move(pod));
+  }
+  return *this;
+}
+
+std::vector<PodSpec> WorkloadSpec::build() {
+  std::stable_sort(pods_.begin(), pods_.end(),
+                   [](const PodSpec& a, const PodSpec& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < pods_.size(); ++i) {
+    pods_[i].id = PodId{static_cast<std::int32_t>(i)};
+  }
+  return std::move(pods_);
+}
+
+}  // namespace knots::workload

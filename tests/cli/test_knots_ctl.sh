@@ -43,6 +43,14 @@ expect_reject "dl crash spec"         -- dlsim --dl gandiva --crash-node oops
 expect_reject "malformed lanes"       -- run --mix 1 --scheduler CBP --duration 5 --lanes banana
 expect_reject "zero lanes"            -- run --mix 1 --scheduler CBP --duration 5 --lanes 0
 expect_reject "dl zero lanes"         -- dlsim --dl gandiva --lanes 0
+expect_reject "serve malformed qps"   -- serve --qps banana
+expect_reject "serve negative qps"    -- serve --qps -5
+expect_reject "serve bad diurnal"     -- serve --diurnal 1.5
+expect_reject "serve bad flash"       -- serve --flash-crowd 0.5
+expect_reject "serve shape conflict"  -- serve --diurnal 0.5 --flash-crowd 4
+expect_reject "serve zero slo"        -- serve --slo-ms 0
+expect_reject "serve bad autoscale"   -- serve --autoscale maybe
+expect_reject "serve unknown flag"    -- serve --qps 50 --dl gandiva
 
 # list, by contrast, succeeds bare.
 "$CTL" list >"$WORK/list_out" 2>&1 || fail "list: expected exit 0, got $?"
@@ -115,6 +123,31 @@ dl_lanes1=$(grep "run digest" "$WORK/dl_lanes1_out")
 dl_lanes4=$(grep "run digest" "$WORK/dl_lanes4_out")
 [ -n "$dl_lanes1" ] && [ "$dl_lanes1" = "$dl_lanes4" ] || \
   fail "dl lane digest drift: lanes1='$dl_lanes1' lanes4='$dl_lanes4'"
+
+# ---- serving: report rows, digest rows, determinism across lanes ----
+"$CTL" serve --qps 60 --duration 10 --nodes 4 --slo-ms 400 \
+  --metrics-out "$WORK/serve_metrics.json" >"$WORK/serve_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "serve run: expected exit 0, got $rc (output: $(cat "$WORK/serve_out"))"
+grep -q "serve digest" "$WORK/serve_out" || fail "serve report: 'serve digest' row missing"
+grep -q "run digest" "$WORK/serve_out" || fail "serve report: 'run digest' row missing"
+grep -q "offered" "$WORK/serve_out" || fail "serve report: offered row missing"
+[ -s "$WORK/serve_metrics.json" ] || fail "serve --metrics-out: missing or empty"
+grep -q "serve.requests_offered" "$WORK/serve_metrics.json" || \
+  fail "serve --metrics-out: serve counter missing"
+
+"$CTL" serve --qps 60 --duration 10 --nodes 4 --slo-ms 400 --lanes 4 \
+  >"$WORK/serve_lanes4_out" 2>&1 || fail "serve lanes=4 run: expected exit 0, got $?"
+serve_lanes1=$(grep "serve digest" "$WORK/serve_out")
+serve_lanes4=$(grep "serve digest" "$WORK/serve_lanes4_out")
+[ -n "$serve_lanes1" ] && [ "$serve_lanes1" = "$serve_lanes4" ] || \
+  fail "serve lane digest drift: lanes1='$serve_lanes1' lanes4='$serve_lanes4'"
+
+# Flash-crowd and diurnal shapes both run clean.
+"$CTL" serve --qps 60 --duration 10 --nodes 4 --flash-crowd 4 \
+  >"$WORK/serve_flash_out" 2>&1 || fail "serve flash-crowd: expected exit 0, got $?"
+"$CTL" serve --qps 60 --duration 10 --nodes 4 --diurnal 0.8 --autoscale off \
+  >"$WORK/serve_diurnal_out" 2>&1 || fail "serve diurnal: expected exit 0, got $?"
 
 # ---- tracing must not perturb the digest ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \

@@ -99,6 +99,14 @@ std::uint64_t replay_digest(const TraceSink& trace) {
       case EventKind::kFaultRecover:
       case EventKind::kScrape:
       case EventKind::kDecision:
+      // Serving-layer kinds feed the serve digest, not the cluster digest.
+      case EventKind::kRequestArrive:
+      case EventKind::kRequestShed:
+      case EventKind::kRequestExpire:
+      case EventKind::kBatchDispatch:
+      case EventKind::kRequestDone:
+      case EventKind::kScaleUp:
+      case EventKind::kScaleDown:
         break;
     }
   }

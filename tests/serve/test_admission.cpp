@@ -1,0 +1,112 @@
+// Admission-control properties, fuzzed over the knob space: under kShed and
+// kDegrade no admitted request's predicted completion ever exceeds its
+// deadline (the controller never knowingly over-commits), kQueue admits
+// everything, and the backlog predictor is monotone in queue depth.
+#include <gtest/gtest.h>
+
+#include "core/rng.hpp"
+#include "serve/admission.hpp"
+
+namespace knots::serve {
+namespace {
+
+struct Scenario {
+  SimTime now;
+  SimTime deadline;
+  std::size_t depth;
+  int replicas;
+  int max_batch;
+  SimTime batch_timeout;
+  SimTime batch_latency;
+};
+
+Scenario draw(Rng& rng) {
+  Scenario s;
+  s.now = rng.uniform_int(0, 1000) * kMsec;
+  s.deadline = s.now + rng.uniform_int(1, 500) * kMsec;
+  s.depth = static_cast<std::size_t>(rng.uniform_int(0, 2000));
+  s.replicas = static_cast<int>(rng.uniform_int(0, 12));
+  s.max_batch = static_cast<int>(rng.uniform_int(1, 64));
+  s.batch_timeout = rng.uniform_int(1, 50) * kMsec;
+  s.batch_latency = rng.uniform_int(1, 200) * kMsec;
+  return s;
+}
+
+TEST(Admission, NoAdmittedRequestMissesItsPrediction) {
+  Rng rng(2024);
+  const AdmissionController shed(AdmissionPolicy::kShed, 0.35);
+  const AdmissionController degrade(AdmissionPolicy::kDegrade, 0.35);
+  for (int i = 0; i < 20000; ++i) {
+    const Scenario s = draw(rng);
+    for (const auto* ctl : {&shed, &degrade}) {
+      const AdmissionDecision d =
+          ctl->assess(s.now, s.deadline, s.depth, s.replicas, s.max_batch,
+                      s.batch_timeout, s.batch_latency);
+      if (d.admit) {
+        EXPECT_LE(d.predicted_completion, s.deadline)
+            << "admitted past deadline at iteration " << i;
+      }
+    }
+  }
+}
+
+TEST(Admission, QueuePolicyAdmitsEverything) {
+  Rng rng(7);
+  const AdmissionController queue(AdmissionPolicy::kQueue, 0.35);
+  for (int i = 0; i < 5000; ++i) {
+    const Scenario s = draw(rng);
+    EXPECT_TRUE(queue
+                    .assess(s.now, s.deadline, s.depth, s.replicas,
+                            s.max_batch, s.batch_timeout, s.batch_latency)
+                    .admit);
+  }
+}
+
+TEST(Admission, DegradePathOnlyFiresWhenFullQualityCannotFit) {
+  Rng rng(99);
+  const AdmissionController degrade(AdmissionPolicy::kDegrade, 0.25);
+  int degraded_seen = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const Scenario s = draw(rng);
+    const AdmissionDecision d =
+        degrade.assess(s.now, s.deadline, s.depth, s.replicas, s.max_batch,
+                       s.batch_timeout, s.batch_latency);
+    if (!d.degrade) continue;
+    ++degraded_seen;
+    // Degraded admits imply the full-quality prediction missed.
+    const SimTime full = AdmissionController::predict(
+        s.now, s.depth, s.replicas, s.max_batch, s.batch_timeout,
+        s.batch_latency);
+    EXPECT_GT(full, s.deadline);
+    EXPECT_TRUE(d.admit);
+  }
+  EXPECT_GT(degraded_seen, 0) << "fuzz never exercised the degrade path";
+}
+
+TEST(Admission, PredictionMonotoneInQueueDepth) {
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    const Scenario s = draw(rng);
+    if (s.replicas == 0) continue;
+    const SimTime shallow = AdmissionController::predict(
+        s.now, s.depth, s.replicas, s.max_batch, s.batch_timeout,
+        s.batch_latency);
+    const SimTime deeper = AdmissionController::predict(
+        s.now, s.depth + static_cast<std::size_t>(s.max_batch) * 4,
+        s.replicas, s.max_batch, s.batch_timeout, s.batch_latency);
+    EXPECT_GE(deeper, shallow);
+  }
+}
+
+TEST(Admission, NoReplicasMeansNoCapacity) {
+  const SimTime p = AdmissionController::predict(0, 0, 0, 16, 10 * kMsec,
+                                                 50 * kMsec);
+  EXPECT_EQ(p, kMaxPrediction);
+  // kShed therefore rejects everything while capacity is zero.
+  const AdmissionController shed(AdmissionPolicy::kShed, 0.35);
+  EXPECT_FALSE(
+      shed.assess(0, kHour, 0, 0, 16, 10 * kMsec, 50 * kMsec).admit);
+}
+
+}  // namespace
+}  // namespace knots::serve

@@ -1,0 +1,137 @@
+// Workload-builder contract: BatchJobSpec/ServiceSpec produce the same pods
+// the examples used to hand-roll, with the overprovision factor as a named
+// knob instead of a magic constant, and WorkloadSpec emits the sorted,
+// densely-id'd vector Cluster::load requires.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/arrival.hpp"
+#include "workload/rodinia.hpp"
+#include "workload/workload_spec.hpp"
+
+namespace knots::workload {
+namespace {
+
+TEST(BatchJobSpec, RequestIsPeakTimesNamedHeadroom) {
+  const auto pod = BatchJobSpec(RodiniaApp::kKmeans)
+                       .time_scale(30.0)
+                       .cycles(4)
+                       .memory_headroom(1.5)
+                       .arrival(3 * kSec)
+                       .build();
+  EXPECT_EQ(pod.klass, PodClass::kBatch);
+  EXPECT_EQ(pod.arrival, 3 * kSec);
+  EXPECT_FALSE(pod.tf_greedy);
+  EXPECT_DOUBLE_EQ(pod.requested_mb, pod.profile.peak_memory_mb() * 1.5);
+}
+
+TEST(BatchJobSpec, DefaultHeadroomIsTheOldMagicConstant) {
+  // The examples used to hard-code `peak * 1.8`; the builder's default must
+  // reproduce it so migrated examples behave identically.
+  EXPECT_DOUBLE_EQ(kDefaultMemoryHeadroom, 1.8);
+  const auto pod = BatchJobSpec(RodiniaApp::kLud).build();
+  EXPECT_DOUBLE_EQ(pod.requested_mb,
+                   pod.profile.peak_memory_mb() * kDefaultMemoryHeadroom);
+}
+
+TEST(BatchJobSpec, RequestIsCappedAtDeviceFraction) {
+  const double device_mb = 1024.0;
+  const auto pod = BatchJobSpec(RodiniaApp::kPathfinder)
+                       .memory_headroom(1e6)  // absurd overstatement
+                       .cap_device_mb(device_mb)
+                       .build();
+  EXPECT_DOUBLE_EQ(pod.requested_mb, device_mb * kRequestCapFraction);
+}
+
+TEST(ServiceSpec, QueryPodCarriesQosFloor) {
+  // A 1 us budget is unmeetable; the §V-B floor lifts it to
+  // 3/2 * uncontended latency + 30 ms.
+  const auto pod =
+      ServiceSpec(Service::kFace).batch(8).qos_target(1).build();
+  EXPECT_EQ(pod.klass, PodClass::kLatencyCritical);
+  EXPECT_EQ(pod.batch_size, 8);
+  const SimTime floor =
+      3 * inference_latency(Service::kFace, 8) / 2 + 30 * kMsec;
+  EXPECT_EQ(pod.qos_latency, floor);
+}
+
+TEST(ServiceSpec, ExactQosBypassesTheFloor) {
+  const auto pod = ServiceSpec(Service::kImc).batch(4).qos(7 * kMsec).build();
+  EXPECT_EQ(pod.qos_latency, 7 * kMsec);
+}
+
+TEST(ServiceSpec, TfGreedyEarmarksTheDevice) {
+  const double device_mb = 16384.0;
+  const auto greedy =
+      ServiceSpec(Service::kImc).batch(4).tf_greedy(device_mb).build();
+  EXPECT_TRUE(greedy.tf_greedy);
+  EXPECT_DOUBLE_EQ(greedy.requested_mb, tf_managed_memory_mb(device_mb));
+
+  const auto sized =
+      ServiceSpec(Service::kImc).batch(4).memory_headroom(1.25).build();
+  EXPECT_FALSE(sized.tf_greedy);
+  EXPECT_DOUBLE_EQ(sized.requested_mb,
+                   inference_memory_mb(Service::kImc, 4) * 1.25);
+}
+
+TEST(ServiceSpec, ReplicaIsALongRunningServicePod) {
+  const SimTime lifetime = 30 * kSec;
+  const auto pod =
+      ServiceSpec(Service::kKey).batch(16).replica(lifetime);
+  EXPECT_EQ(pod.klass, PodClass::kService);
+  EXPECT_GE(pod.profile.total_duration(), lifetime);
+  EXPECT_NE(pod.app.find("replica"), std::string::npos);
+}
+
+TEST(WorkloadSpec, BuildSortsAndDenselyIds) {
+  WorkloadSpec spec;
+  spec.add(BatchJobSpec(RodiniaApp::kKmeans).arrival(9 * kSec).build());
+  spec.add(BatchJobSpec(RodiniaApp::kLud).arrival(1 * kSec).build());
+  spec.add(ServiceSpec(Service::kImc).arrival(5 * kSec).build());
+  auto pods = spec.build();
+  ASSERT_EQ(pods.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      pods.begin(), pods.end(),
+      [](const auto& a, const auto& b) { return a.arrival < b.arrival; }));
+  for (std::size_t i = 0; i < pods.size(); ++i) {
+    EXPECT_EQ(pods[i].id.value, static_cast<std::int32_t>(i));
+  }
+}
+
+TEST(WorkloadSpec, StreamOwnsArrivalTimes) {
+  WorkloadSpec spec;
+  spec.stream(PoissonArrivals(50.0), 10 * kSec, Rng(3),
+              [](SimTime) {
+                // The factory's own arrival is ignored: the stream stamps it.
+                return BatchJobSpec(RodiniaApp::kPathfinder).arrival(999).build();
+              });
+  auto pods = spec.build();
+  ASSERT_GT(pods.size(), 0u);
+  for (const auto& p : pods) {
+    EXPECT_NE(p.arrival, 999);
+    EXPECT_GT(p.arrival, 0);
+    EXPECT_LT(p.arrival, 10 * kSec);
+  }
+}
+
+TEST(WorkloadSpec, StreamIsDeterministic) {
+  const auto make = [] {
+    WorkloadSpec spec;
+    spec.stream(AlibabaArrivals(100 * kMsec), 10 * kSec, Rng(5),
+                [](SimTime t) {
+                  return ServiceSpec(Service::kFace).arrival(t).build();
+                });
+    return spec.build();
+  };
+  const auto a = make();
+  const auto b = make();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].app, b[i].app);
+  }
+}
+
+}  // namespace
+}  // namespace knots::workload
