@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "core/table.hpp"
 #include "knots/experiment.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 
 namespace {
@@ -209,8 +210,14 @@ int main(int argc, char** argv) {
                  "node-ticks/s", "events/s", "vs 10-node"});
 
   double baseline = 0;
+  std::uint64_t digest_1000 = 0;
+  SimTime window_1000 = 0;
   for (const ScalePoint& pt : points) {
     const ScaleResult r = run_point(pt, 1);
+    if (r.nodes == 1000) {
+      digest_1000 = r.digest;
+      window_1000 = pt.window;
+    }
     const double nts = node_ticks_per_sec(r);
     if (r.nodes == 10) baseline = nts;
     const double speedup = baseline > 0 ? nts / baseline : 0.0;
@@ -232,6 +239,32 @@ int main(int argc, char** argv) {
                     {"speedup_vs_10node", speedup}});
   }
   table.print(std::cout);
+
+  // Inert-fabric law at scale: a zero-latency fabric on the 1k-node point
+  // must reproduce the fabric-free digest bit-for-bit — the per-node
+  // topology bookkeeping may cost a little wall time but never semantics.
+  {
+    ExperimentConfig cfg = scale_config(1000, 1, window_1000);
+    cfg.cluster.fabric = net::FabricPlan::zero_latency(1000);
+    const auto t0 = std::chrono::steady_clock::now();
+    const ExperimentReport r = run_experiment(cfg);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    if (r.run_digest != digest_1000) {
+      std::cerr << "bench_scale: inert fabric changed the 1k-node digest\n";
+      return 1;
+    }
+    const double nts =
+        wall > 0 ? static_cast<double>(r.ticks) * 1000 / wall : 0.0;
+    std::cout << "1k-node inert-fabric point: digest match, "
+              << fmt(nts, 1) << " node-ticks/s\n";
+    session.record("e2e_1000node_inert_fabric",
+                   {{"nodes", 1000},
+                    {"wall_seconds", wall},
+                    {"node_ticks_per_sec", nts},
+                    {"digest_match", 1.0}});
+  }
 
   // Phase breakdown only when a machine-readable report was asked for —
   // the extra instrumented run is not free on the headline path.

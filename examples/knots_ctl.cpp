@@ -35,6 +35,7 @@
 #include "core/table.hpp"
 #include "dlsim/dl_report.hpp"
 #include "knots/experiment.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/serving.hpp"
@@ -48,6 +49,7 @@ constexpr const char* kUsage =
     "usage: knots_ctl <command> [--flag value]...\n"
     "  run    --mix N --scheduler NAME --duration SECS [--nodes N] [--gpus N]\n"
     "         [--lanes N] [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
+    "         [--fabric auto|zero] [--link-down NAME@T[:D]]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--lanes N]\n"
     "         [--seed N]\n"
@@ -59,6 +61,7 @@ constexpr const char* kUsage =
     "  dlsim  [--mix N] [--dlt N] [--dli N]           (compare all policies)\n"
     "  dlsim  --dl NAME [--mix N] [--dlt N] [--dli N] [--nodes N] [--gpus N]\n"
     "         [--lanes N] [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
+    "         [--fabric auto|zero] [--link-down NAME@T[:D]] [--allreduce MB]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  list\n";
 
@@ -171,6 +174,54 @@ std::optional<fault::FaultPlan> crash_plan_from_flags(
   return std::nullopt;
 }
 
+/// Resolves `--fabric auto|zero` against the final node count. Missing flag
+/// → empty plan (fabric-free run); unknown mode → nullopt after a message.
+std::optional<net::FabricPlan> fabric_plan_from_flags(
+    const std::map<std::string, std::string>& flags, int nodes) {
+  const auto it = flags.find("fabric");
+  if (it == flags.end()) return net::FabricPlan{};
+  if (it->second == "auto") return net::FabricPlan::auto_derive(nodes);
+  if (it->second == "zero") return net::FabricPlan::zero_latency(nodes);
+  std::cerr << "knots_ctl: flag '--fabric' expects auto|zero, got '"
+            << it->second << "'\n";
+  return std::nullopt;
+}
+
+/// Parses `--link-down NAME@T[:D]` into `plan`. The named link must exist
+/// on the (non-empty) fabric — CLI-side pre-check, because FaultPlan's own
+/// validation aborts rather than exiting 2. Missing flag → no-op.
+bool add_link_down(const std::map<std::string, std::string>& flags,
+                   const net::FabricPlan& fabric, fault::FaultPlan& plan) {
+  const auto it = flags.find("link-down");
+  if (it == flags.end()) return true;
+  const std::string& spec = it->second;
+  const auto at_pos = spec.find('@');
+  if (at_pos != std::string::npos && at_pos > 0) {
+    const std::string link = spec.substr(0, at_pos);
+    const std::string rest = spec.substr(at_pos + 1);
+    const auto colon = rest.find(':');
+    const auto at = parse_int(rest.substr(0, colon));
+    std::optional<long long> down_for = 0;
+    if (colon != std::string::npos) down_for = parse_int(rest.substr(colon + 1));
+    if (at && down_for && *at >= 0 && *down_for >= 0) {
+      if (fabric.empty()) {
+        std::cerr << "knots_ctl: --link-down requires --fabric\n";
+        return false;
+      }
+      if (!fabric.has_link(link)) {
+        std::cerr << "knots_ctl: --link-down names unknown link '" << link
+                  << "'\n";
+        return false;
+      }
+      plan.link_down(link, *at * kSec, *down_for * kSec);
+      return true;
+    }
+  }
+  std::cerr << "knots_ctl: --link-down expects NAME@T[:D], got '" << spec
+            << "'\n";
+  return false;
+}
+
 std::optional<ExperimentConfig> config_from_flags(
     const std::map<std::string, std::string>& flags) {
   ExperimentConfig::Builder builder;
@@ -209,8 +260,14 @@ std::optional<ExperimentConfig> config_from_flags(
   }
   builder.scheduler(sched::scheduler_from_name(sched_name));
 
-  const auto plan = crash_plan_from_flags(flags);
+  const int effective_nodes = *nodes >= 0 ? static_cast<int>(*nodes) : 10;
+  const auto fabric = fabric_plan_from_flags(flags, effective_nodes);
+  if (!fabric) return std::nullopt;
+  if (!fabric->empty()) builder.fabric(*fabric);
+
+  auto plan = crash_plan_from_flags(flags);
   if (!plan) return std::nullopt;
+  if (!add_link_down(flags, *fabric, *plan)) return std::nullopt;
   if (!plan->events.empty()) builder.faults(*plan);
   return builder.build();
 }
@@ -227,6 +284,13 @@ void print_report(const ExperimentReport& r) {
   if (r.node_crashes > 0 || r.pods_evicted > 0) {
     table.row({"node crashes", std::to_string(r.node_crashes)});
     table.row({"pods evicted", std::to_string(r.pods_evicted)});
+  }
+  if (r.flows_started > 0 || r.link_events > 0) {
+    table.row({"fabric flows (contended)",
+               std::to_string(r.flows_finished) + "/" +
+                   std::to_string(r.flows_started) + " (" +
+                   std::to_string(r.flows_contended) + ")"});
+    table.row({"fabric MB moved", fmt(r.mb_transferred, 0)});
   }
   table.row({"util p50 %", fmt(r.cluster_wide.p50, 1)});
   table.row({"util p99 %", fmt(r.cluster_wide.p99, 1)});
@@ -534,6 +598,23 @@ int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   cluster.gpus_per_node = static_cast<int>(*gpus);
   cluster.lanes = static_cast<int>(*lanes);
 
+  const auto fabric = fabric_plan_from_flags(flags, cluster.nodes);
+  if (!fabric) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  cluster.fabric = *fabric;
+  const auto allreduce = double_flag(flags, "allreduce", 0.0);
+  if (!allreduce || *allreduce < 0.0) {
+    if (allreduce) {
+      std::cerr << "knots_ctl: flag '--allreduce' expects MB >= 0, got '"
+                << flags.at("allreduce") << "'\n";
+    }
+    std::cerr << kUsage;
+    return 2;
+  }
+  cluster.allreduce_mb_per_step = *allreduce;
+
   if (flags.count("dl") == 0) {
     // Classic 4-way comparison (Fig 12); observability flags need --dl.
     const auto results = dlsim::run_all_policies(cluster, wl);
@@ -551,8 +632,8 @@ int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   }
 
   dlsim::DlRunOptions options;
-  const auto plan = crash_plan_from_flags(flags);
-  if (!plan) {
+  auto plan = crash_plan_from_flags(flags);
+  if (!plan || !add_link_down(flags, *fabric, *plan)) {
     std::cerr << kUsage;
     return 2;
   }
@@ -612,7 +693,8 @@ int main(int argc, char** argv) {
   static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       {"run",
        {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
-        "csv", "crash-node", "trace", "trace-bin", "metrics-out"}},
+        "csv", "crash-node", "fabric", "link-down", "trace", "trace-bin",
+        "metrics-out"}},
       {"sweep",
        {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed"}},
       {"serve",
@@ -621,7 +703,8 @@ int main(int argc, char** argv) {
         "trace", "trace-bin", "metrics-out"}},
       {"dlsim",
        {"mix", "dlt", "dli", "dl", "nodes", "gpus", "lanes", "duration",
-        "seed", "crash-node", "trace", "trace-bin", "metrics-out"}},
+        "seed", "crash-node", "fabric", "link-down", "allreduce", "trace",
+        "trace-bin", "metrics-out"}},
       {"list", {}},
   };
   const auto allowed = kAllowedFlags.find(cmd);

@@ -80,11 +80,59 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
     agg_lanes.push_back(static_cast<std::uint32_t>(shard_.lane_of(n)));
   }
   aggregator_.set_lane_partition(std::move(agg_lanes), lanes);
+
+  if (!config_.fabric.empty()) {
+    fabric_ = std::make_unique<net::Fabric>(config_.fabric, config_.nodes);
+    fabric_->bind(&sim_);
+    fabric_->set_observer(this);
+  }
 }
 
 void Cluster::set_fault_plan(fault::FaultPlan plan) {
-  plan.validate(config_.nodes);
+  plan.validate(config_.nodes,
+                fabric_ ? fabric_->link_names() : std::vector<std::string>{});
   fault_plan_ = std::move(plan);
+}
+
+// Fabric events fan out through the cluster observer chain (digest, audit)
+// and the trace. The fabric only fires these while non-inert, so inert runs
+// stay bit-identical to fabric-free ones.
+void Cluster::on_flow_start(std::uint64_t flow, net::FlowKind kind,
+                            int src_node, int dst_node, double mb,
+                            SimTime /*now*/) {
+  for (auto* o : observers_) {
+    o->on_flow_start(*this, flow, static_cast<int>(kind), src_node, dst_node,
+                     mb);
+  }
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kFlowStart,
+                   static_cast<std::int32_t>(flow), dst_node, mb,
+                   net::to_string(kind));
+  }
+}
+
+void Cluster::on_flow_finish(std::uint64_t flow, net::FlowKind kind,
+                             bool contended, SimTime /*now*/) {
+  for (auto* o : observers_) o->on_flow_finish(*this, flow, contended);
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kFlowFinish,
+                   static_cast<std::int32_t>(flow), contended ? 1 : 0, 0.0,
+                   net::to_string(kind));
+  }
+}
+
+void Cluster::on_link_state(std::size_t link, bool up, SimTime /*now*/) {
+  for (auto* o : observers_) {
+    if (up) {
+      o->on_link_up(*this, link);
+    } else {
+      o->on_link_down(*this, link);
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->record(now(), up ? EventKind::kLinkUp : EventKind::kLinkDown,
+                   static_cast<std::int32_t>(link));
+  }
 }
 
 void Cluster::load(std::vector<workload::PodSpec> specs) {
@@ -212,6 +260,28 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
                    provisioned_mb);
   }
   if (placements_counter_ != nullptr) placements_counter_->inc();
+
+  // Cold pulls on a live fabric are real registry→node flows: readiness is
+  // gated on the transfer landing (never earlier than the base cold-start).
+  // The callback guards against the pod having moved on — an eviction or
+  // crash mid-pull invalidates the transfer.
+  if (!cached && fabric_active() && config_.image_mb > 0) {
+    p.set_ready_at(kNever);
+    const SimTime floor_ready = now() + start_latency;
+    const int restarts = p.crash_count() + p.evict_count();
+    fabric_->start_flow(
+        net::FlowKind::kImagePull, net::Fabric::kRegistry,
+        static_cast<int>(node_idx), config_.image_mb,
+        [this, id, gpu_id, floor_ready, restarts](SimTime t) {
+          auto& pod_ref = *pods_[static_cast<std::size_t>(id.value)];
+          if (pod_ref.state() != PodState::kStarting) return;
+          if (pod_ref.gpu() != gpu_id) return;
+          if (pod_ref.crash_count() + pod_ref.evict_count() != restarts) {
+            return;
+          }
+          pod_ref.set_ready_at(std::max(floor_ready, t));
+        });
+  }
   return true;
 }
 
@@ -411,6 +481,38 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
           }
         }
       });
+      break;
+    }
+    case fault::FaultKind::kLinkDown:
+    case fault::FaultKind::kLinkDegrade: {
+      // set_fault_plan already validated the name against the fabric.
+      KNOTS_CHECK_MSG(fabric_ != nullptr,
+                      "link fault installed without a fabric");
+      const auto link = fabric_->link_index(event.link);
+      KNOTS_CHECK_MSG(link.has_value(), "link fault names an unknown link");
+      const bool hard = event.kind == fault::FaultKind::kLinkDown;
+      if (hard) {
+        fabric_->set_link_down(*link);
+      } else {
+        fabric_->degrade_link(*link, event.severity);
+      }
+      fault_feed_.push_back({now(), event.kind, event.node, false});
+      if (event.duration > 0) {
+        sim_.schedule_after(
+            event.duration, [this, l = *link, hard, kind = event.kind] {
+              if (hard) {
+                fabric_->set_link_up(l);
+              } else {
+                fabric_->restore_link(l);
+              }
+              fault_feed_.push_back({now(), kind, NodeId{}, true});
+              if (trace_ != nullptr) {
+                trace_->record(now(), EventKind::kFaultRecover,
+                               static_cast<std::int32_t>(l), -1, 0.0,
+                               fault::to_string(kind));
+              }
+            });
+      }
       break;
     }
   }

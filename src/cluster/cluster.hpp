@@ -27,6 +27,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "gpu/gpu_node.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/shard.hpp"
@@ -79,11 +80,18 @@ struct ClusterConfig {
   /// are unchanged as long as it covers the widest scheduler lookback
   /// window (window / tick samples; 500 at the defaults).
   std::size_t telemetry_retention = 65536;
+  /// Optional datacenter fabric (empty = no fabric — the historical model
+  /// where transfers are free). A non-inert fabric charges cold image pulls
+  /// as real registry→node flows, stretching pod startup under contention.
+  net::FabricPlan fabric{};
+  /// Container image size a cold pull transfers over the fabric. Ignored
+  /// without a (non-inert) fabric.
+  double image_mb = 2048.0;
 };
 
 enum class NodeHealth { kHealthy, kDown };
 
-class Cluster {
+class Cluster : private net::FabricObserver {
  public:
   Cluster(const ClusterConfig& config, Scheduler& scheduler);
 
@@ -188,6 +196,17 @@ class Cluster {
     return fault_plan_;
   }
 
+  // ---- Fabric API ----
+  /// The live fabric, or nullptr when the config declared none.
+  [[nodiscard]] const net::Fabric* fabric() const noexcept {
+    return fabric_.get();
+  }
+  /// True when pulls/migrations are actually charged on a fabric (a fabric
+  /// exists and is not inert).
+  [[nodiscard]] bool fabric_active() const noexcept {
+    return fabric_ != nullptr && !fabric_->inert();
+  }
+
   // ---- Mutation API (schedulers) ----
   /// Places a pending pod on a GPU with the given container allocation.
   /// Removes it from the pending queue; start latency depends on whether the
@@ -235,6 +254,13 @@ class Cluster {
   void set_metrics_registry(obs::MetricsRegistry* registry);
 
  private:
+  // -- net::FabricObserver (fabric events fan out to cluster observers) --
+  void on_flow_start(std::uint64_t flow, net::FlowKind kind, int src_node,
+                     int dst_node, double mb, SimTime now) override;
+  void on_flow_finish(std::uint64_t flow, net::FlowKind kind, bool contended,
+                      SimTime now) override;
+  void on_link_state(std::size_t link, bool up, SimTime now) override;
+
   void on_arrival(PodId id);
   void tick();
   void advance_running_pods();
@@ -330,6 +356,7 @@ class Cluster {
   std::set<std::pair<std::size_t, std::string>> image_cache_;
   std::vector<SimTime> gpu_last_busy_;
   std::vector<ClusterObserver*> observers_;
+  std::unique_ptr<net::Fabric> fabric_;  ///< null when config_.fabric empty
   fault::FaultPlan fault_plan_;
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<fault::FaultNotice> fault_feed_;

@@ -7,6 +7,8 @@
 // accumulate run digests without the cluster depending on it.
 #pragma once
 
+#include <cstdint>
+
 #include "core/types.hpp"
 
 namespace knots::cluster {
@@ -47,6 +49,26 @@ class ClusterObserver {
 
   /// An idle GPU was parked into deep sleep.
   virtual void on_park(const Cluster& /*cluster*/, GpuId /*gpu*/) {}
+
+  /// A fabric flow started (image pull, migration…). `kind` is the
+  /// net::FlowKind as an int so observers stay independent of knots::net;
+  /// `src_node` is -1 when the source is the image registry at the spine.
+  virtual void on_flow_start(const Cluster& /*cluster*/,
+                             std::uint64_t /*flow*/, int /*kind*/,
+                             int /*src_node*/, int /*dst_node*/,
+                             double /*mb*/) {}
+
+  /// A fabric flow delivered its last byte. `contended` marks flows that
+  /// ever ran below their path's bottleneck capacity.
+  virtual void on_flow_finish(const Cluster& /*cluster*/,
+                              std::uint64_t /*flow*/, bool /*contended*/) {}
+
+  /// A fabric link lost capacity (hard down or degrade).
+  virtual void on_link_down(const Cluster& /*cluster*/,
+                            std::size_t /*link*/) {}
+
+  /// A fabric link was restored to full capacity.
+  virtual void on_link_up(const Cluster& /*cluster*/, std::size_t /*link*/) {}
 
   /// End of one scheduling tick: progress, telemetry, the scheduling round
   /// and parking have all run; the cluster is in a consistent rest state.

@@ -80,6 +80,9 @@ class Pod {
   void begin_start(GpuId gpu, double provisioned_mb, SimTime now,
                    SimTime ready_at);
   [[nodiscard]] SimTime ready_at() const noexcept { return ready_at_; }
+  /// Moves the start deadline of a kStarting pod (fabric image pulls gate
+  /// readiness on the transfer finishing instead of a fixed latency).
+  void set_ready_at(SimTime ready_at) noexcept { ready_at_ = ready_at; }
   void begin_running(SimTime now);
   /// Advances virtual application time by `dt` of delivered GPU time.
   void advance(SimTime dt);

@@ -1,6 +1,7 @@
 #include "dlsim/dl_cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 
 #include "core/check.hpp"
@@ -15,8 +16,11 @@ using Tag = verify::RunDigest::Tag;
 
 std::vector<std::string> dl_policy_names() {
   std::vector<std::string> names;
-  names.reserve(kDlPolicyNames.size());
+  names.reserve(kDlPolicyNames.size() + 1);
   for (std::string_view name : kDlPolicyNames) names.emplace_back(name);
+  // Registered policies beyond the canonical report quartet (kDlPolicyNames
+  // drives run_all_policies' fixed report layout; the CLI lists everything).
+  names.emplace_back("cbp-local");
   return names;
 }
 
@@ -49,6 +53,11 @@ DlEngine::DlEngine(const DlClusterConfig& config, DlScheduler& policy,
   paused_until_.assign(devices_.size(), 0);
   deadline_ = 3 * horizon_;
   view_ = std::make_unique<DlSchedView>(*this);
+  if (!cfg_.fabric.empty()) {
+    fabric_ = std::make_unique<net::Fabric>(cfg_.fabric, cfg_.nodes);
+    fabric_->bind(&sim_);
+    fabric_->set_observer(this);
+  }
 }
 
 DlEngine::~DlEngine() = default;
@@ -63,8 +72,19 @@ void DlEngine::load(const DlWorkload& workload) {
 }
 
 void DlEngine::set_fault_plan(const fault::FaultPlan& plan) {
-  plan.validate(cfg_.nodes);
+  plan.validate(cfg_.nodes,
+                fabric_ ? fabric_->link_names() : std::vector<std::string>{});
   plan_ = plan;
+}
+
+void DlEngine::on_link_state(std::size_t link, bool up, SimTime now) {
+  digest_.begin_record(up ? Tag::kLinkUp : Tag::kLinkDown, now);
+  digest_.mix_u64(static_cast<std::uint64_t>(link));
+  if (trace_ != nullptr) {
+    trace_->record(now,
+                   up ? obs::EventKind::kLinkUp : obs::EventKind::kLinkDown,
+                   static_cast<std::int32_t>(link));
+  }
 }
 
 void DlEngine::pause_gpu(std::size_t g, SimTime until) {
@@ -182,6 +202,36 @@ void DlEngine::migrate(int job_id, std::size_t from, std::size_t to) {
     trace_->record(t, obs::EventKind::kPlace, job_id,
                    static_cast<std::int32_t>(to), cfg_.job_memory_mb);
   }
+  // Cross-node migrations on a live fabric drag the checkpoint over the
+  // network: the target GPU stays paused for the analytic (uncontended)
+  // transfer time on top of whatever pause the policy already charged. The
+  // charge is folded as a flow record so digests distinguish topology-aware
+  // from free migrations.
+  const int src_node = node_of(from).value;
+  const int dst_node = node_of(to).value;
+  if (fabric_active() && cfg_.checkpoint_mb > 0 && src_node != dst_node) {
+    SimTime xfer = fabric_->transfer_time(src_node, dst_node,
+                                          cfg_.checkpoint_mb);
+    if (xfer == kNever) xfer = kHour;  // path down: harsh but finite stall
+    pause_gpu(to, t + xfer);
+    const std::uint64_t flow = ++flow_seq_;
+    digest_.begin_record(Tag::kFlowStart, t);
+    digest_.mix_u64(flow);
+    digest_.mix_u64(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(dst_node)));
+    digest_.mix_double(cfg_.checkpoint_mb);
+    digest_.begin_record(Tag::kFlowFinish, t);
+    digest_.mix_u64(flow);
+    if (trace_ != nullptr) {
+      trace_->record(t, obs::EventKind::kFlowStart,
+                     static_cast<std::int32_t>(flow), dst_node,
+                     cfg_.checkpoint_mb,
+                     net::to_string(net::FlowKind::kMigration));
+      trace_->record(t, obs::EventKind::kFlowFinish,
+                     static_cast<std::int32_t>(flow), 0, 0.0,
+                     net::to_string(net::FlowKind::kMigration));
+    }
+  }
 }
 
 void DlEngine::crash_job(int job_id) {
@@ -249,6 +299,7 @@ bool DlEngine::tick(SimTime t) {
   }
   schedule_round();
   fault_feed_.clear();
+  refresh_comm_factors();
   advance_jobs(t);
   serve_queries(t);
 
@@ -269,7 +320,10 @@ double DlEngine::job_speed(const DltJob& job, SimTime t,
                            bool fault_effects) const {
   // Progress: time-sliced GPUs deliver 1/k to each resident; a gang runs
   // at the slowest of its GPUs; paused GPUs deliver nothing; a PCIe stall
-  // on the hosting node divides what remains.
+  // on the hosting node divides what remains. Multi-GPU gangs on a live
+  // fabric additionally pay the per-step all-reduce (comm_factor_, a
+  // read-only snapshot refresh_comm_factors built serially this tick, so
+  // lane-parallel callers never race).
   double speed = 1.0;
   for (int g : job.placed_gpus) {
     const auto gi = static_cast<std::size_t>(g);
@@ -281,7 +335,46 @@ double DlEngine::job_speed(const DltJob& job, SimTime t,
     if (fault_effects) s /= injector_.pcie_slowdown(node_of(gi), t);
     speed = std::min(speed, s);
   }
+  if (!comm_factor_.empty()) {
+    speed *= comm_factor_[static_cast<std::size_t>(job.id)];
+  }
   return speed;
+}
+
+void DlEngine::refresh_comm_factors() {
+  if (!fabric_active() || cfg_.allreduce_mb_per_step <= 0) {
+    comm_factor_.clear();
+    return;
+  }
+  comm_factor_.assign(jobs_.size(), 1.0);
+  gang_routes_scratch_.clear();
+  gang_jobs_scratch_.clear();
+  for (std::size_t j = 0; j < jobs_.size(); ++j) {
+    const DltJob& job = jobs_[j];
+    if (!job.running || job.done() || job.placed_gpus.size() < 2) continue;
+    gang_nodes_scratch_.clear();
+    for (int g : job.placed_gpus) {
+      gang_nodes_scratch_.push_back(node_of(static_cast<std::size_t>(g)).value);
+    }
+    gang_routes_scratch_.push_back(fabric_->gang_route(gang_nodes_scratch_));
+    gang_jobs_scratch_.push_back(j);
+  }
+  if (gang_jobs_scratch_.empty()) return;
+  // One joint max-min share across every active gang: concurrent gangs on a
+  // shared uplink or spine squeeze each other, exactly like flows do.
+  const std::vector<double> rates = fabric_->stream_rates(gang_routes_scratch_);
+  const double step_sec = to_seconds(cfg_.step);
+  for (std::size_t i = 0; i < gang_jobs_scratch_.size(); ++i) {
+    const double rate = rates[i];
+    double factor = 1.0;
+    if (rate <= 0.0) {
+      factor = 0.0;  // path down: the gang stalls until the link recovers
+    } else if (!std::isinf(rate)) {
+      const double comm_sec = cfg_.allreduce_mb_per_step / rate;
+      factor = step_sec / (step_sec + comm_sec);
+    }
+    comm_factor_[gang_jobs_scratch_[i]] = factor;
+  }
 }
 
 void DlEngine::advance_jobs(SimTime t) {
@@ -379,6 +472,40 @@ void DlEngine::apply_fault(const fault::FaultEvent& event) {
       fault_feed_.push_back(
           fault::FaultNotice{sim_.now(), event.kind, event.node, false});
       break;
+    case fault::FaultKind::kLinkDown:
+    case fault::FaultKind::kLinkDegrade: {
+      // set_fault_plan already validated the name against the fabric.
+      KNOTS_CHECK_MSG(fabric_ != nullptr,
+                      "link fault installed without a fabric");
+      const auto link = fabric_->link_index(event.link);
+      KNOTS_CHECK_MSG(link.has_value(), "link fault names an unknown link");
+      const bool hard = event.kind == fault::FaultKind::kLinkDown;
+      if (hard) {
+        fabric_->set_link_down(*link);
+      } else {
+        fabric_->degrade_link(*link, event.severity);
+      }
+      fault_feed_.push_back(
+          fault::FaultNotice{sim_.now(), event.kind, event.node, false});
+      if (event.duration > 0) {
+        sim_.schedule_after(
+            event.duration, [this, l = *link, hard, kind = event.kind] {
+              if (hard) {
+                fabric_->set_link_up(l);
+              } else {
+                fabric_->restore_link(l);
+              }
+              fault_feed_.push_back(
+                  fault::FaultNotice{sim_.now(), kind, NodeId{}, true});
+              if (trace_ != nullptr) {
+                trace_->record(sim_.now(), obs::EventKind::kFaultRecover,
+                               static_cast<std::int32_t>(l), -1, 0.0,
+                               fault::to_string(kind));
+              }
+            });
+      }
+      break;
+    }
   }
 }
 

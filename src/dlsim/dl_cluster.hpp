@@ -26,6 +26,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "gpu/gpu_node.hpp"
+#include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sim/shard.hpp"
@@ -76,6 +77,19 @@ struct DlClusterConfig {
   /// after the first completion of the tick (completions evict, changing
   /// the loads later jobs see). Any lane count is bit-identical to 1.
   int lanes = 1;
+
+  // -- Fabric (knots::net) --
+  /// Optional datacenter fabric. Empty = no fabric (communication-free, the
+  /// historical model). With a non-inert fabric and allreduce_mb_per_step
+  /// > 0, multi-node gangs pay a per-step gradient exchange at the max-min
+  /// fair rate of their shared links — packing a gang under one ToR beats
+  /// spreading it across the spine.
+  net::FabricPlan fabric{};
+  /// Gradient bytes each multi-node gang exchanges per training step.
+  double allreduce_mb_per_step = 0.0;
+  /// Checkpoint bytes a cross-node migration drags over the fabric (added
+  /// to migration_pause as real transfer time).
+  double checkpoint_mb = 0.0;
 };
 
 struct DliRecord {
@@ -124,7 +138,7 @@ struct DlRunOptions {
 /// The DL simulation engine: gpu::GpuNode topology + sim::Simulation event
 /// loop + fault::FaultInjector + verify::RunDigest. Owns all mutable run
 /// state; policies observe and mutate it through DlSchedView only.
-class DlEngine {
+class DlEngine : private net::FabricObserver {
  public:
   DlEngine(const DlClusterConfig& config, DlScheduler& policy,
            std::uint64_t seed);
@@ -237,11 +251,38 @@ class DlEngine {
     return injector_.stats();
   }
 
+  // -- Fabric queries --
+  /// The live fabric, or nullptr when the config declared none.
+  [[nodiscard]] const net::Fabric* fabric() const noexcept {
+    return fabric_.get();
+  }
+  /// True when gang all-reduce / migration traffic is actually charged.
+  [[nodiscard]] bool fabric_active() const noexcept {
+    return fabric_ != nullptr && !fabric_->inert();
+  }
+  /// ToR the node hangs off (0 without a fabric) — cbp-local's locality key.
+  [[nodiscard]] int tor_of(NodeId node) const {
+    return fabric_ ? fabric_->tor_of(node.value) : 0;
+  }
+  /// Communication efficiency factor the last tick computed for a job
+  /// (1 = communication-free; tests read this).
+  [[nodiscard]] double comm_factor(int job) const noexcept {
+    const auto j = static_cast<std::size_t>(job);
+    return j < comm_factor_.size() ? comm_factor_[j] : 1.0;
+  }
+
   /// Test helper: advances simulated time to `t` without running ticks.
   void advance_to(SimTime t);
 
  private:
+  // -- net::FabricObserver (link-state edges → digest/trace) --
+  void on_link_state(std::size_t link, bool up, SimTime now) override;
+
   bool tick(SimTime t);
+  /// Serial pre-advance pass: per-gang all-reduce efficiency factors from
+  /// the fabric's max-min stream rates. Empty vector = all 1.0 (no fabric
+  /// or no all-reduce traffic); lanes read it concurrently in job_speed.
+  void refresh_comm_factors();
   void apply_fault(const fault::FaultEvent& event);
   void recover_node(NodeId node_id);
   void crash_node(const fault::FaultEvent& event);
@@ -286,6 +327,13 @@ class DlEngine {
 
   std::unique_ptr<sim::LaneExecutor> lane_exec_;  ///< null when lanes == 1
   std::vector<SimTime> delta_scratch_;  ///< per-job precomputed progress
+
+  std::unique_ptr<net::Fabric> fabric_;  ///< null when cfg_.fabric empty
+  std::vector<double> comm_factor_;      ///< per-job, see refresh_comm_factors
+  std::vector<int> gang_nodes_scratch_;
+  std::vector<std::vector<int>> gang_routes_scratch_;
+  std::vector<std::size_t> gang_jobs_scratch_;
+  std::uint64_t flow_seq_ = 0;  ///< Migration-charge flow ids (digest/trace).
 
   std::uint64_t jobs_evicted_ = 0;
   std::uint64_t capacity_crashes_ = 0;
@@ -336,6 +384,12 @@ class DlSchedView final : public cluster::ContextExtension {
   [[nodiscard]] std::size_t first_serviceable_gpu() const {
     return engine_.first_serviceable_gpu();
   }
+  [[nodiscard]] NodeId node_of(std::size_t g) const {
+    return engine_.node_of(g);
+  }
+  /// ToR of a node (0 for every node without a fabric) — the locality key
+  /// cbp-local packs gangs by.
+  [[nodiscard]] int tor_of(NodeId node) const { return engine_.tor_of(node); }
   bool place(int job, int count, int max_share = 1,
              const std::function<bool(std::size_t)>& eligible = nullptr) {
     return engine_.place(job, count, max_share, eligible);

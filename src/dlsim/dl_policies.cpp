@@ -290,6 +290,90 @@ SimTime CbpPpDlPolicy::serve_query(DlSchedView& view, const DliQuery& query) {
        cfg.dli_blocking * static_cast<double>(std::max(1, view.load(gpu)))));
 }
 
+// ------------------------------------------------------------- CBP-Local --
+
+bool CbpLocalDlPolicy::place_local(DlSchedView& view, int job, int gang) {
+  const DlClusterConfig& cfg = view.config();
+  const std::size_t gpu_count = view.gpu_count();
+  const auto nodes = static_cast<int>(
+      gpu_count / static_cast<std::size_t>(cfg.gpus_per_node));
+
+  // Serviceable-GPU census per node (exclusive placement: a candidate GPU
+  // is online, empty, unpaused and fits one trainer — view.place re-checks
+  // all of it, the census only ranks locality domains).
+  std::vector<int> node_free(static_cast<std::size_t>(nodes), 0);
+  for (std::size_t g = 0; g < gpu_count; ++g) {
+    if (view.gpu_serviceable(g)) {
+      ++node_free[static_cast<std::size_t>(view.node_of(g).value)];
+    }
+  }
+
+  // Pass 1: best-fit node — the fullest node that still holds the whole
+  // gang (ties: lowest index). Packing under one host keeps the all-reduce
+  // on NVLink and leaves big nodes free for big gangs.
+  int best_node = -1;
+  for (int n = 0; n < nodes; ++n) {
+    const int free = node_free[static_cast<std::size_t>(n)];
+    if (free < gang) continue;
+    if (best_node < 0 ||
+        free < node_free[static_cast<std::size_t>(best_node)]) {
+      best_node = n;
+    }
+  }
+  if (best_node >= 0 &&
+      view.place(job, gang, /*max_share=*/1, [&](std::size_t g) {
+        return view.node_of(g).value == best_node;
+      })) {
+    return true;
+  }
+
+  // Pass 2: best-fit ToR — same rule one tier up; the gang spans nodes but
+  // its gradient exchange stays under one switch.
+  int tors = 1;
+  for (int n = 0; n < nodes; ++n) {
+    tors = std::max(tors, view.tor_of(NodeId{n}) + 1);
+  }
+  std::vector<int> tor_free(static_cast<std::size_t>(tors), 0);
+  for (int n = 0; n < nodes; ++n) {
+    tor_free[static_cast<std::size_t>(view.tor_of(NodeId{n}))] +=
+        node_free[static_cast<std::size_t>(n)];
+  }
+  int best_tor = -1;
+  for (int t = 0; t < tors; ++t) {
+    const int free = tor_free[static_cast<std::size_t>(t)];
+    if (free < gang) continue;
+    if (best_tor < 0 || free < tor_free[static_cast<std::size_t>(best_tor)]) {
+      best_tor = t;
+    }
+  }
+  if (best_tor >= 0 &&
+      view.place(job, gang, /*max_share=*/1, [&](std::size_t g) {
+        return view.tor_of(view.node_of(g)) == best_tor;
+      })) {
+    return true;
+  }
+
+  // Pass 3: anywhere — exactly CBP+PP's placement.
+  return view.place(job, gang, /*max_share=*/1);
+}
+
+void CbpLocalDlPolicy::schedule(DlSchedView& view) {
+  // CBP+PP's FCFS-with-bounded-backfill admission, with the three-pass
+  // locality placement swapped in.
+  auto& pending = view.pending();
+  std::size_t scanned = 0;
+  for (auto it = pending.begin(); it != pending.end() && scanned < 64;
+       ++scanned) {
+    auto& job = view.job(*it);
+    if (place_local(view, *it, job.gpus)) {
+      job.running = true;
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void register_dl_schedulers() {
   static std::once_flag once;
   std::call_once(once, [] {
@@ -304,6 +388,9 @@ void register_dl_schedulers() {
     });
     sched::register_scheduler("cbp-pp", [](const sched::SchedParams&) {
       return std::make_unique<CbpPpDlPolicy>();
+    });
+    sched::register_scheduler("cbp-local", [](const sched::SchedParams&) {
+      return std::make_unique<CbpLocalDlPolicy>();
     });
   });
 }

@@ -92,16 +92,35 @@ class TiresiasDlPolicy final : public DlScheduler {
   SimTime last_quantum_ = -kHour;
 };
 
-class CbpPpDlPolicy final : public DlScheduler {
+class CbpPpDlPolicy : public DlScheduler {
  public:
   [[nodiscard]] std::string name() const override { return "CBP+PP"; }
   void schedule(DlSchedView& view) override;
   SimTime serve_query(DlSchedView& view, const DliQuery& query) override;
 };
 
-/// Registers the four DL policies in sched::registry under kDlPolicyNames.
-/// Idempotent and thread-safe; every dlsim entry point calls it, so any
-/// path that can construct a DL policy has the registry populated.
+/// CBP+PP with locality-aware gang packing on top (registry key
+/// "cbp-local"). Same FCFS-with-backfill admission and PP query path, but
+/// each gang is steered to the *smallest* node that holds it whole, then
+/// the smallest ToR, and only then placed anywhere (CBP+PP's behaviour).
+/// On a contended fabric (knots::net) the packed gang exchanges gradients
+/// over NVLink or a single ToR instead of dragging them across the spine —
+/// the pack-vs-spread JCT law pins the resulting ordering.
+class CbpLocalDlPolicy final : public CbpPpDlPolicy {
+ public:
+  [[nodiscard]] std::string name() const override { return "CBP-Local"; }
+  void schedule(DlSchedView& view) override;
+
+ private:
+  /// Three-pass locality placement for one job; mirrors view.place's
+  /// eligibility so a narrowed pass never succeeds where place would fail.
+  bool place_local(DlSchedView& view, int job, int gang);
+};
+
+/// Registers the DL policies in sched::registry (the canonical quartet of
+/// kDlPolicyNames plus "cbp-local"). Idempotent and thread-safe; every
+/// dlsim entry point calls it, so any path that can construct a DL policy
+/// has the registry populated.
 void register_dl_schedulers();
 
 }  // namespace knots::dlsim

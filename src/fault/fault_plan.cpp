@@ -13,6 +13,8 @@ std::string_view to_string(FaultKind kind) noexcept {
     case FaultKind::kGpuEccDegrade: return "gpu-ecc-degrade";
     case FaultKind::kHeartbeatLoss: return "heartbeat-loss";
     case FaultKind::kPcieStall: return "pcie-stall";
+    case FaultKind::kLinkDegrade: return "link-degrade";
+    case FaultKind::kLinkDown: return "link-down";
   }
   return "unknown";
 }
@@ -39,10 +41,37 @@ FaultPlan& FaultPlan::pcie_stall(NodeId node, SimTime at, SimTime stall_for,
   return *this;
 }
 
-void FaultPlan::validate(int node_count) const {
+FaultPlan& FaultPlan::link_down(std::string link, SimTime at,
+                                SimTime down_for) {
+  events.push_back(
+      {FaultKind::kLinkDown, NodeId{}, at, down_for, 0.0, std::move(link)});
+  return *this;
+}
+
+FaultPlan& FaultPlan::link_degrade(std::string link, SimTime at,
+                                   SimTime degrade_for, double slowdown) {
+  events.push_back({FaultKind::kLinkDegrade, NodeId{}, at, degrade_for,
+                    slowdown, std::move(link)});
+  return *this;
+}
+
+void FaultPlan::validate(int node_count,
+                         const std::vector<std::string>& links) const {
+  const auto known_link = [&](const std::string& name) {
+    return std::find(links.begin(), links.end(), name) != links.end();
+  };
   for (const FaultEvent& ev : events) {
-    KNOTS_CHECK_MSG(ev.node.valid() && ev.node.value < node_count,
-                    "fault event targets a node outside the cluster");
+    const bool link_fault = ev.kind == FaultKind::kLinkDegrade ||
+                            ev.kind == FaultKind::kLinkDown;
+    if (link_fault) {
+      KNOTS_CHECK_MSG(known_link(ev.link),
+                      "link fault names a link the fabric does not have");
+    } else {
+      KNOTS_CHECK_MSG(ev.node.valid() && ev.node.value < node_count,
+                      "fault event targets a node outside the cluster");
+      KNOTS_CHECK_MSG(ev.link.empty(),
+                      "node fault must not name a fabric link");
+    }
     KNOTS_CHECK_MSG(ev.at >= 0, "fault event scheduled before t=0");
     KNOTS_CHECK_MSG(ev.duration >= 0, "negative fault duration");
     switch (ev.kind) {
@@ -54,10 +83,16 @@ void FaultPlan::validate(int node_count) const {
                         "PCIe stall slowdown must be >= 1");
         KNOTS_CHECK_MSG(ev.duration > 0, "PCIe stall needs a duration");
         break;
+      case FaultKind::kLinkDegrade:
+        KNOTS_CHECK_MSG(ev.severity >= 1.0,
+                        "link degrade slowdown must be >= 1");
+        KNOTS_CHECK_MSG(ev.duration > 0, "link degrade needs a duration");
+        break;
       case FaultKind::kHeartbeatLoss:
         KNOTS_CHECK_MSG(ev.duration > 0, "heartbeat gap needs a duration");
         break;
       case FaultKind::kNodeCrash:
+      case FaultKind::kLinkDown:
         break;
     }
   }

@@ -20,9 +20,16 @@
 //   kPcieStall      — transient PCIe degradation: progress of the node's
 //                     residents is slowed by factor `severity` for
 //                     `duration`.
+//   kLinkDegrade    — a named fabric link runs at 1/`severity` of its
+//                     bandwidth for `duration` (flaky optic, congested
+//                     uplink). Requires a fabric (knots::net).
+//   kLinkDown       — a named fabric link carries nothing for `duration`
+//                     (0 = never restored). Flows over it stall until it
+//                     recovers or they are rerouted by a new placement.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -35,17 +42,20 @@ enum class FaultKind {
   kGpuEccDegrade,
   kHeartbeatLoss,
   kPcieStall,
+  kLinkDegrade,
+  kLinkDown,
 };
 
 std::string_view to_string(FaultKind kind) noexcept;
 
-/// One planned fault against a node.
+/// One planned fault against a node or a fabric link.
 struct FaultEvent {
   FaultKind kind = FaultKind::kNodeCrash;
-  NodeId node{};
+  NodeId node{};         ///< Target node; unused (invalid) for link faults.
   SimTime at = 0;        ///< Injection time.
   SimTime duration = 0;  ///< Crash/gap/stall length; 0 = permanent.
-  double severity = 0.0; ///< ECC: retired MB per GPU; PCIe: slowdown >= 1.
+  double severity = 0.0; ///< ECC: retired MB per GPU; PCIe/link: slowdown >= 1.
+  std::string link{};    ///< Fabric link name; only link faults set it.
 
   bool operator==(const FaultEvent&) const = default;
 };
@@ -75,10 +85,19 @@ struct FaultPlan {
   FaultPlan& heartbeat_loss(NodeId node, SimTime at, SimTime gap);
   FaultPlan& pcie_stall(NodeId node, SimTime at, SimTime stall_for,
                         double slowdown);
+  FaultPlan& link_down(std::string link, SimTime at, SimTime down_for = 0);
+  FaultPlan& link_degrade(std::string link, SimTime at, SimTime degrade_for,
+                          double slowdown);
 
   /// Aborts (KNOTS_CHECK) when an event targets a node outside
-  /// [0, node_count), has a negative time, or carries a nonsense severity.
-  void validate(int node_count) const;
+  /// [0, node_count), names a fabric link not in `links` (with no fabric,
+  /// every link fault is rejected), has a negative time, or carries a
+  /// nonsense severity.
+  void validate(int node_count,
+                const std::vector<std::string>& links) const;
+  /// Topology-only validation: same checks against an empty link set, so
+  /// plans with link faults are rejected unless the fabric overload is used.
+  void validate(int node_count) const { validate(node_count, {}); }
 
   bool operator==(const FaultPlan&) const = default;
 };

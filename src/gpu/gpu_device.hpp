@@ -27,6 +27,9 @@ struct Usage {
 struct GpuSpec {
   double memory_mb = 16384.0;     ///< P100 16 GB.
   double pcie_mbps = 12000.0;     ///< Effective PCIe gen3 x16 per direction.
+  double nvlink_mbps = 40000.0;   ///< P100 NVLink aggregate; the default
+                                  ///< intra-node link bandwidth when a
+                                  ///< net::FabricPlan is auto-derived.
   /// Multiplicative progress tax per extra *compute-active* co-resident
   /// context. GPUs are non-preemptive and VIVT (§I): time-multiplexing k
   /// contexts flushes caches and serializes long kernels, so co-location is

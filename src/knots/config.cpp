@@ -78,4 +78,29 @@ ExperimentConfig::Builder& ExperimentConfig::Builder::faults(
   return *this;
 }
 
+ExperimentConfig::Builder& ExperimentConfig::Builder::fabric(
+    net::FabricPlan plan) {
+  cfg_.cluster.fabric = std::move(plan);
+  auto_fabric_ = false;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::auto_fabric() {
+  auto_fabric_ = true;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::image_mb(double mb) {
+  cfg_.cluster.image_mb = mb;
+  return *this;
+}
+
+ExperimentConfig ExperimentConfig::Builder::build() const {
+  ExperimentConfig cfg = cfg_;
+  if (auto_fabric_) {
+    cfg.cluster.fabric = net::FabricPlan::auto_derive(cfg.cluster.nodes);
+  }
+  return cfg;
+}
+
 }  // namespace knots

@@ -80,11 +80,21 @@ class ExperimentConfig::Builder {
   Builder& load_scale(double scale);
   Builder& sched_params(const sched::SchedParams& params);
   Builder& faults(fault::FaultPlan plan);
+  /// Attaches an explicit fabric plan (knots::net). An empty plan (the
+  /// default) keeps the cluster fabric-free.
+  Builder& fabric(net::FabricPlan plan);
+  /// Derives the default two-tier fabric from the final node count at
+  /// build() time — safe to call before or after nodes().
+  Builder& auto_fabric();
+  /// Container image size charged as a registry pull on first placement per
+  /// node when a fabric is active (<= 0 disables the charge).
+  Builder& image_mb(double mb);
 
-  [[nodiscard]] ExperimentConfig build() const { return cfg_; }
+  [[nodiscard]] ExperimentConfig build() const;
 
  private:
   ExperimentConfig cfg_;
+  bool auto_fabric_ = false;
 };
 
 /// Paper-default experiment: ten single-P100 worker nodes, 600 s arrival

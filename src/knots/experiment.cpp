@@ -48,6 +48,14 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   r.heartbeat_gaps = fs.heartbeat_gaps;
   r.pcie_stalls = fs.pcie_stalls;
   r.stale_transitions = fs.stale_transitions;
+  if (const auto* fabric = cl.fabric()) {
+    const auto& ns = fabric->stats();
+    r.flows_started = ns.flows_started;
+    r.flows_finished = ns.flows_finished;
+    r.flows_contended = ns.flows_contended;
+    r.link_events = ns.link_events;
+    r.mb_transferred = ns.mb_transferred;
+  }
   r.mean_jct_s = m.mean_batch_jct_seconds();
   constexpr double kTailPs[] = {50, 99};
   const auto jct = m.batch_jct_percentiles(kTailPs);

@@ -48,6 +48,13 @@ struct ExperimentReport {
   std::uint64_t pcie_stalls = 0;
   std::uint64_t stale_transitions = 0;  ///< Fresh → stale telemetry edges.
 
+  // -- Fabric layer (knots::net); all zero on a fabric-free run --
+  std::uint64_t flows_started = 0;    ///< Transfers begun on the fabric.
+  std::uint64_t flows_finished = 0;   ///< Transfers fully delivered.
+  std::uint64_t flows_contended = 0;  ///< Finished below solo fair share.
+  std::uint64_t link_events = 0;      ///< Link down/degrade/restore edges.
+  double mb_transferred = 0;          ///< Total delivered payload (MB).
+
   double mean_jct_s = 0, median_jct_s = 0, p99_jct_s = 0;
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;

@@ -1,0 +1,79 @@
+#include "net/fair_share.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/check.hpp"
+
+namespace knots::net {
+
+std::vector<double> fair_share(const std::vector<FlowDemand>& demands,
+                               const std::vector<double>& capacity_mb_per_s) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const std::size_t nf = demands.size();
+  const std::size_t nl = capacity_mb_per_s.size();
+
+  std::vector<double> rate(nf, kInf);
+  std::vector<double> remaining(nl);
+  std::vector<int> count(nl, 0);  // unfrozen flows crossing each link
+  for (std::size_t l = 0; l < nl; ++l) {
+    const double cap = capacity_mb_per_s[l];
+    KNOTS_CHECK_MSG(cap >= 0, "link capacity must be >= 0 (or infinity)");
+    remaining[l] = cap;
+  }
+
+  // De-duplicated per-flow link sets: a route never charges one link twice.
+  std::vector<std::vector<int>> links(nf);
+  std::vector<char> frozen(nf, 0);
+  for (std::size_t f = 0; f < nf; ++f) {
+    links[f] = demands[f].links;
+    std::sort(links[f].begin(), links[f].end());
+    links[f].erase(std::unique(links[f].begin(), links[f].end()),
+                   links[f].end());
+    bool constrained = false;
+    for (const int l : links[f]) {
+      KNOTS_CHECK_MSG(l >= 0 && static_cast<std::size_t>(l) < nl,
+                      "flow demand names an unknown link");
+      if (remaining[static_cast<std::size_t>(l)] < kInf) {
+        ++count[static_cast<std::size_t>(l)];
+        constrained = true;
+      }
+    }
+    if (!constrained) frozen[f] = 1;  // rate stays infinite
+  }
+
+  // Progressive filling: saturate the tightest link, freeze its flows at
+  // the fill level, subtract, repeat. At most one link saturates per pass,
+  // so the loop runs at most nl times.
+  while (true) {
+    double fill = kInf;
+    std::size_t bottleneck = nl;
+    for (std::size_t l = 0; l < nl; ++l) {
+      if (remaining[l] == kInf || count[l] == 0) continue;
+      const double share = remaining[l] / count[l];
+      if (share < fill) {
+        fill = share;
+        bottleneck = l;
+      }
+    }
+    if (bottleneck == nl) break;
+    for (std::size_t f = 0; f < nf; ++f) {
+      if (frozen[f] != 0) continue;
+      if (!std::binary_search(links[f].begin(), links[f].end(),
+                              static_cast<int>(bottleneck))) {
+        continue;
+      }
+      frozen[f] = 1;
+      rate[f] = fill;
+      for (const int l : links[f]) {
+        const auto li = static_cast<std::size_t>(l);
+        if (remaining[li] == kInf) continue;
+        remaining[li] = std::max(0.0, remaining[li] - fill);
+        --count[li];
+      }
+    }
+  }
+  return rate;
+}
+
+}  // namespace knots::net

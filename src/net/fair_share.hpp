@@ -1,0 +1,42 @@
+// Max-min fair bandwidth allocation by progressive filling.
+//
+// Given a set of flows, each crossing an ordered set of shared links, and
+// per-link capacities, the allocator raises every flow's rate uniformly
+// until a link saturates, freezes the flows bottlenecked there, and
+// repeats. The result is the classic max-min fair allocation:
+//
+//   * feasibility     — the rates crossing any link sum to at most its
+//                       capacity;
+//   * work conservation — every flow is bottlenecked at some saturated
+//                       link (or is unconstrained and gets infinity);
+//   * no starvation   — a flow's rate is zero only when one of its links
+//                       has zero capacity (a downed link).
+//
+// The function is pure and deterministic: identical inputs give identical
+// outputs, with no dependence on container iteration order beyond the
+// caller-supplied ordering. knots::net::Fabric calls it on every flow
+// arrival/departure and link-state change; the property-fuzz suite in
+// tests/net/ checks the three laws above against randomized flow sets.
+#pragma once
+
+#include <vector>
+
+namespace knots::net {
+
+/// One flow's demand: the link indices it crosses. Duplicates are
+/// tolerated (counted once); an empty set means the flow is unconstrained.
+struct FlowDemand {
+  std::vector<int> links;
+};
+
+/// Max-min fair rates, one per demand, in MB/s.
+///
+/// `capacity_mb_per_s[l]` is link l's capacity: pass
+/// std::numeric_limits<double>::infinity() for an unlimited link and 0.0
+/// for a downed one (its flows get rate 0). Unconstrained flows get
+/// infinity.
+[[nodiscard]] std::vector<double> fair_share(
+    const std::vector<FlowDemand>& demands,
+    const std::vector<double>& capacity_mb_per_s);
+
+}  // namespace knots::net

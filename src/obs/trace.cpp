@@ -103,6 +103,10 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::kRequestDone: return "serve.done";
     case EventKind::kScaleUp: return "serve.scale-up";
     case EventKind::kScaleDown: return "serve.scale-down";
+    case EventKind::kFlowStart: return "net.flow-start";
+    case EventKind::kFlowFinish: return "net.flow-finish";
+    case EventKind::kLinkDown: return "net.link-down";
+    case EventKind::kLinkUp: return "net.link-up";
   }
   return "unknown";
 }

@@ -59,8 +59,13 @@ enum class EventKind : std::uint8_t {
   kRequestDone,    ///< Request served.                       a = request, b = service, value = latency ms.
   kScaleUp,        ///< Autoscaler launched a replica.        a = replica pod, b = service.
   kScaleDown,      ///< Autoscaler retired a replica.         a = replica pod, b = service.
+  // -- knots::net (fabric flows and link state) --
+  kFlowStart,      ///< Fabric flow began.                    a = flow, b = dst node (-1 = registry src), value = MB.
+  kFlowFinish,     ///< Fabric flow delivered its last byte.  a = flow, b = contended (0/1).
+  kLinkDown,       ///< Fabric link lost capacity.            a = link.
+  kLinkUp,         ///< Fabric link restored.                 a = link.
 };
-inline constexpr std::size_t kEventKindCount = 22;
+inline constexpr std::size_t kEventKindCount = 26;
 
 [[nodiscard]] std::string_view to_string(EventKind kind) noexcept;
 

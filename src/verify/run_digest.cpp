@@ -99,4 +99,38 @@ void RunDigest::on_node_up(const cluster::Cluster& cluster, NodeId node) {
   mix_u64(static_cast<std::uint64_t>(node.value));
 }
 
+// Fabric records mix only operands the trace carries (flow id, destination,
+// size, contention bit) so traced runs replay bit-for-bit; the flow kind
+// and source ride in the trace/observer stream but not the digest.
+void RunDigest::on_flow_start(const cluster::Cluster& cluster,
+                              std::uint64_t flow, int /*kind*/,
+                              int /*src_node*/, int dst_node, double mb) {
+  begin_record(Tag::kFlowStart, cluster);
+  mix_u64(flow);
+  mix_u64(static_cast<std::uint64_t>(static_cast<std::int64_t>(dst_node)));
+  mix_double(mb);
+}
+
+void RunDigest::on_flow_finish(const cluster::Cluster& cluster,
+                               std::uint64_t flow, bool contended) {
+  begin_record(Tag::kFlowFinish, cluster);
+  mix_u64(flow);
+  if (contended) {
+    begin_record(Tag::kFlowContend, cluster);
+    mix_u64(flow);
+  }
+}
+
+void RunDigest::on_link_down(const cluster::Cluster& cluster,
+                             std::size_t link) {
+  begin_record(Tag::kLinkDown, cluster);
+  mix_u64(static_cast<std::uint64_t>(link));
+}
+
+void RunDigest::on_link_up(const cluster::Cluster& cluster,
+                           std::size_t link) {
+  begin_record(Tag::kLinkUp, cluster);
+  mix_u64(static_cast<std::uint64_t>(link));
+}
+
 }  // namespace knots::verify

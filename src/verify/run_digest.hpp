@@ -41,6 +41,10 @@ class RunDigest final : public cluster::ClusterObserver {
   // Values are shared across substrates: the DL engine folds the same tags
   // through begin_record(tag, now) so its traces replay with the same
   // recipe as cluster runs.
+  //
+  // Tag ranges are allocated per layer and never overlap (DESIGN.md §13):
+  // 0x01–0x09 cluster lifecycle, 0xA1–0xA8 knots::serve (its own serve
+  // digest), 0xB1–0xB5 knots::net fabric events.
   enum class Tag : std::uint64_t {
     kPlace = 0x01,
     kResize = 0x02,
@@ -51,6 +55,12 @@ class RunDigest final : public cluster::ClusterObserver {
     kEvict = 0x07,
     kNodeDown = 0x08,
     kNodeUp = 0x09,
+    // -- knots::net --
+    kFlowStart = 0xB1,
+    kFlowFinish = 0xB2,
+    kFlowContend = 0xB3,
+    kLinkDown = 0xB4,
+    kLinkUp = 0xB5,
   };
 
   /// Opens a record for a non-cluster substrate: mixes the tag and the
@@ -71,6 +81,14 @@ class RunDigest final : public cluster::ClusterObserver {
                 NodeId node) override;
   void on_node_down(const cluster::Cluster& cluster, NodeId node) override;
   void on_node_up(const cluster::Cluster& cluster, NodeId node) override;
+  void on_flow_start(const cluster::Cluster& cluster, std::uint64_t flow,
+                     int kind, int src_node, int dst_node,
+                     double mb) override;
+  void on_flow_finish(const cluster::Cluster& cluster, std::uint64_t flow,
+                      bool contended) override;
+  void on_link_down(const cluster::Cluster& cluster,
+                    std::size_t link) override;
+  void on_link_up(const cluster::Cluster& cluster, std::size_t link) override;
 
  private:
   void begin_record(Tag tag, const cluster::Cluster& cluster);

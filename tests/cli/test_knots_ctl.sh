@@ -51,6 +51,13 @@ expect_reject "serve shape conflict"  -- serve --diurnal 0.5 --flash-crowd 4
 expect_reject "serve zero slo"        -- serve --slo-ms 0
 expect_reject "serve bad autoscale"   -- serve --autoscale maybe
 expect_reject "serve unknown flag"    -- serve --qps 50 --dl gandiva
+expect_reject "bad fabric mode"       -- run --mix 1 --scheduler CBP --duration 5 --fabric mesh
+expect_reject "link-down sans fabric" -- run --mix 1 --scheduler CBP --duration 5 --link-down spine@2
+expect_reject "unknown link"          -- run --mix 1 --scheduler CBP --duration 5 --fabric auto --link-down bogus@2
+expect_reject "malformed link-down"   -- run --mix 1 --scheduler CBP --duration 5 --fabric auto --link-down spine
+expect_reject "dl bad fabric"         -- dlsim --dl gandiva --fabric banana
+expect_reject "dl unknown link"       -- dlsim --dl gandiva --fabric auto --link-down bogus@2
+expect_reject "dl bad allreduce"      -- dlsim --dl gandiva --fabric auto --allreduce banana
 
 # list, by contrast, succeeds bare.
 "$CTL" list >"$WORK/list_out" 2>&1 || fail "list: expected exit 0, got $?"
@@ -148,6 +155,32 @@ serve_lanes4=$(grep "serve digest" "$WORK/serve_lanes4_out")
   >"$WORK/serve_flash_out" 2>&1 || fail "serve flash-crowd: expected exit 0, got $?"
 "$CTL" serve --qps 60 --duration 10 --nodes 4 --diurnal 0.8 --autoscale off \
   >"$WORK/serve_diurnal_out" 2>&1 || fail "serve diurnal: expected exit 0, got $?"
+
+# ---- fabric: auto moves bytes and survives a link fault; zero is inert ----
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 4 --fabric auto \
+  --link-down "spine@5:3" >"$WORK/fab_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "fabric run: expected exit 0, got $rc (output: $(cat "$WORK/fab_out"))"
+grep -q "fabric flows" "$WORK/fab_out" || fail "fabric report: flow row missing"
+grep -q "fabric MB moved" "$WORK/fab_out" || fail "fabric report: MB row missing"
+
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 4 \
+  >"$WORK/nofab_out" 2>&1 || fail "bare run: expected exit 0, got $?"
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 4 --fabric zero \
+  >"$WORK/zerofab_out" 2>&1 || fail "zero-fabric run: expected exit 0, got $?"
+nofab_digest=$(grep "run digest" "$WORK/nofab_out")
+zerofab_digest=$(grep "run digest" "$WORK/zerofab_out")
+[ -n "$nofab_digest" ] && [ "$nofab_digest" = "$zerofab_digest" ] || \
+  fail "zero fabric not inert: bare='$nofab_digest' zero='$zerofab_digest'"
+grep -q "fabric flows" "$WORK/zerofab_out" && \
+  fail "zero fabric: unexpected flow rows in report"
+
+"$CTL" dlsim --dl cbp-local --dlt 6 --dli 12 --nodes 2 --gpus 2 \
+  --duration 1800 --seed 7 --fabric auto --allreduce 256 \
+  >"$WORK/dl_fab_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "dl fabric run: expected exit 0, got $rc (output: $(cat "$WORK/dl_fab_out"))"
+grep -q "run digest" "$WORK/dl_fab_out" || fail "dl fabric report: digest row missing"
 
 # ---- tracing must not perturb the digest ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \

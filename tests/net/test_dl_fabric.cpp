@@ -1,0 +1,193 @@
+// dlsim on the fabric: per-policy inertness, gang all-reduce contention,
+// the pack-vs-spread JCT ordering that motivates cbp-local, migration
+// checkpoint charges, and lane determinism with a live fabric.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "dlsim/dl_cluster.hpp"
+#include "dlsim/dl_workload.hpp"
+#include "net/fabric.hpp"
+
+namespace knots::dlsim {
+namespace {
+
+DlClusterConfig tiny_cluster(int lanes = 1) {
+  DlClusterConfig cfg;
+  cfg.nodes = 4;
+  cfg.gpus_per_node = 4;
+  cfg.lanes = lanes;
+  return cfg;
+}
+
+DlWorkloadConfig tiny_workload() {
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 24;
+  wl.dli_queries = 60;
+  wl.window = 2 * kHour;
+  return wl;
+}
+
+/// Two 2-GPU nodes, one ToR each: any 2-GPU gang either packs onto one
+/// node's NVLink or drags its all-reduce across the spine.
+DlClusterConfig pack_vs_spread_cluster(double allreduce_mb) {
+  net::AutoFabricOptions opts;
+  opts.nodes_per_tor = 1;
+  DlClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 2;
+  cfg.fabric = net::FabricPlan::auto_derive(2, opts);
+  cfg.allreduce_mb_per_step = allreduce_mb;
+  return cfg;
+}
+
+/// job 0 (1 GPU) arrives first and pins a GPU on node 0; job 1 (gang of 2)
+/// then either packs node 1 whole or spans both nodes.
+DlWorkload pack_vs_spread_jobs() {
+  DlWorkload wl;
+  DltJob solo;
+  solo.id = 0;
+  solo.arrival = 0;
+  solo.gpus = 1;
+  solo.service = 2 * kHour;
+  DltJob gang;
+  gang.id = 1;
+  gang.arrival = 1 * kSec;
+  gang.gpus = 2;
+  gang.service = 1 * kHour;
+  wl.jobs = {solo, gang};
+  wl.horizon = 12 * kHour;
+  return wl;
+}
+
+TEST(DlFabric, ZeroLatencyFabricIsInertForEveryPolicy) {
+  for (const auto& policy : dl_policy_names()) {
+    const auto bare =
+        run_dl_simulation(policy, tiny_cluster(), tiny_workload(), 7);
+    DlClusterConfig with_fabric = tiny_cluster();
+    with_fabric.fabric = net::FabricPlan::zero_latency(4);
+    const auto inert =
+        run_dl_simulation(policy, with_fabric, tiny_workload(), 7);
+    EXPECT_EQ(bare.run_digest, inert.run_digest) << "policy " << policy;
+    EXPECT_EQ(bare.dlt_completed, inert.dlt_completed);
+  }
+}
+
+TEST(DlFabric, LaneCountIsInvisibleWithALiveFabric) {
+  DlClusterConfig base = tiny_cluster(1);
+  base.fabric = net::FabricPlan::auto_derive(4);
+  base.allreduce_mb_per_step = 256.0;
+  DlClusterConfig wide = base;
+  wide.lanes = 4;
+  const auto one = run_dl_simulation("cbp-pp", base, tiny_workload(), 7);
+  const auto four = run_dl_simulation("cbp-pp", wide, tiny_workload(), 7);
+  EXPECT_EQ(one.run_digest, four.run_digest);
+}
+
+TEST(DlFabric, SpreadGangsPayTheAllReduce) {
+  // The same spanning placement with and without per-step gradient
+  // traffic: paying the fabric can only stretch the gang's JCT.
+  const auto free_comm =
+      run_dl_simulation("cbp-pp", pack_vs_spread_cluster(0.0),
+                        pack_vs_spread_jobs(), 7);
+  const auto paying =
+      run_dl_simulation("cbp-pp", pack_vs_spread_cluster(1249.0),
+                        pack_vs_spread_jobs(), 7);
+  ASSERT_EQ(free_comm.dlt_completed, 2u);
+  ASSERT_EQ(paying.dlt_completed, 2u);
+  EXPECT_GT(paying.avg_jct_h, free_comm.avg_jct_h);
+}
+
+TEST(DlFabric, PackVsSpreadJctOrdering) {
+  // cbp-pp spans the gang across both nodes and drags every step's
+  // all-reduce over the spine path; cbp-local packs node 1 whole and
+  // exchanges gradients over NVLink. Packing must win on JCT.
+  const auto spread =
+      run_dl_simulation("cbp-pp", pack_vs_spread_cluster(1249.0),
+                        pack_vs_spread_jobs(), 7);
+  const auto packed =
+      run_dl_simulation("cbp-local", pack_vs_spread_cluster(1249.0),
+                        pack_vs_spread_jobs(), 7);
+  ASSERT_EQ(spread.dlt_completed, 2u);
+  ASSERT_EQ(packed.dlt_completed, 2u);
+  EXPECT_LT(packed.avg_jct_h, spread.avg_jct_h);
+}
+
+TEST(DlFabric, PackingIsJctNeutralWithoutAFabric) {
+  // Off the fabric there is no locality to exploit: cbp-local's placement
+  // differs only in which GPUs it picks, not in any job's speed.
+  DlClusterConfig cfg;
+  cfg.nodes = 2;
+  cfg.gpus_per_node = 2;
+  const auto spread =
+      run_dl_simulation("cbp-pp", cfg, pack_vs_spread_jobs(), 7);
+  const auto packed =
+      run_dl_simulation("cbp-local", cfg, pack_vs_spread_jobs(), 7);
+  EXPECT_EQ(spread.dlt_completed, packed.dlt_completed);
+  EXPECT_DOUBLE_EQ(spread.avg_jct_h, packed.avg_jct_h);
+}
+
+TEST(DlFabric, CbpLocalMatchesCbpPpQueryPath) {
+  // cbp-local only re-steers gang placement; its DLI serving path is
+  // CBP+PP's. Fabric-free, the query outcomes must be identical.
+  const auto pp = run_dl_simulation("cbp-pp", tiny_cluster(),
+                                    tiny_workload(), 7);
+  const auto local = run_dl_simulation("cbp-local", tiny_cluster(),
+                                       tiny_workload(), 7);
+  EXPECT_EQ(pp.queries.size(), local.queries.size());
+  EXPECT_EQ(pp.dli_violations, local.dli_violations);
+}
+
+TEST(DlFabric, MigrationChargesTheCheckpointTransfer) {
+  // Gandiva defragments by migrating trainers; with a fabric and a
+  // non-zero checkpoint size each cross-node move pays a real transfer,
+  // which is digest-visible. Single-GPU nodes force every migration to
+  // cross the fabric.
+  DlClusterConfig base;
+  base.nodes = 4;
+  base.gpus_per_node = 1;
+  base.fabric = net::FabricPlan::auto_derive(4);
+  // De-slice early so the window actually sees migrations.
+  base.slice_young_threshold = 10 * kMinute;
+  DlClusterConfig charged = base;
+  charged.checkpoint_mb = 4096.0;
+  DlWorkloadConfig wl;
+  wl.dlt_jobs = 40;
+  wl.dli_queries = 60;
+  wl.window = 4 * kHour;
+  const auto free_move = run_dl_simulation("gandiva", base, wl, 7);
+  const auto paying = run_dl_simulation("gandiva", charged, wl, 7);
+  ASSERT_GT(free_move.migrations, 0u);
+  EXPECT_NE(free_move.run_digest, paying.run_digest);
+  // The charge is deterministic: replaying reproduces it bit-for-bit.
+  const auto replay = run_dl_simulation("gandiva", charged, wl, 7);
+  EXPECT_EQ(paying.run_digest, replay.run_digest);
+}
+
+TEST(DlFabric, LinkFaultsAreDeterministicAndVisible) {
+  DlClusterConfig cfg = tiny_cluster();
+  cfg.fabric = net::FabricPlan::auto_derive(4);
+  cfg.allreduce_mb_per_step = 512.0;
+  DlRunOptions faulted;
+  faulted.faults.link_down("spine", 10 * kMinute, 30 * kMinute);
+  const auto calm = run_dl_simulation("cbp-pp", cfg, tiny_workload(), 7);
+  const auto stormy =
+      run_dl_simulation("cbp-pp", cfg, tiny_workload(), 7, faulted);
+  const auto stormy2 =
+      run_dl_simulation("cbp-pp", cfg, tiny_workload(), 7, faulted);
+  EXPECT_NE(calm.run_digest, stormy.run_digest);
+  EXPECT_EQ(stormy.run_digest, stormy2.run_digest);
+}
+
+TEST(DlFabricDeath, FaultPlanRejectsUnknownLinkNames) {
+  DlClusterConfig cfg = tiny_cluster();
+  cfg.fabric = net::FabricPlan::auto_derive(4);
+  DlRunOptions options;
+  options.faults.link_down("bogus-link", 10 * kMinute);
+  EXPECT_DEATH(run_dl_simulation("cbp-pp", cfg, tiny_workload(), 7, options),
+               "KNOTS_CHECK");
+}
+
+}  // namespace
+}  // namespace knots::dlsim

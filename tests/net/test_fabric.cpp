@@ -1,0 +1,245 @@
+// FabricPlan builder/validation and Fabric topology queries: auto-derived
+// shape, canonical link order, routing over the two-tier Clos, link state.
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace knots::net {
+namespace {
+
+TEST(FabricPlan, EmptyPlanMeansNoFabric) {
+  FabricPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.size(), 0u);
+  EXPECT_FALSE(plan.has_link("spine"));
+}
+
+TEST(FabricPlan, AutoDeriveShapeForTenNodes) {
+  const FabricPlan plan = FabricPlan::auto_derive(10);
+  // 1 spine + 2 ToR uplinks (8 nodes/ToR) + 10 node uplinks + 10 NVLinks.
+  EXPECT_EQ(plan.size(), 23u);
+  EXPECT_TRUE(plan.has_link("spine"));
+  EXPECT_TRUE(plan.has_link("tor0-up"));
+  EXPECT_TRUE(plan.has_link("tor1-up"));
+  EXPECT_TRUE(plan.has_link("n9-up"));
+  EXPECT_TRUE(plan.has_link("n9-nvl"));
+  EXPECT_FALSE(plan.has_link("tor2-up"));
+  plan.validate(10);  // must not abort
+}
+
+TEST(FabricPlan, ZeroLatencyPlanBuildsAnInertFabric) {
+  const Fabric inert(FabricPlan::zero_latency(6), 6);
+  EXPECT_TRUE(inert.inert());
+  const Fabric live(FabricPlan::auto_derive(6), 6);
+  EXPECT_FALSE(live.inert());
+}
+
+TEST(FabricPlan, ScaleBandwidthLeavesUnlimitedLinksAlone) {
+  FabricPlan plan;
+  plan.spine("spine", 100.0).node_uplink(0, "n0-up", 0.0);
+  plan.scale_bandwidth(2.0);
+  EXPECT_DOUBLE_EQ(plan.links[0].mb_per_s, 200.0);
+  EXPECT_DOUBLE_EQ(plan.links[1].mb_per_s, 0.0);  // still unlimited
+}
+
+TEST(FabricPlanDeath, ValidateRejectsDuplicateLinkNames) {
+  FabricPlan plan;
+  plan.spine("x", 10.0).node_uplink(0, "x", 10.0);
+  EXPECT_DEATH(plan.validate(1), "");
+}
+
+TEST(FabricPlanDeath, ValidateRejectsOwnerOutsideCluster) {
+  FabricPlan plan;
+  plan.node_uplink(4, "n4-up", 10.0);
+  EXPECT_DEATH(plan.validate(4), "");
+}
+
+TEST(FabricPlanDeath, ValidateRejectsNegativeLatency) {
+  FabricPlan plan;
+  plan.spine("spine", 10.0, -1);
+  EXPECT_DEATH(plan.validate(2), "");
+}
+
+TEST(FabricPlanDeath, ValidateRejectsBadTorAssignment) {
+  FabricPlan plan;
+  plan.spine("spine", 10.0).assign_tor(9, 0);
+  EXPECT_DEATH(plan.validate(2), "");
+}
+
+TEST(FabricPlanDeath, ValidateRejectsTwoUplinksPerNode) {
+  FabricPlan plan;
+  plan.node_uplink(0, "a", 10.0).node_uplink(0, "b", 10.0);
+  EXPECT_DEATH(plan.validate(1), "");
+}
+
+TEST(Fabric, CanonicalizesLinkOrderByName) {
+  FabricPlan forward;
+  forward.spine("spine", 100.0)
+      .node_uplink(0, "n0-up", 10.0)
+      .node_uplink(1, "n1-up", 10.0);
+  FabricPlan reversed;
+  reversed.node_uplink(1, "n1-up", 10.0)
+      .node_uplink(0, "n0-up", 10.0)
+      .spine("spine", 100.0);
+  const Fabric a(forward, 2);
+  const Fabric b(reversed, 2);
+  EXPECT_EQ(a.links(), b.links());
+  EXPECT_EQ(a.link_names(), b.link_names());
+  ASSERT_TRUE(a.link_index("spine").has_value());
+  EXPECT_EQ(a.link_index("spine"), b.link_index("spine"));
+  EXPECT_EQ(a.route(0, 1), b.route(0, 1));
+}
+
+TEST(Fabric, RoutesWithinAndAcrossTors) {
+  // 4 nodes, 2 per ToR.
+  AutoFabricOptions opts;
+  opts.nodes_per_tor = 2;
+  const Fabric f(FabricPlan::auto_derive(4, opts), 4);
+  EXPECT_EQ(f.tor_count(), 2);
+  EXPECT_EQ(f.tor_of(0), 0);
+  EXPECT_EQ(f.tor_of(3), 1);
+
+  const auto name = [&](int idx) {
+    return f.links()[static_cast<std::size_t>(idx)].name;
+  };
+  // Same ToR: both node uplinks, no spine.
+  const auto same = f.route(0, 1);
+  ASSERT_EQ(same.size(), 2u);
+  EXPECT_EQ(name(same[0]), "n0-up");
+  EXPECT_EQ(name(same[1]), "n1-up");
+  // Cross ToR: uplink, ToR uplink, spine, ToR uplink, uplink.
+  const auto cross = f.route(0, 3);
+  ASSERT_EQ(cross.size(), 5u);
+  EXPECT_EQ(name(cross[0]), "n0-up");
+  EXPECT_EQ(name(cross[1]), "tor0-up");
+  EXPECT_EQ(name(cross[2]), "spine");
+  EXPECT_EQ(name(cross[3]), "tor1-up");
+  EXPECT_EQ(name(cross[4]), "n3-up");
+  // Registry pull: spine, destination ToR uplink, destination uplink.
+  const auto pull = f.route(Fabric::kRegistry, 2);
+  ASSERT_EQ(pull.size(), 3u);
+  EXPECT_EQ(name(pull[0]), "spine");
+  EXPECT_EQ(name(pull[1]), "tor1-up");
+  EXPECT_EQ(name(pull[2]), "n2-up");
+  // Self-route: the intra-node link.
+  const auto self = f.route(2, 2);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(name(self[0]), "n2-nvl");
+}
+
+TEST(Fabric, GangRoutePacksAndSpans) {
+  AutoFabricOptions opts;
+  opts.nodes_per_tor = 2;
+  const Fabric f(FabricPlan::auto_derive(4, opts), 4);
+  const auto name = [&](int idx) {
+    return f.links()[static_cast<std::size_t>(idx)].name;
+  };
+  // Single-node gang: only the intra-node link.
+  const auto packed = f.gang_route({1, 1, 1});
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(name(packed[0]), "n1-nvl");
+  // Same-ToR gang: the two node uplinks, nothing above.
+  const auto tor_local = f.gang_route({0, 1});
+  ASSERT_EQ(tor_local.size(), 2u);
+  // Cross-ToR gang: node uplinks + both ToR uplinks + spine.
+  const auto spread = f.gang_route({0, 3});
+  ASSERT_EQ(spread.size(), 5u);
+  std::vector<std::string> names;
+  for (const int l : spread) names.push_back(name(l));
+  EXPECT_NE(std::find(names.begin(), names.end(), "spine"), names.end());
+  // Sorted and deduplicated.
+  EXPECT_TRUE(std::is_sorted(spread.begin(), spread.end()));
+}
+
+TEST(Fabric, OnlyLexicographicallyFirstSpineIsRouted) {
+  FabricPlan plan;
+  plan.spine("spine", 100.0)
+      .spine("spine2", 1.0)  // sorts after "spine": must stay inert
+      .tor_uplink(0, "tor0-up", 50.0)
+      .tor_uplink(1, "tor1-up", 50.0)
+      .node_uplink(0, "n0-up", 10.0)
+      .node_uplink(1, "n1-up", 10.0)
+      .assign_tor(0, 0)
+      .assign_tor(1, 1);
+  const Fabric f(plan, 2);
+  const auto cross = f.route(0, 1);
+  for (const int l : cross) {
+    EXPECT_NE(f.links()[static_cast<std::size_t>(l)].name, "spine2");
+  }
+}
+
+TEST(Fabric, PathCapacityTracksDownsAndDegrades) {
+  AutoFabricOptions opts;
+  opts.nodes_per_tor = 2;
+  opts.telemetry_reserve_mb_per_s = 0.0;
+  Fabric f(FabricPlan::auto_derive(4, opts), 4);
+  const auto route = f.route(0, 3);
+  const double base = f.path_capacity(route);
+  EXPECT_DOUBLE_EQ(base, 1250.0);  // node uplink is the bottleneck
+
+  const auto spine = f.link_index("spine");
+  ASSERT_TRUE(spine.has_value());
+  f.degrade_link(*spine, 100.0);  // 40000 / 100 = 400 now bottlenecks
+  EXPECT_DOUBLE_EQ(f.path_capacity(route), 400.0);
+  f.restore_link(*spine);
+  EXPECT_DOUBLE_EQ(f.path_capacity(route), base);
+
+  f.set_link_down(*spine);
+  EXPECT_FALSE(f.link_up(*spine));
+  EXPECT_DOUBLE_EQ(f.path_capacity(route), 0.0);
+  EXPECT_EQ(f.transfer_time(0, 3, 64.0), kNever);
+  f.set_link_up(*spine);
+  EXPECT_DOUBLE_EQ(f.path_capacity(route), base);
+  EXPECT_EQ(f.stats().link_events, 4u);
+}
+
+TEST(Fabric, TelemetryReserveShavesNodeUplinks) {
+  AutoFabricOptions opts;
+  opts.nodes_per_tor = 2;
+  opts.telemetry_reserve_mb_per_s = 250.0;
+  const Fabric f(FabricPlan::auto_derive(4, opts), 4);
+  const auto up = f.link_index("n0-up");
+  ASSERT_TRUE(up.has_value());
+  EXPECT_DOUBLE_EQ(f.effective_capacity(*up), 1000.0);  // 1250 - 250
+  const auto spine = f.link_index("spine");
+  ASSERT_TRUE(spine.has_value());
+  EXPECT_DOUBLE_EQ(f.effective_capacity(*spine), 40000.0);  // untouched
+}
+
+TEST(Fabric, TransferTimeIsLatencyPlusBottleneckTime) {
+  FabricPlan plan;
+  plan.node_uplink(0, "n0-up", 100.0, 30)
+      .node_uplink(1, "n1-up", 50.0, 20);
+  const Fabric f(plan, 2);
+  // 100 MB at the 50 MB/s bottleneck = 2 s, plus 50 us of latency.
+  EXPECT_EQ(f.transfer_time(0, 1, 100.0), 50 + 2 * kSec);
+  // Zero-size transfers still pay the propagation latency.
+  EXPECT_EQ(f.transfer_time(0, 1, 0.0), 50);
+}
+
+TEST(Fabric, DoublingBandwidthHalvesTransferTimes) {
+  // The metamorphic x2 law at the analytic level: on sizes whose division
+  // lands on whole microseconds, every transfer's bandwidth term halves
+  // exactly (latency is unchanged).
+  FabricPlan base;
+  base.node_uplink(0, "n0-up", 100.0, 40).node_uplink(1, "n1-up", 400.0, 10);
+  FabricPlan doubled = base;
+  doubled.scale_bandwidth(2.0);
+  const Fabric f1(base, 2);
+  const Fabric f2(doubled, 2);
+  for (const double mb : {1.0, 2.5, 50.0, 1000.0}) {
+    const SimTime t1 = f1.transfer_time(0, 1, mb);
+    const SimTime t2 = f2.transfer_time(0, 1, mb);
+    const SimTime lat = 50;
+    EXPECT_EQ(t2 - lat, (t1 - lat) / 2) << "mb=" << mb;
+  }
+}
+
+}  // namespace
+}  // namespace knots::net

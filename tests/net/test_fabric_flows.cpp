@@ -1,0 +1,208 @@
+// Fluid flows on the event engine: exact finish times, fair-share
+// contention, latency gates, mid-flight link faults, and the event-driven
+// side of the x2 bandwidth law.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "net/fabric.hpp"
+#include "sim/simulation.hpp"
+
+namespace knots::net {
+namespace {
+
+/// Two nodes joined by two 100 MB/s uplinks with no latency: a single
+/// shared bottleneck whose arithmetic stays in whole microseconds.
+FabricPlan pair_plan(double mb_per_s = 100.0, SimTime latency = 0) {
+  FabricPlan plan;
+  plan.node_uplink(0, "n0-up", mb_per_s, latency)
+      .node_uplink(1, "n1-up", mb_per_s, latency);
+  return plan;
+}
+
+struct Recorder final : FabricObserver {
+  struct Event {
+    std::string what;
+    std::uint64_t flow;
+    SimTime at;
+    bool contended = false;
+  };
+  std::vector<Event> events;
+  void on_flow_start(std::uint64_t flow, FlowKind, int, int, double,
+                     SimTime now) override {
+    events.push_back({"start", flow, now});
+  }
+  void on_flow_finish(std::uint64_t flow, FlowKind, bool contended,
+                      SimTime now) override {
+    events.push_back({"finish", flow, now, contended});
+  }
+  void on_link_state(std::size_t link, bool up, SimTime now) override {
+    events.push_back({up ? "up" : "down", link, now});
+  }
+};
+
+TEST(FabricFlows, SoloFlowFinishesAtExactTime) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(100.0, 25), 2);
+  fabric.bind(&sim);
+  SimTime finished = -1;
+  fabric.start_flow(FlowKind::kMigration, 0, 1, 200.0,
+                    [&](SimTime t) { finished = t; });
+  EXPECT_EQ(fabric.active_flows(), 1u);
+  sim.run_all();
+  // 50 us of latency (two hops), then 200 MB at 100 MB/s = 2 s.
+  EXPECT_EQ(finished, 50 + 2 * kSec);
+  EXPECT_EQ(fabric.active_flows(), 0u);
+  EXPECT_EQ(fabric.stats().flows_started, 1u);
+  EXPECT_EQ(fabric.stats().flows_finished, 1u);
+  EXPECT_EQ(fabric.stats().flows_contended, 0u);
+  EXPECT_DOUBLE_EQ(fabric.stats().mb_transferred, 200.0);
+}
+
+TEST(FabricFlows, TwoConcurrentFlowsHalveEachOther) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(), 2);
+  fabric.bind(&sim);
+  Recorder rec;
+  fabric.set_observer(&rec);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 2; ++i) {
+    fabric.start_flow(FlowKind::kImagePull, 0, 1, 100.0,
+                      [&](SimTime t) { done.push_back(t); });
+  }
+  sim.run_all();
+  // Each flow runs at 50 MB/s the whole way: 2 s, both contended.
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], 2 * kSec);
+  EXPECT_EQ(done[1], 2 * kSec);
+  EXPECT_EQ(fabric.stats().flows_contended, 2u);
+  // Observer saw start,start,finish,finish with flow ids 1 and 2.
+  ASSERT_EQ(rec.events.size(), 4u);
+  EXPECT_EQ(rec.events[0].what, "start");
+  EXPECT_EQ(rec.events[0].flow, 1u);
+  EXPECT_EQ(rec.events[1].flow, 2u);
+  EXPECT_EQ(rec.events[2].what, "finish");
+  EXPECT_TRUE(rec.events[2].contended);
+  EXPECT_TRUE(rec.events[3].contended);
+}
+
+TEST(FabricFlows, StaggeredArrivalRecomputesRates) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(), 2);
+  fabric.bind(&sim);
+  SimTime done_a = 0, done_b = 0;
+  fabric.start_flow(FlowKind::kMigration, 0, 1, 100.0,
+                    [&](SimTime t) { done_a = t; });
+  sim.schedule_at(kSec / 2, [&] {
+    fabric.start_flow(FlowKind::kMigration, 0, 1, 100.0,
+                      [&](SimTime t) { done_b = t; });
+  });
+  sim.run_all();
+  // A: 50 MB solo in 0.5 s, then 50 MB at half rate in 1 s -> 1.5 s.
+  EXPECT_EQ(done_a, kSec + kSec / 2);
+  // B: 50 MB shared in 1 s, then 50 MB solo in 0.5 s -> finishes at 2 s.
+  EXPECT_EQ(done_b, 2 * kSec);
+}
+
+TEST(FabricFlows, LinkDownStallsAndRestoreResumes) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(), 2);
+  fabric.bind(&sim);
+  const auto link = fabric.link_index("n0-up");
+  ASSERT_TRUE(link.has_value());
+  SimTime done = 0;
+  fabric.start_flow(FlowKind::kMigration, 0, 1, 100.0,
+                    [&](SimTime t) { done = t; });
+  sim.schedule_at(3 * kSec / 10, [&] { fabric.set_link_down(*link); });
+  sim.schedule_at(kSec, [&] { fabric.set_link_up(*link); });
+  sim.run_all();
+  // 30 MB delivered before the cut, 70 MB after restore: 1 s + 0.7 s.
+  EXPECT_EQ(done, kSec + 7 * kSec / 10);
+  // A stalled flow is not contended (nobody shared the link with it).
+  EXPECT_EQ(fabric.stats().flows_contended, 0u);
+  EXPECT_EQ(fabric.stats().link_events, 2u);
+}
+
+TEST(FabricFlows, ZeroSizeFlowPaysOnlyTheLatencyGate) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(100.0, 75), 2);
+  fabric.bind(&sim);
+  SimTime done = -1;
+  fabric.start_flow(FlowKind::kScrape, 0, 1, 0.0,
+                    [&](SimTime t) { done = t; });
+  sim.run_all();
+  EXPECT_EQ(done, 150);  // two 75 us hops, no bytes
+}
+
+TEST(FabricFlows, UnlimitedPathFinishesAtTheGate) {
+  FabricPlan plan;
+  plan.node_uplink(0, "n0-up", 0.0, 100).node_uplink(1, "n1-up", 0.0, 100);
+  sim::Simulation sim;
+  Fabric fabric(plan, 2);
+  fabric.bind(&sim);
+  SimTime done = -1;
+  fabric.start_flow(FlowKind::kMigration, 0, 1, 1e9,
+                    [&](SimTime t) { done = t; });
+  sim.run_all();
+  EXPECT_EQ(done, 200);
+}
+
+TEST(FabricFlows, FinishCallbackMayStartTheNextFlow) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(), 2);
+  fabric.bind(&sim);
+  std::vector<SimTime> done;
+  fabric.start_flow(FlowKind::kImagePull, 0, 1, 100.0, [&](SimTime t) {
+    done.push_back(t);
+    fabric.start_flow(FlowKind::kImagePull, 0, 1, 100.0,
+                      [&](SimTime u) { done.push_back(u); });
+  });
+  sim.run_all();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_EQ(done[0], kSec);
+  EXPECT_EQ(done[1], 2 * kSec);
+}
+
+TEST(FabricFlows, DoublingBandwidthHalvesContendedFinishTimes) {
+  // The x2 metamorphic law, event-driven and under contention.
+  const auto run = [](double mb_per_s) {
+    sim::Simulation sim;
+    Fabric fabric(pair_plan(mb_per_s), 2);
+    fabric.bind(&sim);
+    std::vector<SimTime> done;
+    for (int i = 0; i < 3; ++i) {
+      fabric.start_flow(FlowKind::kImagePull, 0, 1, 60.0,
+                        [&](SimTime t) { done.push_back(t); });
+    }
+    sim.run_all();
+    return done;
+  };
+  const auto base = run(90.0);
+  const auto doubled = run(180.0);
+  ASSERT_EQ(base.size(), 3u);
+  ASSERT_EQ(doubled.size(), 3u);
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(doubled[i] * 2, base[i]);
+  }
+}
+
+TEST(FabricFlows, DegradeSlowsActiveFlows) {
+  sim::Simulation sim;
+  Fabric fabric(pair_plan(), 2);
+  fabric.bind(&sim);
+  const auto link = fabric.link_index("n1-up");
+  ASSERT_TRUE(link.has_value());
+  SimTime done = 0;
+  fabric.start_flow(FlowKind::kMigration, 0, 1, 100.0,
+                    [&](SimTime t) { done = t; });
+  sim.schedule_at(kSec / 2, [&] { fabric.degrade_link(*link, 2.0); });
+  sim.run_all();
+  // 50 MB at 100 MB/s, then 50 MB at 50 MB/s: 0.5 s + 1 s.
+  EXPECT_EQ(done, kSec / 2 + kSec);
+}
+
+}  // namespace
+}  // namespace knots::net

@@ -1,0 +1,201 @@
+// Max-min fair-share allocator: exact small cases, then a 20k-iteration
+// property fuzz of the three laws the header pins (feasibility, work
+// conservation, no starvation) against randomized flow sets.
+#include "net/fair_share.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace knots::net {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kEps = 1e-7;
+
+std::vector<double> share(std::vector<std::vector<int>> flows,
+                          std::vector<double> caps) {
+  std::vector<FlowDemand> demands;
+  for (auto& f : flows) demands.push_back(FlowDemand{std::move(f)});
+  return fair_share(demands, caps);
+}
+
+TEST(FairShare, SingleFlowGetsFullCapacity) {
+  const auto r = share({{0}}, {100.0});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_DOUBLE_EQ(r[0], 100.0);
+}
+
+TEST(FairShare, TwoFlowsSplitABottleneckEvenly) {
+  const auto r = share({{0}, {0}}, {100.0});
+  EXPECT_DOUBLE_EQ(r[0], 50.0);
+  EXPECT_DOUBLE_EQ(r[1], 50.0);
+}
+
+TEST(FairShare, ClassicMaxMinRedistribution) {
+  // f0 crosses only link 0 (cap 10); f1 crosses links 0 and 1 (cap 2).
+  // f1 is bottlenecked at link 1 with rate 2; f0 takes the remaining 8 —
+  // not the naive even split of 5/5.
+  const auto r = share({{0}, {0, 1}}, {10.0, 2.0});
+  EXPECT_DOUBLE_EQ(r[1], 2.0);
+  EXPECT_DOUBLE_EQ(r[0], 8.0);
+}
+
+TEST(FairShare, UnconstrainedFlowIsInfinite) {
+  const auto r = share({{}, {0}}, {7.0});
+  EXPECT_TRUE(std::isinf(r[0]));
+  EXPECT_DOUBLE_EQ(r[1], 7.0);
+}
+
+TEST(FairShare, InfiniteCapacityLinkConstrainsNothing) {
+  const auto r = share({{0}, {0, 1}}, {kInf, 4.0});
+  EXPECT_TRUE(std::isinf(r[0]));
+  EXPECT_DOUBLE_EQ(r[1], 4.0);
+}
+
+TEST(FairShare, DownedLinkStarvesOnlyItsFlows) {
+  const auto r = share({{0}, {1}}, {0.0, 9.0});
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 9.0);
+}
+
+TEST(FairShare, DuplicateLinkEntriesChargeOnce) {
+  const auto dup = share({{0, 0, 0}, {0}}, {10.0});
+  const auto ref = share({{0}, {0}}, {10.0});
+  EXPECT_DOUBLE_EQ(dup[0], ref[0]);
+  EXPECT_DOUBLE_EQ(dup[1], ref[1]);
+}
+
+TEST(FairShare, EmptyInputsGiveEmptyOutput) {
+  EXPECT_TRUE(fair_share({}, {5.0}).empty());
+}
+
+TEST(FairShare, ThreeTierCascade) {
+  // Link 0 cap 12 carries f0,f1,f2; link 1 cap 2 also carries f2.
+  // f2 freezes at 2; f0,f1 split the remaining 10.
+  const auto r = share({{0}, {0}, {0, 1}}, {12.0, 2.0});
+  EXPECT_DOUBLE_EQ(r[2], 2.0);
+  EXPECT_DOUBLE_EQ(r[0], 5.0);
+  EXPECT_DOUBLE_EQ(r[1], 5.0);
+}
+
+TEST(FairShare, DeterministicAcrossCalls) {
+  const std::vector<std::vector<int>> flows = {{0, 2}, {1}, {0, 1, 2}, {2}};
+  const std::vector<double> caps = {10.0, 3.0, 6.0};
+  EXPECT_EQ(share(flows, caps), share(flows, caps));
+}
+
+// -- Property fuzz: the three max-min laws over 20k random flow sets --
+
+struct Instance {
+  std::vector<FlowDemand> demands;
+  std::vector<double> caps;
+};
+
+Instance random_instance(Rng& rng) {
+  Instance in;
+  const int nl = 1 + static_cast<int>(rng.uniform_int(0, 7));
+  for (int l = 0; l < nl; ++l) {
+    const double roll = rng.uniform();
+    if (roll < 0.1) {
+      in.caps.push_back(0.0);  // downed link
+    } else if (roll < 0.25) {
+      in.caps.push_back(kInf);  // unlimited link
+    } else {
+      in.caps.push_back(0.5 + 99.5 * rng.uniform());
+    }
+  }
+  const int nf = 1 + static_cast<int>(rng.uniform_int(0, 11));
+  for (int f = 0; f < nf; ++f) {
+    FlowDemand d;
+    for (int l = 0; l < nl; ++l) {
+      if (rng.uniform() < 0.4) d.links.push_back(l);
+    }
+    in.demands.push_back(std::move(d));
+  }
+  return in;
+}
+
+TEST(FairShareFuzz, ThreeLawsHoldOn20kRandomFlowSets) {
+  Rng rng(0xF00DFACEu);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Instance in = random_instance(rng);
+    const auto rates = fair_share(in.demands, in.caps);
+    ASSERT_EQ(rates.size(), in.demands.size());
+
+    // Per-link load (finite rates only; an infinite rate only ever crosses
+    // links of infinite capacity).
+    std::vector<double> load(in.caps.size(), 0.0);
+    for (std::size_t f = 0; f < in.demands.size(); ++f) {
+      if (std::isinf(rates[f])) continue;
+      std::vector<int> links = in.demands[f].links;
+      std::sort(links.begin(), links.end());
+      links.erase(std::unique(links.begin(), links.end()), links.end());
+      for (const int l : links) load[static_cast<std::size_t>(l)] += rates[f];
+    }
+
+    for (std::size_t f = 0; f < in.demands.size(); ++f) {
+      double bottleneck = kInf;
+      for (const int l : in.demands[f].links) {
+        bottleneck = std::min(bottleneck, in.caps[static_cast<std::size_t>(l)]);
+      }
+      // No starvation: zero rate only on a downed path.
+      if (rates[f] == 0.0) {
+        EXPECT_EQ(bottleneck, 0.0) << "iter " << iter << " flow " << f;
+      }
+      if (bottleneck == 0.0) {
+        EXPECT_EQ(rates[f], 0.0);
+      }
+      // Unconstrained flows get infinity, constrained ones never do.
+      EXPECT_EQ(std::isinf(rates[f]), std::isinf(bottleneck))
+          << "iter " << iter << " flow " << f;
+      // A rate never exceeds its own path bottleneck.
+      if (!std::isinf(rates[f])) {
+        EXPECT_LE(rates[f], bottleneck + kEps);
+      }
+    }
+
+    for (std::size_t l = 0; l < in.caps.size(); ++l) {
+      // Feasibility: no link is loaded past its capacity.
+      if (!std::isinf(in.caps[l])) {
+        EXPECT_LE(load[l], in.caps[l] + kEps) << "iter " << iter << " link " << l;
+      }
+    }
+
+    // Work conservation / max-min optimality: every finite-rate flow is
+    // bottlenecked at some saturated link where it holds a maximal share —
+    // its rate could not grow without shrinking a smaller-or-equal flow.
+    for (std::size_t f = 0; f < in.demands.size(); ++f) {
+      if (std::isinf(rates[f]) || rates[f] == 0.0) continue;
+      bool bottlenecked = false;
+      for (const int li : in.demands[f].links) {
+        const auto l = static_cast<std::size_t>(li);
+        if (std::isinf(in.caps[l])) continue;
+        const bool saturated = load[l] >= in.caps[l] - kEps;
+        if (!saturated) continue;
+        double max_share = 0.0;
+        for (std::size_t g = 0; g < in.demands.size(); ++g) {
+          if (std::isinf(rates[g])) continue;
+          for (const int gl : in.demands[g].links) {
+            if (static_cast<std::size_t>(gl) == l) {
+              max_share = std::max(max_share, rates[g]);
+            }
+          }
+        }
+        if (rates[f] >= max_share - kEps) {
+          bottlenecked = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(bottlenecked) << "iter " << iter << " flow " << f
+                                << " rate " << rates[f];
+    }
+  }
+}
+
+}  // namespace
+}  // namespace knots::net

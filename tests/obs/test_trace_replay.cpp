@@ -93,6 +93,28 @@ std::uint64_t replay_digest(const TraceSink& trace) {
         record(0x09, e);
         digest.mix_u64(a);
         break;
+      case EventKind::kFlowStart:
+        record(0xB1, e);
+        digest.mix_u64(a);           // flow
+        digest.mix_u64(b);           // dst node
+        digest.mix_double(e.value);  // size MB
+        break;
+      case EventKind::kFlowFinish:
+        record(0xB2, e);
+        digest.mix_u64(a);           // flow
+        if (e.b == 1) {              // contended flows fold an extra record
+          record(0xB3, e);
+          digest.mix_u64(a);
+        }
+        break;
+      case EventKind::kLinkDown:
+        record(0xB4, e);
+        digest.mix_u64(a);           // link
+        break;
+      case EventKind::kLinkUp:
+        record(0xB5, e);
+        digest.mix_u64(a);           // link
+        break;
       case EventKind::kSubmit:
       case EventKind::kStart:
       case EventKind::kFaultInject:
