@@ -1,25 +1,58 @@
 // Figure 11a: normalized cluster power across the four schedulers per mix.
 // We report energy over the full run (work-conserving makespans differ by
 // scheduler), normalized to the Uniform baseline.
+//
+// `--device-model NAME` re-runs the figure on another registry generation
+// (v100-32g, a100-40g): absolute energy shifts with the power envelope, but
+// the paper's ordering claim is substrate-independent. Omitting the flag
+// keeps the historical P100 runs bit-identical.
+#include <cstring>
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "bench_common.hpp"
+#include "gpu/device_model.hpp"
 
 int main(int argc, char** argv) {
   using namespace knots;
   bench::Session session(argc, argv, "fig11a_power");
+
+  std::optional<gpu::DeviceModel> model;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--device-model") == 0 && i + 1 < argc) {
+      model = gpu::find_device_model(argv[++i]);
+      if (!model.has_value()) {
+        std::cerr << "bench_fig11a_power: unknown device model '" << argv[i]
+                  << "' (one of:";
+        for (const auto& m : gpu::device_models()) std::cerr << ' ' << m.name;
+        std::cerr << ")\n";
+        return 2;
+      }
+    }
+  }
+
   const std::vector<sched::SchedulerKind> kinds = {
       sched::SchedulerKind::kResourceAgnostic, sched::SchedulerKind::kCbp,
       sched::SchedulerKind::kPeakPrediction, sched::SchedulerKind::kUniform};
 
+  const std::string device =
+      model.has_value() ? model->display : gpu::default_device_model().display;
   TablePrinter table(
-      "Fig 11a: cluster energy normalized to the Uniform scheduler");
+      "Fig 11a: cluster energy normalized to the Uniform scheduler (" +
+      device + ")");
   table.columns({"mix", "Res-Ag", "CBP", "PP", "Uniform", "PP saving"});
   SweepGrid grid;
   grid.schedulers = kinds;
   double total_saving = 0;
   for (int mix = 1; mix <= 3; ++mix) {
-    const auto results = run_sweep(bench::bench_config(mix, kinds[0]), grid);
+    ExperimentConfig cfg = bench::bench_config(mix, kinds[0]);
+    if (model.has_value()) {
+      // Same substitution ExperimentConfig::Builder::device_model performs.
+      cfg.cluster.node_spec.gpu = model->gpu;
+      cfg.workload.device_memory_mb = model->gpu.memory_mb;
+    }
+    const auto results = run_sweep(cfg, grid);
     const double uniform = results[3].report.energy_joules;
     const double saving =
         100.0 * (uniform - results[2].report.energy_joules) / uniform;

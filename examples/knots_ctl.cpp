@@ -34,7 +34,9 @@
 #include "core/csv.hpp"
 #include "core/table.hpp"
 #include "dlsim/dl_report.hpp"
+#include "gpu/device_model.hpp"
 #include "knots/experiment.hpp"
+#include "knots/scenario.hpp"
 #include "net/fabric.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -48,11 +50,14 @@ using namespace knots;
 constexpr const char* kUsage =
     "usage: knots_ctl <command> [--flag value]...\n"
     "  run    --mix N --scheduler NAME --duration SECS [--nodes N] [--gpus N]\n"
-    "         [--lanes N] [--seed N] [--csv FILE] [--crash-node N@T[:D]]\n"
-    "         [--fabric auto|zero] [--link-down NAME@T[:D]]\n"
+    "         [--lanes N] [--seed N] [--device-model NAME] [--csv FILE]\n"
+    "         [--crash-node N@T[:D]] [--fabric auto|zero]\n"
+    "         [--link-down NAME@T[:D]]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  sweep  --mix N --duration SECS [--nodes N] [--gpus N] [--lanes N]\n"
-    "         [--seed N]\n"
+    "         [--seed N] [--device-model NAME]\n"
+    "  scenario FILE [--lanes N] [--csv FILE] [--trace FILE]\n"
+    "         [--trace-bin FILE] [--metrics-out FILE]\n"
     "  serve  --qps RATE [--diurnal AMP | --flash-crowd MULT] [--slo-ms N]\n"
     "         [--autoscale on|off] [--duration SECS] [--mix N]\n"
     "         [--scheduler NAME] [--nodes N] [--gpus N] [--lanes N] [--seed N]\n"
@@ -60,7 +65,8 @@ constexpr const char* kUsage =
     "         [--metrics-out FILE]\n"
     "  dlsim  [--mix N] [--dlt N] [--dli N]           (compare all policies)\n"
     "  dlsim  --dl NAME [--mix N] [--dlt N] [--dli N] [--nodes N] [--gpus N]\n"
-    "         [--lanes N] [--duration SECS] [--seed N] [--crash-node N@T[:D]]\n"
+    "         [--lanes N] [--duration SECS] [--seed N] [--device-model NAME]\n"
+    "         [--crash-node N@T[:D]]\n"
     "         [--fabric auto|zero] [--link-down NAME@T[:D]] [--allreduce MB]\n"
     "         [--trace FILE] [--trace-bin FILE] [--metrics-out FILE]\n"
     "  list\n";
@@ -174,13 +180,37 @@ std::optional<fault::FaultPlan> crash_plan_from_flags(
   return std::nullopt;
 }
 
-/// Resolves `--fabric auto|zero` against the final node count. Missing flag
-/// → empty plan (fabric-free run); unknown mode → nullopt after a message.
+/// Resolves `--device-model NAME` against the registry. Missing flag →
+/// nullopt-free default model; unknown name → nullopt after a message.
+std::optional<gpu::DeviceModel> device_model_from_flags(
+    const std::map<std::string, std::string>& flags) {
+  const auto it = flags.find("device-model");
+  if (it == flags.end()) return gpu::default_device_model();
+  const auto model = gpu::find_device_model(it->second);
+  if (!model.has_value()) {
+    std::cerr << "knots_ctl: unknown device model '" << it->second
+              << "' (one of:";
+    for (const auto& m : gpu::device_models()) std::cerr << " " << m.name;
+    std::cerr << ")\n";
+    return std::nullopt;
+  }
+  return model;
+}
+
+/// Resolves `--fabric auto|zero` against the final node count; the auto
+/// topology's intra-node tier tracks the selected device model's NVLink.
+/// Missing flag → empty plan (fabric-free run); unknown mode → nullopt
+/// after a message.
 std::optional<net::FabricPlan> fabric_plan_from_flags(
-    const std::map<std::string, std::string>& flags, int nodes) {
+    const std::map<std::string, std::string>& flags, int nodes,
+    double intra_node_mb_per_s = 0.0) {
   const auto it = flags.find("fabric");
   if (it == flags.end()) return net::FabricPlan{};
-  if (it->second == "auto") return net::FabricPlan::auto_derive(nodes);
+  if (it->second == "auto") {
+    net::AutoFabricOptions options;
+    options.intra_node_mb_per_s = intra_node_mb_per_s;
+    return net::FabricPlan::auto_derive(nodes, options);
+  }
   if (it->second == "zero") return net::FabricPlan::zero_latency(nodes);
   std::cerr << "knots_ctl: flag '--fabric' expects auto|zero, got '"
             << it->second << "'\n";
@@ -260,8 +290,13 @@ std::optional<ExperimentConfig> config_from_flags(
   }
   builder.scheduler(sched::scheduler_from_name(sched_name));
 
+  const auto model = device_model_from_flags(flags);
+  if (!model) return std::nullopt;
+  if (flags.count("device-model") != 0) builder.device_model(model->name);
+
   const int effective_nodes = *nodes >= 0 ? static_cast<int>(*nodes) : 10;
-  const auto fabric = fabric_plan_from_flags(flags, effective_nodes);
+  const auto fabric =
+      fabric_plan_from_flags(flags, effective_nodes, model->gpu.nvlink_mbps);
   if (!fabric) return std::nullopt;
   if (!fabric->empty()) builder.fabric(*fabric);
 
@@ -281,6 +316,7 @@ void print_report(const ExperimentReport& r) {
   table.row({"queries", std::to_string(r.queries)});
   table.row({"QoS violations/kilo", fmt(r.violations_per_kilo, 1)});
   table.row({"crashes", std::to_string(r.crashes)});
+  table.row({"invariant violations", std::to_string(r.invariant_violations)});
   if (r.node_crashes > 0 || r.pods_evicted > 0) {
     table.row({"node crashes", std::to_string(r.node_crashes)});
     table.row({"pods evicted", std::to_string(r.pods_evicted)});
@@ -300,6 +336,17 @@ void print_report(const ExperimentReport& r) {
              fmt(r.mean_jct_s, 1) + " / " + fmt(r.p99_jct_s, 1)});
   table.row({"mean power W", fmt(r.mean_power_watts, 0)});
   table.row({"energy kJ", fmt(r.energy_joules / 1000, 1)});
+  for (const auto& t : r.tenants) {
+    const std::string who = "tenant " + std::to_string(t.tenant);
+    table.row({who + " peak MB / quota",
+               fmt(t.peak_provisioned_mb, 0) + " / " +
+                   (t.quota.provision_cap_mb > 0
+                        ? fmt(t.quota.provision_cap_mb, 0)
+                        : std::string("unlimited"))});
+    table.row({who + " gpu-s / placed / rejected",
+               fmt(t.gpu_seconds, 1) + " / " + std::to_string(t.placements) +
+                   " / " + std::to_string(t.rejections)});
+  }
   std::ostringstream digest;
   digest << "0x" << std::hex << std::setfill('0') << std::setw(16)
          << r.run_digest;
@@ -351,6 +398,60 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   if (flags.count("metrics-out")) observability.metrics = &metrics;
 
   const auto report = run_experiment(*config, observability);
+  print_report(report);
+  if (flags.count("csv")) export_csv(report, flags.at("csv"));
+
+  bool io_ok = true;
+  if (flags.count("trace")) {
+    io_ok &= write_file(flags.at("trace"), "chrome trace",
+                        [&](std::ostream& os) { trace.export_chrome_trace(os); });
+  }
+  if (flags.count("trace-bin")) {
+    io_ok &= write_file(flags.at("trace-bin"), "binary trace",
+                        [&](std::ostream& os) { trace.export_binary(os); });
+  }
+  if (flags.count("metrics-out")) {
+    io_ok &= write_file(flags.at("metrics-out"), "metrics",
+                        [&](std::ostream& os) { metrics.to_json(os); });
+  }
+  return io_ok ? 0 : 1;
+}
+
+int cmd_scenario(const std::string& path,
+                 const std::map<std::string, std::string>& flags) {
+  std::string error;
+  auto scenario = load_scenario(path, error);
+  if (!scenario) {
+    std::cerr << "knots_ctl: " << error << "\n" << kUsage;
+    return 2;
+  }
+  const auto lanes = int_flag(flags, "lanes", -1);
+  if (!lanes) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  if (flags.count("lanes") != 0) {
+    if (*lanes < 1) {
+      std::cerr << "knots_ctl: flag '--lanes' expects an integer >= 1, got '"
+                << flags.at("lanes") << "'\n"
+                << kUsage;
+      return 2;
+    }
+    scenario->config.cluster.lanes = static_cast<int>(*lanes);
+  }
+
+  obs::TraceSink trace;
+  obs::MetricsRegistry metrics;
+  RunObservability observability;
+  if (flags.count("trace") != 0 || flags.count("trace-bin") != 0) {
+    observability.trace = &trace;
+  }
+  if (flags.count("metrics-out")) observability.metrics = &metrics;
+
+  std::cout << "scenario " << scenario->name << " ("
+            << scenario->config.cluster.nodes << " nodes, lanes "
+            << scenario->config.cluster.lanes << ")\n";
+  const auto report = run_experiment(scenario->config, observability);
   print_report(report);
   if (flags.count("csv")) export_csv(report, flags.at("csv"));
 
@@ -598,7 +699,15 @@ int cmd_dlsim(const std::map<std::string, std::string>& flags) {
   cluster.gpus_per_node = static_cast<int>(*gpus);
   cluster.lanes = static_cast<int>(*lanes);
 
-  const auto fabric = fabric_plan_from_flags(flags, cluster.nodes);
+  const auto model = device_model_from_flags(flags);
+  if (!model) {
+    std::cerr << kUsage;
+    return 2;
+  }
+  cluster.gpu = model->gpu;
+
+  const auto fabric =
+      fabric_plan_from_flags(flags, cluster.nodes, model->gpu.nvlink_mbps);
   if (!fabric) {
     std::cerr << kUsage;
     return 2;
@@ -675,6 +784,10 @@ int cmd_list() {
   for (const auto& name : dlsim::dl_policy_names()) {
     std::cout << " " << name;
   }
+  std::cout << "\ndevice models:";
+  for (const auto& m : gpu::device_models()) {
+    std::cout << " " << m.name;
+  }
   std::cout << "\napp mixes:\n";
   for (const auto& mix : workload::all_app_mixes()) {
     std::cout << "  " << mix.id << ": " << mix.name << " (load "
@@ -693,23 +806,37 @@ int main(int argc, char** argv) {
   static const std::map<std::string, std::set<std::string>> kAllowedFlags = {
       {"run",
        {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
-        "csv", "crash-node", "fabric", "link-down", "trace", "trace-bin",
-        "metrics-out"}},
+        "device-model", "csv", "crash-node", "fabric", "link-down", "trace",
+        "trace-bin", "metrics-out"}},
       {"sweep",
-       {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed"}},
+       {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
+        "device-model"}},
+      {"scenario", {"lanes", "csv", "trace", "trace-bin", "metrics-out"}},
       {"serve",
        {"mix", "scheduler", "duration", "nodes", "gpus", "lanes", "seed",
         "qps", "diurnal", "flash-crowd", "slo-ms", "autoscale", "crash-node",
         "trace", "trace-bin", "metrics-out"}},
       {"dlsim",
        {"mix", "dlt", "dli", "dl", "nodes", "gpus", "lanes", "duration",
-        "seed", "crash-node", "fabric", "link-down", "allreduce", "trace",
-        "trace-bin", "metrics-out"}},
+        "seed", "device-model", "crash-node", "fabric", "link-down",
+        "allreduce", "trace", "trace-bin", "metrics-out"}},
       {"list", {}},
   };
   const auto allowed = kAllowedFlags.find(cmd);
   if (allowed == kAllowedFlags.end()) {
     return usage_error("unknown command: " + cmd);
+  }
+  if (cmd == "scenario") {
+    // One positional argument (the scenario file) before the flags.
+    if (argc < 3 || std::string(argv[2]).rfind("--", 0) == 0) {
+      return usage_error("scenario needs a file argument");
+    }
+    const auto flags = parse_flags(argc, argv, 3, allowed->second);
+    if (!flags) {
+      std::cerr << kUsage;
+      return 2;
+    }
+    return cmd_scenario(argv[2], *flags);
   }
   const auto flags = parse_flags(argc, argv, 2, allowed->second);
   if (!flags) {

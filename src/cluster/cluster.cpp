@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "core/check.hpp"
+#include "gpu/device_model.hpp"
 #include "obs/profile.hpp"
 
 namespace knots::cluster {
@@ -12,25 +13,61 @@ using obs::EventKind;
 
 Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
     : config_(config), scheduler_(&scheduler), rng_(config.seed) {
-  KNOTS_CHECK(config_.nodes > 0 && config_.gpus_per_node > 0);
-  gpu::NodeSpec node_spec = config_.node_spec;
-  node_spec.gpus_per_node = config_.gpus_per_node;
+  KNOTS_CHECK(config_.gpus_per_node > 0);
+  // The per-node build list. Homogeneous (the historical default, taken
+  // whenever node_classes is empty) repeats node_spec; a heterogeneous
+  // cluster expands its classes in list order, so node ids are contiguous
+  // per class and the layout is deterministic in the config alone.
+  std::vector<gpu::NodeSpec> node_specs;
+  if (config_.node_classes.empty()) {
+    KNOTS_CHECK(config_.nodes > 0);
+    gpu::NodeSpec node_spec = config_.node_spec;
+    node_spec.gpus_per_node = config_.gpus_per_node;
+    node_specs.assign(static_cast<std::size_t>(config_.nodes), node_spec);
+  } else {
+    for (const NodeClass& cls : config_.node_classes) {
+      const auto model = gpu::find_device_model(cls.device_model);
+      KNOTS_CHECK_MSG(model.has_value(),
+                      "node class names an unknown device model");
+      KNOTS_CHECK_MSG(cls.count > 0, "node class must have a positive count");
+      gpu::NodeSpec node_spec = config_.node_spec;
+      node_spec.gpu = model->gpu;
+      node_spec.gpus_per_node =
+          cls.gpus_per_node > 0 ? cls.gpus_per_node : config_.gpus_per_node;
+      node_spec.preemptible = cls.preemptible;
+      node_spec.spot_notice = cls.spot_notice;
+      node_specs.insert(node_specs.end(), static_cast<std::size_t>(cls.count),
+                        node_spec);
+    }
+    // Keep node_count() (and everything downstream: fault validation, lane
+    // partition, fabric sizing) consistent with the expanded class list.
+    config_.nodes = static_cast<int>(node_specs.size());
+  }
 
   std::int32_t next_gpu = 0;
   for (int n = 0; n < config_.nodes; ++n) {
+    const gpu::NodeSpec& node_spec = node_specs[static_cast<std::size_t>(n)];
     nodes_.push_back(std::make_unique<gpu::GpuNode>(NodeId{n}, node_spec,
                                                     next_gpu));
     dbs_.push_back(std::make_unique<telemetry::TimeSeriesDb>(
         config_.telemetry_retention, /*stats_window=*/0, &telemetry_arena_));
-    for (int g = 0; g < config_.gpus_per_node; ++g) {
+    for (int g = 0; g < node_spec.gpus_per_node; ++g) {
       gpu_index_.emplace_back(static_cast<std::size_t>(n),
                               static_cast<std::size_t>(g));
       ++next_gpu;
     }
   }
   devices_.reserve(gpu_index_.size());
+  compute_factor_.reserve(gpu_index_.size());
   for (const auto& [n, g] : gpu_index_) {
     devices_.push_back(&nodes_[n]->gpu(g));
+    compute_factor_.push_back(nodes_[n]->gpu(g).spec().compute_factor);
+  }
+  for (const auto& node : nodes_) {
+    if (node->spec().preemptible) has_preemptible_ = true;
+  }
+  for (const TenantQuotaSpec& quota : config_.tenant_quotas) {
+    ledger_.set_quota(quota);
   }
   samplers_.reserve(nodes_.size());
   for (std::size_t n = 0; n < nodes_.size(); ++n) {
@@ -89,8 +126,13 @@ Cluster::Cluster(const ClusterConfig& config, Scheduler& scheduler)
 }
 
 void Cluster::set_fault_plan(fault::FaultPlan plan) {
+  std::vector<bool> preemptible(nodes_.size(), false);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    preemptible[n] = nodes_[n]->spec().preemptible;
+  }
   plan.validate(config_.nodes,
-                fabric_ ? fabric_->link_names() : std::vector<std::string>{});
+                fabric_ ? fabric_->link_names() : std::vector<std::string>{},
+                preemptible);
   fault_plan_ = std::move(plan);
 }
 
@@ -227,6 +269,12 @@ NodeHealth Cluster::node_health(NodeId id) const {
   return injector_->node_down(id) ? NodeHealth::kDown : NodeHealth::kHealthy;
 }
 
+double Cluster::total_power_watts() const {
+  double watts = 0;
+  for (const auto& node : nodes_) watts += node->power_watts();
+  return watts;
+}
+
 bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   auto& p = *pods_.at(static_cast<std::size_t>(id.value));
   if (p.state() != PodState::kPending) return false;
@@ -236,8 +284,16 @@ bool Cluster::place(PodId id, GpuId gpu_id, double provisioned_mb) {
   const auto [node_idx, gpu_in_node] =
       gpu_index_.at(static_cast<std::size_t>(gpu_id.value));
   if (!nodes_[node_idx]->online()) return false;
+  // Central quota admission: whichever scheduler asked, a tenant over its
+  // caps cannot place. The pod stays pending and retries when quota frees.
+  if (ledger_.enforcing() &&
+      !ledger_.admits(p.spec().tenant, provisioned_mb)) {
+    ledger_.note_rejection(p.spec().tenant);
+    return false;
+  }
   auto& dev = device(gpu_id);
   if (!dev.attach(id, provisioned_mb)) return false;
+  ledger_.charge(p.spec().tenant, id, provisioned_mb);
   note_attach(gpu_id);
   pending_.erase(it);
 
@@ -290,7 +346,16 @@ bool Cluster::resize_pod(PodId id, double provisioned_mb) {
   if (p.state() != PodState::kRunning && p.state() != PodState::kStarting) {
     return false;
   }
+  // Growth is quota-gated like a fresh placement; shrinking always admits
+  // (it frees quota).
+  const double growth = provisioned_mb - p.provisioned_mb();
+  if (growth > 0 && ledger_.enforcing() &&
+      !ledger_.admits(p.spec().tenant, growth)) {
+    ledger_.note_rejection(p.spec().tenant);
+    return false;
+  }
   if (!device(p.gpu()).resize(id, provisioned_mb)) return false;
+  ledger_.recharge(id, provisioned_mb);
   p.set_provisioned_mb(provisioned_mb);
   for (auto* o : observers_) o->on_resize(*this, id, provisioned_mb);
   if (trace_ != nullptr) {
@@ -321,6 +386,7 @@ void Cluster::evict_node(NodeId id) {
       auto& p = *pods_[static_cast<std::size_t>(pod_id.value)];
       dev.detach(pod_id);
       note_detach(dev.id());
+      ledger_.release(pod_id);
       p.evict(now());
       note_state(p);
       ++evicted;
@@ -403,9 +469,18 @@ void Cluster::on_arrival(PodId id) {
 }
 
 SchedulingContext Cluster::make_context() {
-  return SchedulingContext{this,           now(),          &pending_,
-                           &aggregator_,   &profile_store_, &fault_feed_,
-                           trace_,         nullptr};
+  SchedulingContext ctx;
+  ctx.cluster = this;
+  ctx.now = now();
+  ctx.pending = &pending_;
+  ctx.aggregator = &aggregator_;
+  ctx.profiles = &profile_store_;
+  ctx.fault_feed = &fault_feed_;
+  ctx.trace = trace_;
+  // Exposed only while quotas are actually enforced, so policies behave
+  // bit-identically on quota-free runs.
+  ctx.tenants = ledger_.enforcing() ? &ledger_ : nullptr;
+  return ctx;
 }
 
 void Cluster::apply_fault(const fault::FaultEvent& event) {
@@ -483,6 +558,20 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
       });
       break;
     }
+    case fault::FaultKind::kSpotReclaim: {
+      // Stage 1: the reclaim *notice*. Schedulers (and serve's autoscaler,
+      // through the feed) get the node's spot_notice grace to drain or
+      // re-place before the capacity actually disappears.
+      if (injector_->node_down(event.node)) return;
+      fault_feed_.push_back(
+          {now(), fault::FaultKind::kSpotReclaim, event.node, false});
+      const SimTime notice = nodes_[node_idx]->spec().spot_notice;
+      sim_.schedule_after(notice,
+                          [this, node = event.node, d = event.duration] {
+                            reclaim_node(node, d);
+                          });
+      break;
+    }
     case fault::FaultKind::kLinkDown:
     case fault::FaultKind::kLinkDegrade: {
       // set_fault_plan already validated the name against the fabric.
@@ -515,6 +604,26 @@ void Cluster::apply_fault(const fault::FaultEvent& event) {
       }
       break;
     }
+  }
+}
+
+void Cluster::reclaim_node(NodeId id, SimTime duration) {
+  // Stage 2: the notice grace elapsed; the provider takes the node. From
+  // here it is a node-crash in every observable way — evictions ride the
+  // kEvicted requeue path, telemetry goes dark, power drops to zero — so
+  // every conservation invariant and observer contract holds unchanged.
+  if (injector_->node_down(id)) return;  // crashed during the notice window
+  injector_->note_node_down(id);
+  nodes_[static_cast<std::size_t>(id.value)]->set_online(false);
+  evict_node(id);
+  for (auto* o : observers_) o->on_node_down(*this, id);
+  if (trace_ != nullptr) {
+    trace_->record(now(), EventKind::kNodeDown, id.value);
+  }
+  SchedulingContext ctx = make_context();
+  scheduler_->on_node_down(ctx, id);
+  if (duration > 0) {
+    sim_.schedule_after(duration, [this, id] { recover_node(id); });
   }
 }
 
@@ -611,6 +720,15 @@ void Cluster::advance_running_pods() {
       const auto dt = static_cast<SimTime>(
           static_cast<double>(config_.tick) / factor);
       slot.dt = std::max<SimTime>(1, dt);
+      // Device generation: a faster GPU retires proportionally more profile
+      // time per wall tick. Applied after quantization so the homogeneous
+      // P100 path (factor 1.0) is an exact no-op, and power-of-two factors
+      // scale dt exactly (the heterogeneity metamorphic law leans on both).
+      const double cf = compute_factor_[gi];
+      if (cf != 1.0) {
+        slot.dt = std::max<SimTime>(
+            1, static_cast<SimTime>(static_cast<double>(slot.dt) * cf));
+      }
       slot.run = 1;
       // A pod that will finish this tick draws no jitter; one that will
       // crash still draws (jitter is what crashes it).
@@ -725,7 +843,13 @@ void Cluster::advance_fused() {
     }
     const auto scaled = static_cast<SimTime>(
         static_cast<double>(config_.tick) / factor);
-    const SimTime dt = std::max<SimTime>(1, scaled);
+    SimTime dt = std::max<SimTime>(1, scaled);
+    // Same compute-factor application as the phased path (see plan_lane).
+    const double cf = compute_factor_[gi];
+    if (cf != 1.0) {
+      dt = std::max<SimTime>(
+          1, static_cast<SimTime>(static_cast<double>(dt) * cf));
+    }
     // A pod that will finish this tick draws no jitter; one that will
     // crash still draws (jitter is what crashes it). The rank must be
     // consumed before the outcome is known to match the phased pre-pass.
@@ -800,6 +924,7 @@ void Cluster::start_ready_pods() {
 
 void Cluster::commit_complete(Pod& p) {
   ++completed_;
+  ledger_.release(p.id());
 
   const auto& spec = p.spec();
   profile_store_.record_run(
@@ -841,6 +966,7 @@ void Cluster::crash_pod(Pod& p) {
 }
 
 void Cluster::commit_crash(Pod& p) {
+  ledger_.release(p.id());
   metrics_->record_crash();
   const PodId id = p.id();
   for (auto* o : observers_) o->on_crash(*this, id);
@@ -862,9 +988,7 @@ void Cluster::sample_figure_metrics() {
   // percentiles with idle samples. Energy keeps integrating over the full
   // run (makespan differences are the point of Fig 11a).
   if (now() > last_arrival_) return;
-  double cluster_watts = 0;
-  for (const auto& node : nodes_) cluster_watts += node->power_watts();
-  metrics_->add_power_sample(cluster_watts);
+  metrics_->add_power_sample(total_power_watts());
   for (std::size_t i = 0; i < gpu_index_.size(); ++i) {
     const auto& dev = device(GpuId{static_cast<std::int32_t>(i)});
     // Percentiles are over utilization *while serving work*: parked and
@@ -967,9 +1091,19 @@ void Cluster::tick() {
   maybe_park_idle_gpus();
 
   // Energy integrates every tick; figure metrics sample at 1 s cadence.
-  double cluster_watts = 0;
-  for (const auto& node : nodes_) cluster_watts += node->power_watts();
+  const double cluster_watts = total_power_watts();
   metrics_->add_energy(cluster_watts * to_seconds(config_.tick));
+  // GPU-seconds accounting for tracked tenants (the ledger is empty — and
+  // this loop skipped — on default single-tenant runs).
+  if (!ledger_.empty()) {
+    const double tick_seconds = to_seconds(config_.tick);
+    for (const PodId id : active_) {
+      const auto& p = *pods_[static_cast<std::size_t>(id.value)];
+      if (p.state() == PodState::kRunning) {
+        ledger_.accrue_gpu_seconds(p.spec().tenant, tick_seconds);
+      }
+    }
+  }
   if (config_.metrics_period > 0 &&
       (now() / config_.tick) % (config_.metrics_period / config_.tick) == 0) {
     sample_figure_metrics();

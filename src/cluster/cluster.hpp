@@ -21,6 +21,7 @@
 #include "cluster/pod.hpp"
 #include "cluster/profile_store.hpp"
 #include "cluster/scheduler.hpp"
+#include "cluster/tenant_ledger.hpp"
 #include "core/arena.hpp"
 #include "core/page_arena.hpp"
 #include "core/rng.hpp"
@@ -38,10 +39,34 @@
 
 namespace knots::cluster {
 
+/// One class of identical worker nodes in a heterogeneous cluster: a device
+/// model from the gpu::DeviceModel registry times a count, optionally spot.
+struct NodeClass {
+  std::string device_model;  ///< Registry name, e.g. "v100-32g".
+  int count = 0;
+  int gpus_per_node = 0;     ///< 0 = inherit ClusterConfig::gpus_per_node.
+  bool preemptible = false;  ///< Spot capacity (reclaimable via FaultPlan).
+  SimTime spot_notice = 0;   ///< Reclaim warning → actual node-down grace.
+  friend bool operator==(const NodeClass&, const NodeClass&) = default;
+};
+
 struct ClusterConfig {
   int nodes = 10;               ///< Paper testbed: ten P100 worker nodes.
   int gpus_per_node = 1;
   gpu::NodeSpec node_spec{};    ///< gpus_per_node above overrides the spec's.
+  /// Heterogeneous substrate: when non-empty, nodes are built class by class
+  /// (in list order, so node ids are contiguous per class) from the device
+  /// model registry and `nodes`/`node_spec.gpu` above are ignored. Empty
+  /// keeps the historical homogeneous construction bit-for-bit.
+  std::vector<NodeClass> node_classes{};
+  /// Per-tenant admission caps. Any entry switches the TenantLedger to
+  /// enforcing: placements are quota-gated centrally in place(). Empty =
+  /// no quotas, and tenant-0-only runs stay ledger-invisible.
+  std::vector<TenantQuotaSpec> tenant_quotas{};
+  /// Cluster-wide instantaneous power budget in watts (0 = uncapped). Not a
+  /// control loop — the invariant checker audits that the simulated draw
+  /// never exceeds it, for power-capped-rack scenarios.
+  double power_cap_watts = 0.0;
   SimTime tick = 10 * kMsec;    ///< Progress/scheduling quantum.
   SimTime metrics_period = 1 * kSec;  ///< Figure-metrics sampling cadence.
   SimTime cold_start = 2 * kSec;      ///< First image pull on a node (§V-B).
@@ -155,6 +180,11 @@ class Cluster : private net::FabricObserver {
   }
   [[nodiscard]] const ProfileStore& profiles() const { return profile_store_; }
   [[nodiscard]] const MetricsCollector& metrics() const { return *metrics_; }
+  /// Per-tenant accounting (inactive — no rows — in default single-tenant
+  /// runs without quotas).
+  [[nodiscard]] const TenantLedger& tenant_ledger() const noexcept {
+    return ledger_;
+  }
 
   [[nodiscard]] std::size_t gpu_count() const noexcept { return gpu_index_.size(); }
   // Flat device table: one indirection instead of gpu_index_ + node + slot
@@ -188,7 +218,21 @@ class Cluster : private net::FabricObserver {
   // ---- Fault/health API ----
   [[nodiscard]] int node_count() const noexcept { return config_.nodes; }
   [[nodiscard]] NodeId node_of_gpu(GpuId id) const;
+  /// The node's spec (device model, spot flags) — heterogeneous clusters
+  /// differ per node.
+  [[nodiscard]] const gpu::NodeSpec& node_spec(NodeId id) const {
+    return nodes_.at(static_cast<std::size_t>(id.value))->spec();
+  }
+  /// True when any node is spot capacity. Spot-aware schedulers gate their
+  /// two-pass preference walk on this so spot-free clusters pay nothing
+  /// (and place bit-identically to the pre-spot code).
+  [[nodiscard]] bool has_preemptible_nodes() const noexcept {
+    return has_preemptible_;
+  }
   [[nodiscard]] NodeHealth node_health(NodeId id) const;
+  /// Instantaneous whole-cluster draw (hosts + GPUs) — the same sum the
+  /// energy integrator uses; audited against config().power_cap_watts.
+  [[nodiscard]] double total_power_watts() const;
   [[nodiscard]] const fault::FaultStats& fault_stats() const noexcept {
     return injector_->stats();
   }
@@ -217,6 +261,12 @@ class Cluster : private net::FabricObserver {
   /// Docker resize of a running pod's container allocation. Fails when the
   /// new size is below current usage.
   bool resize_pod(PodId id, double provisioned_mb);
+
+  /// Records a tenant-quota refusal a scheduler discovered in its own
+  /// pre-check (CBP skips the node walk for over-budget tenants). Counting
+  /// here keeps its rejection accounting identical to schedulers that only
+  /// find out inside place().
+  void note_quota_rejection(int tenant) { ledger_.note_rejection(tenant); }
 
   /// Parks an empty GPU into deep sleep; fails when occupied or on a dead
   /// node.
@@ -276,6 +326,10 @@ class Cluster : private net::FabricObserver {
   [[nodiscard]] SchedulingContext make_context();
   void apply_fault(const fault::FaultEvent& event);
   void recover_node(NodeId id);
+  /// Spot-reclaim landing after the notice grace: the preemptible node goes
+  /// down exactly like a crash (evictions through the kEvicted requeue path)
+  /// and recovers after `duration` (0 = never).
+  void reclaim_node(NodeId id, SimTime duration);
   void detect_stale_transitions(SchedulingContext& ctx);
   void update_tick_metrics(double cluster_watts);
   [[nodiscard]] bool all_terminal() const;
@@ -352,6 +406,11 @@ class Cluster : private net::FabricObserver {
   /// Packed PodState per pod id (see pod_state_table()).
   std::vector<std::uint8_t> pod_states_;
   ProfileStore profile_store_;
+  TenantLedger ledger_;
+  /// Per-device compute factor (dense GpuId order), snapshotted once at
+  /// construction so the tick hot path never chases spec pointers. All 1.0
+  /// on a homogeneous P100 cluster.
+  std::vector<double> compute_factor_;
   std::unique_ptr<MetricsCollector> metrics_;
   std::set<std::pair<std::size_t, std::string>> image_cache_;
   std::vector<SimTime> gpu_last_busy_;
@@ -361,6 +420,7 @@ class Cluster : private net::FabricObserver {
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<fault::FaultNotice> fault_feed_;
   std::vector<bool> gpu_stale_;  ///< Previous-tick staleness, for edges.
+  bool has_preemptible_ = false;  ///< Any node is spot capacity.
   SimTime last_arrival_ = 0;
   std::size_t completed_ = 0;
   std::uint64_t pod_rng_counter_ = 0;

@@ -30,6 +30,7 @@ namespace knots::cluster {
 
 class Cluster;
 class ProfileStore;
+class TenantLedger;
 
 /// Engine-specific payload a substrate may hang off the SchedulingContext.
 /// Pod scheduling leaves it null; the DL engine passes its DlSchedView so
@@ -57,6 +58,11 @@ struct SchedulingContext {
   /// Optional tracer for kDecision rationale events; nullptr when the run
   /// is untraced. Policies must behave identically either way.
   obs::TraceSink* trace = nullptr;
+  /// Per-tenant quota accounting, non-null only when the cluster enforces
+  /// quotas. Policies may consult it to skip pods whose tenant is over
+  /// budget (the cluster re-checks admission in place() regardless, so this
+  /// is an efficiency hint, not the enforcement point).
+  const TenantLedger* tenants = nullptr;
   /// Substrate-specific view (null for pod-cluster rounds).
   ContextExtension* extension = nullptr;
 };

@@ -335,6 +335,10 @@ double DlEngine::job_speed(const DltJob& job, SimTime t,
     if (fault_effects) s /= injector_.pcie_slowdown(node_of(gi), t);
     speed = std::min(speed, s);
   }
+  // Device-class throughput: a V100/A100-class substrate retires the same
+  // training step in 1/compute_factor of the P100 wall time (exact no-op
+  // at the default 1.0).
+  if (cfg_.gpu.compute_factor != 1.0) speed *= cfg_.gpu.compute_factor;
   if (!comm_factor_.empty()) {
     speed *= comm_factor_[static_cast<std::size_t>(job.id)];
   }

@@ -22,6 +22,8 @@ struct DltJob {
   /// Fraction of each iteration spent in all-reduce/input lulls; PP
   /// harvests these windows for inference co-location.
   double lull_fraction = 0.15;
+  /// Owning tenant (0 = default; scenario runs label jobs per tenant).
+  int tenant = 0;
 
   // -- runtime state --
   SimTime progress = 0;

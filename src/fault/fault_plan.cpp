@@ -15,6 +15,7 @@ std::string_view to_string(FaultKind kind) noexcept {
     case FaultKind::kPcieStall: return "pcie-stall";
     case FaultKind::kLinkDegrade: return "link-degrade";
     case FaultKind::kLinkDown: return "link-down";
+    case FaultKind::kSpotReclaim: return "spot-reclaim";
   }
   return "unknown";
 }
@@ -55,8 +56,13 @@ FaultPlan& FaultPlan::link_degrade(std::string link, SimTime at,
   return *this;
 }
 
-void FaultPlan::validate(int node_count,
-                         const std::vector<std::string>& links) const {
+FaultPlan& FaultPlan::spot_reclaim(NodeId node, SimTime at, SimTime down_for) {
+  events.push_back({FaultKind::kSpotReclaim, node, at, down_for, 0.0});
+  return *this;
+}
+
+void FaultPlan::validate(int node_count, const std::vector<std::string>& links,
+                         const std::vector<bool>& preemptible_nodes) const {
   const auto known_link = [&](const std::string& name) {
     return std::find(links.begin(), links.end(), name) != links.end();
   };
@@ -90,6 +96,13 @@ void FaultPlan::validate(int node_count,
         break;
       case FaultKind::kHeartbeatLoss:
         KNOTS_CHECK_MSG(ev.duration > 0, "heartbeat gap needs a duration");
+        break;
+      case FaultKind::kSpotReclaim:
+        KNOTS_CHECK_MSG(
+            static_cast<std::size_t>(ev.node.value) <
+                    preemptible_nodes.size() &&
+                preemptible_nodes[static_cast<std::size_t>(ev.node.value)],
+            "spot reclaim targets a node that is not preemptible");
         break;
       case FaultKind::kNodeCrash:
       case FaultKind::kLinkDown:

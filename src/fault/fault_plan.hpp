@@ -26,6 +26,12 @@
 //   kLinkDown       — a named fabric link carries nothing for `duration`
 //                     (0 = never restored). Flows over it stall until it
 //                     recovers or they are rerouted by a new placement.
+//   kSpotReclaim    — the cloud provider reclaims a *preemptible* node: a
+//                     warning notice lands on the fault feed at `at`, then
+//                     after the node's NodeSpec::spot_notice grace the node
+//                     goes down exactly like a crash (pods evicted back to
+//                     pending via the kEvicted requeue path); capacity
+//                     returns after `duration` (0 = never).
 #pragma once
 
 #include <cstdint>
@@ -44,6 +50,7 @@ enum class FaultKind {
   kPcieStall,
   kLinkDegrade,
   kLinkDown,
+  kSpotReclaim,
 };
 
 std::string_view to_string(FaultKind kind) noexcept;
@@ -88,13 +95,16 @@ struct FaultPlan {
   FaultPlan& link_down(std::string link, SimTime at, SimTime down_for = 0);
   FaultPlan& link_degrade(std::string link, SimTime at, SimTime degrade_for,
                           double slowdown);
+  FaultPlan& spot_reclaim(NodeId node, SimTime at, SimTime down_for = 0);
 
   /// Aborts (KNOTS_CHECK) when an event targets a node outside
   /// [0, node_count), names a fabric link not in `links` (with no fabric,
-  /// every link fault is rejected), has a negative time, or carries a
-  /// nonsense severity.
-  void validate(int node_count,
-                const std::vector<std::string>& links) const;
+  /// every link fault is rejected), has a negative time, carries a
+  /// nonsense severity, or reclaims a node `preemptible_nodes` does not
+  /// mark as spot (an empty mask rejects every reclaim — only clusters
+  /// with spot capacity accept them).
+  void validate(int node_count, const std::vector<std::string>& links,
+                const std::vector<bool>& preemptible_nodes = {}) const;
   /// Topology-only validation: same checks against an empty link set, so
   /// plans with link faults are rejected unless the fabric overload is used.
   void validate(int node_count) const { validate(node_count, {}); }

@@ -1,0 +1,46 @@
+// The device-model registry: named GPU calibrations a cluster is built from.
+//
+// Before the scenario engine the P100 was hard-coded in three places
+// (GpuSpec defaults, GpuPowerSpec wattages, knots::HardwareConfig literals).
+// This registry is now the single definition: `p100-16g` reproduces those
+// defaults bit-for-bit, and `v100-32g` / `a100-40g` add newer generations so
+// a cluster can mix node classes (cluster::ClusterConfig::node_classes).
+//
+// Each model carries its memory size, PCIe/NVLink bandwidths, the p-state
+// power envelope, and a *relative compute factor*: how much profile runtime
+// (and DL step time) the device retires per unit of simulated time compared
+// to the P100 baseline. Factors are deliberately powers of two — combined
+// with AppProfile::time_scaled/memory_scaled (exact for power-of-two factors
+// in IEEE arithmetic) that makes the heterogeneity metamorphic law exact: an
+// all-v100 cluster running ×2-scaled profiles replays the P100 golden
+// placement sequence bit-for-bit.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gpu/gpu_device.hpp"
+
+namespace knots::gpu {
+
+/// One named, calibrated GPU generation.
+struct DeviceModel {
+  std::string name;     ///< Registry key, e.g. "p100-16g".
+  std::string display;  ///< Human-readable label, e.g. "P100 (16GB)".
+  GpuSpec gpu;          ///< Full device spec (memory, links, power, compute).
+};
+
+/// All registered models, in a stable order (P100 first).
+[[nodiscard]] const std::vector<DeviceModel>& device_models();
+
+/// Looks a model up by registry name; std::nullopt for unknown names.
+[[nodiscard]] std::optional<DeviceModel> find_device_model(
+    std::string_view name);
+
+/// The baseline calibration every default config uses: `p100-16g`, equal to
+/// GpuSpec{} field for field.
+[[nodiscard]] const DeviceModel& default_device_model();
+
+}  // namespace knots::gpu

@@ -37,6 +37,11 @@ struct GpuSpec {
   double context_switch_tax = 0.08;
   /// SM demand above which a resident counts as compute-active.
   double active_sm_threshold = 0.05;
+  /// Relative compute throughput vs the P100 baseline: how much profile
+  /// runtime (or DL step work) this device retires per simulated second.
+  /// 1.0 is the P100; the DeviceModel registry calibrates newer generations
+  /// with power-of-two factors so factor-scaled runs stay IEEE-exact.
+  double compute_factor = 1.0;
   GpuPowerSpec power{};
 };
 

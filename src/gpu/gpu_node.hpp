@@ -15,6 +15,13 @@ struct NodeSpec {
   /// Host CPU floor. Defaults to 0 so cluster power matches the paper's
   /// NVML-measured *GPU* power; set to ~120 W to model the Xeon host too.
   double host_idle_watts = 0.0;
+  /// Spot/preemptible capacity: the provider may reclaim this node at any
+  /// time via a fault::kSpotReclaim event. Schedulers see the flag through
+  /// GpuView.preemptible and trade its capacity for eviction risk.
+  bool preemptible = false;
+  /// Advance warning between the reclaim notice (a FaultNotice on the feed)
+  /// and the node actually going down (cloud spot instances give ~30–120 s).
+  SimTime spot_notice = 0;
   GpuSpec gpu{};
 };
 

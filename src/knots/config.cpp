@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "core/check.hpp"
+#include "gpu/device_model.hpp"
+
 namespace knots {
 
 HardwareConfig hardware_config() { return HardwareConfig{}; }
@@ -40,6 +43,39 @@ ExperimentConfig::Builder& ExperimentConfig::Builder::nodes(int nodes) {
 
 ExperimentConfig::Builder& ExperimentConfig::Builder::gpus_per_node(int gpus) {
   cfg_.cluster.gpus_per_node = gpus;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::device_model(
+    std::string_view name) {
+  const auto model = gpu::find_device_model(name);
+  KNOTS_CHECK_MSG(model.has_value(), "unknown device model");
+  cfg_.cluster.node_spec.gpu = model->gpu;
+  cfg_.workload.device_memory_mb = model->gpu.memory_mb;
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::node_class(
+    cluster::NodeClass node_class) {
+  cfg_.cluster.node_classes.push_back(std::move(node_class));
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::tenant_quota(
+    cluster::TenantQuotaSpec quota) {
+  cfg_.cluster.tenant_quotas.push_back(quota);
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::workload_tenants(
+    std::vector<int> tenants) {
+  cfg_.workload.tenants = std::move(tenants);
+  return *this;
+}
+
+ExperimentConfig::Builder& ExperimentConfig::Builder::power_cap_watts(
+    double watts) {
+  cfg_.cluster.power_cap_watts = watts;
   return *this;
 }
 
@@ -97,8 +133,20 @@ ExperimentConfig::Builder& ExperimentConfig::Builder::image_mb(double mb) {
 
 ExperimentConfig ExperimentConfig::Builder::build() const {
   ExperimentConfig cfg = cfg_;
+  if (!cfg.cluster.node_classes.empty()) {
+    // Node classes drive the roster; keep the scalar count consistent for
+    // everything that reads it before the Cluster is constructed.
+    int node_count = 0;
+    for (const auto& nc : cfg.cluster.node_classes) node_count += nc.count;
+    cfg.cluster.nodes = node_count;
+  }
   if (auto_fabric_) {
-    cfg.cluster.fabric = net::FabricPlan::auto_derive(cfg.cluster.nodes);
+    // Intra-node bandwidth tracks the device model instead of restating the
+    // NVLink constant.
+    net::AutoFabricOptions options;
+    options.intra_node_mb_per_s = cfg.cluster.node_spec.gpu.nvlink_mbps;
+    cfg.cluster.fabric = net::FabricPlan::auto_derive(cfg.cluster.nodes,
+                                                      options);
   }
   return cfg;
 }

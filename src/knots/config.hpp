@@ -7,21 +7,24 @@
 #include <vector>
 
 #include "cluster/cluster.hpp"
+#include "gpu/device_model.hpp"
 #include "sched/params.hpp"
 #include "sched/registry.hpp"
 #include "workload/load_generator.hpp"
 
 namespace knots {
 
-/// Table II — per-node hardware of the testbed.
+/// Table II — per-node hardware of the testbed. The GPU identity and
+/// capacity are sourced from the device-model registry (single source of
+/// truth for per-model constants), not restated here.
 struct HardwareConfig {
   std::string cpu = "Xeon E5-2670";
   int cores = 12;
   int threads_per_core = 2;
   double clock_ghz = 2.3;
   int dram_gb = 192;
-  std::string gpu = "P100 (16GB)";
-  double gpu_memory_mb = 16384.0;
+  std::string gpu = gpu::default_device_model().display;
+  double gpu_memory_mb = gpu::default_device_model().gpu.memory_mb;
 };
 
 /// Table III — software stack of the testbed (documented for fidelity; the
@@ -70,6 +73,21 @@ class ExperimentConfig::Builder {
   Builder& scheduler(sched::SchedulerKind kind);
   Builder& nodes(int nodes);
   Builder& gpus_per_node(int gpus);
+  /// Swaps every node's GPU for the named device model (registry name,
+  /// e.g. "v100-32g"). Aborts on an unknown model. The default keeps the
+  /// paper's P100 substrate bit-identically.
+  Builder& device_model(std::string_view name);
+  /// Appends one heterogeneous node class (device model × count). The
+  /// first call switches the cluster from homogeneous to class-driven
+  /// sizing; counts add up to the final node count.
+  Builder& node_class(cluster::NodeClass node_class);
+  /// Registers a per-tenant quota (activates ledger enforcement).
+  Builder& tenant_quota(cluster::TenantQuotaSpec quota);
+  /// Round-robin tenant labels applied to the generated workload.
+  Builder& workload_tenants(std::vector<int> tenants);
+  /// Cluster-wide power-cap assertion checked by the invariant layer
+  /// (<= 0 disables; never feeds back into scheduling).
+  Builder& power_cap_watts(double watts);
   /// Event lanes sharding the tick hot path (1 = sequential). Any lane
   /// count reproduces the single-lane run bit-for-bit.
   Builder& lanes(int lanes);

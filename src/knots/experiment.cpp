@@ -64,6 +64,7 @@ ExperimentReport build_report(const cluster::Cluster& cl,
   const auto lc = m.query_latency_percentiles(kTailPs);
   r.lc_p50_ms = lc[0];
   r.lc_p99_ms = lc[1];
+  r.tenants = cl.tenant_ledger().rows();
   r.pods_total = cl.pod_count();
   r.pods_completed = cl.completed_count();
   r.ticks = cl.tick_count();

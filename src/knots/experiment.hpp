@@ -55,6 +55,10 @@ struct ExperimentReport {
   std::uint64_t link_events = 0;      ///< Link down/degrade/restore edges.
   double mb_transferred = 0;          ///< Total delivered payload (MB).
 
+  // -- Multi-tenant accounting (knots::cluster::TenantLedger); empty on
+  //    single-tenant, quota-free runs --
+  std::vector<cluster::TenantRow> tenants;
+
   double mean_jct_s = 0, median_jct_s = 0, p99_jct_s = 0;
   double lc_p50_ms = 0, lc_p99_ms = 0;
   std::size_t pods_total = 0, pods_completed = 0;

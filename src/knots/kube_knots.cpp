@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/check.hpp"
+#include "gpu/device_model.hpp"
 #include "verify/invariant_checker.hpp"
 #include "verify/run_digest.hpp"
 #include "workload/app_mix.hpp"
@@ -58,6 +59,19 @@ void KubeKnots::submit_mix_workload() {
   }
   workload::LoadGenConfig wl = config_.workload;
   wl.device_memory_mb = config_.cluster.node_spec.gpu.memory_mb;
+  if (!config_.cluster.node_classes.empty()) {
+    // Heterogeneous fleet: cap generated requests at the *smallest* device
+    // class so every pod can be placed anywhere (mirrors the homogeneous
+    // whole-device semantics).
+    double min_mb = 0.0;
+    for (const auto& nc : config_.cluster.node_classes) {
+      const auto model = gpu::find_device_model(nc.device_model);
+      KNOTS_CHECK_MSG(model.has_value(), "unknown device model");
+      min_mb = min_mb == 0.0 ? model->gpu.memory_mb
+                             : std::min(min_mb, model->gpu.memory_mb);
+    }
+    wl.device_memory_mb = min_mb;
+  }
   auto pods = workload::generate_workload(workload::app_mix(config_.mix_id),
                                           wl, Rng(config_.seed));
   for (auto& p : pods) submitted_.push_back(std::move(p));
@@ -98,6 +112,23 @@ ExperimentReport KubeKnots::run() {
   cluster_->load(std::move(submitted_));
   submitted_.clear();
   cluster_->run();
+  // Commit the final tenant ledger to the digest (ascending tenant order —
+  // deterministic) so multi-tenant accounting is replay-checked like every
+  // other decision. Single-tenant quota-free runs have an empty ledger and
+  // mix nothing: historical digests are untouched.
+  const auto& ledger = cluster_->tenant_ledger();
+  if (!ledger.empty()) {
+    for (const auto& row : ledger.rows()) {
+      digest_->begin_record(verify::RunDigest::Tag::kTenantAccount,
+                            cluster_->now());
+      digest_->mix_u64(static_cast<std::uint64_t>(row.tenant));
+      digest_->mix_double(row.provisioned_mb);
+      digest_->mix_double(row.peak_provisioned_mb);
+      digest_->mix_double(row.gpu_seconds);
+      digest_->mix_u64(static_cast<std::uint64_t>(row.placements));
+      digest_->mix_u64(static_cast<std::uint64_t>(row.rejections));
+    }
+  }
   ExperimentReport report =
       build_report(*cluster_, scheduler_->name(), config_.mix_id);
   report.run_digest = digest_->value();

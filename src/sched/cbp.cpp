@@ -170,6 +170,11 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
   order.reserve(order.size() + sized_batch_.size());
   for (const auto& [size, id] : sized_batch_) order.push_back(id);
 
+  // Spot preference only matters on clusters that actually have spot nodes;
+  // elsewhere the single unfiltered walk below is byte-for-byte the
+  // historical behaviour.
+  const bool spot = cl.has_preemptible_nodes();
+
   for (PodId id : order) {
     const auto& pod = cl.pod(id);
     const double size = sizing_mb(cl, pod);
@@ -177,48 +182,86 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
     const double sm_cap =
         pod.latency_critical() ? params_.sm_cap_lc : params_.sm_cap_batch;
 
+    // Per-tenant quota pre-check: skip pods whose tenant is over budget
+    // rather than burning a full node walk on a placement the cluster will
+    // refuse anyway (place() re-checks; this is only an efficiency hint).
+    if (ctx.tenants != nullptr && !ctx.tenants->admits(pod.spec().tenant, size)) {
+      cl.note_quota_rejection(pod.spec().tenant);
+      if (ctx.trace != nullptr) {
+        ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value, -1,
+                          size, rationale_quota_);
+      }
+      continue;
+    }
+
     // Algorithm 1's node list: active GPUs ordered by free memory. We walk
     // it best-fit (least free first) so work consolidates onto already-busy
     // GPUs and idle ones can deep-sleep. The list is served from the
     // aggregator's cache (re-sorted only when a view changed); iterate the
-    // descending order in reverse instead of copying it.
-    const auto& views = ctx.aggregator->active_sorted_by_free_memory();
-    bool placed = false;
-    for (auto it = views.rbegin(); it != views.rend(); ++it) {
-      const auto& view = *it;
-      // Degradation path: a stale view is last-known-good, not current —
-      // never place on what might be a ghost; dead nodes host nothing.
-      if (view.stale) continue;
-      if (cl.node_health(view.node) == cluster::NodeHealth::kDown) continue;
-      auto& dev = cl.device(view.gpu);
-      if (!dev.provision_fits(size)) continue;
-      if (dev.totals().sm_demand + sm > sm_cap) continue;
-      if (pod.latency_critical()) {
-        // QoS guard: deadline must survive even coincident resident peaks.
-        if (!lc_peak_safe(cl, pod, dev)) continue;
-      } else {
-        // Protect resident queries from a batch context moving in.
-        bool hosts_lc = false;
-        for (PodId resident : dev.residents()) {
-          if (cl.pod(resident).latency_critical()) {
-            hosts_lc = true;
-            break;
+    // descending order in reverse instead of copying it. `accept` filters
+    // the walk by node class for the spot-preference passes.
+    const auto try_views = [&](auto&& accept) -> bool {
+      const auto& views = ctx.aggregator->active_sorted_by_free_memory();
+      for (auto it = views.rbegin(); it != views.rend(); ++it) {
+        const auto& view = *it;
+        // Degradation path: a stale view is last-known-good, not current —
+        // never place on what might be a ghost; dead nodes host nothing.
+        if (view.stale) continue;
+        if (!accept(view)) continue;
+        if (cl.node_health(view.node) == cluster::NodeHealth::kDown) continue;
+        auto& dev = cl.device(view.gpu);
+        if (!dev.provision_fits(size)) continue;
+        if (dev.totals().sm_demand + sm > sm_cap) continue;
+        if (pod.latency_critical()) {
+          // QoS guard: deadline must survive even coincident resident peaks.
+          if (!lc_peak_safe(cl, pod, dev)) continue;
+        } else {
+          // Protect resident queries from a batch context moving in.
+          bool hosts_lc = false;
+          for (PodId resident : dev.residents()) {
+            if (cl.pod(resident).latency_critical()) {
+              hosts_lc = true;
+              break;
+            }
           }
+          if (hosts_lc) continue;
         }
-        if (hosts_lc) continue;
-      }
-      if (!correlation_ok(cl, pod, dev) &&
-          !forecast_override(cl, view, size)) {
-        continue;
-      }
-      placed = cl.place(id, view.gpu, size);
-      if (placed) {
-        if (ctx.trace != nullptr) {
-          ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
-                            view.gpu.value, size, rationale_placed_);
+        if (!correlation_ok(cl, pod, dev) &&
+            !forecast_override(cl, view, size)) {
+          continue;
         }
-        break;
+        if (cl.place(id, view.gpu, size)) {
+          if (ctx.trace != nullptr) {
+            ctx.trace->record(ctx.now, obs::EventKind::kDecision, id.value,
+                              view.gpu.value, size, rationale_placed_);
+          }
+          return true;
+        }
       }
+      return false;
+    };
+
+    bool placed = false;
+    const bool avoid = pod.spec().avoid_preemptible;
+    if (!spot) {
+      placed = try_views([](const telemetry::GpuView&) { return true; });
+    } else if (avoid) {
+      // Hard constraint: SLO-bearing pods never land on spot capacity.
+      placed =
+          try_views([](const telemetry::GpuView& v) { return !v.preemptible; });
+    } else if (!pod.latency_critical() &&
+               pod.spec().klass == workload::PodClass::kBatch) {
+      // Harvested best-effort work soaks up spot capacity first, keeping
+      // on-demand nodes free for SLO-bearing pods; spills over when full.
+      placed =
+          try_views([](const telemetry::GpuView& v) { return v.preemptible; }) ||
+          try_views([](const telemetry::GpuView& v) { return !v.preemptible; });
+    } else {
+      // Queries and serving replicas prefer stable capacity but may use
+      // spot as overflow (unless avoid_preemptible pinned them off it).
+      placed =
+          try_views([](const telemetry::GpuView& v) { return !v.preemptible; }) ||
+          try_views([](const telemetry::GpuView& v) { return v.preemptible; });
     }
     if (placed) continue;
 
@@ -233,10 +276,11 @@ void CbpScheduler::on_schedule(cluster::SchedulingContext& ctx) {
         const GpuId gpu{static_cast<std::int32_t>(
             (w << 6) + static_cast<std::size_t>(std::countr_zero(bits)))};
         bits &= bits - 1;
-        if (cl.node_health(cl.node_of_gpu(gpu)) ==
-            cluster::NodeHealth::kDown) {
+        const NodeId node = cl.node_of_gpu(gpu);
+        if (cl.node_health(node) == cluster::NodeHealth::kDown) {
           continue;
         }
+        if (spot && avoid && cl.node_spec(node).preemptible) continue;
         if (!cl.device(gpu).provision_fits(size)) continue;
         if (cl.place(id, gpu, size)) {
           placed = true;

@@ -40,7 +40,8 @@ class CbpScheduler : public cluster::Scheduler {
       : params_(params),
         rationale_placed_(trace_prefix + ":best-fit"),
         rationale_woke_(trace_prefix + ":woke-parked"),
-        rationale_no_fit_(trace_prefix + ":no-fit") {}
+        rationale_no_fit_(trace_prefix + ":no-fit"),
+        rationale_quota_(trace_prefix + ":tenant-over-quota") {}
 
   /// PP's hook: may admit a positively-correlated co-location when the
   /// node's forecast says the peaks will not collide. CBP never does.
@@ -83,6 +84,7 @@ class CbpScheduler : public cluster::Scheduler {
   std::string rationale_placed_;
   std::string rationale_woke_;
   std::string rationale_no_fit_;
+  std::string rationale_quota_;
 
  private:
   static constexpr std::uint64_t kNeverCached = ~std::uint64_t{0};

@@ -401,16 +401,32 @@ void ServingEngine::on_batch_done(std::size_t service,
 
 PodId ServingEngine::launch_replica(std::size_t service) {
   ServiceState& s = services_[service];
+  // SLO-core replicas (up to the min_replicas floor) refuse spot capacity —
+  // a reclaim would drop the service below its floor mid-notice. Scale-ups
+  // beyond the floor are harvest-style and may ride spot nodes.
+  const bool slo_core = alive_replicas(s) < s.cfg.min_replicas;
   workload::PodSpec spec =
       workload::ServiceSpec(s.cfg.service)
           .batch(s.cfg.max_batch)
           .memory_headroom(s.cfg.replica_memory_headroom)
           .qos(s.cfg.slo)
+          .tenant(s.cfg.tenant)
+          .avoid_preemptible(slo_core)
           .replica(replica_lifetime_);
   const PodId id = cluster_.submit_pod(std::move(spec));
   s.replicas.push_back(Replica{id, false, false});
   ++s.launched;
   return id;
+}
+
+double ServingEngine::replica_request_mb(std::size_t service) const {
+  const ServiceState& s = services_[service];
+  return workload::ServiceSpec(s.cfg.service)
+      .batch(s.cfg.max_batch)
+      .memory_headroom(s.cfg.replica_memory_headroom)
+      .qos(s.cfg.slo)
+      .replica(replica_lifetime_)
+      .requested_mb;
 }
 
 int ServingEngine::retire_replicas(std::size_t service, int count,
@@ -454,6 +470,15 @@ void ServingEngine::autoscale_round(SimTime now) {
     s.arrivals_since_scale = 0;
     const int current = alive_replicas(s);
     if (target > current) {
+      // Quota-aware scale-up: when the cluster enforces tenant quotas and
+      // this service's tenant cannot pay for another replica, hold the
+      // scale-up (the next round re-evaluates after quota frees).
+      const auto& ledger = cluster_.tenant_ledger();
+      if (ledger.enforcing() &&
+          !ledger.admits(s.cfg.tenant, replica_request_mb(s_idx))) {
+        s.peak_replicas = std::max(s.peak_replicas, current);
+        continue;
+      }
       for (int i = 0; i < target - current; ++i) {
         const PodId id = launch_replica(s_idx);
         ++s.scale_ups;

@@ -119,6 +119,9 @@ class ServingEngine {
   bool pump(SimTime now);
 
   PodId launch_replica(std::size_t service);
+  /// Container request of one replica of this service (what a scale-up
+  /// would charge to the tenant's quota).
+  [[nodiscard]] double replica_request_mb(std::size_t service) const;
   /// Retires up to `count` idle running replicas, newest first. Returns
   /// how many were actually retired.
   int retire_replicas(std::size_t service, int count, bool scale_down_event);

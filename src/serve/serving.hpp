@@ -61,6 +61,9 @@ struct ServiceConfig {
   double replica_memory_headroom = 1.1;
   /// Degraded-model service time as a fraction of the full model's.
   double degrade_latency_scale = 0.35;
+  /// Owning tenant: replicas are charged to this tenant's quota (0 = the
+  /// default tenant; the ledger stays inactive without quotas).
+  int tenant = 0;
 };
 
 struct ServingConfig {

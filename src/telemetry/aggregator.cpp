@@ -30,7 +30,8 @@ void UtilizationAggregator::register_node(const gpu::GpuNode& node,
     slot_entry_.push_back(static_cast<std::uint32_t>(entry));
     slot_static_.push_back(SlotStatic{
         node.gpu(i).id(), node.id(),
-        static_cast<double>(node.gpu(i).spec().memory_mb)});
+        static_cast<double>(node.gpu(i).spec().memory_mb),
+        node.spec().preemptible});
     series_cache_.emplace_back();
     live_bits_.emplace_back();
   }
@@ -174,6 +175,7 @@ GpuView UtilizationAggregator::make_view(std::size_t entry_idx,
   v.residents = dev.totals().residents;
   v.last_heartbeat = c.last_heartbeat;
   v.stale = horizon_ > 0 && now_ - c.last_heartbeat > horizon_;
+  v.preemptible = entry.node->spec().preemptible;
   return v;
 }
 
@@ -199,6 +201,7 @@ GpuView UtilizationAggregator::make_view_cached(std::uint32_t slot) const {
   v.residents = bits.residents;
   v.last_heartbeat = c.last_heartbeat;
   v.stale = horizon_ > 0 && now_ - c.last_heartbeat > horizon_;
+  v.preemptible = st.preemptible;
   return v;
 }
 

@@ -49,6 +49,10 @@ struct GpuView {
   /// True when the series missed enough heartbeats to cross the staleness
   /// horizon — the values above are last-known-good, not current.
   bool stale = false;
+  /// Spot capacity: the hosting node may be reclaimed by the provider.
+  /// Static per node (from NodeSpec), surfaced here so schedulers can trade
+  /// spot capacity for eviction risk per placement.
+  bool preemptible = false;
 
   bool operator==(const GpuView&) const = default;
 };
@@ -196,6 +200,7 @@ class UtilizationAggregator {
     GpuId gpu;
     NodeId node;
     double cap = 0.0;  ///< physical memory_mb (spec; ECC-independent)
+    bool preemptible = false;  ///< hosting node is spot capacity (spec)
   };
 
   [[nodiscard]] const Entry* find_gpu(GpuId gpu) const;

@@ -2,6 +2,7 @@
 
 #include <array>
 #include <cmath>
+#include <map>
 #include <string>
 
 #include "cluster/cluster.hpp"
@@ -319,11 +320,68 @@ void InvariantChecker::check_pods(const cluster::Cluster& cluster) {
   }
 }
 
+void InvariantChecker::check_power_cap(const cluster::Cluster& cluster) {
+  const double cap = cluster.config().power_cap_watts;
+  if (cap <= 0) return;
+  const double watts = cluster.total_power_watts();
+  if (watts > cap + 1e-6) {
+    report(cluster, "power-cap",
+           "cluster draw " + fmt_double(watts) + " W exceeds cap " +
+               fmt_double(cap) + " W");
+  }
+}
+
+void InvariantChecker::check_tenants(const cluster::Cluster& cluster) {
+  const auto& ledger = cluster.tenant_ledger();
+  if (ledger.empty()) return;
+  const double eps = options_.memory_epsilon_mb;
+
+  // Ground truth: per-tenant provisioned memory recomputed from device
+  // residents (ordered map so any reporting below is deterministic).
+  std::map<int, double> observed;
+  for (GpuId gpu : cluster.all_gpus()) {
+    const auto& dev = cluster.device(gpu);
+    for (PodId pod : dev.residents()) {
+      observed[cluster.pod(pod).spec().tenant] +=
+          dev.provisioned_mb(pod).value_or(0.0);
+    }
+  }
+  for (const auto& row : ledger.rows()) {
+    const auto it = observed.find(row.tenant);
+    const double truth = it == observed.end() ? 0.0 : it->second;
+    if (it != observed.end()) observed.erase(it);
+    if (std::abs(truth - row.provisioned_mb) > eps) {
+      report(cluster, "tenant-accounting",
+             "tenant " + std::to_string(row.tenant) + " ledger charge " +
+                 fmt_double(row.provisioned_mb) + " MB != resident sum " +
+                 fmt_double(truth) + " MB");
+    }
+    if (row.quota.provision_cap_mb > 0 &&
+        row.provisioned_mb > row.quota.provision_cap_mb + eps) {
+      report(cluster, "tenant-quota",
+             "tenant " + std::to_string(row.tenant) + " provisioned " +
+                 fmt_double(row.provisioned_mb) + " MB exceeds quota " +
+                 fmt_double(row.quota.provision_cap_mb) + " MB");
+    }
+  }
+  // Residents charged to a tenant the ledger should track but has no row
+  // for mean a charge was dropped.
+  for (const auto& [tenant, mb] : observed) {
+    if (ledger.tracks(tenant) && mb > eps) {
+      report(cluster, "tenant-accounting",
+             "tenant " + std::to_string(tenant) + " holds " + fmt_double(mb) +
+                 " MB of residents but has no ledger row");
+    }
+  }
+}
+
 void InvariantChecker::on_tick_end(const cluster::Cluster& cluster) {
   ++checks_;
   check_time(cluster);
   check_devices(cluster);
   check_pods(cluster);
+  check_power_cap(cluster);
+  check_tenants(cluster);
 }
 
 }  // namespace knots::verify

@@ -18,7 +18,12 @@
 //     + evicted always equals the number submitted, and the cluster's
 //     completion counter matches the number of terminal pods;
 //   * no pod is resident on a node the fault layer reports as down — a dead
-//     kubelet hosts nothing (the eviction path must have drained it).
+//     kubelet hosts nothing (the eviction path must have drained it);
+//   * on power-capped configurations, instantaneous cluster draw stays under
+//     the cap at every rest state;
+//   * on multi-tenant runs, the tenant ledger matches per-tenant provisioned
+//     memory recomputed from device residents, and no tenant exceeds its
+//     provision quota.
 //
 // Violations are collected into a structured report; with `fatal` set (the
 // default in debug builds) the first violation aborts via KNOTS_CHECK so the
@@ -84,6 +89,12 @@ class InvariantChecker final : public cluster::ClusterObserver {
   void check_time(const cluster::Cluster& cluster);
   void check_devices(const cluster::Cluster& cluster);
   void check_pods(const cluster::Cluster& cluster);
+  /// Cluster draw stays under the configured rack cap (skipped when 0).
+  void check_power_cap(const cluster::Cluster& cluster);
+  /// Tenant ledger agrees with ground truth: per-tenant provisioned MB
+  /// recomputed from device residents matches the ledger, and no tenant
+  /// sits above its provision quota (skipped on single-tenant runs).
+  void check_tenants(const cluster::Cluster& cluster);
   void report(const cluster::Cluster& cluster, std::string category,
               std::string message);
 

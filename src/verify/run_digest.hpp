@@ -44,7 +44,7 @@ class RunDigest final : public cluster::ClusterObserver {
   //
   // Tag ranges are allocated per layer and never overlap (DESIGN.md §13):
   // 0x01–0x09 cluster lifecycle, 0xA1–0xA8 knots::serve (its own serve
-  // digest), 0xB1–0xB5 knots::net fabric events.
+  // digest), 0xB1–0xB5 knots::net fabric events, 0xC1 tenant accounting.
   enum class Tag : std::uint64_t {
     kPlace = 0x01,
     kResize = 0x02,
@@ -61,6 +61,10 @@ class RunDigest final : public cluster::ClusterObserver {
     kFlowContend = 0xB3,
     kLinkDown = 0xB4,
     kLinkUp = 0xB5,
+    // -- knots::cluster multi-tenant accounting (end-of-run ledger rows,
+    //    mixed in ascending tenant order; absent on single-tenant runs so
+    //    historical digests are untouched) --
+    kTenantAccount = 0xC1,
   };
 
   /// Opens a record for a non-cluster substrate: mixes the tag and the

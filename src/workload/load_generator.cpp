@@ -105,7 +105,15 @@ std::vector<PodSpec> generate_workload(const AppMix& mix,
   spec.stream(AlibabaArrivals(lc_gap, burst), cfg.duration,
               arrival_rng.fork(2),
               [&](SimTime t) { return make_lc_pod(mix, cfg, t, lc_rng); });
-  return spec.build();
+  std::vector<PodSpec> pods = spec.build();
+  // Multi-tenant assignment: round-robin over the (arrival-sorted, densely
+  // id'd) stream, so the mapping is a pure function of the config.
+  if (!cfg.tenants.empty()) {
+    for (std::size_t i = 0; i < pods.size(); ++i) {
+      pods[i].tenant = cfg.tenants[i % cfg.tenants.size()];
+    }
+  }
+  return pods;
 }
 
 }  // namespace knots::workload

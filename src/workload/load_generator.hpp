@@ -12,6 +12,7 @@
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
+#include "gpu/device_model.hpp"
 #include "workload/alibaba.hpp"
 #include "workload/app_mix.hpp"
 #include "workload/app_profile.hpp"
@@ -39,11 +40,18 @@ struct PodSpec {
   /// (Fig 4's TF series). Knots-style resizing shrinks the allocation and
   /// thereby the earmark; GPU-agnostic schedulers leave it whole-device.
   bool tf_greedy = false;
+  /// Owning tenant for quota accounting (0 = the default tenant; a cluster
+  /// with no quotas and only tenant 0 keeps the ledger inactive).
+  int tenant = 0;
+  /// Keep this pod off spot/preemptible nodes (SLO-bearing serving replicas
+  /// set it; harvested best-effort work leaves it false). Honored by
+  /// spot-aware schedulers as a hard placement constraint.
+  bool avoid_preemptible = false;
 };
 
 struct LoadGenConfig {
   SimTime duration = 600 * kSec;  ///< Arrival window.
-  double device_memory_mb = 16384.0;
+  double device_memory_mb = gpu::default_device_model().gpu.memory_mb;
   /// Global intensity knobs (1.0 = paper-calibrated defaults for a
   /// ten-node single-GPU cluster).
   double batch_rate_scale = 1.0;
@@ -57,6 +65,10 @@ struct LoadGenConfig {
   double min_overstatement = 1.3;
   double max_overstatement = 2.1;
   SimTime qos_latency = 150 * kMsec;
+  /// Multi-tenant scenarios: generated pods are assigned these tenant ids
+  /// round-robin in arrival order. Empty = everything on tenant 0 (the
+  /// single-tenant default).
+  std::vector<int> tenants{};
 };
 
 /// Mean batch-pod inter-arrival for a load level (before rate_scale).

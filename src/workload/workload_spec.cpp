@@ -20,6 +20,7 @@ PodSpec BatchJobSpec::build() const {
                     .with_cycles(cycles_);
   pod.requested_mb =
       std::min(cap_mb_, pod.profile.peak_memory_mb() * headroom_);
+  pod.tenant = tenant_;
   return pod;
 }
 
@@ -46,6 +47,8 @@ PodSpec ServiceSpec::build() const {
     pod.requested_mb = inference_memory_mb(service_, batch_) * headroom_;
   }
   pod.qos_latency = effective_qos();
+  pod.tenant = tenant_;
+  pod.avoid_preemptible = avoid_preemptible_;
   return pod;
 }
 
@@ -72,6 +75,8 @@ PodSpec ServiceSpec::replica(SimTime lifetime) const {
     pod.requested_mb = pod.profile.peak_memory_mb() * headroom_;
   }
   pod.qos_latency = effective_qos();
+  pod.tenant = tenant_;
+  pod.avoid_preemptible = avoid_preemptible_;
   return pod;
 }
 

@@ -22,6 +22,7 @@
 
 #include "core/rng.hpp"
 #include "core/types.hpp"
+#include "gpu/device_model.hpp"
 #include "workload/arrival.hpp"
 #include "workload/djinn_tonic.hpp"
 #include "workload/load_generator.hpp"
@@ -70,6 +71,11 @@ class BatchJobSpec {
     arrival_ = t;
     return *this;
   }
+  /// Owning tenant for quota accounting (0 = default tenant).
+  BatchJobSpec& tenant(int id) {
+    tenant_ = id;
+    return *this;
+  }
 
   [[nodiscard]] PodSpec build() const;
 
@@ -78,8 +84,12 @@ class BatchJobSpec {
   double time_scale_ = 1.0;
   int cycles_ = 1;
   double headroom_ = kDefaultMemoryHeadroom;
-  double cap_mb_ = 16384.0 * kRequestCapFraction;
+  /// Default cap: 95 % of the baseline device model's memory (the registry
+  /// is the single home of the P100's 16384 MB).
+  double cap_mb_ = gpu::default_device_model().gpu.memory_mb *
+                   kRequestCapFraction;
   SimTime arrival_ = 0;
+  int tenant_ = 0;
 };
 
 class ServiceSpec {
@@ -117,6 +127,16 @@ class ServiceSpec {
     headroom_ = factor;
     return *this;
   }
+  /// Owning tenant for quota accounting (0 = default tenant).
+  ServiceSpec& tenant(int id) {
+    tenant_ = id;
+    return *this;
+  }
+  /// Keep the pod off spot/preemptible nodes (SLO-bearing replicas).
+  ServiceSpec& avoid_preemptible(bool avoid = true) {
+    avoid_preemptible_ = avoid;
+    return *this;
+  }
 
   /// One latency-critical query pod (PodClass::kLatencyCritical).
   [[nodiscard]] PodSpec build() const;
@@ -137,6 +157,8 @@ class ServiceSpec {
   SimTime qos_budget_ = 150 * kMsec;
   std::optional<double> tf_device_mb_;
   double headroom_ = 1.1;
+  int tenant_ = 0;
+  bool avoid_preemptible_ = false;
 };
 
 /// Composes pods and arrival-driven streams into a loadable workload.

@@ -182,6 +182,108 @@ rc=$?
 [ "$rc" -eq 0 ] || fail "dl fabric run: expected exit 0, got $rc (output: $(cat "$WORK/dl_fab_out"))"
 grep -q "run digest" "$WORK/dl_fab_out" || fail "dl fabric report: digest row missing"
 
+# ---- scenario: declarative spec files ----
+# reject_scenario <desc> <expected-diagnostic> <<EOF writes the spec to try.
+reject_scenario() {
+  desc="$1"
+  expect="$2"
+  cat >"$WORK/bad.cfg"
+  "$CTL" scenario "$WORK/bad.cfg" >"$WORK/out" 2>"$WORK/err"
+  rc=$?
+  [ "$rc" -eq 2 ] || fail "$desc: expected exit 2, got $rc"
+  grep -q "$expect" "$WORK/err" || \
+    fail "$desc: diagnostic '$expect' missing (stderr: $(head -1 "$WORK/err"))"
+}
+
+expect_reject "scenario sans file"    -- scenario
+expect_reject "scenario flag as file" -- scenario --lanes 2
+expect_reject "scenario bad lanes"    -- scenario /dev/null --lanes banana
+expect_reject "scenario unknown flag" -- scenario /dev/null --nodes 4
+
+"$CTL" scenario "$WORK/does_not_exist.cfg" >"$WORK/out" 2>"$WORK/err"
+rc=$?
+[ "$rc" -eq 2 ] || fail "scenario missing file: expected exit 2, got $rc"
+grep -q "cannot read" "$WORK/err" || fail "scenario missing file: no diagnostic"
+
+reject_scenario "scenario unknown device model" "unknown device model" <<'EOF'
+nodeclass fleet k80-24g 2
+EOF
+
+reject_scenario "scenario quota over cluster" "exceeds total cluster memory" <<'EOF'
+nodeclass fleet p100-16g 2
+tenant 1 quota_mb=99999999
+EOF
+
+reject_scenario "scenario spot sans notice" "notice" <<'EOF'
+nodeclass spot p100-16g 2 preemptible
+EOF
+
+reject_scenario "scenario reclaim of on-demand" "not in a preemptible node class" <<'EOF'
+nodeclass fleet p100-16g 2
+fault spot_reclaim node=0 at=5s
+EOF
+
+reject_scenario "scenario empty spec" "no node classes" </dev/null
+
+# A heterogeneous + spot + multi-tenant scenario runs clean and is
+# lane-deterministic: the file alone pins the run, lanes only shard it.
+cat >"$WORK/fleet.cfg" <<'EOF'
+name cli-fleet
+scheduler CBP
+seed 11
+duration 20s
+nodeclass ondemand p100-16g 2
+nodeclass spot v100-32g 2 preemptible notice=5s
+tenant 1 quota_mb=30000
+tenant 2 quota_mb=24000
+workload_tenants 1,2
+fault spot_reclaim node=2 at=8s duration=6s
+EOF
+"$CTL" scenario "$WORK/fleet.cfg" >"$WORK/scn1_out" 2>&1
+rc=$?
+[ "$rc" -eq 0 ] || fail "scenario run: expected exit 0, got $rc (output: $(cat "$WORK/scn1_out"))"
+grep -q "scenario cli-fleet (4 nodes" "$WORK/scn1_out" || \
+  fail "scenario report: header line missing"
+grep -q "run digest" "$WORK/scn1_out" || fail "scenario report: digest row missing"
+grep -q "tenant 1" "$WORK/scn1_out" || fail "scenario report: tenant rows missing"
+"$CTL" scenario "$WORK/fleet.cfg" --lanes 4 >"$WORK/scn4_out" 2>&1 || \
+  fail "scenario lanes=4 run: expected exit 0, got $?"
+scn1_digest=$(grep "run digest" "$WORK/scn1_out")
+scn4_digest=$(grep "run digest" "$WORK/scn4_out")
+[ -n "$scn1_digest" ] && [ "$scn1_digest" = "$scn4_digest" ] || \
+  fail "scenario lane digest drift: lanes1='$scn1_digest' lanes4='$scn4_digest'"
+
+# ---- device models: unknown names exit 2, known ones change the substrate ----
+"$CTL" run --mix 1 --scheduler CBP --duration 5 --nodes 2 --device-model hal9000 \
+  >"$WORK/out" 2>"$WORK/err"
+rc=$?
+[ "$rc" -eq 2 ] || fail "run bad device model: expected exit 2, got $rc"
+grep -q "unknown device model" "$WORK/err" || \
+  fail "run bad device model: no diagnostic"
+grep -q "p100-16g" "$WORK/err" || \
+  fail "run bad device model: registry names not listed"
+expect_reject "dl bad device model" -- dlsim --dl gandiva --device-model hal9000
+
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --device-model v100-32g \
+  >"$WORK/v100_out" 2>&1 || fail "run on v100: expected exit 0, got $?"
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --device-model p100-16g \
+  >"$WORK/p100_out" 2>&1 || fail "run on explicit p100: expected exit 0, got $?"
+"$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 \
+  >"$WORK/default_out" 2>&1 || fail "run on default model: expected exit 0, got $?"
+# Explicitly naming the baseline model is bit-identical to the default...
+p100_digest=$(grep "run digest" "$WORK/p100_out")
+default_digest=$(grep "run digest" "$WORK/default_out")
+[ -n "$p100_digest" ] && [ "$p100_digest" = "$default_digest" ] || \
+  fail "p100-16g not the default: explicit='$p100_digest' default='$default_digest'"
+# ...while a different generation must actually change the run.
+v100_digest=$(grep "run digest" "$WORK/v100_out")
+[ "$v100_digest" != "$default_digest" ] || \
+  fail "v100-32g digest identical to the P100 default"
+
+# list advertises the device-model registry.
+grep -q "p100-16g" "$WORK/list_out" || fail "list: device models missing"
+grep -q "v100-32g" "$WORK/list_out" || fail "list: v100 model missing"
+
 # ---- tracing must not perturb the digest ----
 "$CTL" run --mix 1 --scheduler CBP --duration 10 --nodes 2 --crash-node "1@5:3" \
   >"$WORK/untraced_out" 2>&1 || fail "untraced run: expected exit 0, got $?"

@@ -1,0 +1,100 @@
+// The device-model registry contract.
+//
+// The registry is the single home of per-generation GPU constants; the
+// baseline entry must stay field-for-field identical to GpuSpec{} (that is
+// what keeps every default config's golden digest bit-identical to the
+// pre-registry code), and newer generations must keep power-of-two compute
+// factors so the heterogeneity metamorphic law stays IEEE-exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "gpu/device_model.hpp"
+
+namespace knots::gpu {
+namespace {
+
+TEST(DeviceModel, BaselineIsFirstAndMatchesGpuSpecDefaults) {
+  const auto& models = device_models();
+  ASSERT_GE(models.size(), 3u);
+
+  const DeviceModel& p100 = default_device_model();
+  EXPECT_EQ(&p100, &models.front());
+  EXPECT_EQ(p100.name, "p100-16g");
+  EXPECT_EQ(p100.display, "P100 (16GB)");
+
+  // Field-for-field equal to the historical hardcoded defaults.
+  const GpuSpec defaults{};
+  EXPECT_EQ(p100.gpu.memory_mb, defaults.memory_mb);
+  EXPECT_EQ(p100.gpu.memory_mb, 16384.0);
+  EXPECT_EQ(p100.gpu.pcie_mbps, defaults.pcie_mbps);
+  EXPECT_EQ(p100.gpu.nvlink_mbps, defaults.nvlink_mbps);
+  EXPECT_EQ(p100.gpu.context_switch_tax, defaults.context_switch_tax);
+  EXPECT_EQ(p100.gpu.active_sm_threshold, defaults.active_sm_threshold);
+  EXPECT_EQ(p100.gpu.compute_factor, 1.0);
+  EXPECT_EQ(p100.gpu.power.max_watts, defaults.power.max_watts);
+  EXPECT_EQ(p100.gpu.power.active_floor_watts,
+            defaults.power.active_floor_watts);
+  EXPECT_EQ(p100.gpu.power.idle_watts, defaults.power.idle_watts);
+  EXPECT_EQ(p100.gpu.power.deep_sleep_watts, defaults.power.deep_sleep_watts);
+}
+
+TEST(DeviceModel, LookupByName) {
+  const auto v100 = find_device_model("v100-32g");
+  ASSERT_TRUE(v100.has_value());
+  EXPECT_EQ(v100->display, "V100 (32GB)");
+  EXPECT_EQ(v100->gpu.memory_mb, 32768.0);
+  EXPECT_EQ(v100->gpu.compute_factor, 2.0);
+
+  const auto a100 = find_device_model("a100-40g");
+  ASSERT_TRUE(a100.has_value());
+  EXPECT_EQ(a100->gpu.memory_mb, 40960.0);
+  EXPECT_EQ(a100->gpu.compute_factor, 4.0);
+}
+
+TEST(DeviceModel, UnknownNamesReturnNullopt) {
+  EXPECT_FALSE(find_device_model("k80-24g").has_value());
+  EXPECT_FALSE(find_device_model("").has_value());
+  // Registry names are exact (lower-case) keys, not fuzzy matches.
+  EXPECT_FALSE(find_device_model("P100-16G").has_value());
+  EXPECT_FALSE(find_device_model("p100").has_value());
+}
+
+TEST(DeviceModel, NamesAreUniqueAndFactorsArePowersOfTwo) {
+  std::set<std::string> names;
+  for (const DeviceModel& model : device_models()) {
+    EXPECT_TRUE(names.insert(model.name).second)
+        << "duplicate registry name " << model.name;
+    // Power-of-two compute factors: scaling by them is exact in IEEE
+    // doubles, which the heterogeneity metamorphic law depends on.
+    const double f = model.gpu.compute_factor;
+    EXPECT_GT(f, 0.0);
+    EXPECT_EQ(std::exp2(std::round(std::log2(f))), f)
+        << model.name << " compute_factor " << f << " is not a power of two";
+  }
+}
+
+TEST(DeviceModel, PowerEnvelopesAreOrdered) {
+  for (const DeviceModel& model : device_models()) {
+    SCOPED_TRACE(model.name);
+    const GpuPowerSpec& p = model.gpu.power;
+    EXPECT_LT(p.deep_sleep_watts, p.idle_watts);
+    EXPECT_LT(p.idle_watts, p.active_floor_watts);
+    EXPECT_LT(p.active_floor_watts, p.max_watts);
+  }
+}
+
+TEST(DeviceModel, GenerationsGrowMonotonically) {
+  const auto& models = device_models();
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    SCOPED_TRACE(models[i].name);
+    EXPECT_GT(models[i].gpu.memory_mb, models[i - 1].gpu.memory_mb);
+    EXPECT_GT(models[i].gpu.nvlink_mbps, models[i - 1].gpu.nvlink_mbps);
+    EXPECT_GE(models[i].gpu.compute_factor, models[i - 1].gpu.compute_factor);
+  }
+}
+
+}  // namespace
+}  // namespace knots::gpu

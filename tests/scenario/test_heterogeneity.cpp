@@ -1,0 +1,132 @@
+// Metamorphic heterogeneity law: a newer device generation is "the same
+// cluster, faster and bigger" in an IEEE-exact way.
+//
+// The v100-32g registry entry has exactly 2x the P100's memory and a
+// compute factor of exactly 2.0 (a power of two). Scaling a *batch-only*
+// workload to match — every memory quantity x2 (requests + profile
+// footprints) and every profile duration x2 — must therefore reproduce the
+// P100 run's placement sequence bit-for-bit on an all-V100 cluster built
+// through the node-class path: the doubled compute factor retires the
+// doubled profiles at the original wall-clock rate, and every free-memory
+// comparison doubles on both sides.
+//
+// Latency-critical pods are excluded by design: their QoS admission budget
+// is wall-anchored (to_seconds(qos_latency) does not scale with the
+// profile), so time-scaling breaks the comparison for LC pods — that is a
+// modelling fact, not a bug, and the law is stated for harvested batch
+// work only.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "knots/experiment.hpp"
+#include "knots/kube_knots.hpp"
+#include "obs/trace.hpp"
+#include "sched/registry.hpp"
+#include "workload/app_mix.hpp"
+#include "workload/load_generator.hpp"
+
+namespace knots {
+namespace {
+
+constexpr double kScale = 2.0;  // v100-32g / p100-16g, exact in IEEE doubles.
+
+/// The (ts, pod, gpu, provisioned_mb) placement sequence of one run.
+struct Placement {
+  SimTime ts;
+  std::int32_t pod;
+  std::int32_t gpu;
+  double mb;
+};
+
+std::vector<Placement> run_and_capture(
+    const ExperimentConfig& cfg, const std::vector<workload::PodSpec>& pods) {
+  obs::TraceSink trace;
+  KubeKnots knots(cfg);
+  knots.attach_tracer(&trace);
+  for (const auto& spec : pods) knots.submit(spec);
+  (void)knots.run();
+  std::vector<Placement> placements;
+  for (const auto& e : trace.events()) {
+    if (e.kind != obs::EventKind::kPlace) continue;
+    placements.push_back(Placement{e.ts, e.a, e.b, e.value});
+  }
+  return placements;
+}
+
+TEST(Heterogeneity, V100ClusterReplaysScaledP100BatchRun) {
+  for (auto kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+
+    ExperimentConfig p100_cfg = default_experiment(1, kind);
+    p100_cfg.cluster.nodes = 4;
+    p100_cfg.workload.duration = 45 * kSec;
+    // LC pods are filtered out below; triple the batch rate so the
+    // batch-only slice still exercises real contention.
+    p100_cfg.workload.batch_rate_scale = 3.0;
+
+    // One generated workload, batch pods only (see the header comment).
+    const auto mixed = workload::generate_workload(
+        workload::app_mix(p100_cfg.mix_id), p100_cfg.workload,
+        Rng(p100_cfg.seed));
+    std::vector<workload::PodSpec> base_pods;
+    for (const auto& spec : mixed) {
+      if (spec.klass == workload::PodClass::kBatch) base_pods.push_back(spec);
+    }
+    ASSERT_GE(base_pods.size(), 8u);
+
+    // The V100 run: same node count through the heterogeneous node-class
+    // path, pods scaled x2 in both memory and profile duration.
+    ExperimentConfig v100_cfg = p100_cfg;
+    v100_cfg.cluster.node_classes = {
+        cluster::NodeClass{.device_model = "v100-32g", .count = 4}};
+    std::vector<workload::PodSpec> scaled_pods;
+    scaled_pods.reserve(base_pods.size());
+    for (const auto& spec : base_pods) {
+      workload::PodSpec s = spec;
+      s.requested_mb *= kScale;
+      s.profile = spec.profile.memory_scaled(kScale).time_scaled(kScale);
+      scaled_pods.push_back(std::move(s));
+    }
+
+    const auto base = run_and_capture(p100_cfg, base_pods);
+    const auto scaled = run_and_capture(v100_cfg, scaled_pods);
+
+    ASSERT_FALSE(base.empty());
+    ASSERT_EQ(base.size(), scaled.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      SCOPED_TRACE("placement #" + std::to_string(i));
+      EXPECT_EQ(base[i].ts, scaled[i].ts);
+      EXPECT_EQ(base[i].pod, scaled[i].pod);
+      EXPECT_EQ(base[i].gpu, scaled[i].gpu);
+      EXPECT_EQ(scaled[i].mb, kScale * base[i].mb);
+    }
+  }
+}
+
+// Sanity anchor for the law above: the node-class construction path itself
+// is inert — a single homogeneous p100-16g class must be bit-identical to
+// the historical `nodes = N` construction, digest for digest.
+TEST(Heterogeneity, SingleP100ClassMatchesHomogeneousConstruction) {
+  for (auto kind : sched::kAllSchedulers) {
+    SCOPED_TRACE(sched::to_string(kind));
+    ExperimentConfig homogeneous = default_experiment(1, kind);
+    homogeneous.cluster.nodes = 4;
+    homogeneous.workload.duration = 30 * kSec;
+
+    ExperimentConfig classed = homogeneous;
+    classed.cluster.node_classes = {
+        cluster::NodeClass{.device_model = "p100-16g", .count = 4}};
+
+    const auto a = run_experiment(homogeneous);
+    const auto b = run_experiment(classed);
+    EXPECT_EQ(a.run_digest, b.run_digest);
+    EXPECT_EQ(a.pods_completed, b.pods_completed);
+    EXPECT_EQ(a.energy_joules, b.energy_joules);
+  }
+}
+
+}  // namespace
+}  // namespace knots

@@ -1,0 +1,239 @@
+// Multi-tenant quota laws.
+//
+// Unit level: the TenantLedger is fuzzed with 20k randomized
+// admit/charge/recharge/release/accrue operations against a plain
+// reference model — admission answers, balances, peaks and counters must
+// match exactly, and a charge is only ever issued when admits() said yes,
+// so "no tenant exceeds its provision cap" holds by construction.
+// End-to-end: a quota-constrained two-tenant run must show real quota
+// pressure (rejections), keep every tenant at or under its cap (audited
+// every tick by the invariant checker), still finish the workload, and be
+// bit-reproducible including the tenant rows mixed into the run digest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "cluster/tenant_ledger.hpp"
+#include "core/rng.hpp"
+#include "knots/experiment.hpp"
+#include "sched/registry.hpp"
+
+namespace knots {
+namespace {
+
+using cluster::TenantLedger;
+using cluster::TenantQuotaSpec;
+
+TEST(TenantLedger, TwentyThousandRandomizedAdmissions) {
+  TenantLedger ledger;
+  ledger.set_quota(TenantQuotaSpec{.tenant = 1, .provision_cap_mb = 12000.0});
+  ledger.set_quota(TenantQuotaSpec{.tenant = 2,
+                                   .provision_cap_mb = 8000.0,
+                                   .gpu_seconds_cap = 400.0});
+  // Tenant 3 has no quota row: always admitted, but still tracked (the
+  // ledger is enforcing). Tenant 0 is the default tenant, also tracked
+  // once enforcing.
+  const std::map<int, TenantQuotaSpec> caps = {
+      {1, TenantQuotaSpec{.tenant = 1, .provision_cap_mb = 12000.0}},
+      {2, TenantQuotaSpec{.tenant = 2,
+                          .provision_cap_mb = 8000.0,
+                          .gpu_seconds_cap = 400.0}},
+  };
+
+  struct Model {
+    double provisioned = 0.0;
+    double peak = 0.0;
+    double gpu_seconds = 0.0;
+    std::int64_t placements = 0;
+    std::int64_t rejections = 0;
+  };
+  std::map<int, Model> model;
+  std::map<int, double> live;  // pod id -> charged mb
+  std::map<int, int> pod_tenant;
+  const int tenants[] = {0, 1, 2, 3};
+
+  Rng rng(20240807);
+  int next_pod = 0;
+  for (int step = 0; step < 20000; ++step) {
+    const int tenant = tenants[rng.uniform_int(0, 3)];
+    const double roll = rng.uniform();
+    if (roll < 0.55) {
+      // Attempted placement: only charge when the ledger admits, exactly
+      // like Cluster::place().
+      const double mb = rng.uniform(64.0, 4000.0);
+      const bool admitted = ledger.admits(tenant, mb);
+      // Reference admission decision.
+      bool expect = true;
+      const auto cap = caps.find(tenant);
+      if (cap != caps.end()) {
+        const Model& m = model[tenant];
+        if (cap->second.provision_cap_mb > 0.0 &&
+            m.provisioned + mb > cap->second.provision_cap_mb) {
+          expect = false;
+        }
+        if (cap->second.gpu_seconds_cap > 0.0 &&
+            m.gpu_seconds >= cap->second.gpu_seconds_cap) {
+          expect = false;
+        }
+      }
+      ASSERT_EQ(admitted, expect) << "step " << step << " tenant " << tenant;
+      if (admitted) {
+        const int pod = next_pod++;
+        ledger.charge(tenant, PodId{pod}, mb);
+        Model& m = model[tenant];
+        m.provisioned += mb;
+        m.peak = std::max(m.peak, m.provisioned);
+        ++m.placements;
+        live[pod] = mb;
+        pod_tenant[pod] = tenant;
+      } else {
+        ledger.note_rejection(tenant);
+        ++model[tenant].rejections;
+      }
+    } else if (roll < 0.75) {
+      // Release a random live pod (terminal transition). Idempotency is
+      // part of the contract: double-release must be a no-op.
+      if (live.empty()) continue;
+      auto it = live.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(live.size()) - 1));
+      const int pod = it->first;
+      ledger.release(PodId{pod});
+      ledger.release(PodId{pod});
+      model[pod_tenant[pod]].provisioned -= it->second;
+      live.erase(it);
+    } else if (roll < 0.85) {
+      // Container resize of a live pod. recharge() itself is unchecked —
+      // the admission gate for growth lives in Cluster::resize_pod — so the
+      // fuzz mirrors that: growth must pass admits() first, shrinks always
+      // land.
+      if (live.empty()) continue;
+      auto it = live.begin();
+      std::advance(it, rng.uniform_int(
+                           0, static_cast<std::int64_t>(live.size()) - 1));
+      const int tenant_of_pod = pod_tenant[it->first];
+      const double mb = rng.uniform(64.0, 4000.0);
+      const double growth = mb - it->second;
+      if (growth > 0.0 && !ledger.admits(tenant_of_pod, growth)) {
+        ledger.note_rejection(tenant_of_pod);
+        ++model[tenant_of_pod].rejections;
+        continue;
+      }
+      ledger.recharge(PodId{it->first}, mb);
+      Model& m = model[tenant_of_pod];
+      m.provisioned += growth;
+      m.peak = std::max(m.peak, m.provisioned);
+      it->second = mb;
+    } else {
+      const double s = rng.uniform(0.0, 2.0);
+      ledger.accrue_gpu_seconds(tenant, s);
+      model[tenant].gpu_seconds += s;
+    }
+
+    if (step % 1000 == 0) {
+      for (const auto& row : ledger.rows()) {
+        const Model& m = model[row.tenant];
+        ASSERT_DOUBLE_EQ(row.provisioned_mb, m.provisioned);
+        ASSERT_DOUBLE_EQ(row.peak_provisioned_mb, m.peak);
+      }
+    }
+  }
+
+  // Final reconciliation: every tracked tenant's row matches the model and
+  // never exceeded its cap.
+  const auto rows = ledger.rows();
+  ASSERT_FALSE(rows.empty());
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LT(rows[i - 1].tenant, rows[i].tenant);  // ascending, stable
+  }
+  for (const auto& row : rows) {
+    const Model& m = model[row.tenant];
+    EXPECT_DOUBLE_EQ(row.provisioned_mb, m.provisioned);
+    EXPECT_DOUBLE_EQ(row.peak_provisioned_mb, m.peak);
+    EXPECT_DOUBLE_EQ(row.gpu_seconds, m.gpu_seconds);
+    EXPECT_EQ(row.placements, m.placements);
+    EXPECT_EQ(row.rejections, m.rejections);
+    const auto cap = caps.find(row.tenant);
+    if (cap != caps.end() && cap->second.provision_cap_mb > 0.0) {
+      EXPECT_LE(row.peak_provisioned_mb, cap->second.provision_cap_mb);
+      EXPECT_GT(row.rejections, 0) << "cap never binding for tenant "
+                                   << row.tenant;
+    }
+  }
+}
+
+TEST(TenantLedger, InactiveWithoutQuotasAndTenantZeroOnly) {
+  TenantLedger ledger;
+  EXPECT_FALSE(ledger.enforcing());
+  EXPECT_TRUE(ledger.admits(0, 1e12));
+  ledger.charge(0, PodId{1}, 4096.0);
+  ledger.accrue_gpu_seconds(0, 10.0);
+  ledger.note_rejection(0);
+  // Tenant 0 stays invisible without quotas — that is what keeps default
+  // single-tenant runs' reports and digests bit-identical.
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_TRUE(ledger.rows().empty());
+  // A non-default tenant is tracked even without quotas.
+  ledger.charge(4, PodId{2}, 100.0);
+  EXPECT_FALSE(ledger.empty());
+  EXPECT_EQ(ledger.rows().size(), 1u);
+  EXPECT_EQ(ledger.rows().front().tenant, 4);
+}
+
+ExperimentConfig quota_config() {
+  return ExperimentConfig::Builder{}
+      .scheduler(sched::SchedulerKind::kCbp)
+      .nodes(4)
+      .duration(30 * kSec)
+      .seed(7)
+      .tenant_quota(TenantQuotaSpec{.tenant = 1, .provision_cap_mb = 9000.0})
+      .tenant_quota(TenantQuotaSpec{.tenant = 2, .provision_cap_mb = 20000.0})
+      .workload_tenants({1, 2})
+      .build();
+}
+
+TEST(TenantQuota, EndToEndCapsBindAndWorkStillFinishes) {
+  const auto report = run_experiment(quota_config());
+
+  ASSERT_EQ(report.tenants.size(), 2u);
+  const auto& t1 = report.tenants[0];
+  const auto& t2 = report.tenants[1];
+  ASSERT_EQ(t1.tenant, 1);
+  ASSERT_EQ(t2.tenant, 2);
+
+  // The tight cap must have been binding (real rejections), yet never
+  // breached — the invariant checker audits the ledger against device
+  // ground truth every tick.
+  EXPECT_GT(t1.rejections, 0);
+  EXPECT_LE(t1.peak_provisioned_mb, t1.quota.provision_cap_mb + 1e-6);
+  EXPECT_LE(t2.peak_provisioned_mb, t2.quota.provision_cap_mb + 1e-6);
+  EXPECT_GT(t1.placements, 0);
+  EXPECT_GT(t2.placements, 0);
+  EXPECT_EQ(report.invariant_violations, 0u)
+      << (report.invariant_messages.empty() ? ""
+                                            : report.invariant_messages.front());
+
+  // Quota refusals defer work, they do not drop it: rejected pods retry
+  // once provision frees up, so the whole workload still completes.
+  EXPECT_EQ(report.pods_completed, report.pods_total);
+}
+
+TEST(TenantQuota, RunsAreBitReproducibleIncludingTenantRows) {
+  const auto a = run_experiment(quota_config());
+  const auto b = run_experiment(quota_config());
+  EXPECT_EQ(a.run_digest, b.run_digest);
+  EXPECT_EQ(a.tenants, b.tenants);
+
+  // The tenant rows are part of the digest: a run whose only difference is
+  // a tenant cap (different rejections/rows) must not collide.
+  ExperimentConfig loose = quota_config();
+  loose.cluster.tenant_quotas[0].provision_cap_mb = 40000.0;
+  const auto c = run_experiment(loose);
+  EXPECT_NE(a.run_digest, c.run_digest);
+}
+
+}  // namespace
+}  // namespace knots
